@@ -1,0 +1,127 @@
+//! Microbenchmarks of the Dynamo decision logic.
+//!
+//! These answer the deployment question behind §III: how expensive is
+//! one control cycle at production fan-outs (a leaf controller pulls "a
+//! few hundred servers or more"; consolidated binaries run ~100
+//! controller threads)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcsim::SimTime;
+use dynamo_controller::{
+    distribute_power_cut, three_band_decision, ChildReport, LeafConfig, LeafController,
+    ServerHandle, ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
+};
+use dynrpc::{PowerReading, Request, Response};
+use powerinfra::Power;
+use std::hint::black_box;
+
+fn watts(v: f64) -> Power {
+    Power::from_watts(v)
+}
+
+fn make_handles(n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|i| {
+            let (name, prio, sla) = match i % 3 {
+                0 => ("web", 1, 210.0),
+                1 => ("cache", 3, 260.0),
+                _ => ("hadoop", 0, 140.0),
+            };
+            ServerHandle {
+                server_id: i as u32,
+                service: ServiceClass::new(name, prio, watts(sla)),
+            }
+        })
+        .collect()
+}
+
+fn make_powers(n: usize) -> Vec<Power> {
+    (0..n).map(|i| watts(220.0 + (i % 120) as f64)).collect()
+}
+
+fn bench_three_band(c: &mut Criterion) {
+    let bands = ThreeBandConfig::default();
+    let limit = Power::from_kilowatts(190.0);
+    c.bench_function("three_band_decision", |b| {
+        b.iter(|| {
+            black_box(three_band_decision(
+                black_box(Power::from_kilowatts(189.0)),
+                limit,
+                bands,
+                true,
+            ))
+        })
+    });
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribute_power_cut");
+    for &n in &[100usize, 400, 1000] {
+        let handles = make_handles(n);
+        let powers = make_powers(n);
+        let cut = watts(30.0 * n as f64 / 4.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(distribute_power_cut(
+                    black_box(&handles),
+                    black_box(&powers),
+                    cut,
+                    watts(20.0),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_leaf_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaf_cycle");
+    for &n in &[100usize, 400, 1000] {
+        // Limit sized so each cycle actually computes a capping action —
+        // the worst-case path.
+        let mean_power = 279.5;
+        let limit = watts(mean_power * n as f64 * 0.98);
+        let handles = make_handles(n);
+        let powers = make_powers(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut leaf = LeafController::new("bench", LeafConfig::new(limit), handles.clone());
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 3;
+                black_box(leaf.cycle(SimTime::from_secs(t), |sid, req| match req {
+                    Request::ReadPower => Ok(Response::Power(PowerReading::total_only(
+                        powers[sid as usize],
+                    ))),
+                    _ => Ok(Response::CapAck { ok: true }),
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_upper_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upper_cycle");
+    for &n in &[4usize, 16, 64] {
+        let reports: Vec<ChildReport> = (0..n)
+            .map(|i| ChildReport {
+                power: Power::from_kilowatts(180.0 + (i % 7) as f64 * 5.0),
+                quota: Power::from_kilowatts(170.0),
+                physical_limit: Power::from_kilowatts(190.0),
+            })
+            .collect();
+        let limit = Power::from_kilowatts(185.0 * n as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut upper = UpperController::new("bench", UpperConfig::new(limit), n);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 9;
+                black_box(upper.cycle(SimTime::from_secs(t), black_box(&reports)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_band, bench_distribution, bench_leaf_cycle, bench_upper_cycle);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! One benchmark per paper table/figure: how long each reproduction
+//! takes at quick scale. These double as regression guards that every
+//! experiment stays runnable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{
+    ablation, coordination, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig3, fig4,
+    fig5, fig6, fig9, table1, Scale,
+};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("fig1_power_curve", |b| b.iter(|| black_box(fig1::run())));
+    group.bench_function("fig3_breaker", |b| b.iter(|| black_box(fig3::run())));
+    group.bench_function("fig4_variation", |b| b.iter(|| black_box(fig4::run())));
+    group.bench_function("fig9_rapl_transient", |b| b.iter(|| black_box(fig9::run())));
+    group.bench_function("fig10_three_band", |b| b.iter(|| black_box(fig10::run())));
+    group.bench_function("fig13_perf_slowdown", |b| b.iter(|| black_box(fig13::run())));
+    group.bench_function("ablation_three_band_vs_pi", |b| b.iter(|| black_box(ablation::run())));
+    group.bench_function("ablation_coordination_policy", |b| {
+        b.iter(|| black_box(coordination::run()))
+    });
+    group.finish();
+
+    // The simulation-backed figures are seconds each; sample them less.
+    let mut slow = c.benchmark_group("paper_slow");
+    slow.sample_size(10);
+    slow.bench_function("fig5_variation_cdf", |b| b.iter(|| black_box(fig5::run(Scale::Quick))));
+    slow.bench_function("fig6_service_variation", |b| {
+        b.iter(|| black_box(fig6::run(Scale::Quick)))
+    });
+    slow.bench_function("fig11_leaf_capping", |b| b.iter(|| black_box(fig11::run(Scale::Quick))));
+    slow.bench_function("fig12_sb_capping", |b| b.iter(|| black_box(fig12::run(Scale::Quick))));
+    slow.bench_function("fig14_turbo_hadoop", |b| b.iter(|| black_box(fig14::run(Scale::Quick))));
+    slow.bench_function("fig15_priority", |b| b.iter(|| black_box(fig15::run(Scale::Quick))));
+    slow.bench_function("fig16_bucket_snapshot", |b| {
+        b.iter(|| black_box(fig16::run(Scale::Quick)))
+    });
+    slow.bench_function("table1_summary", |b| b.iter(|| black_box(table1::run(Scale::Quick))));
+    slow.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion benchmark per paper table/figure, running
+//!   the corresponding `experiments` entry point at quick scale.
+//! * `controller` — microbenchmarks of the decision logic (three-band,
+//!   cut distribution, leaf/upper cycles) across fleet sizes.
+//! * `simulation` — whole-datacenter step throughput and ablations
+//!   (tick granularity, RPC loss).
+//! * `substrate` — breaker stepping, PRNG, sliding-window variation.
+
+#![forbid(unsafe_code)]

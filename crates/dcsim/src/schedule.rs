@@ -1,0 +1,136 @@
+//! Periodic task scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// Tracks a fixed-period task inside a time-stepped simulation.
+///
+/// The simulation calls [`PeriodicSchedule::fire`] every tick; it
+/// returns `true` exactly when a period boundary has been reached and
+/// advances itself. Dynamo's control plane runs on three of these
+/// (3 s leaf cycles, 9 s upper cycles, 60 s breaker validation).
+///
+/// If the caller's tick is coarser than the period, missed boundaries
+/// are coalesced into a single firing — matching how a real poller that
+/// overslept runs once, not N times.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::{PeriodicSchedule, SimDuration, SimTime};
+///
+/// let mut poll = PeriodicSchedule::new(SimDuration::from_secs(3));
+/// assert!(poll.fire(SimTime::ZERO));          // first tick fires
+/// assert!(!poll.fire(SimTime::from_secs(1)));
+/// assert!(!poll.fire(SimTime::from_secs(2)));
+/// assert!(poll.fire(SimTime::from_secs(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicSchedule {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl PeriodicSchedule {
+    /// Creates a schedule that first fires at [`SimTime::ZERO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        Self::starting_at(period, SimTime::ZERO)
+    }
+
+    /// Creates a schedule whose first firing is at `start` (phase
+    /// offsets keep co-located controllers from polling in lockstep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn starting_at(period: SimDuration, start: SimTime) -> Self {
+        assert!(!period.is_zero(), "schedule period must be positive");
+        PeriodicSchedule { period, next: start }
+    }
+
+    /// The period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The next firing time.
+    pub fn next_at(&self) -> SimTime {
+        self.next
+    }
+
+    /// True if the schedule would fire at `now` (without advancing).
+    pub fn due(&self, now: SimTime) -> bool {
+        now >= self.next
+    }
+
+    /// Fires if due, advancing to the next boundary after `now`.
+    /// Returns whether the task should run this tick.
+    pub fn fire(&mut self, now: SimTime) -> bool {
+        if now < self.next {
+            return false;
+        }
+        // Coalesce any missed boundaries: next firing is the first
+        // boundary strictly after `now`.
+        while self.next <= now {
+            self.next += self.period;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_every_boundary_with_fine_ticks() {
+        let mut s = PeriodicSchedule::new(SimDuration::from_secs(3));
+        let mut fired = Vec::new();
+        for t in 0..10 {
+            if s.fire(SimTime::from_secs(t)) {
+                fired.push(t);
+            }
+        }
+        assert_eq!(fired, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn coarse_ticks_coalesce_missed_boundaries() {
+        let mut s = PeriodicSchedule::new(SimDuration::from_secs(3));
+        assert!(s.fire(SimTime::ZERO));
+        // Jump 10 s: one firing, then the next boundary is at 12 s.
+        assert!(s.fire(SimTime::from_secs(10)));
+        assert_eq!(s.next_at(), SimTime::from_secs(12));
+        assert!(!s.fire(SimTime::from_secs(11)));
+        assert!(s.fire(SimTime::from_secs(12)));
+    }
+
+    #[test]
+    fn phase_offset_delays_the_first_firing() {
+        let mut s =
+            PeriodicSchedule::starting_at(SimDuration::from_secs(9), SimTime::from_secs(4));
+        assert!(!s.fire(SimTime::ZERO));
+        assert!(!s.fire(SimTime::from_secs(3)));
+        assert!(s.fire(SimTime::from_secs(4)));
+        assert_eq!(s.next_at(), SimTime::from_secs(13));
+    }
+
+    #[test]
+    fn due_does_not_advance() {
+        let s = PeriodicSchedule::new(SimDuration::from_secs(60));
+        assert!(s.due(SimTime::ZERO));
+        assert!(s.due(SimTime::from_secs(99)));
+        assert_eq!(s.next_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        PeriodicSchedule::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,665 @@
+//! The leaf power controller (§III-C).
+
+use std::collections::HashMap;
+
+use dcsim::{SimDuration, SimTime};
+use powerinfra::Power;
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::distribute_power_cut;
+use crate::threeband::{three_band_decision, BandDecision, ThreeBandConfig};
+use crate::types::{Alert, ControlAction, ServerHandle};
+use dynrpc::{Request, Response, RpcError};
+
+/// Configuration of a [`LeafController`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafConfig {
+    /// The physical breaker limit of the protected device.
+    pub physical_limit: Power,
+    /// Three-band thresholds (fractions of the *effective* limit).
+    pub bands: ThreeBandConfig,
+    /// Power pulling cycle. Paper: 3 s — fast enough for sub-minute
+    /// variations, slow enough for RAPL to settle between actions.
+    pub poll_interval: SimDuration,
+    /// High-bucket-first bucket width. Paper: "a bucket size between 10
+    /// and 30 W works well ... a bucket size of 20 W is used".
+    pub bucket_width: Power,
+    /// Pull-failure fraction above which the aggregation is declared
+    /// invalid. Paper: 20%.
+    pub max_failure_frac: f64,
+    /// Constant draw of non-server components behind the same breaker
+    /// (top-of-rack switches etc., §III-C1); monitored but not
+    /// controllable.
+    pub non_server_overhead: Power,
+    /// Dry-run mode (§VI): the controller computes decisions and logs
+    /// them but never sends actuation RPCs. Used for end-to-end testing
+    /// of service-specific logic "without actually throttling the
+    /// servers in those critical services".
+    pub dry_run: bool,
+}
+
+impl LeafConfig {
+    /// Paper-default configuration for a device with the given breaker
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_limit` is not strictly positive.
+    pub fn new(physical_limit: Power) -> Self {
+        assert!(physical_limit.as_watts() > 0.0, "physical limit must be positive");
+        LeafConfig {
+            physical_limit,
+            bands: ThreeBandConfig::default(),
+            poll_interval: SimDuration::from_secs(3),
+            bucket_width: Power::from_watts(20.0),
+            max_failure_frac: 0.20,
+            non_server_overhead: Power::ZERO,
+            dry_run: false,
+        }
+    }
+
+    /// Enables dry-run mode (compute and log decisions, never actuate).
+    pub fn with_dry_run(mut self) -> Self {
+        self.dry_run = true;
+        self
+    }
+
+    /// Overrides the three-band thresholds.
+    pub fn with_bands(mut self, bands: ThreeBandConfig) -> Self {
+        self.bands = bands;
+        self
+    }
+
+    /// Sets the uncontrolled non-server draw behind the breaker.
+    pub fn with_overhead(mut self, overhead: Power) -> Self {
+        self.non_server_overhead = overhead;
+        self
+    }
+}
+
+/// What one control cycle observed and did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleOutcome {
+    /// Cycle timestamp.
+    pub at: SimTime,
+    /// Aggregated power (servers + overhead), `None` if invalid.
+    pub aggregated: Option<Power>,
+    /// Number of pull failures this cycle.
+    pub pull_failures: usize,
+    /// Of the failures, how many were covered by peer estimates.
+    pub estimated: usize,
+    /// The action taken.
+    pub action: ControlAction,
+}
+
+/// The leaf power controller: protects one leaf power device by polling
+/// the Dynamo agents of all downstream servers and issuing cap/uncap
+/// commands (§III-C).
+///
+/// The controller is transport-agnostic: each cycle takes a closure that
+/// performs one RPC to a given server id, so production Thrift, the
+/// simulated [`dynrpc::Network`], or a scripted fake all plug in.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::{SimDuration, SimTime};
+/// use dynamo_controller::{LeafConfig, LeafController, ServerHandle, ServiceClass};
+/// use dynrpc::{PowerReading, Request, Response};
+/// use powerinfra::Power;
+///
+/// let servers: Vec<ServerHandle> = (0..4)
+///     .map(|i| ServerHandle {
+///         server_id: i,
+///         service: ServiceClass::new("web", 1, Power::from_watts(210.0)),
+///     })
+///     .collect();
+/// let mut leaf = LeafController::new(
+///     "rpp0", LeafConfig::new(Power::from_kilowatts(1.3)), servers);
+///
+/// // Every server reports 330 W -> 1.32 kW total, over the 1.3 kW limit.
+/// let outcome = leaf.cycle(SimTime::ZERO, |_, req| match req {
+///     Request::ReadPower => Ok(Response::Power(PowerReading::total_only(
+///         Power::from_watts(330.0),
+///     ))),
+///     _ => Ok(Response::CapAck { ok: true }),
+/// });
+/// assert!(outcome.action.is_capped());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeafController {
+    name: String,
+    config: LeafConfig,
+    servers: Vec<ServerHandle>,
+    /// Most recent reading (or estimate) per server.
+    last_power: HashMap<u32, Power>,
+    /// Caps currently in force, by server.
+    active_caps: HashMap<u32, Power>,
+    /// Contractual limit pushed down by the parent controller (§III-D).
+    contractual_limit: Option<Power>,
+    alerts: Vec<Alert>,
+    cycles: u64,
+}
+
+impl LeafController {
+    /// Creates a controller protecting one leaf device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty — a leaf controller with nothing to
+    /// control is a configuration error.
+    pub fn new(name: impl Into<String>, config: LeafConfig, servers: Vec<ServerHandle>) -> Self {
+        assert!(!servers.is_empty(), "leaf controller needs at least one server");
+        LeafController {
+            name: name.into(),
+            config,
+            servers,
+            last_power: HashMap::new(),
+            active_caps: HashMap::new(),
+            contractual_limit: None,
+            alerts: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// The controller's name (usually the protected device's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LeafConfig {
+        &self.config
+    }
+
+    /// The servers under this controller.
+    pub fn servers(&self) -> &[ServerHandle] {
+        &self.servers
+    }
+
+    /// The effective limit: `min(physical, contractual)` (§III-D).
+    pub fn effective_limit(&self) -> Power {
+        match self.contractual_limit {
+            Some(c) => c.min(self.config.physical_limit),
+            None => self.config.physical_limit,
+        }
+    }
+
+    /// Sets or clears the contractual limit from the parent controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is not strictly positive.
+    pub fn set_contractual_limit(&mut self, limit: Option<Power>) {
+        if let Some(l) = limit {
+            assert!(l.as_watts() > 0.0, "contractual limit must be positive, got {l}");
+        }
+        self.contractual_limit = limit;
+    }
+
+    /// The contractual limit currently in force, if any.
+    pub fn contractual_limit(&self) -> Option<Power> {
+        self.contractual_limit
+    }
+
+    /// Toggles dry-run mode at runtime (staged rollouts flip this as a
+    /// controller graduates from shadow to active duty).
+    pub fn set_dry_run(&mut self, dry_run: bool) {
+        self.config.dry_run = dry_run;
+    }
+
+    /// Caps currently in force (server → cap).
+    pub fn active_caps(&self) -> &HashMap<u32, Power> {
+        &self.active_caps
+    }
+
+    /// The last aggregated per-server readings.
+    pub fn last_power(&self) -> &HashMap<u32, Power> {
+        &self.last_power
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Number of completed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Runs one 3-second control cycle at time `now`:
+    ///
+    /// 1. Pull power from every downstream agent.
+    /// 2. Estimate failed pulls from same-service peers; above the 20%
+    ///    failure threshold, declare the aggregation invalid, alert, and
+    ///    take no action (§III-C1, §III-E).
+    /// 3. Apply the three-band algorithm against the effective limit.
+    /// 4. On capping: distribute the cut (priority groups,
+    ///    high-bucket-first) and send `SetCap`s; on uncapping: send
+    ///    `ClearCap`s.
+    pub fn cycle<F>(&mut self, now: SimTime, mut call: F) -> CycleOutcome
+    where
+        F: FnMut(u32, Request) -> Result<Response, RpcError>,
+    {
+        self.cycles += 1;
+
+        // -- 1. Pull power readings.
+        let mut readings: HashMap<u32, Power> = HashMap::new();
+        let mut failed: Vec<u32> = Vec::new();
+        for handle in &self.servers {
+            match call(handle.server_id, Request::ReadPower) {
+                Ok(Response::Power(r)) if r.total.is_valid_draw() => {
+                    readings.insert(handle.server_id, r.total);
+                }
+                _ => failed.push(handle.server_id),
+            }
+        }
+
+        // -- 2. Failure handling.
+        let failure_frac = failed.len() as f64 / self.servers.len() as f64;
+        if failure_frac > self.config.max_failure_frac {
+            self.alerts.push(Alert {
+                at: now,
+                controller: self.name.clone(),
+                message: format!(
+                    "power aggregation invalid: {}/{} pulls failed ({:.0}% > {:.0}%)",
+                    failed.len(),
+                    self.servers.len(),
+                    failure_frac * 100.0,
+                    self.config.max_failure_frac * 100.0
+                ),
+            });
+            return CycleOutcome {
+                at: now,
+                aggregated: None,
+                pull_failures: failed.len(),
+                estimated: 0,
+                action: ControlAction::Invalid,
+            };
+        }
+        let mut estimated = 0;
+        for &sid in &failed {
+            if let Some(est) = self.estimate_for(sid, &readings) {
+                readings.insert(sid, est);
+                estimated += 1;
+            }
+        }
+        self.last_power.clone_from(&readings);
+
+        // -- 3. Aggregate and decide.
+        let total: Power =
+            readings.values().copied().sum::<Power>() + self.config.non_server_overhead;
+        let limit = self.effective_limit();
+        let decision =
+            three_band_decision(total, limit, self.config.bands, !self.active_caps.is_empty());
+
+        // -- 4. Act.
+        let action = match decision {
+            BandDecision::Cap { total_cut } => {
+                let powers: Vec<Power> = self
+                    .servers
+                    .iter()
+                    .map(|h| readings.get(&h.server_id).copied().unwrap_or(Power::ZERO))
+                    .collect();
+                let (cuts, leftover) =
+                    distribute_power_cut(&self.servers, &powers, total_cut, self.config.bucket_width);
+                if leftover.as_watts() > 1.0 {
+                    self.alerts.push(Alert {
+                        at: now,
+                        controller: self.name.clone(),
+                        message: format!(
+                            "SLA floors prevented {leftover} of a {total_cut} cut; device may overload"
+                        ),
+                    });
+                }
+                let mut commands = Vec::with_capacity(cuts.len());
+                for cut in cuts {
+                    let cmd = cut.to_command();
+                    if self.config.dry_run {
+                        // Log the decision without touching the fleet.
+                        commands.push(cmd);
+                        continue;
+                    }
+                    // Failed actuations are retried implicitly: the next
+                    // cycle re-measures and re-decides.
+                    if let Ok(Response::CapAck { ok: true }) =
+                        call(cmd.server_id, Request::SetCap(cmd.cap))
+                    {
+                        self.active_caps.insert(cmd.server_id, cmd.cap);
+                        commands.push(cmd);
+                    }
+                }
+                ControlAction::Capped { total_cut, commands }
+            }
+            BandDecision::Uncap => {
+                let capped: Vec<u32> = self.active_caps.keys().copied().collect();
+                for sid in capped {
+                    if self.config.dry_run {
+                        continue;
+                    }
+                    if let Ok(Response::CapAck { ok: true }) = call(sid, Request::ClearCap) {
+                        self.active_caps.remove(&sid);
+                    }
+                }
+                ControlAction::Uncapped
+            }
+            BandDecision::Hold => ControlAction::Hold,
+        };
+
+        CycleOutcome {
+            at: now,
+            aggregated: Some(total),
+            pull_failures: failed.len(),
+            estimated,
+            action,
+        }
+    }
+
+    /// Estimates power for a failed pull "using power readings from
+    /// neighboring servers running similar workloads" (§III-C1): the
+    /// mean of this cycle's successful same-service readings, falling
+    /// back to the server's own last known value.
+    fn estimate_for(&self, server_id: u32, readings: &HashMap<u32, Power>) -> Option<Power> {
+        let service = &self
+            .servers
+            .iter()
+            .find(|h| h.server_id == server_id)
+            .expect("estimating for unknown server")
+            .service;
+        let peers: Vec<Power> = self
+            .servers
+            .iter()
+            .filter(|h| h.service.name == service.name && h.server_id != server_id)
+            .filter_map(|h| readings.get(&h.server_id).copied())
+            .collect();
+        if !peers.is_empty() {
+            let sum: Power = peers.iter().copied().sum();
+            return Some(sum / peers.len() as f64);
+        }
+        self.last_power.get(&server_id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ServiceClass;
+    use dynrpc::PowerReading;
+
+    fn watts(v: f64) -> Power {
+        Power::from_watts(v)
+    }
+
+    fn web_servers(n: u32) -> Vec<ServerHandle> {
+        (0..n)
+            .map(|i| ServerHandle {
+                server_id: i,
+                service: ServiceClass::new("web", 1, watts(210.0)),
+            })
+            .collect()
+    }
+
+    /// A scripted fleet: per-server power, per-server reachability.
+    struct Fleet {
+        power: HashMap<u32, Power>,
+        down: Vec<u32>,
+        caps: HashMap<u32, Power>,
+    }
+
+    impl Fleet {
+        fn new(powers: &[(u32, f64)]) -> Self {
+            Fleet {
+                power: powers.iter().map(|&(i, p)| (i, watts(p))).collect(),
+                down: Vec::new(),
+                caps: HashMap::new(),
+            }
+        }
+
+        fn call(&mut self, sid: u32, req: Request) -> Result<Response, RpcError> {
+            if self.down.contains(&sid) {
+                return Err(RpcError::AgentDown);
+            }
+            match req {
+                Request::ReadPower => {
+                    let raw = self.power[&sid];
+                    let eff = self.caps.get(&sid).map_or(raw, |&c| raw.min(c));
+                    Ok(Response::Power(PowerReading::total_only(eff)))
+                }
+                Request::SetCap(c) => {
+                    self.caps.insert(sid, c);
+                    Ok(Response::CapAck { ok: true })
+                }
+                Request::ClearCap => {
+                    self.caps.remove(&sid);
+                    Ok(Response::CapAck { ok: true })
+                }
+            }
+        }
+    }
+
+    fn leaf(limit_w: f64, servers: Vec<ServerHandle>) -> LeafController {
+        LeafController::new("rpp-test", LeafConfig::new(watts(limit_w)), servers)
+    }
+
+    #[test]
+    fn under_threshold_holds() {
+        let mut fleet = Fleet::new(&[(0, 200.0), (1, 200.0)]);
+        let mut c = leaf(1000.0, web_servers(2));
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert_eq!(out.action, ControlAction::Hold);
+        assert_eq!(out.aggregated, Some(watts(400.0)));
+        assert!(c.active_caps().is_empty());
+    }
+
+    #[test]
+    fn over_threshold_caps_down_to_target() {
+        // 4 × 300 W = 1200 W against a 1200 W limit → threshold 1188.
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = leaf(1200.0, web_servers(4));
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        match &out.action {
+            ControlAction::Capped { total_cut, commands } => {
+                assert!((total_cut.as_watts() - 60.0).abs() < 1e-6);
+                assert!(!commands.is_empty());
+            }
+            other => panic!("expected cap, got {other:?}"),
+        }
+        // Next cycle reads capped powers: total at target, within bands.
+        let out2 = c.cycle(SimTime::from_secs(3), |s, r| fleet.call(s, r));
+        assert_eq!(out2.action, ControlAction::Hold);
+        let total = out2.aggregated.unwrap().as_watts();
+        assert!((total - 1140.0).abs() < 1.0, "settled at {total}");
+    }
+
+    #[test]
+    fn uncaps_when_power_falls() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = leaf(1200.0, web_servers(4));
+        c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert!(!c.active_caps().is_empty());
+        // Load drops well below the uncap threshold (90% of 1200 = 1080).
+        for p in fleet.power.values_mut() {
+            *p = watts(220.0);
+        }
+        let out = c.cycle(SimTime::from_secs(3), |s, r| fleet.call(s, r));
+        assert_eq!(out.action, ControlAction::Uncapped);
+        assert!(c.active_caps().is_empty());
+        assert!(fleet.caps.is_empty());
+    }
+
+    #[test]
+    fn no_oscillation_between_bands() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = leaf(1200.0, web_servers(4));
+        c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        // Power sits at the capped level (between uncap and cap bands):
+        // repeated cycles must all hold.
+        for k in 1..20 {
+            let out = c.cycle(SimTime::from_secs(3 * k), |s, r| fleet.call(s, r));
+            assert_eq!(out.action, ControlAction::Hold, "cycle {k} oscillated");
+        }
+    }
+
+    #[test]
+    fn pull_failures_are_estimated_from_peers() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0), (4, 300.0)]);
+        fleet.down = vec![4];
+        let mut c = leaf(10_000.0, web_servers(5));
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert_eq!(out.pull_failures, 1);
+        assert_eq!(out.estimated, 1);
+        // The estimate equals the peer mean, so the total is exact.
+        assert_eq!(out.aggregated, Some(watts(1500.0)));
+    }
+
+    #[test]
+    fn exceeding_failure_threshold_invalidates_and_alerts() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0), (4, 300.0)]);
+        fleet.down = vec![0, 1]; // 40% > 20%
+        let mut c = leaf(1000.0, web_servers(5)); // would otherwise cap
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert_eq!(out.action, ControlAction::Invalid);
+        assert_eq!(out.aggregated, None);
+        assert_eq!(c.alerts().len(), 1);
+        assert!(c.alerts()[0].message.contains("invalid"));
+        assert!(fleet.caps.is_empty(), "no false-positive capping");
+    }
+
+    #[test]
+    fn estimation_falls_back_to_last_known_value() {
+        // Five web servers and one db server; the db server (with no
+        // live service peer) goes down, staying under the 20% failure
+        // threshold (1/6 ≈ 17%).
+        let mut fleet = Fleet::new(&[
+            (0, 260.0),
+            (1, 260.0),
+            (2, 260.0),
+            (3, 260.0),
+            (4, 260.0),
+            (5, 320.0),
+        ]);
+        let mut servers = web_servers(5);
+        servers.push(ServerHandle {
+            server_id: 5,
+            service: ServiceClass::new("db", 2, watts(250.0)),
+        });
+        let mut c = LeafController::new("rpp", LeafConfig::new(watts(10_000.0)), servers);
+        c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        fleet.down = vec![5];
+        let out = c.cycle(SimTime::from_secs(3), |s, r| fleet.call(s, r));
+        assert_eq!(out.pull_failures, 1);
+        assert_eq!(out.estimated, 1);
+        // The db server's last known 320 W reading fills the gap.
+        assert_eq!(out.aggregated, Some(watts(5.0 * 260.0 + 320.0)));
+    }
+
+    #[test]
+    fn contractual_limit_tightens_effective_limit() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = leaf(2000.0, web_servers(4));
+        // Without contract: 1200 W under 2000 W limit → hold.
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert_eq!(out.action, ControlAction::Hold);
+        // Parent pushes a 1150 W contractual limit → must cap.
+        c.set_contractual_limit(Some(watts(1150.0)));
+        assert_eq!(c.effective_limit(), watts(1150.0));
+        let out2 = c.cycle(SimTime::from_secs(3), |s, r| fleet.call(s, r));
+        assert!(out2.action.is_capped());
+        // Contract above physical is clamped by min().
+        c.set_contractual_limit(Some(watts(99_000.0)));
+        assert_eq!(c.effective_limit(), watts(2000.0));
+    }
+
+    #[test]
+    fn overhead_counts_toward_the_limit() {
+        let servers = web_servers(2);
+        let cfg = LeafConfig::new(watts(1000.0)).with_overhead(watts(300.0));
+        let mut c = LeafController::new("rpp", cfg, servers);
+        let mut fleet = Fleet::new(&[(0, 350.0), (1, 350.0)]);
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        // 700 + 300 = 1000 ≥ 99% threshold → cap.
+        assert!(out.action.is_capped());
+        assert_eq!(out.aggregated, Some(watts(1000.0)));
+    }
+
+    #[test]
+    fn failed_actuation_is_not_recorded_as_active() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = leaf(1200.0, web_servers(4));
+        let down = std::cell::Cell::new(false);
+        let out = c.cycle(SimTime::ZERO, |s, r| {
+            if matches!(r, Request::SetCap(_)) && !down.get() {
+                down.set(true);
+                return Err(RpcError::Timeout);
+            }
+            fleet.call(s, r)
+        });
+        match out.action {
+            ControlAction::Capped { commands, .. } => {
+                // One SetCap timed out → one fewer active cap.
+                assert_eq!(commands.len(), c.active_caps().len());
+                assert_eq!(fleet.caps.len(), c.active_caps().len());
+            }
+            other => panic!("expected cap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_groups_respected_through_cycle() {
+        // 2 hadoop + 2 cache servers; cut must land on hadoop only.
+        let servers = vec![
+            ServerHandle { server_id: 0, service: ServiceClass::new("hadoop", 0, watts(140.0)) },
+            ServerHandle { server_id: 1, service: ServiceClass::new("hadoop", 0, watts(140.0)) },
+            ServerHandle { server_id: 2, service: ServiceClass::new("cache", 3, watts(260.0)) },
+            ServerHandle { server_id: 3, service: ServiceClass::new("cache", 3, watts(260.0)) },
+        ];
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let mut c = LeafController::new("rpp", LeafConfig::new(watts(1200.0)), servers);
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        match out.action {
+            ControlAction::Capped { commands, .. } => {
+                assert!(commands.iter().all(|cmd| cmd.server_id < 2), "{commands:?}");
+            }
+            other => panic!("expected cap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_server_list_panics() {
+        LeafController::new("rpp", LeafConfig::new(watts(1000.0)), vec![]);
+    }
+
+    #[test]
+    fn dry_run_logs_decisions_without_actuating() {
+        let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
+        let cfg = LeafConfig::new(watts(1200.0)).with_dry_run();
+        let mut c = LeafController::new("rpp-dry", cfg, web_servers(4));
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        match out.action {
+            ControlAction::Capped { commands, .. } => {
+                assert!(!commands.is_empty(), "dry run must still compute the decision");
+            }
+            other => panic!("expected cap decision, got {other:?}"),
+        }
+        // ...but nothing reached the fleet and no state was recorded.
+        assert!(fleet.caps.is_empty(), "dry run actuated caps");
+        assert!(c.active_caps().is_empty());
+        // Repeated cycles stay consistent (no phantom uncaps).
+        let out2 = c.cycle(SimTime::from_secs(3), |s, r| fleet.call(s, r));
+        assert!(out2.action.is_capped());
+        assert!(fleet.caps.is_empty());
+    }
+
+    #[test]
+    fn sla_shortfall_raises_alert() {
+        // One web server, limit forces a cut (300 − 190 = 110 W) bigger
+        // than the 90 W headroom above the 210 W SLA floor.
+        let mut fleet = Fleet::new(&[(0, 300.0)]);
+        let mut c = leaf(200.0, web_servers(1));
+        let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
+        assert!(out.action.is_capped());
+        assert!(c.alerts().iter().any(|a| a.message.contains("SLA")), "{:?}", c.alerts());
+    }
+}

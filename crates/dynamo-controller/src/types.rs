@@ -1,0 +1,119 @@
+//! Shared controller-facing types.
+
+use dcsim::SimTime;
+use powerinfra::Power;
+use serde::{Deserialize, Serialize};
+
+/// What a controller knows about the service running on a server — the
+/// "meta-data about all the servers it controls" of §III-C3, reduced to
+/// what capping decisions need. Deliberately *not* the workload
+/// simulator's service enum: production Dynamo is service-agnostic and
+/// consumes exactly this triple from a metadata store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceClass {
+    /// Service name for logs and reports.
+    pub name: String,
+    /// Priority group; *lower* values are capped first.
+    pub priority: u8,
+    /// SLA floor: the lowest power cap this service may receive.
+    pub sla_min_cap: Power,
+}
+
+impl ServiceClass {
+    /// Creates a service class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sla_min_cap` is not a positive power.
+    pub fn new(name: impl Into<String>, priority: u8, sla_min_cap: Power) -> Self {
+        assert!(
+            sla_min_cap.is_valid_draw() && sla_min_cap.as_watts() > 0.0,
+            "SLA floor must be positive, got {sla_min_cap:?}"
+        );
+        ServiceClass { name: name.into(), priority, sla_min_cap }
+    }
+}
+
+/// A leaf controller's handle on one downstream server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerHandle {
+    /// Fleet-wide server id.
+    pub server_id: u32,
+    /// The service metadata used for performance-aware capping.
+    pub service: ServiceClass,
+}
+
+/// One capping command computed by the decision logic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapCommand {
+    /// Target server.
+    pub server_id: u32,
+    /// The power cap to program ("its current power value less its
+    /// power-cut", §III-C3).
+    pub cap: Power,
+}
+
+/// The action a controller took in one cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlAction {
+    /// Power is inside the bands; nothing to do.
+    Hold,
+    /// Capping was triggered; carries the total cut and the commands.
+    Capped {
+        /// Power removed in aggregate.
+        total_cut: Power,
+        /// Per-server caps issued.
+        commands: Vec<CapCommand>,
+    },
+    /// Uncapping was triggered; all caps cleared.
+    Uncapped,
+    /// The aggregation was invalid (too many pull failures); no action
+    /// taken, alert raised instead (§III-C1).
+    Invalid,
+}
+
+impl ControlAction {
+    /// True for the `Capped` variant.
+    pub fn is_capped(&self) -> bool {
+        matches!(self, ControlAction::Capped { .. })
+    }
+}
+
+/// An operator alert (§III-E: exceeding the failure threshold "will
+/// instead send an alarm for a human operator to intervene").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// When the alert fired.
+    pub at: SimTime,
+    /// The controller that raised it.
+    pub controller: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_class_construction() {
+        let c = ServiceClass::new("cache", 3, Power::from_watts(260.0));
+        assert_eq!(c.name, "cache");
+        assert_eq!(c.priority, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLA floor must be positive")]
+    fn zero_sla_panics() {
+        ServiceClass::new("x", 0, Power::ZERO);
+    }
+
+    #[test]
+    fn control_action_predicates() {
+        assert!(ControlAction::Capped { total_cut: Power::from_watts(1.0), commands: vec![] }
+            .is_capped());
+        assert!(!ControlAction::Hold.is_capped());
+        assert!(!ControlAction::Uncapped.is_capped());
+        assert!(!ControlAction::Invalid.is_capped());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the controller decision logic — the
+//! paper's safety argument rests on these invariants.
+
+use dynamo_controller::{
+    distribute_power_cut, three_band_decision, BandDecision, ServerHandle, ServiceClass,
+    ThreeBandConfig,
+};
+use powerinfra::Power;
+use proptest::prelude::*;
+
+fn watts(v: f64) -> Power {
+    Power::from_watts(v)
+}
+
+/// Strategy: a fleet of servers with power, priority and SLA floor.
+fn fleet_strategy() -> impl Strategy<Value = (Vec<ServerHandle>, Vec<Power>)> {
+    prop::collection::vec((50.0f64..400.0, 0u8..4, 40.0f64..250.0), 1..60).prop_map(|specs| {
+        let mut handles = Vec::new();
+        let mut powers = Vec::new();
+        for (i, (power, prio, sla)) in specs.into_iter().enumerate() {
+            handles.push(ServerHandle {
+                server_id: i as u32,
+                service: ServiceClass::new(format!("svc{prio}"), prio, watts(sla)),
+            });
+            powers.push(watts(power));
+        }
+        (handles, powers)
+    })
+}
+
+proptest! {
+    /// Conservation: assigned cuts plus the reported leftover always
+    /// equal the requested cut.
+    #[test]
+    fn cuts_plus_leftover_equal_request(
+        (handles, powers) in fleet_strategy(),
+        cut_w in 0.0f64..5000.0,
+    ) {
+        let (cuts, leftover) =
+            distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
+        let assigned: Power = cuts.iter().map(|c| c.cut).sum();
+        prop_assert!(((assigned + leftover) - watts(cut_w)).abs().as_watts() < 1e-6);
+    }
+
+    /// No cap ever violates its server's SLA floor, and every cut is
+    /// positive and at most the server's headroom.
+    #[test]
+    fn caps_respect_floors_and_headroom(
+        (handles, powers) in fleet_strategy(),
+        cut_w in 1.0f64..5000.0,
+    ) {
+        let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
+        for c in &cuts {
+            let handle = handles.iter().find(|h| h.server_id == c.server_id).unwrap();
+            let power = powers[c.server_id as usize];
+            prop_assert!(c.cap >= handle.service.sla_min_cap - watts(1e-9));
+            prop_assert!(c.cut.as_watts() > 0.0);
+            prop_assert!(c.cut <= power.saturating_sub(handle.service.sla_min_cap) + watts(1e-9));
+        }
+    }
+
+    /// Priority ordering: a higher-priority server is only cut if every
+    /// lower-priority group is already exhausted (all members at their
+    /// floors).
+    #[test]
+    fn higher_priority_cut_implies_lower_exhausted(
+        (handles, powers) in fleet_strategy(),
+        cut_w in 1.0f64..20_000.0,
+    ) {
+        let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
+        let cut_of = |sid: u32| cuts.iter().find(|c| c.server_id == sid).map(|c| c.cut);
+        for c in &cuts {
+            let prio = handles[c.server_id as usize].service.priority;
+            for lower in handles.iter().filter(|h| h.service.priority < prio) {
+                let headroom =
+                    powers[lower.server_id as usize].saturating_sub(lower.service.sla_min_cap);
+                let taken = cut_of(lower.server_id).unwrap_or(Power::ZERO);
+                prop_assert!(
+                    (headroom - taken).as_watts() < 1e-6,
+                    "server {} (prio {}) cut while {} (prio {}) kept {} headroom",
+                    c.server_id,
+                    prio,
+                    lower.server_id,
+                    lower.service.priority,
+                    headroom - taken
+                );
+            }
+        }
+    }
+
+    /// Duplicate-free output: each server receives at most one cut.
+    #[test]
+    fn at_most_one_cut_per_server(
+        (handles, powers) in fleet_strategy(),
+        cut_w in 0.0f64..10_000.0,
+    ) {
+        let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
+        let mut ids: Vec<u32> = cuts.iter().map(|c| c.server_id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    /// Three-band decisions are exhaustive and consistent: capping only
+    /// above the threshold, uncapping only below the uncap band with
+    /// active caps, and the requested cut lands exactly on the target.
+    #[test]
+    fn three_band_consistency(
+        total_frac in 0.0f64..1.5,
+        caps_active in any::<bool>(),
+    ) {
+        let limit = watts(100_000.0);
+        let bands = ThreeBandConfig::default();
+        let total = limit * total_frac;
+        match three_band_decision(total, limit, bands, caps_active) {
+            BandDecision::Cap { total_cut } => {
+                prop_assert!(total_frac >= bands.capping_threshold);
+                prop_assert!(((total - total_cut) - bands.target_power(limit)).abs().as_watts() < 1e-6);
+            }
+            BandDecision::Uncap => {
+                prop_assert!(caps_active);
+                prop_assert!(total_frac <= bands.uncapping_threshold);
+            }
+            BandDecision::Hold => {
+                prop_assert!(
+                    total_frac < bands.capping_threshold
+                        && (!caps_active || total_frac > bands.uncapping_threshold)
+                );
+            }
+        }
+    }
+
+    /// Hysteresis: for any power level there is no (cap, uncap) pair at
+    /// the same level — the bands never overlap.
+    #[test]
+    fn no_simultaneous_cap_and_uncap(total_frac in 0.0f64..1.5) {
+        let limit = watts(50_000.0);
+        let bands = ThreeBandConfig::default();
+        let total = limit * total_frac;
+        let with_caps = three_band_decision(total, limit, bands, true);
+        let without = three_band_decision(total, limit, bands, false);
+        let caps = matches!(without, BandDecision::Cap { .. });
+        let uncaps = matches!(with_caps, BandDecision::Uncap);
+        prop_assert!(!(caps && uncaps), "bands overlap at {total_frac}");
+    }
+}

@@ -1,0 +1,241 @@
+//! `dynamo-sim` — run a simulated datacenter under the Dynamo control
+//! plane from the command line.
+//!
+//! ```text
+//! dynamo-sim [--sbs N] [--rpps N] [--racks N] [--servers N]
+//!            [--rpp-kw KW] [--sb-kw KW] [--service NAME] [--traffic X]
+//!            [--minutes N] [--seed N] [--threads N]
+//!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
+//! ```
+//!
+//! Example — an oversubscribed web row that Dynamo must hold:
+//!
+//! ```text
+//! dynamo-sim --rpps 1 --racks 2 --servers 20 --rpp-kw 11 --traffic 1.7
+//! ```
+
+use dcsim::SimDuration;
+use dynamo::{DatacenterBuilder, RunReport};
+use powerinfra::Power;
+use serverpower::ServerGeneration;
+use workloads::{ServiceKind, TrafficPattern};
+
+#[derive(Debug)]
+struct Args {
+    sbs: usize,
+    rpps: usize,
+    racks: usize,
+    servers: usize,
+    rpp_kw: Option<f64>,
+    sb_kw: Option<f64>,
+    service: ServiceKind,
+    generation: ServerGeneration,
+    traffic: f64,
+    minutes: u64,
+    seed: u64,
+    threads: usize,
+    capping: bool,
+    dry_run: bool,
+    turbo: bool,
+    report_every: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sbs: 1,
+            rpps: 2,
+            racks: 2,
+            servers: 20,
+            rpp_kw: None,
+            sb_kw: None,
+            service: ServiceKind::Web,
+            generation: ServerGeneration::Haswell2015,
+            traffic: 1.2,
+            minutes: 10,
+            seed: 0,
+            threads: 1,
+            capping: true,
+            dry_run: false,
+            turbo: false,
+            report_every: 1,
+        }
+    }
+}
+
+fn parse_service(name: &str) -> Result<ServiceKind, String> {
+    ServiceKind::all()
+        .into_iter()
+        .find(|k| k.label() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = ServiceKind::all().iter().map(|k| k.label()).collect();
+            format!("unknown service '{name}'; one of: {}", names.join(", "))
+        })
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+        it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("invalid value '{v}' for {flag}"))
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sbs" => args.sbs = num(value(&mut it, flag)?, flag)?,
+            "--rpps" => args.rpps = num(value(&mut it, flag)?, flag)?,
+            "--racks" => args.racks = num(value(&mut it, flag)?, flag)?,
+            "--servers" => args.servers = num(value(&mut it, flag)?, flag)?,
+            "--rpp-kw" => args.rpp_kw = Some(num(value(&mut it, flag)?, flag)?),
+            "--sb-kw" => args.sb_kw = Some(num(value(&mut it, flag)?, flag)?),
+            "--service" => args.service = parse_service(value(&mut it, flag)?)?,
+            "--generation" => {
+                let v = value(&mut it, flag)?;
+                args.generation = ServerGeneration::from_label(v)
+                    .ok_or_else(|| format!("unknown generation '{v}'"))?;
+            }
+            "--traffic" => args.traffic = num(value(&mut it, flag)?, flag)?,
+            "--minutes" => args.minutes = num(value(&mut it, flag)?, flag)?,
+            "--seed" => args.seed = num(value(&mut it, flag)?, flag)?,
+            "--threads" => args.threads = num(value(&mut it, flag)?, flag)?,
+            "--report-every" => args.report_every = num(value(&mut it, flag)?, flag)?,
+            "--no-capping" => args.capping = false,
+            "--dry-run" => args.dry_run = true,
+            "--turbo" => args.turbo = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if args.minutes == 0 || args.report_every == 0 {
+        return Err("--minutes and --report-every must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() -> &'static str {
+    "dynamo-sim: simulate a datacenter under the Dynamo power control plane\n\
+     \n\
+     topology:  --sbs N --rpps N --racks N --servers N (per rack)\n\
+     ratings:   --rpp-kw KW --sb-kw KW (defaults: OCP 190 kW / 1.25 MW)\n\
+     workload:  --service web|cache|hadoop|database|newsfeed|f4storage\n\
+     \x20          --generation westmere2011|sandybridge2012|ivybridge2013|haswell2015\n\
+     \x20          --traffic X (multiplier, 1.0 = nominal) --turbo\n\
+     run:       --minutes N --seed N --threads N --report-every N\n\
+     modes:     --no-capping (monitor only) --dry-run (decide, don't act)"
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    let mut builder = DatacenterBuilder::new()
+        .sbs_per_msb(args.sbs)
+        .rpps_per_sb(args.rpps)
+        .racks_per_rpp(args.racks)
+        .servers_per_rack(args.servers)
+        .uniform_service(args.service)
+        .generation(args.generation)
+        .traffic(args.service, TrafficPattern::flat(args.traffic))
+        .capping_enabled(args.capping)
+        .dry_run(args.dry_run)
+        .worker_threads(args.threads)
+        .seed(args.seed);
+    if let Some(kw) = args.rpp_kw {
+        builder = builder.rpp_rating(Power::from_kilowatts(kw));
+    }
+    if let Some(kw) = args.sb_kw {
+        builder = builder.sb_rating(Power::from_kilowatts(kw));
+    }
+    if args.turbo {
+        builder = builder.turbo(args.service);
+    }
+    let mut dc = builder.build();
+
+    println!(
+        "dynamo-sim: {} {} servers, capping={}, dry_run={}, {} min at seed {}\n",
+        dc.fleet().len(),
+        args.service.label(),
+        args.capping,
+        args.dry_run,
+        args.minutes,
+        args.seed
+    );
+    for m in 1..=args.minutes {
+        dc.run_for(SimDuration::from_mins(1));
+        if m % args.report_every == 0 {
+            let stats = dc.fleet().stats();
+            println!(
+                "t={m:>4} min  power {:>9.2} kW  capped {:>4}  trips {}  alerts {}",
+                stats.total_power.as_kilowatts(),
+                stats.capped_servers,
+                dc.telemetry().breaker_trips().len(),
+                dc.system().alerts().len()
+            );
+        }
+    }
+    println!("\n{}", RunReport::from_datacenter(&dc));
+    if !RunReport::from_datacenter(&dc).is_healthy() {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_apply_with_no_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.servers, 20);
+        assert!(a.capping);
+        assert!(!a.dry_run);
+        assert_eq!(a.service, ServiceKind::Web);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let a = parse(&[
+            "--sbs", "2", "--rpps", "3", "--racks", "4", "--servers", "10", "--rpp-kw", "12.5",
+            "--service", "hadoop", "--generation", "westmere2011", "--traffic", "1.5",
+            "--minutes", "30", "--seed", "9", "--threads", "4", "--no-capping", "--turbo",
+        ])
+        .unwrap();
+        assert_eq!((a.sbs, a.rpps, a.racks, a.servers), (2, 3, 4, 10));
+        assert_eq!(a.rpp_kw, Some(12.5));
+        assert_eq!(a.service, ServiceKind::Hadoop);
+        assert_eq!(a.generation, ServerGeneration::Westmere2011);
+        assert!(!a.capping && a.turbo);
+        assert_eq!(a.threads, 4);
+    }
+
+    #[test]
+    fn unknown_flag_and_missing_value_error() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--servers"]).is_err());
+        assert!(parse(&["--servers", "lots"]).is_err());
+        assert!(parse(&["--service", "excel"]).is_err());
+        assert!(parse(&["--minutes", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_is_signalled() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+        assert!(usage().contains("--no-capping"));
+    }
+}

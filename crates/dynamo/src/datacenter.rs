@@ -1,0 +1,253 @@
+//! The end-to-end datacenter simulation.
+
+use dcsim::{SimDuration, SimTime};
+use powerinfra::{BreakerStatus, DeviceId, Power, Topology};
+use workloads::ServiceKind;
+
+use crate::fleet::Fleet;
+use crate::system::DynamoSystem;
+use crate::telemetry::{BreakerEvent, Telemetry};
+use crate::validator::BreakerValidator;
+
+/// A running datacenter: topology + fleet + control plane + telemetry,
+/// advanced by a fixed simulation tick.
+///
+/// Construct one with [`crate::DatacenterBuilder`]. Each [`Datacenter::step`]:
+///
+/// 1. advances workloads and server physics by one tick,
+/// 2. aggregates subtree power and steps every breaker's thermal model
+///    (a trip blacks out the subtree until [`Datacenter::reset_breaker`]),
+/// 3. runs any controller cycles due (3 s leaves, 9 s uppers),
+/// 4. records telemetry samples on the 3 s grid.
+pub struct Datacenter {
+    topo: Topology,
+    fleet: Fleet,
+    system: DynamoSystem,
+    telemetry: Telemetry,
+    now: SimTime,
+    tick: SimDuration,
+    /// Servers fed by each device, cached by device index.
+    subtree: Vec<Vec<u32>>,
+    /// Device ids in index order.
+    device_ids: Vec<DeviceId>,
+    /// Devices with telemetry traces.
+    watched: Vec<DeviceId>,
+    /// Last observed breaker status per device index.
+    breaker_status: Vec<BreakerStatus>,
+    /// Cross-validation of controller aggregates against coarse breaker
+    /// readings (§VI).
+    validator: BreakerValidator,
+    /// Worker threads for fleet physics (1 = serial).
+    worker_threads: usize,
+}
+
+impl Datacenter {
+    pub(crate) fn assemble(
+        topo: Topology,
+        fleet: Fleet,
+        system: DynamoSystem,
+        telemetry: Telemetry,
+        watched: Vec<DeviceId>,
+        tick: SimDuration,
+        validator: BreakerValidator,
+    ) -> Self {
+        let subtree: Vec<Vec<u32>> =
+            topo.iter().map(|d| topo.servers_under(d.id)).collect();
+        let device_ids: Vec<DeviceId> = topo.iter().map(|d| d.id).collect();
+        let breaker_status = vec![BreakerStatus::Nominal; topo.device_count()];
+        Datacenter {
+            topo,
+            fleet,
+            system,
+            telemetry,
+            now: SimTime::ZERO,
+            tick,
+            subtree,
+            device_ids,
+            watched,
+            breaker_status,
+            validator,
+            worker_threads: 1,
+        }
+    }
+
+    /// Sets the number of worker threads used for fleet physics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_worker_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.worker_threads = threads;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation tick.
+    pub fn tick_interval(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// The power topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The server fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Mutable fleet access (changing traffic patterns or failure rates
+    /// mid-run).
+    pub fn fleet_mut(&mut self) -> &mut Fleet {
+        &mut self.fleet
+    }
+
+    /// The control plane.
+    pub fn system(&self) -> &DynamoSystem {
+        &self.system
+    }
+
+    /// Mutable control-plane access (failing primaries in experiments).
+    pub fn system_mut(&mut self) -> &mut DynamoSystem {
+        &mut self.system
+    }
+
+    /// The telemetry store.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// True power currently flowing through `device` (sum of subtree
+    /// servers).
+    pub fn device_power(&self, device: DeviceId) -> Power {
+        self.fleet.power_sum(&self.subtree[device.index()])
+    }
+
+    /// Power through `device` attributable to one service (Figure 15's
+    /// breakdown view).
+    pub fn service_power(&self, device: DeviceId, kind: ServiceKind) -> Power {
+        self.fleet.power_sum_of_service(&self.subtree[device.index()], kind)
+    }
+
+    /// Number of servers currently capped under `device`.
+    pub fn capped_under(&self, device: DeviceId) -> usize {
+        self.subtree[device.index()]
+            .iter()
+            .filter(|&&s| self.fleet.agent(s).current_cap().is_some())
+            .count()
+    }
+
+    /// Mean performance factor of the servers under `device`.
+    pub fn performance_under(&self, device: DeviceId) -> f64 {
+        self.fleet.mean_performance(&self.subtree[device.index()])
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Workloads and server physics.
+        if self.worker_threads > 1 {
+            self.fleet.step_parallel(now, self.tick, self.worker_threads);
+        } else {
+            self.fleet.step(now, self.tick);
+        }
+
+        // 2. Breaker thermal models over true subtree power.
+        for i in 0..self.device_ids.len() {
+            let id = self.device_ids[i];
+            let draw = self.fleet.power_sum(&self.subtree[i]);
+            let status = self.topo.device_mut(id).breaker.step(draw, self.tick);
+            if status != self.breaker_status[i] {
+                self.breaker_status[i] = status;
+                self.telemetry.record_breaker_event(BreakerEvent { at: now, device: id, status });
+                if status == BreakerStatus::Tripped {
+                    // A tripped breaker blacks out everything below it.
+                    for &s in &self.subtree[i] {
+                        self.fleet.agent_mut(s).server_mut().set_alive(false);
+                    }
+                }
+            }
+        }
+
+        // 3. Controller cycles.
+        let events = self.system.tick(now, &mut self.fleet);
+        self.telemetry.record_controller_events(events);
+
+        // 4. Breaker-reading cross-validation (1-minute cadence, §VI):
+        // compare each leaf controller's aggregate against the coarse
+        // metered power at its breaker.
+        if self.validator.due(now) {
+            for &dev in self.system.leaf_devices().to_vec().iter() {
+                if let Some(aggregate) = self.system.leaf_aggregate(dev) {
+                    let true_power = self.fleet.power_sum(&self.subtree[dev.index()]);
+                    self.validator.observe(now, dev, true_power, aggregate);
+                }
+            }
+            self.validator.advance(now);
+        }
+
+        // 5. Telemetry sampling.
+        if self.telemetry.sample_due(now) {
+            let watched: Vec<(DeviceId, Power)> = self
+                .watched
+                .iter()
+                .map(|&d| (d, self.fleet.power_sum(&self.subtree[d.index()])))
+                .collect();
+            let stats = self.fleet.stats();
+            self.telemetry.record_sample(now, &watched, stats.capped_servers, stats.total_power);
+        }
+
+        self.now += self.tick;
+    }
+
+    /// Runs the simulation for a duration.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let steps = duration.as_millis() / self.tick.as_millis();
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs until the clock reaches `deadline` (no-op if already past).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.now < deadline {
+            self.step();
+        }
+    }
+
+    /// The breaker-reading validator (§VI): correction factors and
+    /// aggregation-mismatch alerts.
+    pub fn validator(&self) -> &BreakerValidator {
+        &self.validator
+    }
+
+    /// Operator action after an outage: resets `device`'s breaker and
+    /// powers its subtree back on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not part of this topology.
+    pub fn reset_breaker(&mut self, device: DeviceId) {
+        self.topo.device_mut(device).breaker.reset();
+        self.breaker_status[device.index()] = BreakerStatus::Nominal;
+        for &s in &self.subtree[device.index()] {
+            self.fleet.agent_mut(s).server_mut().set_alive(true);
+        }
+    }
+}
+
+impl std::fmt::Debug for Datacenter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Datacenter")
+            .field("now", &self.now)
+            .field("servers", &self.fleet.len())
+            .field("devices", &self.topo.device_count())
+            .finish()
+    }
+}

@@ -1,0 +1,449 @@
+//! The simulated server fleet: agents, workloads, failures.
+
+use std::collections::HashMap;
+
+use dcsim::{SimDuration, SimRng, SimTime};
+use dynamo_agent::Agent;
+use powerinfra::Power;
+use serverpower::{Server, ServerConfig};
+use workloads::{ServiceKind, ServiceWorkload, TrafficPattern};
+
+/// Aggregate fleet statistics at an instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetStats {
+    /// Servers currently under a RAPL cap.
+    pub capped_servers: usize,
+    /// Servers whose agent process is down.
+    pub agents_down: usize,
+    /// Total true power of all servers.
+    pub total_power: Power,
+}
+
+/// Every server in the datacenter: its [`Agent`] (which owns the
+/// [`Server`] model), its service assignment, its utilization process,
+/// and fleet-level failure injection.
+pub struct Fleet {
+    agents: Vec<Agent>,
+    services: Vec<ServiceKind>,
+    generators: Vec<ServiceWorkload>,
+    /// Per-service traffic patterns; services without an entry see
+    /// constant nominal traffic.
+    traffic: HashMap<ServiceKind, TrafficPattern>,
+    /// Optional static utilization clamp per service (the pre-Dynamo
+    /// baseline for the search cluster in §IV-D: "all servers ... were
+    /// required to limit their clock frequency").
+    static_util_caps: HashMap<ServiceKind, f64>,
+    /// Probability per server-hour of an agent crash.
+    crash_rate_per_hour: f64,
+    /// Watchdog restart delay.
+    watchdog_delay: SimDuration,
+    /// Crashed agents pending restart: (server, restart time).
+    pending_restarts: Vec<(u32, SimTime)>,
+    rng: SimRng,
+}
+
+impl Fleet {
+    /// Assembles a fleet. `configs[i]` and `services[i]` describe server
+    /// `i`; workload processes get independent RNG streams from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` and `services` differ in length or are empty.
+    pub fn new(configs: Vec<ServerConfig>, services: Vec<ServiceKind>, mut rng: SimRng) -> Self {
+        assert_eq!(configs.len(), services.len(), "configs/services length mismatch");
+        assert!(!configs.is_empty(), "fleet cannot be empty");
+        let mut agents = Vec::with_capacity(configs.len());
+        let mut generators = Vec::with_capacity(configs.len());
+        let mut agent_rng = rng.split("agents");
+        let mut wl_rng = rng.split("workloads");
+        for (i, (config, &service)) in configs.into_iter().zip(&services).enumerate() {
+            let server = Server::new(i as u32, config);
+            agents.push(Agent::new(server, agent_rng.split_index(i as u64)));
+            generators.push(ServiceWorkload::new(service, wl_rng.split_index(i as u64)));
+        }
+        Fleet {
+            agents,
+            services,
+            generators,
+            traffic: HashMap::new(),
+            static_util_caps: HashMap::new(),
+            crash_rate_per_hour: 0.0,
+            watchdog_delay: SimDuration::from_secs(30),
+            pending_restarts: Vec::new(),
+            rng: rng.split("fleet-events"),
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Always false — construction rejects empty fleets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sets the traffic pattern for a service.
+    pub fn set_traffic(&mut self, kind: ServiceKind, pattern: TrafficPattern) {
+        self.traffic.insert(kind, pattern);
+    }
+
+    /// Applies a static utilization clamp to every server of a service
+    /// (the frequency-limit baseline of §IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is outside `(0, 1]`.
+    pub fn set_static_util_cap(&mut self, kind: ServiceKind, cap: Option<f64>) {
+        if let Some(c) = cap {
+            assert!(c > 0.0 && c <= 1.0, "static util cap must be in (0,1], got {c}");
+            self.static_util_caps.insert(kind, c);
+        } else {
+            self.static_util_caps.remove(&kind);
+        }
+    }
+
+    /// Enables agent crash injection at the given rate (per server-hour).
+    pub fn set_crash_rate(&mut self, per_hour: f64) {
+        assert!(per_hour >= 0.0 && per_hour.is_finite(), "invalid crash rate {per_hour}");
+        self.crash_rate_per_hour = per_hour;
+    }
+
+    /// The service running on server `sid`.
+    pub fn service_of(&self, sid: u32) -> ServiceKind {
+        self.services[sid as usize]
+    }
+
+    /// The agent (and host) of server `sid`.
+    pub fn agent(&self, sid: u32) -> &Agent {
+        &self.agents[sid as usize]
+    }
+
+    /// Mutable agent access (the controller RPC path goes through this).
+    pub fn agent_mut(&mut self, sid: u32) -> &mut Agent {
+        &mut self.agents[sid as usize]
+    }
+
+    /// The true (physics) power of server `sid` right now.
+    pub fn power_of(&self, sid: u32) -> Power {
+        self.agents[sid as usize].server().power()
+    }
+
+    /// Sum of true power over a set of servers.
+    pub fn power_sum(&self, sids: &[u32]) -> Power {
+        sids.iter().map(|&s| self.power_of(s)).sum()
+    }
+
+    /// Sum of true power over a set of servers, restricted to one
+    /// service (Figure 15's per-service breakdown).
+    pub fn power_sum_of_service(&self, sids: &[u32], kind: ServiceKind) -> Power {
+        sids.iter()
+            .filter(|&&s| self.services[s as usize] == kind)
+            .map(|&s| self.power_of(s))
+            .sum()
+    }
+
+    /// Advances every server by one tick: samples traffic, draws demand
+    /// from each workload process, applies static clamps, steps server
+    /// physics, and processes agent crash/restart events.
+    pub fn step(&mut self, now: SimTime, dt: SimDuration) {
+        let mults = self.traffic_multipliers(now);
+        for i in 0..self.agents.len() {
+            let kind = self.services[i];
+            advance_one(
+                &mut self.agents[i],
+                &mut self.generators[i],
+                kind,
+                mults[&kind],
+                &self.static_util_caps,
+                now,
+                dt,
+            );
+        }
+        self.process_failures(now, dt);
+    }
+
+    /// Like [`Fleet::step`] but advances servers on `threads` worker
+    /// threads. Per-server workload processes own independent RNG
+    /// streams, so the result is bit-identical to the serial path —
+    /// this mirrors the production deployment where one consolidated
+    /// binary runs ~100 controller/agent threads (§IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or a worker thread panics.
+    pub fn step_parallel(&mut self, now: SimTime, dt: SimDuration, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        if threads == 1 || self.agents.len() < 64 {
+            return self.step(now, dt);
+        }
+        let mults = self.traffic_multipliers(now);
+        let caps = &self.static_util_caps;
+        let chunk = self.agents.len().div_ceil(threads);
+        let services = &self.services;
+        let agents = &mut self.agents;
+        let generators = &mut self.generators;
+        crossbeam::thread::scope(|scope| {
+            for ((agent_chunk, gen_chunk), svc_chunk) in agents
+                .chunks_mut(chunk)
+                .zip(generators.chunks_mut(chunk))
+                .zip(services.chunks(chunk))
+            {
+                let mults = &mults;
+                scope.spawn(move |_| {
+                    for ((agent, generator), &kind) in
+                        agent_chunk.iter_mut().zip(gen_chunk).zip(svc_chunk)
+                    {
+                        advance_one(agent, generator, kind, mults[&kind], caps, now, dt);
+                    }
+                });
+            }
+        })
+        .expect("fleet worker panicked");
+        self.process_failures(now, dt);
+    }
+
+    fn traffic_multipliers(&self, now: SimTime) -> HashMap<ServiceKind, f64> {
+        ServiceKind::all()
+            .into_iter()
+            .map(|kind| (kind, self.traffic.get(&kind).map_or(1.0, |p| p.multiplier(now))))
+            .collect()
+    }
+
+    /// Failure injection: crashes are per-server Poisson events; the
+    /// watchdog restarts agents after a fixed delay (§III-E).
+    fn process_failures(&mut self, now: SimTime, dt: SimDuration) {
+        if self.crash_rate_per_hour > 0.0 {
+            let p = self.crash_rate_per_hour * dt.as_secs_f64() / 3600.0;
+            for i in 0..self.agents.len() {
+                if self.agents[i].is_running() && self.rng.chance(p) {
+                    self.agents[i].crash();
+                    self.pending_restarts.push((i as u32, now + self.watchdog_delay));
+                }
+            }
+        }
+        let due: Vec<u32> = self
+            .pending_restarts
+            .iter()
+            .filter(|&&(_, t)| t <= now)
+            .map(|&(s, _)| s)
+            .collect();
+        self.pending_restarts.retain(|&(_, t)| t > now);
+        for s in due {
+            self.agents[s as usize].restart();
+        }
+    }
+
+    /// Mean performance factor over a set of servers (1.0 = turbo-off
+    /// uncapped baseline).
+    pub fn mean_performance(&self, sids: &[u32]) -> f64 {
+        if sids.is_empty() {
+            return f64::NAN;
+        }
+        sids.iter().map(|&s| self.agents[s as usize].server().performance_factor()).sum::<f64>()
+            / sids.len() as f64
+    }
+
+    /// Instantaneous fleet statistics.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            capped_servers: self.agents.iter().filter(|a| a.current_cap().is_some()).count(),
+            agents_down: self.agents.iter().filter(|a| !a.is_running()).count(),
+            total_power: self.agents.iter().map(|a| a.server().power()).sum(),
+        }
+    }
+
+    /// Iterates `(server_id, service)` pairs.
+    pub fn iter_services(&self) -> impl Iterator<Item = (u32, ServiceKind)> + '_ {
+        self.services.iter().enumerate().map(|(i, &k)| (i as u32, k))
+    }
+}
+
+/// Advances one server: workload draw, static clamp, physics step.
+fn advance_one(
+    agent: &mut Agent,
+    generator: &mut ServiceWorkload,
+    kind: ServiceKind,
+    traffic_mult: f64,
+    static_caps: &HashMap<ServiceKind, f64>,
+    now: SimTime,
+    dt: SimDuration,
+) {
+    let mut util = generator.utilization(now, traffic_mult, dt);
+    if let Some(&cap) = static_caps.get(&kind) {
+        util = util.min(cap);
+    }
+    let server = agent.server_mut();
+    server.set_demand(util);
+    server.step(dt);
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("servers", &self.agents.len())
+            .field("crash_rate_per_hour", &self.crash_rate_per_hour)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serverpower::ServerGeneration;
+
+    fn small_fleet(n: usize, kind: ServiceKind) -> Fleet {
+        let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); n];
+        let services = vec![kind; n];
+        Fleet::new(configs, services, SimRng::seed_from(11))
+    }
+
+    fn run(fleet: &mut Fleet, secs: u64) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for _ in 0..secs {
+            fleet.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        t
+    }
+
+    #[test]
+    fn servers_draw_power_after_stepping() {
+        let mut fleet = small_fleet(8, ServiceKind::Web);
+        run(&mut fleet, 10);
+        for i in 0..8 {
+            assert!(fleet.power_of(i).as_watts() > 90.0, "server {i} idle");
+        }
+        let total = fleet.stats().total_power;
+        assert!((total - fleet.power_sum(&(0..8).collect::<Vec<_>>())).abs().as_watts() < 1e-9);
+    }
+
+    #[test]
+    fn per_service_power_split_sums_to_total() {
+        let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); 6];
+        let services = vec![
+            ServiceKind::Web,
+            ServiceKind::Web,
+            ServiceKind::Cache,
+            ServiceKind::Cache,
+            ServiceKind::NewsFeed,
+            ServiceKind::NewsFeed,
+        ];
+        let mut fleet = Fleet::new(configs, services, SimRng::seed_from(3));
+        run(&mut fleet, 10);
+        let all: Vec<u32> = (0..6).collect();
+        let split: Power = [ServiceKind::Web, ServiceKind::Cache, ServiceKind::NewsFeed]
+            .iter()
+            .map(|&k| fleet.power_sum_of_service(&all, k))
+            .sum();
+        assert!((split - fleet.power_sum(&all)).abs().as_watts() < 1e-9);
+    }
+
+    #[test]
+    fn static_util_cap_lowers_power() {
+        let mut capped = small_fleet(10, ServiceKind::Hadoop);
+        capped.set_static_util_cap(ServiceKind::Hadoop, Some(0.3));
+        run(&mut capped, 30);
+        let mut free = small_fleet(10, ServiceKind::Hadoop);
+        run(&mut free, 30);
+        assert!(
+            capped.stats().total_power < free.stats().total_power * 0.85,
+            "clamp had no effect: {} vs {}",
+            capped.stats().total_power,
+            free.stats().total_power
+        );
+    }
+
+    #[test]
+    fn traffic_pattern_modulates_demand() {
+        let mut fleet = small_fleet(10, ServiceKind::Web);
+        fleet.set_traffic(ServiceKind::Web, TrafficPattern::flat(0.4));
+        run(&mut fleet, 30);
+        let low = fleet.stats().total_power;
+        let mut busy = small_fleet(10, ServiceKind::Web);
+        busy.set_traffic(ServiceKind::Web, TrafficPattern::flat(1.3));
+        run(&mut busy, 30);
+        assert!(busy.stats().total_power > low * 1.1);
+    }
+
+    #[test]
+    fn crashes_and_watchdog_restarts() {
+        let mut fleet = small_fleet(50, ServiceKind::Web);
+        fleet.set_crash_rate(3600.0); // ~1 per server-second: crash storm
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            fleet.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        assert!(fleet.stats().agents_down > 0, "no crashes observed");
+        // Stop crashing; watchdog (30 s) brings everyone back.
+        fleet.set_crash_rate(0.0);
+        for _ in 0..40 {
+            fleet.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        assert_eq!(fleet.stats().agents_down, 0, "watchdog failed to restart agents");
+    }
+
+    #[test]
+    fn capped_server_count_tracks_rapl() {
+        let mut fleet = small_fleet(4, ServiceKind::Web);
+        run(&mut fleet, 5);
+        assert_eq!(fleet.stats().capped_servers, 0);
+        fleet.agent_mut(2).server_mut().rapl_mut().set_limit(Power::from_watts(150.0));
+        assert_eq!(fleet.stats().capped_servers, 1);
+    }
+
+    #[test]
+    fn parallel_step_matches_serial() {
+        let build = || {
+            let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); 200];
+            let services: Vec<ServiceKind> = (0..200)
+                .map(|i| ServiceKind::all()[i % 6])
+                .collect();
+            Fleet::new(configs, services, SimRng::seed_from(77))
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        let mut t = SimTime::ZERO;
+        for _ in 0..30 {
+            serial.step(t, SimDuration::from_secs(1));
+            parallel.step_parallel(t, SimDuration::from_secs(1), 4);
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            assert_eq!(
+                serial.power_of(i).as_watts(),
+                parallel.power_of(i).as_watts(),
+                "server {i} diverged between serial and parallel stepping"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        small_fleet(100, ServiceKind::Web).step_parallel(
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_construction_panics() {
+        Fleet::new(
+            vec![ServerConfig::new(ServerGeneration::Haswell2015)],
+            vec![],
+            SimRng::seed_from(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "static util cap")]
+    fn invalid_static_cap_panics() {
+        small_fleet(1, ServiceKind::Web).set_static_util_cap(ServiceKind::Web, Some(0.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Operator-facing run reports.
+//!
+//! §VI stresses that "monitoring is as important as capping"; this
+//! module condenses a run's telemetry into the summary an operator
+//! would read: utilization per level, control actions, trips, alerts.
+
+use powerinfra::DeviceLevel;
+
+use crate::datacenter::Datacenter;
+use crate::system::ControllerEventKind;
+
+/// Aggregated statistics for one hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSummary {
+    /// The level.
+    pub level: DeviceLevel,
+    /// Devices at this level.
+    pub devices: usize,
+    /// Mean utilization of rated power across devices (now).
+    pub mean_utilization: f64,
+    /// The most loaded device's utilization (now).
+    pub peak_utilization: f64,
+}
+
+/// A condensed report over a [`Datacenter`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Simulated time covered.
+    pub simulated: dcsim::SimTime,
+    /// Fleet size.
+    pub servers: usize,
+    /// Per-level utilization snapshot.
+    pub levels: Vec<LevelSummary>,
+    /// Leaf capping events.
+    pub leaf_cap_events: usize,
+    /// Leaf uncapping events.
+    pub leaf_uncap_events: usize,
+    /// Upper-tier contract pushes.
+    pub upper_cap_events: usize,
+    /// Invalid-aggregation incidents.
+    pub invalid_aggregations: usize,
+    /// Controller failovers.
+    pub failovers: u64,
+    /// Breaker trips (potential outages).
+    pub breaker_trips: usize,
+    /// Operator alerts (controller + validation).
+    pub alerts: usize,
+    /// Servers currently capped.
+    pub currently_capped: usize,
+}
+
+impl RunReport {
+    /// Builds the report from a datacenter's current state.
+    pub fn from_datacenter(dc: &Datacenter) -> Self {
+        let mut levels = Vec::new();
+        for level in DeviceLevel::all() {
+            let devices = dc.topology().devices_at(level);
+            if devices.is_empty() {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut peak = 0.0f64;
+            for &d in &devices {
+                let util = dc.device_power(d).ratio_of(dc.topology().device(d).rating);
+                sum += util;
+                peak = peak.max(util);
+            }
+            levels.push(LevelSummary {
+                level,
+                devices: devices.len(),
+                mean_utilization: sum / devices.len() as f64,
+                peak_utilization: peak,
+            });
+        }
+
+        let mut leaf_cap_events = 0;
+        let mut leaf_uncap_events = 0;
+        let mut upper_cap_events = 0;
+        let mut invalid_aggregations = 0;
+        for e in dc.telemetry().controller_events() {
+            match e.kind {
+                ControllerEventKind::LeafCapped { .. } => leaf_cap_events += 1,
+                ControllerEventKind::LeafUncapped => leaf_uncap_events += 1,
+                ControllerEventKind::UpperCapped { .. } => upper_cap_events += 1,
+                ControllerEventKind::LeafInvalid { .. } => invalid_aggregations += 1,
+                _ => {}
+            }
+        }
+
+        RunReport {
+            simulated: dc.now(),
+            servers: dc.fleet().len(),
+            levels,
+            leaf_cap_events,
+            leaf_uncap_events,
+            upper_cap_events,
+            invalid_aggregations,
+            failovers: dc.system().failovers(),
+            breaker_trips: dc.telemetry().breaker_trips().len(),
+            alerts: dc.system().alerts().len() + dc.validator().alerts().len(),
+            currently_capped: dc.fleet().stats().capped_servers,
+        }
+    }
+
+    /// True when the run ended with no outages and no open incidents —
+    /// the state Dynamo exists to maintain.
+    pub fn is_healthy(&self) -> bool {
+        self.breaker_trips == 0 && self.invalid_aggregations == 0 && self.alerts == 0
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== Dynamo run report @ {} ({} servers) ===", self.simulated, self.servers)?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "{:<5} x{:<4} mean {:>5.1}% of rating, peak {:>5.1}%",
+                l.level.label(),
+                l.devices,
+                l.mean_utilization * 100.0,
+                l.peak_utilization * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "capping: {} leaf caps, {} uncaps, {} upper contracts; {} servers capped now",
+            self.leaf_cap_events, self.leaf_uncap_events, self.upper_cap_events, self.currently_capped
+        )?;
+        writeln!(
+            f,
+            "incidents: {} breaker trips, {} invalid aggregations, {} failovers, {} alerts",
+            self.breaker_trips, self.invalid_aggregations, self.failovers, self.alerts
+        )?;
+        writeln!(f, "healthy: {}", self.is_healthy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatacenterBuilder;
+    use dcsim::SimDuration;
+    use powerinfra::Power;
+    use workloads::{ServiceKind, TrafficPattern};
+
+    fn run_dc(rating_kw: f64) -> Datacenter {
+        let mut dc = DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(2)
+            .servers_per_rack(10)
+            .rpp_rating(Power::from_kilowatts(rating_kw))
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.6))
+            .seed(5)
+            .build();
+        dc.run_for(SimDuration::from_mins(3));
+        dc
+    }
+
+    #[test]
+    fn healthy_run_reports_healthy() {
+        let dc = run_dc(20.0); // ample headroom
+        let report = RunReport::from_datacenter(&dc);
+        assert!(report.is_healthy(), "{report}");
+        assert_eq!(report.servers, 20);
+        assert_eq!(report.breaker_trips, 0);
+        assert_eq!(report.levels.len(), 4);
+        for l in &report.levels {
+            assert!(l.peak_utilization >= l.mean_utilization);
+            assert!(l.mean_utilization > 0.0);
+        }
+    }
+
+    #[test]
+    fn capping_run_counts_events() {
+        let dc = run_dc(5.8); // tight: ~6.3 kW demand against 5.8 kW
+        let report = RunReport::from_datacenter(&dc);
+        assert!(report.leaf_cap_events > 0, "{report}");
+        assert_eq!(report.breaker_trips, 0);
+        // Utilization at the RPP should be pinned near (below) 100%.
+        let rpp = report.levels.iter().find(|l| l.level == DeviceLevel::Rpp).unwrap();
+        assert!(rpp.peak_utilization <= 1.02 && rpp.peak_utilization > 0.85);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let dc = run_dc(20.0);
+        let s = RunReport::from_datacenter(&dc).to_string();
+        for needle in ["run report", "MSB", "RPP", "capping:", "incidents:", "healthy:"] {
+            assert!(s.contains(needle), "missing {needle} in\n{s}");
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The deployed controller hierarchy.
+
+use std::collections::HashMap;
+
+use dcsim::{PeriodicSchedule, SimDuration, SimRng, SimTime};
+use dynamo_controller::{
+    ChildDirective, ChildReport, ControlAction, LeafConfig, LeafController, ServerHandle,
+    ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
+};
+use dynrpc::{LinkProfile, Network, RpcError};
+use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
+
+use crate::fleet::Fleet;
+
+/// Deployment configuration for the control plane.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Bands for leaf controllers.
+    pub leaf_bands: ThreeBandConfig,
+    /// Bands for upper controllers.
+    pub upper_bands: ThreeBandConfig,
+    /// Leaf pulling cycle (paper: 3 s).
+    pub leaf_interval: SimDuration,
+    /// Upper pulling cycle (paper: 9 s).
+    pub upper_interval: SimDuration,
+    /// Controller↔agent link characteristics.
+    pub rpc: LinkProfile,
+    /// Master switch: with capping disabled Dynamo only monitors —
+    /// the baseline configuration for "what if we had no Dynamo"
+    /// experiments.
+    pub capping_enabled: bool,
+    /// Constant non-server draw charged to every leaf device.
+    pub leaf_overhead: Power,
+    /// Dry-run mode (§VI): leaf controllers compute and log decisions
+    /// but never actuate.
+    pub dry_run: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            leaf_bands: ThreeBandConfig::default(),
+            upper_bands: ThreeBandConfig::default(),
+            leaf_interval: SimDuration::from_secs(3),
+            upper_interval: SimDuration::from_secs(9),
+            rpc: LinkProfile::datacenter(),
+            capping_enabled: true,
+            leaf_overhead: Power::ZERO,
+            dry_run: false,
+        }
+    }
+}
+
+/// A notable controller action, for telemetry and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The protected device.
+    pub device: DeviceId,
+    /// The controller's name.
+    pub controller: String,
+    /// What happened.
+    pub kind: ControllerEventKind,
+}
+
+/// The kinds of controller events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEventKind {
+    /// A leaf controller issued caps.
+    LeafCapped {
+        /// Aggregate power removed.
+        total_cut: Power,
+        /// Servers that received caps.
+        servers: usize,
+    },
+    /// A leaf controller released its caps.
+    LeafUncapped,
+    /// A leaf controller declared its aggregation invalid.
+    LeafInvalid {
+        /// Pull failures that triggered it.
+        failures: usize,
+    },
+    /// An upper controller pushed contractual limits.
+    UpperCapped {
+        /// Children that received contracts this cycle.
+        contracts: usize,
+    },
+    /// An upper controller cleared its contracts.
+    UpperUncapped,
+    /// The backup controller took over after a primary failure (§III-E).
+    Failover,
+}
+
+/// Which tier an upper controller's child belongs to.
+#[derive(Debug, Clone, Copy)]
+enum ChildRef {
+    Leaf(usize),
+    Upper(usize),
+}
+
+/// The full Dynamo control plane for one datacenter: a leaf controller
+/// per RPP and an upper controller per SB and MSB, mirroring §IV's
+/// production configuration ("we configure RPPs or PDU Breakers as the
+/// leaf controllers and skip rack-level power monitoring").
+pub struct DynamoSystem {
+    config: SystemConfig,
+    // Leaf tier (parallel arrays so cycles can split borrows).
+    leaf_devices: Vec<DeviceId>,
+    leaf_controllers: Vec<LeafController>,
+    leaf_networks: Vec<Network>,
+    leaf_last_aggregate: Vec<Power>,
+    leaf_primary_failed: Vec<bool>,
+    // Upper tier, ordered SBs first then MSBs (children before parents).
+    upper_devices: Vec<DeviceId>,
+    upper_controllers: Vec<UpperController>,
+    upper_children: Vec<Vec<ChildRef>>,
+    upper_last_total: Vec<Power>,
+    upper_primary_failed: Vec<bool>,
+    leaf_quotas: Vec<Power>,
+    upper_quotas: Vec<Power>,
+    leaf_index_of: HashMap<DeviceId, usize>,
+    upper_index_of: HashMap<DeviceId, usize>,
+    leaf_schedule: PeriodicSchedule,
+    upper_schedule: PeriodicSchedule,
+    failovers: u64,
+}
+
+impl DynamoSystem {
+    /// Builds the controller hierarchy for `topo`, using `service_of`
+    /// to fetch the controller-facing metadata of each server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no RPP devices.
+    pub fn build(
+        topo: &Topology,
+        service_of: &dyn Fn(u32) -> ServiceClass,
+        config: SystemConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let rpps = topo.devices_at(DeviceLevel::Rpp);
+        assert!(!rpps.is_empty(), "topology has no RPPs to protect");
+
+        let mut leaf_devices = Vec::new();
+        let mut leaf_controllers = Vec::new();
+        let mut leaf_networks = Vec::new();
+        let mut leaf_index_of = HashMap::new();
+        for rpp in rpps {
+            let dev = topo.device(rpp);
+            let servers: Vec<ServerHandle> = topo
+                .servers_under(rpp)
+                .into_iter()
+                .map(|sid| ServerHandle { server_id: sid, service: service_of(sid) })
+                .collect();
+            let leaf_config = LeafConfig {
+                physical_limit: dev.rating,
+                bands: config.leaf_bands,
+                poll_interval: config.leaf_interval,
+                bucket_width: Power::from_watts(20.0),
+                max_failure_frac: 0.20,
+                non_server_overhead: config.leaf_overhead,
+                dry_run: config.dry_run,
+            };
+            leaf_index_of.insert(rpp, leaf_controllers.len());
+            leaf_controllers.push(LeafController::new(dev.name.clone(), leaf_config, servers));
+            leaf_networks.push(Network::new(config.rpc, rng.split(&dev.name)));
+            leaf_devices.push(rpp);
+        }
+
+        // SB uppers over leaf children, then MSB uppers over SB uppers.
+        let mut upper_devices = Vec::new();
+        let mut upper_controllers = Vec::new();
+        let mut upper_children: Vec<Vec<ChildRef>> = Vec::new();
+        let mut upper_index_of = HashMap::new();
+        for sb in topo.devices_at(DeviceLevel::Sb) {
+            let dev = topo.device(sb);
+            let children: Vec<ChildRef> =
+                dev.children.iter().map(|c| ChildRef::Leaf(leaf_index_of[c])).collect();
+            if children.is_empty() {
+                continue;
+            }
+            upper_index_of.insert(sb, upper_controllers.len());
+            upper_controllers.push(UpperController::new(
+                dev.name.clone(),
+                UpperConfig {
+                    physical_limit: dev.rating,
+                    bands: config.upper_bands,
+                    poll_interval: config.upper_interval,
+                    bucket_width: dev.rating * 0.01,
+                    policy: dynamo_controller::CoordinationPolicy::PunishOffenderFirst,
+                },
+                children.len(),
+            ));
+            upper_children.push(children);
+            upper_devices.push(sb);
+        }
+        for msb in topo.devices_at(DeviceLevel::Msb) {
+            let dev = topo.device(msb);
+            let children: Vec<ChildRef> = dev
+                .children
+                .iter()
+                .filter_map(|c| upper_index_of.get(c).map(|&i| ChildRef::Upper(i)))
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            upper_index_of.insert(msb, upper_controllers.len());
+            upper_controllers.push(UpperController::new(
+                dev.name.clone(),
+                UpperConfig {
+                    physical_limit: dev.rating,
+                    bands: config.upper_bands,
+                    poll_interval: config.upper_interval,
+                    bucket_width: dev.rating * 0.01,
+                    policy: dynamo_controller::CoordinationPolicy::PunishOffenderFirst,
+                },
+                children.len(),
+            ));
+            upper_children.push(children);
+            upper_devices.push(msb);
+        }
+
+        let n_leaves = leaf_devices.len();
+        let n_uppers = upper_devices.len();
+        let leaf_quotas: Vec<Power> =
+            leaf_devices.iter().map(|&d| topo.device(d).quota).collect();
+        let upper_quotas: Vec<Power> =
+            upper_devices.iter().map(|&d| topo.device(d).quota).collect();
+        DynamoSystem {
+            leaf_devices,
+            leaf_controllers,
+            leaf_networks,
+            leaf_last_aggregate: vec![Power::ZERO; n_leaves],
+            leaf_primary_failed: vec![false; n_leaves],
+            upper_devices,
+            upper_controllers,
+            upper_children,
+            upper_last_total: vec![Power::ZERO; n_uppers],
+            upper_primary_failed: vec![false; n_uppers],
+            leaf_quotas,
+            upper_quotas,
+            leaf_index_of,
+            upper_index_of,
+            leaf_schedule: PeriodicSchedule::new(config.leaf_interval),
+            upper_schedule: PeriodicSchedule::new(config.upper_interval),
+            config,
+            failovers: 0,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of leaf controllers.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_controllers.len()
+    }
+
+    /// Number of upper controllers.
+    pub fn upper_count(&self) -> usize {
+        self.upper_controllers.len()
+    }
+
+    /// The leaf controller protecting `device`, if any.
+    pub fn leaf_for(&self, device: DeviceId) -> Option<&LeafController> {
+        self.leaf_index_of.get(&device).map(|&i| &self.leaf_controllers[i])
+    }
+
+    /// The upper controller protecting `device`, if any.
+    pub fn upper_for(&self, device: DeviceId) -> Option<&UpperController> {
+        self.upper_index_of.get(&device).map(|&i| &self.upper_controllers[i])
+    }
+
+    /// The last aggregated power the leaf controller for `device`
+    /// computed, if the device has one.
+    pub fn leaf_aggregate(&self, device: DeviceId) -> Option<Power> {
+        self.leaf_index_of.get(&device).map(|&i| self.leaf_last_aggregate[i])
+    }
+
+    /// All leaf-protected devices, in build order.
+    pub fn leaf_devices(&self) -> &[DeviceId] {
+        &self.leaf_devices
+    }
+
+    /// §VI staged rollout: "we use a four-phase staged roll-out for new
+    /// changes to the agent or control logic, so any serious issues will
+    /// be captured in early phases before going wide."
+    ///
+    /// Phase 1 activates capping on ~1% of leaf controllers (at least
+    /// one), phase 2 on 10%, phase 3 on 50%, phase 4 on all; the rest
+    /// run in dry-run mode — deciding and logging without actuating.
+    /// Returns the number of active (non-dry-run) leaf controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `phase` is 1–4.
+    pub fn set_rollout_phase(&mut self, phase: u8) -> usize {
+        assert!((1..=4).contains(&phase), "rollout phase must be 1-4, got {phase}");
+        let frac = match phase {
+            1 => 0.01,
+            2 => 0.10,
+            3 => 0.50,
+            _ => 1.0,
+        };
+        let n = self.leaf_controllers.len();
+        let active = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        for (i, leaf) in self.leaf_controllers.iter_mut().enumerate() {
+            leaf.set_dry_run(i >= active);
+        }
+        active
+    }
+
+    /// Operator override: pushes (or clears) a contractual limit on the
+    /// leaf controller protecting `device`. This is how production
+    /// end-to-end tests "manually trigger the power capping by lowering
+    /// the capping threshold during the test" (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leaf controller protects `device`.
+    pub fn set_leaf_contract(&mut self, device: DeviceId, limit: Option<Power>) {
+        let &i = self
+            .leaf_index_of
+            .get(&device)
+            .unwrap_or_else(|| panic!("no leaf controller protects {device}"));
+        self.leaf_controllers[i].set_contractual_limit(limit);
+    }
+
+    /// Total failovers so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Simulates a primary controller crash for `device`; the redundant
+    /// backup takes over at that controller's next cycle (§III-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller protects `device`.
+    pub fn fail_primary(&mut self, device: DeviceId) {
+        if let Some(&i) = self.leaf_index_of.get(&device) {
+            self.leaf_primary_failed[i] = true;
+        } else if let Some(&i) = self.upper_index_of.get(&device) {
+            self.upper_primary_failed[i] = true;
+        } else {
+            panic!("no controller protects {device}");
+        }
+    }
+
+    /// All alerts raised by any controller.
+    pub fn alerts(&self) -> Vec<dynamo_controller::Alert> {
+        let mut out = Vec::new();
+        for c in &self.leaf_controllers {
+            out.extend_from_slice(c.alerts());
+        }
+        for c in &self.upper_controllers {
+            out.extend_from_slice(c.alerts());
+        }
+        out
+    }
+
+    /// Runs any controller cycles due at `now`. Call once per simulation
+    /// tick; the system tracks its own 3 s / 9 s schedules.
+    pub fn tick(&mut self, now: SimTime, fleet: &mut Fleet) -> Vec<ControllerEvent> {
+        let mut events = Vec::new();
+        if self.leaf_schedule.fire(now) {
+            self.run_leaf_cycles(now, fleet, &mut events);
+        }
+        if self.upper_schedule.fire(now) && self.config.capping_enabled {
+            self.run_upper_cycles(now, &mut events);
+        }
+        events
+    }
+
+    fn run_leaf_cycles(
+        &mut self,
+        now: SimTime,
+        fleet: &mut Fleet,
+        events: &mut Vec<ControllerEvent>,
+    ) {
+        for i in 0..self.leaf_controllers.len() {
+            if self.leaf_primary_failed[i] {
+                // Backup takes over: one cycle of downtime, then the
+                // redundant instance (sharing the same decision state
+                // via its own polling) continues.
+                self.leaf_primary_failed[i] = false;
+                self.failovers += 1;
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.leaf_devices[i],
+                    controller: self.leaf_controllers[i].name().to_string(),
+                    kind: ControllerEventKind::Failover,
+                });
+                continue;
+            }
+            if !self.config.capping_enabled {
+                // Monitoring-only baseline: track the true aggregate so
+                // upper tiers and telemetry still see power.
+                let servers: Vec<u32> =
+                    self.leaf_controllers[i].servers().iter().map(|h| h.server_id).collect();
+                self.leaf_last_aggregate[i] = fleet.power_sum(&servers);
+                continue;
+            }
+            let network = &mut self.leaf_networks[i];
+            let controller = &mut self.leaf_controllers[i];
+            let outcome = controller.cycle(now, |sid, req| {
+                let agent = fleet.agent_mut(sid);
+                if !agent.is_running() {
+                    return Err(RpcError::AgentDown);
+                }
+                network.call(agent, req)
+            });
+            if let Some(total) = outcome.aggregated {
+                self.leaf_last_aggregate[i] = total;
+            }
+            let kind = match &outcome.action {
+                ControlAction::Capped { total_cut, commands } => Some(
+                    ControllerEventKind::LeafCapped {
+                        total_cut: *total_cut,
+                        servers: commands.len(),
+                    },
+                ),
+                ControlAction::Uncapped => Some(ControllerEventKind::LeafUncapped),
+                ControlAction::Invalid => {
+                    Some(ControllerEventKind::LeafInvalid { failures: outcome.pull_failures })
+                }
+                ControlAction::Hold => None,
+            };
+            if let Some(kind) = kind {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.leaf_devices[i],
+                    controller: self.leaf_controllers[i].name().to_string(),
+                    kind,
+                });
+            }
+        }
+    }
+
+    fn run_upper_cycles(&mut self, now: SimTime, events: &mut Vec<ControllerEvent>) {
+        // SBs were pushed before MSBs, so iterating in order runs
+        // children before parents and parents see fresh child totals.
+        for i in 0..self.upper_controllers.len() {
+            if self.upper_primary_failed[i] {
+                self.upper_primary_failed[i] = false;
+                self.failovers += 1;
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.upper_devices[i],
+                    controller: self.upper_controllers[i].name().to_string(),
+                    kind: ControllerEventKind::Failover,
+                });
+                continue;
+            }
+            let reports: Vec<ChildReport> = self.upper_children[i]
+                .iter()
+                .map(|&child| match child {
+                    ChildRef::Leaf(j) => ChildReport {
+                        power: self.leaf_last_aggregate[j],
+                        quota: self.quota_of_leaf(j),
+                        physical_limit: self.leaf_controllers[j].config().physical_limit,
+                    },
+                    ChildRef::Upper(j) => ChildReport {
+                        power: self.upper_last_total[j],
+                        quota: self.quota_of_upper(j),
+                        physical_limit: self.upper_controllers[j].config().physical_limit,
+                    },
+                })
+                .collect();
+            let outcome = self.upper_controllers[i].cycle(now, &reports);
+            self.upper_last_total[i] = outcome.total;
+
+            // Apply directives to children (contract propagation).
+            let mut contracts = 0;
+            for (child, directive) in self.upper_children[i].clone().iter().zip(&outcome.directives)
+            {
+                let limit = match directive {
+                    ChildDirective::SetContract(l) => {
+                        contracts += 1;
+                        Some(*l)
+                    }
+                    ChildDirective::ClearContract => None,
+                    ChildDirective::Unchanged => continue,
+                };
+                match *child {
+                    ChildRef::Leaf(j) => self.leaf_controllers[j].set_contractual_limit(limit),
+                    ChildRef::Upper(j) => self.upper_controllers[j].set_contractual_limit(limit),
+                }
+            }
+            if outcome.capped {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.upper_devices[i],
+                    controller: self.upper_controllers[i].name().to_string(),
+                    kind: ControllerEventKind::UpperCapped { contracts },
+                });
+            } else if outcome.uncapped {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.upper_devices[i],
+                    controller: self.upper_controllers[i].name().to_string(),
+                    kind: ControllerEventKind::UpperUncapped,
+                });
+            }
+        }
+    }
+
+    /// Planned-peak quota for a leaf child (from topology metadata).
+    fn quota_of_leaf(&self, j: usize) -> Power {
+        self.leaf_quotas[j]
+    }
+
+    /// Planned-peak quota for an upper child (from topology metadata).
+    fn quota_of_upper(&self, j: usize) -> Power {
+        self.upper_quotas[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use powerinfra::TopologyBuilder;
+    use serverpower::{ServerConfig, ServerGeneration};
+    use workloads::ServiceKind;
+
+    fn topo() -> Topology {
+        TopologyBuilder::new()
+            .sbs_per_msb(2)
+            .rpps_per_sb(2)
+            .racks_per_rpp(1)
+            .servers_per_rack(4)
+            .build()
+    }
+
+    fn service_of(_sid: u32) -> dynamo_controller::ServiceClass {
+        crate::service_class_of(ServiceKind::Web)
+    }
+
+    fn build_system(topo: &Topology, config: SystemConfig) -> DynamoSystem {
+        let mut rng = SimRng::seed_from(1);
+        DynamoSystem::build(topo, &service_of, config, &mut rng)
+    }
+
+    fn fleet(n: usize) -> Fleet {
+        Fleet::new(
+            vec![ServerConfig::new(ServerGeneration::Haswell2015); n],
+            vec![ServiceKind::Web; n],
+            SimRng::seed_from(2),
+        )
+    }
+
+    #[test]
+    fn hierarchy_mirrors_the_topology() {
+        let topo = topo();
+        let system = build_system(&topo, SystemConfig::default());
+        // One leaf per RPP; one upper per SB plus one per MSB.
+        assert_eq!(system.leaf_count(), 4);
+        assert_eq!(system.upper_count(), 3);
+        for rpp in topo.devices_at(DeviceLevel::Rpp) {
+            assert!(system.leaf_for(rpp).is_some());
+            assert!(system.upper_for(rpp).is_none());
+        }
+        for sb in topo.devices_at(DeviceLevel::Sb) {
+            assert!(system.upper_for(sb).is_some());
+        }
+        assert!(system.upper_for(topo.root()).is_some());
+    }
+
+    #[test]
+    fn leaf_controllers_cover_every_server_exactly_once() {
+        let topo = topo();
+        let system = build_system(&topo, SystemConfig::default());
+        let mut covered: Vec<u32> = system
+            .leaf_devices()
+            .iter()
+            .flat_map(|&d| {
+                system.leaf_for(d).unwrap().servers().iter().map(|h| h.server_id)
+            })
+            .collect();
+        covered.sort_unstable();
+        let expected: Vec<u32> = (0..topo.server_count() as u32).collect();
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn tick_respects_the_schedules() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        let mut fleet = fleet(topo.server_count());
+        fleet.step(SimTime::ZERO, dcsim::SimDuration::from_secs(1));
+        // t=0: both tiers run. t=1,2: neither. t=3: leaves only.
+        system.tick(SimTime::ZERO, &mut fleet);
+        let leaf_cycles_t0 =
+            system.leaf_for(system.leaf_devices()[0]).unwrap().cycles();
+        assert_eq!(leaf_cycles_t0, 1);
+        system.tick(SimTime::from_secs(1), &mut fleet);
+        system.tick(SimTime::from_secs(2), &mut fleet);
+        assert_eq!(system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(), 1);
+        system.tick(SimTime::from_secs(3), &mut fleet);
+        assert_eq!(system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(), 2);
+    }
+
+    #[test]
+    fn monitoring_only_mode_tracks_aggregates_without_cycles() {
+        let topo = topo();
+        let config = SystemConfig { capping_enabled: false, ..SystemConfig::default() };
+        let mut system = build_system(&topo, config);
+        let mut fleet = fleet(topo.server_count());
+        for i in 0..fleet.len() as u32 {
+            fleet.agent_mut(i).server_mut().set_demand(0.5);
+            fleet.agent_mut(i).server_mut().step(dcsim::SimDuration::from_secs(1));
+        }
+        let events = system.tick(SimTime::ZERO, &mut fleet);
+        assert!(events.is_empty());
+        // Aggregates still update so telemetry and parents see power.
+        let rpp = system.leaf_devices()[0];
+        let agg = system.leaf_aggregate(rpp).unwrap();
+        assert!(agg.as_watts() > 100.0);
+        // But no controller cycles ran.
+        assert_eq!(system.leaf_for(rpp).unwrap().cycles(), 0);
+    }
+
+    #[test]
+    fn failover_is_reported_once_and_recovers() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        let mut fleet = fleet(topo.server_count());
+        let rpp = system.leaf_devices()[0];
+        system.fail_primary(rpp);
+        let events = system.tick(SimTime::ZERO, &mut fleet);
+        let failovers =
+            events.iter().filter(|e| matches!(e.kind, ControllerEventKind::Failover)).count();
+        assert_eq!(failovers, 1);
+        assert_eq!(system.failovers(), 1);
+        // The next cycle runs normally on the backup.
+        let events2 = system.tick(SimTime::from_secs(3), &mut fleet);
+        assert!(!events2.iter().any(|e| matches!(e.kind, ControllerEventKind::Failover)));
+        assert_eq!(system.leaf_for(rpp).unwrap().cycles(), 1);
+    }
+
+    #[test]
+    fn staged_rollout_gates_actuation() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        // Phase 1: exactly one of the four leaves is live.
+        assert_eq!(system.set_rollout_phase(1), 1);
+        let dry: Vec<bool> = system
+            .leaf_devices()
+            .to_vec()
+            .iter()
+            .map(|&d| system.leaf_for(d).unwrap().config().dry_run)
+            .collect();
+        assert_eq!(dry.iter().filter(|&&x| !x).count(), 1);
+        // Phase 3: half live; phase 4: all live.
+        assert_eq!(system.set_rollout_phase(3), 2);
+        assert_eq!(system.set_rollout_phase(4), 4);
+        let all_live = system
+            .leaf_devices()
+            .to_vec()
+            .iter()
+            .all(|&d| !system.leaf_for(d).unwrap().config().dry_run);
+        assert!(all_live);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollout phase must be 1-4")]
+    fn invalid_rollout_phase_panics() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        system.set_rollout_phase(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no controller protects")]
+    fn failing_an_unprotected_device_panics() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        let rack = topo.devices_at(DeviceLevel::Rack)[0];
+        system.fail_primary(rack);
+    }
+
+    #[test]
+    fn set_leaf_contract_round_trips() {
+        let topo = topo();
+        let mut system = build_system(&topo, SystemConfig::default());
+        let rpp = system.leaf_devices()[0];
+        system.set_leaf_contract(rpp, Some(Power::from_kilowatts(100.0)));
+        assert_eq!(
+            system.leaf_for(rpp).unwrap().contractual_limit(),
+            Some(Power::from_kilowatts(100.0))
+        );
+        system.set_leaf_contract(rpp, None);
+        assert_eq!(system.leaf_for(rpp).unwrap().contractual_limit(), None);
+    }
+}

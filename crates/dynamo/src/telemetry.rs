@@ -1,0 +1,230 @@
+//! Fine-grained power monitoring (§VI: "Monitoring is as important as
+//! capping").
+
+use std::collections::HashMap;
+
+use dcsim::{PeriodicSchedule, SimDuration, SimTime};
+use powerinfra::{BreakerStatus, DeviceId, DeviceLevel, Power};
+use powerstats::Trace;
+
+use crate::system::ControllerEvent;
+
+/// What the telemetry recorder samples.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Sampling interval (3 s in production — Table I's "fine-grained
+    /// real-time monitoring: 3-second granularity power readings").
+    pub sample_interval: SimDuration,
+    /// Hierarchy levels whose devices get power traces. Tracing every
+    /// rack in a big run is expensive; experiments pick what they need.
+    pub levels: Vec<DeviceLevel>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_interval: SimDuration::from_secs(3),
+            levels: vec![DeviceLevel::Rpp, DeviceLevel::Sb, DeviceLevel::Msb],
+        }
+    }
+}
+
+/// A breaker state change worth recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which device's breaker.
+    pub device: DeviceId,
+    /// The new status.
+    pub status: BreakerStatus,
+}
+
+/// The telemetry store for one simulation run: per-device power traces
+/// at the sampling interval, the capped-server count series, controller
+/// events, and breaker events.
+#[derive(Debug)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    device_traces: HashMap<DeviceId, Trace>,
+    capped_servers: Trace,
+    total_power: Trace,
+    controller_events: Vec<ControllerEvent>,
+    breaker_events: Vec<BreakerEvent>,
+    schedule: PeriodicSchedule,
+}
+
+impl Telemetry {
+    /// Creates an empty store.
+    pub fn new(config: TelemetryConfig) -> Self {
+        let interval = config.sample_interval;
+        Telemetry {
+            config,
+            device_traces: HashMap::new(),
+            capped_servers: Trace::empty(interval),
+            total_power: Trace::empty(interval),
+            controller_events: Vec::new(),
+            breaker_events: Vec::new(),
+            schedule: PeriodicSchedule::new(interval),
+        }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// True if a sample is due at `now`.
+    pub fn sample_due(&self, now: SimTime) -> bool {
+        self.schedule.due(now)
+    }
+
+    /// Records one sample row. `device_power` yields the current power
+    /// of each watched device; `capped` and `total` are fleet-level.
+    ///
+    /// Call only when [`Telemetry::sample_due`]; the recorder advances
+    /// its own schedule.
+    pub fn record_sample(
+        &mut self,
+        now: SimTime,
+        watched: &[(DeviceId, Power)],
+        capped: usize,
+        total: Power,
+    ) {
+        for &(dev, p) in watched {
+            self.device_traces
+                .entry(dev)
+                .or_insert_with(|| Trace::empty(self.config.sample_interval).with_start(now))
+                .push(p.as_watts());
+        }
+        self.capped_servers.push(capped as f64);
+        self.total_power.push(total.as_watts());
+        self.schedule.fire(now);
+    }
+
+    /// Appends controller events.
+    pub fn record_controller_events(&mut self, events: Vec<ControllerEvent>) {
+        self.controller_events.extend(events);
+    }
+
+    /// Appends a breaker event.
+    pub fn record_breaker_event(&mut self, event: BreakerEvent) {
+        self.breaker_events.push(event);
+    }
+
+    /// The power trace of `device`, if watched.
+    pub fn device_trace(&self, device: DeviceId) -> Option<&Trace> {
+        self.device_traces.get(&device)
+    }
+
+    /// The capped-server count series.
+    pub fn capped_servers(&self) -> &Trace {
+        &self.capped_servers
+    }
+
+    /// The fleet total power series.
+    pub fn total_power(&self) -> &Trace {
+        &self.total_power
+    }
+
+    /// All controller events so far.
+    pub fn controller_events(&self) -> &[ControllerEvent] {
+        &self.controller_events
+    }
+
+    /// All breaker events so far.
+    pub fn breaker_events(&self) -> &[BreakerEvent] {
+        &self.breaker_events
+    }
+
+    /// Breaker trips only (the outages Dynamo exists to prevent).
+    pub fn breaker_trips(&self) -> Vec<BreakerEvent> {
+        self.breaker_events
+            .iter()
+            .filter(|e| e.status == BreakerStatus::Tripped)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::ControllerEventKind;
+
+    fn dev(topo: &powerinfra::Topology) -> DeviceId {
+        topo.devices_at(DeviceLevel::Rpp)[0]
+    }
+
+    fn topo() -> powerinfra::Topology {
+        powerinfra::TopologyBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(1)
+            .servers_per_rack(2)
+            .build()
+    }
+
+    #[test]
+    fn samples_follow_the_schedule() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        assert!(t.sample_due(SimTime::ZERO));
+        t.record_sample(SimTime::ZERO, &[], 0, Power::ZERO);
+        assert!(!t.sample_due(SimTime::from_secs(2)));
+        assert!(t.sample_due(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn device_traces_accumulate() {
+        let topo = topo();
+        let d = dev(&topo);
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        for k in 0..5u64 {
+            t.record_sample(
+                SimTime::from_secs(3 * k),
+                &[(d, Power::from_kilowatts(100.0 + k as f64))],
+                k as usize,
+                Power::from_kilowatts(100.0),
+            );
+        }
+        let trace = t.device_trace(d).unwrap();
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.values()[4], 104_000.0);
+        assert_eq!(t.capped_servers().values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert!(t.device_trace(topo.root()).is_none());
+    }
+
+    #[test]
+    fn breaker_trips_filters_status() {
+        let topo = topo();
+        let d = dev(&topo);
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.record_breaker_event(BreakerEvent {
+            at: SimTime::ZERO,
+            device: d,
+            status: BreakerStatus::Overloaded,
+        });
+        t.record_breaker_event(BreakerEvent {
+            at: SimTime::from_secs(9),
+            device: d,
+            status: BreakerStatus::Tripped,
+        });
+        assert_eq!(t.breaker_events().len(), 2);
+        assert_eq!(t.breaker_trips().len(), 1);
+        assert_eq!(t.breaker_trips()[0].at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn controller_events_append() {
+        let topo = topo();
+        let d = dev(&topo);
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.record_controller_events(vec![ControllerEvent {
+            at: SimTime::ZERO,
+            device: d,
+            controller: "rpp0".into(),
+            kind: ControllerEventKind::LeafUncapped,
+        }]);
+        assert_eq!(t.controller_events().len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Compact binary wire format for the agent protocol.
+//!
+//! Production Dynamo ships these messages as Thrift structs; the
+//! simulator normally passes them in memory. This codec exists for the
+//! places a byte-level representation matters — fuzzing the decoder,
+//! measuring message sizes against the 3 s × fleet-size RPC budget, and
+//! persisting request logs — and doubles as the specification of the
+//! protocol: one tag byte followed by little-endian `f64` fields.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use powerinfra::Power;
+
+use crate::{PowerReading, Request, Response, WireBreakdown};
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// The leading tag byte does not name a known message.
+    UnknownTag(u8),
+    /// A power field held a non-finite or negative value.
+    InvalidPower,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("message truncated"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::InvalidPower => f.write_str("invalid power value on the wire"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// Message tags.
+const TAG_READ_POWER: u8 = 0x01;
+const TAG_SET_CAP: u8 = 0x02;
+const TAG_CLEAR_CAP: u8 = 0x03;
+const TAG_POWER_REPLY: u8 = 0x81;
+const TAG_CAP_ACK: u8 = 0x82;
+
+// Flag bits for the power reply.
+const FLAG_FROM_SENSOR: u8 = 0b0000_0001;
+const FLAG_HAS_BREAKDOWN: u8 = 0b0000_0010;
+
+/// Encodes a request.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16);
+    match req {
+        Request::ReadPower => buf.put_u8(TAG_READ_POWER),
+        Request::SetCap(cap) => {
+            buf.put_u8(TAG_SET_CAP);
+            buf.put_f64_le(cap.as_watts());
+        }
+        Request::ClearCap => buf.put_u8(TAG_CLEAR_CAP),
+    }
+    buf.freeze()
+}
+
+/// Decodes a request.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, unknown tags, or invalid power
+/// values.
+pub fn decode_request(mut buf: impl Buf) -> Result<Request, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    match buf.get_u8() {
+        TAG_READ_POWER => Ok(Request::ReadPower),
+        TAG_SET_CAP => Ok(Request::SetCap(get_power(&mut buf)?)),
+        TAG_CLEAR_CAP => Ok(Request::ClearCap),
+        other => Err(CodecError::UnknownTag(other)),
+    }
+}
+
+/// Encodes a response.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(48);
+    match resp {
+        Response::Power(reading) => {
+            buf.put_u8(TAG_POWER_REPLY);
+            let mut flags = 0u8;
+            if reading.from_sensor {
+                flags |= FLAG_FROM_SENSOR;
+            }
+            if reading.breakdown.is_some() {
+                flags |= FLAG_HAS_BREAKDOWN;
+            }
+            buf.put_u8(flags);
+            buf.put_f64_le(reading.total.as_watts());
+            if let Some(b) = &reading.breakdown {
+                buf.put_f64_le(b.cpu.as_watts());
+                buf.put_f64_le(b.memory.as_watts());
+                buf.put_f64_le(b.other.as_watts());
+                buf.put_f64_le(b.conversion_loss.as_watts());
+            }
+        }
+        Response::CapAck { ok } => {
+            buf.put_u8(TAG_CAP_ACK);
+            buf.put_u8(u8::from(*ok));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a response.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, unknown tags, or invalid power
+/// values.
+pub fn decode_response(mut buf: impl Buf) -> Result<Response, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    match buf.get_u8() {
+        TAG_POWER_REPLY => {
+            if buf.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            let flags = buf.get_u8();
+            let total = get_power(&mut buf)?;
+            let breakdown = if flags & FLAG_HAS_BREAKDOWN != 0 {
+                Some(WireBreakdown {
+                    cpu: get_power(&mut buf)?,
+                    memory: get_power(&mut buf)?,
+                    other: get_power(&mut buf)?,
+                    conversion_loss: get_power(&mut buf)?,
+                })
+            } else {
+                None
+            };
+            Ok(Response::Power(PowerReading {
+                total,
+                breakdown,
+                from_sensor: flags & FLAG_FROM_SENSOR != 0,
+            }))
+        }
+        TAG_CAP_ACK => {
+            if buf.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Response::CapAck { ok: buf.get_u8() != 0 })
+        }
+        other => Err(CodecError::UnknownTag(other)),
+    }
+}
+
+fn get_power(buf: &mut impl Buf) -> Result<Power, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let w = buf.get_f64_le();
+    if !w.is_finite() || w < 0.0 {
+        return Err(CodecError::InvalidPower);
+    }
+    Ok(Power::from_watts(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watts(v: f64) -> Power {
+        Power::from_watts(v)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [Request::ReadPower, Request::SetCap(watts(212.5)), Request::ClearCap] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::CapAck { ok: true },
+            Response::CapAck { ok: false },
+            Response::Power(PowerReading::total_only(watts(321.0))),
+            Response::Power(PowerReading {
+                total: watts(250.0),
+                from_sensor: false,
+                breakdown: None,
+            }),
+            Response::Power(PowerReading {
+                total: watts(250.0),
+                from_sensor: true,
+                breakdown: Some(WireBreakdown {
+                    cpu: watts(140.0),
+                    memory: watts(50.0),
+                    other: watts(40.0),
+                    conversion_loss: watts(20.0),
+                }),
+            }),
+        ];
+        for resp in cases {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn messages_are_compact() {
+        // A read request is 1 byte; the common reply (sensor total, no
+        // breakdown) is 10 — comfortably inside any per-cycle budget.
+        assert_eq!(encode_request(&Request::ReadPower).len(), 1);
+        assert_eq!(
+            encode_response(&Response::Power(PowerReading::total_only(watts(200.0)))).len(),
+            10
+        );
+        assert_eq!(encode_request(&Request::SetCap(watts(180.0))).len(), 9);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let full = encode_response(&Response::Power(PowerReading::total_only(watts(200.0))));
+        for cut in 0..full.len() {
+            let err = decode_response(&full[..cut]).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+        assert_eq!(decode_request(&[][..]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tags_error() {
+        assert_eq!(decode_request(&[0xff][..]), Err(CodecError::UnknownTag(0xff)));
+        assert_eq!(decode_response(&[0x00][..]), Err(CodecError::UnknownTag(0x00)));
+    }
+
+    #[test]
+    fn non_finite_power_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_SET_CAP);
+        buf.put_f64_le(f64::NAN);
+        assert_eq!(decode_request(buf.freeze()), Err(CodecError::InvalidPower));
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_SET_CAP);
+        buf.put_f64_le(-5.0);
+        assert_eq!(decode_request(buf.freeze()), Err(CodecError::InvalidPower));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage() {
+        // Deterministic garbage sweep — the decoder must return errors,
+        // not panic, on any byte soup.
+        let mut state = 0x12345u64;
+        for len in 0..64 {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let _ = decode_request(&bytes[..]);
+            let _ = decode_response(&bytes[..]);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(CodecError::Truncated.to_string(), "message truncated");
+        assert_eq!(CodecError::UnknownTag(7).to_string(), "unknown message tag 0x07");
+        assert_eq!(CodecError::InvalidPower.to_string(), "invalid power value on the wire");
+    }
+}

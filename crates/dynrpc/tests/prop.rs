@@ -1,0 +1,85 @@
+//! Property-based tests for the RPC layer and wire codec.
+
+use dynrpc::codec::{decode_request, decode_response, encode_request, encode_response};
+use dynrpc::{LinkProfile, Network, PowerReading, Request, Response, WireBreakdown};
+use dcsim::SimRng;
+use powerinfra::Power;
+use proptest::prelude::*;
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::ReadPower),
+        (0.1f64..100_000.0).prop_map(|w| Request::SetCap(Power::from_watts(w))),
+        Just(Request::ClearCap),
+    ]
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    let reading = (0.0f64..100_000.0, any::<bool>(), prop::option::of((0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4)))
+        .prop_map(|(total, from_sensor, breakdown)| {
+            Response::Power(PowerReading {
+                total: Power::from_watts(total),
+                from_sensor,
+                breakdown: breakdown.map(|(cpu, memory, other, loss)| WireBreakdown {
+                    cpu: Power::from_watts(cpu),
+                    memory: Power::from_watts(memory),
+                    other: Power::from_watts(other),
+                    conversion_loss: Power::from_watts(loss),
+                }),
+            })
+        });
+    prop_oneof![reading, any::<bool>().prop_map(|ok| Response::CapAck { ok })]
+}
+
+proptest! {
+    /// Every representable request round-trips through the codec.
+    #[test]
+    fn request_round_trip(req in any_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(bytes), Ok(req));
+    }
+
+    /// Every representable response round-trips through the codec.
+    #[test]
+    fn response_round_trip(resp in any_response()) {
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(decode_response(bytes), Ok(resp));
+    }
+
+    /// The decoder is total: any byte soup yields Ok or Err, never a
+    /// panic, and never reads past the buffer.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_request(&bytes[..]);
+        let _ = decode_response(&bytes[..]);
+    }
+
+    /// Truncating any valid message yields `Truncated`, not garbage.
+    #[test]
+    fn truncation_is_detected(resp in any_response(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_response(&resp);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let result = decode_response(&bytes[..cut]);
+        prop_assert!(result.is_err());
+    }
+
+    /// Network failure statistics converge to the configured rates.
+    #[test]
+    fn network_stats_are_consistent(seed in any::<u64>(), drop in 0.0f64..0.5, timeout in 0.0f64..0.5) {
+        struct Null;
+        impl dynrpc::AgentEndpoint for Null {
+            fn handle(&mut self, _: Request) -> Response {
+                Response::CapAck { ok: true }
+            }
+        }
+        let mut net = Network::new(LinkProfile::lossy(drop, timeout), SimRng::seed_from(seed));
+        for _ in 0..300 {
+            let _ = net.call(&mut Null, Request::ReadPower);
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.calls, 300);
+        prop_assert_eq!(stats.successes + stats.drops + stats.timeouts, 300);
+        prop_assert!((0.0..=1.0).contains(&stats.failure_rate()));
+    }
+}

@@ -1,0 +1,147 @@
+//! Figures 2, 7 and 8: the paper's architecture diagrams, rendered from
+//! the *running system* rather than drawn — the topology tree (Fig. 2),
+//! the controller hierarchy and its interactions (Fig. 7), and the
+//! agent's dispatch structure (Fig. 8).
+
+use dcsim::{SimDuration, SimRng};
+use dynamo_agent::Agent;
+use dynrpc::{AgentEndpoint, Request, Response};
+use powerinfra::{DeviceLevel, Power, TopologyBuilder};
+use serverpower::{Server, ServerConfig, ServerGeneration};
+
+/// Figure 2: the OCP power delivery hierarchy with ratings and
+/// oversubscription at each level, from a real built topology.
+pub fn fig2() -> String {
+    let topo = TopologyBuilder::new().sbs_per_msb(4).rpps_per_sb(4).racks_per_rpp(4).build();
+    let mut out = String::from(
+        "Figure 2: power delivery infrastructure (rendered from the built topology)\n\n",
+    );
+    out.push_str("Utility (30 MW) + standby generators\n");
+    out.push_str(&topo.render_tree(topo.root()));
+    out.push_str(&format!(
+        "\nservers: {}   devices: {}\noversubscription at MSB: {:.2}x (4 x 1.25 MW SBs on 2.5 MW)\n",
+        topo.server_count(),
+        topo.device_count(),
+        topo.oversubscription(topo.root()),
+    ));
+    out
+}
+
+/// Figure 7: the controller hierarchy mirroring the power hierarchy,
+/// with the communication paths between components.
+pub fn fig7() -> String {
+    let topo = TopologyBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(10)
+        .build();
+    let mut out = String::from(
+        "Figure 7: Dynamo component interaction (one controller per protected device)\n\n",
+    );
+    let msbs = topo.devices_at(DeviceLevel::Msb).len();
+    let sbs = topo.devices_at(DeviceLevel::Sb).len();
+    let rpps = topo.devices_at(DeviceLevel::Rpp).len();
+    out.push_str(&format!(
+        "  {msbs} MSB upper controller(s)   <- 9 s cycle, punish-offender-first\n\
+         \u{2502}     contractual limits (shared memory within the consolidated binary)\n\
+         \u{25BC}\n\
+         \x20 {sbs} SB upper controllers     <- 9 s cycle, child reports (power vs quota)\n\
+         \u{2502}     contractual limits\n\
+         \u{25BC}\n\
+         \x20 {rpps} RPP leaf controllers    <- 3 s cycle, three-band + high-bucket-first\n\
+         \u{2502}     Thrift-style RPC: ReadPower / SetCap / ClearCap\n\
+         \u{25BC}\n\
+         \x20 {} Dynamo agents (one per server; agents never talk to each other)\n",
+        topo.server_count(),
+    ));
+    out.push_str(&format!(
+        "\neach controller obeys min(physical, contractual); rack level skipped as at\n\
+         Facebook (footnote 2). Leaf fan-out here: {} servers per RPP.\n",
+        topo.server_count() / rpps,
+    ));
+    out
+}
+
+/// Figure 8: the agent's request-dispatch structure, demonstrated by
+/// driving a live agent down both branches of the diagram.
+pub fn fig8() -> String {
+    let mut out = String::from(
+        "Figure 8: Dynamo agent block diagram (driven live)\n\n\
+         \x20 Request handler (thrift server)\n\
+         \x20   |-- Power read --> has sensor? --yes--> read from sensor (+ breakdown)\n\
+         \x20   |                              --no---> estimate from cpu_util etc.\n\
+         \x20   `-- Power cap/uncap --> RAPL module/API --> set/unset power limit\n\n",
+    );
+
+    // Sensor branch.
+    let mut server = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015));
+    server.set_demand(0.7);
+    server.step(SimDuration::from_secs(2));
+    let mut agent = Agent::new(server, SimRng::seed_from(8));
+    if let Response::Power(r) = agent.handle(Request::ReadPower) {
+        out.push_str(&format!(
+            "sensored read:   {} (from_sensor={}, breakdown={})\n",
+            r.total,
+            r.from_sensor,
+            r.breakdown.is_some()
+        ));
+    }
+    // Estimation branch.
+    let mut server = Server::new(
+        1,
+        ServerConfig::new(ServerGeneration::Westmere2011).without_sensor(),
+    );
+    server.set_demand(0.7);
+    server.step(SimDuration::from_secs(2));
+    let mut agent2 = Agent::new(server, SimRng::seed_from(9));
+    if let Response::Power(r) = agent2.handle(Request::ReadPower) {
+        out.push_str(&format!(
+            "estimated read:  {} (from_sensor={}, breakdown={})\n",
+            r.total,
+            r.from_sensor,
+            r.breakdown.is_some()
+        ));
+    }
+    // RAPL branch.
+    let ack = agent.handle(Request::SetCap(Power::from_watts(180.0)));
+    out.push_str(&format!("cap to 180 W:    {ack:?}\n"));
+    let ack = agent.handle(Request::ClearCap);
+    out.push_str(&format!("uncap:           {ack:?}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reflects_the_ocp_ratings() {
+        let s = fig2();
+        assert!(s.contains("2.500 MW"), "{s}");
+        assert!(s.contains("1.250 MW"));
+        assert!(s.contains("190.00 kW"));
+        assert!(s.contains("12.60 kW"));
+        assert!(s.contains("oversubscription at MSB: 2.00x"));
+        assert!(s.contains("DCUPS"));
+    }
+
+    #[test]
+    fn fig7_counts_controllers() {
+        let s = fig7();
+        assert!(s.contains("1 MSB upper controller"));
+        assert!(s.contains("2 SB upper controllers"));
+        assert!(s.contains("4 RPP leaf controllers"));
+        assert!(s.contains("80 Dynamo agents"));
+        assert!(s.contains("min(physical, contractual)"));
+    }
+
+    #[test]
+    fn fig8_exercises_both_read_paths_and_rapl() {
+        let s = fig8();
+        assert!(s.contains("from_sensor=true, breakdown=true"), "{s}");
+        assert!(s.contains("from_sensor=false, breakdown=false"), "{s}");
+        assert!(s.contains("cap to 180 W:    CapAck { ok: true }"));
+        assert!(s.contains("uncap:           CapAck { ok: true }"));
+    }
+}

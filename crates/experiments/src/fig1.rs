@@ -1,0 +1,116 @@
+//! Figure 1: measured server power vs CPU utilization for the 2011 and
+//! 2015 web-server generations.
+
+use serverpower::ServerGeneration;
+
+use crate::common::{fmt_f, render_table};
+
+/// One row of the Figure 1 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Row {
+    /// CPU utilization (0–100%).
+    pub utilization_pct: f64,
+    /// 2011 Westmere server power (watts).
+    pub watts_2011: f64,
+    /// 2015 Haswell server power (watts).
+    pub watts_2015: f64,
+}
+
+/// The regenerated Figure 1 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1 {
+    /// The sweep rows, 0% to 100%.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1 {
+    /// Peak-to-peak ratio between the generations ("nearly doubled").
+    pub fn peak_ratio(&self) -> f64 {
+        let last = self.rows.last().expect("sweep is non-empty");
+        last.watts_2015 / last.watts_2011
+    }
+}
+
+/// Regenerates Figure 1 by sweeping utilization over both generation
+/// power curves.
+pub fn run() -> Fig1 {
+    let c2011 = ServerGeneration::Westmere2011.power_curve();
+    let c2015 = ServerGeneration::Haswell2015.power_curve();
+    let rows = (0..=20)
+        .map(|i| {
+            let u = i as f64 / 20.0;
+            Fig1Row {
+                utilization_pct: u * 100.0,
+                watts_2011: c2011.power_at(u).as_watts(),
+                watts_2015: c2015.power_at(u).as_watts(),
+            }
+        })
+        .collect();
+    Fig1 { rows }
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 1: server power (W) vs CPU utilization, two generations")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    fmt_f(r.utilization_pct, 0),
+                    fmt_f(r.watts_2011, 1),
+                    fmt_f(r.watts_2015, 1),
+                ]
+            })
+            .collect();
+        f.write_str(&render_table(&["cpu%", "2011 Westmere", "2015 Haswell"], &rows))?;
+        writeln!(
+            f,
+            "peak ratio 2015/2011 = {:.2}x  (paper: \"nearly doubled\")",
+            self.peak_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_full_range() {
+        let fig = run();
+        assert_eq!(fig.rows.first().unwrap().utilization_pct, 0.0);
+        assert_eq!(fig.rows.last().unwrap().utilization_pct, 100.0);
+        assert_eq!(fig.rows.len(), 21);
+    }
+
+    #[test]
+    fn generation_gap_grows_with_utilization() {
+        let fig = run();
+        let gap_idle = fig.rows[0].watts_2015 - fig.rows[0].watts_2011;
+        let gap_peak = fig.rows.last().unwrap().watts_2015 - fig.rows.last().unwrap().watts_2011;
+        assert!(gap_peak > gap_idle * 3.0, "idle gap {gap_idle}, peak gap {gap_peak}");
+    }
+
+    #[test]
+    fn peak_nearly_doubles() {
+        let r = run().peak_ratio();
+        assert!((1.6..2.0).contains(&r), "peak ratio {r}");
+    }
+
+    #[test]
+    fn both_series_monotone() {
+        let fig = run();
+        for w in fig.rows.windows(2) {
+            assert!(w[1].watts_2011 >= w[0].watts_2011);
+            assert!(w[1].watts_2015 >= w[0].watts_2015);
+        }
+    }
+
+    #[test]
+    fn display_contains_table() {
+        let s = run().to_string();
+        assert!(s.contains("Figure 1"));
+        assert!(s.contains("peak ratio"));
+    }
+}

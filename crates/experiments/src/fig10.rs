@@ -1,0 +1,147 @@
+//! Figure 10: the three-band capping/uncapping algorithm, illustrated
+//! by replaying a power ramp through the decision function.
+
+use dynamo_controller::{three_band_decision, BandDecision, ThreeBandConfig};
+use powerinfra::Power;
+
+use crate::common::{fmt_f, render_table};
+
+/// One decision sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Time index (arbitrary units).
+    pub t: usize,
+    /// Aggregated power (kW).
+    pub power_kw: f64,
+    /// The band the power sits in.
+    pub band: &'static str,
+    /// The decision taken.
+    pub decision: String,
+}
+
+/// The regenerated Figure 10 walk-through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// The breaker limit (kW).
+    pub limit_kw: f64,
+    /// Band thresholds (kW): capping, target, uncapping.
+    pub thresholds_kw: (f64, f64, f64),
+    /// The samples.
+    pub rows: Vec<Fig10Row>,
+    /// Number of decision flips (sanity: hysteresis ⇒ few flips).
+    pub action_count: usize,
+}
+
+/// Replays a surge-then-recede power profile through the three-band
+/// algorithm with the paper's default thresholds.
+pub fn run() -> Fig10 {
+    let bands = ThreeBandConfig::default();
+    let limit = Power::from_kilowatts(100.0);
+    // A ramp up through the bands, a plateau, and a fall back down.
+    let profile: Vec<f64> = (0..30)
+        .map(|t| match t {
+            0..=9 => 85.0 + 1.6 * t as f64,   // ramp: 85 → 99.4
+            10..=17 => 99.5,                  // hot plateau
+            18..=23 => 95.0 - 1.4 * (t - 18) as f64, // recede: 95 → 88
+            _ => 87.0,
+        })
+        .collect();
+
+    let mut caps_active = false;
+    let mut action_count = 0;
+    let rows = profile
+        .iter()
+        .enumerate()
+        .map(|(t, &kw)| {
+            let p = Power::from_kilowatts(kw);
+            let decision = three_band_decision(p, limit, bands, caps_active);
+            let (band, text) = match decision {
+                BandDecision::Cap { total_cut } => {
+                    caps_active = true;
+                    action_count += 1;
+                    ("above capping threshold", format!("CAP (cut {:.1} kW)", total_cut.as_kilowatts()))
+                }
+                BandDecision::Uncap => {
+                    caps_active = false;
+                    action_count += 1;
+                    ("below uncapping threshold", "UNCAP".to_string())
+                }
+                BandDecision::Hold => {
+                    let band = if kw >= bands.uncap_power(limit).as_kilowatts() {
+                        "between bands"
+                    } else {
+                        "below uncapping threshold (no caps)"
+                    };
+                    (band, "hold".to_string())
+                }
+            };
+            Fig10Row { t, power_kw: kw, band, decision: text }
+        })
+        .collect();
+
+    Fig10 {
+        limit_kw: 100.0,
+        thresholds_kw: (
+            bands.threshold_power(limit).as_kilowatts(),
+            bands.target_power(limit).as_kilowatts(),
+            bands.uncap_power(limit).as_kilowatts(),
+        ),
+        rows,
+        action_count,
+    }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 10: three-band algorithm on a 100 kW breaker")?;
+        writeln!(
+            f,
+            "capping threshold {:.0} kW | capping target {:.0} kW | uncapping threshold {:.0} kW",
+            self.thresholds_kw.0, self.thresholds_kw.1, self.thresholds_kw.2
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![r.t.to_string(), fmt_f(r.power_kw, 1), r.decision.clone(), r.band.to_string()]
+            })
+            .collect();
+        f.write_str(&render_table(&["t", "power kW", "decision", "band"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_on_the_surge_and_uncaps_after() {
+        let fig = run();
+        let caps: Vec<usize> =
+            fig.rows.iter().filter(|r| r.decision.starts_with("CAP")).map(|r| r.t).collect();
+        let uncaps: Vec<usize> =
+            fig.rows.iter().filter(|r| r.decision == "UNCAP").map(|r| r.t).collect();
+        assert!(!caps.is_empty(), "no cap decision during surge");
+        assert_eq!(uncaps.len(), 1, "exactly one uncap expected");
+        assert!(uncaps[0] > *caps.last().unwrap());
+    }
+
+    #[test]
+    fn hysteresis_limits_flapping() {
+        // The band gap keeps actions rare even across 30 samples.
+        let fig = run();
+        assert!(fig.action_count <= 10, "too many actions: {}", fig.action_count);
+    }
+
+    #[test]
+    fn thresholds_match_defaults() {
+        let fig = run();
+        assert_eq!(fig.thresholds_kw, (99.0, 95.0, 90.0));
+    }
+
+    #[test]
+    fn holds_in_the_middle_band() {
+        let fig = run();
+        assert!(fig.rows.iter().any(|r| r.decision == "hold" && r.band == "between bands"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure 13: web-server performance slowdown at different power
+//! capping levels, relative to uncapped control servers.
+
+use dcsim::SimDuration;
+use powerinfra::Power;
+use serverpower::{Server, ServerConfig, ServerGeneration};
+
+use crate::common::{fmt_f, render_table};
+
+/// One point of the Figure 13 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Row {
+    /// Relative power reduction applied by the cap (%).
+    pub power_reduction_pct: f64,
+    /// Measured latency slowdown vs the uncapped control group (%).
+    pub slowdown_pct: f64,
+}
+
+/// The regenerated Figure 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// Sweep rows from 0% to 50% power reduction.
+    pub rows: Vec<Fig13Row>,
+}
+
+impl Fig13 {
+    /// Average slope (% slowdown per % power cut) below the knee.
+    pub fn gentle_slope(&self) -> f64 {
+        slope(&self.rows, 0.0, 20.0)
+    }
+
+    /// Average slope beyond the knee.
+    pub fn steep_slope(&self) -> f64 {
+        slope(&self.rows, 25.0, 50.0)
+    }
+}
+
+fn slope(rows: &[Fig13Row], lo: f64, hi: f64) -> f64 {
+    let pts: Vec<&Fig13Row> = rows
+        .iter()
+        .filter(|r| r.power_reduction_pct >= lo && r.power_reduction_pct <= hi)
+        .collect();
+    let first = pts.first().expect("range covered");
+    let last = pts.last().expect("range covered");
+    (last.slowdown_pct - first.slowdown_pct) / (last.power_reduction_pct - first.power_reduction_pct)
+}
+
+/// Replays the paper's control-group experiment: one group of web
+/// servers is capped at increasing levels while an uncapped group
+/// provides the baseline; slowdown is the relative latency increase
+/// (1/performance − 1).
+pub fn run() -> Fig13 {
+    let make = || {
+        let mut s = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015));
+        s.set_demand(0.85);
+        for _ in 0..5 {
+            s.step(SimDuration::from_secs(1));
+        }
+        s
+    };
+    let control = make();
+    let control_perf = control.performance_factor();
+    let uncapped_power = control.power();
+
+    let rows = (0..=20)
+        .map(|i| {
+            let reduction = i as f64 * 2.5; // 0..50%
+            let mut s = make();
+            if reduction > 0.0 {
+                let cap = uncapped_power * (1.0 - reduction / 100.0);
+                s.rapl_mut().set_limit(cap.max(Power::from_watts(1.0)));
+                for _ in 0..5 {
+                    s.step(SimDuration::from_secs(1));
+                }
+            }
+            // Server-side latency scales inversely with throughput.
+            let slowdown = (control_perf / s.performance_factor() - 1.0) * 100.0;
+            Fig13Row { power_reduction_pct: reduction, slowdown_pct: slowdown }
+        })
+        .collect();
+    Fig13 { rows }
+}
+
+impl std::fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 13: web-server slowdown vs power reduction (capped vs control group)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![fmt_f(r.power_reduction_pct, 1), fmt_f(r.slowdown_pct, 1)])
+            .collect();
+        f.write_str(&render_table(&["power cut %", "slowdown %"], &rows))?;
+        writeln!(
+            f,
+            "slope below 20% cut: {:.2} %/%; beyond 25%: {:.2} %/%  (paper: slow, then much faster)",
+            self.gentle_slope(),
+            self.steep_slope()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cut_no_slowdown() {
+        let fig = run();
+        assert!(fig.rows[0].slowdown_pct.abs() < 0.5);
+    }
+
+    #[test]
+    fn slowdown_is_monotone() {
+        let fig = run();
+        for w in fig.rows.windows(2) {
+            assert!(w[1].slowdown_pct >= w[0].slowdown_pct - 1e-9);
+        }
+    }
+
+    #[test]
+    fn knee_at_twenty_percent() {
+        // "performance decreases slowly within the 20% power reduction
+        // range ... beyond 20% the performance decreases faster".
+        let fig = run();
+        assert!(
+            fig.steep_slope() > 2.5 * fig.gentle_slope(),
+            "no knee: gentle {:.2}, steep {:.2}",
+            fig.gentle_slope(),
+            fig.steep_slope()
+        );
+    }
+
+    #[test]
+    fn slowdown_below_knee_is_mild() {
+        let fig = run();
+        let at20 = fig
+            .rows
+            .iter()
+            .find(|r| (r.power_reduction_pct - 20.0).abs() < 0.1)
+            .expect("20% sampled");
+        assert!(at20.slowdown_pct < 20.0, "slowdown at 20% cut: {:.1}%", at20.slowdown_pct);
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 3: power breaker trip time as a function of power usage
+//! (normalized to rating), per hierarchy level.
+
+use powerinfra::TripCurve;
+
+use crate::common::{fmt_f, render_table};
+
+/// One row of the Figure 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Row {
+    /// Power normalized to the breaker rating.
+    pub ratio: f64,
+    /// Trip time in seconds per level (`None` ⇒ never trips).
+    pub rack_secs: Option<f64>,
+    /// RPP trip time.
+    pub rpp_secs: Option<f64>,
+    /// SB trip time.
+    pub sb_secs: Option<f64>,
+    /// MSB trip time.
+    pub msb_secs: Option<f64>,
+}
+
+/// The regenerated Figure 3 curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3 {
+    /// Sweep rows from 1.0× to 2.0× rating.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Regenerates Figure 3 from the calibrated trip curves.
+pub fn run() -> Fig3 {
+    let (rack, rpp, sb, msb) =
+        (TripCurve::rack(), TripCurve::rpp(), TripCurve::sb(), TripCurve::msb());
+    let t = |c: &TripCurve, r: f64| c.trip_time(r).map(|d| d.as_secs_f64());
+    let rows = (0..=20)
+        .map(|i| {
+            let ratio = 1.0 + i as f64 * 0.05;
+            Fig3Row {
+                ratio,
+                rack_secs: t(&rack, ratio),
+                rpp_secs: t(&rpp, ratio),
+                sb_secs: t(&sb, ratio),
+                msb_secs: t(&msb, ratio),
+            }
+        })
+        .collect();
+    Fig3 { rows }
+}
+
+fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(secs) => fmt_f(secs, 1),
+        None => "never".to_string(),
+    }
+}
+
+impl std::fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 3: breaker trip time (s) vs power normalized to rating")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    fmt_f(r.ratio, 2),
+                    cell(r.rack_secs),
+                    cell(r.rpp_secs),
+                    cell(r.sb_secs),
+                    cell(r.msb_secs),
+                ]
+            })
+            .collect();
+        f.write_str(&render_table(&["power/rating", "Rack", "RPP", "SB", "MSB"], &rows))?;
+        writeln!(f, "anchors: RPP 10% overdraw ≈ 17 min; RPP 40% ≈ 60 s; MSB 5% ≈ 2 min (paper §II-A)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_rating_nothing_trips() {
+        let fig = run();
+        let first = &fig.rows[0];
+        assert_eq!(first.ratio, 1.0);
+        assert!(first.rack_secs.is_none() && first.msb_secs.is_none());
+    }
+
+    #[test]
+    fn level_ordering_holds_at_every_overload() {
+        for row in &run().rows[1..] {
+            let (rack, rpp, sb, msb) = (
+                row.rack_secs.unwrap(),
+                row.rpp_secs.unwrap(),
+                row.sb_secs.unwrap(),
+                row.msb_secs.unwrap(),
+            );
+            assert!(rack >= rpp && rpp >= sb && sb >= msb, "ordering broken at {}", row.ratio);
+        }
+    }
+
+    #[test]
+    fn curves_decrease_with_overload() {
+        let fig = run();
+        for w in fig.rows[1..].windows(2) {
+            assert!(w[1].rpp_secs.unwrap() <= w[0].rpp_secs.unwrap());
+        }
+    }
+
+    #[test]
+    fn display_mentions_anchors() {
+        let s = run().to_string();
+        assert!(s.contains("Figure 3") && s.contains("anchors"));
+        assert!(s.contains("never"));
+    }
+}

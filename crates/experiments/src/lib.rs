@@ -1,0 +1,40 @@
+//! Reproduction harness for every table and figure in the Dynamo paper
+//! (ISCA 2016).
+//!
+//! Each `figN` module regenerates one figure: it builds the workload,
+//! runs the simulation, and returns a result struct whose `Display`
+//! prints the same rows/series the paper reports, alongside the paper's
+//! published values where the paper quotes numbers. The `repro` binary
+//! (`cargo run --release -p experiments --bin repro -- <figure>`) wraps
+//! these; the `bench` crate calls the same entry points at
+//! [`Scale::Quick`].
+//!
+//! Absolute watts are not expected to match Facebook's fleet — the
+//! substrate is a simulator — but the *shapes* are asserted in tests:
+//! who wins, what orders, where knees and crossovers fall. See
+//! `EXPERIMENTS.md` for paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod common;
+pub mod coordination;
+pub mod diagrams;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod implications;
+pub mod table1;
+
+pub use common::Scale;

@@ -1,0 +1,78 @@
+//! `repro` — regenerate the tables and figures of the Dynamo paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <target>...
+//! repro --quick all
+//! ```
+//!
+//! Targets: `fig1 fig3 fig4 fig5 fig6 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 table1 all`. `--quick` runs the reduced-scale
+//! variants (seconds instead of minutes).
+
+use experiments::{
+    ablation, coordination, diagrams, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
+    fig3, fig4, fig5, fig6, fig9, implications, table1, Scale,
+};
+
+const TARGETS: [&str; 20] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "table1", "ablation", "implications",
+    "coordination",
+];
+
+fn run_target(target: &str, scale: Scale) -> Result<(), String> {
+    println!("==================================================================");
+    match target {
+        "fig1" => println!("{}", fig1::run()),
+        "fig2" => println!("{}", diagrams::fig2()),
+        "fig7" => println!("{}", diagrams::fig7()),
+        "fig8" => println!("{}", diagrams::fig8()),
+        "fig3" => println!("{}", fig3::run()),
+        "fig4" => println!("{}", fig4::run()),
+        "fig5" => println!("{}", fig5::run(scale)),
+        "fig6" => println!("{}", fig6::run(scale)),
+        "fig9" => println!("{}", fig9::run()),
+        "fig10" => println!("{}", fig10::run()),
+        "fig11" => println!("{}", fig11::run(scale)),
+        "fig12" => println!("{}", fig12::run(scale)),
+        "fig13" => println!("{}", fig13::run()),
+        "fig14" => println!("{}", fig14::run(scale)),
+        "fig15" => println!("{}", fig15::run(scale)),
+        "fig16" => println!("{}", fig16::run(scale)),
+        "table1" => println!("{}", table1::run(scale)),
+        "ablation" => println!("{}", ablation::run()),
+        "implications" => println!("{}", implications::run(scale)),
+        "coordination" => println!("{}", coordination::run()),
+        other => return Err(format!("unknown target '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    if args.is_empty() {
+        eprintln!("usage: repro [--quick] <{}|all>...", TARGETS.join("|"));
+        std::process::exit(2);
+    }
+    let targets: Vec<String> = if args.iter().any(|a| a == "all") {
+        TARGETS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for target in &targets {
+        let started = std::time::Instant::now();
+        if let Err(e) = run_target(target, scale) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        eprintln!("[{} done in {:.1}s]", target, started.elapsed().as_secs_f64());
+    }
+}

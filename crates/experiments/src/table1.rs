@@ -1,0 +1,319 @@
+//! Table I: the summary of Dynamo's benefits, regenerated as four
+//! sub-experiments plus the monitoring row.
+//!
+//! | paper row                      | paper number | how we regenerate it |
+//! |--------------------------------|--------------|----------------------|
+//! | prevent potential power outage | 18 in 6 mo   | N surge scenarios run with and without Dynamo; count runs where only the no-Dynamo run trips |
+//! | Hadoop performance boost       | up to 13%    | Turbo+Dynamo cluster vs turbo-off baseline, mean performance factor |
+//! | Search QPS boost               | up to 40%    | Dynamo+Turbo vs static clock-frequency-limit baseline, throughput proxy |
+//! | Data center over-subscription  | 8% more servers | max servers per RPP without trips under Dynamo vs worst-case provisioning |
+//! | Fine-grained monitoring        | 3 s readings | the telemetry sampling interval |
+
+use dcsim::SimDuration;
+use dynamo::DatacenterBuilder;
+use powerinfra::{DeviceLevel, Power};
+use serverpower::{ServerGeneration, TurboBoost};
+use workloads::{ServiceKind, TrafficPattern};
+
+use crate::common::{fmt_f, render_table, Scale};
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Surge scenarios where the unprotected run tripped a breaker and
+    /// the Dynamo run did not, out of the total scenarios tried.
+    pub outages_prevented: (usize, usize),
+    /// Hadoop mean performance factor: (baseline, with Turbo + Dynamo).
+    pub hadoop_perf: (f64, f64),
+    /// Search throughput proxy: (frequency-limited baseline, Dynamo).
+    pub search_qps: (f64, f64),
+    /// Servers per RPP: (worst-case provisioning, Dynamo-protected max).
+    pub servers_per_rpp: (usize, usize),
+    /// Telemetry sampling interval in seconds.
+    pub monitoring_secs: u64,
+}
+
+impl Table1 {
+    /// Hadoop boost percentage.
+    pub fn hadoop_boost_pct(&self) -> f64 {
+        (self.hadoop_perf.1 / self.hadoop_perf.0 - 1.0) * 100.0
+    }
+
+    /// Search boost percentage.
+    pub fn search_boost_pct(&self) -> f64 {
+        (self.search_qps.1 / self.search_qps.0 - 1.0) * 100.0
+    }
+
+    /// Extra servers accommodated (%).
+    pub fn oversubscription_pct(&self) -> f64 {
+        (self.servers_per_rpp.1 as f64 / self.servers_per_rpp.0 as f64 - 1.0) * 100.0
+    }
+}
+
+/// A surge scenario: a web row whose traffic surges past the breaker's
+/// sustainable level. Returns true if a breaker tripped.
+fn surge_trips(capping: bool, surge: f64, seed: u64, secs: u64) -> bool {
+    let mut dc = DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(surge))
+        .capping_enabled(capping)
+        .seed(seed)
+        .build();
+    dc.run_for(SimDuration::from_secs(secs));
+    !dc.telemetry().breaker_trips().is_empty()
+}
+
+fn outages_prevented(scale: Scale) -> (usize, usize) {
+    let scenarios = scale.pick(4, 18);
+    let secs = scale.pick(900, 1200);
+    let mut prevented = 0;
+    for k in 0..scenarios {
+        let surge = 1.60 + 0.05 * (k % 7) as f64;
+        let seed = 1000 + k as u64;
+        let unprotected = surge_trips(false, surge, seed, secs);
+        let protected = surge_trips(true, surge, seed, secs);
+        if unprotected && !protected {
+            prevented += 1;
+        }
+    }
+    (prevented, scenarios)
+}
+
+fn hadoop_perf(scale: Scale) -> (f64, f64) {
+    let measure = |turbo: bool| {
+        let mut b = DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(scale.pick(1, 2))
+            .racks_per_rpp(4)
+            .servers_per_rack(scale.pick(15, 30))
+            .rpp_rating(Power::from_kilowatts(48.0))
+            .sb_rating(Power::from_kilowatts(scale.pick(21.0, 80.0)))
+            .uniform_service(ServiceKind::Hadoop)
+            .seed(141);
+        if turbo {
+            b = b.turbo(ServiceKind::Hadoop);
+        }
+        let mut dc = b.build();
+        let sb = dc.topology().devices_at(DeviceLevel::Sb)[0];
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for _ in 0..scale.pick(30, 120) {
+            dc.run_for(SimDuration::from_mins(1));
+            acc += dc.performance_under(sb);
+            n += 1;
+        }
+        acc / n as f64
+    };
+    (measure(false), measure(true))
+}
+
+/// Search throughput: the paper's cluster packed more servers than its
+/// power budget allows at nominal clock, so pre-Dynamo "all servers in
+/// this cluster were required to limit their clock frequency to make
+/// sure the worst-case application peak power is within the limited
+/// power budget". We model the clock limit with the classic
+/// `dynamic power ∝ f³` rule: the budgeted per-server power fixes the
+/// allowed frequency `f`, and search QPS ∝ f × utilization. Dynamo
+/// removes the static limit (worst-case is now guarded dynamically) and
+/// adds Turbo Boost; QPS ∝ turbo_perf × achieved utilization.
+fn search_qps(scale: Scale) -> (f64, f64) {
+    let turbo_perf = TurboBoost::default().perf_factor;
+    let servers_per_rack = scale.pick(15, 30);
+    let n = 4 * servers_per_rack;
+    // The packed cluster's budget: ~230 W per server, well under the
+    // ~340 W nameplate peak of the 2015 generation.
+    let budget_w = 230.0;
+    let rating = Power::from_watts(budget_w * n as f64);
+
+    let curve = ServerGeneration::Haswell2015.power_curve();
+    let idle = curve.idle().as_watts();
+    let dynamic_peak = curve.peak().as_watts() - idle;
+    // Worst-case peak at clock fraction f: idle + dynamic_peak * f^3.
+    let clock_limit = ((budget_w - idle) / dynamic_peak).cbrt();
+
+    let measure = |dynamo: bool| {
+        let mut b = DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(4)
+            .servers_per_rack(servers_per_rack)
+            .rpp_rating(rating)
+            .uniform_service(ServiceKind::Web)
+            // Typical search load is far below worst case — that gap is
+            // exactly what dynamic oversubscription recovers.
+            .traffic(ServiceKind::Web, TrafficPattern::flat(0.75))
+            .generation(ServerGeneration::Haswell2015)
+            .seed(142);
+        if dynamo {
+            b = b.turbo(ServiceKind::Web);
+        } else {
+            b = b.capping_enabled(false);
+        }
+        let mut dc = b.build();
+        let mut acc = 0.0;
+        let mut m = 0u64;
+        for _ in 0..scale.pick(20, 60) {
+            dc.run_for(SimDuration::from_mins(1));
+            let fleet = dc.fleet();
+            let util: f64 = (0..fleet.len() as u32)
+                .map(|sid| fleet.agent(sid).server().achieved_utilization())
+                .sum::<f64>()
+                / fleet.len() as f64;
+            acc += util;
+            m += 1;
+        }
+        let mean_util = acc / m as f64;
+        if dynamo {
+            turbo_perf * mean_util
+        } else {
+            clock_limit * mean_util
+        }
+    };
+    (measure(false), measure(true))
+}
+
+/// Packing study: how many web servers fit on one 11 kW RPP.
+fn servers_per_rpp(scale: Scale) -> (usize, usize) {
+    let rating = Power::from_kilowatts(11.0);
+    // Worst-case provisioning: every server at nameplate peak power.
+    let nameplate = ServerGeneration::Haswell2015.peak_power();
+    let conservative = (rating.as_watts() / nameplate.as_watts()).floor() as usize;
+
+    // With Dynamo: pack more servers as long as a hot run neither trips
+    // the breaker nor grinds the row into deep sustained capping.
+    let secs = scale.pick(600, 1200);
+    let mut best = conservative;
+    let mut n = conservative;
+    loop {
+        n += 1;
+        let mut dc = DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(1)
+            .racks_per_rpp(1)
+            .servers_per_rack(n)
+            .rpp_rating(rating)
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.6))
+            .seed(143)
+            .build();
+        dc.run_for(SimDuration::from_secs(secs));
+        let tripped = !dc.telemetry().breaker_trips().is_empty();
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        let perf = dc.performance_under(rpp);
+        if tripped || perf < 0.92 {
+            break;
+        }
+        best = n;
+        if n > conservative * 2 {
+            break; // sanity stop
+        }
+    }
+    (conservative, best)
+}
+
+/// Regenerates Table I.
+pub fn run(scale: Scale) -> Table1 {
+    Table1 {
+        outages_prevented: outages_prevented(scale),
+        hadoop_perf: hadoop_perf(scale),
+        search_qps: search_qps(scale),
+        servers_per_rpp: servers_per_rpp(scale),
+        monitoring_secs: 3,
+    }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table I: summary of benefits (measured | paper)")?;
+        let rows = vec![
+            vec![
+                "Prevent potential power outage".to_string(),
+                format!("{}/{} surge scenarios", self.outages_prevented.0, self.outages_prevented.1),
+                "18 times in 6 months".to_string(),
+            ],
+            vec![
+                "Hadoop performance boost".to_string(),
+                format!("+{}%", fmt_f(self.hadoop_boost_pct(), 1)),
+                "up to 13%".to_string(),
+            ],
+            vec![
+                "Search QPS boost".to_string(),
+                format!("+{}%", fmt_f(self.search_boost_pct(), 1)),
+                "up to 40%".to_string(),
+            ],
+            vec![
+                "Over-subscription (servers/RPP)".to_string(),
+                format!(
+                    "{} -> {} (+{}%)",
+                    self.servers_per_rpp.0,
+                    self.servers_per_rpp.1,
+                    fmt_f(self.oversubscription_pct(), 0)
+                ),
+                "8% more servers".to_string(),
+            ],
+            vec![
+                "Fine-grained monitoring".to_string(),
+                format!("{} s power readings", self.monitoring_secs),
+                "3-second granularity".to_string(),
+            ],
+        ];
+        f.write_str(&render_table(&["use case", "measured", "paper"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamo_prevents_every_surge_outage() {
+        let (prevented, total) = outages_prevented(Scale::Quick);
+        assert_eq!(prevented, total, "Dynamo failed to prevent {total}-{prevented} outages");
+    }
+
+    #[test]
+    fn hadoop_boost_near_13_pct() {
+        let (base, boosted) = hadoop_perf(Scale::Quick);
+        let pct = (boosted / base - 1.0) * 100.0;
+        assert!((5.0..15.0).contains(&pct), "hadoop boost {pct:.1}% out of band");
+    }
+
+    #[test]
+    fn search_boost_is_large() {
+        let (base, dynamo) = search_qps(Scale::Quick);
+        let pct = (dynamo / base - 1.0) * 100.0;
+        assert!(
+            (25.0..55.0).contains(&pct),
+            "search boost {pct:.1}% out of band (base {base:.3}, dynamo {dynamo:.3})"
+        );
+    }
+
+    #[test]
+    fn oversubscription_packs_more_servers() {
+        let (conservative, dynamo) = servers_per_rpp(Scale::Quick);
+        assert!(dynamo > conservative, "no packing gain: {conservative} vs {dynamo}");
+        let pct = (dynamo as f64 / conservative as f64 - 1.0) * 100.0;
+        assert!(pct >= 5.0, "packing gain only {pct:.0}%");
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let t = Table1 {
+            outages_prevented: (4, 4),
+            hadoop_perf: (1.0, 1.11),
+            search_qps: (0.7, 1.0),
+            servers_per_rpp: (32, 36),
+            monitoring_secs: 3,
+        };
+        let s = t.to_string();
+        for needle in ["outage", "Hadoop", "Search", "Over-subscription", "monitoring"] {
+            assert!(s.contains(needle), "missing row {needle}");
+        }
+        assert!((t.oversubscription_pct() - 12.5).abs() < 0.1);
+    }
+}

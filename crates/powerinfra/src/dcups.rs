@@ -1,0 +1,234 @@
+//! DC Uninterruptible Power Supplies (§II-A).
+//!
+//! "Each RPP supplies power to (1) the racks in its row and (2) a set of
+//! DC Uninterruptible Power Supplies (DCUPS). Each DCUPS provides 90 s
+//! of power backup to six racks." Dynamo neither monitors nor controls
+//! DCUPS, but they determine how long a subtree rides through an
+//! upstream interruption — the window an operator has during events
+//! like Figure 12's before servers actually go dark.
+
+use dcsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::units::Power;
+
+/// Battery state of one DCUPS unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DcupsState {
+    /// Utility power present; battery charged or charging.
+    Standby,
+    /// Utility power lost; battery carrying the load.
+    Discharging,
+    /// Battery exhausted; the backed racks are dark.
+    Depleted,
+}
+
+/// One DCUPS unit: a battery sized to carry its design load for a fixed
+/// ride-through time (90 s per the OCP spec), with recharge on utility
+/// return.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::SimDuration;
+/// use powerinfra::{Dcups, DcupsState, Power};
+///
+/// // Sized for six 12.6 kW racks.
+/// let mut ups = Dcups::new(Power::from_kilowatts(75.6));
+/// // Utility drops; the unit carries the load...
+/// let load = Power::from_kilowatts(60.0);
+/// assert_eq!(ups.step(false, load, SimDuration::from_secs(30)), DcupsState::Discharging);
+/// // ...for longer than 90 s at partial load.
+/// for _ in 0..80 {
+///     ups.step(false, load, SimDuration::from_secs(1));
+/// }
+/// assert_eq!(ups.state(), DcupsState::Discharging);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dcups {
+    /// Design load the 90 s rating is quoted against.
+    design_load: Power,
+    /// Energy capacity in joules (watt-seconds).
+    capacity_j: f64,
+    /// Remaining charge in joules.
+    charge_j: f64,
+    /// Recharge power as a fraction of design load.
+    recharge_frac: f64,
+    state: DcupsState,
+}
+
+/// OCP ride-through rating.
+pub const RIDE_THROUGH: SimDuration = SimDuration::from_secs(90);
+
+impl Dcups {
+    /// Creates a fully-charged unit sized to carry `design_load` for the
+    /// OCP 90-second rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design_load` is not strictly positive.
+    pub fn new(design_load: Power) -> Self {
+        assert!(design_load.as_watts() > 0.0, "design load must be positive");
+        let capacity_j = design_load.as_watts() * RIDE_THROUGH.as_secs_f64();
+        Dcups {
+            design_load,
+            capacity_j,
+            charge_j: capacity_j,
+            recharge_frac: 0.1,
+            state: DcupsState::Standby,
+        }
+    }
+
+    /// The design load.
+    pub fn design_load(&self) -> Power {
+        self.design_load
+    }
+
+    /// Remaining charge as a fraction of capacity.
+    pub fn charge_fraction(&self) -> f64 {
+        self.charge_j / self.capacity_j
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DcupsState {
+        self.state
+    }
+
+    /// Time the battery can carry `load` from its current charge, or
+    /// `None` for a non-positive load (it lasts indefinitely).
+    pub fn runtime_at(&self, load: Power) -> Option<SimDuration> {
+        if load.as_watts() <= 0.0 {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(self.charge_j / load.as_watts()))
+    }
+
+    /// Advances the unit by `dt`. `utility_present` is the upstream
+    /// supply condition; `load` is the racks' current draw.
+    ///
+    /// Returns the post-step state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not a valid draw.
+    pub fn step(&mut self, utility_present: bool, load: Power, dt: SimDuration) -> DcupsState {
+        assert!(load.is_valid_draw(), "invalid DCUPS load {load:?}");
+        if utility_present {
+            // Recharge at a tenth of design load until full.
+            let recharge = self.design_load.as_watts() * self.recharge_frac * dt.as_secs_f64();
+            self.charge_j = (self.charge_j + recharge).min(self.capacity_j);
+            self.state = DcupsState::Standby;
+        } else {
+            self.charge_j -= load.as_watts() * dt.as_secs_f64();
+            if self.charge_j <= 0.0 {
+                self.charge_j = 0.0;
+                self.state = DcupsState::Depleted;
+            } else {
+                self.state = DcupsState::Discharging;
+            }
+        }
+        self.state
+    }
+
+    /// Whether the backed racks have power right now (either from the
+    /// utility or from the battery).
+    pub fn racks_powered(&self, utility_present: bool) -> bool {
+        utility_present || self.state != DcupsState::Depleted
+    }
+
+    /// When (from `now`) the racks would go dark if the outage persists
+    /// at `load`, or `None` if already depleted or the load is zero.
+    pub fn blackout_eta(&self, now: SimTime, load: Power) -> Option<SimTime> {
+        if self.state == DcupsState::Depleted {
+            return None;
+        }
+        self.runtime_at(load).map(|d| now + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn six_racks() -> Dcups {
+        Dcups::new(Power::from_kilowatts(6.0 * 12.6))
+    }
+
+    #[test]
+    fn rides_through_exactly_90s_at_design_load() {
+        let mut ups = six_racks();
+        let load = ups.design_load();
+        let mut elapsed = 0;
+        while ups.step(false, load, SimDuration::from_secs(1)) != DcupsState::Depleted {
+            elapsed += 1;
+            assert!(elapsed < 200, "never depleted");
+        }
+        assert!((89..=91).contains(&elapsed), "ride-through {elapsed}s, spec 90s");
+    }
+
+    #[test]
+    fn lasts_longer_at_partial_load() {
+        let ups = six_racks();
+        let runtime = ups.runtime_at(ups.design_load() * 0.5).unwrap();
+        assert_eq!(runtime.as_secs(), 180);
+    }
+
+    #[test]
+    fn zero_load_runs_forever() {
+        let ups = six_racks();
+        assert!(ups.runtime_at(Power::ZERO).is_none());
+    }
+
+    #[test]
+    fn recharges_on_utility_return() {
+        let mut ups = six_racks();
+        let load = ups.design_load();
+        for _ in 0..45 {
+            ups.step(false, load, SimDuration::from_secs(1));
+        }
+        assert!((ups.charge_fraction() - 0.5).abs() < 0.02);
+        // Recharge at 10% of design load: ~450 s back to full.
+        let mut t = 0;
+        while ups.charge_fraction() < 1.0 {
+            ups.step(true, load, SimDuration::from_secs(1));
+            t += 1;
+            assert!(t < 1000, "never recharged");
+        }
+        assert!((440..=470).contains(&t), "recharged in {t}s");
+        assert_eq!(ups.state(), DcupsState::Standby);
+    }
+
+    #[test]
+    fn depleted_latches_until_recharged() {
+        let mut ups = six_racks();
+        let load = ups.design_load();
+        for _ in 0..120 {
+            ups.step(false, load, SimDuration::from_secs(1));
+        }
+        assert_eq!(ups.state(), DcupsState::Depleted);
+        assert!(!ups.racks_powered(false));
+        assert!(ups.racks_powered(true));
+        ups.step(true, load, SimDuration::from_secs(10));
+        assert_eq!(ups.state(), DcupsState::Standby);
+        assert!(ups.charge_fraction() > 0.0);
+    }
+
+    #[test]
+    fn blackout_eta_tracks_charge() {
+        let mut ups = six_racks();
+        let load = ups.design_load();
+        let eta = ups.blackout_eta(SimTime::ZERO, load).unwrap();
+        assert_eq!(eta.as_secs(), 90);
+        for _ in 0..30 {
+            ups.step(false, load, SimDuration::from_secs(1));
+        }
+        let eta2 = ups.blackout_eta(SimTime::from_secs(30), load).unwrap();
+        assert_eq!(eta2.as_secs(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "design load must be positive")]
+    fn zero_design_load_panics() {
+        Dcups::new(Power::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! Power delivery substrate for the Dynamo reproduction.
+//!
+//! Models the physical infrastructure of §II-A of the paper:
+//!
+//! * [`Power`] — a watts newtype used everywhere in the workspace.
+//! * [`Breaker`] / [`TripCurve`] — inverse-time circuit breaker models
+//!   calibrated to the paper's Figure 3 (trip time vs normalized power,
+//!   per hierarchy level).
+//! * [`Dcups`] — the 90-second battery ride-through units backing each
+//!   group of six racks.
+//! * [`Topology`] — the MSB → SB → RPP → rack → server device tree with
+//!   Open Compute Project ratings (30 MW utility, 2.5 MW MSB, 1.25 MW SB,
+//!   190 kW RPP, 12.6 kW rack), including intentional oversubscription at
+//!   every level.
+//!
+//! # Example
+//!
+//! ```
+//! use powerinfra::{Power, TopologyBuilder};
+//!
+//! let topo = TopologyBuilder::new()
+//!     .suites(1)
+//!     .msbs_per_suite(1)
+//!     .sbs_per_msb(2)
+//!     .rpps_per_sb(2)
+//!     .racks_per_rpp(3)
+//!     .servers_per_rack(10)
+//!     .build();
+//! assert_eq!(topo.server_count(), 2 * 2 * 3 * 10);
+//! let root = topo.root();
+//! assert_eq!(topo.device(root).rating, Power::from_megawatts(2.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breaker;
+mod dcups;
+mod device;
+mod topology;
+mod units;
+
+pub use breaker::{Breaker, BreakerStatus, TripCurve};
+pub use dcups::{Dcups, DcupsState, RIDE_THROUGH};
+pub use device::{Device, DeviceId, DeviceLevel};
+pub use topology::{Topology, TopologyBuilder};
+pub use units::Power;

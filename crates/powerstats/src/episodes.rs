@@ -1,0 +1,126 @@
+//! Episode detection over regularly-sampled series.
+//!
+//! The paper reports capping activity as *episodes* ("power capping was
+//! triggered seven times, with each time lasting from 10 minutes to 2
+//! hours", Figure 14). This module turns a sampled activity series into
+//! that episode list, bridging short dropouts so a brief dip in the
+//! middle of one event does not split it in two.
+
+use dcsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// One contiguous stretch of activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Index of the first active sample.
+    pub start: usize,
+    /// Number of samples from first to last active sample (inclusive).
+    pub len: usize,
+    /// Largest sample value observed during the episode.
+    pub peak: f64,
+}
+
+impl Episode {
+    /// The episode's duration given the series' sampling interval.
+    pub fn duration(&self, interval: SimDuration) -> SimDuration {
+        interval * self.len as u64
+    }
+}
+
+/// Groups samples where `active` holds into episodes, merging episodes
+/// separated by at most `max_gap` inactive samples.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::SimDuration;
+/// use powerstats::{episodes_above, Trace};
+///
+/// // Capped-server counts per minute: two bursts separated by a long
+/// // quiet stretch, with a 1-sample dropout inside the first burst.
+/// let counts = vec![0.0, 5.0, 8.0, 0.0, 7.0, 0.0, 0.0, 0.0, 0.0, 3.0, 4.0];
+/// let trace = Trace::new(SimDuration::from_secs(60), counts);
+/// let eps = episodes_above(&trace, 0.5, 1);
+/// assert_eq!(eps.len(), 2);
+/// assert_eq!(eps[0].peak, 8.0);
+/// assert_eq!(eps[0].len, 4); // minutes 1-4, bridging the dropout
+/// ```
+pub fn episodes_above(trace: &Trace, threshold: f64, max_gap: usize) -> Vec<Episode> {
+    let mut episodes = Vec::new();
+    // (start, last_active, peak)
+    let mut current: Option<(usize, usize, f64)> = None;
+    for (i, &v) in trace.values().iter().enumerate() {
+        if v > threshold {
+            current = match current {
+                Some((start, _, peak)) => Some((start, i, peak.max(v))),
+                None => Some((i, i, v)),
+            };
+        } else if let Some((start, last, peak)) = current {
+            if i > last + max_gap {
+                episodes.push(Episode { start, len: last - start + 1, peak });
+                current = None;
+            }
+        }
+    }
+    if let Some((start, last, peak)) = current {
+        episodes.push(Episode { start, len: last - start + 1, peak });
+    }
+    episodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(vals: &[f64]) -> Trace {
+        Trace::new(SimDuration::from_secs(60), vals.to_vec())
+    }
+
+    #[test]
+    fn empty_and_quiet_traces_have_no_episodes() {
+        assert!(episodes_above(&trace(&[]), 0.5, 2).is_empty());
+        assert!(episodes_above(&trace(&[0.0; 20]), 0.5, 2).is_empty());
+    }
+
+    #[test]
+    fn one_continuous_episode() {
+        let eps = episodes_above(&trace(&[0.0, 1.0, 2.0, 3.0, 0.0]), 0.5, 0);
+        assert_eq!(eps, vec![Episode { start: 1, len: 3, peak: 3.0 }]);
+        assert_eq!(eps[0].duration(SimDuration::from_secs(60)).as_secs(), 180);
+    }
+
+    #[test]
+    fn gap_bridging_merges_adjacent_bursts() {
+        let vals = [1.0, 0.0, 0.0, 1.0]; // 2-sample gap
+        assert_eq!(episodes_above(&trace(&vals), 0.5, 1).len(), 2);
+        assert_eq!(episodes_above(&trace(&vals), 0.5, 2).len(), 1);
+        let merged = &episodes_above(&trace(&vals), 0.5, 2)[0];
+        assert_eq!(merged.start, 0);
+        assert_eq!(merged.len, 4);
+    }
+
+    #[test]
+    fn trailing_activity_closes_the_last_episode() {
+        let eps = episodes_above(&trace(&[0.0, 0.0, 2.0, 2.0]), 0.5, 0);
+        assert_eq!(eps, vec![Episode { start: 2, len: 2, peak: 2.0 }]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let eps = episodes_above(&trace(&[0.5, 0.5, 0.5]), 0.5, 0);
+        assert!(eps.is_empty());
+        let eps = episodes_above(&trace(&[0.6]), 0.5, 0);
+        assert_eq!(eps.len(), 1);
+    }
+
+    #[test]
+    fn peaks_are_per_episode() {
+        let vals = [9.0, 0.0, 0.0, 0.0, 3.0];
+        let eps = episodes_above(&trace(&vals), 0.5, 1);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].peak, 9.0);
+        assert_eq!(eps[1].peak, 3.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the analysis substrate.
+
+use dcsim::SimDuration;
+use powerstats::{power_slope, sliding_variation, Cdf, Summary, Trace};
+use proptest::prelude::*;
+
+fn brute_force_variation(values: &[f64], w: usize) -> Vec<f64> {
+    if values.len() < w {
+        return Vec::new();
+    }
+    values
+        .windows(w)
+        .map(|win| {
+            let mx = win.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = win.iter().cloned().fold(f64::MAX, f64::min);
+            mx - mn
+        })
+        .collect()
+}
+
+proptest! {
+    /// The monotonic-deque sliding variation matches the O(n·w) brute
+    /// force on arbitrary traces and window sizes.
+    #[test]
+    fn sliding_variation_matches_brute_force(
+        values in prop::collection::vec(0.0f64..1e5, 2..300),
+        window_secs in 3u64..100,
+    ) {
+        let trace = Trace::new(SimDuration::from_secs(3), values.clone());
+        let fast = sliding_variation(&trace, SimDuration::from_secs(window_secs));
+        let w = (window_secs.div_ceil(3) + 1).max(2) as usize;
+        let slow = brute_force_variation(&values, w);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-9);
+        }
+    }
+
+    /// Window monotonicity: a longer window never sees smaller maximum
+    /// variation over the same trace.
+    #[test]
+    fn longer_windows_dominate(values in prop::collection::vec(0.0f64..1e5, 50..300)) {
+        let trace = Trace::new(SimDuration::from_secs(3), values);
+        let mut prev_max = 0.0f64;
+        for w in [6u64, 30, 60, 120] {
+            let vars = sliding_variation(&trace, SimDuration::from_secs(w));
+            if vars.is_empty() {
+                break;
+            }
+            let mx = vars.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(mx >= prev_max - 1e-9);
+            prev_max = mx;
+        }
+    }
+
+    /// Power slope is non-negative and zero for non-increasing traces.
+    #[test]
+    fn slope_nonnegative(values in prop::collection::vec(0.0f64..1e5, 10..200)) {
+        let trace = Trace::new(SimDuration::from_secs(3), values.clone());
+        for s in power_slope(&trace, SimDuration::from_secs(30)) {
+            prop_assert!(s >= 0.0);
+        }
+        let mut sorted = values;
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let falling = Trace::new(SimDuration::from_secs(3), sorted);
+        for s in power_slope(&falling, SimDuration::from_secs(30)) {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    /// CDF quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn cdf_quantiles_monotone_and_bounded(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let q = cdf.quantile(i as f64 / 50.0);
+            prop_assert!(q >= prev);
+            prop_assert!(q >= cdf.min() - 1e-9 && q <= cdf.max() + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// `fraction_below` is a valid CDF: monotone, 0 below min, 1 above
+    /// max.
+    #[test]
+    fn fraction_below_is_a_cdf(samples in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let cdf = Cdf::from_samples(samples);
+        prop_assert_eq!(cdf.fraction_below(cdf.min() - 1.0), 0.0);
+        prop_assert_eq!(cdf.fraction_below(cdf.max() + 1.0), 1.0);
+        let mut prev = 0.0;
+        let mut x = cdf.min();
+        while x <= cdf.max() {
+            let f = cdf.fraction_below(x);
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+            x += (cdf.max() - cdf.min()).max(1.0) / 20.0;
+        }
+    }
+
+    /// Merging summaries is equivalent to a single pass, for any split
+    /// point.
+    #[test]
+    fn summary_merge_any_split(data in prop::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let full: Summary = data.iter().copied().collect();
+        let mut left: Summary = data[..split].iter().copied().collect();
+        let right: Summary = data[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), full.count());
+        prop_assert!((left.mean() - full.mean()).abs() < 1e-6 * (1.0 + full.mean().abs()));
+        let scale = 1.0 + full.population_variance().abs();
+        prop_assert!((left.population_variance() - full.population_variance()).abs() < 1e-5 * scale);
+    }
+
+    /// Downsampling preserves the overall mean (up to the dropped tail).
+    #[test]
+    fn downsample_preserves_mean(values in prop::collection::vec(0.0f64..1e4, 8..200), factor in 1usize..8) {
+        let trace = Trace::new(SimDuration::from_secs(3), values.clone());
+        let down = trace.downsample(factor);
+        if !down.is_empty() {
+            let kept = factor * down.len();
+            let mean_kept = values[..kept].iter().sum::<f64>() / kept as f64;
+            prop_assert!((down.mean() - mean_kept).abs() < 1e-9 * (1.0 + mean_kept));
+        }
+    }
+}

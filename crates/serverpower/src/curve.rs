@@ -1,0 +1,292 @@
+//! Power-vs-utilization curves (Figure 1 of the paper).
+
+use powerinfra::Power;
+use serde::{Deserialize, Serialize};
+
+/// Server hardware generations coexisting in the fleet (§VI: Westmere
+/// through Broadwell in rolling life cycles). The two web-server
+/// generations of Figure 1 are modelled in detail; the in-between
+/// generations interpolate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerGeneration {
+    /// 2011 web server: 24-core Westmere, 12 GB RAM. Peak ≈ 195 W.
+    Westmere2011,
+    /// 2012-era Sandy Bridge refresh.
+    SandyBridge2012,
+    /// 2013-era Ivy Bridge refresh.
+    IvyBridge2013,
+    /// 2015 web server: 48-core Haswell, 32 GB RAM. Peak ≈ 340 W —
+    /// nearly double the 2011 generation, the density trend motivating
+    /// the paper.
+    Haswell2015,
+}
+
+impl ServerGeneration {
+    /// All generations, oldest first.
+    pub fn all() -> [ServerGeneration; 4] {
+        [
+            ServerGeneration::Westmere2011,
+            ServerGeneration::SandyBridge2012,
+            ServerGeneration::IvyBridge2013,
+            ServerGeneration::Haswell2015,
+        ]
+    }
+
+    /// Parses a generation from its short label
+    /// (`westmere2011`, `sandybridge2012`, `ivybridge2013`,
+    /// `haswell2015`), case-insensitively.
+    pub fn from_label(label: &str) -> Option<ServerGeneration> {
+        match label.to_ascii_lowercase().as_str() {
+            "westmere2011" | "westmere" => Some(ServerGeneration::Westmere2011),
+            "sandybridge2012" | "sandybridge" => Some(ServerGeneration::SandyBridge2012),
+            "ivybridge2013" | "ivybridge" => Some(ServerGeneration::IvyBridge2013),
+            "haswell2015" | "haswell" => Some(ServerGeneration::Haswell2015),
+            _ => None,
+        }
+    }
+
+    /// The measured power curve for this generation.
+    pub fn power_curve(self) -> PowerCurve {
+        // Anchor points read off Figure 1 (watts at CPU utilization).
+        // Intermediate generations are plausible interpolations keeping
+        // the monotone density trend.
+        let pts: &[(f64, f64)] = match self {
+            ServerGeneration::Westmere2011 => {
+                &[(0.0, 88.0), (0.2, 115.0), (0.4, 138.0), (0.6, 158.0), (0.8, 178.0), (1.0, 195.0)]
+            }
+            ServerGeneration::SandyBridge2012 => {
+                &[(0.0, 90.0), (0.2, 125.0), (0.4, 158.0), (0.6, 188.0), (0.8, 215.0), (1.0, 240.0)]
+            }
+            ServerGeneration::IvyBridge2013 => {
+                &[(0.0, 92.0), (0.2, 135.0), (0.4, 175.0), (0.6, 212.0), (0.8, 250.0), (1.0, 285.0)]
+            }
+            ServerGeneration::Haswell2015 => {
+                &[(0.0, 95.0), (0.2, 150.0), (0.4, 200.0), (0.6, 250.0), (0.8, 298.0), (1.0, 340.0)]
+            }
+        };
+        PowerCurve::from_points(pts.iter().map(|&(u, w)| (u, Power::from_watts(w))).collect())
+    }
+
+    /// Peak (100% utilization) power for this generation.
+    pub fn peak_power(self) -> Power {
+        self.power_curve().power_at(1.0)
+    }
+
+    /// Idle (0% utilization) power for this generation.
+    pub fn idle_power(self) -> Power {
+        self.power_curve().power_at(0.0)
+    }
+}
+
+impl std::fmt::Display for ServerGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ServerGeneration::Westmere2011 => "Westmere (2011)",
+            ServerGeneration::SandyBridge2012 => "Sandy Bridge (2012)",
+            ServerGeneration::IvyBridge2013 => "Ivy Bridge (2013)",
+            ServerGeneration::Haswell2015 => "Haswell (2015)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A monotone piecewise-linear map from CPU utilization in `[0, 1]` to
+/// power, with an inverse for estimating utilization from power.
+///
+/// # Example
+///
+/// ```
+/// use serverpower::{PowerCurve, ServerGeneration};
+///
+/// let curve = ServerGeneration::Haswell2015.power_curve();
+/// let p = curve.power_at(0.5);
+/// let u = curve.utilization_at(p);
+/// assert!((u - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCurve {
+    /// `(utilization, power)` knots, strictly increasing in both
+    /// coordinates.
+    points: Vec<(f64, Power)>,
+}
+
+impl PowerCurve {
+    /// Builds a curve from `(utilization, power)` knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are ≥ 2 knots, utilizations start at 0.0 and
+    /// end at 1.0, and both coordinates strictly increase (server power
+    /// curves are monotone — Figure 1).
+    pub fn from_points(points: Vec<(f64, Power)>) -> Self {
+        assert!(points.len() >= 2, "power curve needs at least 2 points");
+        assert_eq!(points[0].0, 0.0, "curve must start at utilization 0");
+        assert_eq!(points.last().expect("non-empty").0, 1.0, "curve must end at utilization 1");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "utilizations must strictly increase");
+            assert!(w[0].1 < w[1].1, "power must strictly increase with utilization");
+        }
+        assert!(points[0].1.as_watts() >= 0.0, "idle power cannot be negative");
+        PowerCurve { points }
+    }
+
+    /// Power drawn at `utilization` (clamped to `[0, 1]`).
+    pub fn power_at(&self, utilization: f64) -> Power {
+        let u = utilization.clamp(0.0, 1.0);
+        let idx = match self.points.iter().position(|&(x, _)| x >= u) {
+            Some(0) => return self.points[0].1,
+            Some(i) => i,
+            None => return self.points.last().expect("non-empty").1,
+        };
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        let frac = (u - x0) / (x1 - x0);
+        y0 + (y1 - y0) * frac
+    }
+
+    /// Inverse map: the utilization that would draw `power`, clamped to
+    /// `[0, 1]` outside the curve's range. Used both by RAPL (to find the
+    /// frequency level honouring a cap) and the sensorless estimator.
+    pub fn utilization_at(&self, power: Power) -> f64 {
+        if power <= self.points[0].1 {
+            return 0.0;
+        }
+        let last = self.points.last().expect("non-empty");
+        if power >= last.1 {
+            return 1.0;
+        }
+        let idx = self
+            .points
+            .iter()
+            .position(|&(_, y)| y >= power)
+            .expect("bounded by last point above");
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        let frac = (power - y0).as_watts() / (y1 - y0).as_watts();
+        x0 + (x1 - x0) * frac
+    }
+
+    /// Idle power (utilization 0).
+    pub fn idle(&self) -> Power {
+        self.points[0].1
+    }
+
+    /// Peak power (utilization 1).
+    pub fn peak(&self) -> Power {
+        self.points.last().expect("non-empty").1
+    }
+
+    /// The knots of the curve.
+    pub fn points(&self) -> &[(f64, Power)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_generations_peak_ratio() {
+        // "server peak power consumption nearly doubled going from the
+        // 2011 server to the 2015 server".
+        let p2011 = ServerGeneration::Westmere2011.peak_power().as_watts();
+        let p2015 = ServerGeneration::Haswell2015.peak_power().as_watts();
+        let ratio = p2015 / p2011;
+        assert!((1.6..2.0).contains(&ratio), "peak ratio {ratio}");
+    }
+
+    #[test]
+    fn generations_order_by_peak_power() {
+        let peaks: Vec<f64> =
+            ServerGeneration::all().iter().map(|g| g.peak_power().as_watts()).collect();
+        for w in peaks.windows(2) {
+            assert!(w[0] < w[1], "peak powers must increase by generation: {peaks:?}");
+        }
+    }
+
+    #[test]
+    fn interpolation_between_knots() {
+        let curve = ServerGeneration::Westmere2011.power_curve();
+        let p = curve.power_at(0.5);
+        // Halfway between the 0.4 (138 W) and 0.6 (158 W) knots.
+        assert!((p.as_watts() - 148.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range_utilization() {
+        let curve = ServerGeneration::Haswell2015.power_curve();
+        assert_eq!(curve.power_at(-0.5), curve.idle());
+        assert_eq!(curve.power_at(1.7), curve.peak());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let curve = ServerGeneration::Haswell2015.power_curve();
+        for i in 0..=20 {
+            let u = i as f64 / 20.0;
+            let round = curve.utilization_at(curve.power_at(u));
+            assert!((round - u).abs() < 1e-9, "u={u} round={round}");
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_out_of_range_power() {
+        let curve = ServerGeneration::Westmere2011.power_curve();
+        assert_eq!(curve.utilization_at(Power::from_watts(10.0)), 0.0);
+        assert_eq!(curve.utilization_at(Power::from_watts(1000.0)), 1.0);
+    }
+
+    #[test]
+    fn monotonicity_over_fine_grid() {
+        for gen in ServerGeneration::all() {
+            let curve = gen.power_curve();
+            let mut prev = Power::ZERO;
+            for i in 0..=100 {
+                let p = curve.power_at(i as f64 / 100.0);
+                assert!(p >= prev);
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn one_point_panics() {
+        PowerCurve::from_points(vec![(0.0, Power::from_watts(100.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase with utilization")]
+    fn non_monotone_power_panics() {
+        PowerCurve::from_points(vec![
+            (0.0, Power::from_watts(100.0)),
+            (0.5, Power::from_watts(90.0)),
+            (1.0, Power::from_watts(120.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at utilization 0")]
+    fn missing_idle_knot_panics() {
+        PowerCurve::from_points(vec![(0.1, Power::from_watts(90.0)), (1.0, Power::from_watts(200.0))]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ServerGeneration::Haswell2015.to_string(), "Haswell (2015)");
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        assert_eq!(
+            ServerGeneration::from_label("haswell2015"),
+            Some(ServerGeneration::Haswell2015)
+        );
+        assert_eq!(
+            ServerGeneration::from_label("WESTMERE"),
+            Some(ServerGeneration::Westmere2011)
+        );
+        assert_eq!(ServerGeneration::from_label("epyc"), None);
+    }
+}

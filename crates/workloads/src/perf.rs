@@ -1,0 +1,159 @@
+//! Cluster-level performance accounting.
+//!
+//! The paper's benefit claims are performance claims: Hadoop map-reduce
+//! time (+13%), search QPS (+40%), web latency under capping
+//! (Figure 13). This module aggregates per-server performance factors
+//! (1.0 = turbo-off, uncapped) into the cluster metrics those claims
+//! are stated in: mean throughput, mean and tail latency inflation.
+
+use powerstats::{Cdf, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-server performance factors over a run.
+///
+/// Feed one batch per sampling instant via [`ClusterPerf::record`];
+/// read cluster metrics at the end.
+///
+/// # Example
+///
+/// ```
+/// use workloads::ClusterPerf;
+///
+/// let mut perf = ClusterPerf::new();
+/// // Two servers at full speed, one capped to 80%.
+/// perf.record([1.0, 1.0, 0.8]);
+/// assert!((perf.mean_throughput() - 0.933).abs() < 1e-3);
+/// assert!(perf.mean_latency_inflation() > 1.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterPerf {
+    throughput: Summary,
+    /// Per-observation latency inflation (1/perf) samples, for tails.
+    latency_samples: Vec<f64>,
+}
+
+impl ClusterPerf {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ClusterPerf { throughput: Summary::new(), latency_samples: Vec::new() }
+    }
+
+    /// Records one sampling instant's per-server performance factors.
+    /// Dead servers (factor 0) count as zero throughput but are excluded
+    /// from latency (they serve nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is negative or not finite.
+    pub fn record<I: IntoIterator<Item = f64>>(&mut self, factors: I) {
+        for f in factors {
+            assert!(f.is_finite() && f >= 0.0, "invalid performance factor {f}");
+            self.throughput.record(f);
+            if f > 0.0 {
+                self.latency_samples.push(1.0 / f);
+            }
+        }
+    }
+
+    /// Observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.throughput.count()
+    }
+
+    /// Mean throughput factor across all observations (QPS / job
+    /// progress relative to the turbo-off uncapped baseline).
+    pub fn mean_throughput(&self) -> f64 {
+        self.throughput.mean()
+    }
+
+    /// Mean latency inflation (1.0 = baseline; 1.10 = 10% slower).
+    pub fn mean_latency_inflation(&self) -> f64 {
+        if self.latency_samples.is_empty() {
+            return f64::NAN;
+        }
+        self.latency_samples.iter().sum::<f64>() / self.latency_samples.len() as f64
+    }
+
+    /// Tail latency inflation at quantile `q` (e.g. 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were recorded or `q` is outside [0, 1].
+    pub fn latency_inflation_quantile(&self, q: f64) -> f64 {
+        Cdf::from_samples(self.latency_samples.clone()).quantile(q)
+    }
+
+    /// Relative throughput gain versus a baseline run (`0.13` = +13%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either accumulator is empty.
+    pub fn throughput_gain_over(&self, baseline: &ClusterPerf) -> f64 {
+        let base = baseline.mean_throughput();
+        assert!(base > 0.0, "baseline throughput must be positive");
+        self.mean_throughput() / base - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_nan() {
+        let p = ClusterPerf::new();
+        assert_eq!(p.observations(), 0);
+        assert!(p.mean_throughput().is_nan());
+        assert!(p.mean_latency_inflation().is_nan());
+    }
+
+    #[test]
+    fn uniform_fleet_is_exact() {
+        let mut p = ClusterPerf::new();
+        p.record(vec![1.13; 10]);
+        assert!((p.mean_throughput() - 1.13).abs() < 1e-12);
+        assert!((p.mean_latency_inflation() - 1.0 / 1.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_servers_hurt_throughput_not_latency() {
+        let mut p = ClusterPerf::new();
+        p.record([1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(p.mean_throughput(), 0.5);
+        assert_eq!(p.mean_latency_inflation(), 1.0);
+    }
+
+    #[test]
+    fn tail_latency_catches_the_capped_minority() {
+        let mut p = ClusterPerf::new();
+        // 99 healthy servers and one throttled to half speed.
+        p.record(std::iter::repeat_n(1.0, 99).chain([0.5]));
+        assert!(p.mean_latency_inflation() < 1.02);
+        assert!(p.latency_inflation_quantile(0.995) > 1.5);
+    }
+
+    #[test]
+    fn gain_over_baseline_matches_the_paper_math() {
+        let mut base = ClusterPerf::new();
+        base.record(vec![1.0; 50]);
+        let mut turbo = ClusterPerf::new();
+        turbo.record(vec![1.13; 50]);
+        assert!((turbo.throughput_gain_over(&base) - 0.13).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid performance factor")]
+    fn negative_factor_panics() {
+        ClusterPerf::new().record([-0.1]);
+    }
+
+    #[test]
+    fn accumulates_across_instants() {
+        let mut p = ClusterPerf::new();
+        for _ in 0..10 {
+            p.record([1.0, 0.9]);
+        }
+        assert_eq!(p.observations(), 20);
+        assert!((p.mean_throughput() - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Cluster-level traffic: diurnal cycles and operational events.
+
+use dcsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An operational event that scales a cluster's traffic during a time
+/// window. Events multiply on top of the base pattern; overlapping
+/// events compose multiplicatively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEvent {
+    /// When the event starts.
+    pub start: SimTime,
+    /// When it ends.
+    pub end: SimTime,
+    /// Traffic multiplier during the event. `> 1` for load tests and
+    /// recovery surges (Figure 11's production load test, Figure 12's
+    /// post-outage surge); `< 1` for outages or load shedding.
+    pub factor: f64,
+    /// Ramp time at each edge of the window. Traffic shifts are not
+    /// instantaneous — load balancers move requests over seconds to
+    /// minutes.
+    pub ramp: SimDuration,
+}
+
+impl TrafficEvent {
+    /// A production load test shifting `factor`× traffic to the cluster
+    /// (Figure 11: user traffic shifted in around 10:40 AM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`, if `factor` is not positive/finite.
+    pub fn new(start: SimTime, end: SimTime, factor: f64) -> Self {
+        assert!(end > start, "event must end after it starts");
+        assert!(factor.is_finite() && factor > 0.0, "invalid traffic factor {factor}");
+        TrafficEvent { start, end, factor, ramp: SimDuration::from_secs(120) }
+    }
+
+    /// Overrides the edge ramp duration.
+    pub fn with_ramp(mut self, ramp: SimDuration) -> Self {
+        self.ramp = ramp;
+        self
+    }
+
+    /// The multiplicative contribution of this event at time `t`
+    /// (1.0 outside the window, `factor` in the plateau, interpolated on
+    /// the ramps).
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        if t < self.start || t >= self.end {
+            return 1.0;
+        }
+        let ramp = self.ramp.as_secs_f64();
+        if ramp <= 0.0 {
+            return self.factor;
+        }
+        let since_start = (t - self.start).as_secs_f64();
+        let until_end = (self.end - t).as_secs_f64();
+        let edge = (since_start / ramp).min(until_end / ramp).min(1.0);
+        1.0 + (self.factor - 1.0) * edge
+    }
+}
+
+/// A cluster's traffic intensity over time: a base shape (flat or
+/// diurnal) times any number of [`TrafficEvent`]s.
+///
+/// The multiplier is interpreted by [`crate::ServiceWorkload`] relative
+/// to the service's nominal load: 1.0 is a normal peak-hour level.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::{SimDuration, SimTime};
+/// use workloads::{TrafficEvent, TrafficPattern};
+///
+/// // Figure 12's shape: outage drop, then a recovery surge.
+/// let outage = TrafficEvent::new(
+///     SimTime::from_secs(600), SimTime::from_secs(2400), 0.3);
+/// let surge = TrafficEvent::new(
+///     SimTime::from_secs(2400), SimTime::from_secs(4800), 1.35);
+/// let p = TrafficPattern::flat(1.0).with_event(outage).with_event(surge);
+/// assert!(p.multiplier(SimTime::from_secs(1500)) < 0.5);
+/// assert!(p.multiplier(SimTime::from_secs(3600)) > 1.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficPattern {
+    base: BaseShape,
+    events: Vec<TrafficEvent>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum BaseShape {
+    Flat(f64),
+    /// Sinusoidal daily cycle between `min_frac` and 1.0, peaking at
+    /// `peak_hour`.
+    Diurnal { min_frac: f64, peak_hour: f64 },
+}
+
+impl TrafficPattern {
+    /// Constant traffic at `level` (1.0 = nominal peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is negative or not finite.
+    pub fn flat(level: f64) -> Self {
+        assert!(level.is_finite() && level >= 0.0, "invalid traffic level {level}");
+        TrafficPattern { base: BaseShape::Flat(level), events: Vec::new() }
+    }
+
+    /// The standard daily cycle: a sinusoid between 0.55× and 1.0× of
+    /// peak, peaking at 20:00 simulated time — the "normal daily traffic
+    /// increase" visible from 8:00 to 10:30 in Figure 11.
+    pub fn diurnal() -> Self {
+        Self::diurnal_with(0.55, 20.0)
+    }
+
+    /// A daily cycle with explicit trough fraction and peak hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_frac` is outside `(0, 1]` or `peak_hour` outside
+    /// `[0, 24)`.
+    pub fn diurnal_with(min_frac: f64, peak_hour: f64) -> Self {
+        assert!(min_frac > 0.0 && min_frac <= 1.0, "invalid trough fraction {min_frac}");
+        assert!((0.0..24.0).contains(&peak_hour), "invalid peak hour {peak_hour}");
+        TrafficPattern { base: BaseShape::Diurnal { min_frac, peak_hour }, events: Vec::new() }
+    }
+
+    /// Adds an operational event.
+    pub fn with_event(mut self, event: TrafficEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The traffic multiplier at time `t`.
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        let base = match self.base {
+            BaseShape::Flat(level) => level,
+            BaseShape::Diurnal { min_frac, peak_hour } => {
+                let hour = (t.as_secs_f64() / 3600.0) % 24.0;
+                let phase = (hour - peak_hour) / 24.0 * std::f64::consts::TAU;
+                let mid = (1.0 + min_frac) / 2.0;
+                let amp = (1.0 - min_frac) / 2.0;
+                mid + amp * phase.cos()
+            }
+        };
+        self.events.iter().fold(base, |acc, e| acc * e.multiplier(t))
+    }
+
+    /// The registered events.
+    pub fn events(&self) -> &[TrafficEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_constant() {
+        let p = TrafficPattern::flat(0.8);
+        assert_eq!(p.multiplier(SimTime::ZERO), 0.8);
+        assert_eq!(p.multiplier(SimTime::from_secs(99_999)), 0.8);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour_and_troughs_opposite() {
+        let p = TrafficPattern::diurnal_with(0.5, 20.0);
+        let at = |h: f64| p.multiplier(SimTime::from_secs((h * 3600.0) as u64));
+        assert!((at(20.0) - 1.0).abs() < 1e-6);
+        assert!((at(8.0) - 0.5).abs() < 1e-6);
+        // Morning ramp: rising between 8:00 and 20:00 (Figure 11's
+        // steady increase).
+        assert!(at(10.0) < at(12.0));
+        assert!(at(12.0) < at(16.0));
+    }
+
+    #[test]
+    fn diurnal_is_24h_periodic() {
+        let p = TrafficPattern::diurnal();
+        let a = p.multiplier(SimTime::from_secs(3 * 3600));
+        let b = p.multiplier(SimTime::from_secs(3 * 3600 + 24 * 3600));
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_plateau_and_edges() {
+        let e = TrafficEvent::new(SimTime::from_secs(1000), SimTime::from_secs(2000), 1.5)
+            .with_ramp(SimDuration::from_secs(100));
+        assert_eq!(e.multiplier(SimTime::from_secs(999)), 1.0);
+        assert_eq!(e.multiplier(SimTime::from_secs(2000)), 1.0);
+        assert_eq!(e.multiplier(SimTime::from_secs(1500)), 1.5);
+        // Mid-ramp is halfway up.
+        let half = e.multiplier(SimTime::from_secs(1050));
+        assert!((half - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ramp_is_a_step() {
+        let e = TrafficEvent::new(SimTime::from_secs(10), SimTime::from_secs(20), 2.0)
+            .with_ramp(SimDuration::ZERO);
+        assert_eq!(e.multiplier(SimTime::from_secs(10)), 2.0);
+        assert_eq!(e.multiplier(SimTime::from_secs(9)), 1.0);
+    }
+
+    #[test]
+    fn events_compose_multiplicatively() {
+        let a = TrafficEvent::new(SimTime::ZERO + dcsim::SimDuration::from_secs(0), SimTime::from_secs(100), 2.0)
+            .with_ramp(SimDuration::ZERO);
+        let b = TrafficEvent::new(SimTime::from_secs(50), SimTime::from_secs(100), 0.5)
+            .with_ramp(SimDuration::ZERO);
+        let p = TrafficPattern::flat(1.0).with_event(a).with_event(b);
+        assert_eq!(p.multiplier(SimTime::from_secs(25)), 2.0);
+        assert_eq!(p.multiplier(SimTime::from_secs(75)), 1.0);
+    }
+
+    #[test]
+    fn outage_then_surge_shape() {
+        // The Figure 12 scenario sketch.
+        let outage = TrafficEvent::new(SimTime::from_secs(600), SimTime::from_secs(2400), 0.3);
+        let surge = TrafficEvent::new(SimTime::from_secs(2400), SimTime::from_secs(4800), 1.35);
+        let p = TrafficPattern::flat(1.0).with_event(outage).with_event(surge);
+        assert!(p.multiplier(SimTime::from_secs(1500)) < 0.4);
+        assert!(p.multiplier(SimTime::from_secs(3600)) > 1.3);
+        assert!((p.multiplier(SimTime::from_secs(5000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "end after it starts")]
+    fn inverted_event_panics() {
+        TrafficEvent::new(SimTime::from_secs(10), SimTime::from_secs(10), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid traffic factor")]
+    fn bad_factor_panics() {
+        TrafficEvent::new(SimTime::ZERO, SimTime::from_secs(1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trough")]
+    fn bad_trough_panics() {
+        TrafficPattern::diurnal_with(0.0, 12.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Workload characterization (§II-B): measure how each service makes
+//! server power move, the study that fixed Dynamo's 3-second sampling
+//! and 2-minute reaction budget.
+//!
+//! ```text
+//! cargo run --release --example characterize_workloads
+//! ```
+
+use dcsim::{SimDuration, SimRng, SimTime};
+use dynamo_repro::powerstats::{sliding_variation, Cdf, Trace};
+use dynamo_repro::serverpower::ServerGeneration;
+use dynamo_repro::workloads::{ServiceKind, ServiceWorkload};
+
+fn main() {
+    let curve = ServerGeneration::Haswell2015.power_curve();
+    let windows = [3u64, 30, 60, 300];
+    println!("per-service p50/p99 power variation (% of peak-hour mean), 2 h x 8 servers\n");
+    println!(
+        "{:<12} {}",
+        "service",
+        windows.map(|w| format!("{w:>6}s p50/p99")).join("   ")
+    );
+
+    for kind in ServiceKind::all() {
+        let mut root = SimRng::seed_from(2026);
+        let mut traces = Vec::new();
+        for i in 0..8 {
+            let mut wl = ServiceWorkload::new(kind, root.split_index(i));
+            let mut t = SimTime::ZERO;
+            let mut trace = Trace::empty(SimDuration::from_secs(3));
+            for _ in 0..(2 * 1200) {
+                let u = wl.utilization(t, 1.0, SimDuration::from_secs(3));
+                trace.push(curve.power_at(u).as_watts());
+                t += SimDuration::from_secs(3);
+            }
+            traces.push(trace);
+        }
+        let mut cells = Vec::new();
+        for w in windows {
+            let mut pooled = Vec::new();
+            for trace in &traces {
+                let norm = trace.peak_mean(0.3);
+                for v in sliding_variation(trace, SimDuration::from_secs(w)) {
+                    pooled.push(v / norm * 100.0);
+                }
+            }
+            let cdf = Cdf::from_samples(pooled);
+            cells.push(format!("{:>5.1}/{:>5.1}", cdf.median(), cdf.p99()));
+        }
+        println!("{:<12} {}", kind.label(), cells.join("     "));
+    }
+
+    println!(
+        "\nreading the table the way the paper does:\n\
+         - variations grow with the window: a controller sampling every few\n\
+           minutes would see far larger unmanaged swings than one sampling at 3 s;\n\
+         - f4 storage is calm at the median but has the heaviest tail — rare\n\
+           scans move its power by most of a server's dynamic range;\n\
+         - web and news feed move the most at the median, so rows dominated by\n\
+           them need the most capping headroom."
+    );
+}

@@ -1,0 +1,80 @@
+//! Scale demonstration: a multi-suite datacenter with the full OCP
+//! hierarchy and thousands of servers, run with parallel fleet physics.
+//!
+//! ```text
+//! cargo run --release --example full_datacenter
+//! ```
+
+use std::time::Instant;
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{DatacenterBuilder, ServicePlan};
+use dynamo_repro::powerinfra::DeviceLevel;
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn main() {
+    let started = Instant::now();
+    // Two suites × 2 MSBs × 4 SBs × 4 RPPs × 4 racks × 30 servers
+    // = 15,360 servers — about half of one of the paper's 30 K suites.
+    let mut dc = DatacenterBuilder::new()
+        .suites(2)
+        .msbs_per_suite(2)
+        .sbs_per_msb(4)
+        .rpps_per_sb(4)
+        .racks_per_rpp(4)
+        .servers_per_rack(30)
+        .service_plan(ServicePlan::RowComposition(vec![
+            (ServiceKind::Web, 36),
+            (ServiceKind::Cache, 18),
+            (ServiceKind::Hadoop, 24),
+            (ServiceKind::Database, 12),
+            (ServiceKind::NewsFeed, 18),
+            (ServiceKind::F4Storage, 12),
+        ]))
+        .traffic(ServiceKind::Web, TrafficPattern::diurnal())
+        .traffic(ServiceKind::NewsFeed, TrafficPattern::diurnal())
+        .worker_threads(4)
+        .seed(2016)
+        .build();
+
+    println!(
+        "built: {} servers, {} devices, {} leaf + {} upper controllers in {:.2}s",
+        dc.fleet().len(),
+        dc.topology().device_count(),
+        dc.system().leaf_count(),
+        dc.system().upper_count(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let sim_started = Instant::now();
+    let horizon = SimDuration::from_mins(30);
+    dc.run_for(horizon);
+    let wall = sim_started.elapsed().as_secs_f64();
+    println!(
+        "simulated {} of datacenter time in {:.1}s wall ({:.0}x real time)\n",
+        horizon,
+        wall,
+        horizon.as_secs_f64() / wall
+    );
+
+    let stats = dc.fleet().stats();
+    println!("fleet power: {}", stats.total_power);
+    println!("capped servers: {}", stats.capped_servers);
+    println!("breaker trips: {}", dc.telemetry().breaker_trips().len());
+    println!("controller events: {}", dc.telemetry().controller_events().len());
+    println!("operator alerts: {}", dc.system().alerts().len());
+
+    println!("\nutilization of provisioned power per MSB:");
+    for msb in dc.topology().devices_at(DeviceLevel::Msb) {
+        let dev = dc.topology().device(msb);
+        let p = dc.device_power(msb);
+        println!(
+            "  {:<16} {:>9.1} kW / {:>8.1} kW  ({:>4.1}% of rating, oversubscription {:.2}x)",
+            dev.name,
+            p.as_kilowatts(),
+            dev.rating.as_kilowatts(),
+            p.ratio_of(dev.rating) * 100.0,
+            dc.topology().oversubscription(msb)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Staged rollout (§VI): deploy capping logic the way production does —
+//! dry-run first, then activate it on 1% → 10% → 50% → 100% of leaf
+//! controllers, watching that each phase behaves before going wider.
+//!
+//! ```text
+//! cargo run --release --example staged_rollout
+//! ```
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{ControllerEventKind, DatacenterBuilder};
+use dynamo_repro::powerinfra::Power;
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn main() {
+    // Eight mildly overloaded rows: every RPP wants ~11.4 kW against
+    // 11 kW — enough to demand capping, small enough that the breakers'
+    // thermal slack covers the dry-run phases (a ~4% overdraw takes
+    // over an hour to trip an RPP; see Figure 3).
+    let mut dc = DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(4)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.37))
+        .seed(66)
+        .build();
+
+    println!("8 overloaded rows; rolling the capping logic out in four phases\n");
+    let mut decided_so_far = 0;
+    for phase in 1u8..=4 {
+        let active = dc.system_mut().set_rollout_phase(phase);
+        dc.run_for(SimDuration::from_mins(4));
+
+        let decisions = dc
+            .telemetry()
+            .controller_events()
+            .iter()
+            .filter(|e| matches!(e.kind, ControllerEventKind::LeafCapped { .. }))
+            .count();
+        let stats = dc.fleet().stats();
+        println!(
+            "phase {phase}: {active}/8 controllers live  |  cap decisions so far {decisions} \
+             (+{})  |  servers actually capped {}  |  trips {}",
+            decisions - decided_so_far,
+            stats.capped_servers,
+            dc.telemetry().breaker_trips().len(),
+        );
+        decided_so_far = decisions;
+    }
+
+    println!(
+        "\nDry-run controllers computed the same decisions without actuating, so a\n\
+         bad control-logic change would have surfaced in phase 1 on one row — not\n\
+         across the fleet. After phase 4, every row is actively protected."
+    );
+}

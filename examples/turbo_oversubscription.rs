@@ -1,0 +1,67 @@
+//! Dynamic power oversubscription (§IV-B): enable Turbo Boost on a
+//! Hadoop cluster whose power plan never budgeted for it, and let
+//! Dynamo absorb the worst case.
+//!
+//! ```text
+//! cargo run --release --example turbo_oversubscription
+//! ```
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{Datacenter, DatacenterBuilder};
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::ServiceKind;
+
+fn build(turbo: bool) -> Datacenter {
+    let mut b = DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(4)
+        .servers_per_rack(30)
+        .rpp_rating(Power::from_kilowatts(48.0))
+        .sb_rating(Power::from_kilowatts(80.0))
+        .uniform_service(ServiceKind::Hadoop)
+        .seed(7);
+    if turbo {
+        b = b.turbo(ServiceKind::Hadoop);
+    }
+    b.build()
+}
+
+fn measure(label: &str, turbo: bool) -> f64 {
+    let mut dc = build(turbo);
+    let sb = dc.topology().devices_at(DeviceLevel::Sb)[0];
+    let mut perf_acc = 0.0;
+    let mut n = 0u32;
+    let mut peak = Power::ZERO;
+    let mut cap_minutes = 0u32;
+    for _ in 0..45 {
+        dc.run_for(SimDuration::from_mins(1));
+        perf_acc += dc.performance_under(sb);
+        n += 1;
+        peak = peak.max(dc.device_power(sb));
+        if dc.capped_under(sb) > 0 {
+            cap_minutes += 1;
+        }
+    }
+    let perf = perf_acc / n as f64;
+    println!(
+        "{label:<22} mean perf {perf:.3}   peak SB {:.1} kW / 80 kW   capped during {cap_minutes}/45 min   trips: {}",
+        peak.as_kilowatts(),
+        dc.telemetry().breaker_trips().len()
+    );
+    perf
+}
+
+fn main() {
+    println!("Hadoop cluster, 240 servers, SB budget 80 kW (no margin for Turbo):\n");
+    let base = measure("Turbo off (baseline)", false);
+    let boosted = measure("Turbo on + Dynamo", true);
+    println!(
+        "\nmap-reduce throughput gain: +{:.1}%  (paper: up to 13%)",
+        (boosted / base - 1.0) * 100.0
+    );
+    println!(
+        "Without Dynamo this would be unsafe: worst-case peak power with Turbo\n\
+         exceeds the SB budget, and only dynamic capping makes the plan viable."
+    );
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the Dynamo (ISCA 2016) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples,
+//! integration tests and downstream users can depend on a single
+//! package. See the [`dynamo`] crate for the system facade and the
+//! repository `README.md` / `DESIGN.md` for the architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use dcsim::SimDuration;
+//! use dynamo_repro::dynamo::DatacenterBuilder;
+//! use dynamo_repro::workloads::ServiceKind;
+//!
+//! let mut dc = DatacenterBuilder::new()
+//!     .sbs_per_msb(1)
+//!     .rpps_per_sb(1)
+//!     .racks_per_rpp(1)
+//!     .servers_per_rack(8)
+//!     .uniform_service(ServiceKind::Web)
+//!     .build();
+//! dc.run_for(SimDuration::from_secs(30));
+//! assert!(dc.fleet().stats().total_power.as_watts() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dcsim;
+pub use dynamo;
+pub use dynamo_agent;
+pub use dynamo_controller;
+pub use dynrpc;
+pub use powerinfra;
+pub use powerstats;
+pub use serverpower;
+pub use workloads;

@@ -1,0 +1,94 @@
+//! Cross-cutting determinism guarantees: the whole simulation is a pure
+//! function of its seed, at any thread count, which is what makes the
+//! experiment harness and the property tests trustworthy.
+
+use dcsim::{SimDuration, SimRng};
+use dynamo_repro::dynamo::{DatacenterBuilder, ServicePlan};
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn build(seed: u64, threads: usize) -> dynamo_repro::dynamo::Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .rpp_rating(Power::from_kilowatts(18.0))
+        .service_plan(ServicePlan::Mix(vec![
+            (ServiceKind::Web, 0.5),
+            (ServiceKind::Cache, 0.3),
+            (ServiceKind::Hadoop, 0.2),
+        ]))
+        .traffic(ServiceKind::Web, TrafficPattern::diurnal())
+        .agent_crash_rate(0.5)
+        .worker_threads(threads)
+        .seed(seed)
+        .build()
+}
+
+/// A fingerprint of the observable end state.
+fn fingerprint(dc: &dynamo_repro::dynamo::Datacenter) -> (u64, usize, usize, usize) {
+    let total_bits = dc.fleet().stats().total_power.as_watts().to_bits();
+    (
+        total_bits,
+        dc.telemetry().controller_events().len(),
+        dc.fleet().stats().capped_servers,
+        dc.system().alerts().len(),
+    )
+}
+
+#[test]
+fn same_seed_same_universe() {
+    let run = |seed| {
+        let mut dc = build(seed, 1);
+        dc.run_for(SimDuration::from_mins(5));
+        fingerprint(&dc)
+    };
+    assert_eq!(run(17), run(17));
+    assert_ne!(run(17), run(18), "different seeds must diverge");
+}
+
+#[test]
+fn thread_count_does_not_change_physics() {
+    // Parallel fleet stepping must be bit-identical to serial — the
+    // per-server RNG streams are independent by construction.
+    let mut serial = build(23, 1);
+    let mut parallel = build(23, 4);
+    serial.run_for(SimDuration::from_mins(5));
+    parallel.run_for(SimDuration::from_mins(5));
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    // Spot-check per-device traces, not just totals.
+    for rpp in serial.topology().devices_at(DeviceLevel::Rpp) {
+        assert_eq!(
+            serial.telemetry().device_trace(rpp).map(|t| t.values().to_vec()),
+            parallel.telemetry().device_trace(rpp).map(|t| t.values().to_vec()),
+            "trace diverged for {rpp}"
+        );
+    }
+}
+
+#[test]
+fn rng_state_serializes_and_resumes() {
+    // SimRng is serde-serializable; a restored generator continues the
+    // exact stream (checkpoint/restore support).
+    let mut rng = SimRng::seed_from(99);
+    for _ in 0..10 {
+        rng.next_u64();
+    }
+    let snapshot = rng.clone();
+    let continued: Vec<u64> = (0..20).map(|_| rng.next_u64()).collect();
+    let mut restored = snapshot;
+    let resumed: Vec<u64> = (0..20).map(|_| restored.next_u64()).collect();
+    assert_eq!(continued, resumed);
+}
+
+#[test]
+fn telemetry_is_a_pure_function_of_the_run() {
+    let trace = |seed: u64| {
+        let mut dc = build(seed, 2);
+        dc.run_for(SimDuration::from_mins(3));
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        dc.telemetry().device_trace(rpp).unwrap().values().to_vec()
+    };
+    assert_eq!(trace(7), trace(7));
+}

@@ -1,0 +1,88 @@
+//! The estimation story end to end (§III-B, §VI "Use accurate
+//! estimation for missing power information"): fleets with many
+//! sensorless servers must still be capped safely, because the agents'
+//! calibrated models feed the same aggregation path as sensors.
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::DatacenterBuilder;
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn overloaded_row(sensorless: f64, bias: f64, seed: u64) -> dynamo_repro::dynamo::Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.7))
+        .sensorless_fraction(sensorless)
+        .estimation_bias(bias)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn fully_sensorless_fleet_is_still_protected() {
+    // Every server estimates power from utilization; the controller
+    // still holds the row under its breaker rating.
+    let mut dc = overloaded_row(1.0, 0.0, 71);
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    dc.run_for(SimDuration::from_mins(10));
+    assert!(dc.telemetry().breaker_trips().is_empty(), "sensorless fleet tripped");
+    let p = dc.device_power(rpp);
+    assert!(
+        p <= Power::from_kilowatts(11.0 * 1.02),
+        "sensorless row not held: {p}"
+    );
+    assert!(dc.fleet().stats().capped_servers > 0, "no capping on an overloaded row");
+}
+
+#[test]
+fn estimation_reading_low_is_the_dangerous_direction() {
+    // A model that under-reports power makes the controller believe
+    // there is headroom that does not exist: true power settles higher
+    // than with honest sensors. The breaker's thermal slack plus the
+    // §VI validator are the backstops; here we verify the effect is
+    // bounded and detected.
+    let honest = {
+        let mut dc = overloaded_row(1.0, 0.0, 72);
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        dc.run_for(SimDuration::from_mins(10));
+        dc.device_power(rpp)
+    };
+    let mut dc = overloaded_row(1.0, -0.10, 72);
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    dc.run_for(SimDuration::from_mins(10));
+    let lowballed = dc.device_power(rpp);
+    assert!(
+        lowballed > honest,
+        "a low-reading model should let true power ride higher ({lowballed} vs {honest})"
+    );
+    // The overshoot is roughly the bias, not unbounded.
+    assert!(lowballed <= honest * 1.15, "overshoot beyond the injected bias: {lowballed}");
+    // And the breaker-validation path flags the mismatch.
+    assert!(
+        !dc.validator().alerts().is_empty(),
+        "validator missed the under-reporting model"
+    );
+}
+
+#[test]
+fn mixed_fleets_behave_like_sensored_ones_when_models_are_honest() {
+    let sensored = {
+        let mut dc = overloaded_row(0.0, 0.0, 73);
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        dc.run_for(SimDuration::from_mins(8));
+        dc.device_power(rpp).as_kilowatts()
+    };
+    let mixed = {
+        let mut dc = overloaded_row(0.5, 0.0, 73);
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        dc.run_for(SimDuration::from_mins(8));
+        dc.device_power(rpp).as_kilowatts()
+    };
+    let diff = (sensored - mixed).abs() / sensored;
+    assert!(diff < 0.03, "honest estimation changed the operating point by {diff:.3}");
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the §VI operational extensions: dry-run mode,
+//! breaker-reading cross-validation, and related observability.
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{ControllerEventKind, DatacenterBuilder};
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn overloaded(capping: bool) -> DatacenterBuilder {
+    DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.7))
+        .capping_enabled(capping)
+        .seed(31)
+}
+
+#[test]
+fn dry_run_decides_but_never_actuates() {
+    let mut dc = overloaded(true).dry_run(true).build();
+    dc.run_for(SimDuration::from_secs(120));
+
+    // Decisions are computed and logged...
+    let decided = dc
+        .telemetry()
+        .controller_events()
+        .iter()
+        .any(|e| matches!(e.kind, ControllerEventKind::LeafCapped { .. }));
+    assert!(decided, "dry-run controller computed no decisions");
+
+    // ...but no server was ever throttled.
+    assert_eq!(dc.fleet().stats().capped_servers, 0, "dry run actuated caps");
+    // Power is therefore unprotected — the whole point of dry-run being
+    // reserved for non-critical services.
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    assert!(dc.device_power(rpp) > Power::from_kilowatts(11.0));
+}
+
+#[test]
+fn validator_stays_quiet_on_healthy_aggregation() {
+    let mut dc = overloaded(true).build();
+    dc.run_for(SimDuration::from_mins(10));
+    assert!(
+        dc.validator().alerts().is_empty(),
+        "false-positive validation alerts: {:?}",
+        dc.validator().alerts()
+    );
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    let corr = dc.validator().correction(rpp).expect("validated at least once");
+    assert!((corr - 1.0).abs() < 0.03, "correction {corr} drifted on healthy data");
+}
+
+#[test]
+fn validator_catches_biased_estimation() {
+    // Every server is sensorless with a calibration model reading 15%
+    // low: the controller's aggregate disagrees with the breaker and
+    // the §VI validation path must notice.
+    let mut dc = overloaded(true)
+        .sensorless_fraction(1.0)
+        .estimation_bias(-0.15)
+        .build();
+    // The validator's EWMA converges over ~20 one-minute samples.
+    dc.run_for(SimDuration::from_mins(25));
+
+    assert!(
+        !dc.validator().alerts().is_empty(),
+        "validator missed a 15% aggregation bias"
+    );
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    let corr = dc.validator().correction(rpp).expect("validated");
+    // Aggregate reads 0.85x of truth → correction converges near 1/0.85.
+    assert!(
+        (corr - 1.0 / 0.85).abs() < 0.06,
+        "correction {corr} did not converge toward {:.3}",
+        1.0 / 0.85
+    );
+}
+
+#[test]
+fn validator_handles_blackouts_gracefully() {
+    // Without capping the row trips and goes dark; the validator must
+    // not divide by zero or spam alerts about the blackout.
+    let mut dc = overloaded(false).build();
+    dc.run_for(SimDuration::from_mins(15));
+    assert!(!dc.telemetry().breaker_trips().is_empty(), "precondition: trip expected");
+    // Any alerts must predate the blackout, not follow from it.
+    let trip_at = dc.telemetry().breaker_trips()[0].at;
+    for alert in dc.validator().alerts() {
+        assert!(alert.at <= trip_at + SimDuration::from_mins(2), "post-blackout alert {alert:?}");
+    }
+}

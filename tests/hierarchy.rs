@@ -1,0 +1,152 @@
+//! Integration tests of the full three-tier controller hierarchy:
+//! MSB → SB → RPP contract propagation (§III-D's recursion) and the
+//! interactions between tiers.
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{ControllerEventKind, DatacenterBuilder};
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+/// A datacenter where the MSB is the bottleneck: each SB and RPP has
+/// ample headroom, but the MSB rating is below the fleet's hot draw,
+/// so protection *must* flow MSB → SBs → RPPs → servers.
+fn msb_bottleneck() -> dynamo_repro::dynamo::Datacenter {
+    // 2 SBs × 2 RPPs × 2 racks × 15 = 120 servers, hot web ≈ 39 kW.
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(15)
+        .rpp_rating(Power::from_kilowatts(20.0)) // not binding (~9.8 kW each)
+        .sb_rating(Power::from_kilowatts(30.0)) // not binding (~19.6 kW each)
+        .msb_rating(Power::from_kilowatts(36.0)) // binding: fleet wants ~39 kW
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.7))
+        .seed(55)
+        .build()
+}
+
+#[test]
+fn msb_protection_recurses_to_servers() {
+    let mut dc = msb_bottleneck();
+    dc.run_for(SimDuration::from_mins(10));
+
+    let msb = dc.topology().root();
+    let events = dc.telemetry().controller_events();
+
+    // The MSB upper controller must have capped (pushed contracts to
+    // SBs) — its name identifies the tier.
+    let msb_caps = events
+        .iter()
+        .filter(|e| {
+            e.device == msb && matches!(e.kind, ControllerEventKind::UpperCapped { .. })
+        })
+        .count();
+    assert!(msb_caps > 0, "MSB controller never acted");
+
+    // The SB tier received contracts and passed pressure to leaves,
+    // which capped actual servers.
+    let leaf_caps = events
+        .iter()
+        .filter(|e| matches!(e.kind, ControllerEventKind::LeafCapped { .. }))
+        .count();
+    assert!(leaf_caps > 0, "pressure never reached the leaf tier");
+    assert!(dc.fleet().stats().capped_servers > 0 || leaf_caps > 0);
+
+    // And the MSB held: no trip anywhere, power at or under the rating.
+    assert!(dc.telemetry().breaker_trips().is_empty(), "MSB protection failed");
+    let p = dc.device_power(msb);
+    assert!(
+        p <= Power::from_kilowatts(36.0 * 1.02),
+        "MSB power {p} above its 36 kW rating"
+    );
+}
+
+#[test]
+fn contracts_flow_down_every_tier() {
+    let mut dc = msb_bottleneck();
+    dc.run_for(SimDuration::from_mins(5));
+
+    // Someone below the MSB must be under contract.
+    let sbs = dc.topology().devices_at(DeviceLevel::Sb);
+    let contracted_sbs = sbs
+        .iter()
+        .filter(|&&sb| {
+            dc.system()
+                .upper_for(sb)
+                .map(|u| u.effective_limit() < dc.topology().device(sb).rating)
+                .unwrap_or(false)
+        })
+        .count();
+    let rpps = dc.topology().devices_at(DeviceLevel::Rpp);
+    let contracted_rpps = rpps
+        .iter()
+        .filter(|&&rpp| {
+            dc.system()
+                .leaf_for(rpp)
+                .map(|l| l.contractual_limit().is_some())
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        contracted_sbs > 0,
+        "no SB holds a contractual limit from the MSB"
+    );
+    assert!(
+        contracted_rpps > 0,
+        "no RPP holds a contractual limit from an SB"
+    );
+}
+
+#[test]
+fn every_level_ends_within_its_effective_limit() {
+    let mut dc = msb_bottleneck();
+    dc.run_for(SimDuration::from_mins(12));
+    for level in [DeviceLevel::Rpp, DeviceLevel::Sb, DeviceLevel::Msb] {
+        for dev in dc.topology().devices_at(level) {
+            let rating = dc.topology().device(dev).rating;
+            let p = dc.device_power(dev);
+            assert!(
+                p <= rating * 1.02,
+                "{} {} over its rating: {p} vs {rating}",
+                level.label(),
+                dc.topology().device(dev).name
+            );
+        }
+    }
+}
+
+#[test]
+fn pressure_releases_when_the_msb_cools() {
+    let mut dc = DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(15)
+        .rpp_rating(Power::from_kilowatts(20.0))
+        .sb_rating(Power::from_kilowatts(30.0))
+        .msb_rating(Power::from_kilowatts(36.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(
+            ServiceKind::Web,
+            TrafficPattern::flat(1.7).with_event(
+                dynamo_repro::workloads::TrafficEvent::new(
+                    dcsim::SimTime::from_mins(8),
+                    dcsim::SimTime::from_mins(30),
+                    0.4,
+                )
+                .with_ramp(SimDuration::from_secs(60)),
+            ),
+        )
+        .seed(56)
+        .build();
+    dc.run_for(SimDuration::from_mins(20));
+
+    // After the cool-down, contracts clear and caps lift.
+    let events = dc.telemetry().controller_events();
+    assert!(
+        events.iter().any(|e| matches!(e.kind, ControllerEventKind::UpperUncapped)),
+        "upper tier never released its contracts"
+    );
+    assert_eq!(dc.fleet().stats().capped_servers, 0, "servers still capped after cool-down");
+}

@@ -1,0 +1,160 @@
+//! The paper's timing contract, measured end to end: "We design Dynamo
+//! to sample data at the granularity of a few seconds and conservatively
+//! target 10 s of time for control actions and power settling time."
+
+use dcsim::{SimDuration, SimTime};
+use dynamo_repro::dynamo::DatacenterBuilder;
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::{ServiceKind, TrafficEvent, TrafficPattern};
+
+/// Builds a row that is comfortable until a sharp step surge at t=120 s
+/// pushes it over its breaker's capping threshold.
+fn stepped_row(seed: u64) -> dynamo_repro::dynamo::Datacenter {
+    let surge = TrafficEvent::new(SimTime::from_secs(120), SimTime::from_secs(900), 1.75)
+        .with_ramp(SimDuration::ZERO); // worst case: an instantaneous step
+    DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.0).with_event(surge))
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn worst_case_step_settles_well_inside_the_breaker_deadline() {
+    for seed in [1u64, 2, 3] {
+        let mut dc = stepped_row(seed);
+        let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+        let threshold = Power::from_kilowatts(11.0 * 0.99);
+        // "Settled" per the three-band contract: capping aims at the 95%
+        // target, and the hold band keeps power below the threshold —
+        // anywhere in that band is the safe steady state (Figure 11
+        // holds "slightly below the capping target"). We require the
+        // midpoint of the band.
+        let safe = Power::from_kilowatts(11.0 * 0.97);
+
+        dc.run_until(SimTime::from_secs(120));
+        assert!(dc.device_power(rpp) < safe, "seed {seed}: row hot before the surge");
+
+        // Find when power first crosses the capping threshold, then when
+        // it settles back into the safe band.
+        let mut crossed_at: Option<u64> = None;
+        let mut settled_at: Option<u64> = None;
+        for t in 120..300u64 {
+            dc.run_until(SimTime::from_secs(t + 1));
+            let p = dc.device_power(rpp);
+            if crossed_at.is_none() && p >= threshold {
+                crossed_at = Some(t);
+            }
+            if crossed_at.is_some() && settled_at.is_none() && p <= safe {
+                settled_at = Some(t);
+                break;
+            }
+        }
+        let crossed = crossed_at.expect("the step surge must cross the threshold");
+        let settled = settled_at.expect("capping must bring power to the target");
+        let response = settled - crossed;
+        // An instantaneous 75% step is harsher than anything in the
+        // paper (their load tests ramp over minutes): demand keeps
+        // rising while the first cuts are computed, so convergence
+        // takes several 3 s cycles. §II-C's hard requirement is the
+        // ~2-minute breaker deadline; we demand better than a third of
+        // that even in this worst case.
+        assert!(
+            response <= 45,
+            "seed {seed}: {response} s from threshold crossing to settled power \
+             (must stay well inside the ~120 s MSB deadline)"
+        );
+        assert!(
+            dc.telemetry().breaker_trips().is_empty(),
+            "seed {seed}: breaker tripped during the response window"
+        );
+    }
+}
+
+#[test]
+fn gradual_surge_settles_within_the_ten_second_target() {
+    // The paper's own scenario shape (Figure 11's load test ramps over
+    // minutes): with demand quasi-static per cycle, one decision + the
+    // ~2 s RAPL transient settles power — "throttled power to a safe
+    // level within about 6 s".
+    let surge = TrafficEvent::new(SimTime::from_secs(120), SimTime::from_secs(900), 1.75)
+        .with_ramp(SimDuration::from_mins(4));
+    let mut dc = DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(1)
+        .racks_per_rpp(2)
+        .servers_per_rack(20)
+        .rpp_rating(Power::from_kilowatts(11.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.0).with_event(surge))
+        .seed(4)
+        .build();
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    let threshold = Power::from_kilowatts(11.0 * 0.99);
+
+    // Walk to the first threshold crossing.
+    let mut crossed_at = None;
+    for t in 120..600u64 {
+        dc.run_until(SimTime::from_secs(t + 1));
+        if dc.device_power(rpp) >= threshold {
+            crossed_at = Some(t);
+            break;
+        }
+    }
+    let crossed = crossed_at.expect("ramp must cross the threshold");
+    // Within ~10 s, power is back under the threshold (capped).
+    let mut safe_again = None;
+    for t in crossed..crossed + 30 {
+        dc.run_until(SimTime::from_secs(t + 1));
+        if dc.device_power(rpp) < threshold {
+            safe_again = Some(t);
+            break;
+        }
+    }
+    let settled = safe_again.expect("capping must pull power back under the threshold");
+    assert!(
+        settled - crossed <= 10,
+        "{} s to re-enter the safe band on a gradual surge (paper: ~6 s)",
+        settled - crossed
+    );
+}
+
+#[test]
+fn sampling_cadence_bounds_detection_latency() {
+    // With a 3 s pulling cycle, the controller must notice the breach
+    // within one cycle: the first capping event lands within ~4 s of
+    // the crossing.
+    let mut dc = stepped_row(9);
+    let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
+    let threshold = Power::from_kilowatts(11.0 * 0.99);
+    dc.run_until(SimTime::from_secs(120));
+    let mut crossed_at = None;
+    for t in 120..300u64 {
+        dc.run_until(SimTime::from_secs(t + 1));
+        if dc.device_power(rpp) >= threshold {
+            crossed_at = Some(t);
+            break;
+        }
+    }
+    let crossed = crossed_at.expect("surge must cross the threshold");
+    dc.run_until(SimTime::from_secs(crossed + 10));
+    let first_cap = dc
+        .telemetry()
+        .controller_events()
+        .iter()
+        .find(|e| {
+            matches!(
+                e.kind,
+                dynamo_repro::dynamo::ControllerEventKind::LeafCapped { .. }
+            )
+        })
+        .expect("capping decision must fire")
+        .at;
+    let detection = first_cap.as_secs().saturating_sub(crossed);
+    assert!(detection <= 4, "{detection} s to the first capping decision (3 s cycle)");
+}
