@@ -4,16 +4,23 @@
 //! one control cycle at production fan-outs (a leaf controller pulls "a
 //! few hundred servers or more"; consolidated binaries run ~100
 //! controller threads)?
+//!
+//! The final section measures the whole control plane end to end — a
+//! ticks/sec matrix over RPP count × worker threads — and records it in
+//! `BENCH_controlplane.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use dcsim::SimTime;
+use dynamo::{Datacenter, DatacenterBuilder};
 use dynamo_controller::{
     distribute_power_cut, three_band_decision, ChildReport, LeafConfig, LeafController,
     ServerHandle, ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
 };
 use dynrpc::{PowerReading, Request, Response};
 use powerinfra::Power;
-use std::hint::black_box;
+use workloads::{ServiceKind, TrafficPattern};
 
 fn watts(v: f64) -> Power {
     Power::from_watts(v)
@@ -39,43 +46,26 @@ fn make_powers(n: usize) -> Vec<Power> {
     (0..n).map(|i| watts(220.0 + (i % 120) as f64)).collect()
 }
 
-fn bench_three_band(c: &mut Criterion) {
+fn bench_three_band() {
     let bands = ThreeBandConfig::default();
     let limit = Power::from_kilowatts(190.0);
-    c.bench_function("three_band_decision", |b| {
-        b.iter(|| {
-            black_box(three_band_decision(
-                black_box(Power::from_kilowatts(189.0)),
-                limit,
-                bands,
-                true,
-            ))
-        })
+    bench::bench("three_band_decision", || {
+        three_band_decision(black_box(Power::from_kilowatts(189.0)), limit, bands, true)
     });
 }
 
-fn bench_distribution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distribute_power_cut");
+fn bench_distribution() {
     for &n in &[100usize, 400, 1000] {
         let handles = make_handles(n);
         let powers = make_powers(n);
         let cut = watts(30.0 * n as f64 / 4.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(distribute_power_cut(
-                    black_box(&handles),
-                    black_box(&powers),
-                    cut,
-                    watts(20.0),
-                ))
-            })
+        bench::bench(&format!("distribute_power_cut/{n}"), || {
+            distribute_power_cut(black_box(&handles), black_box(&powers), cut, watts(20.0))
         });
     }
-    group.finish();
 }
 
-fn bench_leaf_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("leaf_cycle");
+fn bench_leaf_cycle() {
     for &n in &[100usize, 400, 1000] {
         // Limit sized so each cycle actually computes a capping action —
         // the worst-case path.
@@ -83,25 +73,21 @@ fn bench_leaf_cycle(c: &mut Criterion) {
         let limit = watts(mean_power * n as f64 * 0.98);
         let handles = make_handles(n);
         let powers = make_powers(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut leaf = LeafController::new("bench", LeafConfig::new(limit), handles.clone());
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 3;
-                black_box(leaf.cycle(SimTime::from_secs(t), |sid, req| match req {
-                    Request::ReadPower => Ok(Response::Power(PowerReading::total_only(
-                        powers[sid as usize],
-                    ))),
-                    _ => Ok(Response::CapAck { ok: true }),
-                }))
+        let mut leaf = LeafController::new("bench", LeafConfig::new(limit), handles);
+        let mut t = 0u64;
+        bench::bench(&format!("leaf_cycle/{n}"), || {
+            t += 3;
+            leaf.cycle(SimTime::from_secs(t), |sid, req| match req {
+                Request::ReadPower => Ok(Response::Power(PowerReading::total_only(
+                    powers[sid as usize],
+                ))),
+                _ => Ok(Response::CapAck { ok: true }),
             })
         });
     }
-    group.finish();
 }
 
-fn bench_upper_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("upper_cycle");
+fn bench_upper_cycle() {
     for &n in &[4usize, 16, 64] {
         let reports: Vec<ChildReport> = (0..n)
             .map(|i| ChildReport {
@@ -111,17 +97,131 @@ fn bench_upper_cycle(c: &mut Criterion) {
             })
             .collect();
         let limit = Power::from_kilowatts(185.0 * n as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut upper = UpperController::new("bench", UpperConfig::new(limit), n);
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 9;
-                black_box(upper.cycle(SimTime::from_secs(t), black_box(&reports)))
-            })
+        let mut upper = UpperController::new("bench", UpperConfig::new(limit), n);
+        let mut t = 0u64;
+        bench::bench(&format!("upper_cycle/{n}"), || {
+            t += 9;
+            upper.cycle(SimTime::from_secs(t), black_box(&reports))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_three_band, bench_distribution, bench_leaf_cycle, bench_upper_cycle);
-criterion_main!(benches);
+/// One point of the control-plane throughput matrix.
+struct MatrixPoint {
+    rpps: usize,
+    servers: usize,
+    threads: usize,
+    ticks_per_sec: f64,
+}
+
+fn matrix_datacenter(sbs: usize, rpps_per_sb: usize, threads: usize) -> Datacenter {
+    // 160 servers per RPP: the paper's leaf controllers each pull "a
+    // few hundred servers or more" (§IV).
+    DatacenterBuilder::new()
+        .sbs_per_msb(sbs)
+        .rpps_per_sb(rpps_per_sb)
+        .racks_per_rpp(4)
+        .servers_per_rack(40)
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.2))
+        .seed(42)
+        .worker_threads(threads)
+        .build()
+}
+
+fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
+    for _ in 0..10 {
+        dc.step();
+    }
+    let mut ticks = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..20 {
+            dc.step();
+        }
+        ticks += 20;
+        if start.elapsed().as_millis() >= 300 {
+            break;
+        }
+    }
+    ticks as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Ticks/sec of the full simulation loop (physics + leaf control
+/// cycles) over RPP count × worker threads, recorded as JSON.
+///
+/// The parallel cells only beat serial when the host actually has
+/// cores to run them on: each tick pays two `thread::scope`
+/// spawn/join rounds (~17 µs per thread here), so on a single-core
+/// host the 8-thread column measures pure overhead. The JSON records
+/// the host parallelism so the speedup is interpretable.
+fn bench_control_plane_matrix() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\ncontrol plane ticks/sec (RPPs x threads), host cores: {host_cpus}");
+    let mut points: Vec<MatrixPoint> = Vec::new();
+    for &(sbs, rpps_per_sb) in &[(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
+        let rpps = sbs * rpps_per_sb;
+        for &threads in &[1usize, 8] {
+            let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads);
+            assert!(
+                threads == 1 || dc.system().supports_parallel_leaves(),
+                "matrix topology must support parallel leaves"
+            );
+            let servers = dc.fleet().len();
+            let ticks_per_sec = measure_ticks_per_sec(&mut dc);
+            println!("  rpps={rpps:<3} servers={servers:<5} threads={threads}  {ticks_per_sec:>10.0} ticks/s");
+            points.push(MatrixPoint {
+                rpps,
+                servers,
+                threads,
+                ticks_per_sec,
+            });
+        }
+    }
+
+    let rate = |rpps: usize, threads: usize| {
+        points
+            .iter()
+            .find(|p| p.rpps == rpps && p.threads == threads)
+            .map(|p| p.ticks_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = rate(64, 8) / rate(64, 1);
+    println!("  speedup at 64 RPPs, 8 threads vs 1: {speedup:.2}x");
+    if host_cpus < 2 {
+        println!("  (single-core host: the 8-thread column measures spawn/join overhead only)");
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"controlplane_ticks_per_sec\",\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {host_cpus},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
+            p.rpps,
+            p.servers,
+            p.threads,
+            p.ticks_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3}\n}}\n"
+    ));
+    let path = bench::workspace_path("BENCH_controlplane.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    bench_three_band();
+    bench_distribution();
+    bench_leaf_cycle();
+    bench_upper_cycle();
+    bench_control_plane_matrix();
+}

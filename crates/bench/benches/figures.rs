@@ -2,46 +2,41 @@
 //! takes at quick scale. These double as regression guards that every
 //! experiment stays runnable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::{
     ablation, coordination, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig3, fig4,
     fig5, fig6, fig9, table1, Scale,
 };
-use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper");
-    group.sample_size(10);
-
-    group.bench_function("fig1_power_curve", |b| b.iter(|| black_box(fig1::run())));
-    group.bench_function("fig3_breaker", |b| b.iter(|| black_box(fig3::run())));
-    group.bench_function("fig4_variation", |b| b.iter(|| black_box(fig4::run())));
-    group.bench_function("fig9_rapl_transient", |b| b.iter(|| black_box(fig9::run())));
-    group.bench_function("fig10_three_band", |b| b.iter(|| black_box(fig10::run())));
-    group.bench_function("fig13_perf_slowdown", |b| b.iter(|| black_box(fig13::run())));
-    group.bench_function("ablation_three_band_vs_pi", |b| b.iter(|| black_box(ablation::run())));
-    group.bench_function("ablation_coordination_policy", |b| {
-        b.iter(|| black_box(coordination::run()))
-    });
-    group.finish();
+fn main() {
+    // Cheap analytic figures.
+    bench::bench_samples("paper/fig1_power_curve", 10, fig1::run);
+    bench::bench_samples("paper/fig3_breaker", 10, fig3::run);
+    bench::bench_samples("paper/fig4_variation", 10, fig4::run);
+    bench::bench_samples("paper/fig9_rapl_transient", 10, fig9::run);
+    bench::bench_samples("paper/fig10_three_band", 10, fig10::run);
+    bench::bench_samples("paper/fig13_perf_slowdown", 10, fig13::run);
+    bench::bench_samples("paper/ablation_three_band_vs_pi", 10, ablation::run);
+    bench::bench_samples("paper/ablation_coordination_policy", 10, coordination::run);
 
     // The simulation-backed figures are seconds each; sample them less.
-    let mut slow = c.benchmark_group("paper_slow");
-    slow.sample_size(10);
-    slow.bench_function("fig5_variation_cdf", |b| b.iter(|| black_box(fig5::run(Scale::Quick))));
-    slow.bench_function("fig6_service_variation", |b| {
-        b.iter(|| black_box(fig6::run(Scale::Quick)))
+    bench::bench_samples("paper_slow/fig5_variation_cdf", 3, || {
+        fig5::run(Scale::Quick)
     });
-    slow.bench_function("fig11_leaf_capping", |b| b.iter(|| black_box(fig11::run(Scale::Quick))));
-    slow.bench_function("fig12_sb_capping", |b| b.iter(|| black_box(fig12::run(Scale::Quick))));
-    slow.bench_function("fig14_turbo_hadoop", |b| b.iter(|| black_box(fig14::run(Scale::Quick))));
-    slow.bench_function("fig15_priority", |b| b.iter(|| black_box(fig15::run(Scale::Quick))));
-    slow.bench_function("fig16_bucket_snapshot", |b| {
-        b.iter(|| black_box(fig16::run(Scale::Quick)))
+    bench::bench_samples("paper_slow/fig6_service_variation", 3, || {
+        fig6::run(Scale::Quick)
     });
-    slow.bench_function("table1_summary", |b| b.iter(|| black_box(table1::run(Scale::Quick))));
-    slow.finish();
+    bench::bench_samples("paper_slow/fig11_leaf_capping", 3, || {
+        fig11::run(Scale::Quick)
+    });
+    bench::bench_samples("paper_slow/fig12_sb_capping", 3, || {
+        fig12::run(Scale::Quick)
+    });
+    bench::bench_samples("paper_slow/fig14_turbo_hadoop", 3, || {
+        fig14::run(Scale::Quick)
+    });
+    bench::bench_samples("paper_slow/fig15_priority", 3, || fig15::run(Scale::Quick));
+    bench::bench_samples("paper_slow/fig16_bucket_snapshot", 3, || {
+        fig16::run(Scale::Quick)
+    });
+    bench::bench_samples("paper_slow/table1_summary", 3, || table1::run(Scale::Quick));
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,6 +1,5 @@
 //! Whole-datacenter simulation throughput and design ablations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcsim::SimDuration;
 use dynamo::DatacenterBuilder;
 use dynrpc::LinkProfile;
@@ -19,90 +18,67 @@ fn builder(servers_per_rack: usize) -> DatacenterBuilder {
 }
 
 /// Simulated-minutes-per-wall-second as a function of fleet size.
-fn bench_step_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datacenter_minute");
-    group.sample_size(10);
+fn bench_step_scaling() {
     for &per_rack in &[5usize, 20, 40] {
         let servers = 2 * 2 * 2 * per_rack;
-        group.bench_with_input(BenchmarkId::from_parameter(servers), &per_rack, |b, &pr| {
-            let mut dc = builder(pr).build();
-            b.iter(|| {
-                dc.run_for(SimDuration::from_mins(1));
-                black_box(dc.now())
-            })
+        let mut dc = builder(per_rack).build();
+        bench::bench_samples(&format!("datacenter_minute/{servers}"), 10, || {
+            dc.run_for(SimDuration::from_mins(1));
+            black_box(dc.now())
         });
     }
-    group.finish();
 }
 
 /// Ablation: cost of the control plane — monitoring-only vs full
 /// capping, and lossy vs clean RPC.
-fn bench_control_plane_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_minute");
-    group.sample_size(10);
-    group.bench_function("capping_on", |b| {
-        let mut dc = builder(20).build();
-        b.iter(|| {
-            dc.run_for(SimDuration::from_mins(1));
-            black_box(dc.now())
-        })
+fn bench_control_plane_ablation() {
+    let mut dc = builder(20).build();
+    bench::bench_samples("ablation_minute/capping_on", 10, || {
+        dc.run_for(SimDuration::from_mins(1));
+        black_box(dc.now())
     });
-    group.bench_function("monitor_only", |b| {
-        let mut dc = builder(20).capping_enabled(false).build();
-        b.iter(|| {
-            dc.run_for(SimDuration::from_mins(1));
-            black_box(dc.now())
-        })
+    let mut dc = builder(20).capping_enabled(false).build();
+    bench::bench_samples("ablation_minute/monitor_only", 10, || {
+        dc.run_for(SimDuration::from_mins(1));
+        black_box(dc.now())
     });
-    group.bench_function("lossy_rpc", |b| {
-        let mut dc = builder(20).rpc_profile(LinkProfile::lossy(0.05, 0.05)).build();
-        b.iter(|| {
-            dc.run_for(SimDuration::from_mins(1));
-            black_box(dc.now())
-        })
+    let mut dc = builder(20)
+        .rpc_profile(LinkProfile::lossy(0.05, 0.05))
+        .build();
+    bench::bench_samples("ablation_minute/lossy_rpc", 10, || {
+        dc.run_for(SimDuration::from_mins(1));
+        black_box(dc.now())
     });
-    group.finish();
 }
 
 /// Ablation: simulation tick granularity (DESIGN.md calls this out) —
 /// the cost of finer physics resolution.
-fn bench_tick_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_tick");
-    group.sample_size(10);
+fn bench_tick_ablation() {
     for &tick_ms in &[500u64, 1000, 3000] {
-        group.bench_with_input(BenchmarkId::from_parameter(tick_ms), &tick_ms, |b, &ms| {
-            let mut dc = builder(20).tick(SimDuration::from_millis(ms)).build();
-            b.iter(|| {
-                dc.run_for(SimDuration::from_mins(1));
-                black_box(dc.now())
-            })
+        let mut dc = builder(20).tick(SimDuration::from_millis(tick_ms)).build();
+        bench::bench_samples(&format!("ablation_tick/{tick_ms}"), 10, || {
+            dc.run_for(SimDuration::from_mins(1));
+            black_box(dc.now())
         });
     }
-    group.finish();
 }
 
-/// Ablation: fleet-physics worker threads (results are bit-identical
-/// at any count; this measures the wall-clock payoff).
-fn bench_thread_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_threads");
-    group.sample_size(10);
+/// Ablation: worker threads for fleet physics and leaf control cycles
+/// (results are bit-identical at any count; this measures the
+/// wall-clock payoff).
+fn bench_thread_ablation() {
     for &threads in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let mut dc = builder(40).worker_threads(t).build();
-            b.iter(|| {
-                dc.run_for(SimDuration::from_mins(1));
-                black_box(dc.now())
-            })
+        let mut dc = builder(40).worker_threads(threads).build();
+        bench::bench_samples(&format!("ablation_threads/{threads}"), 10, || {
+            dc.run_for(SimDuration::from_mins(1));
+            black_box(dc.now())
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_step_scaling,
-    bench_control_plane_ablation,
-    bench_tick_ablation,
-    bench_thread_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_step_scaling();
+    bench_control_plane_ablation();
+    bench_tick_ablation();
+    bench_thread_ablation();
+}

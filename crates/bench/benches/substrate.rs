@@ -1,6 +1,5 @@
 //! Substrate microbenchmarks: the primitives the simulator leans on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcsim::{SimDuration, SimRng, SimTime};
 use powerinfra::{Breaker, Power, TripCurve};
 use powerstats::{sliding_variation, Trace};
@@ -8,82 +7,77 @@ use serverpower::{Server, ServerConfig, ServerGeneration};
 use std::hint::black_box;
 use workloads::{ServiceKind, ServiceWorkload};
 
-fn bench_rng(c: &mut Criterion) {
+fn bench_rng() {
     let mut rng = SimRng::seed_from(1);
-    c.bench_function("rng_next_u64", |b| b.iter(|| black_box(rng.next_u64())));
-    c.bench_function("rng_normal", |b| b.iter(|| black_box(rng.normal(0.0, 1.0))));
+    bench::bench("rng_next_u64", || rng.next_u64());
+    let mut rng = SimRng::seed_from(1);
+    bench::bench("rng_normal", || rng.normal(0.0, 1.0));
 }
 
-fn bench_breaker_step(c: &mut Criterion) {
+fn bench_breaker_step() {
     let mut breaker = Breaker::new(Power::from_kilowatts(190.0), TripCurve::rpp());
     let draw = Power::from_kilowatts(185.0);
-    c.bench_function("breaker_step", |b| {
-        b.iter(|| black_box(breaker.step(draw, SimDuration::from_secs(1))))
+    bench::bench("breaker_step", || {
+        breaker.step(draw, SimDuration::from_secs(1))
     });
 }
 
-fn bench_server_step(c: &mut Criterion) {
+fn bench_server_step() {
     let mut server = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015));
     server.set_demand(0.7);
-    c.bench_function("server_step", |b| {
-        b.iter(|| black_box(server.step(SimDuration::from_secs(1))))
-    });
+    bench::bench("server_step", || server.step(SimDuration::from_secs(1)));
 }
 
-fn bench_workload_step(c: &mut Criterion) {
+fn bench_workload_step() {
     let mut wl = ServiceWorkload::new(ServiceKind::Web, SimRng::seed_from(2));
     let mut t = SimTime::ZERO;
-    c.bench_function("workload_utilization", |b| {
-        b.iter(|| {
-            t += SimDuration::from_secs(1);
-            black_box(wl.utilization(t, 1.0, SimDuration::from_secs(1)))
-        })
+    bench::bench("workload_utilization", || {
+        t += SimDuration::from_secs(1);
+        wl.utilization(t, 1.0, SimDuration::from_secs(1))
     });
 }
 
-fn bench_sliding_variation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sliding_variation");
+fn bench_sliding_variation() {
     for &n in &[10_000usize, 100_000] {
         let mut rng = SimRng::seed_from(3);
         let values: Vec<f64> = (0..n).map(|_| 1000.0 + rng.normal(0.0, 20.0)).collect();
         let trace = Trace::new(SimDuration::from_secs(3), values);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(sliding_variation(&trace, SimDuration::from_secs(60))))
+        bench::bench(&format!("sliding_variation/{n}"), || {
+            sliding_variation(black_box(&trace), SimDuration::from_secs(60))
         });
     }
-    group.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     use dynrpc::codec::{decode_response, encode_response};
     use dynrpc::{PowerReading, Response};
     let resp = Response::Power(PowerReading::total_only(Power::from_watts(234.5)));
-    c.bench_function("codec_encode_response", |b| b.iter(|| black_box(encode_response(&resp))));
+    bench::bench("codec_encode_response", || {
+        encode_response(black_box(&resp))
+    });
     let bytes = encode_response(&resp);
-    c.bench_function("codec_decode_response", |b| {
-        b.iter(|| black_box(decode_response(&bytes[..]).unwrap()))
+    bench::bench("codec_decode_response", || {
+        decode_response(black_box(&bytes[..])).unwrap()
     });
 }
 
-fn bench_cdf(c: &mut Criterion) {
+fn bench_cdf() {
     use powerstats::Cdf;
     let mut rng = SimRng::seed_from(4);
     let samples: Vec<f64> = (0..50_000).map(|_| rng.normal(100.0, 15.0)).collect();
-    c.bench_function("cdf_build_50k", |b| {
-        b.iter(|| black_box(Cdf::from_samples(samples.clone())))
+    bench::bench("cdf_build_50k", || {
+        Cdf::from_samples(black_box(samples.clone()))
     });
     let cdf = Cdf::from_samples(samples);
-    c.bench_function("cdf_p99", |b| b.iter(|| black_box(cdf.p99())));
+    bench::bench("cdf_p99", || black_box(&cdf).p99());
 }
 
-criterion_group!(
-    benches,
-    bench_rng,
-    bench_breaker_step,
-    bench_server_step,
-    bench_workload_step,
-    bench_sliding_variation,
-    bench_codec,
-    bench_cdf
-);
-criterion_main!(benches);
+fn main() {
+    bench_rng();
+    bench_breaker_step();
+    bench_server_step();
+    bench_workload_step();
+    bench_sliding_variation();
+    bench_codec();
+    bench_cdf();
+}

@@ -60,7 +60,10 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        SimRng { state, spare_normal: None }
+        SimRng {
+            state,
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator keyed by `label`.
@@ -116,7 +119,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform range {lo}..{hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform range {lo}..{hi}"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -167,7 +173,10 @@ impl SimRng {
     ///
     /// Panics if `std_dev` is negative or not finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "invalid std dev {std_dev}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "invalid std dev {std_dev}"
+        );
         mean + std_dev * self.next_normal()
     }
 
@@ -196,7 +205,10 @@ impl SimRng {
     ///
     /// Panics if `x_min` or `alpha` is not strictly positive.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto params ({x_min}, {alpha})");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "invalid pareto params ({x_min}, {alpha})"
+        );
         x_min / (1.0 - self.next_f64()).powf(1.0 / alpha)
     }
 
@@ -324,7 +336,10 @@ mod tests {
         let mut rng = SimRng::seed_from(31);
         let n = 100_000;
         let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
-        assert!((mean - 2.0).abs() < 0.06, "exponential mean drifted: {mean}");
+        assert!(
+            (mean - 2.0).abs() < 0.06,
+            "exponential mean drifted: {mean}"
+        );
     }
 
     #[test]

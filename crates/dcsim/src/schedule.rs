@@ -50,7 +50,10 @@ impl PeriodicSchedule {
     /// Panics if `period` is zero.
     pub fn starting_at(period: SimDuration, start: SimTime) -> Self {
         assert!(!period.is_zero(), "schedule period must be positive");
-        PeriodicSchedule { period, next: start }
+        PeriodicSchedule {
+            period,
+            next: start,
+        }
     }
 
     /// The period.
@@ -112,8 +115,7 @@ mod tests {
 
     #[test]
     fn phase_offset_delays_the_first_firing() {
-        let mut s =
-            PeriodicSchedule::starting_at(SimDuration::from_secs(9), SimTime::from_secs(4));
+        let mut s = PeriodicSchedule::starting_at(SimDuration::from_secs(9), SimTime::from_secs(4));
         assert!(!s.fire(SimTime::ZERO));
         assert!(!s.fire(SimTime::from_secs(3)));
         assert!(s.fire(SimTime::from_secs(4)));

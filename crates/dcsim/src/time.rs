@@ -26,8 +26,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_millis(), 90_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(90));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -109,8 +110,9 @@ impl fmt::Display for SimTime {
 /// let poll = SimDuration::from_secs(3);
 /// assert_eq!(poll * 3, SimDuration::from_secs(9));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -184,7 +186,11 @@ impl fmt::Display for SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation clock overflow"),
+        )
     }
 }
 

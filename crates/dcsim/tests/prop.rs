@@ -1,103 +1,163 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! kernel's own deterministic [`SimRng`] stream.
 
 use dcsim::{EventQueue, SimDuration, SimRng, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always dequeue in non-decreasing time order, with FIFO
-    /// order among ties, regardless of the insertion order.
-    #[test]
-    fn queue_dequeues_in_time_then_fifo_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+const CASES: usize = 200;
+
+/// Events always dequeue in non-decreasing time order, with FIFO order
+/// among ties, regardless of the insertion order.
+#[test]
+fn queue_dequeues_in_time_then_fifo_order() {
+    let mut rng = SimRng::seed_from(0xD_51).split("queue-order");
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1000)).collect();
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), (t, seq));
         }
         let mut prev: Option<(u64, usize)> = None;
         while let Some((at, (t, seq))) = q.pop() {
-            prop_assert_eq!(at.as_millis(), t);
+            assert_eq!(at.as_millis(), t);
             if let Some((pt, pseq)) = prev {
-                prop_assert!(t >= pt);
+                assert!(t >= pt);
                 if t == pt {
-                    prop_assert!(seq > pseq, "FIFO violated for simultaneous events");
+                    assert!(seq > pseq, "FIFO violated for simultaneous events");
                 }
             }
             prev = Some((t, seq));
         }
     }
+}
 
-    /// The queue never loses or duplicates events.
-    #[test]
-    fn queue_conserves_events(times in prop::collection::vec(0u64..100, 0..100)) {
+/// The queue never loses or duplicates events.
+#[test]
+fn queue_conserves_events() {
+    let mut rng = SimRng::seed_from(0xD_51).split("queue-conserve");
+    for _ in 0..CASES {
+        let n = rng.next_below(100) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(100)).collect();
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::from_millis(t), t);
         }
-        prop_assert_eq!(q.len(), times.len());
+        assert_eq!(q.len(), times.len());
         let mut drained: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         let mut expect = times.clone();
         drained.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(drained, expect);
+        assert_eq!(drained, expect);
     }
+}
 
-    /// Uniform draws respect their bounds for arbitrary finite ranges.
-    #[test]
-    fn uniform_respects_arbitrary_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.0f64..1e6) {
-        let mut rng = SimRng::seed_from(seed);
+/// Uniform draws respect their bounds for arbitrary finite ranges.
+#[test]
+fn uniform_respects_arbitrary_bounds() {
+    let mut meta = SimRng::seed_from(0xD_51).split("uniform-bounds");
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let lo = meta.uniform(-1e6, 1e6);
+        let width = meta.uniform(0.0, 1e6);
         let hi = lo + width;
+        let mut rng = SimRng::seed_from(seed);
         for _ in 0..50 {
             let x = rng.uniform(lo, hi);
-            prop_assert!(x >= lo && (x < hi || width == 0.0));
+            assert!(
+                x >= lo && (x < hi || width == 0.0),
+                "{x} outside [{lo}, {hi})"
+            );
         }
     }
+}
 
-    /// `next_below(n)` is always `< n`.
-    #[test]
-    fn next_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+/// `next_below(n)` is always `< n`.
+#[test]
+fn next_below_in_range() {
+    let mut meta = SimRng::seed_from(0xD_51).split("next-below");
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n = 1 + meta.next_below(u64::MAX - 1);
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..20 {
-            prop_assert!(rng.next_below(n) < n);
+            assert!(rng.next_below(n) < n);
         }
     }
+}
 
-    /// Split streams with different labels never coincide on their
-    /// first draws (collision probability ~2^-64 — a failure means the
-    /// label hashing broke).
-    #[test]
-    fn split_labels_decorrelate(seed in any::<u64>(), a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
-        prop_assume!(a != b);
+/// Split streams with different labels never coincide on their first
+/// draws (collision probability ~2^-64 — a failure means the label
+/// hashing broke).
+#[test]
+fn split_labels_decorrelate() {
+    let mut meta = SimRng::seed_from(0xD_51).split("split-labels");
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let len_a = 1 + meta.next_below(12) as usize;
+        let len_b = 1 + meta.next_below(12) as usize;
+        let rand_label = |meta: &mut SimRng, len: usize| -> String {
+            (0..len)
+                .map(|_| (b'a' + meta.next_below(26) as u8) as char)
+                .collect()
+        };
+        let a = rand_label(&mut meta, len_a);
+        let b = rand_label(&mut meta, len_b);
+        if a == b {
+            continue;
+        }
         let mut root1 = SimRng::seed_from(seed);
         let mut root2 = SimRng::seed_from(seed);
         let mut ra = root1.split(&a);
         let mut rb = root2.split(&b);
-        prop_assert_ne!(ra.next_u64(), rb.next_u64());
+        assert_ne!(
+            ra.next_u64(),
+            rb.next_u64(),
+            "labels {a:?} and {b:?} collided"
+        );
     }
+}
 
-    /// Time arithmetic round-trips: (t + d) - t == d.
-    #[test]
-    fn time_addition_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic round-trips: (t + d) - t == d.
+#[test]
+fn time_addition_round_trips() {
+    let mut rng = SimRng::seed_from(0xD_51).split("time-arith");
+    for _ in 0..CASES {
+        let t = rng.next_below(u64::MAX / 4);
+        let d = rng.next_below(u64::MAX / 4);
         let base = SimTime::from_millis(t);
         let dur = SimDuration::from_millis(d);
-        prop_assert_eq!((base + dur) - base, dur);
+        assert_eq!((base + dur) - base, dur);
     }
+}
 
-    /// Normal samples are finite for any valid parameters.
-    #[test]
-    fn normal_is_finite(seed in any::<u64>(), mean in -1e9f64..1e9, sd in 0.0f64..1e6) {
+/// Normal samples are finite for any valid parameters.
+#[test]
+fn normal_is_finite() {
+    let mut meta = SimRng::seed_from(0xD_51).split("normal-finite");
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let mean = meta.uniform(-1e9, 1e9);
+        let sd = meta.uniform(0.0, 1e6);
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..20 {
-            prop_assert!(rng.normal(mean, sd).is_finite());
+            assert!(rng.normal(mean, sd).is_finite());
         }
     }
+}
 
-    /// Shuffling preserves the multiset of elements.
-    #[test]
-    fn shuffle_preserves_elements(seed in any::<u64>(), mut items in prop::collection::vec(any::<u32>(), 0..64)) {
-        let mut rng = SimRng::seed_from(seed);
+/// Shuffling preserves the multiset of elements.
+#[test]
+fn shuffle_preserves_elements() {
+    let mut meta = SimRng::seed_from(0xD_51).split("shuffle");
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n = meta.next_below(64) as usize;
+        let mut items: Vec<u32> = (0..n).map(|_| meta.next_u64() as u32).collect();
         let mut expect = items.clone();
+        let mut rng = SimRng::seed_from(seed);
         rng.shuffle(&mut items);
         items.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(items, expect);
+        assert_eq!(items, expect);
     }
 }

@@ -80,7 +80,12 @@ impl Agent {
     /// Creates an agent for `server` with its own RNG stream (sensor
     /// noise).
     pub fn new(server: Server, rng: SimRng) -> Self {
-        Agent { server, rng, running: true, stats: AgentStats::default() }
+        Agent {
+            server,
+            rng,
+            running: true,
+            stats: AgentStats::default(),
+        }
     }
 
     /// The host server model.
@@ -161,7 +166,11 @@ impl AgentEndpoint for Agent {
                 } else {
                     None
                 };
-                Response::Power(PowerReading { total, breakdown, from_sensor })
+                Response::Power(PowerReading {
+                    total,
+                    breakdown,
+                    from_sensor,
+                })
             }
             Request::SetCap(limit) => {
                 if !limit.is_valid_draw() || limit.as_watts() <= 0.0 {
@@ -218,8 +227,7 @@ mod tests {
 
     #[test]
     fn sensorless_reads_are_estimates_without_breakdown() {
-        let mut a =
-            agent_with(ServerConfig::new(ServerGeneration::Westmere2011).without_sensor());
+        let mut a = agent_with(ServerConfig::new(ServerGeneration::Westmere2011).without_sensor());
         match a.handle(Request::ReadPower) {
             Response::Power(r) => {
                 assert!(!r.from_sensor);
@@ -235,7 +243,10 @@ mod tests {
         let mut a = sensored();
         let before = a.server().power();
         let target = before - Power::from_watts(50.0);
-        assert_eq!(a.handle(Request::SetCap(target)), Response::CapAck { ok: true });
+        assert_eq!(
+            a.handle(Request::SetCap(target)),
+            Response::CapAck { ok: true }
+        );
         assert_eq!(a.current_cap(), Some(target));
         for _ in 0..5 {
             a.server_mut().step(SimDuration::from_secs(1));
@@ -262,7 +273,10 @@ mod tests {
     #[test]
     fn invalid_cap_is_rejected() {
         let mut a = sensored();
-        assert_eq!(a.handle(Request::SetCap(Power::ZERO)), Response::CapAck { ok: false });
+        assert_eq!(
+            a.handle(Request::SetCap(Power::ZERO)),
+            Response::CapAck { ok: false }
+        );
         assert_eq!(
             a.handle(Request::SetCap(Power::from_watts(-10.0))),
             Response::CapAck { ok: false }

@@ -31,7 +31,10 @@ pub struct CutAssignment {
 impl CutAssignment {
     /// Converts to the wire-level command.
     pub fn to_command(self) -> CapCommand {
-        CapCommand { server_id: self.server_id, cap: self.cap }
+        CapCommand {
+            server_id: self.server_id,
+            cap: self.cap,
+        }
     }
 }
 
@@ -74,8 +77,15 @@ pub fn distribute_power_cut(
     total_cut: Power,
     bucket_width: Power,
 ) -> (Vec<CutAssignment>, Power) {
-    assert_eq!(servers.len(), powers.len(), "servers/powers length mismatch");
-    assert!(bucket_width.as_watts() > 0.0, "bucket width must be positive");
+    assert_eq!(
+        servers.len(),
+        powers.len(),
+        "servers/powers length mismatch"
+    );
+    assert!(
+        bucket_width.as_watts() > 0.0,
+        "bucket width must be positive"
+    );
     assert!(
         total_cut.as_watts().is_finite() && total_cut.as_watts() >= 0.0,
         "invalid total cut {total_cut:?}"
@@ -101,11 +111,21 @@ pub fn distribute_power_cut(
             .iter()
             .enumerate()
             .filter(|(_, s)| s.service.priority == prio)
-            .map(|(i, s)| (i, powers[i], powers[i].saturating_sub(s.service.sla_min_cap)))
+            .map(|(i, s)| {
+                (
+                    i,
+                    powers[i],
+                    powers[i].saturating_sub(s.service.sla_min_cap),
+                )
+            })
             .collect();
         let absorbed = cut_within_group(&members, remaining, bucket_width, &mut |idx, cut| {
             let cap = (powers[idx] - cut).max(servers[idx].service.sla_min_cap);
-            assignments.push(CutAssignment { server_id: servers[idx].server_id, cut, cap });
+            assignments.push(CutAssignment {
+                server_id: servers[idx].server_id,
+                cut,
+                cap,
+            });
         });
         remaining = remaining.saturating_sub(absorbed);
     }
@@ -152,8 +172,7 @@ fn cut_within_group(
 /// Even cut with per-server bounds: finds `x` with
 /// `Σ min(x, headroom_i) = needed` and assigns `min(x, headroom_i)`.
 fn water_fill(included: &[(usize, Power)], needed: Power, assign: &mut dyn FnMut(usize, Power)) {
-    let mut sorted: Vec<(usize, f64)> =
-        included.iter().map(|&(i, h)| (i, h.as_watts())).collect();
+    let mut sorted: Vec<(usize, f64)> = included.iter().map(|&(i, h)| (i, h.as_watts())).collect();
     sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite headrooms"));
 
     let mut remaining = needed.as_watts();
@@ -178,7 +197,10 @@ fn water_fill(included: &[(usize, Power)], needed: Power, assign: &mut dyn FnMut
         cuts.push((idx, h)); // bound reached
         active -= 1;
     }
-    debug_assert!(remaining <= 1e-6, "water_fill called with needed > capacity");
+    debug_assert!(
+        remaining <= 1e-6,
+        "water_fill called with needed > capacity"
+    );
     for (idx, c) in cuts {
         if c > 0.0 {
             assign(idx, Power::from_watts(c));
@@ -240,14 +262,19 @@ mod tests {
     fn high_bucket_first_spares_light_servers() {
         // Same priority; heavy servers are in a higher bucket, and the
         // cut fits inside it, so light servers are untouched.
-        let servers: Vec<ServerHandle> =
-            (0..4).map(|i| handle(i, "web", 1, 100.0)).collect();
+        let servers: Vec<ServerHandle> = (0..4).map(|i| handle(i, "web", 1, 100.0)).collect();
         let powers = vec![watts(295.0), watts(290.0), watts(220.0), watts(215.0)];
         let (cuts, left) = distribute_power_cut(&servers, &powers, watts(30.0), BUCKET);
         assert_eq!(left, Power::ZERO);
         let ids: Vec<u32> = cuts.iter().map(|c| c.server_id).collect();
-        assert!(ids.contains(&0) && ids.contains(&1), "heavy servers cut: {ids:?}");
-        assert!(!ids.contains(&2) && !ids.contains(&3), "light servers spared: {ids:?}");
+        assert!(
+            ids.contains(&0) && ids.contains(&1),
+            "heavy servers cut: {ids:?}"
+        );
+        assert!(
+            !ids.contains(&2) && !ids.contains(&3),
+            "light servers spared: {ids:?}"
+        );
         // Even split across the bucket.
         for c in &cuts {
             assert!((c.cut - watts(15.0)).abs().as_watts() < 1e-9);
@@ -256,8 +283,7 @@ mod tests {
 
     #[test]
     fn expands_buckets_until_cut_fits() {
-        let servers: Vec<ServerHandle> =
-            (0..3).map(|i| handle(i, "web", 1, 100.0)).collect();
+        let servers: Vec<ServerHandle> = (0..3).map(|i| handle(i, "web", 1, 100.0)).collect();
         let powers = vec![watts(300.0), watts(260.0), watts(220.0)];
         // 250 W cut needs more than the top server's 200 W headroom.
         let (cuts, left) = distribute_power_cut(&servers, &powers, watts(250.0), BUCKET);
@@ -269,8 +295,7 @@ mod tests {
 
     #[test]
     fn caps_never_violate_sla_floor() {
-        let servers: Vec<ServerHandle> =
-            (0..5).map(|i| handle(i, "web", 1, 210.0)).collect();
+        let servers: Vec<ServerHandle> = (0..5).map(|i| handle(i, "web", 1, 210.0)).collect();
         let powers = vec![watts(300.0); 5];
         let (cuts, _) = distribute_power_cut(&servers, &powers, watts(1000.0), BUCKET);
         for c in &cuts {
@@ -335,10 +360,8 @@ mod tests {
         // A web row where the cut reaches down to a bucket boundary:
         // every included server's cap is >= the 210 W SLA and heavier
         // servers end up with larger cuts only via the even-split bound.
-        let servers: Vec<ServerHandle> =
-            (0..20).map(|i| handle(i, "web", 1, 210.0)).collect();
-        let powers: Vec<Power> =
-            (0..20).map(|i| watts(215.0 + 6.0 * i as f64)).collect(); // 215..329
+        let servers: Vec<ServerHandle> = (0..20).map(|i| handle(i, "web", 1, 210.0)).collect();
+        let powers: Vec<Power> = (0..20).map(|i| watts(215.0 + 6.0 * i as f64)).collect(); // 215..329
         let (cuts, left) = distribute_power_cut(&servers, &powers, watts(400.0), BUCKET);
         assert_eq!(left, Power::ZERO);
         for c in &cuts {
@@ -377,8 +400,7 @@ mod tests {
     #[test]
     fn water_fill_exactness() {
         // Needed exactly equals capacity.
-        let servers: Vec<ServerHandle> =
-            (0..3).map(|i| handle(i, "web", 1, 100.0)).collect();
+        let servers: Vec<ServerHandle> = (0..3).map(|i| handle(i, "web", 1, 100.0)).collect();
         let powers = vec![watts(150.0), watts(160.0), watts(170.0)];
         let capacity = watts(50.0 + 60.0 + 70.0);
         let (cuts, left) = distribute_power_cut(&servers, &powers, capacity, BUCKET);

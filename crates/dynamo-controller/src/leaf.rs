@@ -1,6 +1,7 @@
 //! The leaf power controller (§III-C).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dcsim::{SimDuration, SimTime};
 use powerinfra::Power;
@@ -46,7 +47,10 @@ impl LeafConfig {
     ///
     /// Panics if `physical_limit` is not strictly positive.
     pub fn new(physical_limit: Power) -> Self {
-        assert!(physical_limit.as_watts() > 0.0, "physical limit must be positive");
+        assert!(
+            physical_limit.as_watts() > 0.0,
+            "physical limit must be positive"
+        );
         LeafConfig {
             physical_limit,
             bands: ThreeBandConfig::default(),
@@ -128,17 +132,29 @@ pub struct CycleOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LeafController {
-    name: String,
+    /// Interned name: cloning it for telemetry events is a refcount
+    /// bump, not a heap allocation.
+    name: Arc<str>,
     config: LeafConfig,
     servers: Vec<ServerHandle>,
-    /// Most recent reading (or estimate) per server.
-    last_power: HashMap<u32, Power>,
-    /// Caps currently in force, by server.
-    active_caps: HashMap<u32, Power>,
+    /// Position of each server id in `servers` (cold-path lookups).
+    pos_of: HashMap<u32, usize>,
+    /// Most recent reading (or estimate) per server, indexed by
+    /// position in `servers`.
+    last_power: Vec<Option<Power>>,
+    /// Caps currently in force, indexed by position in `servers`.
+    active_caps: Vec<Option<Power>>,
+    /// Number of `Some` entries in `active_caps`.
+    active_cap_count: usize,
     /// Contractual limit pushed down by the parent controller (§III-D).
     contractual_limit: Option<Power>,
     alerts: Vec<Alert>,
     cycles: u64,
+    /// Per-cycle pull results, reused across cycles so the steady-state
+    /// (Hold) cycle path allocates nothing.
+    scratch_readings: Vec<Option<Power>>,
+    /// Positions whose pull failed this cycle, reused across cycles.
+    scratch_failed: Vec<u32>,
 }
 
 impl LeafController {
@@ -148,23 +164,41 @@ impl LeafController {
     ///
     /// Panics if `servers` is empty — a leaf controller with nothing to
     /// control is a configuration error.
-    pub fn new(name: impl Into<String>, config: LeafConfig, servers: Vec<ServerHandle>) -> Self {
-        assert!(!servers.is_empty(), "leaf controller needs at least one server");
+    pub fn new(name: impl Into<Arc<str>>, config: LeafConfig, servers: Vec<ServerHandle>) -> Self {
+        assert!(
+            !servers.is_empty(),
+            "leaf controller needs at least one server"
+        );
+        let n = servers.len();
+        let pos_of = servers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.server_id, i))
+            .collect();
         LeafController {
             name: name.into(),
             config,
             servers,
-            last_power: HashMap::new(),
-            active_caps: HashMap::new(),
+            pos_of,
+            last_power: vec![None; n],
+            active_caps: vec![None; n],
+            active_cap_count: 0,
             contractual_limit: None,
             alerts: Vec::new(),
             cycles: 0,
+            scratch_readings: Vec::with_capacity(n),
+            scratch_failed: Vec::new(),
         }
     }
 
     /// The controller's name (usually the protected device's name).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned name; cloning the returned `Arc` is allocation-free.
+    pub fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The configuration in use.
@@ -192,7 +226,10 @@ impl LeafController {
     /// Panics if the limit is not strictly positive.
     pub fn set_contractual_limit(&mut self, limit: Option<Power>) {
         if let Some(l) = limit {
-            assert!(l.as_watts() > 0.0, "contractual limit must be positive, got {l}");
+            assert!(
+                l.as_watts() > 0.0,
+                "contractual limit must be positive, got {l}"
+            );
         }
         self.contractual_limit = limit;
     }
@@ -208,14 +245,30 @@ impl LeafController {
         self.config.dry_run = dry_run;
     }
 
-    /// Caps currently in force (server → cap).
-    pub fn active_caps(&self) -> &HashMap<u32, Power> {
-        &self.active_caps
+    /// Caps currently in force (server → cap). Built on demand: the
+    /// controller stores caps position-indexed internally, so this is a
+    /// cold-path convenience view.
+    pub fn active_caps(&self) -> HashMap<u32, Power> {
+        self.servers
+            .iter()
+            .zip(&self.active_caps)
+            .filter_map(|(h, cap)| cap.map(|c| (h.server_id, c)))
+            .collect()
     }
 
-    /// The last aggregated per-server readings.
-    pub fn last_power(&self) -> &HashMap<u32, Power> {
-        &self.last_power
+    /// Number of caps currently in force (allocation-free).
+    pub fn active_cap_count(&self) -> usize {
+        self.active_cap_count
+    }
+
+    /// The last aggregated per-server readings (server → power). Built
+    /// on demand, like [`LeafController::active_caps`].
+    pub fn last_power(&self) -> HashMap<u32, Power> {
+        self.servers
+            .iter()
+            .zip(&self.last_power)
+            .filter_map(|(h, p)| p.map(|v| (h.server_id, v)))
+            .collect()
     }
 
     /// Alerts raised so far.
@@ -243,29 +296,30 @@ impl LeafController {
         F: FnMut(u32, Request) -> Result<Response, RpcError>,
     {
         self.cycles += 1;
+        let n = self.servers.len();
 
-        // -- 1. Pull power readings.
-        let mut readings: HashMap<u32, Power> = HashMap::new();
-        let mut failed: Vec<u32> = Vec::new();
-        for handle in &self.servers {
+        // -- 1. Pull power readings into reusable scratch buffers.
+        self.scratch_readings.clear();
+        self.scratch_readings.resize(n, None);
+        self.scratch_failed.clear();
+        for (pos, handle) in self.servers.iter().enumerate() {
             match call(handle.server_id, Request::ReadPower) {
                 Ok(Response::Power(r)) if r.total.is_valid_draw() => {
-                    readings.insert(handle.server_id, r.total);
+                    self.scratch_readings[pos] = Some(r.total);
                 }
-                _ => failed.push(handle.server_id),
+                _ => self.scratch_failed.push(pos as u32),
             }
         }
+        let failures = self.scratch_failed.len();
 
         // -- 2. Failure handling.
-        let failure_frac = failed.len() as f64 / self.servers.len() as f64;
+        let failure_frac = failures as f64 / n as f64;
         if failure_frac > self.config.max_failure_frac {
             self.alerts.push(Alert {
                 at: now,
-                controller: self.name.clone(),
+                controller: self.name.to_string(),
                 message: format!(
-                    "power aggregation invalid: {}/{} pulls failed ({:.0}% > {:.0}%)",
-                    failed.len(),
-                    self.servers.len(),
+                    "power aggregation invalid: {failures}/{n} pulls failed ({:.0}% > {:.0}%)",
                     failure_frac * 100.0,
                     self.config.max_failure_frac * 100.0
                 ),
@@ -273,41 +327,52 @@ impl LeafController {
             return CycleOutcome {
                 at: now,
                 aggregated: None,
-                pull_failures: failed.len(),
+                pull_failures: failures,
                 estimated: 0,
                 action: ControlAction::Invalid,
             };
         }
         let mut estimated = 0;
-        for &sid in &failed {
-            if let Some(est) = self.estimate_for(sid, &readings) {
-                readings.insert(sid, est);
+        for k in 0..self.scratch_failed.len() {
+            let pos = self.scratch_failed[k] as usize;
+            if let Some(est) =
+                estimate_for(&self.servers, &self.last_power, &self.scratch_readings, pos)
+            {
+                self.scratch_readings[pos] = Some(est);
                 estimated += 1;
             }
         }
-        self.last_power.clone_from(&readings);
+        self.last_power.clone_from(&self.scratch_readings);
 
         // -- 3. Aggregate and decide.
-        let total: Power =
-            readings.values().copied().sum::<Power>() + self.config.non_server_overhead;
+        let mut total = self.config.non_server_overhead;
+        for reading in &self.scratch_readings {
+            if let Some(p) = *reading {
+                total += p;
+            }
+        }
         let limit = self.effective_limit();
         let decision =
-            three_band_decision(total, limit, self.config.bands, !self.active_caps.is_empty());
+            three_band_decision(total, limit, self.config.bands, self.active_cap_count > 0);
 
         // -- 4. Act.
         let action = match decision {
             BandDecision::Cap { total_cut } => {
                 let powers: Vec<Power> = self
-                    .servers
+                    .scratch_readings
                     .iter()
-                    .map(|h| readings.get(&h.server_id).copied().unwrap_or(Power::ZERO))
+                    .map(|r| r.unwrap_or(Power::ZERO))
                     .collect();
-                let (cuts, leftover) =
-                    distribute_power_cut(&self.servers, &powers, total_cut, self.config.bucket_width);
+                let (cuts, leftover) = distribute_power_cut(
+                    &self.servers,
+                    &powers,
+                    total_cut,
+                    self.config.bucket_width,
+                );
                 if leftover.as_watts() > 1.0 {
                     self.alerts.push(Alert {
                         at: now,
-                        controller: self.name.clone(),
+                        controller: self.name.to_string(),
                         message: format!(
                             "SLA floors prevented {leftover} of a {total_cut} cut; device may overload"
                         ),
@@ -326,20 +391,29 @@ impl LeafController {
                     if let Ok(Response::CapAck { ok: true }) =
                         call(cmd.server_id, Request::SetCap(cmd.cap))
                     {
-                        self.active_caps.insert(cmd.server_id, cmd.cap);
+                        let pos = self.pos_of[&cmd.server_id];
+                        if self.active_caps[pos].is_none() {
+                            self.active_cap_count += 1;
+                        }
+                        self.active_caps[pos] = Some(cmd.cap);
                         commands.push(cmd);
                     }
                 }
-                ControlAction::Capped { total_cut, commands }
+                ControlAction::Capped {
+                    total_cut,
+                    commands,
+                }
             }
             BandDecision::Uncap => {
-                let capped: Vec<u32> = self.active_caps.keys().copied().collect();
-                for sid in capped {
-                    if self.config.dry_run {
+                for pos in 0..n {
+                    if self.active_caps[pos].is_none() || self.config.dry_run {
                         continue;
                     }
-                    if let Ok(Response::CapAck { ok: true }) = call(sid, Request::ClearCap) {
-                        self.active_caps.remove(&sid);
+                    if let Ok(Response::CapAck { ok: true }) =
+                        call(self.servers[pos].server_id, Request::ClearCap)
+                    {
+                        self.active_caps[pos] = None;
+                        self.active_cap_count -= 1;
                     }
                 }
                 ControlAction::Uncapped
@@ -350,35 +424,40 @@ impl LeafController {
         CycleOutcome {
             at: now,
             aggregated: Some(total),
-            pull_failures: failed.len(),
+            pull_failures: failures,
             estimated,
             action,
         }
     }
+}
 
-    /// Estimates power for a failed pull "using power readings from
-    /// neighboring servers running similar workloads" (§III-C1): the
-    /// mean of this cycle's successful same-service readings, falling
-    /// back to the server's own last known value.
-    fn estimate_for(&self, server_id: u32, readings: &HashMap<u32, Power>) -> Option<Power> {
-        let service = &self
-            .servers
-            .iter()
-            .find(|h| h.server_id == server_id)
-            .expect("estimating for unknown server")
-            .service;
-        let peers: Vec<Power> = self
-            .servers
-            .iter()
-            .filter(|h| h.service.name == service.name && h.server_id != server_id)
-            .filter_map(|h| readings.get(&h.server_id).copied())
-            .collect();
-        if !peers.is_empty() {
-            let sum: Power = peers.iter().copied().sum();
-            return Some(sum / peers.len() as f64);
+/// Estimates power for a failed pull "using power readings from
+/// neighboring servers running similar workloads" (§III-C1): the mean
+/// of this cycle's successful same-service readings (including earlier
+/// estimates), falling back to the server's own last known value. All
+/// slices are indexed by position in `servers`.
+fn estimate_for(
+    servers: &[ServerHandle],
+    last_power: &[Option<Power>],
+    readings: &[Option<Power>],
+    pos: usize,
+) -> Option<Power> {
+    let service = &servers[pos].service;
+    let mut sum = Power::ZERO;
+    let mut peers = 0usize;
+    for (i, handle) in servers.iter().enumerate() {
+        if i == pos || handle.service.name != service.name {
+            continue;
         }
-        self.last_power.get(&server_id).copied()
+        if let Some(p) = readings[i] {
+            sum += p;
+            peers += 1;
+        }
     }
+    if peers > 0 {
+        return Some(sum / peers as f64);
+    }
+    last_power[pos]
 }
 
 #[cfg(test)]
@@ -459,7 +538,10 @@ mod tests {
         let mut c = leaf(1200.0, web_servers(4));
         let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
         match &out.action {
-            ControlAction::Capped { total_cut, commands } => {
+            ControlAction::Capped {
+                total_cut,
+                commands,
+            } => {
                 assert!((total_cut.as_watts() - 60.0).abs() < 1e-6);
                 assert!(!commands.is_empty());
             }
@@ -609,10 +691,22 @@ mod tests {
     fn priority_groups_respected_through_cycle() {
         // 2 hadoop + 2 cache servers; cut must land on hadoop only.
         let servers = vec![
-            ServerHandle { server_id: 0, service: ServiceClass::new("hadoop", 0, watts(140.0)) },
-            ServerHandle { server_id: 1, service: ServiceClass::new("hadoop", 0, watts(140.0)) },
-            ServerHandle { server_id: 2, service: ServiceClass::new("cache", 3, watts(260.0)) },
-            ServerHandle { server_id: 3, service: ServiceClass::new("cache", 3, watts(260.0)) },
+            ServerHandle {
+                server_id: 0,
+                service: ServiceClass::new("hadoop", 0, watts(140.0)),
+            },
+            ServerHandle {
+                server_id: 1,
+                service: ServiceClass::new("hadoop", 0, watts(140.0)),
+            },
+            ServerHandle {
+                server_id: 2,
+                service: ServiceClass::new("cache", 3, watts(260.0)),
+            },
+            ServerHandle {
+                server_id: 3,
+                service: ServiceClass::new("cache", 3, watts(260.0)),
+            },
         ];
         let mut fleet = Fleet::new(&[(0, 300.0), (1, 300.0), (2, 300.0), (3, 300.0)]);
         let mut c = LeafController::new("rpp", LeafConfig::new(watts(1200.0)), servers);
@@ -639,7 +733,10 @@ mod tests {
         let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
         match out.action {
             ControlAction::Capped { commands, .. } => {
-                assert!(!commands.is_empty(), "dry run must still compute the decision");
+                assert!(
+                    !commands.is_empty(),
+                    "dry run must still compute the decision"
+                );
             }
             other => panic!("expected cap decision, got {other:?}"),
         }
@@ -660,6 +757,10 @@ mod tests {
         let mut c = leaf(200.0, web_servers(1));
         let out = c.cycle(SimTime::ZERO, |s, r| fleet.call(s, r));
         assert!(out.action.is_capped());
-        assert!(c.alerts().iter().any(|a| a.message.contains("SLA")), "{:?}", c.alerts());
+        assert!(
+            c.alerts().iter().any(|a| a.message.contains("SLA")),
+            "{:?}",
+            c.alerts()
+        );
     }
 }

@@ -86,12 +86,21 @@ impl PiController {
             "setpoint must be in (0,1], got {}",
             config.setpoint_frac
         );
-        assert!(config.kp >= 0.0 && config.ki >= 0.0, "gains must be non-negative");
+        assert!(
+            config.kp >= 0.0 && config.ki >= 0.0,
+            "gains must be non-negative"
+        );
         assert!(
             config.deadband_frac >= 0.0 && config.deadband_frac < config.setpoint_frac,
             "deadband must be smaller than the setpoint margin"
         );
-        PiController { config, integral: 0.0, engaged: false, calm_cycles: 0, last_allowed: None }
+        PiController {
+            config,
+            integral: 0.0,
+            engaged: false,
+            calm_cycles: 0,
+            last_allowed: None,
+        }
     }
 
     /// The configuration.
@@ -255,13 +264,19 @@ mod tests {
             }
         }
         // kp * error + ki * clamp = 0.8*45k + 0.3*10k = 39k below 140k.
-        assert!(last_allowed > 95_000.0, "windup drove allowance to {last_allowed}");
+        assert!(
+            last_allowed > 95_000.0,
+            "windup drove allowance to {last_allowed}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "setpoint must be in")]
     fn bad_setpoint_panics() {
-        PiController::new(PiConfig { setpoint_frac: 0.0, ..PiConfig::default() });
+        PiController::new(PiConfig {
+            setpoint_frac: 0.0,
+            ..PiConfig::default()
+        });
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct ThreeBandConfig {
 
 impl Default for ThreeBandConfig {
     fn default() -> Self {
-        ThreeBandConfig { capping_threshold: 0.99, capping_target: 0.95, uncapping_threshold: 0.90 }
+        ThreeBandConfig {
+            capping_threshold: 0.99,
+            capping_target: 0.95,
+            uncapping_threshold: 0.90,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ impl ThreeBandConfig {
             "bands must satisfy 0 < uncap ({uncapping_threshold}) < target ({capping_target}) \
              < cap ({capping_threshold}) <= 1"
         );
-        ThreeBandConfig { capping_threshold, capping_target, uncapping_threshold }
+        ThreeBandConfig {
+            capping_threshold,
+            capping_target,
+            uncapping_threshold,
+        }
     }
 
     /// The absolute capping threshold for a given limit.
@@ -125,10 +133,15 @@ pub fn three_band_decision(
     bands: ThreeBandConfig,
     caps_active: bool,
 ) -> BandDecision {
-    assert!(limit.as_watts() > 0.0, "limit must be positive, got {limit}");
+    assert!(
+        limit.as_watts() > 0.0,
+        "limit must be positive, got {limit}"
+    );
     assert!(total.is_valid_draw(), "invalid aggregated power {total:?}");
     if total >= bands.threshold_power(limit) {
-        BandDecision::Cap { total_cut: total - bands.target_power(limit) }
+        BandDecision::Cap {
+            total_cut: total - bands.target_power(limit),
+        }
     } else if caps_active && total <= bands.uncap_power(limit) {
         BandDecision::Uncap
     } else {
@@ -143,7 +156,12 @@ mod tests {
     const LIMIT: Power = Power::from_watts(100_000.0);
 
     fn decide(total_kw: f64, caps: bool) -> BandDecision {
-        three_band_decision(Power::from_kilowatts(total_kw), LIMIT, ThreeBandConfig::default(), caps)
+        three_band_decision(
+            Power::from_kilowatts(total_kw),
+            LIMIT,
+            ThreeBandConfig::default(),
+            caps,
+        )
     }
 
     #[test]
@@ -216,7 +234,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "limit must be positive")]
     fn zero_limit_panics() {
-        three_band_decision(Power::from_watts(1.0), Power::ZERO, ThreeBandConfig::default(), false);
+        three_band_decision(
+            Power::from_watts(1.0),
+            Power::ZERO,
+            ThreeBandConfig::default(),
+            false,
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl ServiceClass {
             sla_min_cap.is_valid_draw() && sla_min_cap.as_watts() > 0.0,
             "SLA floor must be positive, got {sla_min_cap:?}"
         );
-        ServiceClass { name: name.into(), priority, sla_min_cap }
+        ServiceClass {
+            name: name.into(),
+            priority,
+            sla_min_cap,
+        }
     }
 }
 
@@ -110,8 +114,11 @@ mod tests {
 
     #[test]
     fn control_action_predicates() {
-        assert!(ControlAction::Capped { total_cut: Power::from_watts(1.0), commands: vec![] }
-            .is_capped());
+        assert!(ControlAction::Capped {
+            total_cut: Power::from_watts(1.0),
+            commands: vec![]
+        }
+        .is_capped());
         assert!(!ControlAction::Hold.is_capped());
         assert!(!ControlAction::Uncapped.is_capped());
         assert!(!ControlAction::Invalid.is_capped());

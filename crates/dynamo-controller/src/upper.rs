@@ -1,6 +1,7 @@
 //! Upper-level power controllers and coordination (§III-D).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dcsim::{SimDuration, SimTime};
 use powerinfra::Power;
@@ -51,7 +52,10 @@ impl UpperConfig {
     ///
     /// Panics if `physical_limit` is not strictly positive.
     pub fn new(physical_limit: Power) -> Self {
-        assert!(physical_limit.as_watts() > 0.0, "physical limit must be positive");
+        assert!(
+            physical_limit.as_watts() > 0.0,
+            "physical limit must be positive"
+        );
         UpperConfig {
             physical_limit,
             bands: ThreeBandConfig::default(),
@@ -146,7 +150,9 @@ pub struct UpperOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UpperController {
-    name: String,
+    /// Interned name: cloning it for telemetry events is a refcount
+    /// bump, not a heap allocation.
+    name: Arc<str>,
     config: UpperConfig,
     child_count: usize,
     /// Contracts we have pushed, by child index.
@@ -163,7 +169,7 @@ impl UpperController {
     /// # Panics
     ///
     /// Panics if `child_count` is zero.
-    pub fn new(name: impl Into<String>, config: UpperConfig, child_count: usize) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, config: UpperConfig, child_count: usize) -> Self {
         assert!(child_count > 0, "upper controller needs at least one child");
         UpperController {
             name: name.into(),
@@ -179,6 +185,11 @@ impl UpperController {
     /// The controller's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned name; cloning the returned `Arc` is allocation-free.
+    pub fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The configuration in use.
@@ -202,7 +213,10 @@ impl UpperController {
     /// Panics if the limit is not strictly positive.
     pub fn set_contractual_limit(&mut self, limit: Option<Power>) {
         if let Some(l) = limit {
-            assert!(l.as_watts() > 0.0, "contractual limit must be positive, got {l}");
+            assert!(
+                l.as_watts() > 0.0,
+                "contractual limit must be positive, got {l}"
+            );
         }
         self.contractual_limit = limit;
     }
@@ -236,7 +250,11 @@ impl UpperController {
     /// Panics if `reports.len()` differs from the configured child
     /// count.
     pub fn cycle(&mut self, now: SimTime, reports: &[ChildReport]) -> UpperOutcome {
-        assert_eq!(reports.len(), self.child_count, "child report count mismatch");
+        assert_eq!(
+            reports.len(),
+            self.child_count,
+            "child report count mismatch"
+        );
         self.cycles += 1;
 
         let total: Power = reports.iter().map(|r| r.power).sum();
@@ -283,21 +301,14 @@ impl UpperController {
                                 }
                             })
                             .collect();
-                        distribute_power_cut(
-                            &handles,
-                            &powers,
-                            total_cut,
-                            self.config.bucket_width,
-                        )
+                        distribute_power_cut(&handles, &powers, total_cut, self.config.bucket_width)
                     }
-                    CoordinationPolicy::UniformScale => {
-                        uniform_scale_cuts(&powers, total_cut)
-                    }
+                    CoordinationPolicy::UniformScale => uniform_scale_cuts(&powers, total_cut),
                 };
                 if leftover.as_watts() > 1.0 {
                     self.alerts.push(Alert {
                         at: now,
-                        controller: self.name.clone(),
+                        controller: self.name.to_string(),
                         message: format!(
                             "children cannot absorb {leftover} of a {total_cut} cut; \
                              device {} may trip",
@@ -318,7 +329,7 @@ impl UpperController {
                 if touched_compliant {
                     self.alerts.push(Alert {
                         at: now,
-                        controller: self.name.clone(),
+                        controller: self.name.to_string(),
                         message: "offender excess insufficient; compliant children capped too"
                             .to_string(),
                     });
@@ -334,7 +345,13 @@ impl UpperController {
             BandDecision::Hold => {}
         }
 
-        UpperOutcome { at: now, total, capped, uncapped, directives }
+        UpperOutcome {
+            at: now,
+            total,
+            capped,
+            uncapped,
+            directives,
+        }
     }
 }
 
@@ -342,10 +359,7 @@ impl UpperController {
 /// power, floored at half the child's draw (matching the compliant-child
 /// floor of the offender-first path). Returns per-child cuts and any
 /// unabsorbable remainder.
-fn uniform_scale_cuts(
-    powers: &[Power],
-    total_cut: Power,
-) -> (Vec<crate::CutAssignment>, Power) {
+fn uniform_scale_cuts(powers: &[Power], total_cut: Power) -> (Vec<crate::CutAssignment>, Power) {
     let total: Power = powers.iter().copied().sum();
     if total.as_watts() <= 0.0 {
         return (Vec::new(), total_cut);
@@ -357,7 +371,11 @@ fn uniform_scale_cuts(
         .filter(|(_, p)| p.as_watts() > 0.0)
         .map(|(i, &p)| {
             let cut = p * frac;
-            crate::CutAssignment { server_id: i as u32, cut, cap: p - cut }
+            crate::CutAssignment {
+                server_id: i as u32,
+                cut,
+                cap: p - cut,
+            }
         })
         .collect();
     let absorbed: Power = cuts.iter().map(|c| c.cut).sum();
@@ -373,7 +391,11 @@ mod tests {
     }
 
     fn report(power: f64, quota: f64, phys: f64) -> ChildReport {
-        ChildReport { power: kw(power), quota: kw(quota), physical_limit: kw(phys) }
+        ChildReport {
+            power: kw(power),
+            quota: kw(quota),
+            physical_limit: kw(phys),
+        }
     }
 
     /// The §III-D worked example: the entire cut goes to the offender.
@@ -400,15 +422,21 @@ mod tests {
         let reports = [report(140.0, 150.0, 200.0), report(140.0, 150.0, 200.0)];
         let out = p1.cycle(SimTime::ZERO, &reports);
         assert!(!out.capped && !out.uncapped);
-        assert!(out.directives.iter().all(|d| *d == ChildDirective::Unchanged));
+        assert!(out
+            .directives
+            .iter()
+            .all(|d| *d == ChildDirective::Unchanged));
     }
 
     #[test]
     fn multiple_offenders_split_by_high_bucket_first() {
         let mut p = UpperController::new("P", UpperConfig::new(kw(300.0)), 3);
         // Two offenders with different overages and one compliant child.
-        let reports =
-            [report(190.0, 150.0, 200.0), report(170.0, 150.0, 200.0), report(100.0, 150.0, 200.0)];
+        let reports = [
+            report(190.0, 150.0, 200.0),
+            report(170.0, 150.0, 200.0),
+            report(100.0, 150.0, 200.0),
+        ];
         // total 460 ≫ 297 threshold → cut = 460 - 285 = 175 > combined
         // offender excess (40 + 20 = 60) → compliant child also touched.
         let out = p.cycle(SimTime::ZERO, &reports);
@@ -529,15 +557,21 @@ mod tests {
         assert!(c0 < kw(190.0) && c1 < kw(130.0));
         let frac0 = 1.0 - c0.as_kilowatts() / 190.0;
         let frac1 = 1.0 - c1.as_kilowatts() / 130.0;
-        assert!((frac0 - frac1).abs() < 1e-9, "not proportional: {frac0} vs {frac1}");
+        assert!(
+            (frac0 - frac1).abs() < 1e-9,
+            "not proportional: {frac0} vs {frac1}"
+        );
     }
 
     #[test]
     fn uniform_scale_conserves_the_cut() {
         let config = UpperConfig::new(kw(300.0)).with_policy(CoordinationPolicy::UniformScale);
         let mut p = UpperController::new("P", config, 3);
-        let reports =
-            [report(150.0, 120.0, 200.0), report(120.0, 120.0, 200.0), report(90.0, 120.0, 200.0)];
+        let reports = [
+            report(150.0, 120.0, 200.0),
+            report(120.0, 120.0, 200.0),
+            report(90.0, 120.0, 200.0),
+        ];
         let out = p.cycle(SimTime::ZERO, &reports);
         let contracted: f64 = out
             .directives

@@ -1,72 +1,93 @@
-//! Property-based tests for the controller decision logic — the
-//! paper's safety argument rests on these invariants.
+//! Randomized property tests for the controller decision logic — the
+//! paper's safety argument rests on these invariants. Cases are drawn
+//! from the deterministic [`SimRng`] stream, so every run checks the
+//! same reproducible inputs.
 
+use dcsim::SimRng;
 use dynamo_controller::{
     distribute_power_cut, three_band_decision, BandDecision, ServerHandle, ServiceClass,
     ThreeBandConfig,
 };
 use powerinfra::Power;
-use proptest::prelude::*;
+
+const CASES: usize = 300;
 
 fn watts(v: f64) -> Power {
     Power::from_watts(v)
 }
 
-/// Strategy: a fleet of servers with power, priority and SLA floor.
-fn fleet_strategy() -> impl Strategy<Value = (Vec<ServerHandle>, Vec<Power>)> {
-    prop::collection::vec((50.0f64..400.0, 0u8..4, 40.0f64..250.0), 1..60).prop_map(|specs| {
-        let mut handles = Vec::new();
-        let mut powers = Vec::new();
-        for (i, (power, prio, sla)) in specs.into_iter().enumerate() {
-            handles.push(ServerHandle {
-                server_id: i as u32,
-                service: ServiceClass::new(format!("svc{prio}"), prio, watts(sla)),
-            });
-            powers.push(watts(power));
-        }
-        (handles, powers)
-    })
+/// A random fleet of servers with power, priority and SLA floor.
+fn random_fleet(rng: &mut SimRng) -> (Vec<ServerHandle>, Vec<Power>) {
+    let n = 1 + rng.next_below(59) as usize;
+    let mut handles = Vec::with_capacity(n);
+    let mut powers = Vec::with_capacity(n);
+    for i in 0..n {
+        let power = rng.uniform(50.0, 400.0);
+        let prio = rng.next_below(4) as u8;
+        let sla = rng.uniform(40.0, 250.0);
+        handles.push(ServerHandle {
+            server_id: i as u32,
+            service: ServiceClass::new(format!("svc{prio}"), prio, watts(sla)),
+        });
+        powers.push(watts(power));
+    }
+    (handles, powers)
 }
 
-proptest! {
-    /// Conservation: assigned cuts plus the reported leftover always
-    /// equal the requested cut.
-    #[test]
-    fn cuts_plus_leftover_equal_request(
-        (handles, powers) in fleet_strategy(),
-        cut_w in 0.0f64..5000.0,
-    ) {
-        let (cuts, leftover) =
-            distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
+/// Conservation: assigned cuts plus the reported leftover always equal
+/// the requested cut.
+#[test]
+fn cuts_plus_leftover_equal_request() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("conservation");
+    for case in 0..CASES {
+        let (handles, powers) = random_fleet(&mut rng);
+        let cut_w = rng.uniform(0.0, 5000.0);
+        let (cuts, leftover) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
         let assigned: Power = cuts.iter().map(|c| c.cut).sum();
-        prop_assert!(((assigned + leftover) - watts(cut_w)).abs().as_watts() < 1e-6);
+        assert!(
+            ((assigned + leftover) - watts(cut_w)).abs().as_watts() < 1e-6,
+            "case {case}: assigned {assigned} + leftover {leftover} != requested {cut_w} W"
+        );
     }
+}
 
-    /// No cap ever violates its server's SLA floor, and every cut is
-    /// positive and at most the server's headroom.
-    #[test]
-    fn caps_respect_floors_and_headroom(
-        (handles, powers) in fleet_strategy(),
-        cut_w in 1.0f64..5000.0,
-    ) {
+/// No cap ever violates its server's SLA floor, and every cut is
+/// positive and at most the server's headroom.
+#[test]
+fn caps_respect_floors_and_headroom() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("floors");
+    for case in 0..CASES {
+        let (handles, powers) = random_fleet(&mut rng);
+        let cut_w = rng.uniform(1.0, 5000.0);
         let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
         for c in &cuts {
             let handle = handles.iter().find(|h| h.server_id == c.server_id).unwrap();
             let power = powers[c.server_id as usize];
-            prop_assert!(c.cap >= handle.service.sla_min_cap - watts(1e-9));
-            prop_assert!(c.cut.as_watts() > 0.0);
-            prop_assert!(c.cut <= power.saturating_sub(handle.service.sla_min_cap) + watts(1e-9));
+            assert!(
+                c.cap >= handle.service.sla_min_cap - watts(1e-9),
+                "case {case}: cap {} under SLA floor {}",
+                c.cap,
+                handle.service.sla_min_cap
+            );
+            assert!(c.cut.as_watts() > 0.0, "case {case}: non-positive cut");
+            assert!(
+                c.cut <= power.saturating_sub(handle.service.sla_min_cap) + watts(1e-9),
+                "case {case}: cut {} exceeds headroom",
+                c.cut
+            );
         }
     }
+}
 
-    /// Priority ordering: a higher-priority server is only cut if every
-    /// lower-priority group is already exhausted (all members at their
-    /// floors).
-    #[test]
-    fn higher_priority_cut_implies_lower_exhausted(
-        (handles, powers) in fleet_strategy(),
-        cut_w in 1.0f64..20_000.0,
-    ) {
+/// Priority ordering: a higher-priority server is only cut if every
+/// lower-priority group is already exhausted (all members at their
+/// floors).
+#[test]
+fn higher_priority_cut_implies_lower_exhausted() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("priority");
+    for case in 0..CASES {
+        let (handles, powers) = random_fleet(&mut rng);
+        let cut_w = rng.uniform(1.0, 20_000.0);
         let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
         let cut_of = |sid: u32| cuts.iter().find(|c| c.server_id == sid).map(|c| c.cut);
         for c in &cuts {
@@ -75,11 +96,10 @@ proptest! {
                 let headroom =
                     powers[lower.server_id as usize].saturating_sub(lower.service.sla_min_cap);
                 let taken = cut_of(lower.server_id).unwrap_or(Power::ZERO);
-                prop_assert!(
+                assert!(
                     (headroom - taken).as_watts() < 1e-6,
-                    "server {} (prio {}) cut while {} (prio {}) kept {} headroom",
+                    "case {case}: server {} (prio {prio}) cut while {} (prio {}) kept {} headroom",
                     c.server_id,
-                    prio,
                     lower.server_id,
                     lower.service.priority,
                     headroom - taken
@@ -87,54 +107,69 @@ proptest! {
             }
         }
     }
+}
 
-    /// Duplicate-free output: each server receives at most one cut.
-    #[test]
-    fn at_most_one_cut_per_server(
-        (handles, powers) in fleet_strategy(),
-        cut_w in 0.0f64..10_000.0,
-    ) {
+/// Duplicate-free output: each server receives at most one cut.
+#[test]
+fn at_most_one_cut_per_server() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("dedup");
+    for case in 0..CASES {
+        let (handles, powers) = random_fleet(&mut rng);
+        let cut_w = rng.uniform(0.0, 10_000.0);
         let (cuts, _) = distribute_power_cut(&handles, &powers, watts(cut_w), watts(20.0));
         let mut ids: Vec<u32> = cuts.iter().map(|c| c.server_id).collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), n);
+        assert_eq!(ids.len(), n, "case {case}: duplicate cut assignments");
     }
+}
 
-    /// Three-band decisions are exhaustive and consistent: capping only
-    /// above the threshold, uncapping only below the uncap band with
-    /// active caps, and the requested cut lands exactly on the target.
-    #[test]
-    fn three_band_consistency(
-        total_frac in 0.0f64..1.5,
-        caps_active in any::<bool>(),
-    ) {
+/// Three-band decisions are exhaustive and consistent: capping only
+/// above the threshold, uncapping only below the uncap band with active
+/// caps, and the requested cut lands exactly on the target.
+#[test]
+fn three_band_consistency() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("threeband");
+    for case in 0..CASES {
+        let total_frac = rng.uniform(0.0, 1.5);
+        let caps_active = rng.chance(0.5);
         let limit = watts(100_000.0);
         let bands = ThreeBandConfig::default();
         let total = limit * total_frac;
         match three_band_decision(total, limit, bands, caps_active) {
             BandDecision::Cap { total_cut } => {
-                prop_assert!(total_frac >= bands.capping_threshold);
-                prop_assert!(((total - total_cut) - bands.target_power(limit)).abs().as_watts() < 1e-6);
+                assert!(total_frac >= bands.capping_threshold, "case {case}");
+                assert!(
+                    ((total - total_cut) - bands.target_power(limit))
+                        .abs()
+                        .as_watts()
+                        < 1e-6,
+                    "case {case}: cut misses target"
+                );
             }
             BandDecision::Uncap => {
-                prop_assert!(caps_active);
-                prop_assert!(total_frac <= bands.uncapping_threshold);
+                assert!(caps_active, "case {case}: uncap without active caps");
+                assert!(total_frac <= bands.uncapping_threshold, "case {case}");
             }
             BandDecision::Hold => {
-                prop_assert!(
+                assert!(
                     total_frac < bands.capping_threshold
-                        && (!caps_active || total_frac > bands.uncapping_threshold)
+                        && (!caps_active || total_frac > bands.uncapping_threshold),
+                    "case {case}: hold outside the hold band"
                 );
             }
         }
     }
+}
 
-    /// Hysteresis: for any power level there is no (cap, uncap) pair at
-    /// the same level — the bands never overlap.
-    #[test]
-    fn no_simultaneous_cap_and_uncap(total_frac in 0.0f64..1.5) {
+/// Hysteresis: for any power level there is no (cap, uncap) pair at the
+/// same level — the bands never overlap.
+#[test]
+fn no_simultaneous_cap_and_uncap() {
+    let mut rng = SimRng::seed_from(0xC0_11).split("hysteresis");
+    for case in 0..CASES {
+        let total_frac = rng.uniform(0.0, 1.5);
         let limit = watts(50_000.0);
         let bands = ThreeBandConfig::default();
         let total = limit * total_frac;
@@ -142,6 +177,9 @@ proptest! {
         let without = three_band_decision(total, limit, bands, false);
         let caps = matches!(without, BandDecision::Cap { .. });
         let uncaps = matches!(with_caps, BandDecision::Uncap);
-        prop_assert!(!(caps && uncaps), "bands overlap at {total_frac}");
+        assert!(
+            !(caps && uncaps),
+            "case {case}: bands overlap at {total_frac}"
+        );
     }
 }

@@ -77,10 +77,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = argv.iter();
     fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
-        it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs a value"))
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
     }
     fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
-        v.parse().map_err(|_| format!("invalid value '{v}' for {flag}"))
+        v.parse()
+            .map_err(|_| format!("invalid value '{v}' for {flag}"))
     }
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -111,6 +114,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.minutes == 0 || args.report_every == 0 {
         return Err("--minutes and --report-every must be positive".to_string());
     }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
     Ok(args)
 }
 
@@ -122,7 +128,9 @@ fn usage() -> &'static str {
      workload:  --service web|cache|hadoop|database|newsfeed|f4storage\n\
      \x20          --generation westmere2011|sandybridge2012|ivybridge2013|haswell2015\n\
      \x20          --traffic X (multiplier, 1.0 = nominal) --turbo\n\
-     run:       --minutes N --seed N --threads N --report-every N\n\
+     run:       --minutes N --seed N --report-every N\n\
+     \x20          --threads N (worker threads for fleet physics and leaf\n\
+     \x20          control cycles; results are bit-identical at any count)\n\
      modes:     --no-capping (monitor only) --dry-run (decide, don't act)"
 }
 
@@ -211,9 +219,30 @@ mod tests {
     #[test]
     fn full_flag_set_parses() {
         let a = parse(&[
-            "--sbs", "2", "--rpps", "3", "--racks", "4", "--servers", "10", "--rpp-kw", "12.5",
-            "--service", "hadoop", "--generation", "westmere2011", "--traffic", "1.5",
-            "--minutes", "30", "--seed", "9", "--threads", "4", "--no-capping", "--turbo",
+            "--sbs",
+            "2",
+            "--rpps",
+            "3",
+            "--racks",
+            "4",
+            "--servers",
+            "10",
+            "--rpp-kw",
+            "12.5",
+            "--service",
+            "hadoop",
+            "--generation",
+            "westmere2011",
+            "--traffic",
+            "1.5",
+            "--minutes",
+            "30",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--no-capping",
+            "--turbo",
         ])
         .unwrap();
         assert_eq!((a.sbs, a.rpps, a.racks, a.servers), (2, 3, 4, 10));

@@ -196,7 +196,10 @@ impl DatacenterBuilder {
     ///
     /// Panics if outside `[0, 1]`.
     pub fn sensorless_fraction(mut self, frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "invalid sensorless fraction {frac}");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "invalid sensorless fraction {frac}"
+        );
         self.sensorless_fraction = frac;
         self
     }
@@ -232,8 +235,9 @@ impl DatacenterBuilder {
         self
     }
 
-    /// Worker threads for fleet physics (default 1; the simulation is
-    /// bit-identical at any thread count).
+    /// Worker threads for fleet physics and leaf control cycles
+    /// (default 1; the simulation is bit-identical at any thread
+    /// count).
     ///
     /// # Panics
     ///
@@ -321,10 +325,8 @@ impl DatacenterBuilder {
         }
         fleet.set_crash_rate(self.crash_rate_per_hour);
 
-        let service_of =
-            move |sid: u32| crate::service_class_of(services[sid as usize]);
-        let system =
-            DynamoSystem::build(&topo, &service_of, self.system, &mut rng.split("system"));
+        let service_of = move |sid: u32| crate::service_class_of(services[sid as usize]);
+        let system = DynamoSystem::build(&topo, &service_of, self.system, &mut rng.split("system"));
 
         let watched: Vec<_> = self
             .telemetry
@@ -333,11 +335,11 @@ impl DatacenterBuilder {
             .flat_map(|&lvl| topo.devices_at(lvl))
             .collect();
         let telemetry = Telemetry::new(self.telemetry);
-        let validator =
-            BreakerValidator::new(topo.device_count(), rng.split("breaker-validation"));
+        let validator = BreakerValidator::new(topo.device_count(), rng.split("breaker-validation"));
 
-        let mut dc =
-            Datacenter::assemble(topo, fleet, system, telemetry, watched, self.tick, validator);
+        let mut dc = Datacenter::assemble(
+            topo, fleet, system, telemetry, watched, self.tick, validator,
+        );
         dc.set_worker_threads(self.worker_threads);
         dc
     }
@@ -349,7 +351,12 @@ fn assign_services(topo: &Topology, plan: &ServicePlan, rng: &mut SimRng) -> Vec
     match plan {
         ServicePlan::Uniform(kind) => vec![*kind; n],
         ServicePlan::Explicit(list) => {
-            assert_eq!(list.len(), n, "explicit plan covers {} of {n} servers", list.len());
+            assert_eq!(
+                list.len(),
+                n,
+                "explicit plan covers {} of {n} servers",
+                list.len()
+            );
             list.clone()
         }
         ServicePlan::Mix(weights) => {
@@ -370,7 +377,10 @@ fn assign_services(topo: &Topology, plan: &ServicePlan, rng: &mut SimRng) -> Vec
                 .collect()
         }
         ServicePlan::RowComposition(blocks) => {
-            assert!(!blocks.is_empty(), "row composition needs at least one block");
+            assert!(
+                !blocks.is_empty(),
+                "row composition needs at least one block"
+            );
             assert!(
                 blocks.iter().all(|&(_, c)| c > 0),
                 "row composition blocks need positive counts"
@@ -383,8 +393,7 @@ fn assign_services(topo: &Topology, plan: &ServicePlan, rng: &mut SimRng) -> Vec
                     .flat_map(|&(kind, count)| std::iter::repeat_n(kind, count))
                     .cycle();
                 for sid in row {
-                    services[sid as usize] =
-                        block_iter.next().expect("cycled iterator never ends");
+                    services[sid as usize] = block_iter.next().expect("cycled iterator never ends");
                 }
             }
             services
@@ -407,7 +416,10 @@ mod tests {
     #[test]
     fn uniform_plan_assigns_everywhere() {
         let dc = tiny().uniform_service(ServiceKind::Cache).seed(1).build();
-        assert!(dc.fleet().iter_services().all(|(_, k)| k == ServiceKind::Cache));
+        assert!(dc
+            .fleet()
+            .iter_services()
+            .all(|(_, k)| k == ServiceKind::Cache));
     }
 
     #[test]
@@ -419,10 +431,12 @@ mod tests {
             ]))
             .seed(1)
             .build();
-        let kinds: Vec<ServiceKind> =
-            dc.fleet().iter_services().map(|(_, k)| k).collect();
+        let kinds: Vec<ServiceKind> = dc.fleet().iter_services().map(|(_, k)| k).collect();
         assert_eq!(kinds.iter().filter(|&&k| k == ServiceKind::Web).count(), 6);
-        assert_eq!(kinds.iter().filter(|&&k| k == ServiceKind::Cache).count(), 4);
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == ServiceKind::Cache).count(),
+            4
+        );
         assert!(kinds[..6].iter().all(|&k| k == ServiceKind::Web));
     }
 
@@ -440,17 +454,29 @@ mod tests {
             .seed(5)
             .build();
         let n = dc.fleet().len() as f64;
-        let web =
-            dc.fleet().iter_services().filter(|&(_, k)| k == ServiceKind::Web).count() as f64;
+        let web = dc
+            .fleet()
+            .iter_services()
+            .filter(|&(_, k)| k == ServiceKind::Web)
+            .count() as f64;
         assert!((web / n - 0.75).abs() < 0.08, "web fraction {}", web / n);
     }
 
     #[test]
     fn explicit_plan_round_trips() {
         let kinds: Vec<ServiceKind> = (0..10)
-            .map(|i| if i % 2 == 0 { ServiceKind::Web } else { ServiceKind::Database })
+            .map(|i| {
+                if i % 2 == 0 {
+                    ServiceKind::Web
+                } else {
+                    ServiceKind::Database
+                }
+            })
             .collect();
-        let dc = tiny().service_plan(ServicePlan::Explicit(kinds.clone())).seed(1).build();
+        let dc = tiny()
+            .service_plan(ServicePlan::Explicit(kinds.clone()))
+            .seed(1)
+            .build();
         let got: Vec<ServiceKind> = dc.fleet().iter_services().map(|(_, k)| k).collect();
         assert_eq!(got, kinds);
     }
@@ -458,7 +484,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "explicit plan covers")]
     fn explicit_plan_length_mismatch_panics() {
-        tiny().service_plan(ServicePlan::Explicit(vec![ServiceKind::Web; 3])).build();
+        tiny()
+            .service_plan(ServicePlan::Explicit(vec![ServiceKind::Web; 3]))
+            .build();
     }
 
     #[test]

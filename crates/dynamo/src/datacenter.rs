@@ -51,8 +51,7 @@ impl Datacenter {
         tick: SimDuration,
         validator: BreakerValidator,
     ) -> Self {
-        let subtree: Vec<Vec<u32>> =
-            topo.iter().map(|d| topo.servers_under(d.id)).collect();
+        let subtree: Vec<Vec<u32>> = topo.iter().map(|d| topo.servers_under(d.id)).collect();
         let device_ids: Vec<DeviceId> = topo.iter().map(|d| d.id).collect();
         let breaker_status = vec![BreakerStatus::Nominal; topo.device_count()];
         Datacenter {
@@ -71,7 +70,9 @@ impl Datacenter {
         }
     }
 
-    /// Sets the number of worker threads used for fleet physics.
+    /// Sets the number of worker threads used for fleet physics *and*
+    /// leaf control cycles. The simulation is bit-identical at any
+    /// thread count.
     ///
     /// # Panics
     ///
@@ -79,6 +80,7 @@ impl Datacenter {
     pub fn set_worker_threads(&mut self, threads: usize) {
         assert!(threads >= 1, "need at least one worker thread");
         self.worker_threads = threads;
+        self.system.set_control_threads(threads);
     }
 
     /// Current simulated time.
@@ -131,7 +133,8 @@ impl Datacenter {
     /// Power through `device` attributable to one service (Figure 15's
     /// breakdown view).
     pub fn service_power(&self, device: DeviceId, kind: ServiceKind) -> Power {
-        self.fleet.power_sum_of_service(&self.subtree[device.index()], kind)
+        self.fleet
+            .power_sum_of_service(&self.subtree[device.index()], kind)
     }
 
     /// Number of servers currently capped under `device`.
@@ -153,7 +156,8 @@ impl Datacenter {
 
         // 1. Workloads and server physics.
         if self.worker_threads > 1 {
-            self.fleet.step_parallel(now, self.tick, self.worker_threads);
+            self.fleet
+                .step_parallel(now, self.tick, self.worker_threads);
         } else {
             self.fleet.step(now, self.tick);
         }
@@ -165,7 +169,11 @@ impl Datacenter {
             let status = self.topo.device_mut(id).breaker.step(draw, self.tick);
             if status != self.breaker_status[i] {
                 self.breaker_status[i] = status;
-                self.telemetry.record_breaker_event(BreakerEvent { at: now, device: id, status });
+                self.telemetry.record_breaker_event(BreakerEvent {
+                    at: now,
+                    device: id,
+                    status,
+                });
                 if status == BreakerStatus::Tripped {
                     // A tripped breaker blacks out everything below it.
                     for &s in &self.subtree[i] {
@@ -183,7 +191,8 @@ impl Datacenter {
         // compare each leaf controller's aggregate against the coarse
         // metered power at its breaker.
         if self.validator.due(now) {
-            for &dev in self.system.leaf_devices().to_vec().iter() {
+            for dev in self.system.leaf_devices() {
+                let dev = *dev;
                 if let Some(aggregate) = self.system.leaf_aggregate(dev) {
                     let true_power = self.fleet.power_sum(&self.subtree[dev.index()]);
                     self.validator.observe(now, dev, true_power, aggregate);
@@ -200,7 +209,8 @@ impl Datacenter {
                 .map(|&d| (d, self.fleet.power_sum(&self.subtree[d.index()])))
                 .collect();
             let stats = self.fleet.stats();
-            self.telemetry.record_sample(now, &watched, stats.capped_servers, stats.total_power);
+            self.telemetry
+                .record_sample(now, &watched, stats.capped_servers, stats.total_power);
         }
 
         self.now += self.tick;

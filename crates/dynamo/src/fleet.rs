@@ -29,10 +29,11 @@ pub struct Fleet {
     /// Per-service traffic patterns; services without an entry see
     /// constant nominal traffic.
     traffic: HashMap<ServiceKind, TrafficPattern>,
-    /// Optional static utilization clamp per service (the pre-Dynamo
-    /// baseline for the search cluster in §IV-D: "all servers ... were
-    /// required to limit their clock frequency").
-    static_util_caps: HashMap<ServiceKind, f64>,
+    /// Optional static utilization clamp per service, indexed by
+    /// [`ServiceKind::index`] (the pre-Dynamo baseline for the search
+    /// cluster in §IV-D: "all servers ... were required to limit their
+    /// clock frequency").
+    static_util_caps: [Option<f64>; ServiceKind::COUNT],
     /// Probability per server-hour of an agent crash.
     crash_rate_per_hour: f64,
     /// Watchdog restart delay.
@@ -50,7 +51,11 @@ impl Fleet {
     ///
     /// Panics if `configs` and `services` differ in length or are empty.
     pub fn new(configs: Vec<ServerConfig>, services: Vec<ServiceKind>, mut rng: SimRng) -> Self {
-        assert_eq!(configs.len(), services.len(), "configs/services length mismatch");
+        assert_eq!(
+            configs.len(),
+            services.len(),
+            "configs/services length mismatch"
+        );
         assert!(!configs.is_empty(), "fleet cannot be empty");
         let mut agents = Vec::with_capacity(configs.len());
         let mut generators = Vec::with_capacity(configs.len());
@@ -66,7 +71,7 @@ impl Fleet {
             services,
             generators,
             traffic: HashMap::new(),
-            static_util_caps: HashMap::new(),
+            static_util_caps: [None; ServiceKind::COUNT],
             crash_rate_per_hour: 0.0,
             watchdog_delay: SimDuration::from_secs(30),
             pending_restarts: Vec::new(),
@@ -97,16 +102,20 @@ impl Fleet {
     /// Panics if `cap` is outside `(0, 1]`.
     pub fn set_static_util_cap(&mut self, kind: ServiceKind, cap: Option<f64>) {
         if let Some(c) = cap {
-            assert!(c > 0.0 && c <= 1.0, "static util cap must be in (0,1], got {c}");
-            self.static_util_caps.insert(kind, c);
-        } else {
-            self.static_util_caps.remove(&kind);
+            assert!(
+                c > 0.0 && c <= 1.0,
+                "static util cap must be in (0,1], got {c}"
+            );
         }
+        self.static_util_caps[kind.index()] = cap;
     }
 
     /// Enables agent crash injection at the given rate (per server-hour).
     pub fn set_crash_rate(&mut self, per_hour: f64) {
-        assert!(per_hour >= 0.0 && per_hour.is_finite(), "invalid crash rate {per_hour}");
+        assert!(
+            per_hour >= 0.0 && per_hour.is_finite(),
+            "invalid crash rate {per_hour}"
+        );
         self.crash_rate_per_hour = per_hour;
     }
 
@@ -123,6 +132,13 @@ impl Fleet {
     /// Mutable agent access (the controller RPC path goes through this).
     pub fn agent_mut(&mut self, sid: u32) -> &mut Agent {
         &mut self.agents[sid as usize]
+    }
+
+    /// Mutable access to the whole agent array, indexed by server id.
+    /// The parallel control plane partitions this into disjoint
+    /// per-leaf spans with `split_at_mut`.
+    pub(crate) fn agents_mut(&mut self) -> &mut [Agent] {
+        &mut self.agents
     }
 
     /// The true (physics) power of server `sid` right now.
@@ -155,7 +171,7 @@ impl Fleet {
                 &mut self.agents[i],
                 &mut self.generators[i],
                 kind,
-                mults[&kind],
+                mults[kind.index()],
                 &self.static_util_caps,
                 now,
                 dt,
@@ -179,36 +195,40 @@ impl Fleet {
             return self.step(now, dt);
         }
         let mults = self.traffic_multipliers(now);
-        let caps = &self.static_util_caps;
+        let caps = self.static_util_caps;
         let chunk = self.agents.len().div_ceil(threads);
         let services = &self.services;
         let agents = &mut self.agents;
         let generators = &mut self.generators;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for ((agent_chunk, gen_chunk), svc_chunk) in agents
                 .chunks_mut(chunk)
                 .zip(generators.chunks_mut(chunk))
                 .zip(services.chunks(chunk))
             {
-                let mults = &mults;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for ((agent, generator), &kind) in
                         agent_chunk.iter_mut().zip(gen_chunk).zip(svc_chunk)
                     {
-                        advance_one(agent, generator, kind, mults[&kind], caps, now, dt);
+                        advance_one(agent, generator, kind, mults[kind.index()], &caps, now, dt);
                     }
                 });
             }
-        })
-        .expect("fleet worker panicked");
+        });
         self.process_failures(now, dt);
     }
 
-    fn traffic_multipliers(&self, now: SimTime) -> HashMap<ServiceKind, f64> {
-        ServiceKind::all()
-            .into_iter()
-            .map(|kind| (kind, self.traffic.get(&kind).map_or(1.0, |p| p.multiplier(now))))
-            .collect()
+    /// Per-service traffic multipliers at `now`, indexed by
+    /// [`ServiceKind::index`]. A fixed array instead of a per-tick
+    /// `HashMap`: the fleet step allocates nothing.
+    fn traffic_multipliers(&self, now: SimTime) -> [f64; ServiceKind::COUNT] {
+        let mut mults = [1.0; ServiceKind::COUNT];
+        for kind in ServiceKind::all() {
+            if let Some(pattern) = self.traffic.get(&kind) {
+                mults[kind.index()] = pattern.multiplier(now);
+            }
+        }
+        mults
     }
 
     /// Failure injection: crashes are per-server Poisson events; the
@@ -219,7 +239,8 @@ impl Fleet {
             for i in 0..self.agents.len() {
                 if self.agents[i].is_running() && self.rng.chance(p) {
                     self.agents[i].crash();
-                    self.pending_restarts.push((i as u32, now + self.watchdog_delay));
+                    self.pending_restarts
+                        .push((i as u32, now + self.watchdog_delay));
                 }
             }
         }
@@ -241,14 +262,20 @@ impl Fleet {
         if sids.is_empty() {
             return f64::NAN;
         }
-        sids.iter().map(|&s| self.agents[s as usize].server().performance_factor()).sum::<f64>()
+        sids.iter()
+            .map(|&s| self.agents[s as usize].server().performance_factor())
+            .sum::<f64>()
             / sids.len() as f64
     }
 
     /// Instantaneous fleet statistics.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
-            capped_servers: self.agents.iter().filter(|a| a.current_cap().is_some()).count(),
+            capped_servers: self
+                .agents
+                .iter()
+                .filter(|a| a.current_cap().is_some())
+                .count(),
             agents_down: self.agents.iter().filter(|a| !a.is_running()).count(),
             total_power: self.agents.iter().map(|a| a.server().power()).sum(),
         }
@@ -256,7 +283,10 @@ impl Fleet {
 
     /// Iterates `(server_id, service)` pairs.
     pub fn iter_services(&self) -> impl Iterator<Item = (u32, ServiceKind)> + '_ {
-        self.services.iter().enumerate().map(|(i, &k)| (i as u32, k))
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (i as u32, k))
     }
 }
 
@@ -266,12 +296,12 @@ fn advance_one(
     generator: &mut ServiceWorkload,
     kind: ServiceKind,
     traffic_mult: f64,
-    static_caps: &HashMap<ServiceKind, f64>,
+    static_caps: &[Option<f64>; ServiceKind::COUNT],
     now: SimTime,
     dt: SimDuration,
 ) {
     let mut util = generator.utilization(now, traffic_mult, dt);
-    if let Some(&cap) = static_caps.get(&kind) {
+    if let Some(cap) = static_caps[kind.index()] {
         util = util.min(cap);
     }
     let server = agent.server_mut();
@@ -316,7 +346,12 @@ mod tests {
             assert!(fleet.power_of(i).as_watts() > 90.0, "server {i} idle");
         }
         let total = fleet.stats().total_power;
-        assert!((total - fleet.power_sum(&(0..8).collect::<Vec<_>>())).abs().as_watts() < 1e-9);
+        assert!(
+            (total - fleet.power_sum(&(0..8).collect::<Vec<_>>()))
+                .abs()
+                .as_watts()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -383,7 +418,11 @@ mod tests {
             fleet.step(t, SimDuration::from_secs(1));
             t += SimDuration::from_secs(1);
         }
-        assert_eq!(fleet.stats().agents_down, 0, "watchdog failed to restart agents");
+        assert_eq!(
+            fleet.stats().agents_down,
+            0,
+            "watchdog failed to restart agents"
+        );
     }
 
     #[test]
@@ -391,7 +430,11 @@ mod tests {
         let mut fleet = small_fleet(4, ServiceKind::Web);
         run(&mut fleet, 5);
         assert_eq!(fleet.stats().capped_servers, 0);
-        fleet.agent_mut(2).server_mut().rapl_mut().set_limit(Power::from_watts(150.0));
+        fleet
+            .agent_mut(2)
+            .server_mut()
+            .rapl_mut()
+            .set_limit(Power::from_watts(150.0));
         assert_eq!(fleet.stats().capped_servers, 1);
     }
 
@@ -399,9 +442,7 @@ mod tests {
     fn parallel_step_matches_serial() {
         let build = || {
             let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); 200];
-            let services: Vec<ServiceKind> = (0..200)
-                .map(|i| ServiceKind::all()[i % 6])
-                .collect();
+            let services: Vec<ServiceKind> = (0..200).map(|i| ServiceKind::all()[i % 6]).collect();
             Fleet::new(configs, services, SimRng::seed_from(77))
         };
         let mut serial = build();

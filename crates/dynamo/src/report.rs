@@ -111,7 +111,11 @@ impl RunReport {
 
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "=== Dynamo run report @ {} ({} servers) ===", self.simulated, self.servers)?;
+        writeln!(
+            f,
+            "=== Dynamo run report @ {} ({} servers) ===",
+            self.simulated, self.servers
+        )?;
         for l in &self.levels {
             writeln!(
                 f,
@@ -125,7 +129,10 @@ impl std::fmt::Display for RunReport {
         writeln!(
             f,
             "capping: {} leaf caps, {} uncaps, {} upper contracts; {} servers capped now",
-            self.leaf_cap_events, self.leaf_uncap_events, self.upper_cap_events, self.currently_capped
+            self.leaf_cap_events,
+            self.leaf_uncap_events,
+            self.upper_cap_events,
+            self.currently_capped
         )?;
         writeln!(
             f,
@@ -180,7 +187,11 @@ mod tests {
         assert!(report.leaf_cap_events > 0, "{report}");
         assert_eq!(report.breaker_trips, 0);
         // Utilization at the RPP should be pinned near (below) 100%.
-        let rpp = report.levels.iter().find(|l| l.level == DeviceLevel::Rpp).unwrap();
+        let rpp = report
+            .levels
+            .iter()
+            .find(|l| l.level == DeviceLevel::Rpp)
+            .unwrap();
         assert!(rpp.peak_utilization <= 1.02 && rpp.peak_utilization > 0.85);
     }
 
@@ -188,7 +199,14 @@ mod tests {
     fn display_is_complete() {
         let dc = run_dc(20.0);
         let s = RunReport::from_datacenter(&dc).to_string();
-        for needle in ["run report", "MSB", "RPP", "capping:", "incidents:", "healthy:"] {
+        for needle in [
+            "run report",
+            "MSB",
+            "RPP",
+            "capping:",
+            "incidents:",
+            "healthy:",
+        ] {
             assert!(s.contains(needle), "missing {needle} in\n{s}");
         }
     }

@@ -1,8 +1,11 @@
 //! The deployed controller hierarchy.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 use dcsim::{PeriodicSchedule, SimDuration, SimRng, SimTime};
+use dynamo_agent::Agent;
 use dynamo_controller::{
     ChildDirective, ChildReport, ControlAction, LeafConfig, LeafController, ServerHandle,
     ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
@@ -34,6 +37,12 @@ pub struct SystemConfig {
     /// Dry-run mode (§VI): leaf controllers compute and log decisions
     /// but never actuate.
     pub dry_run: bool,
+    /// Worker threads for leaf control cycles (1 = serial). The paper
+    /// runs ~100 leaf controllers as concurrent threads in one
+    /// consolidated binary (§IV); the parallel path is bit-identical to
+    /// the serial one because every leaf owns a disjoint server span
+    /// and a private RPC RNG stream.
+    pub control_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -47,6 +56,7 @@ impl Default for SystemConfig {
             capping_enabled: true,
             leaf_overhead: Power::ZERO,
             dry_run: false,
+            control_threads: 1,
         }
     }
 }
@@ -58,8 +68,8 @@ pub struct ControllerEvent {
     pub at: SimTime,
     /// The protected device.
     pub device: DeviceId,
-    /// The controller's name.
-    pub controller: String,
+    /// The controller's name (interned — cloning events is cheap).
+    pub controller: Arc<str>,
     /// What happened.
     pub kind: ControllerEventKind,
 }
@@ -111,6 +121,19 @@ pub struct DynamoSystem {
     leaf_networks: Vec<Network>,
     leaf_last_aggregate: Vec<Power>,
     leaf_primary_failed: Vec<bool>,
+    /// Server ids under each leaf, prebuilt at construction so the
+    /// monitoring-only path never rebuilds them per cycle.
+    leaf_server_ids: Vec<Vec<u32>>,
+    /// When every leaf owns a contiguous ascending server-id range and
+    /// the ranges tile `0..server_count` in leaf order, the ranges —
+    /// the parallel control plane hands each leaf a private disjoint
+    /// `&mut [Agent]` slice. `None` forces the serial path.
+    leaf_spans: Option<Vec<Range<usize>>>,
+    /// Per-leaf event buffers, reused across parallel cycles (cleared,
+    /// capacity kept) and merged in leaf index order after the join.
+    leaf_events: Vec<Vec<ControllerEvent>>,
+    /// Child-report scratch reused across upper cycles.
+    upper_reports: Vec<ChildReport>,
     // Upper tier, ordered SBs first then MSBs (children before parents).
     upper_devices: Vec<DeviceId>,
     upper_controllers: Vec<UpperController>,
@@ -151,7 +174,10 @@ impl DynamoSystem {
             let servers: Vec<ServerHandle> = topo
                 .servers_under(rpp)
                 .into_iter()
-                .map(|sid| ServerHandle { server_id: sid, service: service_of(sid) })
+                .map(|sid| ServerHandle {
+                    server_id: sid,
+                    service: service_of(sid),
+                })
                 .collect();
             let leaf_config = LeafConfig {
                 physical_limit: dev.rating,
@@ -175,8 +201,11 @@ impl DynamoSystem {
         let mut upper_index_of = HashMap::new();
         for sb in topo.devices_at(DeviceLevel::Sb) {
             let dev = topo.device(sb);
-            let children: Vec<ChildRef> =
-                dev.children.iter().map(|c| ChildRef::Leaf(leaf_index_of[c])).collect();
+            let children: Vec<ChildRef> = dev
+                .children
+                .iter()
+                .map(|c| ChildRef::Leaf(leaf_index_of[c]))
+                .collect();
             if children.is_empty() {
                 continue;
             }
@@ -223,16 +252,26 @@ impl DynamoSystem {
 
         let n_leaves = leaf_devices.len();
         let n_uppers = upper_devices.len();
-        let leaf_quotas: Vec<Power> =
-            leaf_devices.iter().map(|&d| topo.device(d).quota).collect();
-        let upper_quotas: Vec<Power> =
-            upper_devices.iter().map(|&d| topo.device(d).quota).collect();
+        let leaf_quotas: Vec<Power> = leaf_devices.iter().map(|&d| topo.device(d).quota).collect();
+        let upper_quotas: Vec<Power> = upper_devices
+            .iter()
+            .map(|&d| topo.device(d).quota)
+            .collect();
+        let leaf_server_ids: Vec<Vec<u32>> = leaf_controllers
+            .iter()
+            .map(|c| c.servers().iter().map(|h| h.server_id).collect())
+            .collect();
+        let leaf_spans = compute_leaf_spans(&leaf_server_ids, topo.server_count());
         DynamoSystem {
             leaf_devices,
             leaf_controllers,
             leaf_networks,
             leaf_last_aggregate: vec![Power::ZERO; n_leaves],
             leaf_primary_failed: vec![false; n_leaves],
+            leaf_server_ids,
+            leaf_spans,
+            leaf_events: vec![Vec::new(); n_leaves],
+            upper_reports: Vec::new(),
             upper_devices,
             upper_controllers,
             upper_children,
@@ -266,18 +305,24 @@ impl DynamoSystem {
 
     /// The leaf controller protecting `device`, if any.
     pub fn leaf_for(&self, device: DeviceId) -> Option<&LeafController> {
-        self.leaf_index_of.get(&device).map(|&i| &self.leaf_controllers[i])
+        self.leaf_index_of
+            .get(&device)
+            .map(|&i| &self.leaf_controllers[i])
     }
 
     /// The upper controller protecting `device`, if any.
     pub fn upper_for(&self, device: DeviceId) -> Option<&UpperController> {
-        self.upper_index_of.get(&device).map(|&i| &self.upper_controllers[i])
+        self.upper_index_of
+            .get(&device)
+            .map(|&i| &self.upper_controllers[i])
     }
 
     /// The last aggregated power the leaf controller for `device`
     /// computed, if the device has one.
     pub fn leaf_aggregate(&self, device: DeviceId) -> Option<Power> {
-        self.leaf_index_of.get(&device).map(|&i| self.leaf_last_aggregate[i])
+        self.leaf_index_of
+            .get(&device)
+            .map(|&i| self.leaf_last_aggregate[i])
     }
 
     /// All leaf-protected devices, in build order.
@@ -298,7 +343,10 @@ impl DynamoSystem {
     ///
     /// Panics unless `phase` is 1–4.
     pub fn set_rollout_phase(&mut self, phase: u8) -> usize {
-        assert!((1..=4).contains(&phase), "rollout phase must be 1-4, got {phase}");
+        assert!(
+            (1..=4).contains(&phase),
+            "rollout phase must be 1-4, got {phase}"
+        );
         let frac = match phase {
             1 => 0.01,
             2 => 0.10,
@@ -362,12 +410,36 @@ impl DynamoSystem {
         out
     }
 
+    /// Sets the number of worker threads for leaf control cycles
+    /// (1 = serial; the result is bit-identical at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_control_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.config.control_threads = threads;
+    }
+
+    /// True if this system can run leaf cycles in parallel: every leaf
+    /// owns a contiguous server-id span and the spans tile the fleet.
+    /// Standard topologies always qualify; exotic hand-built ones fall
+    /// back to the serial path.
+    pub fn supports_parallel_leaves(&self) -> bool {
+        self.leaf_spans.is_some()
+    }
+
     /// Runs any controller cycles due at `now`. Call once per simulation
     /// tick; the system tracks its own 3 s / 9 s schedules.
     pub fn tick(&mut self, now: SimTime, fleet: &mut Fleet) -> Vec<ControllerEvent> {
         let mut events = Vec::new();
         if self.leaf_schedule.fire(now) {
-            self.run_leaf_cycles(now, fleet, &mut events);
+            let threads = self.config.control_threads.min(self.leaf_controllers.len());
+            if threads > 1 && self.config.capping_enabled && self.leaf_spans.is_some() {
+                self.run_leaf_cycles_parallel(now, fleet, &mut events, threads);
+            } else {
+                self.run_leaf_cycles(now, fleet, &mut events);
+            }
         }
         if self.upper_schedule.fire(now) && self.config.capping_enabled {
             self.run_upper_cycles(now, &mut events);
@@ -391,7 +463,7 @@ impl DynamoSystem {
                 events.push(ControllerEvent {
                     at: now,
                     device: self.leaf_devices[i],
-                    controller: self.leaf_controllers[i].name().to_string(),
+                    controller: self.leaf_controllers[i].name_shared(),
                     kind: ControllerEventKind::Failover,
                 });
                 continue;
@@ -399,43 +471,116 @@ impl DynamoSystem {
             if !self.config.capping_enabled {
                 // Monitoring-only baseline: track the true aggregate so
                 // upper tiers and telemetry still see power.
-                let servers: Vec<u32> =
-                    self.leaf_controllers[i].servers().iter().map(|h| h.server_id).collect();
-                self.leaf_last_aggregate[i] = fleet.power_sum(&servers);
+                self.leaf_last_aggregate[i] = fleet.power_sum(&self.leaf_server_ids[i]);
                 continue;
             }
-            let network = &mut self.leaf_networks[i];
-            let controller = &mut self.leaf_controllers[i];
-            let outcome = controller.cycle(now, |sid, req| {
-                let agent = fleet.agent_mut(sid);
-                if !agent.is_running() {
-                    return Err(RpcError::AgentDown);
-                }
-                network.call(agent, req)
-            });
-            if let Some(total) = outcome.aggregated {
-                self.leaf_last_aggregate[i] = total;
-            }
-            let kind = match &outcome.action {
-                ControlAction::Capped { total_cut, commands } => Some(
-                    ControllerEventKind::LeafCapped {
-                        total_cut: *total_cut,
-                        servers: commands.len(),
-                    },
-                ),
-                ControlAction::Uncapped => Some(ControllerEventKind::LeafUncapped),
-                ControlAction::Invalid => {
-                    Some(ControllerEventKind::LeafInvalid { failures: outcome.pull_failures })
-                }
-                ControlAction::Hold => None,
-            };
-            if let Some(kind) = kind {
-                events.push(ControllerEvent {
-                    at: now,
-                    device: self.leaf_devices[i],
-                    controller: self.leaf_controllers[i].name().to_string(),
-                    kind,
+            run_one_leaf_cycle(
+                now,
+                self.leaf_devices[i],
+                &mut self.leaf_controllers[i],
+                &mut self.leaf_networks[i],
+                fleet.agents_mut(),
+                0,
+                &mut self.leaf_last_aggregate[i],
+                events,
+            );
+        }
+    }
+
+    /// The parallel leaf control plane: mirrors the paper's consolidated
+    /// binary running ~100 controller threads (§IV). Each worker owns a
+    /// contiguous chunk of leaves and, through the precomputed spans, a
+    /// private disjoint `&mut [Agent]` slice of the fleet; every leaf's
+    /// RPC RNG stream is its own, so each cycle computes exactly what
+    /// the serial path would. Workers buffer events per leaf; the merge
+    /// after the join restores serial (leaf index) order, making the
+    /// whole run bit-identical to `run_leaf_cycles`.
+    fn run_leaf_cycles_parallel(
+        &mut self,
+        now: SimTime,
+        fleet: &mut Fleet,
+        events: &mut Vec<ControllerEvent>,
+        threads: usize,
+    ) {
+        let spans = self
+            .leaf_spans
+            .as_deref()
+            .expect("parallel path requires leaf spans");
+        let n = self.leaf_controllers.len();
+        let per_chunk = n.div_ceil(threads);
+
+        let devices = &self.leaf_devices;
+        let mut controllers = self.leaf_controllers.as_mut_slice();
+        let mut networks = self.leaf_networks.as_mut_slice();
+        let mut aggregates = self.leaf_last_aggregate.as_mut_slice();
+        let mut failed_flags = self.leaf_primary_failed.as_mut_slice();
+        let mut buffers = self.leaf_events.as_mut_slice();
+        let mut agents: &mut [Agent] = fleet.agents_mut();
+
+        std::thread::scope(|scope| {
+            let mut lo = 0;
+            while lo < n {
+                let count = per_chunk.min(n - lo);
+                let hi = lo + count;
+                let (chunk_controllers, rest) = controllers.split_at_mut(count);
+                controllers = rest;
+                let (chunk_networks, rest) = networks.split_at_mut(count);
+                networks = rest;
+                let (chunk_aggregates, rest) = aggregates.split_at_mut(count);
+                aggregates = rest;
+                let (chunk_failed, rest) = failed_flags.split_at_mut(count);
+                failed_flags = rest;
+                let (chunk_buffers, rest) = buffers.split_at_mut(count);
+                buffers = rest;
+                let agent_count = spans[hi - 1].end - spans[lo].start;
+                let (chunk_agents, rest) = agents.split_at_mut(agent_count);
+                agents = rest;
+                let chunk_devices = &devices[lo..hi];
+                let chunk_spans = &spans[lo..hi];
+
+                scope.spawn(move || {
+                    let mut agents = chunk_agents;
+                    for j in 0..chunk_controllers.len() {
+                        let span = &chunk_spans[j];
+                        let (mine, rest) = agents.split_at_mut(span.end - span.start);
+                        agents = rest;
+                        let buf = &mut chunk_buffers[j];
+                        buf.clear();
+                        if chunk_failed[j] {
+                            chunk_failed[j] = false;
+                            buf.push(ControllerEvent {
+                                at: now,
+                                device: chunk_devices[j],
+                                controller: chunk_controllers[j].name_shared(),
+                                kind: ControllerEventKind::Failover,
+                            });
+                            continue;
+                        }
+                        run_one_leaf_cycle(
+                            now,
+                            chunk_devices[j],
+                            &mut chunk_controllers[j],
+                            &mut chunk_networks[j],
+                            mine,
+                            span.start,
+                            &mut chunk_aggregates[j],
+                            buf,
+                        );
+                    }
                 });
+                lo = hi;
+            }
+        });
+
+        // Deterministic merge: leaf index order, exactly as the serial
+        // loop would have emitted. Failovers are counted here because
+        // workers cannot touch the shared counter.
+        for buf in &mut self.leaf_events {
+            for event in buf.drain(..) {
+                if matches!(event.kind, ControllerEventKind::Failover) {
+                    self.failovers += 1;
+                }
+                events.push(event);
             }
         }
     }
@@ -450,14 +595,14 @@ impl DynamoSystem {
                 events.push(ControllerEvent {
                     at: now,
                     device: self.upper_devices[i],
-                    controller: self.upper_controllers[i].name().to_string(),
+                    controller: self.upper_controllers[i].name_shared(),
                     kind: ControllerEventKind::Failover,
                 });
                 continue;
             }
-            let reports: Vec<ChildReport> = self.upper_children[i]
-                .iter()
-                .map(|&child| match child {
+            self.upper_reports.clear();
+            for &child in &self.upper_children[i] {
+                self.upper_reports.push(match child {
                     ChildRef::Leaf(j) => ChildReport {
                         power: self.leaf_last_aggregate[j],
                         quota: self.quota_of_leaf(j),
@@ -468,24 +613,26 @@ impl DynamoSystem {
                         quota: self.quota_of_upper(j),
                         physical_limit: self.upper_controllers[j].config().physical_limit,
                     },
-                })
-                .collect();
-            let outcome = self.upper_controllers[i].cycle(now, &reports);
+                });
+            }
+            let outcome = self.upper_controllers[i].cycle(now, &self.upper_reports);
             self.upper_last_total[i] = outcome.total;
 
             // Apply directives to children (contract propagation).
+            // Indexed access instead of iterating `upper_children[i]`
+            // keeps the child list borrow disjoint from the controller
+            // mutations below — no per-cycle clone of the child list.
             let mut contracts = 0;
-            for (child, directive) in self.upper_children[i].clone().iter().zip(&outcome.directives)
-            {
+            for (k, &directive) in outcome.directives.iter().enumerate() {
                 let limit = match directive {
                     ChildDirective::SetContract(l) => {
                         contracts += 1;
-                        Some(*l)
+                        Some(l)
                     }
                     ChildDirective::ClearContract => None,
                     ChildDirective::Unchanged => continue,
                 };
-                match *child {
+                match self.upper_children[i][k] {
                     ChildRef::Leaf(j) => self.leaf_controllers[j].set_contractual_limit(limit),
                     ChildRef::Upper(j) => self.upper_controllers[j].set_contractual_limit(limit),
                 }
@@ -494,14 +641,14 @@ impl DynamoSystem {
                 events.push(ControllerEvent {
                     at: now,
                     device: self.upper_devices[i],
-                    controller: self.upper_controllers[i].name().to_string(),
+                    controller: self.upper_controllers[i].name_shared(),
                     kind: ControllerEventKind::UpperCapped { contracts },
                 });
             } else if outcome.uncapped {
                 events.push(ControllerEvent {
                     at: now,
                     device: self.upper_devices[i],
-                    controller: self.upper_controllers[i].name().to_string(),
+                    controller: self.upper_controllers[i].name_shared(),
                     kind: ControllerEventKind::UpperUncapped,
                 });
             }
@@ -517,6 +664,86 @@ impl DynamoSystem {
     fn quota_of_upper(&self, j: usize) -> Power {
         self.upper_quotas[j]
     }
+}
+
+/// One leaf controller cycle against its private agent span.
+///
+/// `agents` is the slice of agents this leaf may touch and `span_start`
+/// the server id of `agents[0]` — the serial path passes the whole
+/// fleet with `span_start == 0`, the parallel path a disjoint per-leaf
+/// slice. Shared by both so they cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn run_one_leaf_cycle(
+    now: SimTime,
+    device: DeviceId,
+    controller: &mut LeafController,
+    network: &mut Network,
+    agents: &mut [Agent],
+    span_start: usize,
+    last_aggregate: &mut Power,
+    events: &mut Vec<ControllerEvent>,
+) {
+    let outcome = controller.cycle(now, |sid, req| {
+        let agent = &mut agents[sid as usize - span_start];
+        if !agent.is_running() {
+            return Err(RpcError::AgentDown);
+        }
+        network.call(agent, req)
+    });
+    if let Some(total) = outcome.aggregated {
+        *last_aggregate = total;
+    }
+    let kind = match &outcome.action {
+        ControlAction::Capped {
+            total_cut,
+            commands,
+        } => Some(ControllerEventKind::LeafCapped {
+            total_cut: *total_cut,
+            servers: commands.len(),
+        }),
+        ControlAction::Uncapped => Some(ControllerEventKind::LeafUncapped),
+        ControlAction::Invalid => Some(ControllerEventKind::LeafInvalid {
+            failures: outcome.pull_failures,
+        }),
+        ControlAction::Hold => None,
+    };
+    if let Some(kind) = kind {
+        events.push(ControllerEvent {
+            at: now,
+            device,
+            controller: controller.name_shared(),
+            kind,
+        });
+    }
+}
+
+/// Computes per-leaf agent spans for the parallel control plane.
+///
+/// Returns `Some` only when every leaf's server ids form a contiguous
+/// ascending run and the runs tile `0..server_count` in leaf order —
+/// the precondition for handing each leaf a disjoint `&mut [Agent]`
+/// slice via `split_at_mut`. Grid topologies built by
+/// [`powerinfra::TopologyBuilder`] always satisfy this.
+fn compute_leaf_spans(
+    leaf_server_ids: &[Vec<u32>],
+    server_count: usize,
+) -> Option<Vec<Range<usize>>> {
+    let mut spans = Vec::with_capacity(leaf_server_ids.len());
+    let mut next = 0usize;
+    for ids in leaf_server_ids {
+        let first = *ids.first()? as usize;
+        if first != next {
+            return None;
+        }
+        for (k, &sid) in ids.iter().enumerate() {
+            if sid as usize != first + k {
+                return None;
+            }
+        }
+        next = first + ids.len();
+        spans.push(first..next);
+    }
+    (next == server_count).then_some(spans)
 }
 
 #[cfg(test)]
@@ -578,7 +805,12 @@ mod tests {
             .leaf_devices()
             .iter()
             .flat_map(|&d| {
-                system.leaf_for(d).unwrap().servers().iter().map(|h| h.server_id)
+                system
+                    .leaf_for(d)
+                    .unwrap()
+                    .servers()
+                    .iter()
+                    .map(|h| h.server_id)
             })
             .collect();
         covered.sort_unstable();
@@ -594,25 +826,36 @@ mod tests {
         fleet.step(SimTime::ZERO, dcsim::SimDuration::from_secs(1));
         // t=0: both tiers run. t=1,2: neither. t=3: leaves only.
         system.tick(SimTime::ZERO, &mut fleet);
-        let leaf_cycles_t0 =
-            system.leaf_for(system.leaf_devices()[0]).unwrap().cycles();
+        let leaf_cycles_t0 = system.leaf_for(system.leaf_devices()[0]).unwrap().cycles();
         assert_eq!(leaf_cycles_t0, 1);
         system.tick(SimTime::from_secs(1), &mut fleet);
         system.tick(SimTime::from_secs(2), &mut fleet);
-        assert_eq!(system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(), 1);
+        assert_eq!(
+            system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(),
+            1
+        );
         system.tick(SimTime::from_secs(3), &mut fleet);
-        assert_eq!(system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(), 2);
+        assert_eq!(
+            system.leaf_for(system.leaf_devices()[0]).unwrap().cycles(),
+            2
+        );
     }
 
     #[test]
     fn monitoring_only_mode_tracks_aggregates_without_cycles() {
         let topo = topo();
-        let config = SystemConfig { capping_enabled: false, ..SystemConfig::default() };
+        let config = SystemConfig {
+            capping_enabled: false,
+            ..SystemConfig::default()
+        };
         let mut system = build_system(&topo, config);
         let mut fleet = fleet(topo.server_count());
         for i in 0..fleet.len() as u32 {
             fleet.agent_mut(i).server_mut().set_demand(0.5);
-            fleet.agent_mut(i).server_mut().step(dcsim::SimDuration::from_secs(1));
+            fleet
+                .agent_mut(i)
+                .server_mut()
+                .step(dcsim::SimDuration::from_secs(1));
         }
         let events = system.tick(SimTime::ZERO, &mut fleet);
         assert!(events.is_empty());
@@ -632,13 +875,17 @@ mod tests {
         let rpp = system.leaf_devices()[0];
         system.fail_primary(rpp);
         let events = system.tick(SimTime::ZERO, &mut fleet);
-        let failovers =
-            events.iter().filter(|e| matches!(e.kind, ControllerEventKind::Failover)).count();
+        let failovers = events
+            .iter()
+            .filter(|e| matches!(e.kind, ControllerEventKind::Failover))
+            .count();
         assert_eq!(failovers, 1);
         assert_eq!(system.failovers(), 1);
         // The next cycle runs normally on the backup.
         let events2 = system.tick(SimTime::from_secs(3), &mut fleet);
-        assert!(!events2.iter().any(|e| matches!(e.kind, ControllerEventKind::Failover)));
+        assert!(!events2
+            .iter()
+            .any(|e| matches!(e.kind, ControllerEventKind::Failover)));
         assert_eq!(system.leaf_for(rpp).unwrap().cycles(), 1);
     }
 

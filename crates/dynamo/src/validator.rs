@@ -83,7 +83,10 @@ impl BreakerValidator {
     ///
     /// Panics unless `0 < tolerance < 1`.
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
-        assert!(tolerance > 0.0 && tolerance < 1.0, "invalid tolerance {tolerance}");
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "invalid tolerance {tolerance}"
+        );
         self.tolerance = tolerance;
         self
     }
@@ -101,13 +104,7 @@ impl BreakerValidator {
 
     /// Observes one device: the true power at the breaker (metered with
     /// small noise) against the controller's server-sum aggregate.
-    pub fn observe(
-        &mut self,
-        now: SimTime,
-        device: DeviceId,
-        true_power: Power,
-        aggregate: Power,
-    ) {
+    pub fn observe(&mut self, now: SimTime, device: DeviceId, true_power: Power, aggregate: Power) {
         let metered = true_power * (1.0 + self.rng.normal(0.0, self.meter_noise));
         let idx = device.index();
         let state = self.states[idx].get_or_insert(DeviceState {
@@ -128,7 +125,12 @@ impl BreakerValidator {
         if rel_err > self.tolerance {
             state.bad_streak += 1;
             if state.bad_streak == self.alert_streak {
-                self.alerts.push(ValidationAlert { at: now, device, breaker: metered, aggregate });
+                self.alerts.push(ValidationAlert {
+                    at: now,
+                    device,
+                    breaker: metered,
+                    aggregate,
+                });
             }
         } else {
             state.bad_streak = 0;
@@ -139,7 +141,10 @@ impl BreakerValidator {
     /// aggregates by this to match the breaker. `None` until the device
     /// has been observed.
     pub fn correction(&self, device: DeviceId) -> Option<f64> {
-        self.states.get(device.index())?.as_ref().map(|s| s.correction)
+        self.states
+            .get(device.index())?
+            .as_ref()
+            .map(|s| s.correction)
     }
 
     /// All alerts raised so far.
@@ -206,7 +211,12 @@ mod tests {
             } else {
                 Power::from_kilowatts(100.0)
             };
-            v.observe(SimTime::from_mins(m), dev, Power::from_kilowatts(100.0), aggregate);
+            v.observe(
+                SimTime::from_mins(m),
+                dev,
+                Power::from_kilowatts(100.0),
+                aggregate,
+            );
         }
         assert!(v.alerts().is_empty(), "isolated bad minutes must not alert");
     }

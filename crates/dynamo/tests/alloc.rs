@@ -1,0 +1,141 @@
+//! Steady-state allocation discipline: once warmed up, the leaf
+//! control-plane hot loop (fleet physics + leaf pulling cycles in the
+//! Hold band) must not touch the heap at all. Controller names are
+//! interned, per-cycle readings live in reusable scratch buffers, and
+//! traffic multipliers are a fixed array — a regression here shows up
+//! as a nonzero count below.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use dcsim::{SimDuration, SimRng, SimTime};
+use dynamo::{DynamoSystem, Fleet, SystemConfig};
+use powerinfra::TopologyBuilder;
+use serverpower::{ServerConfig, ServerGeneration};
+use workloads::ServiceKind;
+
+/// Counts heap operations while armed; forwards everything to the
+/// system allocator.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// A 64-server, 2-leaf setup with ample power headroom (Hold band),
+/// reliable RPC, no crashes: the steady state a healthy datacenter
+/// spends almost all of its life in.
+fn build() -> (Fleet, DynamoSystem) {
+    let topo = TopologyBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .build();
+    let n = topo.server_count();
+    let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); n];
+    let services = vec![ServiceKind::Web; n];
+    let fleet = Fleet::new(configs, services, SimRng::seed_from(11).split("fleet"));
+    let config = SystemConfig {
+        rpc: dynrpc::LinkProfile::reliable(),
+        ..SystemConfig::default()
+    };
+    let service_of = |_: u32| dynamo::service_class_of(ServiceKind::Web);
+    let system = DynamoSystem::build(
+        &topo,
+        &service_of,
+        config,
+        &mut SimRng::seed_from(11).split("sys"),
+    );
+    (fleet, system)
+}
+
+#[test]
+fn steady_state_leaf_ticks_do_not_allocate() {
+    let (mut fleet, mut system) = build();
+    assert!(system.supports_parallel_leaves());
+    let dt = SimDuration::from_secs(3);
+
+    // Warm up: fill scratch buffers, controller state and event
+    // vectors, covering both leaf (3 s) and upper (9 s) cycles.
+    let mut now = SimTime::ZERO;
+    for _ in 0..12 {
+        fleet.step(now, dt);
+        let events = system.tick(now, &mut fleet);
+        assert!(events.is_empty(), "expected a quiet Hold-band run");
+        now += dt;
+    }
+
+    // Measure leaf-only ticks (skip the 9 s grid: upper cycles build
+    // their directive list on the heap by design).
+    let mut measured = 0;
+    let mut total = 0u64;
+    while measured < 20 {
+        if now.as_secs().is_multiple_of(9) {
+            fleet.step(now, dt);
+            system.tick(now, &mut fleet);
+            now += dt;
+            continue;
+        }
+        total += count_allocs(|| {
+            fleet.step(now, dt);
+            let events = system.tick(now, &mut fleet);
+            assert!(events.is_empty());
+        });
+        now += dt;
+        measured += 1;
+    }
+    assert_eq!(
+        total, 0,
+        "heap allocations leaked into the steady-state leaf tick path"
+    );
+}
+
+/// The Hold-band guarantee must survive an active cap: a capped fleet
+/// in steady state (caps placed, nothing to change) is equally hot.
+#[test]
+fn idle_fleet_step_does_not_allocate() {
+    let (mut fleet, _system) = build();
+    let dt = SimDuration::from_secs(3);
+    let mut now = SimTime::ZERO;
+    for _ in 0..8 {
+        fleet.step(now, dt);
+        now += dt;
+    }
+    let mut total = 0u64;
+    for _ in 0..20 {
+        total += count_allocs(|| fleet.step(now, dt));
+        now += dt;
+    }
+    assert_eq!(total, 0, "fleet physics allocated in steady state");
+}

@@ -7,8 +7,6 @@
 //! persisting request logs — and doubles as the specification of the
 //! protocol: one tag byte followed by little-endian `f64` fields.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use powerinfra::Power;
 
 use crate::{PowerReading, Request, Response, WireBreakdown};
@@ -47,18 +45,50 @@ const TAG_CAP_ACK: u8 = 0x82;
 const FLAG_FROM_SENSOR: u8 = 0b0000_0001;
 const FLAG_HAS_BREAKDOWN: u8 = 0b0000_0010;
 
-/// Encodes a request.
-pub fn encode_request(req: &Request) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16);
-    match req {
-        Request::ReadPower => buf.put_u8(TAG_READ_POWER),
-        Request::SetCap(cap) => {
-            buf.put_u8(TAG_SET_CAP);
-            buf.put_f64_le(cap.as_watts());
-        }
-        Request::ClearCap => buf.put_u8(TAG_CLEAR_CAP),
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
     }
-    buf.freeze()
+
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let (&b, rest) = self.buf.split_first().ok_or(CodecError::Truncated)?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, CodecError> {
+        if self.buf.len() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(f64::from_le_bytes(
+            head.try_into().expect("split_at(8) yields 8 bytes"),
+        ))
+    }
+}
+
+fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a request.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    match req {
+        Request::ReadPower => buf.push(TAG_READ_POWER),
+        Request::SetCap(cap) => {
+            buf.push(TAG_SET_CAP);
+            put_f64_le(&mut buf, cap.as_watts());
+        }
+        Request::ClearCap => buf.push(TAG_CLEAR_CAP),
+    }
+    buf
 }
 
 /// Decodes a request.
@@ -67,24 +97,22 @@ pub fn encode_request(req: &Request) -> Bytes {
 ///
 /// Returns [`CodecError`] on truncation, unknown tags, or invalid power
 /// values.
-pub fn decode_request(mut buf: impl Buf) -> Result<Request, CodecError> {
-    if buf.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    match buf.get_u8() {
+pub fn decode_request(buf: impl AsRef<[u8]>) -> Result<Request, CodecError> {
+    let mut r = Reader::new(buf.as_ref());
+    match r.get_u8()? {
         TAG_READ_POWER => Ok(Request::ReadPower),
-        TAG_SET_CAP => Ok(Request::SetCap(get_power(&mut buf)?)),
+        TAG_SET_CAP => Ok(Request::SetCap(get_power(&mut r)?)),
         TAG_CLEAR_CAP => Ok(Request::ClearCap),
         other => Err(CodecError::UnknownTag(other)),
     }
 }
 
 /// Encodes a response.
-pub fn encode_response(resp: &Response) -> Bytes {
-    let mut buf = BytesMut::with_capacity(48);
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(48);
     match resp {
         Response::Power(reading) => {
-            buf.put_u8(TAG_POWER_REPLY);
+            buf.push(TAG_POWER_REPLY);
             let mut flags = 0u8;
             if reading.from_sensor {
                 flags |= FLAG_FROM_SENSOR;
@@ -92,21 +120,21 @@ pub fn encode_response(resp: &Response) -> Bytes {
             if reading.breakdown.is_some() {
                 flags |= FLAG_HAS_BREAKDOWN;
             }
-            buf.put_u8(flags);
-            buf.put_f64_le(reading.total.as_watts());
+            buf.push(flags);
+            put_f64_le(&mut buf, reading.total.as_watts());
             if let Some(b) = &reading.breakdown {
-                buf.put_f64_le(b.cpu.as_watts());
-                buf.put_f64_le(b.memory.as_watts());
-                buf.put_f64_le(b.other.as_watts());
-                buf.put_f64_le(b.conversion_loss.as_watts());
+                put_f64_le(&mut buf, b.cpu.as_watts());
+                put_f64_le(&mut buf, b.memory.as_watts());
+                put_f64_le(&mut buf, b.other.as_watts());
+                put_f64_le(&mut buf, b.conversion_loss.as_watts());
             }
         }
         Response::CapAck { ok } => {
-            buf.put_u8(TAG_CAP_ACK);
-            buf.put_u8(u8::from(*ok));
+            buf.push(TAG_CAP_ACK);
+            buf.push(u8::from(*ok));
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a response.
@@ -115,23 +143,18 @@ pub fn encode_response(resp: &Response) -> Bytes {
 ///
 /// Returns [`CodecError`] on truncation, unknown tags, or invalid power
 /// values.
-pub fn decode_response(mut buf: impl Buf) -> Result<Response, CodecError> {
-    if buf.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    match buf.get_u8() {
+pub fn decode_response(buf: impl AsRef<[u8]>) -> Result<Response, CodecError> {
+    let mut r = Reader::new(buf.as_ref());
+    match r.get_u8()? {
         TAG_POWER_REPLY => {
-            if buf.remaining() < 1 {
-                return Err(CodecError::Truncated);
-            }
-            let flags = buf.get_u8();
-            let total = get_power(&mut buf)?;
+            let flags = r.get_u8()?;
+            let total = get_power(&mut r)?;
             let breakdown = if flags & FLAG_HAS_BREAKDOWN != 0 {
                 Some(WireBreakdown {
-                    cpu: get_power(&mut buf)?,
-                    memory: get_power(&mut buf)?,
-                    other: get_power(&mut buf)?,
-                    conversion_loss: get_power(&mut buf)?,
+                    cpu: get_power(&mut r)?,
+                    memory: get_power(&mut r)?,
+                    other: get_power(&mut r)?,
+                    conversion_loss: get_power(&mut r)?,
                 })
             } else {
                 None
@@ -142,21 +165,15 @@ pub fn decode_response(mut buf: impl Buf) -> Result<Response, CodecError> {
                 from_sensor: flags & FLAG_FROM_SENSOR != 0,
             }))
         }
-        TAG_CAP_ACK => {
-            if buf.remaining() < 1 {
-                return Err(CodecError::Truncated);
-            }
-            Ok(Response::CapAck { ok: buf.get_u8() != 0 })
-        }
+        TAG_CAP_ACK => Ok(Response::CapAck {
+            ok: r.get_u8()? != 0,
+        }),
         other => Err(CodecError::UnknownTag(other)),
     }
 }
 
-fn get_power(buf: &mut impl Buf) -> Result<Power, CodecError> {
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    let w = buf.get_f64_le();
+fn get_power(r: &mut Reader<'_>) -> Result<Power, CodecError> {
+    let w = r.get_f64_le()?;
     if !w.is_finite() || w < 0.0 {
         return Err(CodecError::InvalidPower);
     }
@@ -173,7 +190,11 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for req in [Request::ReadPower, Request::SetCap(watts(212.5)), Request::ClearCap] {
+        for req in [
+            Request::ReadPower,
+            Request::SetCap(watts(212.5)),
+            Request::ClearCap,
+        ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(bytes).unwrap(), req);
         }
@@ -231,21 +252,25 @@ mod tests {
 
     #[test]
     fn unknown_tags_error() {
-        assert_eq!(decode_request(&[0xff][..]), Err(CodecError::UnknownTag(0xff)));
-        assert_eq!(decode_response(&[0x00][..]), Err(CodecError::UnknownTag(0x00)));
+        assert_eq!(
+            decode_request(&[0xff][..]),
+            Err(CodecError::UnknownTag(0xff))
+        );
+        assert_eq!(
+            decode_response(&[0x00][..]),
+            Err(CodecError::UnknownTag(0x00))
+        );
     }
 
     #[test]
     fn non_finite_power_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(TAG_SET_CAP);
-        buf.put_f64_le(f64::NAN);
-        assert_eq!(decode_request(buf.freeze()), Err(CodecError::InvalidPower));
+        let mut buf = vec![TAG_SET_CAP];
+        put_f64_le(&mut buf, f64::NAN);
+        assert_eq!(decode_request(buf), Err(CodecError::InvalidPower));
 
-        let mut buf = BytesMut::new();
-        buf.put_u8(TAG_SET_CAP);
-        buf.put_f64_le(-5.0);
-        assert_eq!(decode_request(buf.freeze()), Err(CodecError::InvalidPower));
+        let mut buf = vec![TAG_SET_CAP];
+        put_f64_le(&mut buf, -5.0);
+        assert_eq!(decode_request(buf), Err(CodecError::InvalidPower));
     }
 
     #[test]
@@ -256,7 +281,9 @@ mod tests {
         for len in 0..64 {
             let bytes: Vec<u8> = (0..len)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (state >> 56) as u8
                 })
                 .collect();
@@ -268,7 +295,13 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(CodecError::Truncated.to_string(), "message truncated");
-        assert_eq!(CodecError::UnknownTag(7).to_string(), "unknown message tag 0x07");
-        assert_eq!(CodecError::InvalidPower.to_string(), "invalid power value on the wire");
+        assert_eq!(
+            CodecError::UnknownTag(7).to_string(),
+            "unknown message tag 0x07"
+        );
+        assert_eq!(
+            CodecError::InvalidPower.to_string(),
+            "invalid power value on the wire"
+        );
     }
 }

@@ -81,7 +81,11 @@ pub struct PowerReading {
 impl PowerReading {
     /// A sensor reading with no breakdown.
     pub fn total_only(total: Power) -> Self {
-        PowerReading { total, breakdown: None, from_sensor: true }
+        PowerReading {
+            total,
+            breakdown: None,
+            from_sensor: true,
+        }
     }
 }
 
@@ -165,7 +169,11 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// A perfect network (unit tests, baselines).
     pub fn reliable() -> Self {
-        LinkProfile { drop_prob: 0.0, timeout_prob: 0.0, mean_latency: SimDuration::from_millis(1) }
+        LinkProfile {
+            drop_prob: 0.0,
+            timeout_prob: 0.0,
+            mean_latency: SimDuration::from_millis(1),
+        }
     }
 
     /// A realistic datacenter profile: sub-millisecond transport with a
@@ -185,9 +193,19 @@ impl LinkProfile {
     ///
     /// Panics if probabilities are outside `[0, 1]`.
     pub fn lossy(drop_prob: f64, timeout_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_prob), "invalid drop prob {drop_prob}");
-        assert!((0.0..=1.0).contains(&timeout_prob), "invalid timeout prob {timeout_prob}");
-        LinkProfile { drop_prob, timeout_prob, mean_latency: SimDuration::from_millis(5) }
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "invalid drop prob {drop_prob}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&timeout_prob),
+            "invalid timeout prob {timeout_prob}"
+        );
+        LinkProfile {
+            drop_prob,
+            timeout_prob,
+            mean_latency: SimDuration::from_millis(5),
+        }
     }
 }
 
@@ -227,7 +245,11 @@ pub struct Network {
 impl Network {
     /// Creates a transport with the given profile and RNG stream.
     pub fn new(profile: LinkProfile, rng: SimRng) -> Self {
-        Network { profile, rng, stats: NetworkStats::default() }
+        Network {
+            profile,
+            rng,
+            stats: NetworkStats::default(),
+        }
     }
 
     /// Performs one call. On success returns the response and the
@@ -306,14 +328,19 @@ mod tests {
                     self.reads += 1;
                     Response::Power(PowerReading::total_only(self.power))
                 }
-                Request::SetCap(p) => Response::CapAck { ok: p.as_watts() > 0.0 },
+                Request::SetCap(p) => Response::CapAck {
+                    ok: p.as_watts() > 0.0,
+                },
                 Request::ClearCap => Response::CapAck { ok: true },
             }
         }
     }
 
     fn agent() -> EchoAgent {
-        EchoAgent { reads: 0, power: Power::from_watts(222.0) }
+        EchoAgent {
+            reads: 0,
+            power: Power::from_watts(222.0),
+        }
     }
 
     #[test]
@@ -379,7 +406,9 @@ mod tests {
     fn cap_requests_round_trip() {
         let mut net = Network::new(LinkProfile::reliable(), SimRng::seed_from(5));
         let mut a = agent();
-        let ok = net.call(&mut a, Request::SetCap(Power::from_watts(180.0))).unwrap();
+        let ok = net
+            .call(&mut a, Request::SetCap(Power::from_watts(180.0)))
+            .unwrap();
         assert_eq!(ok, Response::CapAck { ok: true });
         let cleared = net.call(&mut a, Request::ClearCap).unwrap();
         assert_eq!(cleared, Response::CapAck { ok: true });
@@ -390,7 +419,9 @@ mod tests {
         let run = |seed| {
             let mut net = Network::new(LinkProfile::lossy(0.3, 0.2), SimRng::seed_from(seed));
             let mut a = agent();
-            (0..100).map(|_| net.call(&mut a, Request::ReadPower).is_ok()).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| net.call(&mut a, Request::ReadPower).is_ok())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -1,85 +1,113 @@
-//! Property-based tests for the RPC layer and wire codec.
+//! Randomized tests for the RPC layer and wire codec, driven by the
+//! deterministic [`SimRng`] stream.
 
+use dcsim::SimRng;
 use dynrpc::codec::{decode_request, decode_response, encode_request, encode_response};
 use dynrpc::{LinkProfile, Network, PowerReading, Request, Response, WireBreakdown};
-use dcsim::SimRng;
 use powerinfra::Power;
-use proptest::prelude::*;
 
-fn any_request() -> impl Strategy<Value = Request> {
-    prop_oneof![
-        Just(Request::ReadPower),
-        (0.1f64..100_000.0).prop_map(|w| Request::SetCap(Power::from_watts(w))),
-        Just(Request::ClearCap),
-    ]
+const CASES: usize = 300;
+
+fn random_request(rng: &mut SimRng) -> Request {
+    match rng.next_below(3) {
+        0 => Request::ReadPower,
+        1 => Request::SetCap(Power::from_watts(rng.uniform(0.1, 100_000.0))),
+        _ => Request::ClearCap,
+    }
 }
 
-fn any_response() -> impl Strategy<Value = Response> {
-    let reading = (0.0f64..100_000.0, any::<bool>(), prop::option::of((0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4)))
-        .prop_map(|(total, from_sensor, breakdown)| {
-            Response::Power(PowerReading {
-                total: Power::from_watts(total),
-                from_sensor,
-                breakdown: breakdown.map(|(cpu, memory, other, loss)| WireBreakdown {
-                    cpu: Power::from_watts(cpu),
-                    memory: Power::from_watts(memory),
-                    other: Power::from_watts(other),
-                    conversion_loss: Power::from_watts(loss),
-                }),
-            })
+fn random_response(rng: &mut SimRng) -> Response {
+    if rng.chance(0.5) {
+        let breakdown = rng.chance(0.5).then(|| WireBreakdown {
+            cpu: Power::from_watts(rng.uniform(0.0, 1e4)),
+            memory: Power::from_watts(rng.uniform(0.0, 1e4)),
+            other: Power::from_watts(rng.uniform(0.0, 1e4)),
+            conversion_loss: Power::from_watts(rng.uniform(0.0, 1e4)),
         });
-    prop_oneof![reading, any::<bool>().prop_map(|ok| Response::CapAck { ok })]
+        Response::Power(PowerReading {
+            total: Power::from_watts(rng.uniform(0.0, 100_000.0)),
+            from_sensor: rng.chance(0.5),
+            breakdown,
+        })
+    } else {
+        Response::CapAck {
+            ok: rng.chance(0.5),
+        }
+    }
 }
 
-proptest! {
-    /// Every representable request round-trips through the codec.
-    #[test]
-    fn request_round_trip(req in any_request()) {
+/// Every representable request round-trips through the codec.
+#[test]
+fn request_round_trip() {
+    let mut rng = SimRng::seed_from(0x5_FC).split("req-roundtrip");
+    for _ in 0..CASES {
+        let req = random_request(&mut rng);
         let bytes = encode_request(&req);
-        prop_assert_eq!(decode_request(bytes), Ok(req));
+        assert_eq!(decode_request(&bytes), Ok(req));
     }
+}
 
-    /// Every representable response round-trips through the codec.
-    #[test]
-    fn response_round_trip(resp in any_response()) {
+/// Every representable response round-trips through the codec.
+#[test]
+fn response_round_trip() {
+    let mut rng = SimRng::seed_from(0x5_FC).split("resp-roundtrip");
+    for _ in 0..CASES {
+        let resp = random_response(&mut rng);
         let bytes = encode_response(&resp);
-        prop_assert_eq!(decode_response(bytes), Ok(resp));
+        assert_eq!(decode_response(&bytes), Ok(resp));
     }
+}
 
-    /// The decoder is total: any byte soup yields Ok or Err, never a
-    /// panic, and never reads past the buffer.
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+/// The decoder is total: any byte soup yields Ok or Err, never a panic,
+/// and never reads past the buffer.
+#[test]
+fn decoder_is_total() {
+    let mut rng = SimRng::seed_from(0x5_FC).split("decoder-total");
+    for _ in 0..CASES {
+        let len = rng.next_below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = decode_request(&bytes[..]);
         let _ = decode_response(&bytes[..]);
     }
+}
 
-    /// Truncating any valid message yields `Truncated`, not garbage.
-    #[test]
-    fn truncation_is_detected(resp in any_response(), cut_frac in 0.0f64..1.0) {
+/// Truncating any valid message yields an error, not garbage.
+#[test]
+fn truncation_is_detected() {
+    let mut rng = SimRng::seed_from(0x5_FC).split("truncation");
+    for _ in 0..CASES {
+        let resp = random_response(&mut rng);
         let bytes = encode_response(&resp);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        prop_assume!(cut < bytes.len());
-        let result = decode_response(&bytes[..cut]);
-        prop_assert!(result.is_err());
-    }
-
-    /// Network failure statistics converge to the configured rates.
-    #[test]
-    fn network_stats_are_consistent(seed in any::<u64>(), drop in 0.0f64..0.5, timeout in 0.0f64..0.5) {
-        struct Null;
-        impl dynrpc::AgentEndpoint for Null {
-            fn handle(&mut self, _: Request) -> Response {
-                Response::CapAck { ok: true }
-            }
+        let cut = ((bytes.len() as f64) * rng.uniform(0.0, 1.0)) as usize;
+        if cut >= bytes.len() {
+            continue;
         }
+        assert!(decode_response(&bytes[..cut]).is_err());
+    }
+}
+
+/// Network failure statistics stay internally consistent at any
+/// configured drop/timeout rates.
+#[test]
+fn network_stats_are_consistent() {
+    struct Null;
+    impl dynrpc::AgentEndpoint for Null {
+        fn handle(&mut self, _: Request) -> Response {
+            Response::CapAck { ok: true }
+        }
+    }
+    let mut meta = SimRng::seed_from(0x5_FC).split("net-stats");
+    for _ in 0..30 {
+        let seed = meta.next_u64();
+        let drop = meta.uniform(0.0, 0.5);
+        let timeout = meta.uniform(0.0, 0.5);
         let mut net = Network::new(LinkProfile::lossy(drop, timeout), SimRng::seed_from(seed));
         for _ in 0..300 {
             let _ = net.call(&mut Null, Request::ReadPower);
         }
         let stats = net.stats();
-        prop_assert_eq!(stats.calls, 300);
-        prop_assert_eq!(stats.successes + stats.drops + stats.timeouts, 300);
-        prop_assert!((0.0..=1.0).contains(&stats.failure_rate()));
+        assert_eq!(stats.calls, 300);
+        assert_eq!(stats.successes + stats.drops + stats.timeouts, 300);
+        assert!((0.0..=1.0).contains(&stats.failure_rate()));
     }
 }

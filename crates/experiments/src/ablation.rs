@@ -140,14 +140,20 @@ pub fn run() -> Ablation {
 
     let mut pi = PiController::new(PiConfig::default());
     let pi_metrics = run_algo(|power_kw, limit_kw| {
-        match pi.update(Power::from_kilowatts(power_kw), Power::from_kilowatts(limit_kw)) {
+        match pi.update(
+            Power::from_kilowatts(power_kw),
+            Power::from_kilowatts(limit_kw),
+        ) {
             PiDecision::Allow(a) => (Some(a.as_kilowatts()), true),
             PiDecision::Release => (Some(f64::INFINITY), true),
             PiDecision::Hold => (None, false),
         }
     });
 
-    Ablation { three_band, pi: pi_metrics }
+    Ablation {
+        three_band,
+        pi: pi_metrics,
+    }
 }
 
 impl std::fmt::Display for Ablation {
@@ -168,7 +174,14 @@ impl std::fmt::Display for Ablation {
             ]
         };
         f.write_str(&render_table(
-            &["algorithm", "over-limit", "settle", "actions", "reversals", "track err kW"],
+            &[
+                "algorithm",
+                "over-limit",
+                "settle",
+                "actions",
+                "reversals",
+                "track err kW",
+            ],
             &[row("three-band", &self.three_band), row("PI", &self.pi)],
         ))?;
         writeln!(
@@ -206,7 +219,11 @@ mod tests {
     #[test]
     fn neither_algorithm_oscillates_badly() {
         let ab = run();
-        assert!(ab.three_band.reversals <= 4, "three-band oscillated: {:?}", ab.three_band);
+        assert!(
+            ab.three_band.reversals <= 4,
+            "three-band oscillated: {:?}",
+            ab.three_band
+        );
         assert!(ab.pi.reversals <= 25, "PI unstable: {:?}", ab.pi);
     }
 

@@ -129,7 +129,11 @@ mod tests {
         assert!(lines[0].contains("name") && lines[0].contains("value"));
         assert!(lines[3].contains("long-name"));
         // All rows equal width.
-        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()) - (lines[2].len() - lines[0].len().min(lines[2].len())));
+        assert_eq!(
+            lines[0].len(),
+            lines[2].len().max(lines[0].len())
+                - (lines[2].len() - lines[0].len().min(lines[2].len()))
+        );
     }
 
     #[test]

@@ -33,8 +33,11 @@ pub struct Coordination {
 
 impl Coordination {
     fn mean_retention(outcomes: &[ChildOutcome], offender: bool) -> f64 {
-        let xs: Vec<f64> =
-            outcomes.iter().filter(|o| o.offender == offender).map(|o| o.retention).collect();
+        let xs: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.offender == offender)
+            .map(|o| o.retention)
+            .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     }
 
@@ -76,7 +79,11 @@ fn run_policy(policy: CoordinationPolicy) -> Vec<ChildOutcome> {
             .collect();
         let reports: Vec<ChildReport> = powers
             .iter()
-            .map(|&p| ChildReport { power: kw(p), quota: kw(quota), physical_limit: kw(200.0) })
+            .map(|&p| ChildReport {
+                power: kw(p),
+                quota: kw(quota),
+                physical_limit: kw(200.0),
+            })
             .collect();
         let out = upper.cycle(SimTime::from_secs(9 * cycle), &reports);
         for (i, d) in out.directives.iter().enumerate() {
@@ -180,9 +187,17 @@ mod tests {
     #[test]
     fn both_policies_cut_the_offender() {
         let c = run();
-        let off_a = c.offender_first.iter().find(|o| o.offender).unwrap().retention;
+        let off_a = c
+            .offender_first
+            .iter()
+            .find(|o| o.offender)
+            .unwrap()
+            .retention;
         let off_b = c.uniform.iter().find(|o| o.offender).unwrap().retention;
-        assert!(off_a < 0.95 && off_b < 0.95, "offender uncut: {off_a:.3} / {off_b:.3}");
+        assert!(
+            off_a < 0.95 && off_b < 0.95,
+            "offender uncut: {off_a:.3} / {off_b:.3}"
+        );
         // And under offender-first the offender absorbs *more* than
         // under uniform scaling.
         assert!(off_a <= off_b + 1e-9);

@@ -12,7 +12,11 @@ use serverpower::{Server, ServerConfig, ServerGeneration};
 /// Figure 2: the OCP power delivery hierarchy with ratings and
 /// oversubscription at each level, from a real built topology.
 pub fn fig2() -> String {
-    let topo = TopologyBuilder::new().sbs_per_msb(4).rpps_per_sb(4).racks_per_rpp(4).build();
+    let topo = TopologyBuilder::new()
+        .sbs_per_msb(4)
+        .rpps_per_sb(4)
+        .racks_per_rpp(4)
+        .build();
     let mut out = String::from(
         "Figure 2: power delivery infrastructure (rendered from the built topology)\n\n",
     );

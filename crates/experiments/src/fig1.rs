@@ -51,7 +51,10 @@ pub fn run() -> Fig1 {
 
 impl std::fmt::Display for Fig1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 1: server power (W) vs CPU utilization, two generations")?;
+        writeln!(
+            f,
+            "Figure 1: server power (W) vs CPU utilization, two generations"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -63,7 +66,10 @@ impl std::fmt::Display for Fig1 {
                 ]
             })
             .collect();
-        f.write_str(&render_table(&["cpu%", "2011 Westmere", "2015 Haswell"], &rows))?;
+        f.write_str(&render_table(
+            &["cpu%", "2011 Westmere", "2015 Haswell"],
+            &rows,
+        ))?;
         writeln!(
             f,
             "peak ratio 2015/2011 = {:.2}x  (paper: \"nearly doubled\")",
@@ -89,7 +95,10 @@ mod tests {
         let fig = run();
         let gap_idle = fig.rows[0].watts_2015 - fig.rows[0].watts_2011;
         let gap_peak = fig.rows.last().unwrap().watts_2015 - fig.rows.last().unwrap().watts_2011;
-        assert!(gap_peak > gap_idle * 3.0, "idle gap {gap_idle}, peak gap {gap_peak}");
+        assert!(
+            gap_peak > gap_idle * 3.0,
+            "idle gap {gap_idle}, peak gap {gap_peak}"
+        );
     }
 
     #[test]

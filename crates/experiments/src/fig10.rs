@@ -40,8 +40,8 @@ pub fn run() -> Fig10 {
     // A ramp up through the bands, a plateau, and a fall back down.
     let profile: Vec<f64> = (0..30)
         .map(|t| match t {
-            0..=9 => 85.0 + 1.6 * t as f64,   // ramp: 85 → 99.4
-            10..=17 => 99.5,                  // hot plateau
+            0..=9 => 85.0 + 1.6 * t as f64,          // ramp: 85 → 99.4
+            10..=17 => 99.5,                         // hot plateau
             18..=23 => 95.0 - 1.4 * (t - 18) as f64, // recede: 95 → 88
             _ => 87.0,
         })
@@ -59,7 +59,10 @@ pub fn run() -> Fig10 {
                 BandDecision::Cap { total_cut } => {
                     caps_active = true;
                     action_count += 1;
-                    ("above capping threshold", format!("CAP (cut {:.1} kW)", total_cut.as_kilowatts()))
+                    (
+                        "above capping threshold",
+                        format!("CAP (cut {:.1} kW)", total_cut.as_kilowatts()),
+                    )
                 }
                 BandDecision::Uncap => {
                     caps_active = false;
@@ -75,7 +78,12 @@ pub fn run() -> Fig10 {
                     (band, "hold".to_string())
                 }
             };
-            Fig10Row { t, power_kw: kw, band, decision: text }
+            Fig10Row {
+                t,
+                power_kw: kw,
+                band,
+                decision: text,
+            }
         })
         .collect();
 
@@ -103,7 +111,12 @@ impl std::fmt::Display for Fig10 {
             .rows
             .iter()
             .map(|r| {
-                vec![r.t.to_string(), fmt_f(r.power_kw, 1), r.decision.clone(), r.band.to_string()]
+                vec![
+                    r.t.to_string(),
+                    fmt_f(r.power_kw, 1),
+                    r.decision.clone(),
+                    r.band.to_string(),
+                ]
             })
             .collect();
         f.write_str(&render_table(&["t", "power kW", "decision", "band"], &rows))
@@ -117,10 +130,18 @@ mod tests {
     #[test]
     fn caps_on_the_surge_and_uncaps_after() {
         let fig = run();
-        let caps: Vec<usize> =
-            fig.rows.iter().filter(|r| r.decision.starts_with("CAP")).map(|r| r.t).collect();
-        let uncaps: Vec<usize> =
-            fig.rows.iter().filter(|r| r.decision == "UNCAP").map(|r| r.t).collect();
+        let caps: Vec<usize> = fig
+            .rows
+            .iter()
+            .filter(|r| r.decision.starts_with("CAP"))
+            .map(|r| r.t)
+            .collect();
+        let uncaps: Vec<usize> = fig
+            .rows
+            .iter()
+            .filter(|r| r.decision == "UNCAP")
+            .map(|r| r.t)
+            .collect();
         assert!(!caps.is_empty(), "no cap decision during surge");
         assert_eq!(uncaps.len(), 1, "exactly one uncap expected");
         assert!(uncaps[0] > *caps.last().unwrap());
@@ -130,7 +151,11 @@ mod tests {
     fn hysteresis_limits_flapping() {
         // The band gap keeps actions rare even across 30 samples.
         let fig = run();
-        assert!(fig.action_count <= 10, "too many actions: {}", fig.action_count);
+        assert!(
+            fig.action_count <= 10,
+            "too many actions: {}",
+            fig.action_count
+        );
     }
 
     #[test]
@@ -142,6 +167,9 @@ mod tests {
     #[test]
     fn holds_in_the_middle_band() {
         let fig = run();
-        assert!(fig.rows.iter().any(|r| r.decision == "hold" && r.band == "between bands"));
+        assert!(fig
+            .rows
+            .iter()
+            .any(|r| r.decision == "hold" && r.band == "between bands"));
     }
 }

@@ -78,7 +78,11 @@ pub fn run(scale: Scale) -> Fig11 {
             held_peak_kw = held_peak_kw.max(power_kw);
         }
         if m % 5 == 0 {
-            rows.push(Fig11Row { minutes: m, power_kw, capped });
+            rows.push(Fig11Row {
+                minutes: m,
+                power_kw,
+                capped,
+            });
         }
     }
 
@@ -152,9 +156,16 @@ mod tests {
         let cap = fig.first_cap_min.expect("capping must trigger");
         // The load test starts at minute 160.
         assert!(cap >= 160, "capping at minute {cap}, before the load test");
-        assert!(cap <= 225, "capping at minute {cap}, after the load test ended");
+        assert!(
+            cap <= 225,
+            "capping at minute {cap}, after the load test ended"
+        );
         // Held below the breaker limit, near the target band.
-        assert!(fig.held_peak_kw <= fig.limit_kw * 1.01, "held peak {}", fig.held_peak_kw);
+        assert!(
+            fig.held_peak_kw <= fig.limit_kw * 1.01,
+            "held peak {}",
+            fig.held_peak_kw
+        );
         assert!(!fig.tripped, "breaker tripped despite capping");
     }
 
@@ -167,13 +178,21 @@ mod tests {
         // The load test's ramp-down starts at minute 215; uncapping any
         // time from there on matches the paper's "traffic ... started to
         // return to normal" then uncap.
-        assert!(uncap >= 213, "uncapped at minute {uncap}, before the load test wound down");
+        assert!(
+            uncap >= 213,
+            "uncapped at minute {uncap}, before the load test wound down"
+        );
     }
 
     #[test]
     fn morning_ramp_is_visible() {
         let fig = run(Scale::Quick);
         let at = |m: u64| fig.rows.iter().find(|r| r.minutes == m).unwrap().power_kw;
-        assert!(at(150) > at(5) * 1.05, "no diurnal ramp: {} vs {}", at(5), at(150));
+        assert!(
+            at(150) > at(5) * 1.05,
+            "no diurnal ramp: {} vs {}",
+            at(5),
+            at(150)
+        );
     }
 }

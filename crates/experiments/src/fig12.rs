@@ -79,7 +79,10 @@ pub fn run(scale: Scale) -> Fig12 {
             rows.push(Fig12Row {
                 minutes: m,
                 sb_kw: sb_kw_now,
-                rows_kw: rpps.iter().map(|&r| dc.device_power(r).as_kilowatts()).collect(),
+                rows_kw: rpps
+                    .iter()
+                    .map(|&r| dc.device_power(r).as_kilowatts())
+                    .collect(),
                 capped,
             });
         }
@@ -149,9 +152,16 @@ mod tests {
     fn surge_triggers_sb_capping_and_no_trip() {
         let fig = run(Scale::Quick);
         let cap_min = fig.first_sb_cap_min.expect("SB capping must fire");
-        assert!(cap_min >= 100, "capping at min {cap_min}, before the recovery surge");
+        assert!(
+            cap_min >= 100,
+            "capping at min {cap_min}, before the recovery surge"
+        );
         assert!(!fig.tripped, "SB breaker tripped despite Dynamo");
-        assert!(fig.held_peak_kw <= fig.sb_limit_kw * 1.02, "held {}", fig.held_peak_kw);
+        assert!(
+            fig.held_peak_kw <= fig.sb_limit_kw * 1.02,
+            "held {}",
+            fig.held_peak_kw
+        );
     }
 
     #[test]
@@ -170,9 +180,19 @@ mod tests {
         let at = |m: u64| fig.rows.iter().find(|r| r.minutes == m).unwrap().sb_kw;
         let normal = at(40);
         let trough = at(60);
-        let surge_peak =
-            fig.rows.iter().filter(|r| (104..=145).contains(&r.minutes)).map(|r| r.sb_kw).fold(0.0, f64::max);
-        assert!(trough < normal * 0.6, "no outage trough: {normal} -> {trough}");
-        assert!(surge_peak > normal * 1.1, "no recovery surge: {normal} -> {surge_peak}");
+        let surge_peak = fig
+            .rows
+            .iter()
+            .filter(|r| (104..=145).contains(&r.minutes))
+            .map(|r| r.sb_kw)
+            .fold(0.0, f64::max);
+        assert!(
+            trough < normal * 0.6,
+            "no outage trough: {normal} -> {trough}"
+        );
+        assert!(
+            surge_peak > normal * 1.1,
+            "no recovery surge: {normal} -> {surge_peak}"
+        );
     }
 }

@@ -42,7 +42,8 @@ fn slope(rows: &[Fig13Row], lo: f64, hi: f64) -> f64 {
         .collect();
     let first = pts.first().expect("range covered");
     let last = pts.last().expect("range covered");
-    (last.slowdown_pct - first.slowdown_pct) / (last.power_reduction_pct - first.power_reduction_pct)
+    (last.slowdown_pct - first.slowdown_pct)
+        / (last.power_reduction_pct - first.power_reduction_pct)
 }
 
 /// Replays the paper's control-group experiment: one group of web
@@ -75,7 +76,10 @@ pub fn run() -> Fig13 {
             }
             // Server-side latency scales inversely with throughput.
             let slowdown = (control_perf / s.performance_factor() - 1.0) * 100.0;
-            Fig13Row { power_reduction_pct: reduction, slowdown_pct: slowdown }
+            Fig13Row {
+                power_reduction_pct: reduction,
+                slowdown_pct: slowdown,
+            }
         })
         .collect();
     Fig13 { rows }
@@ -83,7 +87,10 @@ pub fn run() -> Fig13 {
 
 impl std::fmt::Display for Fig13 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 13: web-server slowdown vs power reduction (capped vs control group)")?;
+        writeln!(
+            f,
+            "Figure 13: web-server slowdown vs power reduction (capped vs control group)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -138,6 +145,10 @@ mod tests {
             .iter()
             .find(|r| (r.power_reduction_pct - 20.0).abs() < 0.1)
             .expect("20% sampled");
-        assert!(at20.slowdown_pct < 20.0, "slowdown at 20% cut: {:.1}%", at20.slowdown_pct);
+        assert!(
+            at20.slowdown_pct < 20.0,
+            "slowdown at 20% cut: {:.1}%",
+            at20.slowdown_pct
+        );
     }
 }

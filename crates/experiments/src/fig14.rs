@@ -104,7 +104,11 @@ pub fn run(scale: Scale) -> Fig14 {
         perf_acc += dc.performance_under(sb);
         perf_n += 1;
         if m % 60 == 0 {
-            rows.push(Fig14Row { hour: m / 60, sb_kw: dc.device_power(sb).as_kilowatts(), capped });
+            rows.push(Fig14Row {
+                hour: m / 60,
+                sb_kw: dc.device_power(sb).as_kilowatts(),
+                capped,
+            });
         }
     }
 
@@ -143,7 +147,11 @@ impl std::fmt::Display for Fig14 {
             .map(|r| vec![r.hour.to_string(), fmt_f(r.sb_kw, 1), r.capped.to_string()])
             .collect();
         f.write_str(&render_table(&["hour", "SB kW", "capped"], &rows))?;
-        writeln!(f, "capping episodes: {} (paper: 7 in 24 h)", self.episodes.len())?;
+        writeln!(
+            f,
+            "capping episodes: {} (paper: 7 in 24 h)",
+            self.episodes.len()
+        )?;
         for e in &self.episodes {
             writeln!(
                 f,
@@ -166,7 +174,10 @@ mod tests {
     #[test]
     fn capping_episodes_occur_without_trips() {
         let fig = run(Scale::Quick);
-        assert!(!fig.episodes.is_empty(), "no capping episodes despite oversubscription");
+        assert!(
+            !fig.episodes.is_empty(),
+            "no capping episodes despite oversubscription"
+        );
         assert!(!fig.tripped, "SB tripped despite Dynamo");
     }
 
@@ -174,7 +185,11 @@ mod tests {
     fn power_stays_close_to_but_below_limit() {
         let fig = run(Scale::Quick);
         let peak = fig.rows.iter().map(|r| r.sb_kw).fold(0.0, f64::max);
-        assert!(peak <= fig.sb_limit_kw * 1.01, "peak {peak} above limit {}", fig.sb_limit_kw);
+        assert!(
+            peak <= fig.sb_limit_kw * 1.01,
+            "peak {peak} above limit {}",
+            fig.sb_limit_kw
+        );
         assert!(
             peak >= fig.sb_limit_kw * 0.80,
             "peak {peak} far below limit {} — oversubscription not exercised",

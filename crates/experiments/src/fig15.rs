@@ -119,7 +119,12 @@ pub fn run(scale: Scale) -> Fig15 {
         }
     }
 
-    Fig15 { rows, cap_start_s, cap_end_s: cap_start_s + cap_hold_s, capped_counts }
+    Fig15 {
+        rows,
+        cap_start_s,
+        cap_end_s: cap_start_s + cap_hold_s,
+        capped_counts,
+    }
 }
 
 impl std::fmt::Display for Fig15 {
@@ -144,7 +149,10 @@ impl std::fmt::Display for Fig15 {
                 ]
             })
             .collect();
-        f.write_str(&render_table(&["t (s)", "total kW", "web", "cache", "feed"], &rows))?;
+        f.write_str(&render_table(
+            &["t (s)", "total kW", "web", "cache", "feed"],
+            &rows,
+        ))?;
         writeln!(
             f,
             "capped at mid-event: web {}, cache {}, feed {}  (paper: cache untouched)",
@@ -158,8 +166,12 @@ mod tests {
     use super::*;
 
     fn mean_in(fig: &Fig15, lo: u64, hi: u64, get: impl Fn(&Fig15Row) -> f64) -> f64 {
-        let pts: Vec<f64> =
-            fig.rows.iter().filter(|r| r.secs >= lo && r.secs < hi).map(get).collect();
+        let pts: Vec<f64> = fig
+            .rows
+            .iter()
+            .filter(|r| r.secs >= lo && r.secs < hi)
+            .map(get)
+            .collect();
         pts.iter().sum::<f64>() / pts.len() as f64
     }
 
@@ -172,7 +184,10 @@ mod tests {
         let mid = (fig.cap_start_s, fig.cap_end_s);
         let before_web = mean_in(&fig, 60, fig.cap_start_s - 60, |r| r.web_kw);
         let during_web = mean_in(&fig, mid.0 + 120, mid.1, |r| r.web_kw);
-        assert!(during_web < before_web * 0.97, "web power not reduced: {before_web} -> {during_web}");
+        assert!(
+            during_web < before_web * 0.97,
+            "web power not reduced: {before_web} -> {during_web}"
+        );
 
         let before_cache = mean_in(&fig, 60, fig.cap_start_s - 60, |r| r.cache_kw);
         let during_cache = mean_in(&fig, mid.0 + 120, mid.1, |r| r.cache_kw);
@@ -187,8 +202,13 @@ mod tests {
         let fig = run(Scale::Quick);
         let before = mean_in(&fig, 60, fig.cap_start_s - 60, |r| r.total_kw);
         let during = mean_in(&fig, fig.cap_start_s + 120, fig.cap_end_s, |r| r.total_kw);
-        let after = mean_in(&fig, fig.cap_end_s + 120, fig.cap_end_s + 280, |r| r.total_kw);
-        assert!(during < before * 0.98, "no visible capping: {before} -> {during}");
+        let after = mean_in(&fig, fig.cap_end_s + 120, fig.cap_end_s + 280, |r| {
+            r.total_kw
+        });
+        assert!(
+            during < before * 0.98,
+            "no visible capping: {before} -> {during}"
+        );
         assert!(after > during, "power did not recover after uncap");
     }
 }

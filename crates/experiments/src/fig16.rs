@@ -62,9 +62,12 @@ pub fn run(scale: Scale) -> Fig16 {
     }
     assert!(seen_caps > 0, "override did not trigger capping");
 
-    let leaf = dc.system().leaf_for(rpp).expect("rpp has a leaf controller");
-    let readings = leaf.last_power().clone();
-    let caps_map = leaf.active_caps().clone();
+    let leaf = dc
+        .system()
+        .leaf_for(rpp)
+        .expect("rpp has a leaf controller");
+    let readings = leaf.last_power();
+    let caps_map = leaf.active_caps();
     let mut servers: Vec<Fig16Server> = dc
         .fleet()
         .iter_services()
@@ -83,9 +86,8 @@ pub fn run(scale: Scale) -> Fig16 {
 
     let caps: Vec<f64> = servers.iter().filter_map(|s| s.cap_w).collect();
     let min_cap_w = caps.iter().cloned().fold(f64::INFINITY, f64::min);
-    let throttleable = |s: &&Fig16Server| {
-        matches!(s.service, ServiceKind::Web | ServiceKind::NewsFeed)
-    };
+    let throttleable =
+        |s: &&Fig16Server| matches!(s.service, ServiceKind::Web | ServiceKind::NewsFeed);
     let min_capped_power_w = servers
         .iter()
         .filter(throttleable)
@@ -99,7 +101,12 @@ pub fn run(scale: Scale) -> Fig16 {
         .map(|s| s.power_w)
         .fold(0.0, f64::max);
 
-    Fig16 { servers, min_cap_w, min_capped_power_w, max_uncapped_power_w }
+    Fig16 {
+        servers,
+        min_cap_w,
+        min_capped_power_w,
+        max_uncapped_power_w,
+    }
 }
 
 impl std::fmt::Display for Fig16 {
@@ -113,7 +120,13 @@ impl std::fmt::Display for Fig16 {
             let group: Vec<&Fig16Server> =
                 self.servers.iter().filter(|s| s.service == kind).collect();
             let capped = group.iter().filter(|s| s.cap_w.is_some()).count();
-            writeln!(f, "\n{}: {} servers, {} capped", kind.label(), group.len(), capped)?;
+            writeln!(
+                f,
+                "\n{}: {} servers, {} capped",
+                kind.label(),
+                group.len(),
+                capped
+            )?;
             let rows: Vec<Vec<String>> = group
                 .iter()
                 .take(12)
@@ -143,7 +156,11 @@ mod tests {
     #[test]
     fn caps_respect_the_sla_floor() {
         let fig = run(Scale::Quick);
-        assert!(fig.min_cap_w >= 210.0 - 1e-6, "min cap {} below floor", fig.min_cap_w);
+        assert!(
+            fig.min_cap_w >= 210.0 - 1e-6,
+            "min cap {} below floor",
+            fig.min_cap_w
+        );
     }
 
     #[test]
@@ -181,7 +198,11 @@ mod tests {
             let cap = s.cap_w.unwrap();
             // Caps are computed as power-at-decision minus a cut, so they
             // live between the SLA floor and the fleet's peak power.
-            assert!((210.0..=345.0).contains(&cap), "server {} cap {cap:.1}", s.server_id);
+            assert!(
+                (210.0..=345.0).contains(&cap),
+                "server {} cap {cap:.1}",
+                s.server_id
+            );
             // At decision time the cap equals the reading minus the cut,
             // so it can never exceed the reading.
             assert!(

@@ -29,8 +29,12 @@ pub struct Fig3 {
 
 /// Regenerates Figure 3 from the calibrated trip curves.
 pub fn run() -> Fig3 {
-    let (rack, rpp, sb, msb) =
-        (TripCurve::rack(), TripCurve::rpp(), TripCurve::sb(), TripCurve::msb());
+    let (rack, rpp, sb, msb) = (
+        TripCurve::rack(),
+        TripCurve::rpp(),
+        TripCurve::sb(),
+        TripCurve::msb(),
+    );
     let t = |c: &TripCurve, r: f64| c.trip_time(r).map(|d| d.as_secs_f64());
     let rows = (0..=20)
         .map(|i| {
@@ -56,7 +60,10 @@ fn cell(v: Option<f64>) -> String {
 
 impl std::fmt::Display for Fig3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 3: breaker trip time (s) vs power normalized to rating")?;
+        writeln!(
+            f,
+            "Figure 3: breaker trip time (s) vs power normalized to rating"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -70,8 +77,14 @@ impl std::fmt::Display for Fig3 {
                 ]
             })
             .collect();
-        f.write_str(&render_table(&["power/rating", "Rack", "RPP", "SB", "MSB"], &rows))?;
-        writeln!(f, "anchors: RPP 10% overdraw ≈ 17 min; RPP 40% ≈ 60 s; MSB 5% ≈ 2 min (paper §II-A)")
+        f.write_str(&render_table(
+            &["power/rating", "Rack", "RPP", "SB", "MSB"],
+            &rows,
+        ))?;
+        writeln!(
+            f,
+            "anchors: RPP 10% overdraw ≈ 17 min; RPP 40% ≈ 60 s; MSB 5% ≈ 2 min (paper §II-A)"
+        )
     }
 }
 
@@ -96,7 +109,11 @@ mod tests {
                 row.sb_secs.unwrap(),
                 row.msb_secs.unwrap(),
             );
-            assert!(rack >= rpp && rpp >= sb && sb >= msb, "ordering broken at {}", row.ratio);
+            assert!(
+                rack >= rpp && rpp >= sb && sb >= msb,
+                "ordering broken at {}",
+                row.ratio
+            );
         }
     }
 

@@ -34,7 +34,10 @@ pub fn run() -> Fig4 {
             (w, vars.iter().cloned().fold(0.0, f64::max))
         })
         .collect();
-    Fig4 { trace, max_variation_per_window }
+    Fig4 {
+        trace,
+        max_variation_per_window,
+    }
 }
 
 impl std::fmt::Display for Fig4 {
@@ -62,7 +65,12 @@ mod tests {
     fn variation_monotone_in_window_size() {
         let fig = run();
         for w in fig.max_variation_per_window.windows(2) {
-            assert!(w[1].1 >= w[0].1, "window {}s saw less variation than {}s", w[1].0, w[0].0);
+            assert!(
+                w[1].1 >= w[0].1,
+                "window {}s saw less variation than {}s",
+                w[1].0,
+                w[0].0
+            );
         }
     }
 

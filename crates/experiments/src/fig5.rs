@@ -67,7 +67,10 @@ pub fn run(scale: Scale) -> Fig5 {
         .traffic(ServiceKind::Web, TrafficPattern::diurnal())
         .traffic(ServiceKind::NewsFeed, TrafficPattern::diurnal())
         .traffic(ServiceKind::Cache, TrafficPattern::diurnal_with(0.7, 20.0))
-        .traffic(ServiceKind::Database, TrafficPattern::diurnal_with(0.7, 20.0))
+        .traffic(
+            ServiceKind::Database,
+            TrafficPattern::diurnal_with(0.7, 20.0),
+        )
         .capping_enabled(false)
         .watch_levels(vec![
             DeviceLevel::Rack,
@@ -87,10 +90,7 @@ pub fn run(scale: Scale) -> Fig5 {
             for (wi, &wsecs) in WINDOWS_SECS.iter().enumerate() {
                 let mut pooled = Vec::new();
                 for dev in dc.topology().devices_at(level) {
-                    let trace = dc
-                        .telemetry()
-                        .device_trace(dev)
-                        .expect("level was watched");
+                    let trace = dc.telemetry().device_trace(dev).expect("level was watched");
                     let norm = trace.peak_mean(0.3);
                     for v in sliding_variation(trace, SimDuration::from_secs(wsecs)) {
                         pooled.push(v / norm * 100.0);
@@ -98,11 +98,19 @@ pub fn run(scale: Scale) -> Fig5 {
                 }
                 p99[wi] = Cdf::from_samples(pooled).p99();
             }
-            Fig5Row { level, p99, paper_p99 }
+            Fig5Row {
+                level,
+                p99,
+                paper_p99,
+            }
         })
         .collect();
 
-    Fig5 { rows, servers, hours }
+    Fig5 {
+        rows,
+        servers,
+        hours,
+    }
 }
 
 impl std::fmt::Display for Fig5 {

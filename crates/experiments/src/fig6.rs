@@ -52,7 +52,14 @@ pub fn run(scale: Scale) -> Fig6 {
         .map(|&(service, paper_p50, paper_p99)| {
             let samples = service_variation_samples(service, n_servers, hours, window, 600);
             let cdf = Cdf::from_samples(samples);
-            Fig6Row { service, p50: cdf.median(), p99: cdf.p99(), paper_p50, paper_p99, cdf }
+            Fig6Row {
+                service,
+                p50: cdf.median(),
+                p99: cdf.p99(),
+                paper_p50,
+                paper_p99,
+                cdf,
+            }
         })
         .collect();
     Fig6 { rows }
@@ -60,7 +67,10 @@ pub fn run(scale: Scale) -> Fig6 {
 
 impl std::fmt::Display for Fig6 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 6: 60 s power variation by service — (p50, p99) in % of peak-hour mean")?;
+        writeln!(
+            f,
+            "Figure 6: 60 s power variation by service — (p50, p99) in % of peak-hour mean"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -103,10 +113,20 @@ mod tests {
     #[test]
     fn f4_has_heaviest_tail() {
         let fig = run(Scale::Quick);
-        let f4 = fig.rows.iter().find(|r| r.service == ServiceKind::F4Storage).unwrap();
+        let f4 = fig
+            .rows
+            .iter()
+            .find(|r| r.service == ServiceKind::F4Storage)
+            .unwrap();
         for r in &fig.rows {
             if r.service != ServiceKind::F4Storage {
-                assert!(f4.p99 > r.p99, "f4 p99 {:.1} <= {} p99 {:.1}", f4.p99, r.service, r.p99);
+                assert!(
+                    f4.p99 > r.p99,
+                    "f4 p99 {:.1} <= {} p99 {:.1}",
+                    f4.p99,
+                    r.service,
+                    r.p99
+                );
             }
         }
     }

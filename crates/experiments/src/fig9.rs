@@ -66,13 +66,23 @@ pub fn run() -> Fig9 {
     };
     let cap_settle_secs = settle(cap_at, cap_level.as_watts());
     let uncap_settle_secs = settle(uncap_at, uncapped_level);
-    Fig9 { series, cap_at, uncap_at, cap_settle_secs, uncap_settle_secs }
+    Fig9 {
+        series,
+        cap_at,
+        uncap_at,
+        cap_settle_secs,
+        uncap_settle_secs,
+    }
 }
 
 impl std::fmt::Display for Fig9 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Figure 9: single-server RAPL cap/uncap transient")?;
-        writeln!(f, "cap issued at {:.3} s, uncap at {:.3} s (paper: 4.650 / 12.067)", self.cap_at, self.uncap_at)?;
+        writeln!(
+            f,
+            "cap issued at {:.3} s, uncap at {:.3} s (paper: 4.650 / 12.067)",
+            self.cap_at, self.uncap_at
+        )?;
         // Print every 0.5 s for readability.
         let rows: Vec<Vec<String>> = self
             .series
@@ -96,9 +106,20 @@ mod tests {
     #[test]
     fn settles_in_about_two_seconds() {
         let fig = run();
-        assert!(fig.cap_settle_secs <= 2.5, "cap settle {}", fig.cap_settle_secs);
-        assert!(fig.uncap_settle_secs <= 2.5, "uncap settle {}", fig.uncap_settle_secs);
-        assert!(fig.cap_settle_secs > 0.3, "settling should not be instantaneous");
+        assert!(
+            fig.cap_settle_secs <= 2.5,
+            "cap settle {}",
+            fig.cap_settle_secs
+        );
+        assert!(
+            fig.uncap_settle_secs <= 2.5,
+            "uncap settle {}",
+            fig.uncap_settle_secs
+        );
+        assert!(
+            fig.cap_settle_secs > 0.3,
+            "settling should not be instantaneous"
+        );
     }
 
     #[test]
@@ -108,9 +129,18 @@ mod tests {
         let before = at(4.0);
         let during = at(10.0);
         let after = at(17.0);
-        assert!(during < before - 30.0, "cap had no effect: {before} -> {during}");
-        assert!((after - before).abs() < 10.0, "uncap did not recover: {before} vs {after}");
-        assert!((during - 180.0).abs() < 6.0, "capped level {during} not near 180 W");
+        assert!(
+            during < before - 30.0,
+            "cap had no effect: {before} -> {during}"
+        );
+        assert!(
+            (after - before).abs() < 10.0,
+            "uncap did not recover: {before} vs {after}"
+        );
+        assert!(
+            (during - 180.0).abs() < 6.0,
+            "capped level {during} not near 180 W"
+        );
     }
 
     #[test]

@@ -56,16 +56,24 @@ pub fn run(scale: Scale) -> Implications {
             // lands at (1 + rise/100)x — the §II-C worst case under
             // full subscription.
             let overload = 1.0 + rise / 100.0;
-            let trip_secs =
-                curve_of(r.level).trip_time(overload).map(|d: SimDuration| d.as_secs_f64());
-            ImplicationRow { level: r.level, rise_60s_pct: rise, trip_secs }
+            let trip_secs = curve_of(r.level)
+                .trip_time(overload)
+                .map(|d: SimDuration| d.as_secs_f64());
+            ImplicationRow {
+                level: r.level,
+                rise_60s_pct: rise,
+                trip_secs,
+            }
         })
         .collect();
     let binding_deadline_secs = rows
         .iter()
         .filter_map(|r| r.trip_secs)
         .fold(f64::INFINITY, f64::min);
-    Implications { rows, binding_deadline_secs }
+    Implications {
+        rows,
+        binding_deadline_secs,
+    }
 }
 
 impl Implications {
@@ -96,7 +104,10 @@ impl std::fmt::Display for Implications {
                 ]
             })
             .collect();
-        f.write_str(&render_table(&["level", "p99 rise in 60s (%)", "trip time (s)"], &rows))?;
+        f.write_str(&render_table(
+            &["level", "p99 rise in 60s (%)", "trip time (s)"],
+            &rows,
+        ))?;
         writeln!(
             f,
             "binding deadline: {:.0} s -> sample at sub-minute granularity and finish\n\
@@ -118,7 +129,11 @@ mod tests {
         let imp = run(Scale::Quick);
         // Every level with a finite deadline gives the controller at
         // least the paper's two-minute window...
-        assert!(imp.two_minute_budget_is_sound(), "deadline {}", imp.binding_deadline_secs);
+        assert!(
+            imp.two_minute_budget_is_sound(),
+            "deadline {}",
+            imp.binding_deadline_secs
+        );
         // ...but not unboundedly more: minute-granularity sampling (as
         // prior work used) would leave less than a handful of samples
         // before a trip at some level.
@@ -131,8 +146,16 @@ mod tests {
     #[test]
     fn rack_rises_most_and_msb_least() {
         let imp = run(Scale::Quick);
-        let rack = imp.rows.iter().find(|r| r.level == DeviceLevel::Rack).unwrap();
-        let msb = imp.rows.iter().find(|r| r.level == DeviceLevel::Msb).unwrap();
+        let rack = imp
+            .rows
+            .iter()
+            .find(|r| r.level == DeviceLevel::Rack)
+            .unwrap();
+        let msb = imp
+            .rows
+            .iter()
+            .find(|r| r.level == DeviceLevel::Msb)
+            .unwrap();
         assert!(rack.rise_60s_pct > msb.rise_60s_pct);
     }
 

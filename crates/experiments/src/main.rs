@@ -12,13 +12,30 @@
 //! variants (seconds instead of minutes).
 
 use experiments::{
-    ablation, coordination, diagrams, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
-    fig3, fig4, fig5, fig6, fig9, implications, table1, Scale,
+    ablation, coordination, diagrams, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig3,
+    fig4, fig5, fig6, fig9, implications, table1, Scale,
 };
 
 const TARGETS: [&str; 20] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "table1", "ablation", "implications",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table1",
+    "ablation",
+    "implications",
     "coordination",
 ];
 
@@ -73,6 +90,10 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         }
-        eprintln!("[{} done in {:.1}s]", target, started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{} done in {:.1}s]",
+            target,
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -233,7 +233,10 @@ impl std::fmt::Display for Table1 {
         let rows = vec![
             vec![
                 "Prevent potential power outage".to_string(),
-                format!("{}/{} surge scenarios", self.outages_prevented.0, self.outages_prevented.1),
+                format!(
+                    "{}/{} surge scenarios",
+                    self.outages_prevented.0, self.outages_prevented.1
+                ),
                 "18 times in 6 months".to_string(),
             ],
             vec![
@@ -273,14 +276,20 @@ mod tests {
     #[test]
     fn dynamo_prevents_every_surge_outage() {
         let (prevented, total) = outages_prevented(Scale::Quick);
-        assert_eq!(prevented, total, "Dynamo failed to prevent {total}-{prevented} outages");
+        assert_eq!(
+            prevented, total,
+            "Dynamo failed to prevent {total}-{prevented} outages"
+        );
     }
 
     #[test]
     fn hadoop_boost_near_13_pct() {
         let (base, boosted) = hadoop_perf(Scale::Quick);
         let pct = (boosted / base - 1.0) * 100.0;
-        assert!((5.0..15.0).contains(&pct), "hadoop boost {pct:.1}% out of band");
+        assert!(
+            (5.0..15.0).contains(&pct),
+            "hadoop boost {pct:.1}% out of band"
+        );
     }
 
     #[test]
@@ -296,7 +305,10 @@ mod tests {
     #[test]
     fn oversubscription_packs_more_servers() {
         let (conservative, dynamo) = servers_per_rpp(Scale::Quick);
-        assert!(dynamo > conservative, "no packing gain: {conservative} vs {dynamo}");
+        assert!(
+            dynamo > conservative,
+            "no packing gain: {conservative} vs {dynamo}"
+        );
         let pct = (dynamo as f64 / conservative as f64 - 1.0) * 100.0;
         assert!(pct >= 5.0, "packing gain only {pct:.0}%");
     }
@@ -311,7 +323,13 @@ mod tests {
             monitoring_secs: 3,
         };
         let s = t.to_string();
-        for needle in ["outage", "Hadoop", "Search", "Over-subscription", "monitoring"] {
+        for needle in [
+            "outage",
+            "Hadoop",
+            "Search",
+            "Over-subscription",
+            "monitoring",
+        ] {
             assert!(s.contains(needle), "missing row {needle}");
         }
         assert!((t.oversubscription_pct() - 12.5).abs() < 0.1);

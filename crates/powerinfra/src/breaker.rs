@@ -58,11 +58,19 @@ impl TripCurve {
     /// Panics unless `1 < r1 < r2` and `t1 > t2 > 0` (inverse-time curves
     /// are strictly decreasing).
     pub fn from_anchors(r1: f64, t1: f64, r2: f64, t2: f64) -> Self {
-        assert!(r1 > 1.0 && r2 > r1, "anchor ratios must satisfy 1 < r1 < r2");
+        assert!(
+            r1 > 1.0 && r2 > r1,
+            "anchor ratios must satisfy 1 < r1 < r2"
+        );
         assert!(t1 > t2 && t2 > 0.0, "anchor times must satisfy t1 > t2 > 0");
         let alpha = (t1 / t2).ln() / ((r2 - 1.0) / (r1 - 1.0)).ln();
         let k = t1 * (r1 - 1.0).powf(alpha);
-        TripCurve { k, alpha, min_trip_secs: 2.0, instant_ratio: 3.0 }
+        TripCurve {
+            k,
+            alpha,
+            min_trip_secs: 2.0,
+            instant_ratio: 3.0,
+        }
     }
 
     /// The curve for rack-level breakers (12.6 kW shelf).
@@ -182,8 +190,17 @@ impl Breaker {
     ///
     /// Panics if `rating` is not strictly positive.
     pub fn new(rating: Power, curve: TripCurve) -> Self {
-        assert!(rating.as_watts() > 0.0, "breaker rating must be positive, got {rating}");
-        Breaker { rating, curve, heat: 0.0, status: BreakerStatus::Nominal, cooling_tau_secs: 120.0 }
+        assert!(
+            rating.as_watts() > 0.0,
+            "breaker rating must be positive, got {rating}"
+        );
+        Breaker {
+            rating,
+            curve,
+            heat: 0.0,
+            status: BreakerStatus::Nominal,
+            cooling_tau_secs: 120.0,
+        }
     }
 
     /// The rated power of this breaker.
@@ -270,7 +287,12 @@ mod tests {
 
     #[test]
     fn trip_time_monotonically_decreases() {
-        for curve in [TripCurve::rack(), TripCurve::rpp(), TripCurve::sb(), TripCurve::msb()] {
+        for curve in [
+            TripCurve::rack(),
+            TripCurve::rpp(),
+            TripCurve::sb(),
+            TripCurve::msb(),
+        ] {
             let mut prev = f64::INFINITY;
             let mut r = 1.01;
             while r <= 2.0 {
@@ -399,7 +421,10 @@ mod tests {
         let draw = Power::from_kilowatts(190.0 * 2.0);
         while b.step(draw, SimDuration::from_secs(1)) != BreakerStatus::Tripped {}
         // Even at zero draw the breaker stays tripped.
-        assert_eq!(b.step(Power::ZERO, SimDuration::from_secs(60)), BreakerStatus::Tripped);
+        assert_eq!(
+            b.step(Power::ZERO, SimDuration::from_secs(60)),
+            BreakerStatus::Tripped
+        );
         b.reset();
         assert_eq!(b.status(), BreakerStatus::Nominal);
         assert_eq!(b.thermal_state(), 0.0);

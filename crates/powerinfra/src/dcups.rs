@@ -163,7 +163,10 @@ mod tests {
             elapsed += 1;
             assert!(elapsed < 200, "never depleted");
         }
-        assert!((89..=91).contains(&elapsed), "ride-through {elapsed}s, spec 90s");
+        assert!(
+            (89..=91).contains(&elapsed),
+            "ride-through {elapsed}s, spec 90s"
+        );
     }
 
     #[test]

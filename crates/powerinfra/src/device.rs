@@ -70,7 +70,12 @@ impl DeviceLevel {
 
     /// All levels from the root down.
     pub fn all() -> [DeviceLevel; 4] {
-        [DeviceLevel::Msb, DeviceLevel::Sb, DeviceLevel::Rpp, DeviceLevel::Rack]
+        [
+            DeviceLevel::Msb,
+            DeviceLevel::Sb,
+            DeviceLevel::Rpp,
+            DeviceLevel::Rack,
+        ]
     }
 }
 
@@ -124,10 +129,22 @@ mod tests {
 
     #[test]
     fn default_ratings_match_ocp_spec() {
-        assert_eq!(DeviceLevel::Msb.default_rating(), Power::from_megawatts(2.5));
-        assert_eq!(DeviceLevel::Sb.default_rating(), Power::from_megawatts(1.25));
-        assert_eq!(DeviceLevel::Rpp.default_rating(), Power::from_kilowatts(190.0));
-        assert_eq!(DeviceLevel::Rack.default_rating(), Power::from_kilowatts(12.6));
+        assert_eq!(
+            DeviceLevel::Msb.default_rating(),
+            Power::from_megawatts(2.5)
+        );
+        assert_eq!(
+            DeviceLevel::Sb.default_rating(),
+            Power::from_megawatts(1.25)
+        );
+        assert_eq!(
+            DeviceLevel::Rpp.default_rating(),
+            Power::from_kilowatts(190.0)
+        );
+        assert_eq!(
+            DeviceLevel::Rack.default_rating(),
+            Power::from_kilowatts(12.6)
+        );
     }
 
     #[test]

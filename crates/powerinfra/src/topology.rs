@@ -65,7 +65,12 @@ impl Topology {
     /// Panics if the topology has more than one root; use
     /// [`Topology::roots`] for multi-MSB datacenters.
     pub fn root(&self) -> DeviceId {
-        assert_eq!(self.roots.len(), 1, "topology has {} roots; use roots()", self.roots.len());
+        assert_eq!(
+            self.roots.len(),
+            1,
+            "topology has {} roots; use roots()",
+            self.roots.len()
+        );
         self.roots[0]
     }
 
@@ -76,7 +81,11 @@ impl Topology {
 
     /// All devices at a given level, in id order.
     pub fn devices_at(&self, level: DeviceLevel) -> Vec<DeviceId> {
-        self.devices.iter().filter(|d| d.level == level).map(|d| d.id).collect()
+        self.devices
+            .iter()
+            .filter(|d| d.level == level)
+            .map(|d| d.id)
+            .collect()
     }
 
     /// Number of devices in the tree.
@@ -155,7 +164,11 @@ impl Topology {
             device.name,
             device.rating,
             device.quota,
-            if servers > 0 { format!("  ({servers} servers + DCUPS)") } else { String::new() },
+            if servers > 0 {
+                format!("  ({servers} servers + DCUPS)")
+            } else {
+                String::new()
+            },
         ));
         if let Some(&first) = device.children.first() {
             self.render_node(first, depth + 1, out);
@@ -187,7 +200,11 @@ impl Topology {
             }
             for &c in &dev.children {
                 if self.device(c).parent != Some(dev.id) {
-                    problems.push(format!("{}: child {} disowns it", dev.name, self.device(c).name));
+                    problems.push(format!(
+                        "{}: child {} disowns it",
+                        dev.name,
+                        self.device(c).name
+                    ));
                 }
             }
             if let Some(p) = dev.parent {
@@ -195,10 +212,16 @@ impl Topology {
                     problems.push(format!("{}: parent does not list it", dev.name));
                 }
             } else if !self.roots.contains(&dev.id) {
-                problems.push(format!("{}: orphan device (no parent, not a root)", dev.name));
+                problems.push(format!(
+                    "{}: orphan device (no parent, not a root)",
+                    dev.name
+                ));
             }
             if dev.level != DeviceLevel::Rack && !dev.servers.is_empty() {
-                problems.push(format!("{}: non-rack device hosts servers directly", dev.name));
+                problems.push(format!(
+                    "{}: non-rack device hosts servers directly",
+                    dev.name
+                ));
             }
             for &s in &dev.servers {
                 if let Some(prev) = seen_servers.insert(s, dev.id) {
@@ -352,11 +375,17 @@ impl TopologyBuilder {
             ("sb", self.sb_rating),
             ("msb", self.msb_rating),
         ] {
-            assert!(r.as_watts() > 0.0, "{name} rating must be positive, got {r}");
+            assert!(
+                r.as_watts() > 0.0,
+                "{name} rating must be positive, got {r}"
+            );
         }
 
-        let mut topo =
-            Topology { devices: Vec::new(), roots: Vec::new(), server_racks: Vec::new() };
+        let mut topo = Topology {
+            devices: Vec::new(),
+            roots: Vec::new(),
+            server_racks: Vec::new(),
+        };
         let mut next_server: u32 = 0;
 
         for suite in 0..self.suites {
@@ -390,9 +419,7 @@ impl TopologyBuilder {
                         for rack_i in 0..self.racks_per_rpp {
                             let rack = push_device(
                                 &mut topo,
-                                format!(
-                                    "suite{suite}/msb{msb_i}/sb{sb_i}/rpp{rpp_i}/rack{rack_i}"
-                                ),
+                                format!("suite{suite}/msb{msb_i}/sb{sb_i}/rpp{rpp_i}/rack{rack_i}"),
                                 DeviceLevel::Rack,
                                 self.rack_rating,
                                 TripCurve::rack(),
@@ -410,7 +437,11 @@ impl TopologyBuilder {
         }
 
         assign_quotas(&mut topo);
-        debug_assert!(topo.validate().is_empty(), "invalid topology: {:?}", topo.validate());
+        debug_assert!(
+            topo.validate().is_empty(),
+            "invalid topology: {:?}",
+            topo.validate()
+        );
         topo
     }
 }
@@ -448,8 +479,8 @@ fn assign_quotas(topo: &mut Topology) {
     for i in 0..topo.devices.len() {
         let (parent, rating) = (topo.devices[i].parent, topo.devices[i].rating);
         if let Some(p) = parent {
-            let share = topo.devices[p.index()].rating
-                / topo.devices[p.index()].children.len() as f64;
+            let share =
+                topo.devices[p.index()].rating / topo.devices[p.index()].children.len() as f64;
             topo.devices[i].quota = share.min(rating);
         }
     }

@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let draws = vec![Power::from_watts(1.0), Power::from_watts(2.0), Power::from_watts(3.0)];
+        let draws = vec![
+            Power::from_watts(1.0),
+            Power::from_watts(2.0),
+            Power::from_watts(3.0),
+        ];
         let total: Power = draws.iter().sum();
         assert_eq!(total.as_watts(), 6.0);
         let owned: Power = draws.into_iter().sum();

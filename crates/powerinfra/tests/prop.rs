@@ -1,53 +1,63 @@
-//! Property-based tests for the power delivery substrate.
+//! Randomized tests for the power delivery substrate, driven by the
+//! deterministic [`SimRng`] stream.
 
-use dcsim::SimDuration;
+use dcsim::{SimDuration, SimRng};
 use powerinfra::{Breaker, BreakerStatus, Power, TopologyBuilder, TripCurve};
-use proptest::prelude::*;
 
-proptest! {
-    /// A breaker fed any waveform that never exceeds its rating never
-    /// leaves Nominal, and its thermal state stays at zero-ish.
-    #[test]
-    fn breaker_never_trips_under_rating(draws in prop::collection::vec(0.0f64..=190_000.0, 1..300)) {
+/// A breaker fed any waveform that never exceeds its rating never
+/// leaves Nominal, and its thermal state stays at zero-ish.
+#[test]
+fn breaker_never_trips_under_rating() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("under-rating");
+    for _ in 0..100 {
+        let n = 1 + rng.next_below(299) as usize;
         let mut b = Breaker::new(Power::from_kilowatts(190.0), TripCurve::rpp());
-        for &w in &draws {
+        for _ in 0..n {
+            let w = rng.uniform(0.0, 190_000.0);
             let status = b.step(Power::from_watts(w), SimDuration::from_secs(1));
-            prop_assert_eq!(status, BreakerStatus::Nominal);
+            assert_eq!(status, BreakerStatus::Nominal);
         }
-        prop_assert!(b.thermal_state() < 1e-9);
+        assert!(b.thermal_state() < 1e-9);
     }
+}
 
-    /// Trip time decreases (weakly) with overload for any valid anchor
-    /// pair, and the curve passes near its anchors.
-    #[test]
-    fn trip_curve_monotone_for_any_anchors(
-        r1 in 1.01f64..1.5,
-        dr in 0.05f64..1.0,
-        t2 in 5.0f64..500.0,
-        tf in 1.5f64..50.0,
-    ) {
-        let r2 = r1 + dr;
-        let t1 = t2 * tf;
+/// Trip time decreases (weakly) with overload for any valid anchor
+/// pair, and the curve passes near its anchors.
+#[test]
+fn trip_curve_monotone_for_any_anchors() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("curve-monotone");
+    for _ in 0..200 {
+        let r1 = rng.uniform(1.01, 1.5);
+        let r2 = r1 + rng.uniform(0.05, 1.0);
+        let t2 = rng.uniform(5.0, 500.0);
+        let t1 = t2 * rng.uniform(1.5, 50.0);
         let curve = TripCurve::from_anchors(r1, t1, r2, t2);
         let mut prev = f64::INFINITY;
         let mut r = 1.001;
         while r < 2.5 {
             let t = curve.trip_time(r).unwrap().as_secs_f64();
-            prop_assert!(t <= prev + 1e-9, "not monotone at {r}");
+            assert!(t <= prev + 1e-9, "not monotone at {r}");
             prev = t;
             r += 0.01;
         }
         // Anchor fidelity (unless clamped by the 2 s floor / 3x region).
         if t1 > 2.5 && r1 < 3.0 {
             let at1 = curve.trip_time(r1).unwrap().as_secs_f64();
-            prop_assert!((at1 - t1).abs() / t1 < 0.01, "anchor 1 missed: {at1} vs {t1}");
+            assert!(
+                (at1 - t1).abs() / t1 < 0.01,
+                "anchor 1 missed: {at1} vs {t1}"
+            );
         }
     }
+}
 
-    /// The thermal accumulator trips within ~±15% of the analytic trip
-    /// time for any constant overload in the curved region.
-    #[test]
-    fn accumulator_matches_curve(overload in 1.05f64..2.0) {
+/// The thermal accumulator trips within ~±15% of the analytic trip
+/// time for any constant overload in the curved region.
+#[test]
+fn accumulator_matches_curve() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("accumulator");
+    for _ in 0..40 {
+        let overload = rng.uniform(1.05, 2.0);
         let rating = Power::from_kilowatts(190.0);
         let mut b = Breaker::new(rating, TripCurve::rpp());
         let draw = rating * overload;
@@ -55,49 +65,55 @@ proptest! {
         let mut elapsed = 0.0;
         while b.step(draw, SimDuration::from_millis(500)) != BreakerStatus::Tripped {
             elapsed += 0.5;
-            prop_assert!(elapsed < expect * 3.0 + 10.0, "never tripped");
+            assert!(elapsed < expect * 3.0 + 10.0, "never tripped");
         }
-        prop_assert!((elapsed - expect).abs() <= expect * 0.15 + 1.0,
-            "tripped at {elapsed}s, curve says {expect}s");
+        assert!(
+            (elapsed - expect).abs() <= expect * 0.15 + 1.0,
+            "tripped at {elapsed}s, curve says {expect}s"
+        );
     }
+}
 
-    /// Any topology the builder accepts validates cleanly and has
-    /// consistent server bookkeeping.
-    #[test]
-    fn built_topologies_validate(
-        sbs in 1usize..4,
-        rpps in 1usize..4,
-        racks in 1usize..4,
-        servers in 1usize..20,
-    ) {
+/// Any topology the builder accepts validates cleanly and has
+/// consistent server bookkeeping.
+#[test]
+fn built_topologies_validate() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("topologies");
+    for _ in 0..40 {
+        let sbs = 1 + rng.next_below(3) as usize;
+        let rpps = 1 + rng.next_below(3) as usize;
+        let racks = 1 + rng.next_below(3) as usize;
+        let servers = 1 + rng.next_below(19) as usize;
         let topo = TopologyBuilder::new()
             .sbs_per_msb(sbs)
             .rpps_per_sb(rpps)
             .racks_per_rpp(racks)
             .servers_per_rack(servers)
             .build();
-        prop_assert!(topo.validate().is_empty());
-        prop_assert_eq!(topo.server_count(), sbs * rpps * racks * servers);
+        assert!(topo.validate().is_empty());
+        assert_eq!(topo.server_count(), sbs * rpps * racks * servers);
         // Every server's rack chain reaches the root.
         let root = topo.root();
         for s in 0..topo.server_count() as u32 {
             let rack = topo.rack_of(s);
             let ancestors = topo.ancestors(rack);
-            prop_assert_eq!(*ancestors.last().unwrap(), root);
+            assert_eq!(*ancestors.last().unwrap(), root);
         }
         // Quotas never exceed ratings anywhere.
         for dev in topo.iter() {
-            prop_assert!(dev.quota <= dev.rating);
+            assert!(dev.quota <= dev.rating);
         }
     }
+}
 
-    /// Sibling quotas sum to no more than the parent's rating (the
-    /// planned-peak budget is feasible).
-    #[test]
-    fn sibling_quotas_fit_parent(
-        sbs in 1usize..5,
-        rpps in 1usize..5,
-    ) {
+/// Sibling quotas sum to no more than the parent's rating (the
+/// planned-peak budget is feasible).
+#[test]
+fn sibling_quotas_fit_parent() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("quotas");
+    for _ in 0..40 {
+        let sbs = 1 + rng.next_below(4) as usize;
+        let rpps = 1 + rng.next_below(4) as usize;
         let topo = TopologyBuilder::new()
             .sbs_per_msb(sbs)
             .rpps_per_sb(rpps)
@@ -109,19 +125,25 @@ proptest! {
                 continue;
             }
             let quota_sum: Power = dev.children.iter().map(|&c| topo.device(c).quota).sum();
-            prop_assert!(
+            assert!(
                 quota_sum.as_watts() <= dev.rating.as_watts() * (1.0 + 1e-9),
                 "quotas under {} exceed its rating",
                 dev.name
             );
         }
     }
+}
 
-    /// Power arithmetic: sums commute with scaling.
-    #[test]
-    fn power_sum_scales(values in prop::collection::vec(0.0f64..1e6, 1..50), k in 0.0f64..10.0) {
+/// Power arithmetic: sums commute with scaling.
+#[test]
+fn power_sum_scales() {
+    let mut rng = SimRng::seed_from(0x1F_4A).split("sum-scale");
+    for _ in 0..300 {
+        let n = 1 + rng.next_below(49) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1e6)).collect();
+        let k = rng.uniform(0.0, 10.0);
         let sum: Power = values.iter().map(|&w| Power::from_watts(w)).sum();
         let scaled: Power = values.iter().map(|&w| Power::from_watts(w) * k).sum();
-        prop_assert!((sum * k - scaled).abs().as_watts() < 1e-6 * (1.0 + sum.as_watts()));
+        assert!((sum * k - scaled).abs().as_watts() < 1e-6 * (1.0 + sum.as_watts()));
     }
 }

@@ -30,7 +30,10 @@ impl Cdf {
     /// Panics if `samples` is empty or contains NaN.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "cannot build a CDF from zero samples");
-        assert!(samples.iter().all(|v| !v.is_nan()), "NaN sample in CDF input");
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN sample in CDF input"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
         Cdf { sorted: samples }
     }

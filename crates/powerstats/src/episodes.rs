@@ -59,13 +59,21 @@ pub fn episodes_above(trace: &Trace, threshold: f64, max_gap: usize) -> Vec<Epis
             };
         } else if let Some((start, last, peak)) = current {
             if i > last + max_gap {
-                episodes.push(Episode { start, len: last - start + 1, peak });
+                episodes.push(Episode {
+                    start,
+                    len: last - start + 1,
+                    peak,
+                });
                 current = None;
             }
         }
     }
     if let Some((start, last, peak)) = current {
-        episodes.push(Episode { start, len: last - start + 1, peak });
+        episodes.push(Episode {
+            start,
+            len: last - start + 1,
+            peak,
+        });
     }
     episodes
 }
@@ -87,7 +95,14 @@ mod tests {
     #[test]
     fn one_continuous_episode() {
         let eps = episodes_above(&trace(&[0.0, 1.0, 2.0, 3.0, 0.0]), 0.5, 0);
-        assert_eq!(eps, vec![Episode { start: 1, len: 3, peak: 3.0 }]);
+        assert_eq!(
+            eps,
+            vec![Episode {
+                start: 1,
+                len: 3,
+                peak: 3.0
+            }]
+        );
         assert_eq!(eps[0].duration(SimDuration::from_secs(60)).as_secs(), 180);
     }
 
@@ -104,7 +119,14 @@ mod tests {
     #[test]
     fn trailing_activity_closes_the_last_episode() {
         let eps = episodes_above(&trace(&[0.0, 0.0, 2.0, 2.0]), 0.5, 0);
-        assert_eq!(eps, vec![Episode { start: 2, len: 2, peak: 2.0 }]);
+        assert_eq!(
+            eps,
+            vec![Episode {
+                start: 2,
+                len: 2,
+                peak: 2.0
+            }]
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl Trace {
     /// Panics if `interval` is zero.
     pub fn new(interval: SimDuration, values: Vec<f64>) -> Self {
         assert!(!interval.is_zero(), "trace interval must be positive");
-        Trace { interval, start: SimTime::ZERO, values }
+        Trace {
+            interval,
+            start: SimTime::ZERO,
+            values,
+        }
     }
 
     /// Creates an empty trace that will be filled with [`Trace::push`].
@@ -92,7 +96,10 @@ impl Trace {
 
     /// Iterates `(time, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.values.iter().enumerate().map(|(i, &v)| (self.time_of(i), v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.time_of(i), v))
     }
 
     /// Arithmetic mean of the samples (`NaN` for an empty trace).
@@ -121,7 +128,10 @@ impl Trace {
     ///
     /// Panics if `fraction` is not in `(0, 1]`.
     pub fn peak_mean(&self, fraction: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1], got {fraction}");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1], got {fraction}"
+        );
         if self.values.is_empty() {
             return f64::NAN;
         }
@@ -138,7 +148,9 @@ impl Trace {
     ///
     /// Panics if traces disagree on interval/length, or `traces` is empty.
     pub fn sum_aligned(traces: &[&Trace]) -> Trace {
-        let first = traces.first().expect("sum_aligned needs at least one trace");
+        let first = traces
+            .first()
+            .expect("sum_aligned needs at least one trace");
         let mut out = vec![0.0; first.len()];
         for t in traces {
             assert_eq!(t.interval, first.interval, "trace interval mismatch");
@@ -147,7 +159,11 @@ impl Trace {
                 *acc += v;
             }
         }
-        Trace { interval: first.interval, start: first.start, values: out }
+        Trace {
+            interval: first.interval,
+            start: first.start,
+            values: out,
+        }
     }
 
     /// Downsamples by averaging every `factor` consecutive samples
@@ -164,7 +180,11 @@ impl Trace {
             .chunks_exact(factor)
             .map(|c| c.iter().sum::<f64>() / factor as f64)
             .collect();
-        Trace { interval: self.interval * factor as u64, start: self.start, values }
+        Trace {
+            interval: self.interval * factor as u64,
+            start: self.start,
+            values,
+        }
     }
 }
 
@@ -184,8 +204,8 @@ mod tests {
 
     #[test]
     fn with_start_offsets_times() {
-        let t = Trace::new(SimDuration::from_secs(1), vec![0.0; 3])
-            .with_start(SimTime::from_secs(100));
+        let t =
+            Trace::new(SimDuration::from_secs(1), vec![0.0; 3]).with_start(SimTime::from_secs(100));
         assert_eq!(t.time_of(0), SimTime::from_secs(100));
         assert_eq!(t.time_of(2), SimTime::from_secs(102));
     }
@@ -194,7 +214,10 @@ mod tests {
     fn iter_yields_pairs() {
         let t = Trace::new(SimDuration::from_secs(2), vec![5.0, 6.0]);
         let pairs: Vec<_> = t.iter().collect();
-        assert_eq!(pairs, vec![(SimTime::ZERO, 5.0), (SimTime::from_secs(2), 6.0)]);
+        assert_eq!(
+            pairs,
+            vec![(SimTime::ZERO, 5.0), (SimTime::from_secs(2), 6.0)]
+        );
     }
 
     #[test]

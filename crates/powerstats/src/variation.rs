@@ -210,10 +210,19 @@ mod tests {
     #[test]
     fn window_sample_count_covers_duration() {
         // 60s window over 3s samples: 21 samples span exactly 60s.
-        assert_eq!(window_samples(SimDuration::from_secs(3), SimDuration::from_secs(60)), 21);
+        assert_eq!(
+            window_samples(SimDuration::from_secs(3), SimDuration::from_secs(60)),
+            21
+        );
         // Non-divisible durations round up.
-        assert_eq!(window_samples(SimDuration::from_secs(3), SimDuration::from_secs(10)), 5);
+        assert_eq!(
+            window_samples(SimDuration::from_secs(3), SimDuration::from_secs(10)),
+            5
+        );
         // Degenerate: window smaller than interval still uses 2 samples.
-        assert_eq!(window_samples(SimDuration::from_secs(3), SimDuration::from_secs(1)), 2);
+        assert_eq!(
+            window_samples(SimDuration::from_secs(3), SimDuration::from_secs(1)),
+            2
+        );
     }
 }

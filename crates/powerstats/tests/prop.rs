@@ -1,8 +1,10 @@
-//! Property-based tests for the analysis substrate.
+//! Randomized tests for the analysis substrate, driven by the
+//! deterministic [`SimRng`] stream.
 
-use dcsim::SimDuration;
+use dcsim::{SimDuration, SimRng};
 use powerstats::{power_slope, sliding_variation, Cdf, Summary, Trace};
-use proptest::prelude::*;
+
+const CASES: usize = 100;
 
 fn brute_force_variation(values: &[f64], w: usize) -> Vec<f64> {
     if values.len() < w {
@@ -18,28 +20,37 @@ fn brute_force_variation(values: &[f64], w: usize) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    /// The monotonic-deque sliding variation matches the O(n·w) brute
-    /// force on arbitrary traces and window sizes.
-    #[test]
-    fn sliding_variation_matches_brute_force(
-        values in prop::collection::vec(0.0f64..1e5, 2..300),
-        window_secs in 3u64..100,
-    ) {
+fn random_values(rng: &mut SimRng, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let n = min_len + rng.next_below((max_len - min_len) as u64) as usize;
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+/// The monotonic-deque sliding variation matches the O(n·w) brute
+/// force on arbitrary traces and window sizes.
+#[test]
+fn sliding_variation_matches_brute_force() {
+    let mut rng = SimRng::seed_from(0x57A7).split("variation");
+    for _ in 0..CASES {
+        let values = random_values(&mut rng, 2, 300, 0.0, 1e5);
+        let window_secs = 3 + rng.next_below(97);
         let trace = Trace::new(SimDuration::from_secs(3), values.clone());
         let fast = sliding_variation(&trace, SimDuration::from_secs(window_secs));
         let w = (window_secs.div_ceil(3) + 1).max(2) as usize;
         let slow = brute_force_variation(&values, w);
-        prop_assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.len(), slow.len());
         for (f, s) in fast.iter().zip(&slow) {
-            prop_assert!((f - s).abs() < 1e-9);
+            assert!((f - s).abs() < 1e-9);
         }
     }
+}
 
-    /// Window monotonicity: a longer window never sees smaller maximum
-    /// variation over the same trace.
-    #[test]
-    fn longer_windows_dominate(values in prop::collection::vec(0.0f64..1e5, 50..300)) {
+/// Window monotonicity: a longer window never sees smaller maximum
+/// variation over the same trace.
+#[test]
+fn longer_windows_dominate() {
+    let mut rng = SimRng::seed_from(0x57A7).split("windows");
+    for _ in 0..CASES {
+        let values = random_values(&mut rng, 50, 300, 0.0, 1e5);
         let trace = Trace::new(SimDuration::from_secs(3), values);
         let mut prev_max = 0.0f64;
         for w in [6u64, 30, 60, 120] {
@@ -48,80 +59,101 @@ proptest! {
                 break;
             }
             let mx = vars.iter().cloned().fold(0.0, f64::max);
-            prop_assert!(mx >= prev_max - 1e-9);
+            assert!(mx >= prev_max - 1e-9);
             prev_max = mx;
         }
     }
+}
 
-    /// Power slope is non-negative and zero for non-increasing traces.
-    #[test]
-    fn slope_nonnegative(values in prop::collection::vec(0.0f64..1e5, 10..200)) {
+/// Power slope is non-negative and zero for non-increasing traces.
+#[test]
+fn slope_nonnegative() {
+    let mut rng = SimRng::seed_from(0x57A7).split("slope");
+    for _ in 0..CASES {
+        let values = random_values(&mut rng, 10, 200, 0.0, 1e5);
         let trace = Trace::new(SimDuration::from_secs(3), values.clone());
         for s in power_slope(&trace, SimDuration::from_secs(30)) {
-            prop_assert!(s >= 0.0);
+            assert!(s >= 0.0);
         }
         let mut sorted = values;
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let falling = Trace::new(SimDuration::from_secs(3), sorted);
         for s in power_slope(&falling, SimDuration::from_secs(30)) {
-            prop_assert_eq!(s, 0.0);
+            assert_eq!(s, 0.0);
         }
     }
+}
 
-    /// CDF quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn cdf_quantiles_monotone_and_bounded(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// CDF quantiles are monotone in q and bounded by min/max.
+#[test]
+fn cdf_quantiles_monotone_and_bounded() {
+    let mut rng = SimRng::seed_from(0x57A7).split("quantiles");
+    for _ in 0..CASES {
+        let samples = random_values(&mut rng, 1, 200, -1e6, 1e6);
         let cdf = Cdf::from_samples(samples);
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=50 {
             let q = cdf.quantile(i as f64 / 50.0);
-            prop_assert!(q >= prev);
-            prop_assert!(q >= cdf.min() - 1e-9 && q <= cdf.max() + 1e-9);
+            assert!(q >= prev);
+            assert!(q >= cdf.min() - 1e-9 && q <= cdf.max() + 1e-9);
             prev = q;
         }
     }
+}
 
-    /// `fraction_below` is a valid CDF: monotone, 0 below min, 1 above
-    /// max.
-    #[test]
-    fn fraction_below_is_a_cdf(samples in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+/// `fraction_below` is a valid CDF: monotone, 0 below min, 1 above
+/// max.
+#[test]
+fn fraction_below_is_a_cdf() {
+    let mut rng = SimRng::seed_from(0x57A7).split("fraction");
+    for _ in 0..CASES {
+        let samples = random_values(&mut rng, 1, 100, -1e3, 1e3);
         let cdf = Cdf::from_samples(samples);
-        prop_assert_eq!(cdf.fraction_below(cdf.min() - 1.0), 0.0);
-        prop_assert_eq!(cdf.fraction_below(cdf.max() + 1.0), 1.0);
+        assert_eq!(cdf.fraction_below(cdf.min() - 1.0), 0.0);
+        assert_eq!(cdf.fraction_below(cdf.max() + 1.0), 1.0);
         let mut prev = 0.0;
         let mut x = cdf.min();
         while x <= cdf.max() {
             let f = cdf.fraction_below(x);
-            prop_assert!(f >= prev - 1e-12);
+            assert!(f >= prev - 1e-12);
             prev = f;
             x += (cdf.max() - cdf.min()).max(1.0) / 20.0;
         }
     }
+}
 
-    /// Merging summaries is equivalent to a single pass, for any split
-    /// point.
-    #[test]
-    fn summary_merge_any_split(data in prop::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
-        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+/// Merging summaries is equivalent to a single pass, for any split
+/// point.
+#[test]
+fn summary_merge_any_split() {
+    let mut rng = SimRng::seed_from(0x57A7).split("merge");
+    for _ in 0..CASES {
+        let data = random_values(&mut rng, 2, 200, -1e6, 1e6);
+        let split = ((data.len() as f64 * rng.uniform(0.0, 1.0)) as usize).min(data.len());
         let full: Summary = data.iter().copied().collect();
         let mut left: Summary = data[..split].iter().copied().collect();
         let right: Summary = data[split..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), full.count());
-        prop_assert!((left.mean() - full.mean()).abs() < 1e-6 * (1.0 + full.mean().abs()));
+        assert_eq!(left.count(), full.count());
+        assert!((left.mean() - full.mean()).abs() < 1e-6 * (1.0 + full.mean().abs()));
         let scale = 1.0 + full.population_variance().abs();
-        prop_assert!((left.population_variance() - full.population_variance()).abs() < 1e-5 * scale);
+        assert!((left.population_variance() - full.population_variance()).abs() < 1e-5 * scale);
     }
+}
 
-    /// Downsampling preserves the overall mean (up to the dropped tail).
-    #[test]
-    fn downsample_preserves_mean(values in prop::collection::vec(0.0f64..1e4, 8..200), factor in 1usize..8) {
+/// Downsampling preserves the overall mean (up to the dropped tail).
+#[test]
+fn downsample_preserves_mean() {
+    let mut rng = SimRng::seed_from(0x57A7).split("downsample");
+    for _ in 0..CASES {
+        let values = random_values(&mut rng, 8, 200, 0.0, 1e4);
+        let factor = 1 + rng.next_below(7) as usize;
         let trace = Trace::new(SimDuration::from_secs(3), values.clone());
         let down = trace.downsample(factor);
         if !down.is_empty() {
             let kept = factor * down.len();
             let mean_kept = values[..kept].iter().sum::<f64>() / kept as f64;
-            prop_assert!((down.mean() - mean_kept).abs() < 1e-9 * (1.0 + mean_kept));
+            assert!((down.mean() - mean_kept).abs() < 1e-9 * (1.0 + mean_kept));
         }
     }
 }

@@ -51,20 +51,44 @@ impl ServerGeneration {
         // Intermediate generations are plausible interpolations keeping
         // the monotone density trend.
         let pts: &[(f64, f64)] = match self {
-            ServerGeneration::Westmere2011 => {
-                &[(0.0, 88.0), (0.2, 115.0), (0.4, 138.0), (0.6, 158.0), (0.8, 178.0), (1.0, 195.0)]
-            }
-            ServerGeneration::SandyBridge2012 => {
-                &[(0.0, 90.0), (0.2, 125.0), (0.4, 158.0), (0.6, 188.0), (0.8, 215.0), (1.0, 240.0)]
-            }
-            ServerGeneration::IvyBridge2013 => {
-                &[(0.0, 92.0), (0.2, 135.0), (0.4, 175.0), (0.6, 212.0), (0.8, 250.0), (1.0, 285.0)]
-            }
-            ServerGeneration::Haswell2015 => {
-                &[(0.0, 95.0), (0.2, 150.0), (0.4, 200.0), (0.6, 250.0), (0.8, 298.0), (1.0, 340.0)]
-            }
+            ServerGeneration::Westmere2011 => &[
+                (0.0, 88.0),
+                (0.2, 115.0),
+                (0.4, 138.0),
+                (0.6, 158.0),
+                (0.8, 178.0),
+                (1.0, 195.0),
+            ],
+            ServerGeneration::SandyBridge2012 => &[
+                (0.0, 90.0),
+                (0.2, 125.0),
+                (0.4, 158.0),
+                (0.6, 188.0),
+                (0.8, 215.0),
+                (1.0, 240.0),
+            ],
+            ServerGeneration::IvyBridge2013 => &[
+                (0.0, 92.0),
+                (0.2, 135.0),
+                (0.4, 175.0),
+                (0.6, 212.0),
+                (0.8, 250.0),
+                (1.0, 285.0),
+            ],
+            ServerGeneration::Haswell2015 => &[
+                (0.0, 95.0),
+                (0.2, 150.0),
+                (0.4, 200.0),
+                (0.6, 250.0),
+                (0.8, 298.0),
+                (1.0, 340.0),
+            ],
         };
-        PowerCurve::from_points(pts.iter().map(|&(u, w)| (u, Power::from_watts(w))).collect())
+        PowerCurve::from_points(
+            pts.iter()
+                .map(|&(u, w)| (u, Power::from_watts(w)))
+                .collect(),
+        )
     }
 
     /// Peak (100% utilization) power for this generation.
@@ -121,12 +145,22 @@ impl PowerCurve {
     pub fn from_points(points: Vec<(f64, Power)>) -> Self {
         assert!(points.len() >= 2, "power curve needs at least 2 points");
         assert_eq!(points[0].0, 0.0, "curve must start at utilization 0");
-        assert_eq!(points.last().expect("non-empty").0, 1.0, "curve must end at utilization 1");
+        assert_eq!(
+            points.last().expect("non-empty").0,
+            1.0,
+            "curve must end at utilization 1"
+        );
         for w in points.windows(2) {
             assert!(w[0].0 < w[1].0, "utilizations must strictly increase");
-            assert!(w[0].1 < w[1].1, "power must strictly increase with utilization");
+            assert!(
+                w[0].1 < w[1].1,
+                "power must strictly increase with utilization"
+            );
         }
-        assert!(points[0].1.as_watts() >= 0.0, "idle power cannot be negative");
+        assert!(
+            points[0].1.as_watts() >= 0.0,
+            "idle power cannot be negative"
+        );
         PowerCurve { points }
     }
 
@@ -198,10 +232,15 @@ mod tests {
 
     #[test]
     fn generations_order_by_peak_power() {
-        let peaks: Vec<f64> =
-            ServerGeneration::all().iter().map(|g| g.peak_power().as_watts()).collect();
+        let peaks: Vec<f64> = ServerGeneration::all()
+            .iter()
+            .map(|g| g.peak_power().as_watts())
+            .collect();
         for w in peaks.windows(2) {
-            assert!(w[0] < w[1], "peak powers must increase by generation: {peaks:?}");
+            assert!(
+                w[0] < w[1],
+                "peak powers must increase by generation: {peaks:?}"
+            );
         }
     }
 
@@ -269,7 +308,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "start at utilization 0")]
     fn missing_idle_knot_panics() {
-        PowerCurve::from_points(vec![(0.1, Power::from_watts(90.0)), (1.0, Power::from_watts(200.0))]);
+        PowerCurve::from_points(vec![
+            (0.1, Power::from_watts(90.0)),
+            (1.0, Power::from_watts(200.0)),
+        ]);
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl Default for Rapl {
 impl Rapl {
     /// Creates an uncapped actuator.
     pub fn new() -> Self {
-        Rapl { limit: None, output: Power::ZERO, tau_secs: 0.6, initialized: false }
+        Rapl {
+            limit: None,
+            output: Power::ZERO,
+            tau_secs: 0.6,
+            initialized: false,
+        }
     }
 
     /// Overrides the settling time constant (seconds).
@@ -64,7 +69,10 @@ impl Rapl {
     ///
     /// Panics if `tau_secs` is not strictly positive and finite.
     pub fn with_tau(mut self, tau_secs: f64) -> Self {
-        assert!(tau_secs > 0.0 && tau_secs.is_finite(), "invalid tau {tau_secs}");
+        assert!(
+            tau_secs > 0.0 && tau_secs.is_finite(),
+            "invalid tau {tau_secs}"
+        );
         self.tau_secs = tau_secs;
         self
     }
@@ -214,10 +222,19 @@ mod tests {
     #[test]
     fn steady_state_respects_limit() {
         let mut rapl = Rapl::new();
-        assert_eq!(rapl.steady_state(Power::from_watts(250.0)), Power::from_watts(250.0));
+        assert_eq!(
+            rapl.steady_state(Power::from_watts(250.0)),
+            Power::from_watts(250.0)
+        );
         rapl.set_limit(Power::from_watts(200.0));
-        assert_eq!(rapl.steady_state(Power::from_watts(250.0)), Power::from_watts(200.0));
-        assert_eq!(rapl.steady_state(Power::from_watts(150.0)), Power::from_watts(150.0));
+        assert_eq!(
+            rapl.steady_state(Power::from_watts(250.0)),
+            Power::from_watts(200.0)
+        );
+        assert_eq!(
+            rapl.steady_state(Power::from_watts(150.0)),
+            Power::from_watts(150.0)
+        );
     }
 
     #[test]

@@ -40,13 +40,22 @@ impl PowerSensor {
     ///
     /// Panics if `noise_frac` is negative or not finite.
     pub fn new(noise_frac: f64) -> Self {
-        assert!(noise_frac >= 0.0 && noise_frac.is_finite(), "invalid noise {noise_frac}");
-        PowerSensor { noise_frac, resolution_watts: 1.0 }
+        assert!(
+            noise_frac >= 0.0 && noise_frac.is_finite(),
+            "invalid noise {noise_frac}"
+        );
+        PowerSensor {
+            noise_frac,
+            resolution_watts: 1.0,
+        }
     }
 
     /// A noiseless, full-resolution sensor (useful in tests).
     pub fn ideal() -> Self {
-        PowerSensor { noise_frac: 0.0, resolution_watts: 0.0 }
+        PowerSensor {
+            noise_frac: 0.0,
+            resolution_watts: 0.0,
+        }
     }
 
     /// Reads `true_power` through the sensor.
@@ -102,7 +111,10 @@ impl PowerEstimator {
     /// Panics unless `bias_frac` is within ±50% — anything larger is a
     /// broken calibration, not a model.
     pub fn with_bias(mut self, bias_frac: f64) -> Self {
-        assert!(bias_frac.abs() <= 0.5, "implausible calibration bias {bias_frac}");
+        assert!(
+            bias_frac.abs() <= 0.5,
+            "implausible calibration bias {bias_frac}"
+        );
         self.bias_frac = bias_frac;
         self
     }
@@ -146,8 +158,10 @@ mod tests {
         let mut rng = SimRng::seed_from(2);
         let truth = Power::from_watts(250.0);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| s.read(truth, &mut rng).as_watts()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| s.read(truth, &mut rng).as_watts())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 250.0).abs() < 0.5, "biased sensor: mean {mean}");
     }
 

@@ -23,7 +23,10 @@ pub struct TurboBoost {
 
 impl Default for TurboBoost {
     fn default() -> Self {
-        TurboBoost { power_factor: 1.20, perf_factor: 1.13 }
+        TurboBoost {
+            power_factor: 1.20,
+            perf_factor: 1.13,
+        }
     }
 }
 
@@ -354,7 +357,10 @@ mod tests {
         let mut s = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015));
         let p = stepped(&mut s, 0.6, 10);
         let expected = ServerGeneration::Haswell2015.power_curve().power_at(0.6);
-        assert!((p - expected).abs().as_watts() < 1.0, "p={p} expected={expected}");
+        assert!(
+            (p - expected).abs().as_watts() < 1.0,
+            "p={p} expected={expected}"
+        );
     }
 
     #[test]
@@ -364,8 +370,10 @@ mod tests {
             stepped(&mut s, 1.0, 10)
         };
         let turbo = {
-            let mut s =
-                Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015).with_turbo());
+            let mut s = Server::new(
+                0,
+                ServerConfig::new(ServerGeneration::Haswell2015).with_turbo(),
+            );
             stepped(&mut s, 1.0, 10)
         };
         let idle = ServerGeneration::Haswell2015.idle_power();
@@ -381,7 +389,11 @@ mod tests {
         s.rapl_mut().set_limit(uncapped * 0.7);
         let capped = stepped(&mut s, 0.9, 5);
         assert!(capped < uncapped * 0.72);
-        assert!(s.performance_factor() < 0.8, "perf {}", s.performance_factor());
+        assert!(
+            s.performance_factor() < 0.8,
+            "perf {}",
+            s.performance_factor()
+        );
     }
 
     #[test]
@@ -389,7 +401,10 @@ mod tests {
         // Gentle below 20% reduction, steep after.
         let below = capping_slowdown(0.19) - capping_slowdown(0.18);
         let above = capping_slowdown(0.31) - capping_slowdown(0.30);
-        assert!(above > 4.0 * below, "knee missing: below={below} above={above}");
+        assert!(
+            above > 4.0 * below,
+            "knee missing: below={below} above={above}"
+        );
         assert_eq!(capping_slowdown(0.0), 0.0);
     }
 
@@ -401,7 +416,10 @@ mod tests {
 
     #[test]
     fn turbo_perf_bonus_without_cap() {
-        let mut s = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015).with_turbo());
+        let mut s = Server::new(
+            0,
+            ServerConfig::new(ServerGeneration::Haswell2015).with_turbo(),
+        );
         stepped(&mut s, 0.8, 5);
         assert!((s.performance_factor() - 1.13).abs() < 0.01);
     }
@@ -416,15 +434,19 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let truth = s.power().as_watts();
         let n = 200;
-        let mean: f64 =
-            (0..n).map(|_| s.read_power(&mut rng).as_watts()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| s.read_power(&mut rng).as_watts())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - truth).abs() < 2.0, "mean {mean} truth {truth}");
     }
 
     #[test]
     fn sensorless_read_uses_estimator() {
-        let mut s =
-            Server::new(0, ServerConfig::new(ServerGeneration::Westmere2011).without_sensor());
+        let mut s = Server::new(
+            0,
+            ServerConfig::new(ServerGeneration::Westmere2011).without_sensor(),
+        );
         stepped(&mut s, 0.5, 5);
         let mut rng = SimRng::seed_from(6);
         let read = s.read_power(&mut rng);
@@ -479,7 +501,10 @@ mod tests {
         let mut rng = SimRng::seed_from(8);
         let read = s.read_power(&mut rng).as_watts();
         let truth = s.power().as_watts();
-        assert!((read / truth - 1.10).abs() < 0.02, "biased read {read} vs truth {truth}");
+        assert!(
+            (read / truth - 1.10).abs() < 0.02,
+            "biased read {read} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -1,52 +1,59 @@
-//! Property-based tests for the server power substrate.
+//! Randomized tests for the server power substrate, driven by the
+//! deterministic [`SimRng`] stream.
 
 use dcsim::{SimDuration, SimRng};
 use powerinfra::Power;
-use proptest::prelude::*;
-use serverpower::{
-    capping_slowdown, PowerCurve, Rapl, Server, ServerConfig, ServerGeneration,
-};
+use serverpower::{capping_slowdown, PowerCurve, Rapl, Server, ServerConfig, ServerGeneration};
 
-fn any_generation() -> impl Strategy<Value = ServerGeneration> {
-    prop::sample::select(ServerGeneration::all().to_vec())
+fn random_generation(rng: &mut SimRng) -> ServerGeneration {
+    let all = ServerGeneration::all();
+    all[rng.next_below(all.len() as u64) as usize]
 }
 
-proptest! {
-    /// The curve inverse is a true inverse on the curve's range for any
-    /// generation.
-    #[test]
-    fn curve_inverse_round_trips(generation in any_generation(), u in 0.0f64..=1.0) {
+/// The curve inverse is a true inverse on the curve's range for any
+/// generation.
+#[test]
+fn curve_inverse_round_trips() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("inverse");
+    for _ in 0..300 {
+        let generation = random_generation(&mut rng);
+        let u = rng.uniform(0.0, 1.0);
         let curve = generation.power_curve();
         let round = curve.utilization_at(curve.power_at(u));
-        prop_assert!((round - u).abs() < 1e-9);
+        assert!((round - u).abs() < 1e-9);
     }
+}
 
-    /// Any monotone knot set builds a monotone curve.
-    #[test]
-    fn random_curves_are_monotone(steps in prop::collection::vec(1.0f64..50.0, 2..8)) {
+/// Any monotone knot set builds a monotone curve.
+#[test]
+fn random_curves_are_monotone() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("knots");
+    for _ in 0..200 {
+        let n = 2 + rng.next_below(6) as usize;
         let mut knots = vec![(0.0, Power::from_watts(80.0))];
-        let n = steps.len();
         let mut w = 80.0;
-        for (i, d) in steps.iter().enumerate() {
-            w += d;
+        for i in 0..n {
+            w += rng.uniform(1.0, 50.0);
             knots.push(((i + 1) as f64 / n as f64, Power::from_watts(w)));
         }
         let curve = PowerCurve::from_points(knots);
         let mut prev = Power::ZERO;
         for i in 0..=100 {
             let p = curve.power_at(i as f64 / 100.0);
-            prop_assert!(p >= prev);
+            assert!(p >= prev);
             prev = p;
         }
     }
+}
 
-    /// RAPL always converges to min(demand, limit) and never overshoots
-    /// below its start/target interval.
-    #[test]
-    fn rapl_converges_to_steady_state(
-        demand_w in 50.0f64..400.0,
-        limit_w in 50.0f64..400.0,
-    ) {
+/// RAPL always converges to min(demand, limit) and never overshoots
+/// below its start/target interval.
+#[test]
+fn rapl_converges_to_steady_state() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("rapl");
+    for _ in 0..200 {
+        let demand_w = rng.uniform(50.0, 400.0);
+        let limit_w = rng.uniform(50.0, 400.0);
         let mut rapl = Rapl::new();
         let demand = Power::from_watts(demand_w);
         rapl.step(demand, SimDuration::from_secs(1));
@@ -56,26 +63,33 @@ proptest! {
         for _ in 0..100 {
             out = rapl.step(demand, SimDuration::from_millis(200));
         }
-        prop_assert!((out - target).abs().as_watts() < 0.5);
+        assert!((out - target).abs().as_watts() < 0.5);
     }
+}
 
-    /// The capping slowdown curve is continuous, zero at zero, and
-    /// non-decreasing.
-    #[test]
-    fn slowdown_curve_shape(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+/// The capping slowdown curve is continuous, zero at zero, and
+/// non-decreasing.
+#[test]
+fn slowdown_curve_shape() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("slowdown");
+    assert_eq!(capping_slowdown(0.0), 0.0);
+    for _ in 0..500 {
+        let a = rng.uniform(0.0, 1.0);
+        let b = rng.uniform(0.0, 1.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(capping_slowdown(lo) <= capping_slowdown(hi) + 1e-12);
-        prop_assert_eq!(capping_slowdown(0.0), 0.0);
+        assert!(capping_slowdown(lo) <= capping_slowdown(hi) + 1e-12);
     }
+}
 
-    /// A stepped server's power always lies between idle and the
-    /// turbo-augmented peak, whatever the demand sequence.
-    #[test]
-    fn server_power_stays_in_physical_range(
-        generation in any_generation(),
-        turbo in any::<bool>(),
-        demands in prop::collection::vec(0.0f64..=1.0, 1..60),
-    ) {
+/// A stepped server's power always lies between idle and the
+/// turbo-augmented peak, whatever the demand sequence.
+#[test]
+fn server_power_stays_in_physical_range() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("range");
+    for _ in 0..100 {
+        let generation = random_generation(&mut rng);
+        let turbo = rng.chance(0.5);
+        let n = 1 + rng.next_below(59) as usize;
         let mut config = ServerConfig::new(generation);
         if turbo {
             config = config.with_turbo();
@@ -83,18 +97,23 @@ proptest! {
         let mut server = Server::new(0, config);
         let idle = generation.idle_power();
         let peak_ceiling = generation.peak_power() * 1.25;
-        for &d in &demands {
-            server.set_demand(d);
+        for _ in 0..n {
+            server.set_demand(rng.uniform(0.0, 1.0));
             let p = server.step(SimDuration::from_secs(1));
-            prop_assert!(p >= idle * 0.99, "below idle: {p}");
-            prop_assert!(p <= peak_ceiling, "above turbo ceiling: {p}");
+            assert!(p >= idle * 0.99, "below idle: {p}");
+            assert!(p <= peak_ceiling, "above turbo ceiling: {p}");
         }
     }
+}
 
-    /// Sensor reads are non-negative and, averaged, close to the truth
-    /// for any noise level up to 10%.
-    #[test]
-    fn sensor_reads_bounded_and_unbiased(noise in 0.0f64..0.1, truth_w in 50.0f64..400.0) {
+/// Sensor reads are non-negative and, averaged, close to the truth
+/// for any noise level up to 10%.
+#[test]
+fn sensor_reads_bounded_and_unbiased() {
+    let mut meta = SimRng::seed_from(0x5E_17).split("sensor");
+    for _ in 0..40 {
+        let noise = meta.uniform(0.0, 0.1);
+        let truth_w = meta.uniform(50.0, 400.0);
         let mut server = Server::new(
             0,
             ServerConfig::new(ServerGeneration::Haswell2015).with_sensor_noise(noise),
@@ -109,28 +128,40 @@ proptest! {
         let mut acc = 0.0;
         for _ in 0..n {
             let r = server.read_power(&mut rng);
-            prop_assert!(r.as_watts() >= 0.0);
+            assert!(r.as_watts() >= 0.0);
             acc += r.as_watts();
         }
         let mean = acc / n as f64;
         let truth = server.power().as_watts();
         // 4-sigma band for the mean of n samples.
         let tolerance = 4.0 * noise * truth / (n as f64).sqrt() + 1.0;
-        prop_assert!((mean - truth).abs() < tolerance, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() < tolerance,
+            "mean {mean} vs truth {truth}"
+        );
     }
+}
 
-    /// Performance factor is in (0, turbo_perf] and equals ~1 when
-    /// uncapped without turbo.
-    #[test]
-    fn performance_factor_bounds(demand in 0.05f64..=1.0, cap_frac in 0.5f64..=1.0) {
+/// Performance factor is in (0, turbo_perf] and equals ~1 when
+/// uncapped without turbo.
+#[test]
+fn performance_factor_bounds() {
+    let mut rng = SimRng::seed_from(0x5E_17).split("perf");
+    for _ in 0..100 {
+        let demand = rng.uniform(0.05, 1.0);
+        let cap_frac = rng.uniform(0.5, 1.0);
         let mut server = Server::new(0, ServerConfig::new(ServerGeneration::Haswell2015));
         server.set_demand(demand);
-        for _ in 0..5 { server.step(SimDuration::from_secs(1)); }
-        prop_assert!((server.performance_factor() - 1.0).abs() < 1e-6);
+        for _ in 0..5 {
+            server.step(SimDuration::from_secs(1));
+        }
+        assert!((server.performance_factor() - 1.0).abs() < 1e-6);
         let cap = server.power() * cap_frac;
         server.rapl_mut().set_limit(cap.max(Power::from_watts(1.0)));
-        for _ in 0..30 { server.step(SimDuration::from_secs(1)); }
+        for _ in 0..30 {
+            server.step(SimDuration::from_secs(1));
+        }
         let perf = server.performance_factor();
-        prop_assert!(perf > 0.0 && perf <= 1.0 + 1e-9);
+        assert!(perf > 0.0 && perf <= 1.0 + 1e-9);
     }
 }

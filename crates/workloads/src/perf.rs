@@ -35,7 +35,10 @@ pub struct ClusterPerf {
 impl ClusterPerf {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        ClusterPerf { throughput: Summary::new(), latency_samples: Vec::new() }
+        ClusterPerf {
+            throughput: Summary::new(),
+            latency_samples: Vec::new(),
+        }
     }
 
     /// Records one sampling instant's per-server performance factors.

@@ -22,9 +22,8 @@ use crate::traffic::{TrafficEvent, TrafficPattern};
 ///
 /// Panics if `end <= start` or `intensity` is not positive.
 pub fn production_load_test(start: SimTime, end: SimTime, intensity: f64) -> TrafficPattern {
-    TrafficPattern::diurnal_with(0.55, 10.0).with_event(
-        TrafficEvent::new(start, end, intensity).with_ramp(SimDuration::from_mins(10)),
-    )
+    TrafficPattern::diurnal_with(0.55, 10.0)
+        .with_event(TrafficEvent::new(start, end, intensity).with_ramp(SimDuration::from_mins(10)))
 }
 
 /// Figure 12's scenario relative to an outage at `outage_start`: a
@@ -37,7 +36,10 @@ pub fn production_load_test(start: SimTime, end: SimTime, intensity: f64) -> Tra
 ///
 /// Panics if `surge <= 1.0` — a recovery surge must overshoot.
 pub fn site_recovery(outage_start: SimTime, surge: f64) -> TrafficPattern {
-    assert!(surge > 1.0, "recovery surge must exceed normal traffic, got {surge}");
+    assert!(
+        surge > 1.0,
+        "recovery surge must exceed normal traffic, got {surge}"
+    );
     let m = |mins: u64| outage_start + SimDuration::from_mins(mins);
     let ramp = SimDuration::from_secs(60);
     let ev = |a: SimTime, b: SimTime, f: f64| TrafficEvent::new(a, b, f).with_ramp(ramp);
@@ -72,7 +74,10 @@ pub fn batch_job_waves(
 ) -> TrafficPattern {
     assert!(waves > 0, "need at least one wave");
     assert!(!horizon.is_zero(), "horizon must be positive");
-    assert!(base > 0.0 && wave_intensity > 0.0, "intensities must be positive");
+    assert!(
+        base > 0.0 && wave_intensity > 0.0,
+        "intensities must be positive"
+    );
     let mut pattern = TrafficPattern::flat(base);
     let slot = horizon.as_secs() / waves as u64;
     for w in 0..waves {
@@ -93,9 +98,18 @@ mod tests {
     fn load_test_rises_plateaus_and_falls() {
         let p = production_load_test(SimTime::from_mins(160), SimTime::from_mins(225), 2.5);
         let at = |mins: u64| p.multiplier(SimTime::from_mins(mins));
-        assert!(at(100) < at(150) * 1.2, "pre-test traffic should be diurnal scale");
-        assert!(at(190) > at(150) * 2.0, "plateau should carry the shifted traffic");
-        assert!(at(240) < at(190) * 0.6, "traffic should return after the test");
+        assert!(
+            at(100) < at(150) * 1.2,
+            "pre-test traffic should be diurnal scale"
+        );
+        assert!(
+            at(190) > at(150) * 2.0,
+            "plateau should carry the shifted traffic"
+        );
+        assert!(
+            at(240) < at(190) * 0.6,
+            "traffic should return after the test"
+        );
     }
 
     #[test]

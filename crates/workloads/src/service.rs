@@ -30,8 +30,11 @@ pub enum ServiceKind {
 }
 
 impl ServiceKind {
+    /// Number of service kinds — the length of [`ServiceKind::all`].
+    pub const COUNT: usize = 6;
+
     /// All services in a stable order.
-    pub fn all() -> [ServiceKind; 6] {
+    pub fn all() -> [ServiceKind; ServiceKind::COUNT] {
         [
             ServiceKind::Web,
             ServiceKind::Cache,
@@ -40,6 +43,20 @@ impl ServiceKind {
             ServiceKind::NewsFeed,
             ServiceKind::F4Storage,
         ]
+    }
+
+    /// Dense index of this service, consistent with the ordering of
+    /// [`ServiceKind::all`]. Lets hot paths use fixed arrays instead of
+    /// hash maps when storing per-service values.
+    pub fn index(self) -> usize {
+        match self {
+            ServiceKind::Web => 0,
+            ServiceKind::Cache => 1,
+            ServiceKind::Hadoop => 2,
+            ServiceKind::Database => 3,
+            ServiceKind::NewsFeed => 4,
+            ServiceKind::F4Storage => 5,
+        }
     }
 
     /// Short lowercase label matching the paper's figure legends.
@@ -216,12 +233,24 @@ pub struct ServiceWorkload {
 impl ServiceWorkload {
     /// Creates the process with its own RNG stream.
     pub fn new(kind: ServiceKind, rng: SimRng) -> Self {
-        ServiceWorkload { kind, params: kind.params(), noise: 0.0, burst: None, rng }
+        ServiceWorkload {
+            kind,
+            params: kind.params(),
+            noise: 0.0,
+            burst: None,
+            rng,
+        }
     }
 
     /// Creates the process with custom parameters (ablations, tests).
     pub fn with_params(kind: ServiceKind, params: ServiceParams, rng: SimRng) -> Self {
-        ServiceWorkload { kind, params, noise: 0.0, burst: None, rng }
+        ServiceWorkload {
+            kind,
+            params,
+            noise: 0.0,
+            burst: None,
+            rng,
+        }
     }
 
     /// The service this process models.
@@ -288,7 +317,10 @@ mod tests {
         // natural batch victim.
         assert!(ServiceKind::Cache.priority() > ServiceKind::Web.priority());
         assert!(ServiceKind::Cache.priority() > ServiceKind::NewsFeed.priority());
-        assert_eq!(ServiceKind::Web.priority(), ServiceKind::NewsFeed.priority());
+        assert_eq!(
+            ServiceKind::Web.priority(),
+            ServiceKind::NewsFeed.priority()
+        );
         assert!(ServiceKind::Hadoop.priority() < ServiceKind::Web.priority());
     }
 
@@ -401,7 +433,11 @@ mod tests {
         let p99s: Vec<f64> = cdfs.iter().map(|c| c.p99()).collect();
         let f4_p99 = p99s[0];
         for (s, &p) in services.iter().zip(&p99s).skip(1) {
-            assert!(f4_p99 > p, "f4 p99 {f4_p99:.1} should exceed {} p99 {p:.1}", s.label());
+            assert!(
+                f4_p99 > p,
+                "f4 p99 {f4_p99:.1} should exceed {} p99 {p:.1}",
+                s.label()
+            );
         }
     }
 
@@ -411,7 +447,11 @@ mod tests {
         let check = |kind: ServiceKind, lo: f64, hi: f64| {
             let cdf = Cdf::from_samples(variation_samples(kind, 6, 2, 202));
             let p50 = cdf.median();
-            assert!((lo..hi).contains(&p50), "{}: p50 {p50:.1} outside [{lo},{hi})", kind.label());
+            assert!(
+                (lo..hi).contains(&p50),
+                "{}: p50 {p50:.1} outside [{lo},{hi})",
+                kind.label()
+            );
         };
         check(ServiceKind::Web, 20.0, 55.0);
         check(ServiceKind::Cache, 4.0, 18.0);

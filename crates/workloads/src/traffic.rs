@@ -31,8 +31,16 @@ impl TrafficEvent {
     /// Panics if `end <= start`, if `factor` is not positive/finite.
     pub fn new(start: SimTime, end: SimTime, factor: f64) -> Self {
         assert!(end > start, "event must end after it starts");
-        assert!(factor.is_finite() && factor > 0.0, "invalid traffic factor {factor}");
-        TrafficEvent { start, end, factor, ramp: SimDuration::from_secs(120) }
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid traffic factor {factor}"
+        );
+        TrafficEvent {
+            start,
+            end,
+            factor,
+            ramp: SimDuration::from_secs(120),
+        }
     }
 
     /// Overrides the edge ramp duration.
@@ -91,7 +99,10 @@ enum BaseShape {
     Flat(f64),
     /// Sinusoidal daily cycle between `min_frac` and 1.0, peaking at
     /// `peak_hour`.
-    Diurnal { min_frac: f64, peak_hour: f64 },
+    Diurnal {
+        min_frac: f64,
+        peak_hour: f64,
+    },
 }
 
 impl TrafficPattern {
@@ -101,8 +112,14 @@ impl TrafficPattern {
     ///
     /// Panics if `level` is negative or not finite.
     pub fn flat(level: f64) -> Self {
-        assert!(level.is_finite() && level >= 0.0, "invalid traffic level {level}");
-        TrafficPattern { base: BaseShape::Flat(level), events: Vec::new() }
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "invalid traffic level {level}"
+        );
+        TrafficPattern {
+            base: BaseShape::Flat(level),
+            events: Vec::new(),
+        }
     }
 
     /// The standard daily cycle: a sinusoid between 0.55× and 1.0× of
@@ -119,9 +136,21 @@ impl TrafficPattern {
     /// Panics if `min_frac` is outside `(0, 1]` or `peak_hour` outside
     /// `[0, 24)`.
     pub fn diurnal_with(min_frac: f64, peak_hour: f64) -> Self {
-        assert!(min_frac > 0.0 && min_frac <= 1.0, "invalid trough fraction {min_frac}");
-        assert!((0.0..24.0).contains(&peak_hour), "invalid peak hour {peak_hour}");
-        TrafficPattern { base: BaseShape::Diurnal { min_frac, peak_hour }, events: Vec::new() }
+        assert!(
+            min_frac > 0.0 && min_frac <= 1.0,
+            "invalid trough fraction {min_frac}"
+        );
+        assert!(
+            (0.0..24.0).contains(&peak_hour),
+            "invalid peak hour {peak_hour}"
+        );
+        TrafficPattern {
+            base: BaseShape::Diurnal {
+                min_frac,
+                peak_hour,
+            },
+            events: Vec::new(),
+        }
     }
 
     /// Adds an operational event.
@@ -134,7 +163,10 @@ impl TrafficPattern {
     pub fn multiplier(&self, t: SimTime) -> f64 {
         let base = match self.base {
             BaseShape::Flat(level) => level,
-            BaseShape::Diurnal { min_frac, peak_hour } => {
+            BaseShape::Diurnal {
+                min_frac,
+                peak_hour,
+            } => {
                 let hour = (t.as_secs_f64() / 3600.0) % 24.0;
                 let phase = (hour - peak_hour) / 24.0 * std::f64::consts::TAU;
                 let mid = (1.0 + min_frac) / 2.0;
@@ -142,7 +174,9 @@ impl TrafficPattern {
                 mid + amp * phase.cos()
             }
         };
-        self.events.iter().fold(base, |acc, e| acc * e.multiplier(t))
+        self.events
+            .iter()
+            .fold(base, |acc, e| acc * e.multiplier(t))
     }
 
     /// The registered events.
@@ -204,8 +238,12 @@ mod tests {
 
     #[test]
     fn events_compose_multiplicatively() {
-        let a = TrafficEvent::new(SimTime::ZERO + dcsim::SimDuration::from_secs(0), SimTime::from_secs(100), 2.0)
-            .with_ramp(SimDuration::ZERO);
+        let a = TrafficEvent::new(
+            SimTime::ZERO + dcsim::SimDuration::from_secs(0),
+            SimTime::from_secs(100),
+            2.0,
+        )
+        .with_ramp(SimDuration::ZERO);
         let b = TrafficEvent::new(SimTime::from_secs(50), SimTime::from_secs(100), 0.5)
             .with_ramp(SimDuration::ZERO);
         let p = TrafficPattern::flat(1.0).with_event(a).with_event(b);
@@ -218,7 +256,9 @@ mod tests {
         // The Figure 12 scenario sketch.
         let outage = TrafficEvent::new(SimTime::from_secs(600), SimTime::from_secs(2400), 0.3);
         let surge = TrafficEvent::new(SimTime::from_secs(2400), SimTime::from_secs(4800), 1.35);
-        let p = TrafficPattern::flat(1.0).with_event(outage).with_event(surge);
+        let p = TrafficPattern::flat(1.0)
+            .with_event(outage)
+            .with_event(surge);
         assert!(p.multiplier(SimTime::from_secs(1500)) < 0.4);
         assert!(p.multiplier(SimTime::from_secs(3600)) > 1.3);
         assert!((p.multiplier(SimTime::from_secs(5000)) - 1.0).abs() < 1e-9);

@@ -1,37 +1,42 @@
-//! Property-based tests for the workload substrate.
+//! Randomized tests for the workload substrate, driven by the
+//! deterministic [`SimRng`] stream.
 
 use dcsim::{SimDuration, SimRng, SimTime};
-use proptest::prelude::*;
 use workloads::{ServiceKind, ServiceWorkload, TrafficEvent, TrafficPattern};
 
-fn any_service() -> impl Strategy<Value = ServiceKind> {
-    prop::sample::select(ServiceKind::all().to_vec())
+fn random_service(rng: &mut SimRng) -> ServiceKind {
+    ServiceKind::all()[rng.next_below(ServiceKind::COUNT as u64) as usize]
 }
 
-proptest! {
-    /// Utilization stays in [0, 1] for any service, seed, traffic level
-    /// and step size.
-    #[test]
-    fn utilization_always_bounded(
-        kind in any_service(),
-        seed in any::<u64>(),
-        mult in 0.0f64..3.0,
-        dt_ms in 100u64..10_000,
-    ) {
+/// Utilization stays in [0, 1] for any service, seed, traffic level
+/// and step size.
+#[test]
+fn utilization_always_bounded() {
+    let mut meta = SimRng::seed_from(0xA_C7E).split("bounded");
+    for _ in 0..60 {
+        let kind = random_service(&mut meta);
+        let seed = meta.next_u64();
+        let mult = meta.uniform(0.0, 3.0);
+        let dt_ms = 100 + meta.next_below(9900);
         let mut wl = ServiceWorkload::new(kind, SimRng::seed_from(seed));
         let mut t = SimTime::ZERO;
         let dt = SimDuration::from_millis(dt_ms);
         for _ in 0..300 {
             let u = wl.utilization(t, mult, dt);
-            prop_assert!((0.0..=1.0).contains(&u), "{kind}: {u}");
+            assert!((0.0..=1.0).contains(&u), "{kind}: {u}");
             t += dt;
         }
     }
+}
 
-    /// Two processes with the same seed and inputs produce identical
-    /// trajectories; different seeds diverge.
-    #[test]
-    fn trajectories_deterministic_per_seed(kind in any_service(), seed in any::<u64>()) {
+/// Two processes with the same seed and inputs produce identical
+/// trajectories; different seeds diverge.
+#[test]
+fn trajectories_deterministic_per_seed() {
+    let mut meta = SimRng::seed_from(0xA_C7E).split("determinism");
+    for _ in 0..60 {
+        let kind = random_service(&mut meta);
+        let seed = meta.next_u64();
         let run = |s: u64| {
             let mut wl = ServiceWorkload::new(kind, SimRng::seed_from(s));
             let mut t = SimTime::ZERO;
@@ -43,34 +48,37 @@ proptest! {
                 })
                 .collect::<Vec<f64>>()
         };
-        prop_assert_eq!(run(seed), run(seed));
-        let other = run(seed.wrapping_add(1));
-        prop_assert_ne!(run(seed), other);
+        assert_eq!(run(seed), run(seed));
+        assert_ne!(run(seed), run(seed.wrapping_add(1)));
     }
+}
 
-    /// The traffic multiplier of any diurnal pattern stays within
-    /// [min_frac, 1] at all times.
-    #[test]
-    fn diurnal_multiplier_bounded(
-        min_frac in 0.01f64..=1.0,
-        peak_hour in 0.0f64..24.0,
-        t_secs in 0u64..(7 * 24 * 3600),
-    ) {
+/// The traffic multiplier of any diurnal pattern stays within
+/// [min_frac, 1] at all times.
+#[test]
+fn diurnal_multiplier_bounded() {
+    let mut rng = SimRng::seed_from(0xA_C7E).split("diurnal");
+    for _ in 0..500 {
+        let min_frac = rng.uniform(0.01, 1.0);
+        let peak_hour = rng.uniform(0.0, 24.0);
+        let t_secs = rng.next_below(7 * 24 * 3600);
         let p = TrafficPattern::diurnal_with(min_frac, peak_hour);
         let m = p.multiplier(SimTime::from_secs(t_secs));
-        prop_assert!(m >= min_frac - 1e-9 && m <= 1.0 + 1e-9, "multiplier {m}");
+        assert!(m >= min_frac - 1e-9 && m <= 1.0 + 1e-9, "multiplier {m}");
     }
+}
 
-    /// Event multipliers are exactly 1 outside their window and within
-    /// [min(1, factor), max(1, factor)] inside it.
-    #[test]
-    fn event_multiplier_bounded(
-        start in 0u64..10_000,
-        len in 1u64..10_000,
-        factor in 0.05f64..4.0,
-        ramp in 0u64..300,
-        t in 0u64..30_000,
-    ) {
+/// Event multipliers are exactly 1 outside their window and within
+/// [min(1, factor), max(1, factor)] inside it.
+#[test]
+fn event_multiplier_bounded() {
+    let mut rng = SimRng::seed_from(0xA_C7E).split("event");
+    for _ in 0..500 {
+        let start = rng.next_below(10_000);
+        let len = 1 + rng.next_below(9_999);
+        let factor = rng.uniform(0.05, 4.0);
+        let ramp = rng.next_below(300);
+        let t = rng.next_below(30_000);
         let e = TrafficEvent::new(
             SimTime::from_secs(start),
             SimTime::from_secs(start + len),
@@ -79,38 +87,46 @@ proptest! {
         .with_ramp(SimDuration::from_secs(ramp));
         let m = e.multiplier(SimTime::from_secs(t));
         if t < start || t >= start + len {
-            prop_assert_eq!(m, 1.0);
+            assert_eq!(m, 1.0);
         } else {
             let lo = factor.min(1.0) - 1e-9;
             let hi = factor.max(1.0) + 1e-9;
-            prop_assert!(m >= lo && m <= hi, "mid-event multiplier {m}");
+            assert!(m >= lo && m <= hi, "mid-event multiplier {m}");
         }
     }
+}
 
-    /// Composition: a pattern's multiplier with one event equals base ×
-    /// event at every instant.
-    #[test]
-    fn pattern_event_composition(
-        level in 0.1f64..2.0,
-        start in 0u64..1000,
-        len in 1u64..1000,
-        factor in 0.1f64..3.0,
-        t in 0u64..3000,
-    ) {
-        let e = TrafficEvent::new(SimTime::from_secs(start), SimTime::from_secs(start + len), factor);
+/// Composition: a pattern's multiplier with one event equals base ×
+/// event at every instant.
+#[test]
+fn pattern_event_composition() {
+    let mut rng = SimRng::seed_from(0xA_C7E).split("composition");
+    for _ in 0..500 {
+        let level = rng.uniform(0.1, 2.0);
+        let start = rng.next_below(1000);
+        let len = 1 + rng.next_below(999);
+        let factor = rng.uniform(0.1, 3.0);
+        let t = rng.next_below(3000);
+        let e = TrafficEvent::new(
+            SimTime::from_secs(start),
+            SimTime::from_secs(start + len),
+            factor,
+        );
         let p = TrafficPattern::flat(level).with_event(e.clone());
         let at = SimTime::from_secs(t);
-        prop_assert!((p.multiplier(at) - level * e.multiplier(at)).abs() < 1e-12);
+        assert!((p.multiplier(at) - level * e.multiplier(at)).abs() < 1e-12);
     }
+}
 
-    /// Service priorities and SLA floors are internally consistent: a
-    /// higher-priority service never has a *lower* floor than hadoop
-    /// (the designated batch victim).
-    #[test]
-    fn sla_floors_consistent(kind in any_service()) {
-        prop_assert!(kind.sla_min_cap().as_watts() > 0.0);
+/// Service priorities and SLA floors are internally consistent: a
+/// higher-priority service never has a *lower* floor than hadoop
+/// (the designated batch victim).
+#[test]
+fn sla_floors_consistent() {
+    for kind in ServiceKind::all() {
+        assert!(kind.sla_min_cap().as_watts() > 0.0);
         if kind.priority() > ServiceKind::Hadoop.priority() {
-            prop_assert!(kind.sla_min_cap() >= ServiceKind::Hadoop.sla_min_cap());
+            assert!(kind.sla_min_cap() >= ServiceKind::Hadoop.sla_min_cap());
         }
     }
 }

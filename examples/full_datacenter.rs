@@ -61,7 +61,10 @@ fn main() {
     println!("fleet power: {}", stats.total_power);
     println!("capped servers: {}", stats.capped_servers);
     println!("breaker trips: {}", dc.telemetry().breaker_trips().len());
-    println!("controller events: {}", dc.telemetry().controller_events().len());
+    println!(
+        "controller events: {}",
+        dc.telemetry().controller_events().len()
+    );
     println!("operator alerts: {}", dc.system().alerts().len());
 
     println!("\nutilization of provisioned power per MSB:");

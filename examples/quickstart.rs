@@ -65,5 +65,8 @@ fn main() {
         println!("  [{}] {} -> {:?}", e.at, e.controller, e.kind);
     }
 
-    println!("\n{}", dynamo_repro::dynamo::RunReport::from_datacenter(&dc));
+    println!(
+        "\n{}",
+        dynamo_repro::dynamo::RunReport::from_datacenter(&dc)
+    );
 }

@@ -27,7 +27,10 @@ fn build(capping: bool) -> Datacenter {
         .rpp_rating(Power::from_kilowatts(15.0))
         .sb_rating(Power::from_kilowatts(34.0))
         .uniform_service(ServiceKind::Web)
-        .traffic(ServiceKind::Web, TrafficPattern::flat(1.0).with_event(surge))
+        .traffic(
+            ServiceKind::Web,
+            TrafficPattern::flat(1.0).with_event(surge),
+        )
         .capping_enabled(capping)
         .seed(99)
         .build()

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in hermetic environments without registry
+//! access, so the real `serde` is unavailable. Source files keep their
+//! `use serde::{Deserialize, Serialize}` imports and derive attributes;
+//! this crate supplies the trait names and re-exports the no-op derives
+//! from the sibling `serde_derive` shim. Pointing the workspace
+//! dependency back at crates.io restores real serialization with no
+//! source changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive emits no
+/// impls; the blanket impl below keeps any `T: Serialize` bound
+/// satisfiable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented for
+/// the same reason as [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

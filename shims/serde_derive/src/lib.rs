@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crate registry, so the real `serde` cannot be vendored. The codebase
+//! only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! compile coverage — nothing serializes at runtime — so these derives
+//! accept the same syntax and expand to nothing. Swapping the `serde`
+//! workspace dependency back to the registry crate requires no source
+//! changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: parses nothing, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: parses nothing, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

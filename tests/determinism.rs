@@ -60,8 +60,14 @@ fn thread_count_does_not_change_physics() {
     // Spot-check per-device traces, not just totals.
     for rpp in serial.topology().devices_at(DeviceLevel::Rpp) {
         assert_eq!(
-            serial.telemetry().device_trace(rpp).map(|t| t.values().to_vec()),
-            parallel.telemetry().device_trace(rpp).map(|t| t.values().to_vec()),
+            serial
+                .telemetry()
+                .device_trace(rpp)
+                .map(|t| t.values().to_vec()),
+            parallel
+                .telemetry()
+                .device_trace(rpp)
+                .map(|t| t.values().to_vec()),
             "trace diverged for {rpp}"
         );
     }

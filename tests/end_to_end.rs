@@ -38,11 +38,17 @@ fn dynamo_holds_power_below_the_breaker_limit() {
     assert!(caps > 0, "no capping events in an overloaded row");
 
     // ...no breaker tripped...
-    assert!(dc.telemetry().breaker_trips().is_empty(), "breaker tripped despite Dynamo");
+    assert!(
+        dc.telemetry().breaker_trips().is_empty(),
+        "breaker tripped despite Dynamo"
+    );
 
     // ...and settled power sits at or below the limit (small transient
     // overshoots are what the breaker's thermal slack absorbs).
-    let trace = dc.telemetry().device_trace(rpp).expect("RPP watched by default");
+    let trace = dc
+        .telemetry()
+        .device_trace(rpp)
+        .expect("RPP watched by default");
     let late = &trace.values()[trace.len() / 2..];
     let p95_late = {
         let mut v = late.to_vec();
@@ -60,7 +66,10 @@ fn without_dynamo_the_breaker_trips() {
     let mut dc = overloaded_row(false, 42);
     dc.run_for(SimDuration::from_secs(600));
     let trips = dc.telemetry().breaker_trips();
-    assert!(!trips.is_empty(), "sustained overload should trip the RPP breaker");
+    assert!(
+        !trips.is_empty(),
+        "sustained overload should trip the RPP breaker"
+    );
     // The blackout takes the subtree's power to zero.
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
     assert_eq!(dc.device_power(rpp), Power::ZERO);
@@ -130,7 +139,10 @@ fn cache_is_protected_web_takes_the_cut() {
         }
     }
     assert!(web_capped > 0, "web servers should be capped");
-    assert_eq!(cache_capped, 0, "cache servers must be spared (higher priority group)");
+    assert_eq!(
+        cache_capped, 0,
+        "cache servers must be spared (higher priority group)"
+    );
 }
 
 #[test]
@@ -160,7 +172,10 @@ fn sb_level_coordination_contracts_offender_rows() {
         .filter(|e| matches!(e.kind, ControllerEventKind::UpperCapped { .. }))
         .count();
     assert!(sb_caps > 0, "SB upper controller never pushed contracts");
-    assert!(dc.telemetry().breaker_trips().is_empty(), "SB breaker tripped despite Dynamo");
+    assert!(
+        dc.telemetry().breaker_trips().is_empty(),
+        "SB breaker tripped despite Dynamo"
+    );
 
     // The SB power must settle at or below its rating.
     let sb = dc.topology().devices_at(DeviceLevel::Sb)[0];
@@ -187,7 +202,10 @@ fn controller_failover_keeps_protecting() {
         .iter()
         .any(|e| matches!(e.kind, ControllerEventKind::Failover));
     assert!(failover_seen);
-    assert!(dc.telemetry().breaker_trips().is_empty(), "failover window allowed a trip");
+    assert!(
+        dc.telemetry().breaker_trips().is_empty(),
+        "failover window allowed a trip"
+    );
 }
 
 #[test]
@@ -229,8 +247,10 @@ fn agent_crashes_do_not_destabilize_control() {
     // ...but either way the system kept power in check.
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
     let trace = dc.telemetry().device_trace(rpp).unwrap();
-    let late_max =
-        trace.values()[trace.len() / 2..].iter().cloned().fold(0.0f64, f64::max);
+    let late_max = trace.values()[trace.len() / 2..]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
     assert!(late_max <= 11_000.0 * 1.05, "late max {late_max} W");
     let _ = any_down_seen;
 }

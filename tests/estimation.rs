@@ -30,13 +30,19 @@ fn fully_sensorless_fleet_is_still_protected() {
     let mut dc = overloaded_row(1.0, 0.0, 71);
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
     dc.run_for(SimDuration::from_mins(10));
-    assert!(dc.telemetry().breaker_trips().is_empty(), "sensorless fleet tripped");
+    assert!(
+        dc.telemetry().breaker_trips().is_empty(),
+        "sensorless fleet tripped"
+    );
     let p = dc.device_power(rpp);
     assert!(
         p <= Power::from_kilowatts(11.0 * 1.02),
         "sensorless row not held: {p}"
     );
-    assert!(dc.fleet().stats().capped_servers > 0, "no capping on an overloaded row");
+    assert!(
+        dc.fleet().stats().capped_servers > 0,
+        "no capping on an overloaded row"
+    );
 }
 
 #[test]
@@ -61,7 +67,10 @@ fn estimation_reading_low_is_the_dangerous_direction() {
         "a low-reading model should let true power ride higher ({lowballed} vs {honest})"
     );
     // The overshoot is roughly the bias, not unbounded.
-    assert!(lowballed <= honest * 1.15, "overshoot beyond the injected bias: {lowballed}");
+    assert!(
+        lowballed <= honest * 1.15,
+        "overshoot beyond the injected bias: {lowballed}"
+    );
     // And the breaker-validation path flags the mismatch.
     assert!(
         !dc.validator().alerts().is_empty(),
@@ -84,5 +93,8 @@ fn mixed_fleets_behave_like_sensored_ones_when_models_are_honest() {
         dc.device_power(rpp).as_kilowatts()
     };
     let diff = (sensored - mixed).abs() / sensored;
-    assert!(diff < 0.03, "honest estimation changed the operating point by {diff:.3}");
+    assert!(
+        diff < 0.03,
+        "honest estimation changed the operating point by {diff:.3}"
+    );
 }

@@ -33,7 +33,11 @@ fn dry_run_decides_but_never_actuates() {
     assert!(decided, "dry-run controller computed no decisions");
 
     // ...but no server was ever throttled.
-    assert_eq!(dc.fleet().stats().capped_servers, 0, "dry run actuated caps");
+    assert_eq!(
+        dc.fleet().stats().capped_servers,
+        0,
+        "dry run actuated caps"
+    );
     // Power is therefore unprotected — the whole point of dry-run being
     // reserved for non-critical services.
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
@@ -50,8 +54,14 @@ fn validator_stays_quiet_on_healthy_aggregation() {
         dc.validator().alerts()
     );
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
-    let corr = dc.validator().correction(rpp).expect("validated at least once");
-    assert!((corr - 1.0).abs() < 0.03, "correction {corr} drifted on healthy data");
+    let corr = dc
+        .validator()
+        .correction(rpp)
+        .expect("validated at least once");
+    assert!(
+        (corr - 1.0).abs() < 0.03,
+        "correction {corr} drifted on healthy data"
+    );
 }
 
 #[test]
@@ -86,10 +96,16 @@ fn validator_handles_blackouts_gracefully() {
     // not divide by zero or spam alerts about the blackout.
     let mut dc = overloaded(false).build();
     dc.run_for(SimDuration::from_mins(15));
-    assert!(!dc.telemetry().breaker_trips().is_empty(), "precondition: trip expected");
+    assert!(
+        !dc.telemetry().breaker_trips().is_empty(),
+        "precondition: trip expected"
+    );
     // Any alerts must predate the blackout, not follow from it.
     let trip_at = dc.telemetry().breaker_trips()[0].at;
     for alert in dc.validator().alerts() {
-        assert!(alert.at <= trip_at + SimDuration::from_mins(2), "post-blackout alert {alert:?}");
+        assert!(
+            alert.at <= trip_at + SimDuration::from_mins(2),
+            "post-blackout alert {alert:?}"
+        );
     }
 }

@@ -38,9 +38,7 @@ fn msb_protection_recurses_to_servers() {
     // SBs) — its name identifies the tier.
     let msb_caps = events
         .iter()
-        .filter(|e| {
-            e.device == msb && matches!(e.kind, ControllerEventKind::UpperCapped { .. })
-        })
+        .filter(|e| e.device == msb && matches!(e.kind, ControllerEventKind::UpperCapped { .. }))
         .count();
     assert!(msb_caps > 0, "MSB controller never acted");
 
@@ -54,7 +52,10 @@ fn msb_protection_recurses_to_servers() {
     assert!(dc.fleet().stats().capped_servers > 0 || leaf_caps > 0);
 
     // And the MSB held: no trip anywhere, power at or under the rating.
-    assert!(dc.telemetry().breaker_trips().is_empty(), "MSB protection failed");
+    assert!(
+        dc.telemetry().breaker_trips().is_empty(),
+        "MSB protection failed"
+    );
     let p = dc.device_power(msb);
     assert!(
         p <= Power::from_kilowatts(36.0 * 1.02),
@@ -145,8 +146,14 @@ fn pressure_releases_when_the_msb_cools() {
     // After the cool-down, contracts clear and caps lift.
     let events = dc.telemetry().controller_events();
     assert!(
-        events.iter().any(|e| matches!(e.kind, ControllerEventKind::UpperUncapped)),
+        events
+            .iter()
+            .any(|e| matches!(e.kind, ControllerEventKind::UpperUncapped)),
         "upper tier never released its contracts"
     );
-    assert_eq!(dc.fleet().stats().capped_servers, 0, "servers still capped after cool-down");
+    assert_eq!(
+        dc.fleet().stats().capped_servers,
+        0,
+        "servers still capped after cool-down"
+    );
 }

@@ -25,10 +25,17 @@ fn telemetry_samples_on_the_3s_grid() {
     dc.run_for(SimDuration::from_mins(5));
     // Table I: "3-second granularity power readings".
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
-    let trace = dc.telemetry().device_trace(rpp).expect("RPP watched by default");
+    let trace = dc
+        .telemetry()
+        .device_trace(rpp)
+        .expect("RPP watched by default");
     assert_eq!(trace.interval(), SimDuration::from_secs(3));
     // 5 minutes / 3 s = 100 samples (±1 boundary sample).
-    assert!((99..=101).contains(&trace.len()), "got {} samples", trace.len());
+    assert!(
+        (99..=101).contains(&trace.len()),
+        "got {} samples",
+        trace.len()
+    );
     // Samples are plausible watts for 40 servers.
     assert!(trace.min() > 1_000.0 && trace.max() < 40.0 * 400.0);
 }
@@ -80,7 +87,10 @@ fn degraded_network_raises_invalid_aggregation_alerts() {
         .iter()
         .filter(|e| matches!(e.kind, ControllerEventKind::LeafInvalid { .. }))
         .count();
-    assert!(invalids > 0, "no invalid-aggregation events under a broken network");
+    assert!(
+        invalids > 0,
+        "no invalid-aggregation events under a broken network"
+    );
     let alerts = dc.system().alerts();
     assert!(!alerts.is_empty(), "no operator alerts raised");
     assert!(alerts.iter().all(|a| a.at <= dc.now()));
@@ -105,6 +115,10 @@ fn controller_events_carry_device_and_time() {
     for e in events {
         assert_eq!(e.device, rpp, "event attributed to the wrong device");
         assert!(e.at >= SimTime::ZERO && e.at <= dc.now());
-        assert!(e.controller.contains("rpp"), "controller name {:?}", e.controller);
+        assert!(
+            e.controller.contains("rpp"),
+            "controller name {:?}",
+            e.controller
+        );
     }
 }

@@ -40,8 +40,14 @@ fn oversubscription_is_safe_at_every_packing_level() {
     for n in [32usize, 34, 36, 38, 40] {
         let (tripped, perf, peak) = run_row(n, true, 500 + n as u64);
         assert!(!tripped, "{n} servers: tripped under Dynamo");
-        assert!(peak <= 11.0 * 1.02, "{n} servers: peak {peak:.2} kW above rating");
-        assert!(perf > 0.80, "{n} servers: performance collapsed to {perf:.2}");
+        assert!(
+            peak <= 11.0 * 1.02,
+            "{n} servers: peak {peak:.2} kW above rating"
+        );
+        assert!(
+            perf > 0.80,
+            "{n} servers: performance collapsed to {perf:.2}"
+        );
     }
 }
 
@@ -60,7 +66,10 @@ fn performance_cost_grows_smoothly_with_packing() {
         last_perf = perf;
     }
     // Even at +30% oversubscription, the penalty stays moderate.
-    assert!(last_perf > 0.70, "performance cliff at 42 servers: {last_perf:.3}");
+    assert!(
+        last_perf > 0.70,
+        "performance cliff at 42 servers: {last_perf:.3}"
+    );
 }
 
 #[test]
@@ -70,5 +79,8 @@ fn unprotected_oversubscription_eventually_trips() {
     let (tripped_protected, _, _) = run_row(40, true, 900);
     let (tripped_bare, _, _) = run_row(40, false, 900);
     assert!(!tripped_protected);
-    assert!(tripped_bare, "40 hot servers on 11 kW should trip without capping");
+    assert!(
+        tripped_bare,
+        "40 hot servers on 11 kW should trip without capping"
+    );
 }

@@ -19,7 +19,10 @@ fn stepped_row(seed: u64) -> dynamo_repro::dynamo::Datacenter {
         .servers_per_rack(20)
         .rpp_rating(Power::from_kilowatts(11.0))
         .uniform_service(ServiceKind::Web)
-        .traffic(ServiceKind::Web, TrafficPattern::flat(1.0).with_event(surge))
+        .traffic(
+            ServiceKind::Web,
+            TrafficPattern::flat(1.0).with_event(surge),
+        )
         .seed(seed)
         .build()
 }
@@ -38,7 +41,10 @@ fn worst_case_step_settles_well_inside_the_breaker_deadline() {
         let safe = Power::from_kilowatts(11.0 * 0.97);
 
         dc.run_until(SimTime::from_secs(120));
-        assert!(dc.device_power(rpp) < safe, "seed {seed}: row hot before the surge");
+        assert!(
+            dc.device_power(rpp) < safe,
+            "seed {seed}: row hot before the surge"
+        );
 
         // Find when power first crosses the capping threshold, then when
         // it settles back into the safe band.
@@ -91,7 +97,10 @@ fn gradual_surge_settles_within_the_ten_second_target() {
         .servers_per_rack(20)
         .rpp_rating(Power::from_kilowatts(11.0))
         .uniform_service(ServiceKind::Web)
-        .traffic(ServiceKind::Web, TrafficPattern::flat(1.0).with_event(surge))
+        .traffic(
+            ServiceKind::Web,
+            TrafficPattern::flat(1.0).with_event(surge),
+        )
         .seed(4)
         .build();
     let rpp = dc.topology().devices_at(DeviceLevel::Rpp)[0];
@@ -156,5 +165,8 @@ fn sampling_cadence_bounds_detection_latency() {
         .expect("capping decision must fire")
         .at;
     let detection = first_cap.as_secs().saturating_sub(crossed);
-    assert!(detection <= 4, "{detection} s to the first capping decision (3 s cycle)");
+    assert!(
+        detection <= 4,
+        "{detection} s to the first capping decision (3 s cycle)"
+    );
 }
