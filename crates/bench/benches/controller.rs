@@ -12,13 +12,14 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use dcsim::SimTime;
+use dcsim::{SimDuration, SimTime};
 use dynamo::{Datacenter, DatacenterBuilder};
 use dynamo_controller::{
     distribute_power_cut, three_band_decision, ChildReport, LeafConfig, LeafController,
     ServerHandle, ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
 };
 use dynrpc::{PowerReading, Request, Response};
+use experiments::common::staggered_leaf_spread;
 use powerinfra::Power;
 use workloads::{ServiceKind, TrafficPattern};
 
@@ -111,10 +112,16 @@ struct MatrixPoint {
     rpps: usize,
     servers: usize,
     threads: usize,
+    phase_spread_ms: u64,
     ticks_per_sec: f64,
 }
 
-fn matrix_datacenter(sbs: usize, rpps_per_sb: usize, threads: usize) -> Datacenter {
+fn matrix_datacenter(
+    sbs: usize,
+    rpps_per_sb: usize,
+    threads: usize,
+    phase_spread: SimDuration,
+) -> Datacenter {
     // 160 servers per RPP: the paper's leaf controllers each pull "a
     // few hundred servers or more" (§IV).
     DatacenterBuilder::new()
@@ -126,6 +133,7 @@ fn matrix_datacenter(sbs: usize, rpps_per_sb: usize, threads: usize) -> Datacent
         .traffic(ServiceKind::Web, TrafficPattern::flat(1.2))
         .seed(42)
         .worker_threads(threads)
+        .phase_spread(phase_spread)
         .build()
 }
 
@@ -148,7 +156,10 @@ fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
 }
 
 /// Ticks/sec of the full simulation loop (physics + leaf control
-/// cycles) over RPP count × worker threads, recorded as JSON.
+/// cycles) over RPP count × worker threads × phase policy (lockstep
+/// vs. cycles staggered across one leaf interval), recorded as JSON.
+/// Staggering spreads the per-tick control work across the interval —
+/// smaller due-batches per tick — where lockstep concentrates it.
 ///
 /// The parallel cells only beat serial when the host actually has
 /// cores to run them on: each tick pays two `thread::scope`
@@ -159,37 +170,49 @@ fn bench_control_plane_matrix() {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("\ncontrol plane ticks/sec (RPPs x threads), host cores: {host_cpus}");
+    println!("\ncontrol plane ticks/sec (RPPs x threads x phase), host cores: {host_cpus}");
     let mut points: Vec<MatrixPoint> = Vec::new();
+    let spreads = [SimDuration::ZERO, staggered_leaf_spread()];
     for &(sbs, rpps_per_sb) in &[(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
         let rpps = sbs * rpps_per_sb;
         for &threads in &[1usize, 8] {
-            let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads);
-            assert!(
-                threads == 1 || dc.system().supports_parallel_leaves(),
-                "matrix topology must support parallel leaves"
-            );
-            let servers = dc.fleet().len();
-            let ticks_per_sec = measure_ticks_per_sec(&mut dc);
-            println!("  rpps={rpps:<3} servers={servers:<5} threads={threads}  {ticks_per_sec:>10.0} ticks/s");
-            points.push(MatrixPoint {
-                rpps,
-                servers,
-                threads,
-                ticks_per_sec,
-            });
+            for &spread in &spreads {
+                let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads, spread);
+                assert!(
+                    threads == 1 || dc.system().supports_parallel_leaves(),
+                    "matrix topology must support parallel leaves"
+                );
+                let servers = dc.fleet().len();
+                let phase_spread_ms = spread.as_millis();
+                let label = if spread.is_zero() {
+                    "lockstep "
+                } else {
+                    "staggered"
+                };
+                let ticks_per_sec = measure_ticks_per_sec(&mut dc);
+                println!("  rpps={rpps:<3} servers={servers:<5} threads={threads} {label}  {ticks_per_sec:>10.0} ticks/s");
+                points.push(MatrixPoint {
+                    rpps,
+                    servers,
+                    threads,
+                    phase_spread_ms,
+                    ticks_per_sec,
+                });
+            }
         }
     }
 
-    let rate = |rpps: usize, threads: usize| {
+    let rate = |rpps: usize, threads: usize, spread_ms: u64| {
         points
             .iter()
-            .find(|p| p.rpps == rpps && p.threads == threads)
+            .find(|p| p.rpps == rpps && p.threads == threads && p.phase_spread_ms == spread_ms)
             .map(|p| p.ticks_per_sec)
             .unwrap_or(f64::NAN)
     };
-    let speedup = rate(64, 8) / rate(64, 1);
-    println!("  speedup at 64 RPPs, 8 threads vs 1: {speedup:.2}x");
+    let speedup = rate(64, 8, 0) / rate(64, 1, 0);
+    let stagger_ratio = rate(64, 1, staggered_leaf_spread().as_millis()) / rate(64, 1, 0);
+    println!("  speedup at 64 RPPs, 8 threads vs 1 (lockstep): {speedup:.2}x");
+    println!("  staggered vs lockstep at 64 RPPs, 1 thread: {stagger_ratio:.2}x");
     if host_cpus < 2 {
         println!("  (single-core host: the 8-thread column measures spawn/join overhead only)");
     }
@@ -200,16 +223,17 @@ fn bench_control_plane_matrix() {
     ));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
+            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"phase_spread_ms\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
             p.rpps,
             p.servers,
             p.threads,
+            p.phase_spread_ms,
             p.ticks_per_sec,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3}\n}}\n"
+        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3}\n}}\n"
     ));
     let path = bench::workspace_path("BENCH_controlplane.json");
     match std::fs::write(&path, json) {

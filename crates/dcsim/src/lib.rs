@@ -10,8 +10,10 @@
 //! * [`SimRng`] — a from-scratch xoshiro256++ PRNG with hierarchical
 //!   splitting, so every subsystem gets an independent, reproducible
 //!   stream from a single root seed.
-//! * [`PeriodicSchedule`] — fixed-period task tracking for time-stepped
-//!   loops (the 3 s / 9 s / 60 s cadences of the control plane).
+//! * [`PeriodicSchedule`] / [`CycleSchedule`] — fixed-period task
+//!   tracking for time-stepped loops (the 3 s / 9 s / 60 s cadences of
+//!   the control plane); `CycleSchedule` adds the per-instance phase
+//!   offset the event-driven control plane schedules controllers with.
 //!
 //! # Example
 //!
@@ -37,5 +39,5 @@ mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use schedule::PeriodicSchedule;
+pub use schedule::{CycleSchedule, PeriodicSchedule};
 pub use time::{SimDuration, SimTime};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{SimDuration, SimTime};
+use crate::{SimDuration, SimRng, SimTime};
 
 /// Tracks a fixed-period task inside a time-stepped simulation.
 ///
@@ -86,6 +86,115 @@ impl PeriodicSchedule {
     }
 }
 
+/// The cycle schedule of one controller instance: a fixed period plus a
+/// per-instance phase offset.
+///
+/// Where [`PeriodicSchedule`] models a single global cadence shared by a
+/// whole tier, `CycleSchedule` is the event-driven counterpart: every
+/// controller owns one, fires at `phase, phase + period, phase +
+/// 2·period, …`, and the control plane keys an [`crate::EventQueue`]
+/// entry on [`CycleSchedule::next_at`]. Phase zero is bit-compatible
+/// with a `PeriodicSchedule` of the same period, which is what keeps a
+/// lockstep configuration reproducible after the event-driven refactor.
+///
+/// Missed boundaries coalesce exactly like [`PeriodicSchedule::fire`]:
+/// an overslept poller runs once, not N times, and cadence snaps back to
+/// the original phase grid.
+///
+/// # Example
+///
+/// ```
+/// use dcsim::{CycleSchedule, SimDuration, SimTime};
+///
+/// let mut poll =
+///     CycleSchedule::with_phase(SimDuration::from_secs(3), SimDuration::from_millis(750));
+/// assert!(!poll.fire(SimTime::ZERO));
+/// assert!(poll.fire(SimTime::from_millis(750)));
+/// assert_eq!(poll.next_at(), SimTime::from_millis(3750));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleSchedule {
+    period: SimDuration,
+    phase: SimDuration,
+    next: SimTime,
+}
+
+impl CycleSchedule {
+    /// Creates a phase-zero schedule: first firing at [`SimTime::ZERO`],
+    /// then every `period` — identical to [`PeriodicSchedule::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        Self::with_phase(period, SimDuration::ZERO)
+    }
+
+    /// Creates a schedule offset by `phase`: firings at `phase`,
+    /// `phase + period`, `phase + 2·period`, …
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_phase(period: SimDuration, phase: SimDuration) -> Self {
+        assert!(!period.is_zero(), "schedule period must be positive");
+        CycleSchedule {
+            period,
+            phase,
+            next: SimTime::ZERO + phase,
+        }
+    }
+
+    /// Creates a schedule with a deterministic random phase drawn
+    /// uniformly from `[0, spread)` at millisecond resolution. A zero
+    /// `spread` yields phase zero without consuming randomness, so a
+    /// lockstep configuration never perturbs the RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn jittered(period: SimDuration, spread: SimDuration, rng: &mut SimRng) -> Self {
+        let phase = if spread.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis(rng.next_u64() % spread.as_millis())
+        };
+        Self::with_phase(period, phase)
+    }
+
+    /// The period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The phase offset this schedule was built with.
+    pub fn phase(&self) -> SimDuration {
+        self.phase
+    }
+
+    /// The next firing time.
+    pub fn next_at(&self) -> SimTime {
+        self.next
+    }
+
+    /// True if the schedule would fire at `now` (without advancing).
+    pub fn due(&self, now: SimTime) -> bool {
+        now >= self.next
+    }
+
+    /// Fires if due, advancing to the next phase-grid boundary strictly
+    /// after `now`. Returns whether the cycle should run this instant.
+    pub fn fire(&mut self, now: SimTime) -> bool {
+        if now < self.next {
+            return false;
+        }
+        while self.next <= now {
+            self.next += self.period;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +243,63 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         PeriodicSchedule::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cycle_phase_zero_matches_periodic_schedule() {
+        let mut cycle = CycleSchedule::new(SimDuration::from_secs(3));
+        let mut periodic = PeriodicSchedule::new(SimDuration::from_secs(3));
+        for t in 0..20 {
+            let now = SimTime::from_secs(t);
+            assert_eq!(cycle.due(now), periodic.due(now));
+            assert_eq!(cycle.fire(now), periodic.fire(now), "diverged at t={t}");
+            assert_eq!(cycle.next_at(), periodic.next_at());
+        }
+    }
+
+    #[test]
+    fn cycle_phase_shifts_the_whole_grid() {
+        let mut s =
+            CycleSchedule::with_phase(SimDuration::from_secs(3), SimDuration::from_millis(1500));
+        assert_eq!(s.phase(), SimDuration::from_millis(1500));
+        let mut fired = Vec::new();
+        for t in 0..12 {
+            if s.fire(SimTime::from_secs(t)) {
+                fired.push(t);
+            }
+        }
+        // First boundary 1.5 s is reached at t=2 s; cadence then follows
+        // the 1.5 s + 3k grid: 4.5 s -> t=5, 7.5 s -> t=8, 10.5 s -> t=11.
+        assert_eq!(fired, vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn cycle_coalesces_and_returns_to_the_phase_grid() {
+        let mut s = CycleSchedule::with_phase(SimDuration::from_secs(3), SimDuration::from_secs(1));
+        assert!(s.fire(SimTime::from_secs(1)));
+        // Oversleep past three boundaries: one firing, grid preserved.
+        assert!(s.fire(SimTime::from_secs(11)));
+        assert_eq!(s.next_at(), SimTime::from_secs(13));
+    }
+
+    #[test]
+    fn jittered_phase_is_deterministic_and_bounded() {
+        let draw = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            CycleSchedule::jittered(
+                SimDuration::from_secs(3),
+                SimDuration::from_secs(3),
+                &mut rng,
+            )
+            .phase()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert!(draw(7) < SimDuration::from_secs(3));
+        // Zero spread draws nothing from the stream.
+        let mut rng = SimRng::seed_from(3);
+        let before = rng.clone();
+        let s = CycleSchedule::jittered(SimDuration::from_secs(3), SimDuration::ZERO, &mut rng);
+        assert_eq!(s.phase(), SimDuration::ZERO);
+        assert_eq!(rng, before, "zero spread must not consume randomness");
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! dynamo-sim [--sbs N] [--rpps N] [--racks N] [--servers N]
 //!            [--rpp-kw KW] [--sb-kw KW] [--service NAME] [--traffic X]
-//!            [--minutes N] [--seed N] [--threads N]
+//!            [--minutes N] [--seed N] [--threads N] [--phase-spread SECS]
 //!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
 //! ```
 //!
@@ -34,6 +34,7 @@ struct Args {
     minutes: u64,
     seed: u64,
     threads: usize,
+    phase_spread: f64,
     capping: bool,
     dry_run: bool,
     turbo: bool,
@@ -55,6 +56,7 @@ impl Default for Args {
             minutes: 10,
             seed: 0,
             threads: 1,
+            phase_spread: 0.0,
             capping: true,
             dry_run: false,
             turbo: false,
@@ -103,6 +105,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--minutes" => args.minutes = num(value(&mut it, flag)?, flag)?,
             "--seed" => args.seed = num(value(&mut it, flag)?, flag)?,
             "--threads" => args.threads = num(value(&mut it, flag)?, flag)?,
+            "--phase-spread" => args.phase_spread = num(value(&mut it, flag)?, flag)?,
             "--report-every" => args.report_every = num(value(&mut it, flag)?, flag)?,
             "--no-capping" => args.capping = false,
             "--dry-run" => args.dry_run = true,
@@ -116,6 +119,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.threads == 0 {
         return Err("--threads must be at least 1".to_string());
+    }
+    if !args.phase_spread.is_finite() || args.phase_spread < 0.0 {
+        return Err("--phase-spread must be a non-negative number of seconds".to_string());
     }
     Ok(args)
 }
@@ -131,6 +137,8 @@ fn usage() -> &'static str {
      run:       --minutes N --seed N --report-every N\n\
      \x20          --threads N (worker threads for fleet physics and leaf\n\
      \x20          control cycles; results are bit-identical at any count)\n\
+     \x20          --phase-spread SECS (stagger controller cycle phases\n\
+     \x20          evenly across this window; 0 = lockstep, the default)\n\
      modes:     --no-capping (monitor only) --dry-run (decide, don't act)"
 }
 
@@ -159,6 +167,7 @@ fn main() {
         .capping_enabled(args.capping)
         .dry_run(args.dry_run)
         .worker_threads(args.threads)
+        .phase_spread(SimDuration::from_secs_f64(args.phase_spread))
         .seed(args.seed);
     if let Some(kw) = args.rpp_kw {
         builder = builder.rpp_rating(Power::from_kilowatts(kw));
@@ -266,5 +275,15 @@ mod tests {
     fn help_is_signalled() {
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
         assert!(usage().contains("--no-capping"));
+        assert!(usage().contains("--phase-spread"));
+    }
+
+    #[test]
+    fn phase_spread_parses_and_rejects_bad_values() {
+        assert_eq!(parse(&[]).unwrap().phase_spread, 0.0);
+        assert_eq!(parse(&["--phase-spread", "1.5"]).unwrap().phase_spread, 1.5);
+        assert!(parse(&["--phase-spread"]).is_err());
+        assert!(parse(&["--phase-spread", "-2"]).is_err());
+        assert!(parse(&["--phase-spread", "NaN"]).is_err());
     }
 }

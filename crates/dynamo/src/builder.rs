@@ -8,9 +8,9 @@ use powerinfra::{DeviceLevel, Power, Topology, TopologyBuilder};
 use serverpower::{ServerConfig, ServerGeneration};
 use workloads::{ServiceKind, TrafficPattern};
 
+use crate::control_plane::{DynamoSystem, SystemConfig};
 use crate::datacenter::Datacenter;
 use crate::fleet::Fleet;
-use crate::system::{DynamoSystem, SystemConfig};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::validator::BreakerValidator;
 
@@ -272,6 +272,36 @@ impl DatacenterBuilder {
     /// every leaf device (§III-C1): monitored and budgeted, not capped.
     pub fn leaf_overhead(mut self, overhead: Power) -> Self {
         self.system.leaf_overhead = overhead;
+        self
+    }
+
+    /// Staggers controller cycle phases evenly across `spread`:
+    /// controller `i` of an `n`-instance tier starts its cycles at
+    /// `spread · i / n`. Zero spread (the default) is the lockstep
+    /// mode, bit-identical to the legacy global-schedule control
+    /// plane; a spread of one leaf interval spaces the leaf cycles
+    /// maximally, like the unsynchronized daemons of the deployed
+    /// system (§IV). Per-leaf cadence is unaffected — only the phase
+    /// moves.
+    pub fn phase_spread(mut self, spread: SimDuration) -> Self {
+        self.system.phase = if spread.is_zero() {
+            crate::PhasePolicy::Lockstep
+        } else {
+            crate::PhasePolicy::EvenSpread(spread)
+        };
+        self
+    }
+
+    /// Draws each controller's cycle phase uniformly from
+    /// `[0, spread)` out of the deterministic system RNG — same seed,
+    /// same phases. Zero spread falls back to lockstep and consumes no
+    /// randomness.
+    pub fn phase_jitter(mut self, spread: SimDuration) -> Self {
+        self.system.phase = if spread.is_zero() {
+            crate::PhasePolicy::Lockstep
+        } else {
+            crate::PhasePolicy::Jittered(spread)
+        };
         self
     }
 

@@ -1,0 +1,325 @@
+//! The deployed controller hierarchy, driven by per-controller
+//! scheduled cycles on the `dcsim` event queue.
+
+use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
+use dynamo_controller::{ServiceClass, ThreeBandConfig};
+use dynrpc::LinkProfile;
+use powerinfra::{DeviceId, Power, Topology};
+
+use crate::events::{ControllerEvent, CycleDispatcher, PhasePolicy};
+use crate::failover::FailoverState;
+use crate::fleet::Fleet;
+use crate::leaf_exec::LeafTier;
+use crate::upper_exec::UpperTier;
+
+/// Deployment configuration for the control plane.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Bands for leaf controllers.
+    pub leaf_bands: ThreeBandConfig,
+    /// Bands for upper controllers.
+    pub upper_bands: ThreeBandConfig,
+    /// Leaf pulling cycle (paper: 3 s).
+    pub leaf_interval: SimDuration,
+    /// Upper pulling cycle (paper: 9 s).
+    pub upper_interval: SimDuration,
+    /// How per-controller cycle phases are assigned within each tier.
+    /// [`PhasePolicy::Lockstep`] (the default) reproduces the legacy
+    /// global-schedule control plane bit-for-bit.
+    pub phase: PhasePolicy,
+    /// Controller↔agent link characteristics.
+    pub rpc: LinkProfile,
+    /// Master switch: with capping disabled Dynamo only monitors —
+    /// the baseline configuration for "what if we had no Dynamo"
+    /// experiments.
+    pub capping_enabled: bool,
+    /// Constant non-server draw charged to every leaf device.
+    pub leaf_overhead: Power,
+    /// Dry-run mode (§VI): leaf controllers compute and log decisions
+    /// but never actuate.
+    pub dry_run: bool,
+    /// Worker threads for leaf control cycles (1 = serial). The paper
+    /// runs ~100 leaf controllers as concurrent threads in one
+    /// consolidated binary (§IV); the parallel path is bit-identical to
+    /// the serial one because every leaf owns a disjoint server span
+    /// and a private RPC RNG stream.
+    pub control_threads: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            leaf_bands: ThreeBandConfig::default(),
+            upper_bands: ThreeBandConfig::default(),
+            leaf_interval: SimDuration::from_secs(3),
+            upper_interval: SimDuration::from_secs(9),
+            phase: PhasePolicy::Lockstep,
+            rpc: LinkProfile::datacenter(),
+            capping_enabled: true,
+            leaf_overhead: Power::ZERO,
+            dry_run: false,
+            control_threads: 1,
+        }
+    }
+}
+
+/// The full Dynamo control plane for one datacenter: a leaf controller
+/// per RPP and an upper controller per SB and MSB, mirroring §IV's
+/// production configuration ("we configure RPPs or PDU Breakers as the
+/// leaf controllers and skip rack-level power monitoring").
+///
+/// Each controller instance owns its own [`CycleSchedule`] on a
+/// cycle-dispatcher event queue, like the independent daemons of the
+/// deployed system; nothing forces cycles to coincide. Under the default
+/// [`PhasePolicy::Lockstep`] every schedule has phase zero, all cycles
+/// of a tier fall due at the same instants, and the output is
+/// bit-identical to the pre-event-driven lockstep control plane.
+pub struct DynamoSystem {
+    config: SystemConfig,
+    leaves: LeafTier,
+    uppers: UpperTier,
+    failover: FailoverState,
+    dispatcher: CycleDispatcher,
+}
+
+impl DynamoSystem {
+    /// Builds the controller hierarchy for `topo`, using `service_of`
+    /// to fetch the controller-facing metadata of each server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no RPP devices.
+    pub fn build(
+        topo: &Topology,
+        service_of: &dyn Fn(u32) -> ServiceClass,
+        config: SystemConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let leaves = LeafTier::build(topo, service_of, &config, rng);
+        let uppers = UpperTier::build(topo, &config, &leaves);
+        // Phase draws happen after the per-leaf network splits, and only
+        // the jittered policy consumes randomness — a lockstep build's
+        // RNG stream is exactly the legacy one.
+        let leaf_cycles: Vec<CycleSchedule> = config
+            .phase
+            .offsets(leaves.len(), "leaf-phase", rng)
+            .into_iter()
+            .map(|o| CycleSchedule::with_phase(config.leaf_interval, o))
+            .collect();
+        let upper_cycles: Vec<CycleSchedule> = config
+            .phase
+            .offsets(uppers.len(), "upper-phase", rng)
+            .into_iter()
+            .map(|o| CycleSchedule::with_phase(config.upper_interval, o))
+            .collect();
+        let failover = FailoverState::new(leaves.len(), uppers.len());
+        let dispatcher = CycleDispatcher::new(leaf_cycles, upper_cycles);
+        DynamoSystem {
+            config,
+            leaves,
+            uppers,
+            failover,
+            dispatcher,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of leaf controllers.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of upper controllers.
+    pub fn upper_count(&self) -> usize {
+        self.uppers.len()
+    }
+
+    /// The leaf controller protecting `device`, if any.
+    pub fn leaf_for(&self, device: DeviceId) -> Option<&dynamo_controller::LeafController> {
+        self.leaves
+            .index_of
+            .get(&device)
+            .map(|&i| &self.leaves.controllers[i])
+    }
+
+    /// The upper controller protecting `device`, if any.
+    pub fn upper_for(&self, device: DeviceId) -> Option<&dynamo_controller::UpperController> {
+        self.uppers
+            .index_of
+            .get(&device)
+            .map(|&i| &self.uppers.controllers[i])
+    }
+
+    /// The last aggregated power the leaf controller for `device`
+    /// computed, if the device has one.
+    pub fn leaf_aggregate(&self, device: DeviceId) -> Option<Power> {
+        self.leaves
+            .index_of
+            .get(&device)
+            .map(|&i| self.leaves.last_aggregate[i])
+    }
+
+    /// All leaf-protected devices, in build order.
+    pub fn leaf_devices(&self) -> &[DeviceId] {
+        &self.leaves.devices
+    }
+
+    /// The cycle phase offset of the leaf controller for `device`, if
+    /// the device has one. Zero under [`PhasePolicy::Lockstep`].
+    pub fn leaf_phase(&self, device: DeviceId) -> Option<SimDuration> {
+        self.leaves
+            .index_of
+            .get(&device)
+            .map(|&i| self.dispatcher.leaf_cycle(i).phase())
+    }
+
+    /// §VI staged rollout: "we use a four-phase staged roll-out for new
+    /// changes to the agent or control logic, so any serious issues will
+    /// be captured in early phases before going wide."
+    ///
+    /// Phase 1 activates capping on ~1% of leaf controllers (at least
+    /// one), phase 2 on 10%, phase 3 on 50%, phase 4 on all; the rest
+    /// run in dry-run mode — deciding and logging without actuating.
+    /// Returns the number of active (non-dry-run) leaf controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `phase` is 1–4.
+    pub fn set_rollout_phase(&mut self, phase: u8) -> usize {
+        assert!(
+            (1..=4).contains(&phase),
+            "rollout phase must be 1-4, got {phase}"
+        );
+        let frac = match phase {
+            1 => 0.01,
+            2 => 0.10,
+            3 => 0.50,
+            _ => 1.0,
+        };
+        let n = self.leaves.len();
+        let active = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        for (i, leaf) in self.leaves.controllers.iter_mut().enumerate() {
+            leaf.set_dry_run(i >= active);
+        }
+        active
+    }
+
+    /// Operator override: pushes (or clears) a contractual limit on the
+    /// leaf controller protecting `device`. This is how production
+    /// end-to-end tests "manually trigger the power capping by lowering
+    /// the capping threshold during the test" (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leaf controller protects `device`.
+    pub fn set_leaf_contract(&mut self, device: DeviceId, limit: Option<Power>) {
+        let &i = self
+            .leaves
+            .index_of
+            .get(&device)
+            .unwrap_or_else(|| panic!("no leaf controller protects {device}"));
+        self.leaves.controllers[i].set_contractual_limit(limit);
+    }
+
+    /// Total failovers so far.
+    pub fn failovers(&self) -> u64 {
+        self.failover.count()
+    }
+
+    /// Simulates a primary controller crash for `device`; the redundant
+    /// backup takes over at that controller's next cycle (§III-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller protects `device`.
+    pub fn fail_primary(&mut self, device: DeviceId) {
+        if let Some(&i) = self.leaves.index_of.get(&device) {
+            self.failover.fail_leaf(i);
+        } else if let Some(&i) = self.uppers.index_of.get(&device) {
+            self.failover.fail_upper(i);
+        } else {
+            panic!("no controller protects {device}");
+        }
+    }
+
+    /// All alerts raised by any controller.
+    pub fn alerts(&self) -> Vec<dynamo_controller::Alert> {
+        let mut out = Vec::new();
+        for c in &self.leaves.controllers {
+            out.extend_from_slice(c.alerts());
+        }
+        for c in &self.uppers.controllers {
+            out.extend_from_slice(c.alerts());
+        }
+        out
+    }
+
+    /// Sets the number of worker threads for leaf control cycles
+    /// (1 = serial; the result is bit-identical at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_control_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.config.control_threads = threads;
+    }
+
+    /// True if this system can run leaf cycles in parallel: every leaf
+    /// owns a contiguous server-id span and the spans tile the fleet.
+    /// Standard topologies always qualify; exotic hand-built ones fall
+    /// back to the serial path.
+    pub fn supports_parallel_leaves(&self) -> bool {
+        self.leaves.spans.is_some()
+    }
+
+    /// Runs any controller cycles due at `now`. Call once per simulation
+    /// tick; each controller tracks its own cycle schedule on the
+    /// dispatcher's event queue, so with a nonzero phase spread
+    /// different leaves fire on different ticks. Leaves due at the same
+    /// instant are batched into one scoped-thread dispatch when the
+    /// parallel path is enabled.
+    pub fn tick(&mut self, now: SimTime, fleet: &mut Fleet) -> Vec<ControllerEvent> {
+        let mut events = Vec::new();
+        self.dispatcher.collect_due(now);
+        if !self.dispatcher.leaf_due().is_empty() {
+            let threads = self
+                .config
+                .control_threads
+                .min(self.dispatcher.leaf_due().len());
+            if threads > 1 && self.config.capping_enabled && self.leaves.spans.is_some() {
+                self.leaves.run_due_parallel(
+                    now,
+                    self.dispatcher.leaf_due(),
+                    threads,
+                    &mut self.failover,
+                    fleet,
+                    &mut events,
+                );
+            } else {
+                self.leaves.run_due_serial(
+                    now,
+                    self.dispatcher.leaf_due(),
+                    self.config.capping_enabled,
+                    &mut self.failover,
+                    fleet,
+                    &mut events,
+                );
+            }
+        }
+        if !self.dispatcher.upper_due().is_empty() && self.config.capping_enabled {
+            self.uppers.run_due(
+                now,
+                self.dispatcher.upper_due(),
+                &mut self.leaves,
+                &mut self.failover,
+                &mut events,
+            );
+        }
+        events
+    }
+}

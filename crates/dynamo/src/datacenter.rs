@@ -4,8 +4,8 @@ use dcsim::{SimDuration, SimTime};
 use powerinfra::{BreakerStatus, DeviceId, Power, Topology};
 use workloads::ServiceKind;
 
+use crate::control_plane::DynamoSystem;
 use crate::fleet::Fleet;
-use crate::system::DynamoSystem;
 use crate::telemetry::{BreakerEvent, Telemetry};
 use crate::validator::BreakerValidator;
 

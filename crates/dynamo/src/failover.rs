@@ -1,0 +1,110 @@
+//! Primary/backup failover bookkeeping (§III-E).
+//!
+//! Production Dynamo runs every controller as a primary/backup pair;
+//! when a primary dies, the backup — which polls the same devices and
+//! keeps its own copy of the decision state — takes over at the next
+//! cycle. The simulator models that as one skipped cycle per induced
+//! failure: [`FailoverState`] holds the pending-failure flag per
+//! controller and the running takeover count.
+
+/// Pending primary failures and the cumulative failover count for both
+/// controller tiers.
+#[derive(Debug)]
+pub(crate) struct FailoverState {
+    leaf_failed: Vec<bool>,
+    upper_failed: Vec<bool>,
+    count: u64,
+}
+
+impl FailoverState {
+    /// No failures pending, zero failovers recorded.
+    pub(crate) fn new(leaf_count: usize, upper_count: usize) -> Self {
+        FailoverState {
+            leaf_failed: vec![false; leaf_count],
+            upper_failed: vec![false; upper_count],
+            count: 0,
+        }
+    }
+
+    /// Marks leaf `i`'s primary as crashed.
+    pub(crate) fn fail_leaf(&mut self, i: usize) {
+        self.leaf_failed[i] = true;
+    }
+
+    /// Marks upper `i`'s primary as crashed.
+    pub(crate) fn fail_upper(&mut self, i: usize) {
+        self.upper_failed[i] = true;
+    }
+
+    /// If leaf `i` has a pending failure, consumes it (the backup takes
+    /// over), records the failover, and returns `true`: the caller
+    /// skips this cycle.
+    pub(crate) fn take_leaf(&mut self, i: usize) -> bool {
+        if self.leaf_failed[i] {
+            self.leaf_failed[i] = false;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Upper-tier counterpart of [`FailoverState::take_leaf`].
+    pub(crate) fn take_upper(&mut self, i: usize) -> bool {
+        if self.upper_failed[i] {
+            self.upper_failed[i] = false;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The leaf pending-failure flags, for the parallel leaf path:
+    /// workers clear their own flags and the merge records the count
+    /// afterwards via [`FailoverState::record`], because workers cannot
+    /// touch the shared counter.
+    pub(crate) fn leaf_flags_mut(&mut self) -> &mut [bool] {
+        &mut self.leaf_failed
+    }
+
+    /// Records `n` failovers observed by the parallel merge.
+    pub(crate) fn record(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Total failovers so far.
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_consumes_the_flag_and_counts_once() {
+        let mut f = FailoverState::new(2, 1);
+        f.fail_leaf(1);
+        assert!(!f.take_leaf(0));
+        assert!(f.take_leaf(1));
+        assert!(!f.take_leaf(1), "flag is consumed by the takeover");
+        f.fail_upper(0);
+        assert!(f.take_upper(0));
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn parallel_merge_records_in_bulk() {
+        let mut f = FailoverState::new(3, 0);
+        f.fail_leaf(0);
+        f.fail_leaf(2);
+        for flag in f.leaf_flags_mut() {
+            *flag = false; // workers consume their own flags
+        }
+        f.record(2);
+        assert_eq!(f.count(), 2);
+        assert!(!f.take_leaf(0) && !f.take_leaf(2));
+    }
+}

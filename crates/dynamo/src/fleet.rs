@@ -290,6 +290,26 @@ impl Fleet {
     }
 }
 
+/// Splits the fleet's agent array into disjoint `&mut` slices, one per
+/// span, for the parallel control plane. Spans must be ascending and
+/// non-overlapping (agents between spans are skipped); each returned
+/// slice starts at its span's `start` server id.
+pub(crate) fn split_agent_spans(
+    mut agents: &mut [Agent],
+    spans: impl Iterator<Item = std::ops::Range<usize>>,
+) -> Vec<&mut [Agent]> {
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    for span in spans {
+        let (_, rest) = agents.split_at_mut(span.start - consumed);
+        let (mine, rest) = rest.split_at_mut(span.end - span.start);
+        out.push(mine);
+        consumed = span.end;
+        agents = rest;
+    }
+    out
+}
+
 /// Advances one server: workload draw, static clamp, physics step.
 fn advance_one(
     agent: &mut Agent,

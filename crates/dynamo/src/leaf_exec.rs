@@ -1,0 +1,393 @@
+//! The leaf controller tier: one [`LeafController`] per RPP, with
+//! serial and scoped-thread parallel execution paths.
+//!
+//! Both paths run only the leaves the [`crate::events::CycleDispatcher`]
+//! marked due this tick. The parallel path mirrors the paper's
+//! consolidated binary running ~100 controller threads (§IV): each
+//! worker owns a private disjoint `&mut [Agent]` slice of the fleet and
+//! every leaf's RPC RNG stream is its own, so each cycle computes
+//! exactly what the serial path would; the post-join merge restores
+//! leaf-index order, making the whole run bit-identical.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use dcsim::{SimRng, SimTime};
+use dynamo_agent::Agent;
+use dynamo_controller::{ControlAction, LeafConfig, LeafController, ServerHandle, ServiceClass};
+use dynrpc::{Network, RpcError};
+use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
+
+use crate::control_plane::SystemConfig;
+use crate::events::{ControllerEvent, ControllerEventKind};
+use crate::failover::FailoverState;
+use crate::fleet::{split_agent_spans, Fleet};
+
+/// The leaf tier as parallel arrays, so cycles can split borrows.
+pub(crate) struct LeafTier {
+    pub(crate) devices: Vec<DeviceId>,
+    pub(crate) controllers: Vec<LeafController>,
+    networks: Vec<Network>,
+    pub(crate) last_aggregate: Vec<Power>,
+    /// Server ids under each leaf, prebuilt at construction so the
+    /// monitoring-only path never rebuilds them per cycle.
+    pub(crate) server_ids: Vec<Vec<u32>>,
+    /// When every leaf owns a contiguous ascending server-id range and
+    /// the ranges tile `0..server_count` in leaf order, the ranges —
+    /// the parallel control plane hands each leaf a private disjoint
+    /// `&mut [Agent]` slice. `None` forces the serial path.
+    pub(crate) spans: Option<Vec<Range<usize>>>,
+    /// Per-leaf event buffers, reused across parallel cycles (cleared,
+    /// capacity kept) and merged in leaf index order after the join.
+    event_bufs: Vec<Vec<ControllerEvent>>,
+    /// Planned-peak quotas from topology metadata, by leaf index.
+    pub(crate) quotas: Vec<Power>,
+    pub(crate) index_of: HashMap<DeviceId, usize>,
+}
+
+/// Everything one parallel worker needs to run one leaf's cycle.
+struct LeafTask<'a> {
+    device: DeviceId,
+    controller: &'a mut LeafController,
+    network: &'a mut Network,
+    aggregate: &'a mut Power,
+    failed: &'a mut bool,
+    buf: &'a mut Vec<ControllerEvent>,
+    agents: &'a mut [Agent],
+    span_start: usize,
+}
+
+impl LeafTier {
+    /// Builds one leaf controller per RPP in `topo`, in device order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no RPP devices.
+    pub(crate) fn build(
+        topo: &Topology,
+        service_of: &dyn Fn(u32) -> ServiceClass,
+        config: &SystemConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let rpps = topo.devices_at(DeviceLevel::Rpp);
+        assert!(!rpps.is_empty(), "topology has no RPPs to protect");
+
+        let mut devices = Vec::new();
+        let mut controllers = Vec::new();
+        let mut networks = Vec::new();
+        let mut index_of = HashMap::new();
+        for rpp in rpps {
+            let dev = topo.device(rpp);
+            let servers: Vec<ServerHandle> = topo
+                .servers_under(rpp)
+                .into_iter()
+                .map(|sid| ServerHandle {
+                    server_id: sid,
+                    service: service_of(sid),
+                })
+                .collect();
+            let leaf_config = LeafConfig {
+                physical_limit: dev.rating,
+                bands: config.leaf_bands,
+                poll_interval: config.leaf_interval,
+                bucket_width: Power::from_watts(20.0),
+                max_failure_frac: 0.20,
+                non_server_overhead: config.leaf_overhead,
+                dry_run: config.dry_run,
+            };
+            index_of.insert(rpp, controllers.len());
+            controllers.push(LeafController::new(dev.name.clone(), leaf_config, servers));
+            networks.push(Network::new(config.rpc, rng.split(&dev.name)));
+            devices.push(rpp);
+        }
+
+        let n = devices.len();
+        let quotas: Vec<Power> = devices.iter().map(|&d| topo.device(d).quota).collect();
+        let server_ids: Vec<Vec<u32>> = controllers
+            .iter()
+            .map(|c| c.servers().iter().map(|h| h.server_id).collect())
+            .collect();
+        let spans = compute_leaf_spans(&server_ids, topo.server_count());
+        LeafTier {
+            devices,
+            controllers,
+            networks,
+            last_aggregate: vec![Power::ZERO; n],
+            server_ids,
+            spans,
+            event_bufs: vec![Vec::new(); n],
+            quotas,
+            index_of,
+        }
+    }
+
+    /// Number of leaf controllers.
+    pub(crate) fn len(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Runs the due leaves in index order on the calling thread. This is
+    /// the allocation-free steady-state path (`control_threads == 1`).
+    pub(crate) fn run_due_serial(
+        &mut self,
+        now: SimTime,
+        due: &[usize],
+        capping_enabled: bool,
+        failover: &mut FailoverState,
+        fleet: &mut Fleet,
+        events: &mut Vec<ControllerEvent>,
+    ) {
+        for &i in due {
+            if failover.take_leaf(i) {
+                // Backup takes over: one cycle of downtime, then the
+                // redundant instance (sharing the same decision state
+                // via its own polling) continues.
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.devices[i],
+                    controller: self.controllers[i].name_shared(),
+                    kind: ControllerEventKind::Failover,
+                });
+                continue;
+            }
+            if !capping_enabled {
+                // Monitoring-only baseline: track the true aggregate so
+                // upper tiers and telemetry still see power.
+                self.last_aggregate[i] = fleet.power_sum(&self.server_ids[i]);
+                continue;
+            }
+            run_one_leaf_cycle(
+                now,
+                self.devices[i],
+                &mut self.controllers[i],
+                &mut self.networks[i],
+                fleet.agents_mut(),
+                0,
+                &mut self.last_aggregate[i],
+                events,
+            );
+        }
+    }
+
+    /// Runs the due leaves on `threads` scoped worker threads. Each
+    /// worker owns a contiguous chunk of the due set and, through the
+    /// precomputed spans, private disjoint `&mut [Agent]` slices.
+    /// Workers buffer events per leaf; the merge after the join restores
+    /// serial (leaf index) order, so the result is bit-identical to
+    /// [`LeafTier::run_due_serial`].
+    pub(crate) fn run_due_parallel(
+        &mut self,
+        now: SimTime,
+        due: &[usize],
+        threads: usize,
+        failover: &mut FailoverState,
+        fleet: &mut Fleet,
+        events: &mut Vec<ControllerEvent>,
+    ) {
+        let spans = self
+            .spans
+            .as_deref()
+            .expect("parallel path requires leaf spans");
+        {
+            let devices = &self.devices;
+            let controllers = carve(&mut self.controllers, due);
+            let networks = carve(&mut self.networks, due);
+            let aggregates = carve(&mut self.last_aggregate, due);
+            let failed = carve(failover.leaf_flags_mut(), due);
+            let bufs = carve(&mut self.event_bufs, due);
+            let agent_slices =
+                split_agent_spans(fleet.agents_mut(), due.iter().map(|&i| spans[i].clone()));
+
+            let mut tasks: Vec<LeafTask> = Vec::with_capacity(due.len());
+            for ((((((&i, controller), network), aggregate), failed), buf), agents) in due
+                .iter()
+                .zip(controllers)
+                .zip(networks)
+                .zip(aggregates)
+                .zip(failed)
+                .zip(bufs)
+                .zip(agent_slices)
+            {
+                tasks.push(LeafTask {
+                    device: devices[i],
+                    controller,
+                    network,
+                    aggregate,
+                    failed,
+                    buf,
+                    agents,
+                    span_start: spans[i].start,
+                });
+            }
+
+            let per_chunk = tasks.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for chunk in tasks.chunks_mut(per_chunk) {
+                    scope.spawn(move || {
+                        for task in chunk {
+                            task.buf.clear();
+                            if *task.failed {
+                                *task.failed = false;
+                                task.buf.push(ControllerEvent {
+                                    at: now,
+                                    device: task.device,
+                                    controller: task.controller.name_shared(),
+                                    kind: ControllerEventKind::Failover,
+                                });
+                                continue;
+                            }
+                            run_one_leaf_cycle(
+                                now,
+                                task.device,
+                                task.controller,
+                                task.network,
+                                task.agents,
+                                task.span_start,
+                                task.aggregate,
+                                task.buf,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+
+        // Deterministic merge: leaf index order, exactly as the serial
+        // loop would have emitted. Failovers are counted here because
+        // workers cannot touch the shared counter.
+        let mut failovers = 0;
+        for &i in due {
+            for event in self.event_bufs[i].drain(..) {
+                if matches!(event.kind, ControllerEventKind::Failover) {
+                    failovers += 1;
+                }
+                events.push(event);
+            }
+        }
+        failover.record(failovers);
+    }
+}
+
+/// Picks the elements of `slice` at the ascending indices `idxs` as
+/// simultaneous `&mut` borrows, via progressive `split_at_mut`.
+fn carve<'a, T>(mut slice: &'a mut [T], idxs: &[usize]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(idxs.len());
+    let mut consumed = 0;
+    for &i in idxs {
+        let (_, rest) = slice.split_at_mut(i - consumed);
+        let (item, rest) = rest.split_first_mut().expect("index out of range");
+        out.push(item);
+        consumed = i + 1;
+        slice = rest;
+    }
+    out
+}
+
+/// One leaf controller cycle against its private agent span.
+///
+/// `agents` is the slice of agents this leaf may touch and `span_start`
+/// the server id of `agents[0]` — the serial path passes the whole
+/// fleet with `span_start == 0`, the parallel path a disjoint per-leaf
+/// slice. Shared by both so they cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn run_one_leaf_cycle(
+    now: SimTime,
+    device: DeviceId,
+    controller: &mut LeafController,
+    network: &mut Network,
+    agents: &mut [Agent],
+    span_start: usize,
+    last_aggregate: &mut Power,
+    events: &mut Vec<ControllerEvent>,
+) {
+    let outcome = controller.cycle(now, |sid, req| {
+        let agent = &mut agents[sid as usize - span_start];
+        if !agent.is_running() {
+            return Err(RpcError::AgentDown);
+        }
+        network.call(agent, req)
+    });
+    if let Some(total) = outcome.aggregated {
+        *last_aggregate = total;
+    }
+    let kind = match &outcome.action {
+        ControlAction::Capped {
+            total_cut,
+            commands,
+        } => Some(ControllerEventKind::LeafCapped {
+            total_cut: *total_cut,
+            servers: commands.len(),
+        }),
+        ControlAction::Uncapped => Some(ControllerEventKind::LeafUncapped),
+        ControlAction::Invalid => Some(ControllerEventKind::LeafInvalid {
+            failures: outcome.pull_failures,
+        }),
+        ControlAction::Hold => None,
+    };
+    if let Some(kind) = kind {
+        events.push(ControllerEvent {
+            at: now,
+            device,
+            controller: controller.name_shared(),
+            kind,
+        });
+    }
+}
+
+/// Computes per-leaf agent spans for the parallel control plane.
+///
+/// Returns `Some` only when every leaf's server ids form a contiguous
+/// ascending run and the runs tile `0..server_count` in leaf order —
+/// the precondition for handing each leaf a disjoint `&mut [Agent]`
+/// slice via `split_at_mut`. Grid topologies built by
+/// [`powerinfra::TopologyBuilder`] always satisfy this.
+fn compute_leaf_spans(
+    leaf_server_ids: &[Vec<u32>],
+    server_count: usize,
+) -> Option<Vec<Range<usize>>> {
+    let mut spans = Vec::with_capacity(leaf_server_ids.len());
+    let mut next = 0usize;
+    for ids in leaf_server_ids {
+        let first = *ids.first()? as usize;
+        if first != next {
+            return None;
+        }
+        for (k, &sid) in ids.iter().enumerate() {
+            if sid as usize != first + k {
+                return None;
+            }
+        }
+        next = first + ids.len();
+        spans.push(first..next);
+    }
+    (next == server_count).then_some(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_yields_disjoint_mut_refs_at_the_requested_indices() {
+        let mut data = [10, 20, 30, 40, 50];
+        let picked = carve(&mut data, &[1, 2, 4]);
+        assert_eq!(picked.iter().map(|r| **r).collect::<Vec<_>>(), [20, 30, 50]);
+        for r in picked {
+            *r += 1;
+        }
+        assert_eq!(data, [10, 21, 31, 40, 51]);
+    }
+
+    #[test]
+    fn spans_require_contiguous_tiling() {
+        // Contiguous tiling: spans exist.
+        let ok = vec![vec![0, 1, 2], vec![3, 4], vec![5]];
+        assert_eq!(compute_leaf_spans(&ok, 6), Some(vec![0..3, 3..5, 5..6]));
+        // A gap, an overlap, or a short tiling all disable the path.
+        let gap = vec![vec![0, 1], vec![3, 4]];
+        assert_eq!(compute_leaf_spans(&gap, 5), None);
+        let non_contig = vec![vec![0, 2], vec![1, 3]];
+        assert_eq!(compute_leaf_spans(&non_contig, 4), None);
+        assert_eq!(compute_leaf_spans(&ok, 7), None);
+    }
+}

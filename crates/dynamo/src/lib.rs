@@ -40,18 +40,23 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod control_plane;
 mod datacenter;
+mod events;
+mod failover;
 mod fleet;
+mod leaf_exec;
 mod report;
-mod system;
 mod telemetry;
+mod upper_exec;
 mod validator;
 
 pub use builder::{DatacenterBuilder, ServicePlan};
+pub use control_plane::{DynamoSystem, SystemConfig};
 pub use datacenter::Datacenter;
+pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
 pub use fleet::{Fleet, FleetStats};
 pub use report::{LevelSummary, RunReport};
-pub use system::{ControllerEvent, ControllerEventKind, DynamoSystem, SystemConfig};
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use validator::{BreakerValidator, ValidationAlert};
 

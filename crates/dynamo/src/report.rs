@@ -7,7 +7,7 @@
 use powerinfra::DeviceLevel;
 
 use crate::datacenter::Datacenter;
-use crate::system::ControllerEventKind;
+use crate::events::ControllerEventKind;
 
 /// Aggregated statistics for one hierarchy level.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -7,7 +7,7 @@ use dcsim::{PeriodicSchedule, SimDuration, SimTime};
 use powerinfra::{BreakerStatus, DeviceId, DeviceLevel, Power};
 use powerstats::Trace;
 
-use crate::system::ControllerEvent;
+use crate::events::ControllerEvent;
 
 /// What the telemetry recorder samples.
 #[derive(Debug, Clone)]
@@ -102,8 +102,29 @@ impl Telemetry {
         self.schedule.fire(now);
     }
 
-    /// Appends controller events.
-    pub fn record_controller_events(&mut self, events: Vec<ControllerEvent>) {
+    /// Appends controller events, keeping the store sorted by
+    /// `(at, device)`.
+    ///
+    /// The parallel leaf path merges per-leaf buffers in leaf-index
+    /// order and the event-driven dispatcher can interleave tiers, so a
+    /// batch arrives grouped by controller, not by key; sorting here
+    /// gives consumers one canonical order regardless of thread count
+    /// or phase policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch contains an event older than the newest event
+    /// already stored — ticks must deliver batches in time order.
+    pub fn record_controller_events(&mut self, mut events: Vec<ControllerEvent>) {
+        events.sort_by_key(|e| (e.at, e.device));
+        if let (Some(first), Some(last)) = (events.first(), self.controller_events.last()) {
+            assert!(
+                first.at >= last.at,
+                "controller event batch at {:?} arrived after events at {:?}",
+                first.at,
+                last.at
+            );
+        }
         self.controller_events.extend(events);
     }
 
@@ -150,7 +171,7 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::ControllerEventKind;
+    use crate::events::ControllerEventKind;
 
     fn dev(topo: &powerinfra::Topology) -> DeviceId {
         topo.devices_at(DeviceLevel::Rpp)[0]
@@ -226,5 +247,55 @@ mod tests {
             kind: ControllerEventKind::LeafUncapped,
         }]);
         assert_eq!(t.controller_events().len(), 1);
+    }
+
+    fn event(at: SimTime, device: DeviceId) -> ControllerEvent {
+        ControllerEvent {
+            at,
+            device,
+            controller: "c".into(),
+            kind: ControllerEventKind::LeafUncapped,
+        }
+    }
+
+    #[test]
+    fn controller_events_stay_sorted_by_time_then_device() {
+        let topo = powerinfra::TopologyBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(2)
+            .racks_per_rpp(1)
+            .servers_per_rack(2)
+            .build();
+        let rpps = topo.devices_at(DeviceLevel::Rpp);
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        // A parallel-path batch arrives in leaf-index order with mixed
+        // devices; a staggered-phase batch can even mix timestamps.
+        t.record_controller_events(vec![
+            event(SimTime::from_secs(3), rpps[1]),
+            event(SimTime::from_secs(3), rpps[0]),
+        ]);
+        t.record_controller_events(vec![
+            event(SimTime::from_secs(6), rpps[0]),
+            event(SimTime::from_secs(4), rpps[1]),
+        ]);
+        let keys: Vec<(SimTime, DeviceId)> = t
+            .controller_events()
+            .iter()
+            .map(|e| (e.at, e.device))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "store must be monotone in (at, device)");
+        assert_eq!(keys[0].1, rpps[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived after events")]
+    fn out_of_order_batches_are_rejected() {
+        let topo = topo();
+        let d = dev(&topo);
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.record_controller_events(vec![event(SimTime::from_secs(9), d)]);
+        t.record_controller_events(vec![event(SimTime::from_secs(3), d)]);
     }
 }

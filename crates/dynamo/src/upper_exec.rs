@@ -1,0 +1,187 @@
+//! The upper controller tier: one [`UpperController`] per SB and MSB,
+//! evaluated children-before-parents so parents see fresh child totals.
+
+use std::collections::HashMap;
+
+use dcsim::SimTime;
+use dynamo_controller::{ChildDirective, ChildReport, UpperConfig, UpperController};
+use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
+
+use crate::control_plane::SystemConfig;
+use crate::events::{ControllerEvent, ControllerEventKind};
+use crate::failover::FailoverState;
+use crate::leaf_exec::LeafTier;
+
+/// Which tier an upper controller's child belongs to.
+#[derive(Debug, Clone, Copy)]
+enum ChildRef {
+    Leaf(usize),
+    Upper(usize),
+}
+
+/// The upper tier as parallel arrays, ordered SBs first then MSBs
+/// (children before parents).
+pub(crate) struct UpperTier {
+    pub(crate) devices: Vec<DeviceId>,
+    pub(crate) controllers: Vec<UpperController>,
+    children: Vec<Vec<ChildRef>>,
+    last_total: Vec<Power>,
+    /// Planned-peak quotas from topology metadata, by upper index.
+    quotas: Vec<Power>,
+    pub(crate) index_of: HashMap<DeviceId, usize>,
+    /// Child-report scratch reused across cycles.
+    report_scratch: Vec<ChildReport>,
+}
+
+impl UpperTier {
+    /// Builds SB uppers over leaf children, then MSB uppers over SB
+    /// uppers, using `leaves` to resolve leaf children by device id.
+    pub(crate) fn build(topo: &Topology, config: &SystemConfig, leaves: &LeafTier) -> Self {
+        let mut devices = Vec::new();
+        let mut controllers = Vec::new();
+        let mut children: Vec<Vec<ChildRef>> = Vec::new();
+        let mut index_of = HashMap::new();
+        for sb in topo.devices_at(DeviceLevel::Sb) {
+            let dev = topo.device(sb);
+            let kids: Vec<ChildRef> = dev
+                .children
+                .iter()
+                .map(|c| ChildRef::Leaf(leaves.index_of[c]))
+                .collect();
+            if kids.is_empty() {
+                continue;
+            }
+            index_of.insert(sb, controllers.len());
+            controllers.push(UpperController::new(
+                dev.name.clone(),
+                upper_config(config, dev.rating),
+                kids.len(),
+            ));
+            children.push(kids);
+            devices.push(sb);
+        }
+        for msb in topo.devices_at(DeviceLevel::Msb) {
+            let dev = topo.device(msb);
+            let kids: Vec<ChildRef> = dev
+                .children
+                .iter()
+                .filter_map(|c| index_of.get(c).map(|&i| ChildRef::Upper(i)))
+                .collect();
+            if kids.is_empty() {
+                continue;
+            }
+            index_of.insert(msb, controllers.len());
+            controllers.push(UpperController::new(
+                dev.name.clone(),
+                upper_config(config, dev.rating),
+                kids.len(),
+            ));
+            children.push(kids);
+            devices.push(msb);
+        }
+
+        let n = devices.len();
+        let quotas: Vec<Power> = devices.iter().map(|&d| topo.device(d).quota).collect();
+        UpperTier {
+            devices,
+            controllers,
+            children,
+            last_total: vec![Power::ZERO; n],
+            quotas,
+            index_of,
+            report_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of upper controllers.
+    pub(crate) fn len(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Runs the due uppers in index order. The due list is ascending and
+    /// SBs were pushed before MSBs, so children run before parents and
+    /// parents see fresh child totals.
+    pub(crate) fn run_due(
+        &mut self,
+        now: SimTime,
+        due: &[usize],
+        leaves: &mut LeafTier,
+        failover: &mut FailoverState,
+        events: &mut Vec<ControllerEvent>,
+    ) {
+        for &i in due {
+            if failover.take_upper(i) {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.devices[i],
+                    controller: self.controllers[i].name_shared(),
+                    kind: ControllerEventKind::Failover,
+                });
+                continue;
+            }
+            self.report_scratch.clear();
+            for &child in &self.children[i] {
+                self.report_scratch.push(match child {
+                    ChildRef::Leaf(j) => ChildReport {
+                        power: leaves.last_aggregate[j],
+                        quota: leaves.quotas[j],
+                        physical_limit: leaves.controllers[j].config().physical_limit,
+                    },
+                    ChildRef::Upper(j) => ChildReport {
+                        power: self.last_total[j],
+                        quota: self.quotas[j],
+                        physical_limit: self.controllers[j].config().physical_limit,
+                    },
+                });
+            }
+            let outcome = self.controllers[i].cycle(now, &self.report_scratch);
+            self.last_total[i] = outcome.total;
+
+            // Apply directives to children (contract propagation).
+            // Indexed access instead of iterating `children[i]` keeps
+            // the child list borrow disjoint from the controller
+            // mutations below — no per-cycle clone of the child list.
+            let mut contracts = 0;
+            for (k, &directive) in outcome.directives.iter().enumerate() {
+                let limit = match directive {
+                    ChildDirective::SetContract(l) => {
+                        contracts += 1;
+                        Some(l)
+                    }
+                    ChildDirective::ClearContract => None,
+                    ChildDirective::Unchanged => continue,
+                };
+                match self.children[i][k] {
+                    ChildRef::Leaf(j) => leaves.controllers[j].set_contractual_limit(limit),
+                    ChildRef::Upper(j) => self.controllers[j].set_contractual_limit(limit),
+                }
+            }
+            if outcome.capped {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.devices[i],
+                    controller: self.controllers[i].name_shared(),
+                    kind: ControllerEventKind::UpperCapped { contracts },
+                });
+            } else if outcome.uncapped {
+                events.push(ControllerEvent {
+                    at: now,
+                    device: self.devices[i],
+                    controller: self.controllers[i].name_shared(),
+                    kind: ControllerEventKind::UpperUncapped,
+                });
+            }
+        }
+    }
+}
+
+/// The shared upper-controller configuration for a device rating.
+fn upper_config(config: &SystemConfig, rating: Power) -> UpperConfig {
+    UpperConfig {
+        physical_limit: rating,
+        bands: config.upper_bands,
+        poll_interval: config.upper_interval,
+        bucket_width: rating * 0.01,
+        policy: dynamo_controller::CoordinationPolicy::PunishOffenderFirst,
+    }
+}

@@ -12,7 +12,7 @@
 //! alert when the two disagree persistently (broken sensors, stale
 //! metadata, mis-wired rows).
 
-use dcsim::{PeriodicSchedule, SimDuration, SimRng, SimTime};
+use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
 use powerinfra::{DeviceId, Power};
 
 /// Per-device validation state.
@@ -56,7 +56,7 @@ pub struct BreakerValidator {
     meter_noise: f64,
     states: Vec<Option<DeviceState>>,
     alerts: Vec<ValidationAlert>,
-    schedule: PeriodicSchedule,
+    schedule: CycleSchedule,
     rng: SimRng,
 }
 
@@ -72,7 +72,7 @@ impl BreakerValidator {
             meter_noise: 0.005,
             states: vec![None; device_count],
             alerts: Vec::new(),
-            schedule: PeriodicSchedule::new(interval),
+            schedule: CycleSchedule::new(interval),
             rng,
         }
     }

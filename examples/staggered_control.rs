@@ -1,0 +1,78 @@
+//! Staggered controller phases: the event-driven control plane running
+//! leaf cycles spread across the 3 s interval instead of in lockstep —
+//! the shape of the deployed system, where nothing synchronizes the
+//! ~100 independent controller daemons of a datacenter (§IV).
+//!
+//! Compares a lockstep run against an even-spread and a jittered run of
+//! the same oversubscribed row, showing the per-leaf phase offsets and
+//! that the control outcome (breaker safety) is unchanged — only the
+//! timing of the control actions moves.
+//!
+//! ```text
+//! cargo run --release --example staggered_control
+//! ```
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{Datacenter, DatacenterBuilder, RunReport};
+use dynamo_repro::powerinfra::Power;
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn builder() -> DatacenterBuilder {
+    // An oversubscribed web row: the RPP rating forces real capping.
+    DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(4)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .rpp_rating(Power::from_kilowatts(7.6))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.5))
+        .seed(2026)
+}
+
+fn run(label: &str, mut dc: Datacenter) -> RunReport {
+    let leaves: Vec<_> = dc.system().leaf_devices().to_vec();
+    let phases: Vec<String> = leaves
+        .iter()
+        .map(|&d| {
+            let p = dc.system().leaf_phase(d).expect("leaf device");
+            format!("{:.2}s", p.as_secs_f64())
+        })
+        .collect();
+    println!("{label:<12} leaf phases: [{}]", phases.join(", "));
+
+    dc.run_for(SimDuration::from_mins(5));
+    let report = RunReport::from_datacenter(&dc);
+    println!(
+        "{:<12} cap events {:>4}  uncap events {:>4}  breaker trips {}  healthy {}",
+        "",
+        report.leaf_cap_events,
+        report.leaf_uncap_events,
+        report.breaker_trips,
+        report.is_healthy()
+    );
+    report
+}
+
+fn main() {
+    println!("one oversubscribed row, three phase policies, 5 simulated minutes\n");
+
+    let lockstep = run("lockstep", builder().build());
+    let spread = run(
+        "even-spread",
+        builder().phase_spread(SimDuration::from_secs(3)).build(),
+    );
+    let jittered = run(
+        "jittered",
+        builder().phase_jitter(SimDuration::from_secs(3)).build(),
+    );
+
+    println!();
+    assert!(
+        lockstep.breaker_trips == 0 && spread.breaker_trips == 0 && jittered.breaker_trips == 0
+    );
+    println!(
+        "all three policies hold the breaker; staggering moves when \
+         cycles fire, not what they decide"
+    );
+}

@@ -1,0 +1,96 @@
+//! Failover parity: with a failed primary, the serial and parallel leaf
+//! paths must emit identical `Failover` events and skip the victim's
+//! cycle identically at every thread count (§III-E).
+
+use dcsim::SimTime;
+use dynamo_repro::dynamo::{ControllerEvent, ControllerEventKind, Datacenter, DatacenterBuilder};
+use dynamo_repro::powerinfra::Power;
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn build(threads: usize) -> Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(1)
+        .servers_per_rack(8)
+        .rpp_rating(Power::from_kilowatts(3.7))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.3))
+        .worker_threads(threads)
+        .seed(23)
+        .build()
+}
+
+struct Observed {
+    failover_events: Vec<ControllerEvent>,
+    total_failovers: u64,
+    cycles_per_leaf: Vec<u64>,
+}
+
+/// Fails two leaf primaries and one upper primary mid-run, on cycle
+/// boundaries and off them.
+fn run(threads: usize) -> Observed {
+    let mut dc = build(threads);
+    let leaves: Vec<_> = dc.system().leaf_devices().to_vec();
+    let sb = dc
+        .topology()
+        .devices_at(dynamo_repro::powerinfra::DeviceLevel::Sb)[0];
+
+    dc.run_until(SimTime::from_secs(10));
+    dc.system_mut().fail_primary(leaves[0]);
+    dc.system_mut().fail_primary(leaves[3]);
+    dc.run_until(SimTime::from_secs(20));
+    dc.system_mut().fail_primary(sb);
+    dc.system_mut().fail_primary(leaves[1]);
+    dc.run_until(SimTime::from_secs(40));
+
+    Observed {
+        failover_events: dc
+            .telemetry()
+            .controller_events()
+            .iter()
+            .filter(|e| matches!(e.kind, ControllerEventKind::Failover))
+            .cloned()
+            .collect(),
+        total_failovers: dc.system().failovers(),
+        cycles_per_leaf: leaves
+            .iter()
+            .map(|&d| dc.system().leaf_for(d).unwrap().cycles())
+            .collect(),
+    }
+}
+
+#[test]
+fn failover_events_and_skipped_cycles_match_at_every_thread_count() {
+    let serial = run(1);
+    assert_eq!(serial.total_failovers, 4, "all four injections must land");
+    assert_eq!(serial.failover_events.len(), 4);
+
+    // The victims each lose exactly the one cycle the backup needed to
+    // take over; untouched leaves keep the full cadence.
+    let max_cycles = *serial.cycles_per_leaf.iter().max().unwrap();
+    assert_eq!(serial.cycles_per_leaf[2], max_cycles);
+    for victim in [0usize, 1, 3] {
+        assert_eq!(
+            serial.cycles_per_leaf[victim],
+            max_cycles - 1,
+            "victim {victim} should skip exactly one cycle"
+        );
+    }
+
+    for threads in [2usize, 4, 8, 64] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.failover_events, parallel.failover_events,
+            "failover events diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.total_failovers, parallel.total_failovers,
+            "failover count diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.cycles_per_leaf, parallel.cycles_per_leaf,
+            "skipped cycles diverged at {threads} threads"
+        );
+    }
+}
