@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dcsim::{SimDuration, SimTime};
-use dynamo::{Datacenter, DatacenterBuilder};
+use dynamo::{Datacenter, DatacenterBuilder, ObsConfig};
 use dynamo_controller::{
     distribute_power_cut, three_band_decision, ChildReport, LeafConfig, LeafController,
     ServerHandle, ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
@@ -155,6 +155,58 @@ fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
     ticks as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Observability overhead: instrumented vs. baseline ticks/sec.
+struct ObsOverhead {
+    baseline: f64,
+    instrumented: f64,
+    /// Regression as a fraction of baseline (positive = slower with
+    /// observability on). Budget: ≤ 3%.
+    delta: f64,
+}
+
+/// Measures the tick-rate cost of live `dynobs` recording on a
+/// mid-size fleet (16 RPPs, 2560 servers, serial lockstep — the
+/// configuration where per-cycle recording is the largest share of
+/// tick time). Rounds interleave the two sides and each side keeps its
+/// best window, so scheduler noise — which only ever slows a window
+/// down — cannot bias the comparison.
+fn bench_observability_overhead() -> ObsOverhead {
+    let build = |obs: bool| {
+        let mut builder = DatacenterBuilder::new()
+            .sbs_per_msb(4)
+            .rpps_per_sb(4)
+            .racks_per_rpp(4)
+            .servers_per_rack(40)
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.2))
+            .seed(42)
+            .worker_threads(1);
+        if obs {
+            builder = builder.observability(ObsConfig::on());
+        }
+        builder.build()
+    };
+    let mut baseline = 0.0f64;
+    let mut instrumented = 0.0f64;
+    for _ in 0..5 {
+        baseline = baseline.max(measure_ticks_per_sec(&mut build(false)));
+        instrumented = instrumented.max(measure_ticks_per_sec(&mut build(true)));
+    }
+    let delta = (baseline - instrumented) / baseline;
+    println!("\nobservability overhead (16 RPPs, 2560 servers, serial lockstep):");
+    println!("  baseline     {baseline:>10.0} ticks/s");
+    println!("  instrumented {instrumented:>10.0} ticks/s");
+    println!("  delta        {:>9.2}% (budget ≤ 3%)", delta * 100.0);
+    if delta > 0.03 {
+        eprintln!("  WARNING: observability overhead exceeds the 3% budget");
+    }
+    ObsOverhead {
+        baseline,
+        instrumented,
+        delta,
+    }
+}
+
 /// Ticks/sec of the full simulation loop (physics + leaf control
 /// cycles) over RPP count × worker threads × phase policy (lockstep
 /// vs. cycles staggered across one leaf interval), recorded as JSON.
@@ -166,7 +218,7 @@ fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
 /// spawn/join rounds (~17 µs per thread here), so on a single-core
 /// host the 8-thread column measures pure overhead. The JSON records
 /// the host parallelism so the speedup is interpretable.
-fn bench_control_plane_matrix() {
+fn bench_control_plane_matrix(obs: &ObsOverhead) {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -233,7 +285,13 @@ fn bench_control_plane_matrix() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3}\n}}\n"
+        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"observability_overhead\": {{\"baseline_ticks_per_sec\": {:.1}, \"instrumented_ticks_per_sec\": {:.1}, \"delta_pct\": {:.2}, \"budget_pct\": 3.0}}\n}}\n",
+        obs.baseline,
+        obs.instrumented,
+        obs.delta * 100.0
     ));
     let path = bench::workspace_path("BENCH_controlplane.json");
     match std::fs::write(&path, json) {
@@ -247,5 +305,6 @@ fn main() {
     bench_distribution();
     bench_leaf_cycle();
     bench_upper_cycle();
-    bench_control_plane_matrix();
+    let obs = bench_observability_overhead();
+    bench_control_plane_matrix(&obs);
 }

@@ -38,6 +38,24 @@ impl CutAssignment {
     }
 }
 
+/// How a power-cut distribution unfolded — which knobs the bucket walk
+/// actually had to turn. Zero-cost to produce (a handful of integer
+/// bumps alongside work the distributor does anyway) and cheap to feed
+/// into the observability registry.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DistributionStats {
+    /// Priority groups that had members cut (rule 1 escalations).
+    pub groups_touched: u32,
+    /// Power buckets included across all groups before the cut fit
+    /// (rule 2 expansions); 1 means the top bucket absorbed it.
+    pub buckets_expanded: u32,
+    /// Servers that received a cut assignment.
+    pub victims: u32,
+    /// Watts that could not be absorbed because every SLA floor was
+    /// reached (mirrors the leftover return value).
+    pub leftover_watts: f64,
+}
+
 /// Distributes `total_cut` across `servers` with measured `powers`,
 /// returning the per-server assignments and the amount that could *not*
 /// be absorbed because every SLA floor was reached (zero in healthy
@@ -77,6 +95,23 @@ pub fn distribute_power_cut(
     total_cut: Power,
     bucket_width: Power,
 ) -> (Vec<CutAssignment>, Power) {
+    let (assignments, leftover, _) =
+        distribute_power_cut_with_stats(servers, powers, total_cut, bucket_width);
+    (assignments, leftover)
+}
+
+/// Like [`distribute_power_cut`], additionally reporting
+/// [`DistributionStats`] describing how the distribution unfolded.
+///
+/// # Panics
+///
+/// Same conditions as [`distribute_power_cut`].
+pub fn distribute_power_cut_with_stats(
+    servers: &[ServerHandle],
+    powers: &[Power],
+    total_cut: Power,
+    bucket_width: Power,
+) -> (Vec<CutAssignment>, Power, DistributionStats) {
     assert_eq!(
         servers.len(),
         powers.len(),
@@ -91,7 +126,11 @@ pub fn distribute_power_cut(
         "invalid total cut {total_cut:?}"
     );
     if total_cut == Power::ZERO || servers.is_empty() {
-        return (Vec::new(), total_cut);
+        let stats = DistributionStats {
+            leftover_watts: total_cut.as_watts(),
+            ..DistributionStats::default()
+        };
+        return (Vec::new(), total_cut, stats);
     }
 
     // Priority groups, lowest first.
@@ -101,6 +140,7 @@ pub fn distribute_power_cut(
 
     let mut assignments: Vec<CutAssignment> = Vec::new();
     let mut remaining = total_cut;
+    let mut stats = DistributionStats::default();
 
     for prio in priorities {
         if remaining.as_watts() <= f64::EPSILON {
@@ -119,28 +159,37 @@ pub fn distribute_power_cut(
                 )
             })
             .collect();
-        let absorbed = cut_within_group(&members, remaining, bucket_width, &mut |idx, cut| {
-            let cap = (powers[idx] - cut).max(servers[idx].service.sla_min_cap);
-            assignments.push(CutAssignment {
-                server_id: servers[idx].server_id,
-                cut,
-                cap,
+        let victims_before = assignments.len();
+        let (absorbed, buckets) =
+            cut_within_group(&members, remaining, bucket_width, &mut |idx, cut| {
+                let cap = (powers[idx] - cut).max(servers[idx].service.sla_min_cap);
+                assignments.push(CutAssignment {
+                    server_id: servers[idx].server_id,
+                    cut,
+                    cap,
+                });
             });
-        });
+        if assignments.len() > victims_before {
+            stats.groups_touched += 1;
+        }
+        stats.buckets_expanded += buckets;
         remaining = remaining.saturating_sub(absorbed);
     }
 
-    (assignments, remaining)
+    stats.victims = assignments.len() as u32;
+    stats.leftover_watts = remaining.as_watts();
+    (assignments, remaining, stats)
 }
 
 /// High-bucket-first within one priority group. Returns the power
-/// actually absorbed and reports per-server cuts through `assign`.
+/// actually absorbed plus the number of buckets that had to be included
+/// before the cut fit, and reports per-server cuts through `assign`.
 fn cut_within_group(
     members: &[(usize, Power, Power)],
     needed: Power,
     bucket_width: Power,
     assign: &mut dyn FnMut(usize, Power),
-) -> Power {
+) -> (Power, u32) {
     // Bucket index by current power; iterate buckets from the top.
     let bucket_of = |p: Power| (p.as_watts() / bucket_width.as_watts()).floor() as i64;
     let mut buckets: Vec<i64> = members.iter().map(|&(_, p, _)| bucket_of(p)).collect();
@@ -150,7 +199,9 @@ fn cut_within_group(
 
     let mut included: Vec<(usize, Power)> = Vec::new(); // (index, headroom)
     let mut capacity = Power::ZERO;
+    let mut expanded = 0u32;
     for b in buckets {
+        expanded += 1;
         for &(idx, p, headroom) in members {
             if bucket_of(p) == b && headroom.as_watts() > 0.0 {
                 included.push((idx, headroom));
@@ -159,14 +210,14 @@ fn cut_within_group(
         }
         if capacity >= needed {
             water_fill(&included, needed, assign);
-            return needed;
+            return (needed, expanded);
         }
     }
     // Whole group to its floors; the caller escalates the remainder.
     for &(idx, headroom) in &included {
         assign(idx, headroom);
     }
-    capacity
+    (capacity, expanded)
 }
 
 /// Even cut with per-server bounds: finds `x` with
@@ -395,6 +446,56 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_bucket_panics() {
         distribute_power_cut(&[], &[], watts(1.0), Power::ZERO);
+    }
+
+    #[test]
+    fn stats_describe_the_walk() {
+        // One group, cut fits in the top bucket → 1 group, 1 bucket.
+        let servers: Vec<ServerHandle> = (0..4).map(|i| handle(i, "web", 1, 100.0)).collect();
+        let powers = vec![watts(295.0), watts(290.0), watts(220.0), watts(215.0)];
+        let (cuts, left, stats) =
+            distribute_power_cut_with_stats(&servers, &powers, watts(30.0), BUCKET);
+        assert_eq!(left, Power::ZERO);
+        assert_eq!(stats.groups_touched, 1);
+        assert_eq!(stats.buckets_expanded, 1);
+        assert_eq!(stats.victims, cuts.len() as u32);
+        assert_eq!(stats.leftover_watts, 0.0);
+
+        // Escalates to a second priority group.
+        let servers = vec![handle(0, "hadoop", 0, 140.0), handle(1, "web", 1, 210.0)];
+        let powers = vec![watts(200.0), watts(300.0)];
+        let (_, _, stats) =
+            distribute_power_cut_with_stats(&servers, &powers, watts(100.0), BUCKET);
+        assert_eq!(stats.groups_touched, 2);
+        assert_eq!(stats.victims, 2);
+
+        // Unabsorbable remainder surfaces in leftover_watts.
+        let servers = vec![handle(0, "web", 1, 210.0)];
+        let powers = vec![watts(300.0)];
+        let (_, left, stats) =
+            distribute_power_cut_with_stats(&servers, &powers, watts(200.0), BUCKET);
+        assert_eq!(stats.leftover_watts, left.as_watts());
+        assert!(stats.leftover_watts > 0.0);
+    }
+
+    #[test]
+    fn stats_variant_matches_plain_variant() {
+        let servers: Vec<ServerHandle> = (0..6)
+            .map(|i| {
+                handle(
+                    i,
+                    if i < 3 { "hadoop" } else { "web" },
+                    (i < 3) as u8,
+                    150.0,
+                )
+            })
+            .collect();
+        let powers: Vec<Power> = (0..6).map(|i| watts(220.0 + 14.0 * i as f64)).collect();
+        let (a_cuts, a_left) = distribute_power_cut(&servers, &powers, watts(180.0), BUCKET);
+        let (b_cuts, b_left, _) =
+            distribute_power_cut_with_stats(&servers, &powers, watts(180.0), BUCKET);
+        assert_eq!(a_cuts, b_cuts);
+        assert_eq!(a_left, b_left);
     }
 
     #[test]

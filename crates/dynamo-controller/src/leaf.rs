@@ -7,7 +7,7 @@ use dcsim::{SimDuration, SimTime};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
 
-use crate::distribution::distribute_power_cut;
+use crate::distribution::{distribute_power_cut_with_stats, DistributionStats};
 use crate::threeband::{three_band_decision, BandDecision, ThreeBandConfig};
 use crate::types::{Alert, ControlAction, ServerHandle};
 use dynrpc::{Request, Response, RpcError};
@@ -155,6 +155,8 @@ pub struct LeafController {
     scratch_readings: Vec<Option<Power>>,
     /// Positions whose pull failed this cycle, reused across cycles.
     scratch_failed: Vec<u32>,
+    /// Stats of the most recent cut distribution (observability).
+    last_distribution: DistributionStats,
 }
 
 impl LeafController {
@@ -188,6 +190,7 @@ impl LeafController {
             cycles: 0,
             scratch_readings: Vec::with_capacity(n),
             scratch_failed: Vec::new(),
+            last_distribution: DistributionStats::default(),
         }
     }
 
@@ -281,6 +284,13 @@ impl LeafController {
         self.cycles
     }
 
+    /// Stats of the most recent power-cut distribution (how many
+    /// priority groups and power buckets the walk touched, victims,
+    /// unabsorbed watts). Zeroed until the first capping cycle.
+    pub fn last_distribution(&self) -> DistributionStats {
+        self.last_distribution
+    }
+
     /// Runs one 3-second control cycle at time `now`:
     ///
     /// 1. Pull power from every downstream agent.
@@ -363,12 +373,13 @@ impl LeafController {
                     .iter()
                     .map(|r| r.unwrap_or(Power::ZERO))
                     .collect();
-                let (cuts, leftover) = distribute_power_cut(
+                let (cuts, leftover, dist_stats) = distribute_power_cut_with_stats(
                     &self.servers,
                     &powers,
                     total_cut,
                     self.config.bucket_width,
                 );
+                self.last_distribution = dist_stats;
                 if leftover.as_watts() > 1.0 {
                     self.alerts.push(Alert {
                         at: now,

@@ -41,7 +41,9 @@ mod threeband;
 mod types;
 mod upper;
 
-pub use distribution::{distribute_power_cut, CutAssignment};
+pub use distribution::{
+    distribute_power_cut, distribute_power_cut_with_stats, CutAssignment, DistributionStats,
+};
 pub use leaf::{CycleOutcome, LeafConfig, LeafController};
 pub use pi::{PiConfig, PiController, PiDecision};
 pub use threeband::{three_band_decision, BandDecision, ThreeBandConfig};

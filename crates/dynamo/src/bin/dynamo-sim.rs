@@ -6,6 +6,8 @@
 //!            [--rpp-kw KW] [--sb-kw KW] [--service NAME] [--traffic X]
 //!            [--minutes N] [--seed N] [--threads N] [--phase-spread SECS]
 //!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
+//!            [--metrics-out FILE] [--trace-out FILE] [--incident-dir DIR]
+//!            [--fail-leaf MIN]
 //! ```
 //!
 //! Example — an oversubscribed web row that Dynamo must hold:
@@ -14,8 +16,10 @@
 //! dynamo-sim --rpps 1 --racks 2 --servers 20 --rpp-kw 11 --traffic 1.7
 //! ```
 
+use std::path::PathBuf;
+
 use dcsim::SimDuration;
-use dynamo::{DatacenterBuilder, RunReport};
+use dynamo::{DatacenterBuilder, ObsConfig, RunReport};
 use powerinfra::Power;
 use serverpower::ServerGeneration;
 use workloads::{ServiceKind, TrafficPattern};
@@ -39,6 +43,10 @@ struct Args {
     dry_run: bool,
     turbo: bool,
     report_every: u64,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    incident_dir: Option<PathBuf>,
+    fail_leaf: Option<u64>,
 }
 
 impl Default for Args {
@@ -61,6 +69,10 @@ impl Default for Args {
             dry_run: false,
             turbo: false,
             report_every: 1,
+            metrics_out: None,
+            trace_out: None,
+            incident_dir: None,
+            fail_leaf: None,
         }
     }
 }
@@ -107,6 +119,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => args.threads = num(value(&mut it, flag)?, flag)?,
             "--phase-spread" => args.phase_spread = num(value(&mut it, flag)?, flag)?,
             "--report-every" => args.report_every = num(value(&mut it, flag)?, flag)?,
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--incident-dir" => args.incident_dir = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--fail-leaf" => args.fail_leaf = Some(num(value(&mut it, flag)?, flag)?),
             "--no-capping" => args.capping = false,
             "--dry-run" => args.dry_run = true,
             "--turbo" => args.turbo = true,
@@ -122,6 +138,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if !args.phase_spread.is_finite() || args.phase_spread < 0.0 {
         return Err("--phase-spread must be a non-negative number of seconds".to_string());
+    }
+    if let Some(m) = args.fail_leaf {
+        if m == 0 || m > args.minutes {
+            return Err(format!(
+                "--fail-leaf must be between 1 and --minutes ({}), got {m}",
+                args.minutes
+            ));
+        }
     }
     Ok(args)
 }
@@ -139,7 +163,13 @@ fn usage() -> &'static str {
      \x20          control cycles; results are bit-identical at any count)\n\
      \x20          --phase-spread SECS (stagger controller cycle phases\n\
      \x20          evenly across this window; 0 = lockstep, the default)\n\
-     modes:     --no-capping (monitor only) --dry-run (decide, don't act)"
+     modes:     --no-capping (monitor only) --dry-run (decide, don't act)\n\
+     observability (enabling any of these turns recording on):\n\
+     \x20          --metrics-out FILE (Prometheus text exposition)\n\
+     \x20          --trace-out FILE (chrome-tracing JSON of controller cycles)\n\
+     \x20          --incident-dir DIR (flight-recorder incident dumps)\n\
+     faults:    --fail-leaf MIN (crash the first leaf controller's primary\n\
+     \x20          at the start of that minute; the backup takes over)"
 }
 
 fn main() {
@@ -178,6 +208,15 @@ fn main() {
     if args.turbo {
         builder = builder.turbo(args.service);
     }
+    let observing =
+        args.metrics_out.is_some() || args.trace_out.is_some() || args.incident_dir.is_some();
+    if observing {
+        builder = builder.observability(ObsConfig {
+            enabled: true,
+            incident_dir: args.incident_dir.clone(),
+            ..ObsConfig::default()
+        });
+    }
     let mut dc = builder.build();
 
     println!(
@@ -190,6 +229,11 @@ fn main() {
         args.seed
     );
     for m in 1..=args.minutes {
+        if args.fail_leaf == Some(m) {
+            let victim = dc.system().leaf_devices()[0];
+            dc.system_mut().fail_primary(victim);
+            println!("t={m:>4} min  injected primary failure at {victim}");
+        }
         dc.run_for(SimDuration::from_mins(1));
         if m % args.report_every == 0 {
             let stats = dc.fleet().stats();
@@ -200,6 +244,30 @@ fn main() {
                 dc.telemetry().breaker_trips().len(),
                 dc.system().alerts().len()
             );
+        }
+    }
+    if observing {
+        if let Err(e) = dc.system_mut().observability_mut().flush_incidents() {
+            eprintln!("error: could not write incident dumps: {e}");
+            std::process::exit(1);
+        }
+        let obs = dc.system().observability();
+        if let Some(path) = &args.metrics_out {
+            if let Err(e) = std::fs::write(path, obs.prometheus_text()) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("metrics:   {}", path.display());
+        }
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = std::fs::write(path, obs.chrome_trace()) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("trace:     {}", path.display());
+        }
+        if let Some(dir) = &args.incident_dir {
+            println!("incidents: {} in {}", obs.incidents(), dir.display());
         }
     }
     println!("\n{}", RunReport::from_datacenter(&dc));
@@ -276,6 +344,34 @@ mod tests {
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
         assert!(usage().contains("--no-capping"));
         assert!(usage().contains("--phase-spread"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&[
+            "--metrics-out",
+            "m.prom",
+            "--trace-out",
+            "t.json",
+            "--incident-dir",
+            "incidents",
+            "--fail-leaf",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(a.metrics_out, Some(PathBuf::from("m.prom")));
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(a.incident_dir, Some(PathBuf::from("incidents")));
+        assert_eq!(a.fail_leaf, Some(3));
+        assert!(usage().contains("--metrics-out"));
+        assert!(usage().contains("--fail-leaf"));
+    }
+
+    #[test]
+    fn fail_leaf_is_bounded_by_minutes() {
+        assert!(parse(&["--fail-leaf", "0"]).is_err());
+        assert!(parse(&["--minutes", "5", "--fail-leaf", "6"]).is_err());
+        assert!(parse(&["--minutes", "5", "--fail-leaf", "5"]).is_ok());
     }
 
     #[test]

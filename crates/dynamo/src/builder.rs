@@ -311,6 +311,15 @@ impl DatacenterBuilder {
         self
     }
 
+    /// Configures the observability subsystem ([`dynobs`]): metrics
+    /// registry, cycle tracing, flight recorder and incident dumps.
+    /// Disabled by default; `ObsConfig::on()` enables everything with
+    /// default capacities.
+    pub fn observability(mut self, config: dynobs::ObsConfig) -> Self {
+        self.system.obs = config;
+        self
+    }
+
     /// Hierarchy levels to record power traces for.
     pub fn watch_levels(mut self, levels: Vec<DeviceLevel>) -> Self {
         self.telemetry.levels = levels;

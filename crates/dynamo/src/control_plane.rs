@@ -3,6 +3,7 @@
 
 use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
 use dynamo_controller::{ServiceClass, ThreeBandConfig};
+use dynobs::ObsConfig;
 use dynrpc::LinkProfile;
 use powerinfra::{DeviceId, Power, Topology};
 
@@ -10,6 +11,7 @@ use crate::events::{ControllerEvent, CycleDispatcher, PhasePolicy};
 use crate::failover::FailoverState;
 use crate::fleet::Fleet;
 use crate::leaf_exec::LeafTier;
+use crate::obs::Observability;
 use crate::upper_exec::UpperTier;
 
 /// Deployment configuration for the control plane.
@@ -44,6 +46,10 @@ pub struct SystemConfig {
     /// the serial one because every leaf owns a disjoint server span
     /// and a private RPC RNG stream.
     pub control_threads: usize,
+    /// Observability configuration ([`dynobs`]). Disabled by default:
+    /// every recording call short-circuits and the exporters render an
+    /// all-zero registry.
+    pub obs: ObsConfig,
 }
 
 impl Default for SystemConfig {
@@ -59,6 +65,7 @@ impl Default for SystemConfig {
             leaf_overhead: Power::ZERO,
             dry_run: false,
             control_threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -80,6 +87,7 @@ pub struct DynamoSystem {
     uppers: UpperTier,
     failover: FailoverState,
     dispatcher: CycleDispatcher,
+    obs: Observability,
 }
 
 impl DynamoSystem {
@@ -114,12 +122,14 @@ impl DynamoSystem {
             .collect();
         let failover = FailoverState::new(leaves.len(), uppers.len());
         let dispatcher = CycleDispatcher::new(leaf_cycles, upper_cycles);
+        let obs = Observability::new(&config.obs, leaves.len());
         DynamoSystem {
             config,
             leaves,
             uppers,
             failover,
             dispatcher,
+            obs,
         }
     }
 
@@ -230,6 +240,29 @@ impl DynamoSystem {
         self.failover.count()
     }
 
+    /// Cycles each leaf controller skipped to a backup takeover, as
+    /// `(controller name, skipped cycles)` in leaf build order.
+    pub fn skipped_cycles_per_leaf(&self) -> Vec<(String, u64)> {
+        self.leaves
+            .controllers
+            .iter()
+            .zip(self.failover.leaf_skipped())
+            .map(|(c, &n)| (c.name_shared().to_string(), n))
+            .collect()
+    }
+
+    /// The control plane's observability state (metrics registry, trace
+    /// ring, flight recorder, exporters).
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable observability access for the embedding simulation
+    /// (gauges, datacenter-level incidents, incident flushing).
+    pub fn observability_mut(&mut self) -> &mut Observability {
+        &mut self.obs
+    }
+
     /// Simulates a primary controller crash for `device`; the redundant
     /// backup takes over at that controller's next cycle (§III-E).
     ///
@@ -299,6 +332,7 @@ impl DynamoSystem {
                     &mut self.failover,
                     fleet,
                     &mut events,
+                    &mut self.obs,
                 );
             } else {
                 self.leaves.run_due_serial(
@@ -308,8 +342,13 @@ impl DynamoSystem {
                     &mut self.failover,
                     fleet,
                     &mut events,
+                    &mut self.obs,
                 );
             }
+            // Fold the due leaves' shards into the registry in leaf
+            // index order — the serial recording order — so the merged
+            // state is bit-identical at any thread count.
+            self.obs.merge_leaves(self.dispatcher.leaf_due());
         }
         if !self.dispatcher.upper_due().is_empty() && self.config.capping_enabled {
             self.uppers.run_due(
@@ -318,6 +357,7 @@ impl DynamoSystem {
                 &mut self.leaves,
                 &mut self.failover,
                 &mut events,
+                &mut self.obs,
             );
         }
         events

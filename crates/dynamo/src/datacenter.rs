@@ -39,6 +39,8 @@ pub struct Datacenter {
     validator: BreakerValidator,
     /// Worker threads for fleet physics (1 = serial).
     worker_threads: usize,
+    /// Validator alerts already forwarded to observability.
+    alerts_seen: usize,
 }
 
 impl Datacenter {
@@ -67,6 +69,7 @@ impl Datacenter {
             breaker_status,
             validator,
             worker_threads: 1,
+            alerts_seen: 0,
         }
     }
 
@@ -175,6 +178,11 @@ impl Datacenter {
                     status,
                 });
                 if status == BreakerStatus::Tripped {
+                    self.system.observability_mut().record_breaker_trip(
+                        now,
+                        i as u32,
+                        self.topo.device(id).name.as_str().into(),
+                    );
                     // A tripped breaker blacks out everything below it.
                     for &s in &self.subtree[i] {
                         self.fleet.agent_mut(s).server_mut().set_alive(false);
@@ -199,6 +207,15 @@ impl Datacenter {
                 }
             }
             self.validator.advance(now);
+            let alerts = self.validator.alerts().len();
+            if alerts > self.alerts_seen {
+                let delta = (alerts - self.alerts_seen) as u64;
+                self.alerts_seen = alerts;
+                let obs = self.system.observability_mut();
+                if obs.is_enabled() {
+                    obs.record_validator_alerts(now, delta, &"breaker-validator".into());
+                }
+            }
         }
 
         // 5. Telemetry sampling.
@@ -209,9 +226,17 @@ impl Datacenter {
                 .map(|&d| (d, self.fleet.power_sum(&self.subtree[d.index()])))
                 .collect();
             let stats = self.fleet.stats();
+            let obs = self.system.observability_mut();
+            if obs.is_enabled() {
+                obs.set_gauges(now, stats.total_power.as_watts(), stats.capped_servers);
+            }
             self.telemetry
                 .record_sample(now, &watched, stats.capped_servers, stats.total_power);
         }
+
+        // Best-effort incident-dump shipping: a write failure leaves
+        // the dumps pending for the next step's retry.
+        let _ = self.system.observability_mut().flush_incidents();
 
         self.now += self.tick;
     }

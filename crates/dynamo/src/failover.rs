@@ -5,7 +5,8 @@
 //! keeps its own copy of the decision state — takes over at the next
 //! cycle. The simulator models that as one skipped cycle per induced
 //! failure: [`FailoverState`] holds the pending-failure flag per
-//! controller and the running takeover count.
+//! controller, the running takeover count, and per-controller
+//! skipped-cycle tallies for reporting.
 
 /// Pending primary failures and the cumulative failover count for both
 /// controller tiers.
@@ -13,6 +14,8 @@
 pub(crate) struct FailoverState {
     leaf_failed: Vec<bool>,
     upper_failed: Vec<bool>,
+    leaf_skipped: Vec<u64>,
+    upper_skipped: Vec<u64>,
     count: u64,
 }
 
@@ -22,6 +25,8 @@ impl FailoverState {
         FailoverState {
             leaf_failed: vec![false; leaf_count],
             upper_failed: vec![false; upper_count],
+            leaf_skipped: vec![0; leaf_count],
+            upper_skipped: vec![0; upper_count],
             count: 0,
         }
     }
@@ -42,7 +47,7 @@ impl FailoverState {
     pub(crate) fn take_leaf(&mut self, i: usize) -> bool {
         if self.leaf_failed[i] {
             self.leaf_failed[i] = false;
-            self.count += 1;
+            self.record_leaf(i);
             true
         } else {
             false
@@ -53,6 +58,7 @@ impl FailoverState {
     pub(crate) fn take_upper(&mut self, i: usize) -> bool {
         if self.upper_failed[i] {
             self.upper_failed[i] = false;
+            self.upper_skipped[i] += 1;
             self.count += 1;
             true
         } else {
@@ -61,16 +67,23 @@ impl FailoverState {
     }
 
     /// The leaf pending-failure flags, for the parallel leaf path:
-    /// workers clear their own flags and the merge records the count
-    /// afterwards via [`FailoverState::record`], because workers cannot
-    /// touch the shared counter.
+    /// workers clear their own flags and the merge records each
+    /// takeover afterwards via [`FailoverState::record_leaf`], because
+    /// workers cannot touch the shared counters.
     pub(crate) fn leaf_flags_mut(&mut self) -> &mut [bool] {
         &mut self.leaf_failed
     }
 
-    /// Records `n` failovers observed by the parallel merge.
-    pub(crate) fn record(&mut self, n: u64) {
-        self.count += n;
+    /// Records a leaf takeover observed outside [`FailoverState::take_leaf`]
+    /// (the parallel merge consumes flags in the workers).
+    pub(crate) fn record_leaf(&mut self, i: usize) {
+        self.leaf_skipped[i] += 1;
+        self.count += 1;
+    }
+
+    /// Cycles each leaf controller skipped to a backup takeover.
+    pub(crate) fn leaf_skipped(&self) -> &[u64] {
+        &self.leaf_skipped
     }
 
     /// Total failovers so far.
@@ -93,18 +106,21 @@ mod tests {
         f.fail_upper(0);
         assert!(f.take_upper(0));
         assert_eq!(f.count(), 2);
+        assert_eq!(f.leaf_skipped(), &[0, 1]);
     }
 
     #[test]
-    fn parallel_merge_records_in_bulk() {
+    fn parallel_merge_records_per_leaf() {
         let mut f = FailoverState::new(3, 0);
         f.fail_leaf(0);
         f.fail_leaf(2);
         for flag in f.leaf_flags_mut() {
             *flag = false; // workers consume their own flags
         }
-        f.record(2);
+        f.record_leaf(0);
+        f.record_leaf(2);
         assert_eq!(f.count(), 2);
+        assert_eq!(f.leaf_skipped(), &[1, 0, 1]);
         assert!(!f.take_leaf(0) && !f.take_leaf(2));
     }
 }

@@ -11,17 +11,20 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
-use dcsim::{SimRng, SimTime};
+use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
 use dynamo_controller::{ControlAction, LeafConfig, LeafController, ServerHandle, ServiceClass};
-use dynrpc::{Network, RpcError};
+use dynobs::{Band, Shard};
+use dynrpc::{Network, Request, RpcError};
 use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 
 use crate::control_plane::SystemConfig;
 use crate::events::{ControllerEvent, ControllerEventKind};
 use crate::failover::FailoverState;
 use crate::fleet::{split_agent_spans, Fleet};
+use crate::obs::{band_of, record_leaf_cycle, record_leaf_failover, ObsIds, Observability};
 
 /// The leaf tier as parallel arrays, so cycles can split borrows.
 pub(crate) struct LeafTier {
@@ -55,6 +58,8 @@ struct LeafTask<'a> {
     buf: &'a mut Vec<ControllerEvent>,
     agents: &'a mut [Agent],
     span_start: usize,
+    shard: &'a mut Shard,
+    track: u32,
 }
 
 impl LeafTier {
@@ -128,6 +133,7 @@ impl LeafTier {
 
     /// Runs the due leaves in index order on the calling thread. This is
     /// the allocation-free steady-state path (`control_threads == 1`).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_due_serial(
         &mut self,
         now: SimTime,
@@ -136,16 +142,20 @@ impl LeafTier {
         failover: &mut FailoverState,
         fleet: &mut Fleet,
         events: &mut Vec<ControllerEvent>,
+        obs: &mut Observability,
     ) {
+        let (shards, ids) = obs.shard_ctx();
         for &i in due {
             if failover.take_leaf(i) {
                 // Backup takes over: one cycle of downtime, then the
                 // redundant instance (sharing the same decision state
                 // via its own polling) continues.
+                let name = self.controllers[i].name_shared();
+                record_leaf_failover(&mut shards[i], ids, now, i as u32, Arc::clone(&name));
                 events.push(ControllerEvent {
                     at: now,
                     device: self.devices[i],
-                    controller: self.controllers[i].name_shared(),
+                    controller: name,
                     kind: ControllerEventKind::Failover,
                 });
                 continue;
@@ -165,6 +175,9 @@ impl LeafTier {
                 0,
                 &mut self.last_aggregate[i],
                 events,
+                &mut shards[i],
+                ids,
+                i as u32,
             );
         }
     }
@@ -175,6 +188,7 @@ impl LeafTier {
     /// Workers buffer events per leaf; the merge after the join restores
     /// serial (leaf index) order, so the result is bit-identical to
     /// [`LeafTier::run_due_serial`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_due_parallel(
         &mut self,
         now: SimTime,
@@ -183,6 +197,7 @@ impl LeafTier {
         failover: &mut FailoverState,
         fleet: &mut Fleet,
         events: &mut Vec<ControllerEvent>,
+        obs: &mut Observability,
     ) {
         let spans = self
             .spans
@@ -190,22 +205,25 @@ impl LeafTier {
             .expect("parallel path requires leaf spans");
         {
             let devices = &self.devices;
+            let (all_shards, ids) = obs.shard_ctx();
             let controllers = carve(&mut self.controllers, due);
             let networks = carve(&mut self.networks, due);
             let aggregates = carve(&mut self.last_aggregate, due);
             let failed = carve(failover.leaf_flags_mut(), due);
             let bufs = carve(&mut self.event_bufs, due);
+            let shards = carve(all_shards, due);
             let agent_slices =
                 split_agent_spans(fleet.agents_mut(), due.iter().map(|&i| spans[i].clone()));
 
             let mut tasks: Vec<LeafTask> = Vec::with_capacity(due.len());
-            for ((((((&i, controller), network), aggregate), failed), buf), agents) in due
+            for (((((((&i, controller), network), aggregate), failed), buf), shard), agents) in due
                 .iter()
                 .zip(controllers)
                 .zip(networks)
                 .zip(aggregates)
                 .zip(failed)
                 .zip(bufs)
+                .zip(shards)
                 .zip(agent_slices)
             {
                 tasks.push(LeafTask {
@@ -217,6 +235,8 @@ impl LeafTier {
                     buf,
                     agents,
                     span_start: spans[i].start,
+                    shard,
+                    track: i as u32,
                 });
             }
 
@@ -228,10 +248,18 @@ impl LeafTier {
                             task.buf.clear();
                             if *task.failed {
                                 *task.failed = false;
+                                let name = task.controller.name_shared();
+                                record_leaf_failover(
+                                    task.shard,
+                                    ids,
+                                    now,
+                                    task.track,
+                                    Arc::clone(&name),
+                                );
                                 task.buf.push(ControllerEvent {
                                     at: now,
                                     device: task.device,
-                                    controller: task.controller.name_shared(),
+                                    controller: name,
                                     kind: ControllerEventKind::Failover,
                                 });
                                 continue;
@@ -245,6 +273,9 @@ impl LeafTier {
                                 task.span_start,
                                 task.aggregate,
                                 task.buf,
+                                task.shard,
+                                ids,
+                                task.track,
                             );
                         }
                     });
@@ -253,18 +284,16 @@ impl LeafTier {
         }
 
         // Deterministic merge: leaf index order, exactly as the serial
-        // loop would have emitted. Failovers are counted here because
-        // workers cannot touch the shared counter.
-        let mut failovers = 0;
+        // loop would have emitted. Failovers are recorded here because
+        // workers cannot touch the shared counters.
         for &i in due {
             for event in self.event_bufs[i].drain(..) {
                 if matches!(event.kind, ControllerEventKind::Failover) {
-                    failovers += 1;
+                    failover.record_leaf(i);
                 }
                 events.push(event);
             }
         }
-        failover.record(failovers);
     }
 }
 
@@ -299,16 +328,67 @@ fn run_one_leaf_cycle(
     span_start: usize,
     last_aggregate: &mut Power,
     events: &mut Vec<ControllerEvent>,
+    shard: &mut Shard,
+    ids: &ObsIds,
+    track: u32,
 ) {
+    let caps_before = controller.active_cap_count();
+    let dry_run = controller.config().dry_run;
+    let mut pull_rtt = SimDuration::ZERO;
+    let mut act_rtt = SimDuration::ZERO;
     let outcome = controller.cycle(now, |sid, req| {
         let agent = &mut agents[sid as usize - span_start];
+        shard.inc(ids.rpc_calls);
         if !agent.is_running() {
+            shard.inc(ids.rpc_agent_down);
             return Err(RpcError::AgentDown);
         }
-        network.call(agent, req)
+        let pulling = matches!(req, Request::ReadPower);
+        match network.call_with_latency(agent, req) {
+            Ok((resp, rtt)) => {
+                shard.observe(ids.rpc_rtt, rtt.as_secs_f64());
+                if pulling {
+                    pull_rtt += rtt;
+                } else {
+                    act_rtt += rtt;
+                }
+                Ok(resp)
+            }
+            Err(err) => {
+                match err {
+                    RpcError::Dropped => shard.inc(ids.rpc_drops),
+                    RpcError::Timeout => shard.inc(ids.rpc_timeouts),
+                    RpcError::AgentDown => {}
+                }
+                Err(err)
+            }
+        }
     });
     if let Some(total) = outcome.aggregated {
         *last_aggregate = total;
+    }
+    shard.inc(ids.leaf_cycles);
+    shard.add(ids.pull_failures, outcome.pull_failures as u64);
+    shard.add(ids.estimated_readings, outcome.estimated as u64);
+    shard.inc(match band_of(&outcome.action) {
+        Band::Hold => ids.band_hold,
+        Band::Cap => ids.band_cap,
+        Band::Uncap => ids.band_uncap,
+        Band::Invalid => ids.band_invalid,
+    });
+    if shard.is_enabled() {
+        record_leaf_cycle(
+            shard,
+            ids,
+            now,
+            track,
+            controller,
+            &outcome,
+            caps_before,
+            dry_run,
+            pull_rtt,
+            act_rtt,
+        );
     }
     let kind = match &outcome.action {
         ControlAction::Capped {

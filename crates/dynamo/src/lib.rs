@@ -46,6 +46,7 @@ mod events;
 mod failover;
 mod fleet;
 mod leaf_exec;
+mod obs;
 mod report;
 mod telemetry;
 mod upper_exec;
@@ -54,8 +55,10 @@ mod validator;
 pub use builder::{DatacenterBuilder, ServicePlan};
 pub use control_plane::{DynamoSystem, SystemConfig};
 pub use datacenter::Datacenter;
+pub use dynobs::ObsConfig;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
 pub use fleet::{Fleet, FleetStats};
+pub use obs::Observability;
 pub use report::{LevelSummary, RunReport};
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use validator::{BreakerValidator, ValidationAlert};

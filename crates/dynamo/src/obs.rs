@@ -1,0 +1,582 @@
+//! Control-plane observability: the [`dynobs`] registry, trace ring and
+//! flight recorder wired through the controller hierarchy.
+//!
+//! One [`dynobs::Shard`] per leaf controller travels with the leaf
+//! through both the serial and the scoped-thread parallel execution
+//! paths, so hot-path recording is lock-free and allocation-free; after
+//! every leaf dispatch [`Observability::merge_leaves`] folds the due
+//! shards back in ascending leaf-index order — the same fixed order the
+//! serial path records in — which keeps the merged registry (float
+//! histogram sums included) bit-identical at any worker-thread count.
+//! Upper controllers and datacenter-level sources (breakers, the
+//! validator) always run serially and record into the registry
+//! directly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dcsim::{SimDuration, SimTime};
+use dynamo_controller::{ControlAction, CycleOutcome, LeafController};
+use dynobs::{
+    Band, Buckets, CounterId, FlightKind, FlightRecord, FlightRecorder, GaugeId, HistogramId,
+    ObsConfig, Registry, RegistryBuilder, Shard, SpanKind, SpanRecord, TraceRing,
+};
+
+/// Frozen metric handles for every instrumentation point.
+#[allow(missing_docs)]
+pub(crate) struct ObsIds {
+    // RPC layer (recorded per leaf shard).
+    pub(crate) rpc_calls: CounterId,
+    pub(crate) rpc_drops: CounterId,
+    pub(crate) rpc_timeouts: CounterId,
+    pub(crate) rpc_agent_down: CounterId,
+    pub(crate) rpc_rtt: HistogramId,
+    // Leaf controllers.
+    pub(crate) leaf_cycles: CounterId,
+    pub(crate) band_hold: CounterId,
+    pub(crate) band_cap: CounterId,
+    pub(crate) band_uncap: CounterId,
+    pub(crate) band_invalid: CounterId,
+    pub(crate) pull_failures: CounterId,
+    pub(crate) estimated_readings: CounterId,
+    pub(crate) cut_watts: HistogramId,
+    pub(crate) capped_servers: HistogramId,
+    // Cut distribution.
+    pub(crate) dist_buckets: HistogramId,
+    pub(crate) dist_groups: CounterId,
+    pub(crate) dist_shortfalls: CounterId,
+    // Upper controllers (registry-direct, serial only).
+    pub(crate) upper_cycles: CounterId,
+    pub(crate) upper_capped: CounterId,
+    pub(crate) upper_uncapped: CounterId,
+    pub(crate) upper_contracts: CounterId,
+    // Incidents and datacenter-level sources.
+    pub(crate) failovers: CounterId,
+    pub(crate) breaker_trips: CounterId,
+    pub(crate) validator_alerts: CounterId,
+    pub(crate) incidents: CounterId,
+    // Gauges (owner-side only).
+    pub(crate) fleet_power: GaugeId,
+    pub(crate) capped_now: GaugeId,
+    pub(crate) sim_time: GaugeId,
+}
+
+fn register(b: &mut RegistryBuilder) -> ObsIds {
+    ObsIds {
+        rpc_calls: b.counter(
+            "dynamo_rpc_calls_total",
+            "RPC call attempts from leaf controllers to agents",
+        ),
+        rpc_drops: b.counter("dynamo_rpc_drops_total", "RPC calls lost in transit"),
+        rpc_timeouts: b.counter("dynamo_rpc_timeouts_total", "RPC calls that timed out"),
+        rpc_agent_down: b.counter(
+            "dynamo_rpc_agent_down_total",
+            "RPC calls to agents whose process was down",
+        ),
+        rpc_rtt: b.histogram(
+            "dynamo_rpc_rtt_seconds",
+            "Round-trip time of successful agent RPCs",
+            Buckets::log_linear(0.001, 2, 8),
+        ),
+        leaf_cycles: b.counter("dynamo_leaf_cycles_total", "Completed leaf control cycles"),
+        band_hold: b.counter(
+            "dynamo_leaf_band_hold_total",
+            "Leaf cycles that landed in the hold band",
+        ),
+        band_cap: b.counter(
+            "dynamo_leaf_band_cap_total",
+            "Leaf cycles that landed in the capping band",
+        ),
+        band_uncap: b.counter(
+            "dynamo_leaf_band_uncap_total",
+            "Leaf cycles that landed in the uncapping band",
+        ),
+        band_invalid: b.counter(
+            "dynamo_leaf_band_invalid_total",
+            "Leaf cycles with an invalid aggregation",
+        ),
+        pull_failures: b.counter(
+            "dynamo_leaf_pull_failures_total",
+            "Failed power pulls across leaf cycles",
+        ),
+        estimated_readings: b.counter(
+            "dynamo_leaf_estimated_readings_total",
+            "Readings filled in from service peers after a failed pull",
+        ),
+        cut_watts: b.histogram(
+            "dynamo_leaf_cut_watts",
+            "Magnitude of leaf power cuts",
+            Buckets::log_linear(25.0, 2, 10),
+        ),
+        capped_servers: b.histogram(
+            "dynamo_leaf_capped_servers",
+            "Servers capped per leaf capping cycle",
+            Buckets::log_linear(1.0, 1, 10),
+        ),
+        dist_buckets: b.histogram(
+            "dynamo_distribution_buckets_expanded",
+            "Power buckets included per cut before the cut fit",
+            Buckets::log_linear(1.0, 1, 8),
+        ),
+        dist_groups: b.counter(
+            "dynamo_distribution_groups_touched_total",
+            "Priority groups that absorbed part of a cut",
+        ),
+        dist_shortfalls: b.counter(
+            "dynamo_distribution_shortfalls_total",
+            "Cut distributions that hit every SLA floor with watts left over",
+        ),
+        upper_cycles: b.counter(
+            "dynamo_upper_cycles_total",
+            "Completed upper control cycles",
+        ),
+        upper_capped: b.counter(
+            "dynamo_upper_capped_total",
+            "Upper cycles that pushed contracts down",
+        ),
+        upper_uncapped: b.counter(
+            "dynamo_upper_uncapped_total",
+            "Upper cycles that released contracts",
+        ),
+        upper_contracts: b.counter(
+            "dynamo_upper_contracts_total",
+            "Contractual limits pushed to children",
+        ),
+        failovers: b.counter(
+            "dynamo_failovers_total",
+            "Primary controller failures absorbed by backups",
+        ),
+        breaker_trips: b.counter("dynamo_breaker_trips_total", "Breakers that tripped"),
+        validator_alerts: b.counter(
+            "dynamo_validator_alerts_total",
+            "Breaker-validator aggregation-mismatch alerts",
+        ),
+        incidents: b.counter(
+            "dynamo_incidents_total",
+            "Flight-recorder incident triggers (failover, capping episode, alert, trip)",
+        ),
+        fleet_power: b.gauge("dynamo_fleet_power_watts", "Total fleet power draw"),
+        capped_now: b.gauge("dynamo_capped_servers", "Servers currently capped"),
+        sim_time: b.gauge("dynamo_sim_time_seconds", "Simulated time"),
+    }
+}
+
+/// The control plane's observability state: metrics registry, per-leaf
+/// shards, span ring, flight recorder, and pending incident dumps.
+///
+/// Obtain a shared reference through
+/// [`crate::DynamoSystem::observability`]. With observability disabled
+/// (the default) every recording call is an early-returning no-op and
+/// the exporters render an all-zero registry.
+pub struct Observability {
+    registry: Registry,
+    ids: ObsIds,
+    shards: Vec<Shard>,
+    trace: TraceRing,
+    flight: FlightRecorder,
+    incident_dir: Option<PathBuf>,
+    incident_seq: u64,
+    /// Incident dumps not yet written to disk. Only ever non-empty when
+    /// an incident directory is configured.
+    pending: Vec<(PathBuf, String)>,
+}
+
+impl Observability {
+    /// Builds the registry and one shard per leaf controller.
+    pub(crate) fn new(config: &ObsConfig, leaf_count: usize) -> Self {
+        let mut b = RegistryBuilder::new();
+        let ids = register(&mut b);
+        let registry = b.build(config.enabled);
+        let shards = (0..leaf_count).map(|_| registry.shard()).collect();
+        Observability {
+            registry,
+            ids,
+            shards,
+            trace: TraceRing::new(config.trace_capacity),
+            flight: FlightRecorder::new(config.flight_capacity),
+            incident_dir: config
+                .enabled
+                .then(|| config.incident_dir.clone())
+                .flatten(),
+            incident_seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Whether recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The merged metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span ring (cycle tracing).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// The flight recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        dynobs::render_prometheus(&self.registry)
+    }
+
+    /// Renders the registry as a JSON snapshot.
+    pub fn json_snapshot(&self) -> String {
+        dynobs::render_json(&self.registry)
+    }
+
+    /// Renders the span ring as chrome-tracing JSON.
+    pub fn chrome_trace(&self) -> String {
+        self.trace.to_chrome_json()
+    }
+
+    /// Incident triggers fired so far.
+    pub fn incidents(&self) -> u64 {
+        self.registry.counter_value(self.ids.incidents)
+    }
+
+    /// Writes any pending incident dumps into the configured incident
+    /// directory, returning the number written. No-op (and `Ok(0)`)
+    /// when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures; the
+    /// pending dumps that were not written are kept for a retry.
+    pub fn flush_incidents(&mut self) -> std::io::Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        if let Some(dir) = &self.incident_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut written = 0;
+        while let Some((path, json)) = self.pending.first() {
+            std::fs::write(path, json)?;
+            written += 1;
+            self.pending.remove(0);
+        }
+        Ok(written)
+    }
+
+    /// The per-leaf shards and the metric ids, borrowed together for a
+    /// leaf dispatch (serial or carved across workers).
+    pub(crate) fn shard_ctx(&mut self) -> (&mut [Shard], &ObsIds) {
+        (&mut self.shards, &self.ids)
+    }
+
+    /// Folds the due leaves' shards into the registry and drains their
+    /// span/flight buffers, in ascending leaf-index order (`due` is
+    /// sorted). Incident triggers found among the flight records
+    /// (failovers, capping-episode starts) fire here, after the record
+    /// is in the ring, so the dump contains its own trigger.
+    pub(crate) fn merge_leaves(&mut self, due: &[usize]) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        // Incident triggers are deferred until every due shard is in
+        // the ring, so a dump carries the full tick's context. The
+        // buffer only allocates in ticks that actually trigger.
+        let mut triggers: Vec<(&'static str, u64)> = Vec::new();
+        for &i in due {
+            self.registry.merge_shard(&mut self.shards[i]);
+            for span in self.shards[i].take_spans() {
+                self.trace.push(span);
+            }
+            for record in self.shards[i].take_flights() {
+                let at_ms = record.at_ms;
+                let trigger = match &record.kind {
+                    FlightKind::Failover => Some("failover"),
+                    FlightKind::LeafCapped {
+                        episode_start: true,
+                        ..
+                    } => Some("capping-episode"),
+                    _ => None,
+                };
+                self.flight.push(record);
+                if let Some(trigger) = trigger {
+                    triggers.push((trigger, at_ms));
+                }
+            }
+        }
+        for (trigger, at_ms) in triggers {
+            self.incident(trigger, at_ms);
+        }
+    }
+
+    /// Records one upper-controller cycle (serial context).
+    pub(crate) fn record_upper_cycle(
+        &mut self,
+        now: SimTime,
+        track: u32,
+        name: &Arc<str>,
+        capped: bool,
+        uncapped: bool,
+        contracts: u32,
+    ) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.ids.upper_cycles);
+        self.trace.push(SpanRecord {
+            kind: SpanKind::UpperCycle,
+            track,
+            start_us: now.as_millis() * 1000,
+            dur_us: 0,
+            name: Arc::clone(name),
+        });
+        if capped {
+            self.registry.inc(self.ids.upper_capped);
+            self.registry
+                .add(self.ids.upper_contracts, contracts as u64);
+            self.flight.push(FlightRecord {
+                at_ms: now.as_millis(),
+                track,
+                controller: Arc::clone(name),
+                kind: FlightKind::UpperCapped { contracts },
+            });
+        } else if uncapped {
+            self.registry.inc(self.ids.upper_uncapped);
+            self.flight.push(FlightRecord {
+                at_ms: now.as_millis(),
+                track,
+                controller: Arc::clone(name),
+                kind: FlightKind::UpperUncapped,
+            });
+        }
+    }
+
+    /// Records an upper-controller failover (serial context).
+    pub(crate) fn record_upper_failover(&mut self, now: SimTime, track: u32, name: &Arc<str>) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.ids.failovers);
+        self.trace.push(SpanRecord {
+            kind: SpanKind::Failover,
+            track,
+            start_us: now.as_millis() * 1000,
+            dur_us: 0,
+            name: Arc::clone(name),
+        });
+        self.flight.push(FlightRecord {
+            at_ms: now.as_millis(),
+            track,
+            controller: Arc::clone(name),
+            kind: FlightKind::Failover,
+        });
+        self.incident("failover", now.as_millis());
+    }
+
+    /// Records a breaker trip (datacenter context).
+    pub(crate) fn record_breaker_trip(&mut self, now: SimTime, track: u32, name: Arc<str>) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.ids.breaker_trips);
+        self.flight.push(FlightRecord {
+            at_ms: now.as_millis(),
+            track,
+            controller: name,
+            kind: FlightKind::BreakerTrip,
+        });
+        self.incident("breaker-trip", now.as_millis());
+    }
+
+    /// Records `n` new breaker-validator alerts (datacenter context).
+    pub(crate) fn record_validator_alerts(&mut self, now: SimTime, n: u64, name: &Arc<str>) {
+        if !self.registry.is_enabled() || n == 0 {
+            return;
+        }
+        self.registry.add(self.ids.validator_alerts, n);
+        for _ in 0..n {
+            self.flight.push(FlightRecord {
+                at_ms: now.as_millis(),
+                track: 0,
+                controller: Arc::clone(name),
+                kind: FlightKind::ValidatorAlert,
+            });
+        }
+        self.incident("validator-alert", now.as_millis());
+    }
+
+    /// Updates the fleet gauges (datacenter context, sampling cadence).
+    pub(crate) fn set_gauges(&mut self, now: SimTime, fleet_power_watts: f64, capped: usize) {
+        self.registry
+            .set_gauge(self.ids.fleet_power, fleet_power_watts);
+        self.registry.set_gauge(self.ids.capped_now, capped as f64);
+        self.registry
+            .set_gauge(self.ids.sim_time, now.as_secs_f64());
+    }
+
+    /// Fires one incident trigger: counts it and, when an incident
+    /// directory is configured, queues a dump of the flight ring. With
+    /// no directory this is a counter bump — no allocation.
+    fn incident(&mut self, trigger: &str, at_ms: u64) {
+        self.registry.inc(self.ids.incidents);
+        if let Some(dir) = &self.incident_dir {
+            self.incident_seq += 1;
+            let json = self.flight.incident_json(trigger, at_ms, self.incident_seq);
+            let file = dir.join(format!("incident-{:04}-{trigger}.json", self.incident_seq));
+            self.pending.push((file, json));
+        }
+    }
+}
+
+/// Records a leaf failover into the leaf's shard — shared by the serial
+/// loop and the parallel workers so both paths buffer the identical
+/// records.
+pub(crate) fn record_leaf_failover(
+    shard: &mut Shard,
+    ids: &ObsIds,
+    now: SimTime,
+    track: u32,
+    name: Arc<str>,
+) {
+    shard.inc(ids.failovers);
+    if shard.is_enabled() {
+        shard.span(SpanRecord {
+            kind: SpanKind::Failover,
+            track,
+            start_us: now.as_millis() * 1000,
+            dur_us: 0,
+            name: Arc::clone(&name),
+        });
+        shard.flight(FlightRecord {
+            at_ms: now.as_millis(),
+            track,
+            controller: name,
+            kind: FlightKind::Failover,
+        });
+    }
+}
+
+/// Maps a leaf control action to its decision band.
+pub(crate) fn band_of(action: &ControlAction) -> Band {
+    match action {
+        ControlAction::Capped { .. } => Band::Cap,
+        ControlAction::Uncapped => Band::Uncap,
+        ControlAction::Invalid => Band::Invalid,
+        ControlAction::Hold => Band::Hold,
+    }
+}
+
+/// Records the detailed (enabled-only) telemetry of one leaf cycle into
+/// the leaf's shard: band transitions, capping flights, distribution
+/// stats and the cycle/pull/distribution/actuation spans. The cheap
+/// always-on counters are recorded at the call site; callers gate this
+/// behind [`Shard::is_enabled`] so the disabled path never clones a
+/// name.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_leaf_cycle(
+    shard: &mut Shard,
+    ids: &ObsIds,
+    now: SimTime,
+    track: u32,
+    controller: &LeafController,
+    outcome: &CycleOutcome,
+    caps_before: usize,
+    dry_run: bool,
+    pull_rtt: SimDuration,
+    act_rtt: SimDuration,
+) {
+    let name = controller.name_shared();
+    let at_ms = now.as_millis();
+    let start_us = at_ms * 1000;
+    let band = band_of(&outcome.action);
+    let prev = Band::from_code(shard.state);
+    if prev != band {
+        shard.flight(FlightRecord {
+            at_ms,
+            track,
+            controller: Arc::clone(&name),
+            kind: FlightKind::BandTransition {
+                from: prev,
+                to: band,
+            },
+        });
+        shard.state = band.code();
+    }
+    match &outcome.action {
+        ControlAction::Capped {
+            total_cut,
+            commands,
+        } => {
+            let dist = controller.last_distribution();
+            shard.observe(ids.cut_watts, total_cut.as_watts());
+            shard.observe(ids.capped_servers, commands.len() as f64);
+            shard.observe(ids.dist_buckets, f64::from(dist.buckets_expanded));
+            shard.add(ids.dist_groups, u64::from(dist.groups_touched));
+            if dist.leftover_watts > 0.0 {
+                shard.inc(ids.dist_shortfalls);
+            }
+            shard.flight(FlightRecord {
+                at_ms,
+                track,
+                controller: Arc::clone(&name),
+                kind: FlightKind::LeafCapped {
+                    cut_watts: total_cut.as_watts(),
+                    servers: commands.len() as u32,
+                    episode_start: caps_before == 0 && !dry_run,
+                },
+            });
+        }
+        ControlAction::Uncapped => shard.flight(FlightRecord {
+            at_ms,
+            track,
+            controller: Arc::clone(&name),
+            kind: FlightKind::LeafUncapped,
+        }),
+        ControlAction::Invalid => shard.flight(FlightRecord {
+            at_ms,
+            track,
+            controller: Arc::clone(&name),
+            kind: FlightKind::LeafInvalid {
+                failures: outcome.pull_failures as u32,
+            },
+        }),
+        ControlAction::Hold => {}
+    }
+    let pull_us = pull_rtt.as_millis() * 1000;
+    let act_us = act_rtt.as_millis() * 1000;
+    shard.span(SpanRecord {
+        kind: SpanKind::RpcPull,
+        track,
+        start_us,
+        dur_us: pull_us,
+        name: Arc::clone(&name),
+    });
+    if outcome.action.is_capped() {
+        shard.span(SpanRecord {
+            kind: SpanKind::Distribution,
+            track,
+            start_us: start_us + pull_us,
+            dur_us: 0,
+            name: Arc::clone(&name),
+        });
+    }
+    if act_us > 0 {
+        shard.span(SpanRecord {
+            kind: SpanKind::Actuation,
+            track,
+            start_us: start_us + pull_us,
+            dur_us: act_us,
+            name: Arc::clone(&name),
+        });
+    }
+    shard.span(SpanRecord {
+        kind: SpanKind::LeafCycle,
+        track,
+        start_us,
+        dur_us: pull_us + act_us,
+        name,
+    });
+}

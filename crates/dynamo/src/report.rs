@@ -41,6 +41,10 @@ pub struct RunReport {
     pub invalid_aggregations: usize,
     /// Controller failovers.
     pub failovers: u64,
+    /// Cycles each leaf controller skipped to a backup takeover, as
+    /// `(controller name, skipped cycles)` in leaf build order. Only
+    /// leaves that actually skipped a cycle are listed.
+    pub leaf_skipped_cycles: Vec<(String, u64)>,
     /// Breaker trips (potential outages).
     pub breaker_trips: usize,
     /// Operator alerts (controller + validation).
@@ -96,6 +100,12 @@ impl RunReport {
             upper_cap_events,
             invalid_aggregations,
             failovers: dc.system().failovers(),
+            leaf_skipped_cycles: dc
+                .system()
+                .skipped_cycles_per_leaf()
+                .into_iter()
+                .filter(|&(_, n)| n > 0)
+                .collect(),
             breaker_trips: dc.telemetry().breaker_trips().len(),
             alerts: dc.system().alerts().len() + dc.validator().alerts().len(),
             currently_capped: dc.fleet().stats().capped_servers,
@@ -139,6 +149,9 @@ impl std::fmt::Display for RunReport {
             "incidents: {} breaker trips, {} invalid aggregations, {} failovers, {} alerts",
             self.breaker_trips, self.invalid_aggregations, self.failovers, self.alerts
         )?;
+        for (name, skipped) in &self.leaf_skipped_cycles {
+            writeln!(f, "  failover: {name} skipped {skipped} cycle(s)")?;
+        }
         writeln!(f, "healthy: {}", self.is_healthy())
     }
 }
@@ -193,6 +206,19 @@ mod tests {
             .find(|l| l.level == DeviceLevel::Rpp)
             .unwrap();
         assert!(rpp.peak_utilization <= 1.02 && rpp.peak_utilization > 0.85);
+    }
+
+    #[test]
+    fn per_leaf_skipped_cycles_attribute_failovers() {
+        let mut dc = run_dc(20.0);
+        let victim = dc.system().leaf_devices()[0];
+        dc.system_mut().fail_primary(victim);
+        dc.run_for(SimDuration::from_secs(6)); // at least one leaf cycle
+        let report = RunReport::from_datacenter(&dc);
+        assert_eq!(report.failovers, 1, "{report}");
+        assert_eq!(report.leaf_skipped_cycles.len(), 1);
+        assert_eq!(report.leaf_skipped_cycles[0].1, 1);
+        assert!(report.to_string().contains("skipped 1 cycle"), "{report}");
     }
 
     #[test]

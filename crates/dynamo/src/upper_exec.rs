@@ -11,6 +11,7 @@ use crate::control_plane::SystemConfig;
 use crate::events::{ControllerEvent, ControllerEventKind};
 use crate::failover::FailoverState;
 use crate::leaf_exec::LeafTier;
+use crate::obs::Observability;
 
 /// Which tier an upper controller's child belongs to.
 #[derive(Debug, Clone, Copy)]
@@ -108,13 +109,18 @@ impl UpperTier {
         leaves: &mut LeafTier,
         failover: &mut FailoverState,
         events: &mut Vec<ControllerEvent>,
+        obs: &mut Observability,
     ) {
+        // Upper trace tracks sit above the leaf tracks.
+        let track_base = leaves.len() as u32;
         for &i in due {
             if failover.take_upper(i) {
+                let name = self.controllers[i].name_shared();
+                obs.record_upper_failover(now, track_base + i as u32, &name);
                 events.push(ControllerEvent {
                     at: now,
                     device: self.devices[i],
-                    controller: self.controllers[i].name_shared(),
+                    controller: name,
                     kind: ControllerEventKind::Failover,
                 });
                 continue;
@@ -155,6 +161,16 @@ impl UpperTier {
                     ChildRef::Leaf(j) => leaves.controllers[j].set_contractual_limit(limit),
                     ChildRef::Upper(j) => self.controllers[j].set_contractual_limit(limit),
                 }
+            }
+            if obs.is_enabled() {
+                obs.record_upper_cycle(
+                    now,
+                    track_base + i as u32,
+                    &self.controllers[i].name_shared(),
+                    outcome.capped,
+                    outcome.uncapped,
+                    contracts as u32,
+                );
             }
             if outcome.capped {
                 events.push(ControllerEvent {

@@ -9,7 +9,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use dcsim::{SimDuration, SimRng, SimTime};
-use dynamo::{DynamoSystem, Fleet, SystemConfig};
+use dynamo::{DynamoSystem, Fleet, ObsConfig, SystemConfig};
 use powerinfra::TopologyBuilder;
 use serverpower::{ServerConfig, ServerGeneration};
 use workloads::ServiceKind;
@@ -55,7 +55,7 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 /// A 64-server, 2-leaf setup with ample power headroom (Hold band),
 /// reliable RPC, no crashes: the steady state a healthy datacenter
 /// spends almost all of its life in.
-fn build() -> (Fleet, DynamoSystem) {
+fn build_with(obs: ObsConfig) -> (Fleet, DynamoSystem) {
     let topo = TopologyBuilder::new()
         .sbs_per_msb(1)
         .rpps_per_sb(2)
@@ -68,6 +68,7 @@ fn build() -> (Fleet, DynamoSystem) {
     let fleet = Fleet::new(configs, services, SimRng::seed_from(11).split("fleet"));
     let config = SystemConfig {
         rpc: dynrpc::LinkProfile::reliable(),
+        obs,
         ..SystemConfig::default()
     };
     let service_of = |_: u32| dynamo::service_class_of(ServiceKind::Web);
@@ -80,9 +81,12 @@ fn build() -> (Fleet, DynamoSystem) {
     (fleet, system)
 }
 
-#[test]
-fn steady_state_leaf_ticks_do_not_allocate() {
-    let (mut fleet, mut system) = build();
+fn build() -> (Fleet, DynamoSystem) {
+    build_with(ObsConfig::default())
+}
+
+/// Warms up, then counts heap operations across 20 leaf-only ticks.
+fn measure_steady_state(mut fleet: Fleet, mut system: DynamoSystem) -> u64 {
     assert!(system.supports_parallel_leaves());
     let dt = SimDuration::from_secs(3);
 
@@ -115,9 +119,29 @@ fn steady_state_leaf_ticks_do_not_allocate() {
         now += dt;
         measured += 1;
     }
+    total
+}
+
+#[test]
+fn steady_state_leaf_ticks_do_not_allocate() {
+    let (fleet, system) = build();
     assert_eq!(
-        total, 0,
+        measure_steady_state(fleet, system),
+        0,
         "heap allocations leaked into the steady-state leaf tick path"
+    );
+}
+
+/// The zero-alloc guarantee must hold with observability recording
+/// live: shards, rings and histogram buckets are all preallocated, and
+/// span/flight scratch reaches steady capacity during warmup.
+#[test]
+fn steady_state_leaf_ticks_do_not_allocate_with_observability() {
+    let (fleet, system) = build_with(ObsConfig::on());
+    assert_eq!(
+        measure_steady_state(fleet, system),
+        0,
+        "observability recording allocated in the steady-state leaf tick path"
     );
 }
 

@@ -1,0 +1,86 @@
+//! `promlint` — validates Prometheus text exposition files.
+//!
+//! Usage: `promlint [--require NAME]... FILE...`
+//!
+//! Parses each file with the strict dynobs parser (TYPE-before-sample,
+//! valid names, monotone histogram buckets ending in `+Inf`, `_count`
+//! equal to the `+Inf` bucket) and, for every `--require NAME`, checks
+//! that a family of that name is present in each file. Exits non-zero
+//! on the first violation. Used by CI to gate `dynamo-sim
+//! --metrics-out` output.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut required: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("promlint: --require needs a metric name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: promlint [--require NAME]... FILE...");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("promlint: unknown flag '{flag}'");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("promlint: no input files (usage: promlint [--require NAME]... FILE...)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: {file}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match dynobs::parse_prometheus(&text) {
+            Ok(families) => {
+                let mut missing = false;
+                for name in &required {
+                    if !families.iter().any(|f| &f.name == name) {
+                        eprintln!("promlint: {file}: required family '{name}' is missing");
+                        missing = true;
+                    }
+                }
+                if missing {
+                    ok = false;
+                } else {
+                    let samples: usize = families
+                        .iter()
+                        .map(|f| f.histogram.as_ref().map_or(1, |h| h.buckets.len() + 2))
+                        .sum();
+                    println!(
+                        "promlint: {file}: OK ({} families, {samples} samples)",
+                        families.len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("promlint: {file}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,293 @@
+//! The flight recorder: a fixed ring of the most recent control-plane
+//! events and band transitions, dumped to a structured JSON "incident
+//! file" when something goes wrong (failover, validator alert, capping
+//! episode start, breaker trip).
+
+use std::sync::Arc;
+
+use crate::export::escape_json;
+
+/// A leaf controller's three-band decision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Band {
+    /// Safe band, no action.
+    Hold,
+    /// Capping band.
+    Cap,
+    /// Uncapping band.
+    Uncap,
+    /// Aggregation invalid (too many pull failures).
+    Invalid,
+}
+
+impl Band {
+    /// Compact code for storage in a shard's `state` word.
+    pub fn code(self) -> u32 {
+        match self {
+            Band::Hold => 0,
+            Band::Cap => 1,
+            Band::Uncap => 2,
+            Band::Invalid => 3,
+        }
+    }
+
+    /// Inverse of [`Band::code`]. Unknown codes decode to `Hold`.
+    pub fn from_code(code: u32) -> Self {
+        match code {
+            1 => Band::Cap,
+            2 => Band::Uncap,
+            3 => Band::Invalid,
+            _ => Band::Hold,
+        }
+    }
+
+    /// Stable label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::Hold => "hold",
+            Band::Cap => "cap",
+            Band::Uncap => "uncap",
+            Band::Invalid => "invalid",
+        }
+    }
+}
+
+/// What a flight record describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlightKind {
+    /// A leaf issued power cuts.
+    LeafCapped {
+        /// Total cut in watts.
+        cut_watts: f64,
+        /// Servers that received a cap command.
+        servers: u32,
+        /// True if this cycle started a capping episode (no caps were
+        /// active before).
+        episode_start: bool,
+    },
+    /// A leaf cleared its caps.
+    LeafUncapped,
+    /// A leaf's aggregation was invalid.
+    LeafInvalid {
+        /// Failed pulls in the cycle.
+        failures: u32,
+    },
+    /// An upper controller tightened child contracts.
+    UpperCapped {
+        /// Contracts set this cycle.
+        contracts: u32,
+    },
+    /// An upper controller released child contracts.
+    UpperUncapped,
+    /// A controller's primary failed over; the cycle was skipped.
+    Failover,
+    /// A leaf moved between decision bands.
+    BandTransition {
+        /// Band before this cycle.
+        from: Band,
+        /// Band after this cycle.
+        to: Band,
+    },
+    /// The breaker validator raised an alert.
+    ValidatorAlert,
+    /// A breaker tripped.
+    BreakerTrip,
+}
+
+impl FlightKind {
+    /// Stable snake_case name for this record kind, as used in incident
+    /// dumps and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightKind::LeafCapped { .. } => "leaf_capped",
+            FlightKind::LeafUncapped => "leaf_uncapped",
+            FlightKind::LeafInvalid { .. } => "leaf_invalid",
+            FlightKind::UpperCapped { .. } => "upper_capped",
+            FlightKind::UpperUncapped => "upper_uncapped",
+            FlightKind::Failover => "failover",
+            FlightKind::BandTransition { .. } => "band_transition",
+            FlightKind::ValidatorAlert => "validator_alert",
+            FlightKind::BreakerTrip => "breaker_trip",
+        }
+    }
+
+    fn detail_json(&self) -> String {
+        match self {
+            FlightKind::LeafCapped {
+                cut_watts,
+                servers,
+                episode_start,
+            } => format!(
+                "{{\"cut_watts\":{cut_watts},\"servers\":{servers},\"episode_start\":{episode_start}}}"
+            ),
+            FlightKind::LeafInvalid { failures } => format!("{{\"failures\":{failures}}}"),
+            FlightKind::UpperCapped { contracts } => format!("{{\"contracts\":{contracts}}}"),
+            FlightKind::BandTransition { from, to } => format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\"}}",
+                from.label(),
+                to.label()
+            ),
+            _ => "{}".to_string(),
+        }
+    }
+}
+
+/// One flight-recorder entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Simulated time, milliseconds.
+    pub at_ms: u64,
+    /// Controller track (leaf index, or leaf-count + upper index).
+    pub track: u32,
+    /// Controller's interned name.
+    pub controller: Arc<str>,
+    /// What happened.
+    pub kind: FlightKind,
+}
+
+impl FlightRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"at_ms\":{},\"track\":{},\"controller\":\"{}\",\"kind\":\"{}\",\"detail\":{}}}",
+            self.at_ms,
+            self.track,
+            escape_json(&self.controller),
+            self.kind.label(),
+            self.kind.detail_json()
+        )
+    }
+}
+
+/// Fixed-capacity ring of the last N flight records.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<FlightRecord>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` records, allocated up front.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            buf: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest once full.
+    pub fn push(&mut self, record: FlightRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(record);
+        } else {
+            self.buf[self.next] = record;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records ever pushed (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates the retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &FlightRecord> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Renders an incident dump: the trigger, when it fired, and the
+    /// ring's full contents (oldest first) as structured JSON.
+    pub fn incident_json(&self, trigger: &str, at_ms: u64, seq: u64) -> String {
+        let mut out = String::with_capacity(128 + self.buf.len() * 128);
+        out.push_str(&format!(
+            "{{\"incident\":{seq},\"trigger\":\"{}\",\"at_ms\":{at_ms},\"records\":[",
+            escape_json(trigger)
+        ));
+        for (i, r) in self.records().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ms: u64, kind: FlightKind) -> FlightRecord {
+        FlightRecord {
+            at_ms,
+            track: 1,
+            controller: "leaf-1".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn band_codes_round_trip() {
+        for b in [Band::Hold, Band::Cap, Band::Uncap, Band::Invalid] {
+            assert_eq!(Band::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(rec(1, FlightKind::LeafUncapped));
+        fr.push(rec(2, FlightKind::Failover));
+        fr.push(rec(3, FlightKind::BreakerTrip));
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.total_recorded(), 3);
+        let ats: Vec<u64> = fr.records().map(|r| r.at_ms).collect();
+        assert_eq!(ats, vec![2, 3]);
+    }
+
+    #[test]
+    fn incident_json_shape() {
+        let mut fr = FlightRecorder::new(4);
+        fr.push(rec(
+            9000,
+            FlightKind::LeafCapped {
+                cut_watts: 1250.5,
+                servers: 12,
+                episode_start: true,
+            },
+        ));
+        fr.push(rec(
+            12000,
+            FlightKind::BandTransition {
+                from: Band::Hold,
+                to: Band::Cap,
+            },
+        ));
+        let json = fr.incident_json("failover", 12000, 7);
+        assert!(json.starts_with("{\"incident\":7,\"trigger\":\"failover\",\"at_ms\":12000,"));
+        assert!(json.contains("\"kind\":\"leaf_capped\""));
+        assert!(json.contains("\"episode_start\":true"));
+        assert!(json.contains("\"from\":\"hold\",\"to\":\"cap\""));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Cycle tracing: lightweight spans in a bounded ring buffer,
+//! exportable as chrome-tracing JSON (load in `chrome://tracing` or
+//! Perfetto).
+
+use std::sync::Arc;
+
+use crate::export::escape_json;
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One full leaf-controller cycle.
+    LeafCycle,
+    /// The RPC pull phase of a leaf cycle.
+    RpcPull,
+    /// Power-cut distribution (bucket walk) inside a capping decision.
+    Distribution,
+    /// Actuation (issuing cap/uncap commands to agents).
+    Actuation,
+    /// One upper-controller (SB/MSB) cycle.
+    UpperCycle,
+    /// A skipped cycle due to primary failover.
+    Failover,
+}
+
+impl SpanKind {
+    /// Stable label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::LeafCycle => "leaf_cycle",
+            SpanKind::RpcPull => "rpc_pull",
+            SpanKind::Distribution => "distribution",
+            SpanKind::Actuation => "actuation",
+            SpanKind::UpperCycle => "upper_cycle",
+            SpanKind::Failover => "failover",
+        }
+    }
+}
+
+/// One completed span, stamped with simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Trace track (leaf index, or leaf-count + upper index).
+    pub track: u32,
+    /// Start, microseconds of simulated time.
+    pub start_us: u64,
+    /// Duration, microseconds of simulated time.
+    pub dur_us: u64,
+    /// Owning controller's interned name.
+    pub name: Arc<str>,
+}
+
+/// Fixed-capacity span ring: `push` overwrites the oldest record once
+/// full, so steady-state tracing never allocates.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<SpanRecord>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` spans. Capacity is allocated up
+    /// front.
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends a span, overwriting the oldest once the ring is full.
+    pub fn push(&mut self, record: SpanRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(record);
+        } else {
+            self.buf[self.next] = record;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total spans ever pushed (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates the retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Renders the retained spans as chrome-tracing JSON
+    /// (`traceEvents` array of complete `"ph":"X"` events; `ts`/`dur`
+    /// are microseconds of simulated time, `tid` is the controller
+    /// track).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.buf.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"dynamo\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"controller\":\"{}\"}}}}",
+                s.kind.label(),
+                s.start_us,
+                s.dur_us,
+                s.track,
+                escape_json(&s.name)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start_us: u64) -> SpanRecord {
+        SpanRecord {
+            kind,
+            track: 3,
+            start_us,
+            dur_us: 10,
+            name: "leaf-3".into(),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_iterates_in_order() {
+        let mut ring = TraceRing::new(3);
+        for t in 0..5 {
+            ring.push(span(SpanKind::LeafCycle, t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_recorded(), 5);
+        let starts: Vec<u64> = ring.iter().map(|s| s.start_us).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut ring = TraceRing::new(4);
+        ring.push(span(SpanKind::RpcPull, 1000));
+        let json = ring.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"rpc_pull\""));
+        assert!(json.contains("\"ts\":1000"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"controller\":\"leaf-3\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_ring_renders_empty_array() {
+        let ring = TraceRing::new(2);
+        assert!(ring.is_empty());
+        assert_eq!(
+            ring.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests over `SimRng`-driven workloads: Prometheus text
+//! round-trips exactly, histogram buckets always sum to the sample
+//! count, and shard-merge recording is equivalent to direct recording.
+
+use dcsim::SimRng;
+use dynobs::{parse_prometheus, render_prometheus, Buckets, ParsedKind, Registry, RegistryBuilder};
+
+/// Builds a registry with a couple of counters/gauges and both bucket
+/// layouts, then drives `samples` random observations into it.
+fn random_registry(rng: &mut SimRng, samples: usize) -> Registry {
+    let mut b = RegistryBuilder::new();
+    let c0 = b.counter("calls_total", "calls");
+    let c1 = b.counter("drops_total", "drops");
+    let g0 = b.gauge("power_watts", "power");
+    let h0 = b.histogram("rtt_seconds", "rtt", Buckets::log_linear(0.001, 2, 8));
+    let h1 = b.histogram(
+        "cut_watts",
+        "cuts",
+        Buckets::explicit(&[10.0, 100.0, 1000.0]),
+    );
+    let mut r = b.build(true);
+    for _ in 0..samples {
+        r.add(c0, rng.next_below(5));
+        if rng.chance(0.3) {
+            r.inc(c1);
+        }
+        r.set_gauge(g0, rng.uniform(-1.0e6, 1.0e6));
+        r.observe(h0, rng.exponential(250.0));
+        r.observe(h1, rng.uniform(0.0, 5000.0));
+    }
+    r
+}
+
+#[test]
+fn prometheus_text_round_trips_for_random_workloads() {
+    let mut rng = SimRng::seed_from(2024);
+    for case in 0..40 {
+        let mut case_rng = rng.split_index(case);
+        let samples = case_rng.next_below(200) as usize;
+        let r = random_registry(&mut case_rng, samples);
+        let text = render_prometheus(&r);
+        let families = parse_prometheus(&text)
+            .unwrap_or_else(|e| panic!("case {case}: export failed to parse: {e}"));
+
+        // Every registry family must be present with the exact values:
+        // Rust `{}` f64 formatting is shortest-roundtrip, so parse-back
+        // equality is bitwise, not approximate.
+        for (name, _, value) in r.counters() {
+            let f = families.iter().find(|f| f.name == name).expect(name);
+            assert_eq!(f.kind, ParsedKind::Counter);
+            assert_eq!(f.value, value as f64, "case {case}: counter {name}");
+        }
+        for (name, _, value) in r.gauges() {
+            let f = families.iter().find(|f| f.name == name).expect(name);
+            assert_eq!(f.kind, ParsedKind::Gauge);
+            assert_eq!(
+                f.value.to_bits(),
+                value.to_bits(),
+                "case {case}: gauge {name}"
+            );
+        }
+        for (name, _, view) in r.histograms() {
+            let f = families.iter().find(|f| f.name == name).expect(name);
+            let h = f.histogram.as_ref().expect("histogram payload");
+            assert_eq!(h.count, view.count, "case {case}: {name} count");
+            assert_eq!(
+                h.sum.to_bits(),
+                view.sum.to_bits(),
+                "case {case}: {name} sum"
+            );
+            assert_eq!(h.buckets.len(), view.buckets.len(), "case {case}: {name}");
+            let mut cumulative = 0;
+            for ((bound, parsed), raw) in h.buckets.iter().zip(view.buckets) {
+                cumulative += raw;
+                assert_eq!(*parsed, cumulative, "case {case}: {name} le={bound}");
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_sum_to_sample_count() {
+    let mut rng = SimRng::seed_from(7);
+    for case in 0..40 {
+        let mut case_rng = rng.split_index(case);
+        let samples = case_rng.next_below(500) as usize;
+        let r = random_registry(&mut case_rng, samples);
+        for (name, _, view) in r.histograms() {
+            let total: u64 = view.buckets.iter().sum();
+            assert_eq!(total, view.count, "case {case}: {name}");
+            assert_eq!(view.count, samples as u64, "case {case}: {name}");
+        }
+    }
+}
+
+#[test]
+fn shard_merge_is_bit_identical_to_direct_recording() {
+    for case in 0..20u64 {
+        // Identical draw sequences into: (a) the registry directly,
+        // (b) shards merged in fixed order. split_index advances the
+        // parent, so derive each stream from a fresh parent.
+        let samples = 50 + case as usize;
+        let direct = random_registry(&mut SimRng::seed_from(99).split_index(case), samples);
+
+        let mut b = RegistryBuilder::new();
+        let c0 = b.counter("calls_total", "calls");
+        let c1 = b.counter("drops_total", "drops");
+        let g0 = b.gauge("power_watts", "power");
+        let h0 = b.histogram("rtt_seconds", "rtt", Buckets::log_linear(0.001, 2, 8));
+        let h1 = b.histogram(
+            "cut_watts",
+            "cuts",
+            Buckets::explicit(&[10.0, 100.0, 1000.0]),
+        );
+        let mut sharded = b.build(true);
+        let mut shard = sharded.shard();
+        let mut case_rng = SimRng::seed_from(99).split_index(case);
+        for _ in 0..samples {
+            shard.add(c0, case_rng.next_below(5));
+            if case_rng.chance(0.3) {
+                shard.inc(c1);
+            }
+            sharded.set_gauge(g0, case_rng.uniform(-1.0e6, 1.0e6));
+            shard.observe(h0, case_rng.exponential(250.0));
+            shard.observe(h1, case_rng.uniform(0.0, 5000.0));
+        }
+        sharded.merge_shard(&mut shard);
+
+        assert_eq!(
+            render_prometheus(&direct),
+            render_prometheus(&sharded),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_exports_are_rejected() {
+    let good = {
+        let mut b = RegistryBuilder::new();
+        let h = b.histogram("h_seconds", "h", Buckets::explicit(&[1.0]));
+        let mut r = b.build(true);
+        r.observe(h, 0.5);
+        render_prometheus(&r)
+    };
+    assert!(parse_prometheus(&good).is_ok());
+    // Drop the +Inf bucket line.
+    let missing_inf: String = good
+        .lines()
+        .filter(|l| !l.contains("+Inf"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(parse_prometheus(&missing_inf).is_err());
+    // Corrupt the count.
+    let bad_count = good.replace("h_seconds_count 1", "h_seconds_count 7");
+    assert!(parse_prometheus(&bad_count).is_err());
+}

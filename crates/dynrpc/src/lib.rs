@@ -220,6 +220,10 @@ pub struct NetworkStats {
     pub timeouts: u64,
     /// Calls dropped.
     pub drops: u64,
+    /// Total simulated round-trip latency across successful and
+    /// timed-out attempts (a timed-out request still occupied the wire
+    /// until its deadline).
+    pub latency_sum: SimDuration,
 }
 
 impl NetworkStats {
@@ -285,14 +289,29 @@ impl Network {
             return Err(RpcError::Dropped);
         }
         if self.rng.chance(self.profile.timeout_prob) {
+            // The request still went on the wire: consume the attempt's
+            // latency draw so calls after a timeout see exactly the RNG
+            // stream they would have seen after a success. Without this
+            // a single timeout would permanently shift every later draw
+            // on this link.
+            let rtt = self.draw_rtt();
             self.stats.timeouts += 1;
+            self.stats.latency_sum += rtt;
             return Err(RpcError::Timeout);
         }
-        let mean = self.profile.mean_latency.as_secs_f64().max(1e-6);
-        let rtt = SimDuration::from_secs_f64(2.0 * self.rng.exponential(1.0 / mean));
+        let rtt = self.draw_rtt();
         let resp = endpoint.handle(req);
         self.stats.successes += 1;
+        self.stats.latency_sum += rtt;
         Ok((resp, rtt))
+    }
+
+    /// Draws one exponential round-trip latency. Exactly one draw per
+    /// non-dropped attempt, success or timeout — the stream-stability
+    /// invariant the regression tests pin.
+    fn draw_rtt(&mut self) -> SimDuration {
+        let mean = self.profile.mean_latency.as_secs_f64().max(1e-6);
+        SimDuration::from_secs_f64(2.0 * self.rng.exponential(1.0 / mean))
     }
 
     /// The accumulated call statistics.
@@ -434,6 +453,60 @@ mod tests {
         assert!(net.call(&mut a, Request::ReadPower).is_ok());
         net.set_profile(LinkProfile::lossy(1.0, 0.0));
         assert!(net.call(&mut a, Request::ReadPower).is_err());
+    }
+
+    #[test]
+    fn timeout_consumes_the_latency_draw_so_streams_stay_aligned() {
+        // Two networks on the same seed. B is forced to time out on its
+        // third call, then restored. Every call after the timeout must
+        // draw exactly the latency A draws — i.e. a timeout consumes
+        // one latency draw, leaving the stream aligned.
+        let profile = LinkProfile::datacenter();
+        let mut clean = Network::new(
+            LinkProfile {
+                timeout_prob: 0.0,
+                drop_prob: 0.0,
+                ..profile
+            },
+            SimRng::seed_from(42),
+        );
+        let mut faulty = clean.clone();
+        let mut a = agent();
+        let mut b = agent();
+        for call in 0..10 {
+            let lhs = clean.call_with_latency(&mut a, Request::ReadPower).unwrap();
+            if call == 2 {
+                faulty.set_profile(LinkProfile {
+                    timeout_prob: 1.0,
+                    ..faulty.profile()
+                });
+                assert_eq!(
+                    faulty.call_with_latency(&mut b, Request::ReadPower),
+                    Err(RpcError::Timeout)
+                );
+                faulty.set_profile(clean.profile());
+                continue;
+            }
+            let rhs = faulty
+                .call_with_latency(&mut b, Request::ReadPower)
+                .unwrap();
+            assert_eq!(lhs.1, rhs.1, "call {call}: latency streams diverged");
+        }
+        assert_eq!(faulty.stats().timeouts, 1);
+        // The timed-out attempt's latency is still accounted for.
+        assert_eq!(faulty.stats().latency_sum, clean.stats().latency_sum);
+    }
+
+    #[test]
+    fn latency_sum_accumulates_on_success() {
+        let mut net = Network::new(LinkProfile::reliable(), SimRng::seed_from(8));
+        let mut a = agent();
+        let mut expect = SimDuration::ZERO;
+        for _ in 0..50 {
+            let (_, rtt) = net.call_with_latency(&mut a, Request::ReadPower).unwrap();
+            expect += rtt;
+        }
+        assert_eq!(net.stats().latency_sum, expect);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use dcsim::{SimDuration, SimTime};
 use dynamo_repro::dynamo::{
-    ControllerEvent, Datacenter, DatacenterBuilder, RunReport, ServicePlan,
+    ControllerEvent, Datacenter, DatacenterBuilder, ObsConfig, RunReport, ServicePlan,
 };
 use dynamo_repro::dynrpc::LinkProfile;
 use dynamo_repro::powerinfra::Power;
@@ -29,6 +29,7 @@ fn build(threads: usize) -> Datacenter {
         .traffic(ServiceKind::Web, TrafficPattern::diurnal())
         .agent_crash_rate(0.5)
         .rpc_profile(LinkProfile::lossy(0.05, 0.05))
+        .observability(ObsConfig::on())
         .worker_threads(threads)
         .seed(41)
         .build()
@@ -38,6 +39,10 @@ struct Observed {
     events: Vec<ControllerEvent>,
     aggregates: Vec<(String, Option<Power>)>,
     report: RunReport,
+    /// Prometheus rendering of the merged metrics registry — float
+    /// histogram sums included, so string equality is bit-level
+    /// equality of the whole registry.
+    metrics: String,
 }
 
 /// Runs 5 simulated minutes with two failover injections mid-run.
@@ -59,6 +64,7 @@ fn run(threads: usize) -> Observed {
         events: dc.telemetry().controller_events().to_vec(),
         aggregates,
         report: RunReport::from_datacenter(&dc),
+        metrics: dc.system().observability().prometheus_text(),
     }
 }
 
@@ -75,6 +81,18 @@ fn parallel_control_plane_is_bit_identical() {
     );
     assert!(serial.report.failovers >= 2, "failover injection missed");
     assert!(!serial.events.is_empty());
+    for family in [
+        "dynamo_leaf_cycles_total",
+        "dynamo_rpc_drops_total",
+        "dynamo_failovers_total",
+        "dynamo_leaf_cut_watts_sum",
+    ] {
+        assert!(
+            serial.metrics.contains(family),
+            "metrics missing {family}:\n{}",
+            serial.metrics
+        );
+    }
 
     for threads in [2usize, 8] {
         let parallel = run(threads);
@@ -94,6 +112,10 @@ fn parallel_control_plane_is_bit_identical() {
             serial.report, parallel.report,
             "run report diverged at {threads} threads"
         );
+        assert_eq!(
+            serial.metrics, parallel.metrics,
+            "merged metrics registry diverged at {threads} threads"
+        );
     }
 }
 
@@ -104,6 +126,7 @@ fn control_threads_cap_at_leaf_count() {
     let oversubscribed = run(64);
     assert_eq!(serial.events, oversubscribed.events);
     assert_eq!(serial.report, oversubscribed.report);
+    assert_eq!(serial.metrics, oversubscribed.metrics);
 }
 
 #[test]
