@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dcsim::{SimDuration, SimTime};
-use dynamo::{Datacenter, DatacenterBuilder, ObsConfig};
+use dynamo::{Datacenter, DatacenterBuilder, ObsConfig, ParallelMode};
 use dynamo_controller::{
     distribute_power_cut, three_band_decision, ChildReport, LeafConfig, LeafController,
     ServerHandle, ServiceClass, ThreeBandConfig, UpperConfig, UpperController,
@@ -112,6 +112,10 @@ struct MatrixPoint {
     rpps: usize,
     servers: usize,
     threads: usize,
+    /// Threads actually used after the mode's clamping (PooledAuto
+    /// caps at the host's cores).
+    effective_threads: usize,
+    mode: &'static str,
     phase_spread_ms: u64,
     ticks_per_sec: f64,
 }
@@ -120,6 +124,7 @@ fn matrix_datacenter(
     sbs: usize,
     rpps_per_sb: usize,
     threads: usize,
+    mode: ParallelMode,
     phase_spread: SimDuration,
 ) -> Datacenter {
     // 160 servers per RPP: the paper's leaf controllers each pull "a
@@ -133,11 +138,42 @@ fn matrix_datacenter(
         .traffic(ServiceKind::Web, TrafficPattern::flat(1.2))
         .seed(42)
         .worker_threads(threads)
+        .parallel_mode(mode)
         .phase_spread(phase_spread)
         .build()
 }
 
+fn mode_label(mode: ParallelMode) -> &'static str {
+    match mode {
+        ParallelMode::Pooled => "pooled",
+        ParallelMode::PooledAuto => "pooled-auto",
+        ParallelMode::Scoped => "scoped",
+    }
+}
+
+/// Interleaved best-of-`rounds` comparison of two configurations over
+/// 600 ms windows. Rounds alternate sides and each side keeps its best
+/// window, so scheduler noise — which only ever slows a window down —
+/// cannot bias the ratio.
+fn paired_best_of(
+    rounds: usize,
+    mut a: impl FnMut() -> Datacenter,
+    mut b: impl FnMut() -> Datacenter,
+) -> (f64, f64) {
+    let mut best_a = 0.0f64;
+    let mut best_b = 0.0f64;
+    for _ in 0..rounds {
+        best_a = best_a.max(measure_ticks_per_sec_for(&mut a(), 600));
+        best_b = best_b.max(measure_ticks_per_sec_for(&mut b(), 600));
+    }
+    (best_a, best_b)
+}
+
 fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
+    measure_ticks_per_sec_for(dc, 300)
+}
+
+fn measure_ticks_per_sec_for(dc: &mut Datacenter, window_ms: u128) -> f64 {
     for _ in 0..10 {
         dc.step();
     }
@@ -148,7 +184,7 @@ fn measure_ticks_per_sec(dc: &mut Datacenter) -> f64 {
             dc.step();
         }
         ticks += 20;
-        if start.elapsed().as_millis() >= 300 {
+        if start.elapsed().as_millis() >= window_ms {
             break;
         }
     }
@@ -213,11 +249,14 @@ fn bench_observability_overhead() -> ObsOverhead {
 /// Staggering spreads the per-tick control work across the interval —
 /// smaller due-batches per tick — where lockstep concentrates it.
 ///
-/// The parallel cells only beat serial when the host actually has
-/// cores to run them on: each tick pays two `thread::scope`
-/// spawn/join rounds (~17 µs per thread here), so on a single-core
-/// host the 8-thread column measures pure overhead. The JSON records
-/// the host parallelism so the speedup is interpretable.
+/// Parallel cells run [`ParallelMode::PooledAuto`] — the persistent
+/// worker pool, clamped to the host's cores, which is what a real
+/// deployment should run. The headline `speedup_64rpps_8_threads` is a
+/// separate paired interleaved best-of comparison so scheduler noise
+/// cannot bias it; `pool_vs_scoped` isolates the pool's win over the
+/// legacy per-call scoped threads at a fixed (unclamped) 8 threads.
+/// The JSON records the host parallelism and each cell's effective
+/// thread count so every number is interpretable.
 fn bench_control_plane_matrix(obs: &ObsOverhead) {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -229,12 +268,14 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
         let rpps = sbs * rpps_per_sb;
         for &threads in &[1usize, 8] {
             for &spread in &spreads {
-                let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads, spread);
+                let mode = ParallelMode::PooledAuto;
+                let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads, mode, spread);
                 assert!(
                     threads == 1 || dc.system().supports_parallel_leaves(),
                     "matrix topology must support parallel leaves"
                 );
                 let servers = dc.fleet().len();
+                let effective_threads = dc.effective_worker_threads();
                 let phase_spread_ms = spread.as_millis();
                 let label = if spread.is_zero() {
                     "lockstep "
@@ -242,11 +283,13 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
                     "staggered"
                 };
                 let ticks_per_sec = measure_ticks_per_sec(&mut dc);
-                println!("  rpps={rpps:<3} servers={servers:<5} threads={threads} {label}  {ticks_per_sec:>10.0} ticks/s");
+                println!("  rpps={rpps:<3} servers={servers:<5} threads={threads} (eff {effective_threads}) {label}  {ticks_per_sec:>10.0} ticks/s");
                 points.push(MatrixPoint {
                     rpps,
                     servers,
                     threads,
+                    effective_threads,
+                    mode: mode_label(mode),
                     phase_spread_ms,
                     ticks_per_sec,
                 });
@@ -261,12 +304,32 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
             .map(|p| p.ticks_per_sec)
             .unwrap_or(f64::NAN)
     };
-    let speedup = rate(64, 8, 0) / rate(64, 1, 0);
     let stagger_ratio = rate(64, 1, staggered_leaf_spread().as_millis()) / rate(64, 1, 0);
-    println!("  speedup at 64 RPPs, 8 threads vs 1 (lockstep): {speedup:.2}x");
+
+    // Headline: what `--threads 8` actually buys over serial at 64
+    // RPPs under the auto-clamped pool, paired and interleaved.
+    let (serial, auto8) = paired_best_of(
+        7,
+        || matrix_datacenter(8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
+        || matrix_datacenter(8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
+    );
+    let speedup = auto8 / serial;
+
+    // The pool's win over the legacy scoped-thread dispatch at a fixed
+    // 8 threads — both sides pay the same oversubscription, so the
+    // difference is persistent-parked-workers vs spawn/join per call.
+    let (pooled8, scoped8) = paired_best_of(
+        5,
+        || matrix_datacenter(8, 8, 8, ParallelMode::Pooled, SimDuration::ZERO),
+        || matrix_datacenter(8, 8, 8, ParallelMode::Scoped, SimDuration::ZERO),
+    );
+    let pool_vs_scoped = pooled8 / scoped8;
+
+    println!("  speedup at 64 RPPs, 8 threads (auto) vs 1: {speedup:.2}x ({auto8:.0} vs {serial:.0} ticks/s)");
+    println!("  pool vs scoped at 64 RPPs, 8 threads: {pool_vs_scoped:.2}x ({pooled8:.0} vs {scoped8:.0} ticks/s)");
     println!("  staggered vs lockstep at 64 RPPs, 1 thread: {stagger_ratio:.2}x");
     if host_cpus < 2 {
-        println!("  (single-core host: the 8-thread column measures spawn/join overhead only)");
+        println!("  (single-core host: auto clamps to 1 worker, so the speedup measures the clamp itself)");
     }
 
     let mut json = String::from("{\n  \"bench\": \"controlplane_ticks_per_sec\",\n");
@@ -275,17 +338,25 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
     ));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"phase_spread_ms\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
+            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"effective_threads\": {}, \"mode\": \"{}\", \"phase_spread_ms\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
             p.rpps,
             p.servers,
             p.threads,
+            p.effective_threads,
+            p.mode,
             p.phase_spread_ms,
             p.ticks_per_sec,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3},\n"
+        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"pool_vs_scoped\": {{\"rpps\": 64, \"threads\": 8, \"pooled_ticks_per_sec\": {pooled8:.1}, \"scoped_ticks_per_sec\": {scoped8:.1}, \"ratio\": {pool_vs_scoped:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3},\n"
     ));
     json.push_str(&format!(
         "  \"observability_overhead\": {{\"baseline_ticks_per_sec\": {:.1}, \"instrumented_ticks_per_sec\": {:.1}, \"delta_pct\": {:.2}, \"budget_pct\": 3.0}}\n}}\n",
@@ -300,7 +371,32 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
     }
 }
 
+/// CI thread-scaling smoke: serial vs `--threads 8` (auto-clamped
+/// pool) at 64 RPPs, paired interleaved best-of-5. Exits nonzero if
+/// the parallel configuration falls below 0.9× serial — the pool (or
+/// its clamp) must never make the simulation meaningfully slower.
+fn scaling_smoke() {
+    let (serial, auto8) = paired_best_of(
+        5,
+        || matrix_datacenter(8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
+        || matrix_datacenter(8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
+    );
+    let ratio = auto8 / serial;
+    println!("thread-scaling smoke (64 RPPs, 10240 servers, lockstep):");
+    println!("  threads=1       {serial:>10.0} ticks/s");
+    println!("  threads=8(auto) {auto8:>10.0} ticks/s");
+    println!("  ratio           {ratio:>10.2}x (floor 0.90x)");
+    if ratio.is_nan() || ratio < 0.90 {
+        eprintln!("FAIL: parallel throughput below 0.9x serial");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--scaling-smoke") {
+        scaling_smoke();
+        return;
+    }
     bench_three_band();
     bench_distribution();
     bench_leaf_cycle();

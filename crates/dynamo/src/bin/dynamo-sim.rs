@@ -19,7 +19,7 @@
 use std::path::PathBuf;
 
 use dcsim::SimDuration;
-use dynamo::{DatacenterBuilder, ObsConfig, RunReport};
+use dynamo::{DatacenterBuilder, ObsConfig, ParallelMode, RunReport};
 use powerinfra::Power;
 use serverpower::ServerGeneration;
 use workloads::{ServiceKind, TrafficPattern};
@@ -197,6 +197,9 @@ fn main() {
         .capping_enabled(args.capping)
         .dry_run(args.dry_run)
         .worker_threads(args.threads)
+        // Requesting more threads than the host has cores would only
+        // oversubscribe it; the auto mode clamps (results unchanged).
+        .parallel_mode(ParallelMode::PooledAuto)
         .phase_spread(SimDuration::from_secs_f64(args.phase_spread))
         .seed(args.seed);
     if let Some(kw) = args.rpp_kw {

@@ -9,7 +9,7 @@ use serverpower::{ServerConfig, ServerGeneration};
 use workloads::{ServiceKind, TrafficPattern};
 
 use crate::control_plane::{DynamoSystem, SystemConfig};
-use crate::datacenter::Datacenter;
+use crate::datacenter::{Datacenter, ParallelMode};
 use crate::fleet::Fleet;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::validator::BreakerValidator;
@@ -66,6 +66,7 @@ pub struct DatacenterBuilder {
     seed: u64,
     tick: SimDuration,
     worker_threads: usize,
+    parallel: ParallelMode,
     system: SystemConfig,
     telemetry: TelemetryConfig,
 }
@@ -85,6 +86,7 @@ impl Default for DatacenterBuilder {
             seed: 0,
             tick: SimDuration::from_secs(1),
             worker_threads: 1,
+            parallel: ParallelMode::default(),
             system: SystemConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -248,6 +250,16 @@ impl DatacenterBuilder {
         self
     }
 
+    /// Parallel dispatch strategy for both hot fan-outs (default
+    /// [`ParallelMode::Pooled`]: a persistent worker pool of exactly
+    /// [`DatacenterBuilder::worker_threads`] threads). Use
+    /// [`ParallelMode::PooledAuto`] to clamp at the host's cores, or
+    /// [`ParallelMode::Scoped`] for the legacy per-call threads.
+    pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
+        self.parallel = mode;
+        self
+    }
+
     /// Disables capping: Dynamo monitors but never acts (the no-Dynamo
     /// baseline).
     pub fn capping_enabled(mut self, enabled: bool) -> Self {
@@ -379,6 +391,7 @@ impl DatacenterBuilder {
         let mut dc = Datacenter::assemble(
             topo, fleet, system, telemetry, watched, self.tick, validator,
         );
+        dc.set_parallel_mode(self.parallel);
         dc.set_worker_threads(self.worker_threads);
         dc
     }

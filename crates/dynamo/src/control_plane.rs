@@ -1,6 +1,8 @@
 //! The deployed controller hierarchy, driven by per-controller
 //! scheduled cycles on the `dcsim` event queue.
 
+use std::sync::Arc;
+
 use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
 use dynamo_controller::{ServiceClass, ThreeBandConfig};
 use dynobs::ObsConfig;
@@ -13,6 +15,7 @@ use crate::fleet::Fleet;
 use crate::leaf_exec::LeafTier;
 use crate::obs::Observability;
 use crate::upper_exec::UpperTier;
+use dynpool::WorkerPool;
 
 /// Deployment configuration for the control plane.
 #[derive(Debug, Clone)]
@@ -88,6 +91,10 @@ pub struct DynamoSystem {
     failover: FailoverState,
     dispatcher: CycleDispatcher,
     obs: Observability,
+    /// Persistent worker pool for same-instant leaf dispatch, shared
+    /// with the fleet by the embedding [`crate::Datacenter`]. Without
+    /// one the parallel path spawns scoped threads per dispatch.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl DynamoSystem {
@@ -130,7 +137,28 @@ impl DynamoSystem {
             failover,
             dispatcher,
             obs,
+            pool: None,
         }
+    }
+
+    /// Attaches a persistent worker pool for same-instant leaf
+    /// dispatch. The datacenter shares one pool between fleet physics
+    /// and the control plane so both fan-outs reuse the same parked
+    /// workers.
+    pub fn attach_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Detaches the worker pool; parallel leaf dispatch falls back to
+    /// per-call scoped threads.
+    pub fn detach_pool(&mut self) {
+        self.pool = None;
+    }
+
+    /// The control plane's per-leaf server-id spans, when every leaf
+    /// owns a contiguous ascending range tiling the fleet.
+    pub(crate) fn leaf_spans(&self) -> Option<&[std::ops::Range<usize>]> {
+        self.leaves.spans.as_deref()
     }
 
     /// The deployment configuration.
@@ -314,8 +342,9 @@ impl DynamoSystem {
     /// tick; each controller tracks its own cycle schedule on the
     /// dispatcher's event queue, so with a nonzero phase spread
     /// different leaves fire on different ticks. Leaves due at the same
-    /// instant are batched into one scoped-thread dispatch when the
-    /// parallel path is enabled.
+    /// instant are batched into one parallel dispatch when the parallel
+    /// path is enabled — onto the persistent worker pool when one is
+    /// attached, else onto per-call scoped threads.
     pub fn tick(&mut self, now: SimTime, fleet: &mut Fleet) -> Vec<ControllerEvent> {
         let mut events = Vec::new();
         self.dispatcher.collect_due(now);
@@ -325,15 +354,29 @@ impl DynamoSystem {
                 .control_threads
                 .min(self.dispatcher.leaf_due().len());
             if threads > 1 && self.config.capping_enabled && self.leaves.spans.is_some() {
-                self.leaves.run_due_parallel(
-                    now,
-                    self.dispatcher.leaf_due(),
-                    threads,
-                    &mut self.failover,
-                    fleet,
-                    &mut events,
-                    &mut self.obs,
-                );
+                if let Some(pool) = &self.pool {
+                    let pool = Arc::clone(pool);
+                    self.leaves.run_due_pooled(
+                        now,
+                        self.dispatcher.leaf_due(),
+                        threads,
+                        &pool,
+                        &mut self.failover,
+                        fleet,
+                        &mut events,
+                        &mut self.obs,
+                    );
+                } else {
+                    self.leaves.run_due_scoped(
+                        now,
+                        self.dispatcher.leaf_due(),
+                        threads,
+                        &mut self.failover,
+                        fleet,
+                        &mut events,
+                        &mut self.obs,
+                    );
+                }
             } else {
                 self.leaves.run_due_serial(
                     now,

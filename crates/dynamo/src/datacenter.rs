@@ -1,6 +1,10 @@
 //! The end-to-end datacenter simulation.
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use dcsim::{SimDuration, SimTime};
+use dynpool::{WorkerPool, MAX_WORKERS};
 use powerinfra::{BreakerStatus, DeviceId, Power, Topology};
 use workloads::ServiceKind;
 
@@ -8,6 +12,26 @@ use crate::control_plane::DynamoSystem;
 use crate::fleet::Fleet;
 use crate::telemetry::{BreakerEvent, Telemetry};
 use crate::validator::BreakerValidator;
+
+/// How the datacenter parallelizes its two hot fan-outs — fleet physics
+/// ([`Fleet::step_parallel`]) and same-instant leaf control dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// Persistent worker pool with exactly the requested thread count
+    /// (the default). Workers are created once, parked between
+    /// dispatches, and woken through atomic-flag mailboxes.
+    #[default]
+    Pooled,
+    /// Persistent worker pool clamped to the host's available
+    /// parallelism: requesting more threads than cores oversubscribes
+    /// the host and slows the run down, so the extra workers are simply
+    /// not created. The simulation stays bit-identical — only wall
+    /// clock changes.
+    PooledAuto,
+    /// Legacy dispatch: scoped threads spawned per call, no persistent
+    /// pool. Kept as the baseline the pool is benchmarked against.
+    Scoped,
+}
 
 /// A running datacenter: topology + fleet + control plane + telemetry,
 /// advanced by a fixed simulation tick.
@@ -37,8 +61,21 @@ pub struct Datacenter {
     /// Cross-validation of controller aggregates against coarse breaker
     /// readings (§VI).
     validator: BreakerValidator,
-    /// Worker threads for fleet physics (1 = serial).
+    /// Requested worker threads for fleet physics and leaf dispatch
+    /// (1 = serial).
     worker_threads: usize,
+    /// Parallel dispatch strategy.
+    parallel_mode: ParallelMode,
+    /// Threads actually used after applying the mode's clamping.
+    effective_threads: usize,
+    /// The shared persistent worker pool (pooled modes, threads > 1).
+    pool: Option<Arc<WorkerPool>>,
+    /// Contiguous server-id range per device, when its subtree is one —
+    /// always true for grid topologies — so subtree power aggregation
+    /// is a flat slice scan instead of an id-list walk.
+    subtree_range: Vec<Option<Range<usize>>>,
+    /// Reused buffer for per-sample watched-device readings.
+    watched_scratch: Vec<(DeviceId, Power)>,
     /// Validator alerts already forwarded to observability.
     alerts_seen: usize,
 }
@@ -54,8 +91,15 @@ impl Datacenter {
         validator: BreakerValidator,
     ) -> Self {
         let subtree: Vec<Vec<u32>> = topo.iter().map(|d| topo.servers_under(d.id)).collect();
+        let subtree_range = subtree.iter().map(|ids| contiguous_range(ids)).collect();
         let device_ids: Vec<DeviceId> = topo.iter().map(|d| d.id).collect();
         let breaker_status = vec![BreakerStatus::Nominal; topo.device_count()];
+        let mut fleet = fleet;
+        if let Some(spans) = system.leaf_spans() {
+            // Let the fleet maintain per-leaf power partials, so leaf
+            // aggregate pulls are single lookups.
+            fleet.set_leaf_spans(spans);
+        }
         Datacenter {
             topo,
             fleet,
@@ -69,13 +113,19 @@ impl Datacenter {
             breaker_status,
             validator,
             worker_threads: 1,
+            parallel_mode: ParallelMode::default(),
+            effective_threads: 1,
+            pool: None,
+            subtree_range,
+            watched_scratch: Vec::new(),
             alerts_seen: 0,
         }
     }
 
     /// Sets the number of worker threads used for fleet physics *and*
     /// leaf control cycles. The simulation is bit-identical at any
-    /// thread count.
+    /// thread count. Under the pooled modes (the default) this creates
+    /// or resizes the persistent worker pool shared by both fan-outs.
     ///
     /// # Panics
     ///
@@ -83,7 +133,68 @@ impl Datacenter {
     pub fn set_worker_threads(&mut self, threads: usize) {
         assert!(threads >= 1, "need at least one worker thread");
         self.worker_threads = threads;
-        self.system.set_control_threads(threads);
+        self.apply_threads();
+    }
+
+    /// Sets the parallel dispatch strategy (default
+    /// [`ParallelMode::Pooled`]) and re-applies the current thread
+    /// count under it.
+    pub fn set_parallel_mode(&mut self, mode: ParallelMode) {
+        self.parallel_mode = mode;
+        self.apply_threads();
+    }
+
+    /// The threads actually in use after the mode's clamping —
+    /// [`ParallelMode::PooledAuto`] caps at the host's available
+    /// parallelism, the pooled modes at the pool's maximum size.
+    pub fn effective_worker_threads(&self) -> usize {
+        self.effective_threads
+    }
+
+    /// Resolves `(worker_threads, parallel_mode)` into a pool and a
+    /// dispatch width, tearing down or rebuilding the shared pool only
+    /// when the effective size changes.
+    fn apply_threads(&mut self) {
+        let requested = self.worker_threads;
+        let (pool_size, dispatch) = match self.parallel_mode {
+            ParallelMode::Scoped => (0, requested),
+            ParallelMode::Pooled => {
+                let e = requested.min(MAX_WORKERS);
+                (e, e)
+            }
+            ParallelMode::PooledAuto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let e = requested.min(cores).min(MAX_WORKERS);
+                (e, e)
+            }
+        };
+        self.effective_threads = dispatch;
+        self.system.set_control_threads(dispatch);
+        if pool_size > 1 {
+            if self.pool.as_ref().map(|p| p.workers()) != Some(pool_size) {
+                self.pool = Some(Arc::new(WorkerPool::new(pool_size)));
+            }
+            let pool = self.pool.as_ref().expect("pool built above");
+            self.fleet.attach_pool(Arc::clone(pool));
+            self.system.attach_pool(Arc::clone(pool));
+        } else {
+            self.pool = None;
+            self.fleet.detach_pool();
+            self.system.detach_pool();
+        }
+    }
+
+    /// True subtree power of device index `i`: a flat contiguous scan
+    /// when the subtree is one server-id run (grid topologies), the
+    /// id-list walk otherwise. Both are the same ascending fold, so the
+    /// result is bit-identical either way.
+    fn subtree_power(&self, i: usize) -> Power {
+        match &self.subtree_range[i] {
+            Some(range) => self.fleet.power_sum_range(range.clone()),
+            None => self.fleet.power_sum(&self.subtree[i]),
+        }
     }
 
     /// Current simulated time.
@@ -130,7 +241,7 @@ impl Datacenter {
     /// True power currently flowing through `device` (sum of subtree
     /// servers).
     pub fn device_power(&self, device: DeviceId) -> Power {
-        self.fleet.power_sum(&self.subtree[device.index()])
+        self.subtree_power(device.index())
     }
 
     /// Power through `device` attributable to one service (Figure 15's
@@ -158,9 +269,9 @@ impl Datacenter {
         let now = self.now;
 
         // 1. Workloads and server physics.
-        if self.worker_threads > 1 {
+        if self.effective_threads > 1 {
             self.fleet
-                .step_parallel(now, self.tick, self.worker_threads);
+                .step_parallel(now, self.tick, self.effective_threads);
         } else {
             self.fleet.step(now, self.tick);
         }
@@ -168,7 +279,7 @@ impl Datacenter {
         // 2. Breaker thermal models over true subtree power.
         for i in 0..self.device_ids.len() {
             let id = self.device_ids[i];
-            let draw = self.fleet.power_sum(&self.subtree[i]);
+            let draw = self.subtree_power(i);
             let status = self.topo.device_mut(id).breaker.step(draw, self.tick);
             if status != self.breaker_status[i] {
                 self.breaker_status[i] = status;
@@ -183,9 +294,11 @@ impl Datacenter {
                         i as u32,
                         self.topo.device(id).name.as_str().into(),
                     );
-                    // A tripped breaker blacks out everything below it.
+                    // A tripped breaker blacks out everything below
+                    // it. Routed through the fleet's alive hook so the
+                    // cached power arrays stay exact mid-step.
                     for &s in &self.subtree[i] {
-                        self.fleet.agent_mut(s).server_mut().set_alive(false);
+                        self.fleet.set_server_alive(s, false);
                     }
                 }
             }
@@ -202,7 +315,7 @@ impl Datacenter {
             for dev in self.system.leaf_devices() {
                 let dev = *dev;
                 if let Some(aggregate) = self.system.leaf_aggregate(dev) {
-                    let true_power = self.fleet.power_sum(&self.subtree[dev.index()]);
+                    let true_power = self.subtree_power(dev.index());
                     self.validator.observe(now, dev, true_power, aggregate);
                 }
             }
@@ -220,11 +333,13 @@ impl Datacenter {
 
         // 5. Telemetry sampling.
         if self.telemetry.sample_due(now) {
-            let watched: Vec<(DeviceId, Power)> = self
-                .watched
-                .iter()
-                .map(|&d| (d, self.fleet.power_sum(&self.subtree[d.index()])))
-                .collect();
+            let mut watched = std::mem::take(&mut self.watched_scratch);
+            watched.clear();
+            watched.extend(
+                self.watched
+                    .iter()
+                    .map(|&d| (d, self.subtree_power(d.index()))),
+            );
             let stats = self.fleet.stats();
             let obs = self.system.observability_mut();
             if obs.is_enabled() {
@@ -232,6 +347,7 @@ impl Datacenter {
             }
             self.telemetry
                 .record_sample(now, &watched, stats.capped_servers, stats.total_power);
+            self.watched_scratch = watched;
         }
 
         // Best-effort incident-dump shipping: a write failure leaves
@@ -272,9 +388,19 @@ impl Datacenter {
         self.topo.device_mut(device).breaker.reset();
         self.breaker_status[device.index()] = BreakerStatus::Nominal;
         for &s in &self.subtree[device.index()] {
-            self.fleet.agent_mut(s).server_mut().set_alive(true);
+            self.fleet.set_server_alive(s, true);
         }
     }
+}
+
+/// `Some(start..end)` when `ids` is the contiguous ascending run
+/// `start..end`, else `None`.
+fn contiguous_range(ids: &[u32]) -> Option<Range<usize>> {
+    let first = *ids.first()? as usize;
+    ids.iter()
+        .enumerate()
+        .all(|(k, &sid)| sid as usize == first + k)
+        .then(|| first..first + ids.len())
 }
 
 impl std::fmt::Debug for Datacenter {

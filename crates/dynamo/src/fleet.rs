@@ -1,9 +1,31 @@
 //! The simulated server fleet: agents, workloads, failures.
+//!
+//! # Hot-path layout (struct of arrays)
+//!
+//! The per-tick step writes every server's post-step state into flat
+//! parallel arrays — power draw in watts, post-clamp utilization, and
+//! the service (traffic-multiplier) index — so the aggregation queries
+//! ([`Fleet::power_sum`], [`Fleet::power_sum_of_service`],
+//! [`Fleet::stats`]) scan contiguous `f64` slices instead of
+//! pointer-chasing through [`Agent`] → server → actuator. When the
+//! control plane has leaf spans, the step additionally maintains one
+//! power partial sum per leaf, so telemetry pulls of leaf aggregates
+//! are a single lookup. Every cached sum is computed as the same
+//! ascending-index `f64` fold the old per-agent walk performed, so all
+//! results are bit-identical to live reads.
+//!
+//! Out-of-band mutation through [`Fleet::agent_mut`] marks the cache
+//! dirty; queries then fall back to live reads until the next step
+//! rebuilds the arrays. The breaker blackout path uses
+//! [`Fleet::set_server_alive`], which keeps the cache exact instead.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
+use dynpool::{WorkerPool, MAX_WORKERS};
 use powerinfra::Power;
 use serverpower::{Server, ServerConfig};
 use workloads::{ServiceKind, ServiceWorkload, TrafficPattern};
@@ -17,6 +39,24 @@ pub struct FleetStats {
     pub agents_down: usize,
     /// Total true power of all servers.
     pub total_power: Power,
+}
+
+/// Precomputed per-worker partitions for [`Fleet::step_parallel`],
+/// cached so the hot path never re-carves chunk boundaries.
+///
+/// When the control plane's leaf spans are known, partitions are
+/// leaf-aligned and built by the same chunking rule the leaf dispatch
+/// uses (`div_ceil` over whole leaves), so a server's worker assignment
+/// is identical across fleet stepping and leaf control cycles.
+#[derive(Debug, Default)]
+struct Partition {
+    /// Requested thread count this partition was computed for.
+    threads: usize,
+    /// Per-worker agent index ranges (ascending, tiling `0..n`).
+    agents: Vec<Range<usize>>,
+    /// Per-worker leaf index ranges (empty ranges when the fleet has no
+    /// leaf spans).
+    leaves: Vec<Range<usize>>,
 }
 
 /// Every server in the datacenter: its [`Agent`] (which owns the
@@ -41,6 +81,31 @@ pub struct Fleet {
     /// Crashed agents pending restart: (server, restart time).
     pending_restarts: Vec<(u32, SimTime)>,
     rng: SimRng,
+    /// SoA hot path: true power draw (watts) of each server after its
+    /// last physics step, in server-id order.
+    power_w: Vec<f64>,
+    /// SoA hot path: post-clamp demand utilization at the last step.
+    util: Vec<f64>,
+    /// SoA hot path: [`ServiceKind::index`] per server — the traffic
+    /// multiplier / static-cap index, denormalized out of `services`.
+    mult_idx: Vec<u8>,
+    /// Set by [`Fleet::agent_mut`]: an embedder may have changed server
+    /// power outside the step path, so cached sums cannot be trusted
+    /// until the next step rewrites them. Queries fall back to live
+    /// per-agent reads while set.
+    power_dirty: bool,
+    /// The control plane's per-leaf server spans (ascending, tiling
+    /// `0..n`), when known. Empty otherwise.
+    leaf_spans: Vec<Range<usize>>,
+    /// Per-leaf power partial sums (watts), rebuilt by every step as
+    /// the ascending flat fold over the leaf's span.
+    leaf_power_w: Vec<f64>,
+    /// Cached per-worker partition for the last-used thread count.
+    partition: Partition,
+    /// Persistent worker pool shared with the leaf control plane.
+    /// Without one, [`Fleet::step_parallel`] falls back to per-call
+    /// scoped threads (the legacy dispatch, kept for comparison).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Fleet {
@@ -57,8 +122,9 @@ impl Fleet {
             "configs/services length mismatch"
         );
         assert!(!configs.is_empty(), "fleet cannot be empty");
-        let mut agents = Vec::with_capacity(configs.len());
-        let mut generators = Vec::with_capacity(configs.len());
+        let n = configs.len();
+        let mut agents = Vec::with_capacity(n);
+        let mut generators = Vec::with_capacity(n);
         let mut agent_rng = rng.split("agents");
         let mut wl_rng = rng.split("workloads");
         for (i, (config, &service)) in configs.into_iter().zip(&services).enumerate() {
@@ -66,6 +132,7 @@ impl Fleet {
             agents.push(Agent::new(server, agent_rng.split_index(i as u64)));
             generators.push(ServiceWorkload::new(service, wl_rng.split_index(i as u64)));
         }
+        let mult_idx = services.iter().map(|s| s.index() as u8).collect();
         Fleet {
             agents,
             services,
@@ -76,6 +143,16 @@ impl Fleet {
             watchdog_delay: SimDuration::from_secs(30),
             pending_restarts: Vec::new(),
             rng: rng.split("fleet-events"),
+            // Pre-step, every server's RAPL output is zero, matching a
+            // live read.
+            power_w: vec![0.0; n],
+            util: vec![0.0; n],
+            mult_idx,
+            power_dirty: false,
+            leaf_spans: Vec::new(),
+            leaf_power_w: Vec::new(),
+            partition: Partition::default(),
+            pool: None,
         }
     }
 
@@ -119,6 +196,33 @@ impl Fleet {
         self.crash_rate_per_hour = per_hour;
     }
 
+    /// Attaches a persistent worker pool for [`Fleet::step_parallel`].
+    /// The datacenter shares one pool between fleet physics and leaf
+    /// control cycles so both fan-outs reuse the same parked workers.
+    pub fn attach_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Detaches the worker pool; parallel stepping falls back to
+    /// per-call scoped threads.
+    pub fn detach_pool(&mut self) {
+        self.pool = None;
+    }
+
+    /// Registers the control plane's per-leaf server spans so the step
+    /// maintains per-leaf power partials and leaf-aligned worker
+    /// partitions. Spans must ascend and tile `0..len`.
+    pub(crate) fn set_leaf_spans(&mut self, spans: &[Range<usize>]) {
+        debug_assert!(spans
+            .iter()
+            .zip(spans.iter().skip(1))
+            .all(|(a, b)| a.end == b.start));
+        self.leaf_spans = spans.to_vec();
+        self.leaf_power_w = vec![0.0; spans.len()];
+        leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
+        self.partition = Partition::default();
+    }
+
     /// The service running on server `sid`.
     pub fn service_of(&self, sid: u32) -> ServiceKind {
         self.services[sid as usize]
@@ -129,35 +233,105 @@ impl Fleet {
         &self.agents[sid as usize]
     }
 
-    /// Mutable agent access (the controller RPC path goes through this).
+    /// Mutable agent access (experiment hooks). Marks the fleet's
+    /// cached power arrays dirty: power queries fall back to live
+    /// per-agent reads until the next step rebuilds the cache.
     pub fn agent_mut(&mut self, sid: u32) -> &mut Agent {
+        self.power_dirty = true;
         &mut self.agents[sid as usize]
     }
 
     /// Mutable access to the whole agent array, indexed by server id.
     /// The parallel control plane partitions this into disjoint
-    /// per-leaf spans with `split_at_mut`.
+    /// per-leaf spans with `split_at_mut`. Does not mark the power
+    /// cache dirty: the controller RPC path only programs RAPL limits,
+    /// which change drawn power at the next physics step, never
+    /// immediately.
     pub(crate) fn agents_mut(&mut self) -> &mut [Agent] {
         &mut self.agents
     }
 
-    /// The true (physics) power of server `sid` right now.
-    pub fn power_of(&self, sid: u32) -> Power {
-        self.agents[sid as usize].server().power()
+    /// Powers a server on or off (breaker blackout path), keeping the
+    /// cached power arrays exact — a dead server reads zero watts
+    /// immediately, a revived one its retained actuator output.
+    pub fn set_server_alive(&mut self, sid: u32, alive: bool) {
+        let i = sid as usize;
+        self.agents[i].server_mut().set_alive(alive);
+        self.power_w[i] = self.agents[i].server().power().as_watts();
+        if !self.leaf_spans.is_empty() {
+            let leaf = self.leaf_spans.partition_point(|s| s.end <= i);
+            if let Some(span) = self.leaf_spans.get(leaf) {
+                if span.contains(&i) {
+                    self.leaf_power_w[leaf] = self.power_w[span.clone()].iter().sum();
+                }
+            }
+        }
     }
 
-    /// Sum of true power over a set of servers.
+    /// The true (physics) power of server `sid` right now.
+    pub fn power_of(&self, sid: u32) -> Power {
+        if self.power_dirty {
+            self.agents[sid as usize].server().power()
+        } else {
+            Power::from_watts(self.power_w[sid as usize])
+        }
+    }
+
+    /// Sum of true power over a set of servers: an ascending flat scan
+    /// of the cached watts array, bit-identical to summing live reads.
     pub fn power_sum(&self, sids: &[u32]) -> Power {
-        sids.iter().map(|&s| self.power_of(s)).sum()
+        if self.power_dirty {
+            return sids
+                .iter()
+                .map(|&s| self.agents[s as usize].server().power())
+                .sum();
+        }
+        Power::from_watts(sids.iter().map(|&s| self.power_w[s as usize]).sum())
+    }
+
+    /// Sum of true power over a contiguous server-id range — the
+    /// telemetry fast path for grid topologies, where every device's
+    /// subtree is one such range.
+    pub(crate) fn power_sum_range(&self, range: Range<usize>) -> Power {
+        if self.power_dirty {
+            return self.agents[range].iter().map(|a| a.server().power()).sum();
+        }
+        Power::from_watts(self.power_w[range].iter().sum())
+    }
+
+    /// The maintained power partial of leaf `leaf`, if the fleet knows
+    /// the control plane's leaf spans and the cache is clean. The
+    /// partial is the ascending flat fold over the leaf's span — the
+    /// exact sum [`Fleet::power_sum`] would compute over its ids.
+    pub(crate) fn leaf_power(&self, leaf: usize) -> Option<Power> {
+        if self.power_dirty {
+            return None;
+        }
+        self.leaf_power_w.get(leaf).map(|&w| Power::from_watts(w))
     }
 
     /// Sum of true power over a set of servers, restricted to one
     /// service (Figure 15's per-service breakdown).
     pub fn power_sum_of_service(&self, sids: &[u32], kind: ServiceKind) -> Power {
-        sids.iter()
-            .filter(|&&s| self.services[s as usize] == kind)
-            .map(|&s| self.power_of(s))
-            .sum()
+        if self.power_dirty {
+            return sids
+                .iter()
+                .filter(|&&s| self.services[s as usize] == kind)
+                .map(|&s| self.agents[s as usize].server().power())
+                .sum();
+        }
+        Power::from_watts(
+            sids.iter()
+                .filter(|&&s| self.services[s as usize] == kind)
+                .map(|&s| self.power_w[s as usize])
+                .sum(),
+        )
+    }
+
+    /// The post-clamp demand utilization server `sid` was stepped with
+    /// most recently.
+    pub fn utilization_of(&self, sid: u32) -> f64 {
+        self.util[sid as usize]
     }
 
     /// Advances every server by one tick: samples traffic, draws demand
@@ -165,26 +339,32 @@ impl Fleet {
     /// physics, and processes agent crash/restart events.
     pub fn step(&mut self, now: SimTime, dt: SimDuration) {
         let mults = self.traffic_multipliers(now);
-        for i in 0..self.agents.len() {
-            let kind = self.services[i];
-            advance_one(
-                &mut self.agents[i],
-                &mut self.generators[i],
-                kind,
-                mults[kind.index()],
-                &self.static_util_caps,
-                now,
-                dt,
-            );
-        }
+        step_span(
+            &mut self.agents,
+            &mut self.generators,
+            &self.mult_idx,
+            &mut self.power_w,
+            &mut self.util,
+            &mults,
+            &self.static_util_caps,
+            now,
+            dt,
+        );
+        leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
+        self.power_dirty = false;
         self.process_failures(now, dt);
     }
 
-    /// Like [`Fleet::step`] but advances servers on `threads` worker
-    /// threads. Per-server workload processes own independent RNG
-    /// streams, so the result is bit-identical to the serial path —
-    /// this mirrors the production deployment where one consolidated
-    /// binary runs ~100 controller/agent threads (§IV).
+    /// Like [`Fleet::step`] but advances servers on `threads` workers.
+    /// Per-server workload processes own independent RNG streams, so
+    /// the result is bit-identical to the serial path — this mirrors
+    /// the production deployment where one consolidated binary runs
+    /// ~100 controller/agent threads (§IV).
+    ///
+    /// With a pool attached ([`Fleet::attach_pool`]) the dispatch wakes
+    /// the persistent parked workers over precomputed leaf-aligned
+    /// partitions and allocates nothing once warm; without one it falls
+    /// back to the legacy per-call scoped threads.
     ///
     /// # Panics
     ///
@@ -194,28 +374,176 @@ impl Fleet {
         if threads == 1 || self.agents.len() < 64 {
             return self.step(now, dt);
         }
+        match &self.pool {
+            Some(pool) => {
+                let pool = Arc::clone(pool);
+                self.step_pooled(now, dt, threads, &pool);
+            }
+            None => self.step_scoped(now, dt, threads),
+        }
+        self.power_dirty = false;
+        self.process_failures(now, dt);
+    }
+
+    /// Pooled parallel step: per-worker jobs over the precomputed
+    /// partition, zero-alloc once the partition is cached.
+    fn step_pooled(&mut self, now: SimTime, dt: SimDuration, threads: usize, pool: &WorkerPool) {
+        let workers = threads.min(pool.workers());
+        self.ensure_partition(workers);
+        let mults = self.traffic_multipliers(now);
+        let caps = self.static_util_caps;
+
+        /// One worker's disjoint view of the fleet arrays.
+        struct StepJob<'a> {
+            agents: &'a mut [Agent],
+            generators: &'a mut [ServiceWorkload],
+            mult_idx: &'a [u8],
+            power_w: &'a mut [f64],
+            util: &'a mut [f64],
+            /// This worker's leaves: partial-sum outputs and the
+            /// matching global spans.
+            leaf_power_w: &'a mut [f64],
+            leaf_spans: &'a [Range<usize>],
+            /// Server id of `agents[0]`.
+            base: usize,
+        }
+
+        let mut jobs: [Option<StepJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
+        let njobs = self.partition.agents.len();
+        {
+            let mut agents = &mut self.agents[..];
+            let mut generators = &mut self.generators[..];
+            let mut mult_idx = &self.mult_idx[..];
+            let mut power_w = &mut self.power_w[..];
+            let mut util = &mut self.util[..];
+            let mut leaf_power_w = &mut self.leaf_power_w[..];
+            let mut consumed = 0usize;
+            let mut leaves_consumed = 0usize;
+            for (job, (arange, lrange)) in jobs
+                .iter_mut()
+                .zip(self.partition.agents.iter().zip(&self.partition.leaves))
+            {
+                debug_assert_eq!(arange.start, consumed, "partition must tile the fleet");
+                let take = arange.end - arange.start;
+                let (a, rest) = agents.split_at_mut(take);
+                agents = rest;
+                let (g, rest) = generators.split_at_mut(take);
+                generators = rest;
+                let (m, rest) = mult_idx.split_at(take);
+                mult_idx = rest;
+                let (p, rest) = power_w.split_at_mut(take);
+                power_w = rest;
+                let (u, rest) = util.split_at_mut(take);
+                util = rest;
+                debug_assert_eq!(lrange.start, leaves_consumed);
+                let (lp, rest) = leaf_power_w.split_at_mut(lrange.end - lrange.start);
+                leaf_power_w = rest;
+                *job = Some(StepJob {
+                    agents: a,
+                    generators: g,
+                    mult_idx: m,
+                    power_w: p,
+                    util: u,
+                    leaf_power_w: lp,
+                    leaf_spans: &self.leaf_spans[lrange.clone()],
+                    base: consumed,
+                });
+                consumed = arange.end;
+                leaves_consumed = lrange.end;
+            }
+        }
+        pool.run_on(&mut jobs[..njobs], |_w, slot| {
+            let job = slot.as_mut().expect("partition slot filled above");
+            step_span(
+                job.agents,
+                job.generators,
+                job.mult_idx,
+                job.power_w,
+                job.util,
+                &mults,
+                &caps,
+                now,
+                dt,
+            );
+            leaf_partials(job.power_w, job.base, job.leaf_spans, job.leaf_power_w);
+        });
+    }
+
+    /// Legacy parallel step: per-call scoped threads over plain
+    /// `div_ceil` agent chunks. Kept as the no-pool fallback and the
+    /// baseline the pool is benchmarked against.
+    fn step_scoped(&mut self, now: SimTime, dt: SimDuration, threads: usize) {
         let mults = self.traffic_multipliers(now);
         let caps = self.static_util_caps;
         let chunk = self.agents.len().div_ceil(threads);
-        let services = &self.services;
+        let mult_idx = &self.mult_idx;
         let agents = &mut self.agents;
         let generators = &mut self.generators;
+        let power_w = &mut self.power_w;
+        let util = &mut self.util;
         std::thread::scope(|scope| {
-            for ((agent_chunk, gen_chunk), svc_chunk) in agents
+            for ((((agent_chunk, gen_chunk), midx_chunk), power_chunk), util_chunk) in agents
                 .chunks_mut(chunk)
                 .zip(generators.chunks_mut(chunk))
-                .zip(services.chunks(chunk))
+                .zip(mult_idx.chunks(chunk))
+                .zip(power_w.chunks_mut(chunk))
+                .zip(util.chunks_mut(chunk))
             {
                 scope.spawn(move || {
-                    for ((agent, generator), &kind) in
-                        agent_chunk.iter_mut().zip(gen_chunk).zip(svc_chunk)
-                    {
-                        advance_one(agent, generator, kind, mults[kind.index()], &caps, now, dt);
-                    }
+                    step_span(
+                        agent_chunk,
+                        gen_chunk,
+                        midx_chunk,
+                        power_chunk,
+                        util_chunk,
+                        &mults,
+                        &caps,
+                        now,
+                        dt,
+                    );
                 });
             }
         });
-        self.process_failures(now, dt);
+        leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
+    }
+
+    /// Rebuilds the cached per-worker partition if the thread count
+    /// changed. Leaf-aligned when spans are known — the same
+    /// whole-leaf `div_ceil` chunking the leaf dispatch uses, so a
+    /// server's worker assignment is stable across both fan-outs.
+    fn ensure_partition(&mut self, threads: usize) {
+        let threads = threads.clamp(1, MAX_WORKERS);
+        if self.partition.threads == threads && !self.partition.agents.is_empty() {
+            return;
+        }
+        let mut agents = Vec::new();
+        let mut leaves = Vec::new();
+        if self.leaf_spans.is_empty() {
+            let n = self.agents.len();
+            let per = n.div_ceil(threads);
+            let mut start = 0;
+            while start < n {
+                let end = (start + per).min(n);
+                agents.push(start..end);
+                leaves.push(0..0);
+                start = end;
+            }
+        } else {
+            let l = self.leaf_spans.len();
+            let per = l.div_ceil(threads.min(l));
+            let mut lo = 0;
+            while lo < l {
+                let hi = (lo + per).min(l);
+                agents.push(self.leaf_spans[lo].start..self.leaf_spans[hi - 1].end);
+                leaves.push(lo..hi);
+                lo = hi;
+            }
+        }
+        self.partition = Partition {
+            threads,
+            agents,
+            leaves,
+        };
     }
 
     /// Per-service traffic multipliers at `now`, indexed by
@@ -270,6 +598,11 @@ impl Fleet {
 
     /// Instantaneous fleet statistics.
     pub fn stats(&self) -> FleetStats {
+        let total_power = if self.power_dirty {
+            self.agents.iter().map(|a| a.server().power()).sum()
+        } else {
+            Power::from_watts(self.power_w.iter().sum())
+        };
         FleetStats {
             capped_servers: self
                 .agents
@@ -277,7 +610,7 @@ impl Fleet {
                 .filter(|a| a.current_cap().is_some())
                 .count(),
             agents_down: self.agents.iter().filter(|a| !a.is_running()).count(),
-            total_power: self.agents.iter().map(|a| a.server().power()).sum(),
+            total_power,
         }
     }
 
@@ -310,23 +643,42 @@ pub(crate) fn split_agent_spans(
     out
 }
 
-/// Advances one server: workload draw, static clamp, physics step.
-fn advance_one(
-    agent: &mut Agent,
-    generator: &mut ServiceWorkload,
-    kind: ServiceKind,
-    traffic_mult: f64,
+/// Advances a contiguous run of servers: workload draw, static clamp,
+/// physics step, flat-array writeback. Shared verbatim by the serial,
+/// scoped and pooled paths so their arithmetic cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn step_span(
+    agents: &mut [Agent],
+    generators: &mut [ServiceWorkload],
+    mult_idx: &[u8],
+    power_w: &mut [f64],
+    util: &mut [f64],
+    mults: &[f64; ServiceKind::COUNT],
     static_caps: &[Option<f64>; ServiceKind::COUNT],
     now: SimTime,
     dt: SimDuration,
 ) {
-    let mut util = generator.utilization(now, traffic_mult, dt);
-    if let Some(cap) = static_caps[kind.index()] {
-        util = util.min(cap);
+    for i in 0..agents.len() {
+        let k = mult_idx[i] as usize;
+        let mut u = generators[i].utilization(now, mults[k], dt);
+        if let Some(cap) = static_caps[k] {
+            u = u.min(cap);
+        }
+        util[i] = u;
+        let server = agents[i].server_mut();
+        server.set_demand(u);
+        power_w[i] = server.step(dt).as_watts();
     }
-    let server = agent.server_mut();
-    server.set_demand(util);
-    server.step(dt);
+}
+
+/// Rebuilds per-leaf power partials from the flat watts array. `base`
+/// is the server id of `power_w[0]`; `spans` hold global server-id
+/// ranges. Each partial is the ascending flat fold over its span — the
+/// same additions, in the same order, at any worker count.
+fn leaf_partials(power_w: &[f64], base: usize, spans: &[Range<usize>], out: &mut [f64]) {
+    for (partial, span) in out.iter_mut().zip(spans) {
+        *partial = power_w[span.start - base..span.end - base].iter().sum();
+    }
 }
 
 impl std::fmt::Debug for Fleet {
@@ -458,15 +810,16 @@ mod tests {
         assert_eq!(fleet.stats().capped_servers, 1);
     }
 
+    fn mixed_fleet(seed: u64) -> Fleet {
+        let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); 200];
+        let services: Vec<ServiceKind> = (0..200).map(|i| ServiceKind::all()[i % 6]).collect();
+        Fleet::new(configs, services, SimRng::seed_from(seed))
+    }
+
     #[test]
     fn parallel_step_matches_serial() {
-        let build = || {
-            let configs = vec![ServerConfig::new(ServerGeneration::Haswell2015); 200];
-            let services: Vec<ServiceKind> = (0..200).map(|i| ServiceKind::all()[i % 6]).collect();
-            Fleet::new(configs, services, SimRng::seed_from(77))
-        };
-        let mut serial = build();
-        let mut parallel = build();
+        let mut serial = mixed_fleet(77);
+        let mut parallel = mixed_fleet(77);
         let mut t = SimTime::ZERO;
         for _ in 0..30 {
             serial.step(t, SimDuration::from_secs(1));
@@ -480,6 +833,78 @@ mod tests {
                 "server {i} diverged between serial and parallel stepping"
             );
         }
+    }
+
+    #[test]
+    fn pooled_step_matches_serial_and_scoped() {
+        let mut serial = mixed_fleet(78);
+        let mut scoped = mixed_fleet(78);
+        let mut pooled = mixed_fleet(78);
+        pooled.attach_pool(Arc::new(WorkerPool::new(4)));
+        let mut t = SimTime::ZERO;
+        for _ in 0..30 {
+            serial.step(t, SimDuration::from_secs(1));
+            scoped.step_parallel(t, SimDuration::from_secs(1), 4);
+            pooled.step_parallel(t, SimDuration::from_secs(1), 4);
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            let s = serial.power_of(i).as_watts();
+            assert_eq!(s, scoped.power_of(i).as_watts(), "server {i} scoped drift");
+            assert_eq!(s, pooled.power_of(i).as_watts(), "server {i} pooled drift");
+        }
+    }
+
+    #[test]
+    fn pooled_step_with_leaf_spans_maintains_partials() {
+        let mut fleet = mixed_fleet(79);
+        let spans: Vec<Range<usize>> = (0..4).map(|l| l * 50..(l + 1) * 50).collect();
+        fleet.set_leaf_spans(&spans);
+        fleet.attach_pool(Arc::new(WorkerPool::new(3)));
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            fleet.step_parallel(t, SimDuration::from_secs(1), 3);
+            t += SimDuration::from_secs(1);
+        }
+        for (l, span) in spans.iter().enumerate() {
+            let ids: Vec<u32> = (span.start as u32..span.end as u32).collect();
+            assert_eq!(
+                fleet.leaf_power(l).expect("partials maintained").as_watts(),
+                fleet.power_sum(&ids).as_watts(),
+                "leaf {l} partial drifted from its span sum"
+            );
+        }
+    }
+
+    #[test]
+    fn agent_mut_falls_back_to_live_reads_until_next_step() {
+        let mut fleet = small_fleet(8, ServiceKind::Web);
+        run(&mut fleet, 10);
+        let before = fleet.power_of(3);
+        assert!(before.as_watts() > 0.0);
+        fleet.agent_mut(3).server_mut().set_alive(false);
+        // Dirty cache: the query must see the live (dead) server.
+        assert_eq!(fleet.power_of(3), Power::ZERO);
+        assert_eq!(fleet.power_sum(&[3]), Power::ZERO);
+        run(&mut fleet, 1);
+        assert_eq!(fleet.power_of(3), Power::ZERO);
+    }
+
+    #[test]
+    fn set_server_alive_keeps_cache_exact() {
+        let mut fleet = small_fleet(8, ServiceKind::Web);
+        let spans = vec![0..4, 4..8];
+        fleet.set_leaf_spans(&spans);
+        run(&mut fleet, 10);
+        let leaf0_before = fleet.leaf_power(0).unwrap();
+        fleet.set_server_alive(1, false);
+        assert_eq!(fleet.power_of(1), Power::ZERO);
+        let leaf0_after = fleet.leaf_power(0).expect("cache stays clean");
+        assert!(leaf0_after < leaf0_before);
+        let ids: Vec<u32> = (0..4).collect();
+        assert_eq!(leaf0_after.as_watts(), fleet.power_sum(&ids).as_watts());
+        fleet.set_server_alive(1, true);
+        assert!(fleet.power_of(1).as_watts() > 0.0);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! The leaf controller tier: one [`LeafController`] per RPP, with
-//! serial and scoped-thread parallel execution paths.
+//! serial, pooled-parallel and scoped-parallel execution paths.
 //!
-//! Both paths run only the leaves the [`crate::events::CycleDispatcher`]
-//! marked due this tick. The parallel path mirrors the paper's
+//! All paths run only the leaves the [`crate::events::CycleDispatcher`]
+//! marked due this tick. The parallel paths mirror the paper's
 //! consolidated binary running ~100 controller threads (§IV): each
 //! worker owns a private disjoint `&mut [Agent]` slice of the fleet and
 //! every leaf's RPC RNG stream is its own, so each cycle computes
 //! exactly what the serial path would; the post-join merge restores
 //! leaf-index order, making the whole run bit-identical.
+//!
+//! The pooled path ([`LeafTier::run_due_pooled`]) dispatches onto the
+//! datacenter's persistent [`WorkerPool`]: per-worker jobs are stack
+//! slots holding disjoint slices of the tier's parallel arrays, so a
+//! warm steady-state dispatch allocates nothing. The scoped path
+//! ([`LeafTier::run_due_scoped`]) spawns threads per call and is kept
+//! as the no-pool fallback and the benchmark baseline.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -17,6 +24,7 @@ use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
 use dynamo_controller::{ControlAction, LeafConfig, LeafController, ServerHandle, ServiceClass};
 use dynobs::{Band, Shard};
+use dynpool::{WorkerPool, MAX_WORKERS};
 use dynrpc::{Network, Request, RpcError};
 use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 
@@ -162,8 +170,12 @@ impl LeafTier {
             }
             if !capping_enabled {
                 // Monitoring-only baseline: track the true aggregate so
-                // upper tiers and telemetry still see power.
-                self.last_aggregate[i] = fleet.power_sum(&self.server_ids[i]);
+                // upper tiers and telemetry still see power. The fleet's
+                // per-leaf partial (maintained by its step as the same
+                // ascending fold) makes this a single lookup.
+                self.last_aggregate[i] = fleet
+                    .leaf_power(i)
+                    .unwrap_or_else(|| fleet.power_sum(&self.server_ids[i]));
                 continue;
             }
             run_one_leaf_cycle(
@@ -182,14 +194,163 @@ impl LeafTier {
         }
     }
 
-    /// Runs the due leaves on `threads` scoped worker threads. Each
-    /// worker owns a contiguous chunk of the due set and, through the
-    /// precomputed spans, private disjoint `&mut [Agent]` slices.
-    /// Workers buffer events per leaf; the merge after the join restores
-    /// serial (leaf index) order, so the result is bit-identical to
-    /// [`LeafTier::run_due_serial`].
+    /// Runs the due leaves on the persistent worker pool. Each worker
+    /// wakes with one stack-slot job holding a contiguous chunk of the
+    /// due set plus disjoint `&mut` slices of the tier's parallel
+    /// arrays (split once at chunk boundaries), so a warm dispatch
+    /// allocates nothing. Workers buffer events per leaf; the merge
+    /// after the barrier restores leaf index order, so the result is
+    /// bit-identical to [`LeafTier::run_due_serial`] at any worker
+    /// count.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_due_parallel(
+    pub(crate) fn run_due_pooled(
+        &mut self,
+        now: SimTime,
+        due: &[usize],
+        threads: usize,
+        pool: &WorkerPool,
+        failover: &mut FailoverState,
+        fleet: &mut Fleet,
+        events: &mut Vec<ControllerEvent>,
+        obs: &mut Observability,
+    ) {
+        let spans = self
+            .spans
+            .as_deref()
+            .expect("parallel path requires leaf spans");
+        let workers = threads.min(pool.workers()).min(due.len()).max(1);
+        let per_chunk = due.len().div_ceil(workers);
+
+        /// One worker's disjoint view of the leaf tier: the arrays are
+        /// split at due-chunk boundaries, so slices may include
+        /// non-due leaves — the worker walks only its `due` sublist,
+        /// indexing relative to `base`.
+        struct LeafJob<'a> {
+            due: &'a [usize],
+            /// Leaf index of element 0 of the sliced arrays.
+            base: usize,
+            controllers: &'a mut [LeafController],
+            networks: &'a mut [Network],
+            aggregates: &'a mut [Power],
+            failed: &'a mut [bool],
+            bufs: &'a mut [Vec<ControllerEvent>],
+            shards: &'a mut [Shard],
+            agents: &'a mut [Agent],
+            /// Server id of `agents[0]`.
+            agents_base: usize,
+        }
+
+        {
+            let devices = &self.devices;
+            let (all_shards, ids) = obs.shard_ctx();
+            let mut jobs: [Option<LeafJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
+
+            let mut controllers = &mut self.controllers[..];
+            let mut networks = &mut self.networks[..];
+            let mut aggregates = &mut self.last_aggregate[..];
+            let mut failed = &mut failover.leaf_flags_mut()[..];
+            let mut bufs = &mut self.event_bufs[..];
+            let mut shards = all_shards;
+            let mut agents = fleet.agents_mut();
+            let mut leaves_consumed = 0usize;
+            let mut agents_consumed = 0usize;
+            let mut njobs = 0usize;
+            for (job, chunk) in jobs.iter_mut().zip(due.chunks(per_chunk)) {
+                let lo = chunk[0];
+                let hi = chunk[chunk.len() - 1] + 1;
+                let skip = lo - leaves_consumed;
+                let take = hi - lo;
+                let (c, rest) = controllers.split_at_mut(skip).1.split_at_mut(take);
+                controllers = rest;
+                let (n, rest) = networks.split_at_mut(skip).1.split_at_mut(take);
+                networks = rest;
+                let (ag, rest) = aggregates.split_at_mut(skip).1.split_at_mut(take);
+                aggregates = rest;
+                let (fl, rest) = failed.split_at_mut(skip).1.split_at_mut(take);
+                failed = rest;
+                let (b, rest) = bufs.split_at_mut(skip).1.split_at_mut(take);
+                bufs = rest;
+                let (sh, rest) = shards.split_at_mut(skip).1.split_at_mut(take);
+                shards = rest;
+                leaves_consumed = hi;
+
+                let astart = spans[lo].start;
+                let aend = spans[hi - 1].end;
+                let (a, rest) = agents
+                    .split_at_mut(astart - agents_consumed)
+                    .1
+                    .split_at_mut(aend - astart);
+                agents = rest;
+                agents_consumed = aend;
+
+                *job = Some(LeafJob {
+                    due: chunk,
+                    base: lo,
+                    controllers: c,
+                    networks: n,
+                    aggregates: ag,
+                    failed: fl,
+                    bufs: b,
+                    shards: sh,
+                    agents: a,
+                    agents_base: astart,
+                });
+                njobs += 1;
+            }
+
+            pool.run_on(&mut jobs[..njobs], |_w, slot| {
+                let job = slot.as_mut().expect("due chunk slot filled above");
+                for &i in job.due {
+                    let r = i - job.base;
+                    job.bufs[r].clear();
+                    if job.failed[r] {
+                        job.failed[r] = false;
+                        let name = job.controllers[r].name_shared();
+                        record_leaf_failover(
+                            &mut job.shards[r],
+                            ids,
+                            now,
+                            i as u32,
+                            Arc::clone(&name),
+                        );
+                        job.bufs[r].push(ControllerEvent {
+                            at: now,
+                            device: devices[i],
+                            controller: name,
+                            kind: ControllerEventKind::Failover,
+                        });
+                        continue;
+                    }
+                    let (aggregate, buf) = (&mut job.aggregates[r], &mut job.bufs[r]);
+                    run_one_leaf_cycle(
+                        now,
+                        devices[i],
+                        &mut job.controllers[r],
+                        &mut job.networks[r],
+                        job.agents,
+                        job.agents_base,
+                        aggregate,
+                        buf,
+                        &mut job.shards[r],
+                        ids,
+                        i as u32,
+                    );
+                }
+            });
+        }
+        self.merge_parallel_events(due, failover, events);
+    }
+
+    /// Runs the due leaves on `threads` scoped worker threads spawned
+    /// per call. Each worker owns a contiguous chunk of the due set
+    /// and, through the precomputed spans, private disjoint
+    /// `&mut [Agent]` slices. Workers buffer events per leaf; the merge
+    /// after the join restores serial (leaf index) order, so the result
+    /// is bit-identical to [`LeafTier::run_due_serial`]. Kept as the
+    /// no-pool fallback and the baseline the pool is benchmarked
+    /// against.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_due_scoped(
         &mut self,
         now: SimTime,
         due: &[usize],
@@ -283,9 +444,19 @@ impl LeafTier {
             });
         }
 
-        // Deterministic merge: leaf index order, exactly as the serial
-        // loop would have emitted. Failovers are recorded here because
-        // workers cannot touch the shared counters.
+        self.merge_parallel_events(due, failover, events);
+    }
+
+    /// Deterministic merge after a parallel dispatch: drains per-leaf
+    /// event buffers in leaf index order, exactly as the serial loop
+    /// would have emitted. Failovers are recorded here because workers
+    /// cannot touch the shared counters.
+    fn merge_parallel_events(
+        &mut self,
+        due: &[usize],
+        failover: &mut FailoverState,
+        events: &mut Vec<ControllerEvent>,
+    ) {
         for &i in due {
             for event in self.event_bufs[i].drain(..) {
                 if matches!(event.kind, ControllerEventKind::Failover) {

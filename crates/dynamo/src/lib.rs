@@ -54,8 +54,9 @@ mod validator;
 
 pub use builder::{DatacenterBuilder, ServicePlan};
 pub use control_plane::{DynamoSystem, SystemConfig};
-pub use datacenter::Datacenter;
+pub use datacenter::{Datacenter, ParallelMode};
 pub use dynobs::ObsConfig;
+pub use dynpool::WorkerPool;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
 pub use fleet::{Fleet, FleetStats};
 pub use obs::Observability;

@@ -7,9 +7,10 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dcsim::{SimDuration, SimRng, SimTime};
-use dynamo::{DynamoSystem, Fleet, ObsConfig, SystemConfig};
+use dynamo::{DynamoSystem, Fleet, ObsConfig, SystemConfig, WorkerPool};
 use powerinfra::TopologyBuilder;
 use serverpower::{ServerConfig, ServerGeneration};
 use workloads::ServiceKind;
@@ -43,6 +44,16 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `ARMED` is process-global, so two tests measuring concurrently would
+/// count each other's warmup (and pool worker) allocations. Every test
+/// takes this lock for its whole body; a poisoned lock (an earlier test
+/// failed) is fine — the counter state is reset per measurement.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize_test() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn count_allocs(f: impl FnOnce()) -> u64 {
     ALLOCS.store(0, Ordering::SeqCst);
@@ -86,15 +97,26 @@ fn build() -> (Fleet, DynamoSystem) {
 }
 
 /// Warms up, then counts heap operations across 20 leaf-only ticks.
-fn measure_steady_state(mut fleet: Fleet, mut system: DynamoSystem) -> u64 {
+/// With `threads > 1` the fleet steps through [`Fleet::step_parallel`]
+/// and leaf cycles dispatch in parallel — onto the attached pool, if
+/// any.
+fn measure_steady_state(mut fleet: Fleet, mut system: DynamoSystem, threads: usize) -> u64 {
     assert!(system.supports_parallel_leaves());
+    system.set_control_threads(threads);
     let dt = SimDuration::from_secs(3);
+    let step = |fleet: &mut Fleet, now: SimTime| {
+        if threads > 1 {
+            fleet.step_parallel(now, dt, threads);
+        } else {
+            fleet.step(now, dt);
+        }
+    };
 
     // Warm up: fill scratch buffers, controller state and event
     // vectors, covering both leaf (3 s) and upper (9 s) cycles.
     let mut now = SimTime::ZERO;
     for _ in 0..12 {
-        fleet.step(now, dt);
+        step(&mut fleet, now);
         let events = system.tick(now, &mut fleet);
         assert!(events.is_empty(), "expected a quiet Hold-band run");
         now += dt;
@@ -106,13 +128,13 @@ fn measure_steady_state(mut fleet: Fleet, mut system: DynamoSystem) -> u64 {
     let mut total = 0u64;
     while measured < 20 {
         if now.as_secs().is_multiple_of(9) {
-            fleet.step(now, dt);
+            step(&mut fleet, now);
             system.tick(now, &mut fleet);
             now += dt;
             continue;
         }
         total += count_allocs(|| {
-            fleet.step(now, dt);
+            step(&mut fleet, now);
             let events = system.tick(now, &mut fleet);
             assert!(events.is_empty());
         });
@@ -124,9 +146,10 @@ fn measure_steady_state(mut fleet: Fleet, mut system: DynamoSystem) -> u64 {
 
 #[test]
 fn steady_state_leaf_ticks_do_not_allocate() {
+    let _serial = serialize_test();
     let (fleet, system) = build();
     assert_eq!(
-        measure_steady_state(fleet, system),
+        measure_steady_state(fleet, system, 1),
         0,
         "heap allocations leaked into the steady-state leaf tick path"
     );
@@ -137,11 +160,30 @@ fn steady_state_leaf_ticks_do_not_allocate() {
 /// span/flight scratch reaches steady capacity during warmup.
 #[test]
 fn steady_state_leaf_ticks_do_not_allocate_with_observability() {
+    let _serial = serialize_test();
     let (fleet, system) = build_with(ObsConfig::on());
     assert_eq!(
-        measure_steady_state(fleet, system),
+        measure_steady_state(fleet, system, 1),
         0,
         "observability recording allocated in the steady-state leaf tick path"
+    );
+}
+
+/// The zero-alloc guarantee must also hold on the parallel hot path
+/// once the pool is warm: waking parked workers, dispatching stack-slot
+/// jobs over the precomputed partitions and merging results must never
+/// touch the heap — with observability recording live, at 4 threads.
+#[test]
+fn steady_state_pooled_ticks_do_not_allocate() {
+    let _serial = serialize_test();
+    let (mut fleet, mut system) = build_with(ObsConfig::on());
+    let pool = Arc::new(WorkerPool::new(4));
+    fleet.attach_pool(Arc::clone(&pool));
+    system.attach_pool(pool);
+    assert_eq!(
+        measure_steady_state(fleet, system, 4),
+        0,
+        "pooled dispatch allocated in the steady-state leaf tick path"
     );
 }
 
@@ -149,6 +191,7 @@ fn steady_state_leaf_ticks_do_not_allocate_with_observability() {
 /// in steady state (caps placed, nothing to change) is equally hot.
 #[test]
 fn idle_fleet_step_does_not_allocate() {
+    let _serial = serialize_test();
     let (mut fleet, _system) = build();
     let dt = SimDuration::from_secs(3);
     let mut now = SimTime::ZERO;

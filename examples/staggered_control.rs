@@ -8,6 +8,11 @@
 //! that the control outcome (breaker safety) is unchanged — only the
 //! timing of the control actions moves.
 //!
+//! Staggering composes with `DatacenterBuilder::worker_threads`:
+//! same-instant leaves are batched into one dispatch on the persistent
+//! worker pool (DESIGN.md §10, `crates/dynpool`) and stay bit-identical
+//! at any thread count — see `tests/pool_determinism.rs`.
+//!
 //! ```text
 //! cargo run --release --example staggered_control
 //! ```
