@@ -121,6 +121,7 @@ struct MatrixPoint {
 }
 
 fn matrix_datacenter(
+    msbs: usize,
     sbs: usize,
     rpps_per_sb: usize,
     threads: usize,
@@ -128,8 +129,10 @@ fn matrix_datacenter(
     phase_spread: SimDuration,
 ) -> Datacenter {
     // 160 servers per RPP: the paper's leaf controllers each pull "a
-    // few hundred servers or more" (§IV).
+    // few hundred servers or more" (§IV). The 256-RPP point spreads
+    // over 4 MSBs so each stays inside its 2.5 MW OCP rating.
     DatacenterBuilder::new()
+        .msbs_per_suite(msbs)
         .sbs_per_msb(sbs)
         .rpps_per_sb(rpps_per_sb)
         .racks_per_rpp(4)
@@ -203,9 +206,17 @@ struct ObsOverhead {
 /// Measures the tick-rate cost of live `dynobs` recording on a
 /// mid-size fleet (16 RPPs, 2560 servers, serial lockstep — the
 /// configuration where per-cycle recording is the largest share of
-/// tick time). Rounds interleave the two sides and each side keeps its
-/// best window, so scheduler noise — which only ever slows a window
-/// down — cannot bias the comparison.
+/// tick time).
+///
+/// Host noise here (frequency drift, hypervisor steal) swings whole
+/// measurement windows by far more than the recording cost itself and
+/// oscillates over tens of seconds, so separate windows per side — at
+/// any pairing or ordering — cannot resolve a few percent reliably.
+/// Instead both datacenters advance together: 20-tick bursts
+/// alternate between the two sides on separate accumulated clocks,
+/// with burst order flipping every iteration, so drift lands on both
+/// sides of every ~7 ms pair almost equally. The budget check uses
+/// the median delta of several such interleaved trials.
 fn bench_observability_overhead() -> ObsOverhead {
     let build = |obs: bool| {
         let mut builder = DatacenterBuilder::new()
@@ -224,17 +235,59 @@ fn bench_observability_overhead() -> ObsOverhead {
     };
     let mut baseline = 0.0f64;
     let mut instrumented = 0.0f64;
+    let mut deltas = Vec::new();
     for _ in 0..5 {
-        baseline = baseline.max(measure_ticks_per_sec(&mut build(false)));
-        instrumented = instrumented.max(measure_ticks_per_sec(&mut build(true)));
+        let mut base_dc = build(false);
+        let mut inst_dc = build(true);
+        for _ in 0..30 {
+            base_dc.step();
+            inst_dc.step();
+        }
+        let mut t_base = std::time::Duration::ZERO;
+        let mut t_inst = std::time::Duration::ZERO;
+        let mut ticks = 0u64;
+        let trial = Instant::now();
+        let mut inst_first = false;
+        while trial.elapsed().as_millis() < 2000 {
+            let burst = |dc: &mut Datacenter| {
+                let t0 = Instant::now();
+                for _ in 0..20 {
+                    dc.step();
+                }
+                t0.elapsed()
+            };
+            if inst_first {
+                t_inst += burst(&mut inst_dc);
+                t_base += burst(&mut base_dc);
+            } else {
+                t_base += burst(&mut base_dc);
+                t_inst += burst(&mut inst_dc);
+            }
+            inst_first = !inst_first;
+            ticks += 20;
+        }
+        let base = ticks as f64 / t_base.as_secs_f64();
+        let inst = ticks as f64 / t_inst.as_secs_f64();
+        baseline = baseline.max(base);
+        instrumented = instrumented.max(inst);
+        deltas.push((base - inst) / base);
     }
-    let delta = (baseline - instrumented) / baseline;
+    deltas.sort_by(f64::total_cmp);
+    let delta = deltas[deltas.len() / 2];
     println!("\nobservability overhead (16 RPPs, 2560 servers, serial lockstep):");
     println!("  baseline     {baseline:>10.0} ticks/s");
     println!("  instrumented {instrumented:>10.0} ticks/s");
-    println!("  delta        {:>9.2}% (budget ≤ 3%)", delta * 100.0);
-    if delta > 0.03 {
-        eprintln!("  WARNING: observability overhead exceeds the 3% budget");
+    println!(
+        "  delta        {:>9.2}% (median of interleaved trials, budget ≤ 3%)",
+        delta * 100.0
+    );
+    if delta > OBS_BUDGET {
+        eprintln!(
+            "FAIL: observability overhead {:.2}% exceeds the {:.1}% budget",
+            delta * 100.0,
+            OBS_BUDGET * 100.0
+        );
+        std::process::exit(1);
     }
     ObsOverhead {
         baseline,
@@ -242,6 +295,11 @@ fn bench_observability_overhead() -> ObsOverhead {
         delta,
     }
 }
+
+/// Hard budget on the tick-rate cost of live observability recording.
+/// The bench *fails* (nonzero exit) when breached, so CI blocks the
+/// regression instead of shipping a warning nobody reads.
+const OBS_BUDGET: f64 = 0.03;
 
 /// Ticks/sec of the full simulation loop (physics + leaf control
 /// cycles) over RPP count × worker threads × phase policy (lockstep
@@ -264,12 +322,18 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
     println!("\ncontrol plane ticks/sec (RPPs x threads x phase), host cores: {host_cpus}");
     let mut points: Vec<MatrixPoint> = Vec::new();
     let spreads = [SimDuration::ZERO, staggered_leaf_spread()];
-    for &(sbs, rpps_per_sb) in &[(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
-        let rpps = sbs * rpps_per_sb;
+    for &(msbs, sbs, rpps_per_sb) in &[
+        (1usize, 1usize, 1usize),
+        (1, 2, 2),
+        (1, 4, 4),
+        (1, 8, 8),
+        (4, 4, 16),
+    ] {
+        let rpps = msbs * sbs * rpps_per_sb;
         for &threads in &[1usize, 8] {
             for &spread in &spreads {
                 let mode = ParallelMode::PooledAuto;
-                let mut dc = matrix_datacenter(sbs, rpps_per_sb, threads, mode, spread);
+                let mut dc = matrix_datacenter(msbs, sbs, rpps_per_sb, threads, mode, spread);
                 assert!(
                     threads == 1 || dc.system().supports_parallel_leaves(),
                     "matrix topology must support parallel leaves"
@@ -282,7 +346,12 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
                 } else {
                     "staggered"
                 };
-                let ticks_per_sec = measure_ticks_per_sec(&mut dc);
+                // Best of three windows per cell: host slowdowns
+                // (frequency drift, steal) persist for whole windows
+                // and would otherwise be recorded as the cell's rate.
+                let ticks_per_sec = (0..3)
+                    .map(|_| measure_ticks_per_sec(&mut dc))
+                    .fold(0.0, f64::max);
                 println!("  rpps={rpps:<3} servers={servers:<5} threads={threads} (eff {effective_threads}) {label}  {ticks_per_sec:>10.0} ticks/s");
                 points.push(MatrixPoint {
                     rpps,
@@ -306,31 +375,41 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
     };
     let stagger_ratio = rate(64, 1, staggered_leaf_spread().as_millis()) / rate(64, 1, 0);
 
-    // Headline: what `--threads 8` actually buys over serial at 64
-    // RPPs under the auto-clamped pool, paired and interleaved.
-    let (serial, auto8) = paired_best_of(
-        7,
-        || matrix_datacenter(8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
-        || matrix_datacenter(8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
-    );
-    let speedup = auto8 / serial;
+    // Parallel speedup numbers are only meaningful when at least one
+    // cell actually ran more than one worker. On a single-core host
+    // PooledAuto clamps every cell to 1 thread, and a "speedup" would
+    // just be run-to-run noise presented as a result — refuse to emit
+    // the summary fields instead.
+    let any_parallel = points.iter().any(|p| p.effective_threads > 1);
+    let speedups = if any_parallel {
+        // Headline: what `--threads 8` actually buys over serial at 64
+        // RPPs under the auto-clamped pool, paired and interleaved.
+        let (serial, auto8) = paired_best_of(
+            7,
+            || matrix_datacenter(1, 8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
+            || matrix_datacenter(1, 8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
+        );
+        let speedup = auto8 / serial;
 
-    // The pool's win over the legacy scoped-thread dispatch at a fixed
-    // 8 threads — both sides pay the same oversubscription, so the
-    // difference is persistent-parked-workers vs spawn/join per call.
-    let (pooled8, scoped8) = paired_best_of(
-        5,
-        || matrix_datacenter(8, 8, 8, ParallelMode::Pooled, SimDuration::ZERO),
-        || matrix_datacenter(8, 8, 8, ParallelMode::Scoped, SimDuration::ZERO),
-    );
-    let pool_vs_scoped = pooled8 / scoped8;
+        // The pool's win over the legacy scoped-thread dispatch at a
+        // fixed 8 threads — both sides pay the same oversubscription,
+        // so the difference is persistent-parked-workers vs spawn/join
+        // per call.
+        let (pooled8, scoped8) = paired_best_of(
+            5,
+            || matrix_datacenter(1, 8, 8, 8, ParallelMode::Pooled, SimDuration::ZERO),
+            || matrix_datacenter(1, 8, 8, 8, ParallelMode::Scoped, SimDuration::ZERO),
+        );
+        let pool_vs_scoped = pooled8 / scoped8;
 
-    println!("  speedup at 64 RPPs, 8 threads (auto) vs 1: {speedup:.2}x ({auto8:.0} vs {serial:.0} ticks/s)");
-    println!("  pool vs scoped at 64 RPPs, 8 threads: {pool_vs_scoped:.2}x ({pooled8:.0} vs {scoped8:.0} ticks/s)");
+        println!("  speedup at 64 RPPs, 8 threads (auto) vs 1: {speedup:.2}x ({auto8:.0} vs {serial:.0} ticks/s)");
+        println!("  pool vs scoped at 64 RPPs, 8 threads: {pool_vs_scoped:.2}x ({pooled8:.0} vs {scoped8:.0} ticks/s)");
+        Some((speedup, pooled8, scoped8, pool_vs_scoped))
+    } else {
+        println!("  single-core host: every cell clamped to 1 worker; speedup fields suppressed");
+        None
+    };
     println!("  staggered vs lockstep at 64 RPPs, 1 thread: {stagger_ratio:.2}x");
-    if host_cpus < 2 {
-        println!("  (single-core host: auto clamps to 1 worker, so the speedup measures the clamp itself)");
-    }
 
     let mut json = String::from("{\n  \"bench\": \"controlplane_ticks_per_sec\",\n");
     json.push_str(&format!(
@@ -338,7 +417,7 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
     ));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"effective_threads\": {}, \"mode\": \"{}\", \"phase_spread_ms\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
+            "    {{\"rpps\": {}, \"servers\": {}, \"threads\": {}, \"effective_threads\": {}, \"host_parallelism\": {host_cpus}, \"mode\": \"{}\", \"phase_spread_ms\": {}, \"ticks_per_sec\": {:.1}}}{}\n",
             p.rpps,
             p.servers,
             p.threads,
@@ -349,12 +428,17 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!(
-        "  ],\n  \"speedup_64rpps_8_threads\": {speedup:.3},\n"
-    ));
-    json.push_str(&format!(
-        "  \"pool_vs_scoped\": {{\"rpps\": 64, \"threads\": 8, \"pooled_ticks_per_sec\": {pooled8:.1}, \"scoped_ticks_per_sec\": {scoped8:.1}, \"ratio\": {pool_vs_scoped:.3}}},\n"
-    ));
+    json.push_str("  ],\n");
+    if let Some((speedup, pooled8, scoped8, pool_vs_scoped)) = speedups {
+        json.push_str(&format!("  \"speedup_64rpps_8_threads\": {speedup:.3},\n"));
+        json.push_str(&format!(
+            "  \"pool_vs_scoped\": {{\"rpps\": 64, \"threads\": 8, \"pooled_ticks_per_sec\": {pooled8:.1}, \"scoped_ticks_per_sec\": {scoped8:.1}, \"ratio\": {pool_vs_scoped:.3}}},\n"
+        ));
+    } else {
+        json.push_str(
+            "  \"speedup_suppressed\": \"single-core host: every cell ran 1 effective worker\",\n",
+        );
+    }
     json.push_str(&format!(
         "  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3},\n"
     ));
@@ -378,8 +462,8 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
 fn scaling_smoke() {
     let (serial, auto8) = paired_best_of(
         5,
-        || matrix_datacenter(8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
-        || matrix_datacenter(8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
+        || matrix_datacenter(1, 8, 8, 1, ParallelMode::PooledAuto, SimDuration::ZERO),
+        || matrix_datacenter(1, 8, 8, 8, ParallelMode::PooledAuto, SimDuration::ZERO),
     );
     let ratio = auto8 / serial;
     println!("thread-scaling smoke (64 RPPs, 10240 servers, lockstep):");

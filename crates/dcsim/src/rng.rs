@@ -92,6 +92,7 @@ impl SimRng {
     }
 
     /// Returns the next 64 uniformly random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.state[0]
             .wrapping_add(self.state[3])
@@ -108,6 +109,7 @@ impl SimRng {
     }
 
     /// Returns a uniform float in `[0, 1)`.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         // 53 high bits give a uniform dyadic rational in [0, 1).
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -149,22 +151,32 @@ impl SimRng {
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Returns a standard normal variate (Box-Muller, cached pair).
+    #[inline]
     pub fn next_normal(&mut self) -> f64 {
         if let Some(z) = self.spare_normal.take() {
             return z;
         }
+        self.next_normal_pair()
+    }
+
+    /// The slow half of [`SimRng::next_normal`]: a full Box-Muller
+    /// draw, producing one variate and caching its pair. Out of line so
+    /// the cached-pair fast path inlines into hot loops.
+    fn next_normal_pair(&mut self) -> f64 {
         // Box-Muller transform; u1 in (0,1] to avoid ln(0).
         let u1 = 1.0 - self.next_f64();
         let u2 = self.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = std::f64::consts::TAU * u2;
-        self.spare_normal = Some(r * theta.sin());
-        r * theta.cos()
+        let (sin, cos) = theta.sin_cos();
+        self.spare_normal = Some(r * sin);
+        r * cos
     }
 
     /// Returns a normal variate with the given mean and standard deviation.
@@ -172,6 +184,7 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `std_dev` is negative or not finite.
+    #[inline]
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         assert!(
             std_dev.is_finite() && std_dev >= 0.0,

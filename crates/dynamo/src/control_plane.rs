@@ -349,6 +349,13 @@ impl DynamoSystem {
         let mut events = Vec::new();
         self.dispatcher.collect_due(now);
         if !self.dispatcher.leaf_due().is_empty() {
+            if self.config.capping_enabled {
+                // The fleet's batch arrays own server physics between
+                // steps; push the due leaves' state into the scalar
+                // server models so the RPC cycles below observe fresh
+                // power readings.
+                fleet.sync_servers_for_control(self.dispatcher.leaf_due());
+            }
             let threads = self
                 .config
                 .control_threads
@@ -387,6 +394,11 @@ impl DynamoSystem {
                     &mut events,
                     &mut self.obs,
                 );
+            }
+            if self.config.capping_enabled {
+                // Pull the RAPL limits the controllers just programmed
+                // back into the fleet's batch arrays.
+                fleet.absorb_caps(self.dispatcher.leaf_due());
             }
             // Fold the due leaves' shards into the registry in leaf
             // index order — the serial recording order — so the merged

@@ -2,22 +2,47 @@
 //!
 //! # Hot-path layout (struct of arrays)
 //!
-//! The per-tick step writes every server's post-step state into flat
-//! parallel arrays — power draw in watts, post-clamp utilization, and
-//! the service (traffic-multiplier) index — so the aggregation queries
-//! ([`Fleet::power_sum`], [`Fleet::power_sum_of_service`],
-//! [`Fleet::stats`]) scan contiguous `f64` slices instead of
-//! pointer-chasing through [`Agent`] → server → actuator. When the
-//! control plane has leaf spans, the step additionally maintains one
-//! power partial sum per leaf, so telemetry pulls of leaf aggregates
-//! are a single lookup. Every cached sum is computed as the same
-//! ascending-index `f64` fold the old per-agent walk performed, so all
-//! results are bit-identical to live reads.
+//! The per-tick physics step runs entirely over flat parallel arrays —
+//! no `Agent` → [`Server`] → actuator pointer chasing. The mutable
+//! physics of every server (demanded watts, RAPL limit, settled output,
+//! first-step flag, liveness) lives in `f64` arrays owned by the fleet,
+//! and one branchless pass of [`serverpower::kernel::step_batch`]
+//! advances all of them per tick. Power-curve evaluation goes through
+//! the per-generation [`PowerLut`] uniform-grid tables, and the per-tick
+//! Ornstein-Uhlenbeck `exp`/`sqrt` coefficients are hoisted per service
+//! ([`OuCoeffs`]) instead of recomputed per server.
 //!
-//! Out-of-band mutation through [`Fleet::agent_mut`] marks the cache
-//! dirty; queries then fall back to live reads until the next step
-//! rebuilds the arrays. The breaker blackout path uses
-//! [`Fleet::set_server_alive`], which keeps the cache exact instead.
+//! ## Batched run order (stable permutation)
+//!
+//! At build time servers are grouped into *runs* of equal
+//! `(generation, service, turbo)` so the demand loop has no per-element
+//! branching on multiplier index, static cap, or turbo factor. The
+//! grouping is a *leaf-local stable permutation*: server ids, leaf span
+//! membership, per-server RNG streams, and every externally visible
+//! array stay in server-id order, so results are bit-identical to the
+//! unpermuted layout (each workload process owns a private RNG stream,
+//! making evaluation order unobservable). Positions (`perm`/`inv`) are
+//! only an internal storage order.
+//!
+//! The id-ordered views ([`Fleet::power_of`], [`Fleet::power_sum`],
+//! per-leaf partials) are scattered back from the batch arrays each
+//! step with the same ascending-index `f64` folds as before, so all
+//! aggregates remain bit-identical at any worker count.
+//!
+//! ## State ownership
+//!
+//! While the cache is clean, the arrays are authoritative for demand,
+//! output, init flag, and liveness; the scalar [`Server`] models hold
+//! stale copies. Before agent RPC cycles run (which read true power
+//! through the server model), [`Fleet::sync_servers_for_control`]
+//! flushes the due leaves' state back into the servers, and
+//! [`Fleet::absorb_caps`] pulls freshly programmed RAPL limits back
+//! into the `limit_w` array afterwards. Out-of-band mutation through
+//! [`Fleet::agent_mut`] flushes *all* servers first and marks the cache
+//! dirty: queries fall back to live per-agent reads until the next step
+//! resynchronizes the arrays from the servers. The breaker blackout
+//! path uses [`Fleet::set_server_alive`], which keeps the cache exact
+//! instead.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -27,8 +52,8 @@ use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
 use dynpool::{WorkerPool, MAX_WORKERS};
 use powerinfra::Power;
-use serverpower::{Server, ServerConfig};
-use workloads::{ServiceKind, ServiceWorkload, TrafficPattern};
+use serverpower::{kernel, PowerLut, Server, ServerConfig};
+use workloads::{OuCoeffs, ServiceKind, ServiceWorkload, TrafficPattern};
 
 /// Aggregate fleet statistics at an instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +72,10 @@ pub struct FleetStats {
 /// When the control plane's leaf spans are known, partitions are
 /// leaf-aligned and built by the same chunking rule the leaf dispatch
 /// uses (`div_ceil` over whole leaves), so a server's worker assignment
-/// is identical across fleet stepping and leaf control cycles.
+/// is identical across fleet stepping and leaf control cycles. Leaf
+/// alignment also guarantees each worker's id range equals its position
+/// range (the batch permutation is leaf-local), which is what lets a
+/// worker scatter drawn power into its own disjoint id-order slice.
 #[derive(Debug, Default)]
 struct Partition {
     /// Requested thread count this partition was computed for.
@@ -59,12 +87,36 @@ struct Partition {
     leaves: Vec<Range<usize>>,
 }
 
+/// One maximal contiguous position range of servers sharing a
+/// generation, service, and turbo setting. All batch-loop constants of
+/// the demand computation are hoisted here once at build time.
+struct Run {
+    /// Position range (`perm` order) this run covers.
+    range: Range<usize>,
+    /// The generation's shared power LUT.
+    lut: Arc<PowerLut>,
+    /// Idle watts of the generation (LUT node 0).
+    idle_w: f64,
+    /// Turbo power factor; meaningful only when `turbo` is true.
+    turbo_pf: f64,
+    /// Turbo performance factor (1.0 when turbo is off).
+    turbo_perf: f64,
+    /// Whether turbo is enabled for this run. A per-run branch, hoisted
+    /// out of the element loop: routing non-turbo servers through the
+    /// turbo expression with factor 1.0 would not be a float identity.
+    turbo: bool,
+    /// [`ServiceKind::index`] — the traffic-multiplier / static-cap /
+    /// OU-coefficient index for the whole run.
+    svc: u8,
+}
+
 /// Every server in the datacenter: its [`Agent`] (which owns the
 /// [`Server`] model), its service assignment, its utilization process,
 /// and fleet-level failure injection.
 pub struct Fleet {
     agents: Vec<Agent>,
     services: Vec<ServiceKind>,
+    /// Per-server workload processes, in *position* order (see `perm`).
     generators: Vec<ServiceWorkload>,
     /// Per-service traffic patterns; services without an entry see
     /// constant nominal traffic.
@@ -81,18 +133,38 @@ pub struct Fleet {
     /// Crashed agents pending restart: (server, restart time).
     pending_restarts: Vec<(u32, SimTime)>,
     rng: SimRng,
-    /// SoA hot path: true power draw (watts) of each server after its
-    /// last physics step, in server-id order.
-    power_w: Vec<f64>,
-    /// SoA hot path: post-clamp demand utilization at the last step.
+    /// Position → server id. Identity without leaf spans; with spans, a
+    /// leaf-local stable sort by `(generation, service, turbo)`.
+    perm: Vec<u32>,
+    /// Server id → position (inverse of `perm`).
+    inv: Vec<u32>,
+    /// Maximal equal-key position ranges with hoisted loop constants.
+    runs: Vec<Run>,
+    /// Batch state, position order: demanded watts (incl. turbo premium).
+    demand_w: Vec<f64>,
+    /// Batch state, position order: RAPL limit in watts
+    /// (`f64::INFINITY` when uncapped, making `min` branchless).
+    limit_w: Vec<f64>,
+    /// Batch state, position order: settled RAPL output watts.
+    out_w: Vec<f64>,
+    /// Batch state, position order: 1.0 until the first live step
+    /// (forces the exact first-step snap), 0.0 afterwards.
+    not_init: Vec<f64>,
+    /// Batch state, position order: liveness mask (1.0 alive, 0.0 dead).
+    alive_m: Vec<f64>,
+    /// Post-clamp demand utilization at the last step, position order.
     util: Vec<f64>,
-    /// SoA hot path: [`ServiceKind::index`] per server — the traffic
-    /// multiplier / static-cap index, denormalized out of `services`.
-    mult_idx: Vec<u8>,
+    /// Uniform RAPL time constant of the fleet's servers.
+    tau_secs: f64,
+    /// SoA hot path: true power draw (watts) of each server after its
+    /// last physics step, in server-id order (`out_w * alive`, scattered
+    /// through `perm`).
+    power_w: Vec<f64>,
     /// Set by [`Fleet::agent_mut`]: an embedder may have changed server
     /// power outside the step path, so cached sums cannot be trusted
     /// until the next step rewrites them. Queries fall back to live
-    /// per-agent reads while set.
+    /// per-agent reads while set; the servers were flushed to be fresh
+    /// at the moment the flag was raised.
     power_dirty: bool,
     /// The control plane's per-leaf server spans (ascending, tiling
     /// `0..n`), when known. Empty otherwise.
@@ -132,8 +204,8 @@ impl Fleet {
             agents.push(Agent::new(server, agent_rng.split_index(i as u64)));
             generators.push(ServiceWorkload::new(service, wl_rng.split_index(i as u64)));
         }
-        let mult_idx = services.iter().map(|s| s.index() as u8).collect();
-        Fleet {
+        let tau_secs = agents[0].server().rapl().tau_secs();
+        let mut fleet = Fleet {
             agents,
             services,
             generators,
@@ -143,17 +215,27 @@ impl Fleet {
             watchdog_delay: SimDuration::from_secs(30),
             pending_restarts: Vec::new(),
             rng: rng.split("fleet-events"),
+            perm: Vec::new(),
+            inv: Vec::new(),
+            runs: Vec::new(),
+            demand_w: Vec::new(),
+            limit_w: Vec::new(),
+            out_w: Vec::new(),
+            not_init: Vec::new(),
+            alive_m: Vec::new(),
+            util: Vec::new(),
+            tau_secs,
             // Pre-step, every server's RAPL output is zero, matching a
             // live read.
             power_w: vec![0.0; n],
-            util: vec![0.0; n],
-            mult_idx,
             power_dirty: false,
             leaf_spans: Vec::new(),
             leaf_power_w: Vec::new(),
             partition: Partition::default(),
             pool: None,
-        }
+        };
+        fleet.rebuild_layout();
+        fleet
     }
 
     /// Number of servers.
@@ -211,16 +293,123 @@ impl Fleet {
 
     /// Registers the control plane's per-leaf server spans so the step
     /// maintains per-leaf power partials and leaf-aligned worker
-    /// partitions. Spans must ascend and tile `0..len`.
+    /// partitions, and regroups the batch arrays leaf-locally by
+    /// `(generation, service, turbo)`. Spans must ascend and tile
+    /// `0..len`.
     pub(crate) fn set_leaf_spans(&mut self, spans: &[Range<usize>]) {
         debug_assert!(spans
             .iter()
             .zip(spans.iter().skip(1))
             .all(|(a, b)| a.end == b.start));
         self.leaf_spans = spans.to_vec();
+        self.rebuild_layout();
         self.leaf_power_w = vec![0.0; spans.len()];
         leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
         self.partition = Partition::default();
+    }
+
+    /// (Re)builds the batch layout: the leaf-local stable permutation,
+    /// its inverse, the equal-key runs, and the position-ordered state
+    /// arrays. Existing state (including each server's workload process
+    /// and RNG stream) is carried through the re-ordering untouched.
+    fn rebuild_layout(&mut self) {
+        let n = self.agents.len();
+        // Gather current state back to id order under the old perm. At
+        // construction (`perm` empty) the generators are already in id
+        // order and the physics state takes its pre-step defaults.
+        let mut gens_id: Vec<Option<ServiceWorkload>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        let mut demand_id = vec![0.0; n];
+        let mut limit_id = vec![f64::INFINITY; n];
+        let mut out_id = vec![0.0; n];
+        let mut ni_id = vec![1.0; n];
+        let mut alive_id = vec![1.0; n];
+        let mut util_id = vec![0.0; n];
+        if self.perm.is_empty() {
+            for (id, g) in self.generators.drain(..).enumerate() {
+                gens_id[id] = Some(g);
+                // Pre-step demand power is the idle draw (demand
+                // utilization 0), matching a live `demand_power` read.
+                demand_id[id] = self.agents[id].server().lut().idle_w();
+                alive_id[id] = if self.agents[id].server().is_alive() {
+                    1.0
+                } else {
+                    0.0
+                };
+            }
+        } else {
+            for (pos, g) in self.generators.drain(..).enumerate() {
+                let id = self.perm[pos] as usize;
+                gens_id[id] = Some(g);
+                demand_id[id] = self.demand_w[pos];
+                limit_id[id] = self.limit_w[pos];
+                out_id[id] = self.out_w[pos];
+                ni_id[id] = self.not_init[pos];
+                alive_id[id] = self.alive_m[pos];
+                util_id[id] = self.util[pos];
+            }
+        }
+        // The new permutation: identity, then a stable sort of each
+        // leaf span by run key. Without spans the layout stays identity
+        // (arbitrary worker chunks must keep id range == position
+        // range).
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for span in &self.leaf_spans {
+            perm[span.clone()].sort_by_key(|&id| {
+                run_key(
+                    self.agents[id as usize].server(),
+                    self.services[id as usize],
+                )
+            });
+        }
+        let mut inv = vec![0u32; n];
+        for (pos, &id) in perm.iter().enumerate() {
+            inv[id as usize] = pos as u32;
+        }
+        self.generators = perm
+            .iter()
+            .map(|&id| gens_id[id as usize].take().expect("perm is a permutation"))
+            .collect();
+        self.demand_w = perm.iter().map(|&id| demand_id[id as usize]).collect();
+        self.limit_w = perm.iter().map(|&id| limit_id[id as usize]).collect();
+        self.out_w = perm.iter().map(|&id| out_id[id as usize]).collect();
+        self.not_init = perm.iter().map(|&id| ni_id[id as usize]).collect();
+        self.alive_m = perm.iter().map(|&id| alive_id[id as usize]).collect();
+        self.util = perm.iter().map(|&id| util_id[id as usize]).collect();
+        self.perm = perm;
+        self.inv = inv;
+        self.rebuild_runs();
+    }
+
+    /// Scans the position order into maximal equal-key runs with their
+    /// hoisted demand-loop constants.
+    fn rebuild_runs(&mut self) {
+        let n = self.agents.len();
+        self.runs.clear();
+        let key_at = |pos: usize| {
+            let id = self.perm[pos] as usize;
+            run_key(self.agents[id].server(), self.services[id])
+        };
+        let mut start = 0;
+        for pos in 1..=n {
+            if pos < n && key_at(pos) == key_at(start) {
+                continue;
+            }
+            let id = self.perm[start] as usize;
+            let server = self.agents[id].server();
+            let lut = server.lut().clone();
+            let turbo = server.config().turbo;
+            self.runs.push(Run {
+                range: start..pos,
+                idle_w: lut.idle_w(),
+                lut,
+                turbo_pf: turbo.map_or(1.0, |t| t.power_factor),
+                turbo_perf: turbo.map_or(1.0, |t| t.perf_factor),
+                turbo: turbo.is_some(),
+                svc: self.services[id].index() as u8,
+            });
+            start = pos;
+        }
     }
 
     /// The service running on server `sid`.
@@ -233,11 +422,16 @@ impl Fleet {
         &self.agents[sid as usize]
     }
 
-    /// Mutable agent access (experiment hooks). Marks the fleet's
-    /// cached power arrays dirty: power queries fall back to live
-    /// per-agent reads until the next step rebuilds the cache.
+    /// Mutable agent access (experiment hooks). Flushes the batch-owned
+    /// physics state back into every server model (so the caller
+    /// observes fresh state) and marks the cached power arrays dirty:
+    /// power queries fall back to live per-agent reads until the next
+    /// step resynchronizes the arrays from the servers.
     pub fn agent_mut(&mut self, sid: u32) -> &mut Agent {
-        self.power_dirty = true;
+        if !self.power_dirty {
+            self.flush_span_to_servers(0..self.agents.len());
+            self.power_dirty = true;
+        }
         &mut self.agents[sid as usize]
     }
 
@@ -246,9 +440,87 @@ impl Fleet {
     /// per-leaf spans with `split_at_mut`. Does not mark the power
     /// cache dirty: the controller RPC path only programs RAPL limits,
     /// which change drawn power at the next physics step, never
-    /// immediately.
+    /// immediately. (The control plane brackets its cycles with
+    /// [`Fleet::sync_servers_for_control`] / [`Fleet::absorb_caps`].)
     pub(crate) fn agents_mut(&mut self) -> &mut [Agent] {
         &mut self.agents
+    }
+
+    /// Pushes the batch-owned physics state of the due leaves' servers
+    /// into their [`Server`] models, so the agent RPC cycles about to
+    /// run observe fresh power. With unknown leaf spans every server is
+    /// flushed. A no-op while the cache is dirty (the servers are
+    /// already the authority then).
+    pub(crate) fn sync_servers_for_control(&mut self, due: &[usize]) {
+        if self.power_dirty {
+            return;
+        }
+        if self.leaf_spans.is_empty() {
+            self.flush_span_to_servers(0..self.agents.len());
+        } else {
+            for &leaf in due {
+                self.flush_span_to_servers(self.leaf_spans[leaf].clone());
+            }
+        }
+    }
+
+    /// Pulls the RAPL limits the due leaves' controllers just programmed
+    /// back into the batch `limit_w` array. The counterpart of
+    /// [`Fleet::sync_servers_for_control`], run after the RPC cycles. A
+    /// no-op while the cache is dirty (the next step resynchronizes
+    /// everything from the servers anyway).
+    pub(crate) fn absorb_caps(&mut self, due: &[usize]) {
+        if self.power_dirty {
+            return;
+        }
+        let mut absorb = |ids: Range<usize>| {
+            for id in ids {
+                let pos = self.inv[id] as usize;
+                self.limit_w[pos] = self.agents[id]
+                    .current_cap()
+                    .map_or(f64::INFINITY, |l| l.as_watts());
+            }
+        };
+        if self.leaf_spans.is_empty() {
+            absorb(0..self.agents.len());
+        } else {
+            for &leaf in due {
+                absorb(self.leaf_spans[leaf].clone());
+            }
+        }
+    }
+
+    /// Flushes batch state (demand utilization, RAPL output, init flag)
+    /// into the scalar server models for one id/position span (the two
+    /// coincide on leaf spans and on the full fleet).
+    fn flush_span_to_servers(&mut self, span: Range<usize>) {
+        for pos in span {
+            let id = self.perm[pos] as usize;
+            let initialized = self.not_init[pos] == 0.0;
+            self.agents[id]
+                .server_mut()
+                .sync_physics(self.util[pos], self.out_w[pos], initialized);
+        }
+    }
+
+    /// Rebuilds the batch arrays from the scalar server models after
+    /// out-of-band mutation (the `power_dirty` recovery path).
+    fn resync_from_servers(&mut self) {
+        for pos in 0..self.agents.len() {
+            let server = self.agents[self.perm[pos] as usize].server();
+            debug_assert_eq!(server.rapl().tau_secs(), self.tau_secs);
+            self.out_w[pos] = server.rapl().output().as_watts();
+            self.not_init[pos] = if server.rapl().is_initialized() {
+                0.0
+            } else {
+                1.0
+            };
+            self.alive_m[pos] = if server.is_alive() { 1.0 } else { 0.0 };
+            self.limit_w[pos] = server
+                .rapl()
+                .limit()
+                .map_or(f64::INFINITY, |l| l.as_watts());
+        }
     }
 
     /// Powers a server on or off (breaker blackout path), keeping the
@@ -257,7 +529,18 @@ impl Fleet {
     pub fn set_server_alive(&mut self, sid: u32, alive: bool) {
         let i = sid as usize;
         self.agents[i].server_mut().set_alive(alive);
-        self.power_w[i] = self.agents[i].server().power().as_watts();
+        if self.power_dirty {
+            // Live reads are in effect; the next step resynchronizes.
+            return;
+        }
+        let pos = self.inv[i] as usize;
+        self.alive_m[pos] = if alive { 1.0 } else { 0.0 };
+        // Keep the scalar model coherent for any direct observer.
+        let initialized = self.not_init[pos] == 0.0;
+        self.agents[i]
+            .server_mut()
+            .sync_physics(self.util[pos], self.out_w[pos], initialized);
+        self.power_w[i] = if alive { self.out_w[pos] } else { 0.0 };
         if !self.leaf_spans.is_empty() {
             let leaf = self.leaf_spans.partition_point(|s| s.end <= i);
             if let Some(span) = self.leaf_spans.get(leaf) {
@@ -331,22 +614,52 @@ impl Fleet {
     /// The post-clamp demand utilization server `sid` was stepped with
     /// most recently.
     pub fn utilization_of(&self, sid: u32) -> f64 {
-        self.util[sid as usize]
+        self.util[self.inv[sid as usize] as usize]
+    }
+
+    /// The utilization level server `sid` actually achieves under its
+    /// current cap — [`Server::achieved_utilization`] evaluated against
+    /// the batch-owned drawn power, so it is correct even while the
+    /// scalar model is stale.
+    pub fn achieved_utilization_of(&self, sid: u32) -> f64 {
+        let i = sid as usize;
+        let server = self.agents[i].server();
+        if self.power_dirty {
+            return server.achieved_utilization();
+        }
+        if self.alive_m[self.inv[i] as usize] == 0.0 {
+            return 0.0;
+        }
+        server.achieved_utilization_at(Power::from_watts(self.power_w[i]))
     }
 
     /// Advances every server by one tick: samples traffic, draws demand
     /// from each workload process, applies static clamps, steps server
-    /// physics, and processes agent crash/restart events.
+    /// physics in one batched kernel pass, and processes agent
+    /// crash/restart events.
     pub fn step(&mut self, now: SimTime, dt: SimDuration) {
+        if self.power_dirty {
+            self.resync_from_servers();
+        }
         let mults = self.traffic_multipliers(now);
-        step_span(
-            &mut self.agents,
+        let ou = ou_coefficients(dt);
+        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
+        step_range(
+            0,
+            &self.runs,
+            &self.perm,
             &mut self.generators,
-            &self.mult_idx,
-            &mut self.power_w,
             &mut self.util,
+            &mut self.demand_w,
+            &self.limit_w,
+            &self.alive_m,
+            &mut self.not_init,
+            &mut self.out_w,
+            &mut self.power_w,
             &mults,
             &self.static_util_caps,
+            &ou,
+            alpha,
             now,
             dt,
         );
@@ -364,7 +677,7 @@ impl Fleet {
     /// With a pool attached ([`Fleet::attach_pool`]) the dispatch wakes
     /// the persistent parked workers over precomputed leaf-aligned
     /// partitions and allocates nothing once warm; without one it falls
-    /// back to the legacy per-call scoped threads.
+    /// back to per-call scoped threads over the same partitions.
     ///
     /// # Panics
     ///
@@ -373,6 +686,9 @@ impl Fleet {
         assert!(threads >= 1, "need at least one worker thread");
         if threads == 1 || self.agents.len() < 64 {
             return self.step(now, dt);
+        }
+        if self.power_dirty {
+            self.resync_from_servers();
         }
         match &self.pool {
             Some(pool) => {
@@ -392,30 +708,39 @@ impl Fleet {
         self.ensure_partition(workers);
         let mults = self.traffic_multipliers(now);
         let caps = self.static_util_caps;
+        let ou = ou_coefficients(dt);
+        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
 
         /// One worker's disjoint view of the fleet arrays.
         struct StepJob<'a> {
-            agents: &'a mut [Agent],
             generators: &'a mut [ServiceWorkload],
-            mult_idx: &'a [u8],
-            power_w: &'a mut [f64],
             util: &'a mut [f64],
+            demand_w: &'a mut [f64],
+            not_init: &'a mut [f64],
+            out_w: &'a mut [f64],
+            power_w: &'a mut [f64],
             /// This worker's leaves: partial-sum outputs and the
             /// matching global spans.
             leaf_power_w: &'a mut [f64],
             leaf_spans: &'a [Range<usize>],
-            /// Server id of `agents[0]`.
+            /// Server id / position of element 0 of the local slices
+            /// (the two coincide on leaf-aligned partitions).
             base: usize,
         }
 
+        let runs = &self.runs;
+        let perm = &self.perm;
+        let limit_w = &self.limit_w;
+        let alive_m = &self.alive_m;
         let mut jobs: [Option<StepJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
         let njobs = self.partition.agents.len();
         {
-            let mut agents = &mut self.agents[..];
             let mut generators = &mut self.generators[..];
-            let mut mult_idx = &self.mult_idx[..];
-            let mut power_w = &mut self.power_w[..];
             let mut util = &mut self.util[..];
+            let mut demand_w = &mut self.demand_w[..];
+            let mut not_init = &mut self.not_init[..];
+            let mut out_w = &mut self.out_w[..];
+            let mut power_w = &mut self.power_w[..];
             let mut leaf_power_w = &mut self.leaf_power_w[..];
             let mut consumed = 0usize;
             let mut leaves_consumed = 0usize;
@@ -425,25 +750,28 @@ impl Fleet {
             {
                 debug_assert_eq!(arange.start, consumed, "partition must tile the fleet");
                 let take = arange.end - arange.start;
-                let (a, rest) = agents.split_at_mut(take);
-                agents = rest;
                 let (g, rest) = generators.split_at_mut(take);
                 generators = rest;
-                let (m, rest) = mult_idx.split_at(take);
-                mult_idx = rest;
-                let (p, rest) = power_w.split_at_mut(take);
-                power_w = rest;
                 let (u, rest) = util.split_at_mut(take);
                 util = rest;
+                let (d, rest) = demand_w.split_at_mut(take);
+                demand_w = rest;
+                let (ni, rest) = not_init.split_at_mut(take);
+                not_init = rest;
+                let (o, rest) = out_w.split_at_mut(take);
+                out_w = rest;
+                let (p, rest) = power_w.split_at_mut(take);
+                power_w = rest;
                 debug_assert_eq!(lrange.start, leaves_consumed);
                 let (lp, rest) = leaf_power_w.split_at_mut(lrange.end - lrange.start);
                 leaf_power_w = rest;
                 *job = Some(StepJob {
-                    agents: a,
                     generators: g,
-                    mult_idx: m,
-                    power_w: p,
                     util: u,
+                    demand_w: d,
+                    not_init: ni,
+                    out_w: o,
+                    power_w: p,
                     leaf_power_w: lp,
                     leaf_spans: &self.leaf_spans[lrange.clone()],
                     base: consumed,
@@ -454,57 +782,103 @@ impl Fleet {
         }
         pool.run_on(&mut jobs[..njobs], |_w, slot| {
             let job = slot.as_mut().expect("partition slot filled above");
-            step_span(
-                job.agents,
+            let lo = job.base;
+            let n = job.generators.len();
+            step_range(
+                lo,
+                runs,
+                perm,
                 job.generators,
-                job.mult_idx,
-                job.power_w,
                 job.util,
+                job.demand_w,
+                &limit_w[lo..lo + n],
+                &alive_m[lo..lo + n],
+                job.not_init,
+                job.out_w,
+                job.power_w,
                 &mults,
                 &caps,
+                &ou,
+                alpha,
                 now,
                 dt,
             );
-            leaf_partials(job.power_w, job.base, job.leaf_spans, job.leaf_power_w);
+            leaf_partials(job.power_w, lo, job.leaf_spans, job.leaf_power_w);
         });
     }
 
-    /// Legacy parallel step: per-call scoped threads over plain
-    /// `div_ceil` agent chunks. Kept as the no-pool fallback and the
-    /// baseline the pool is benchmarked against.
+    /// No-pool parallel step: per-call scoped threads over the same
+    /// leaf-aligned partitions the pooled path uses. Kept as the
+    /// fallback and the baseline the pool is benchmarked against.
     fn step_scoped(&mut self, now: SimTime, dt: SimDuration, threads: usize) {
+        self.ensure_partition(threads);
         let mults = self.traffic_multipliers(now);
         let caps = self.static_util_caps;
-        let chunk = self.agents.len().div_ceil(threads);
-        let mult_idx = &self.mult_idx;
-        let agents = &mut self.agents;
-        let generators = &mut self.generators;
-        let power_w = &mut self.power_w;
-        let util = &mut self.util;
+        let ou = ou_coefficients(dt);
+        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
+        let parts: Vec<(Range<usize>, Range<usize>)> = self
+            .partition
+            .agents
+            .iter()
+            .cloned()
+            .zip(self.partition.leaves.iter().cloned())
+            .collect();
+        let runs = &self.runs;
+        let perm = &self.perm;
+        let limit_w = &self.limit_w;
+        let alive_m = &self.alive_m;
+        let leaf_spans = &self.leaf_spans;
+        let mut generators = &mut self.generators[..];
+        let mut util = &mut self.util[..];
+        let mut demand_w = &mut self.demand_w[..];
+        let mut not_init = &mut self.not_init[..];
+        let mut out_w = &mut self.out_w[..];
+        let mut power_w = &mut self.power_w[..];
+        let mut leaf_power_w = &mut self.leaf_power_w[..];
         std::thread::scope(|scope| {
-            for ((((agent_chunk, gen_chunk), midx_chunk), power_chunk), util_chunk) in agents
-                .chunks_mut(chunk)
-                .zip(generators.chunks_mut(chunk))
-                .zip(mult_idx.chunks(chunk))
-                .zip(power_w.chunks_mut(chunk))
-                .zip(util.chunks_mut(chunk))
-            {
+            for (arange, lrange) in parts {
+                let take = arange.end - arange.start;
+                let (g, rest) = generators.split_at_mut(take);
+                generators = rest;
+                let (u, rest) = util.split_at_mut(take);
+                util = rest;
+                let (d, rest) = demand_w.split_at_mut(take);
+                demand_w = rest;
+                let (ni, rest) = not_init.split_at_mut(take);
+                not_init = rest;
+                let (o, rest) = out_w.split_at_mut(take);
+                out_w = rest;
+                let (p, rest) = power_w.split_at_mut(take);
+                power_w = rest;
+                let (lp, rest) = leaf_power_w.split_at_mut(lrange.end - lrange.start);
+                leaf_power_w = rest;
+                let spans = &leaf_spans[lrange];
+                let lo = arange.start;
                 scope.spawn(move || {
-                    step_span(
-                        agent_chunk,
-                        gen_chunk,
-                        midx_chunk,
-                        power_chunk,
-                        util_chunk,
+                    let n = g.len();
+                    step_range(
+                        lo,
+                        runs,
+                        perm,
+                        g,
+                        u,
+                        d,
+                        &limit_w[lo..lo + n],
+                        &alive_m[lo..lo + n],
+                        ni,
+                        o,
+                        p,
                         &mults,
                         &caps,
+                        &ou,
+                        alpha,
                         now,
                         dt,
                     );
+                    leaf_partials(p, lo, spans, lp);
                 });
             }
         });
-        leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
     }
 
     /// Rebuilds the cached per-worker partition if the thread count
@@ -585,15 +959,40 @@ impl Fleet {
     }
 
     /// Mean performance factor over a set of servers (1.0 = turbo-off
-    /// uncapped baseline).
+    /// uncapped baseline). Computed from the batch arrays while the
+    /// cache is clean — the same arithmetic as
+    /// [`Server::performance_factor`], against the same post-step state.
     pub fn mean_performance(&self, sids: &[u32]) -> f64 {
         if sids.is_empty() {
             return f64::NAN;
         }
-        sids.iter()
-            .map(|&s| self.agents[s as usize].server().performance_factor())
-            .sum::<f64>()
-            / sids.len() as f64
+        if self.power_dirty {
+            return sids
+                .iter()
+                .map(|&s| self.agents[s as usize].server().performance_factor())
+                .sum::<f64>()
+                / sids.len() as f64;
+        }
+        let sum: f64 = sids
+            .iter()
+            .map(|&s| {
+                let i = s as usize;
+                let pos = self.inv[i] as usize;
+                if self.alive_m[pos] == 0.0 {
+                    return 0.0;
+                }
+                let run = &self.runs[self.runs.partition_point(|r| r.range.end <= pos)];
+                let demand = self.demand_w[pos];
+                let drawn = self.power_w[i];
+                let reduction = if demand <= 0.0 {
+                    0.0
+                } else {
+                    (1.0 - drawn / demand).clamp(0.0, 1.0)
+                };
+                run.turbo_perf / (1.0 + serverpower::capping_slowdown(reduction))
+            })
+            .sum();
+        sum / sids.len() as f64
     }
 
     /// Instantaneous fleet statistics.
@@ -623,6 +1022,20 @@ impl Fleet {
     }
 }
 
+/// The batching key: servers with equal keys share every hoisted
+/// constant of the demand loop. Stable-sorting a leaf span by this key
+/// groups its servers into maximal runs.
+fn run_key(server: &Server, service: ServiceKind) -> (u8, u8, u8, u64, u64) {
+    let turbo = server.config().turbo;
+    (
+        server.config().generation.index() as u8,
+        service.index() as u8,
+        turbo.is_some() as u8,
+        turbo.map_or(0, |t| t.power_factor.to_bits()),
+        turbo.map_or(0, |t| t.perf_factor.to_bits()),
+    )
+}
+
 /// Splits the fleet's agent array into disjoint `&mut` slices, one per
 /// span, for the parallel control plane. Spans must be ascending and
 /// non-overlapping (agents between spans are skipped); each returned
@@ -643,31 +1056,82 @@ pub(crate) fn split_agent_spans(
     out
 }
 
-/// Advances a contiguous run of servers: workload draw, static clamp,
-/// physics step, flat-array writeback. Shared verbatim by the serial,
-/// scoped and pooled paths so their arithmetic cannot drift apart.
+/// Per-service OU coefficients for this tick length, hoisting the
+/// per-step `exp`/`sqrt` out of the inner demand loop.
+fn ou_coefficients(dt: SimDuration) -> [OuCoeffs; ServiceKind::COUNT] {
+    let mut out = [OuCoeffs {
+        decay: 0.0,
+        innovation: 0.0,
+    }; ServiceKind::COUNT];
+    for kind in ServiceKind::all() {
+        out[kind.index()] = OuCoeffs::for_kind(kind, dt);
+    }
+    out
+}
+
+/// Advances a contiguous position range of servers: a per-run demand
+/// pass (workload draw → static clamp → LUT power, with all run
+/// constants hoisted), one branchless [`kernel::step_batch`] physics
+/// pass over the whole range, and a scatter of drawn power back to
+/// id order. Shared verbatim by the serial, scoped and pooled paths so
+/// their arithmetic cannot drift apart.
+///
+/// All slice arguments except `runs` and `perm` are local views of the
+/// range `base..base + len`; leaf alignment guarantees `perm` maps the
+/// range onto itself, so the scatter stays within `power_w`.
 #[allow(clippy::too_many_arguments)]
-fn step_span(
-    agents: &mut [Agent],
+fn step_range(
+    base: usize,
+    runs: &[Run],
+    perm: &[u32],
     generators: &mut [ServiceWorkload],
-    mult_idx: &[u8],
-    power_w: &mut [f64],
     util: &mut [f64],
+    demand_w: &mut [f64],
+    limit_w: &[f64],
+    alive_m: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    power_w: &mut [f64],
     mults: &[f64; ServiceKind::COUNT],
     static_caps: &[Option<f64>; ServiceKind::COUNT],
+    ou: &[OuCoeffs; ServiceKind::COUNT],
+    alpha: f64,
     now: SimTime,
     dt: SimDuration,
 ) {
-    for i in 0..agents.len() {
-        let k = mult_idx[i] as usize;
-        let mut u = generators[i].utilization(now, mults[k], dt);
-        if let Some(cap) = static_caps[k] {
-            u = u.min(cap);
+    let n = generators.len();
+    let (lo, hi) = (base, base + n);
+    let first = runs.partition_point(|r| r.range.end <= lo);
+    for run in &runs[first..] {
+        if run.range.start >= hi {
+            break;
         }
-        util[i] = u;
-        let server = agents[i].server_mut();
-        server.set_demand(u);
-        power_w[i] = server.step(dt).as_watts();
+        let a = run.range.start.max(lo) - lo;
+        let b = run.range.end.min(hi) - lo;
+        let k = run.svc as usize;
+        let mult = mults[k];
+        // `min(1.0)` is a bitwise no-op on the workload's `[0.02, 1.0]`
+        // output, so "no static cap" needs no branch in the loop.
+        let cap = static_caps[k].unwrap_or(1.0);
+        let oc = ou[k];
+        if run.turbo {
+            for j in a..b {
+                let u = generators[j].utilization_with(now, mult, dt, oc).min(cap);
+                util[j] = u;
+                demand_w[j] =
+                    kernel::turbo_demand_w(run.lut.power_at_w(u), run.idle_w, run.turbo_pf);
+            }
+        } else {
+            for j in a..b {
+                let u = generators[j].utilization_with(now, mult, dt, oc).min(cap);
+                util[j] = u;
+                demand_w[j] = run.lut.power_at_w(u);
+            }
+        }
+    }
+    kernel::step_batch(demand_w, limit_w, alive_m, not_init, out_w, alpha);
+    for j in 0..n {
+        power_w[perm[lo + j] as usize - lo] = out_w[j] * alive_m[j];
     }
 }
 
@@ -877,6 +1341,64 @@ mod tests {
     }
 
     #[test]
+    fn batched_permutation_is_observationally_invisible() {
+        // With leaf spans, servers are regrouped by (generation,
+        // service, turbo) internally. Per-server RNG streams make the
+        // evaluation order unobservable: every per-id result must be
+        // bit-identical to the unpermuted (no spans) fleet.
+        let mut plain = mixed_fleet(80);
+        let mut grouped = mixed_fleet(80);
+        let spans: Vec<Range<usize>> = (0..4).map(|l| l * 50..(l + 1) * 50).collect();
+        grouped.set_leaf_spans(&spans);
+        let mut t = SimTime::ZERO;
+        for _ in 0..25 {
+            plain.step(t, SimDuration::from_secs(1));
+            grouped.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            assert_eq!(
+                plain.power_of(i).as_watts(),
+                grouped.power_of(i).as_watts(),
+                "server {i} diverged under batching permutation"
+            );
+            assert_eq!(
+                plain.utilization_of(i),
+                grouped.utilization_of(i),
+                "server {i} utilization diverged under batching permutation"
+            );
+        }
+    }
+
+    #[test]
+    fn regrouping_mid_run_preserves_state() {
+        // set_leaf_spans after stepping must carry all physics state
+        // through the permutation rebuild.
+        let mut plain = mixed_fleet(81);
+        let mut regrouped = mixed_fleet(81);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            plain.step(t, SimDuration::from_secs(1));
+            regrouped.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        let spans: Vec<Range<usize>> = (0..4).map(|l| l * 50..(l + 1) * 50).collect();
+        regrouped.set_leaf_spans(&spans);
+        for _ in 0..10 {
+            plain.step(t, SimDuration::from_secs(1));
+            regrouped.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            assert_eq!(
+                plain.power_of(i).as_watts(),
+                regrouped.power_of(i).as_watts(),
+                "server {i} diverged after mid-run regrouping"
+            );
+        }
+    }
+
+    #[test]
     fn agent_mut_falls_back_to_live_reads_until_next_step() {
         let mut fleet = small_fleet(8, ServiceKind::Web);
         run(&mut fleet, 10);
@@ -888,6 +1410,17 @@ mod tests {
         assert_eq!(fleet.power_sum(&[3]), Power::ZERO);
         run(&mut fleet, 1);
         assert_eq!(fleet.power_of(3), Power::ZERO);
+    }
+
+    #[test]
+    fn agent_mut_flush_exposes_fresh_state() {
+        // The scalar server models are stale while the arrays own the
+        // physics; agent_mut must flush before handing out the borrow.
+        let mut fleet = small_fleet(8, ServiceKind::Web);
+        run(&mut fleet, 10);
+        let cached = fleet.power_of(5);
+        let live = fleet.agent_mut(5).server().power();
+        assert_eq!(cached, live, "flush must reveal the batch-owned state");
     }
 
     #[test]

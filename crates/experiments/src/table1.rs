@@ -161,7 +161,7 @@ fn search_qps(scale: Scale) -> (f64, f64) {
             dc.run_for(SimDuration::from_mins(1));
             let fleet = dc.fleet();
             let util: f64 = (0..fleet.len() as u32)
-                .map(|sid| fleet.agent(sid).server().achieved_utilization())
+                .map(|sid| fleet.achieved_utilization_of(sid))
                 .sum::<f64>()
                 / fleet.len() as f64;
             acc += util;

@@ -1,5 +1,7 @@
 //! Power-vs-utilization curves (Figure 1 of the paper).
 
+use std::sync::{Arc, OnceLock};
+
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +101,27 @@ impl ServerGeneration {
     /// Idle (0% utilization) power for this generation.
     pub fn idle_power(self) -> Power {
         self.power_curve().power_at(0.0)
+    }
+
+    /// Dense index of this generation (oldest = 0), matching the order
+    /// of [`ServerGeneration::all`].
+    pub fn index(self) -> usize {
+        match self {
+            ServerGeneration::Westmere2011 => 0,
+            ServerGeneration::SandyBridge2012 => 1,
+            ServerGeneration::IvyBridge2013 => 2,
+            ServerGeneration::Haswell2015 => 3,
+        }
+    }
+
+    /// The shared lookup-table form of this generation's power curve,
+    /// built once per process and shared by every server of the
+    /// generation.
+    pub fn power_lut(self) -> Arc<PowerLut> {
+        static LUTS: [OnceLock<Arc<PowerLut>>; 4] = [const { OnceLock::new() }; 4];
+        LUTS[self.index()]
+            .get_or_init(|| Arc::new(PowerLut::from_curve(&self.power_curve())))
+            .clone()
     }
 }
 
@@ -213,6 +236,76 @@ impl PowerCurve {
     /// The knots of the curve.
     pub fn points(&self) -> &[(f64, Power)] {
         &self.points
+    }
+}
+
+/// Number of uniform cells in a [`PowerLut`] grid.
+///
+/// 1000 cells means the grid step is exactly `1/1000`. Because every
+/// generation's knots sit at multiples of `0.2`, and `u * 1000.0` is
+/// exact in `f64` for `u ∈ {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}`, every knot
+/// lands on a grid node with zero fractional part — so LUT evaluation at
+/// a knot returns the tabulated value, which is itself the exact
+/// `PowerCurve::power_at` result there.
+const LUT_CELLS: usize = 1000;
+
+/// A uniform-grid lookup table over a [`PowerCurve`].
+///
+/// Evaluation replaces the knot scan in [`PowerCurve::power_at`] with an
+/// index computation and one linear interpolation: `O(1)` with no
+/// data-dependent branches, which is what lets the fleet's batched step
+/// loop auto-vectorize. The table is exact at the source curve's knots
+/// (see `LUT_CELLS`) and within the grid-resolution error bound
+/// everywhere else; both properties are pinned by property tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLut {
+    /// `watts[i]` = power at utilization `i / LUT_CELLS`; `LUT_CELLS + 1`
+    /// entries.
+    watts: Box<[f64]>,
+    /// Cached `LUT_CELLS as f64`.
+    scale: f64,
+}
+
+impl PowerLut {
+    /// Tabulates `curve` on the uniform grid.
+    pub fn from_curve(curve: &PowerCurve) -> Self {
+        let watts: Box<[f64]> = (0..=LUT_CELLS)
+            .map(|i| curve.power_at(i as f64 / LUT_CELLS as f64).as_watts())
+            .collect();
+        PowerLut {
+            watts,
+            scale: LUT_CELLS as f64,
+        }
+    }
+
+    /// Power in watts at `utilization` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn power_at_w(&self, utilization: f64) -> f64 {
+        let x = utilization.clamp(0.0, 1.0) * self.scale;
+        let i = x as usize;
+        if i >= LUT_CELLS {
+            return self.watts[LUT_CELLS];
+        }
+        let frac = x - i as f64;
+        let lo = self.watts[i];
+        lo + (self.watts[i + 1] - lo) * frac
+    }
+
+    /// Power at `utilization` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn power_at(&self, utilization: f64) -> Power {
+        Power::from_watts(self.power_at_w(utilization))
+    }
+
+    /// Number of uniform cells in the grid.
+    pub fn cells(&self) -> usize {
+        LUT_CELLS
+    }
+
+    /// Idle power in watts (utilization 0).
+    #[inline]
+    pub fn idle_w(&self) -> f64 {
+        self.watts[0]
     }
 }
 

@@ -1,0 +1,152 @@
+//! Branchless arithmetic kernels shared by the scalar server model and
+//! the fleet's batched struct-of-arrays hot path.
+//!
+//! There must be exactly one definition of the physics arithmetic:
+//! [`crate::Rapl::step`] (one server) and `Fleet`'s batched step (flat
+//! arrays over thousands of servers) both route through the functions
+//! here, so the two paths are bit-identical by construction rather than
+//! by testing alone.
+//!
+//! # Mask conventions
+//!
+//! The batch kernel encodes per-server booleans as `f64` masks so the
+//! inner loop has no data-dependent branches and auto-vectorizes:
+//!
+//! - `alive`: `1.0` if the server is powered on, `0.0` if crashed. A
+//!   dead server's settling state is frozen (`eff == 0`) and its drawn
+//!   power is forced to zero — exactly the early-return in the scalar
+//!   `Server::step`.
+//! - `not_init`: `1.0` until the first live step, `0.0` afterwards.
+//!   While set, the effective settle coefficient is forced to exactly
+//!   `1.0`, which (with the invariant that an uninitialized output is
+//!   `0.0`) reproduces the scalar first-step snap `output = target`
+//!   bit-for-bit: `0.0 + (target - 0.0) * 1.0 == target`.
+//! - Uncapped servers carry `limit = f64::INFINITY`, making
+//!   `min(demand, limit)` a branchless no-op.
+
+/// First-order settling coefficient for a step of `dt_secs` under time
+/// constant `tau_secs`: `alpha = 1 - exp(-dt/tau)`.
+#[inline]
+pub fn settle_alpha(dt_secs: f64, tau_secs: f64) -> f64 {
+    1.0 - (-dt_secs / tau_secs).exp()
+}
+
+/// One first-order settle of `output` toward `target` with coefficient
+/// `alpha` (the closed-form discretization `p += (target - p) * alpha`).
+#[inline]
+pub fn settle(output_w: f64, target_w: f64, alpha: f64) -> f64 {
+    output_w + (target_w - output_w) * alpha
+}
+
+/// Demand power with the turbo premium applied to the dynamic component:
+/// `idle + (base - idle) * power_factor`.
+///
+/// Callers must only apply this when turbo is actually enabled — the
+/// `power_factor == 1.0` case is *not* an exact identity in floating
+/// point, so routing non-turbo servers through it would perturb results.
+#[inline]
+pub fn turbo_demand_w(base_w: f64, idle_w: f64, power_factor: f64) -> f64 {
+    idle_w + (base_w - idle_w) * power_factor
+}
+
+/// Advances a batch of RAPL actuators by one step.
+///
+/// For each index `i`:
+///
+/// ```text
+/// target = min(demand_w[i], limit_w[i])
+/// eff    = alive[i] * (alpha + not_init[i] * (1 - alpha))
+/// out_w[i] += (target - out_w[i]) * eff
+/// not_init[i] *= 1 - alive[i]
+/// ```
+///
+/// Drawn power is *not* written here; it is `out_w[i] * alive[i]`, which
+/// callers compute while scattering results back to id order.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+#[inline]
+pub fn step_batch(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    alpha: f64,
+) {
+    let n = demand_w.len();
+    assert_eq!(limit_w.len(), n);
+    assert_eq!(alive.len(), n);
+    assert_eq!(not_init.len(), n);
+    assert_eq!(out_w.len(), n);
+    for i in 0..n {
+        let target = demand_w[i].min(limit_w[i]);
+        let eff = alive[i] * (alpha + not_init[i] * (1.0 - alpha));
+        out_w[i] += (target - out_w[i]) * eff;
+        not_init[i] *= 1.0 - alive[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_first_step_snaps_exactly() {
+        let demand = [220.0, 95.0];
+        let limit = [f64::INFINITY, 180.0];
+        let alive = [1.0, 1.0];
+        let mut not_init = [1.0, 1.0];
+        let mut out = [0.0, 0.0];
+        step_batch(&demand, &limit, &alive, &mut not_init, &mut out, 0.25);
+        assert_eq!(out, [220.0, 95.0]);
+        assert_eq!(not_init, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_matches_scalar_settle_bitwise() {
+        let alpha = settle_alpha(1.0, 0.6);
+        let demand = [240.0];
+        let limit = [180.0];
+        let alive = [1.0];
+        let mut not_init = [0.0];
+        let mut out = [240.0];
+        let mut scalar = 240.0;
+        for _ in 0..20 {
+            step_batch(&demand, &limit, &alive, &mut not_init, &mut out, alpha);
+            scalar = settle(scalar, 180.0, alpha);
+            assert_eq!(out[0].to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn dead_server_state_is_frozen() {
+        let demand = [240.0];
+        let limit = [f64::INFINITY];
+        let alive = [0.0];
+        let mut not_init = [0.0];
+        let mut out = [150.0];
+        step_batch(&demand, &limit, &alive, &mut not_init, &mut out, 0.8);
+        assert_eq!(out, [150.0]);
+        assert_eq!(not_init, [0.0]);
+    }
+
+    #[test]
+    fn dead_uninitialized_server_stays_uninitialized() {
+        let demand = [240.0];
+        let limit = [f64::INFINITY];
+        let alive = [0.0];
+        let mut not_init = [1.0];
+        let mut out = [0.0];
+        step_batch(&demand, &limit, &alive, &mut not_init, &mut out, 0.8);
+        assert_eq!(out, [0.0]);
+        assert_eq!(not_init, [1.0]);
+    }
+
+    #[test]
+    fn turbo_demand_matches_direct_expression() {
+        let w = turbo_demand_w(200.0, 95.0, 1.20);
+        assert_eq!(w, 95.0 + (200.0 - 95.0) * 1.20);
+    }
+}

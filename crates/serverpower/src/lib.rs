@@ -39,11 +39,12 @@
 #![warn(missing_docs)]
 
 mod curve;
+pub mod kernel;
 mod rapl;
 mod sensor;
 mod server;
 
-pub use curve::{PowerCurve, ServerGeneration};
+pub use curve::{PowerCurve, PowerLut, ServerGeneration};
 pub use rapl::Rapl;
 pub use sensor::{PowerEstimator, PowerSensor};
 pub use server::{capping_slowdown, PowerBreakdown, Server, ServerConfig, TurboBoost};

@@ -125,9 +125,34 @@ impl Rapl {
             self.initialized = true;
             return self.output;
         }
-        let alpha = 1.0 - (-dt.as_secs_f64() / self.tau_secs).exp();
-        self.output = self.output + (target - self.output) * alpha;
+        let alpha = crate::kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
+        self.output = Power::from_watts(crate::kernel::settle(
+            self.output.as_watts(),
+            target.as_watts(),
+            alpha,
+        ));
         self.output
+    }
+
+    /// The first-order time constant in seconds.
+    pub fn tau_secs(&self) -> f64 {
+        self.tau_secs
+    }
+
+    /// True once the first `step` has snapped the output to its target.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Overwrites the settling state directly.
+    ///
+    /// This is the simulation-harness hook used by the fleet's batched
+    /// step path: the arrays own the authoritative settling state and
+    /// push it back into the scalar model before agent RPC cycles (or a
+    /// direct caller mutation) observe the server.
+    pub fn force_output(&mut self, output: Power, initialized: bool) {
+        self.output = output;
+        self.initialized = initialized;
     }
 
     /// The most recent actual power (after dynamics).

@@ -1,10 +1,12 @@
 //! A simulated server host: power curve + RAPL + sensor + Turbo Boost.
 
+use std::sync::Arc;
+
 use dcsim::{SimDuration, SimRng};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
 
-use crate::curve::{PowerCurve, ServerGeneration};
+use crate::curve::{PowerCurve, PowerLut, ServerGeneration};
 use crate::rapl::Rapl;
 use crate::sensor::{PowerEstimator, PowerSensor};
 
@@ -163,6 +165,7 @@ pub struct Server {
     id: u32,
     config: ServerConfig,
     curve: PowerCurve,
+    lut: Arc<PowerLut>,
     rapl: Rapl,
     sensor: PowerSensor,
     estimator: PowerEstimator,
@@ -176,9 +179,11 @@ impl Server {
         let curve = config.generation.power_curve();
         let sensor = PowerSensor::new(config.sensor_noise);
         let estimator = PowerEstimator::new(curve.clone()).with_bias(config.estimator_bias);
+        let lut = config.generation.power_lut();
         Server {
             id,
             config,
+            lut,
             curve,
             rapl: Rapl::new(),
             sensor,
@@ -203,6 +208,25 @@ impl Server {
         &self.curve
     }
 
+    /// The shared lookup-table form of the power curve.
+    pub fn lut(&self) -> &Arc<PowerLut> {
+        &self.lut
+    }
+
+    /// Overwrites the server's hot physics state (demand utilization and
+    /// RAPL settling state) from an external owner.
+    ///
+    /// This is the simulation-harness hook for the fleet's batched step
+    /// path, which keeps the authoritative copies of these fields in
+    /// flat arrays and pushes them back before anything observes the
+    /// scalar model (agent RPC cycles, direct mutation via
+    /// `Fleet::agent_mut`).
+    pub fn sync_physics(&mut self, demand_util: f64, output_w: f64, initialized: bool) {
+        self.demand_util = demand_util.clamp(0.0, 1.0);
+        self.rapl
+            .force_output(Power::from_watts(output_w), initialized);
+    }
+
     /// Sets the workload's demanded CPU utilization (clamped to [0, 1]).
     pub fn set_demand(&mut self, utilization: f64) {
         self.demand_util = utilization.clamp(0.0, 1.0);
@@ -216,14 +240,12 @@ impl Server {
     /// Power the workload wants to draw right now (before capping),
     /// including the Turbo Boost premium on the dynamic component.
     pub fn demand_power(&self) -> Power {
-        let base = self.curve.power_at(self.demand_util);
-        match self.config.turbo {
-            Some(t) => {
-                let idle = self.curve.idle();
-                idle + (base - idle) * t.power_factor
-            }
+        let base = self.lut.power_at_w(self.demand_util);
+        let w = match self.config.turbo {
+            Some(t) => crate::kernel::turbo_demand_w(base, self.lut.idle_w(), t.power_factor),
             None => base,
-        }
+        };
+        Power::from_watts(w)
     }
 
     /// Advances the server by `dt`; returns actual drawn power.
@@ -296,8 +318,14 @@ impl Server {
         if !self.alive {
             return 0.0;
         }
+        self.achieved_utilization_at(self.power())
+    }
+
+    /// [`Server::achieved_utilization`] evaluated against an externally
+    /// supplied drawn power — for callers (the fleet's batched step
+    /// path) that own the authoritative power state.
+    pub fn achieved_utilization_at(&self, drawn: Power) -> f64 {
         // Remove the turbo premium before inverting the base curve.
-        let drawn = self.power();
         let base_equiv = match self.config.turbo {
             Some(t) => {
                 let idle = self.curve.idle();

@@ -1,0 +1,129 @@
+//! Property tests for the uniform-grid power LUT ([`PowerLut`]) against
+//! the knot-interpolating [`PowerCurve`] it is built from.
+//!
+//! The fleet's batched demand kernel evaluates power exclusively
+//! through the LUT, so these properties are what licenses that
+//! substitution: exact at every knot, within a tight error bound of the
+//! knot interpolation everywhere on a dense grid, monotone, and
+//! invertible through the curve within tolerance.
+
+use powerinfra::Power;
+use serverpower::{PowerLut, ServerGeneration};
+
+const DENSE_GRID: usize = 10_000;
+
+/// The LUT is exact at every knot of its source curve. The generations'
+/// knots sit at multiples of 0.2, which land exactly on grid nodes
+/// (`0.2 * 1000.0 == 200.0` in f64), so no interpolation happens there
+/// at all.
+#[test]
+fn lut_is_exact_at_knots() {
+    for generation in ServerGeneration::all() {
+        let curve = generation.power_curve();
+        let lut = generation.power_lut();
+        for &(u, p) in curve.points() {
+            assert_eq!(
+                lut.power_at_w(u),
+                p.as_watts(),
+                "{generation:?} LUT not exact at knot u={u}"
+            );
+        }
+    }
+}
+
+/// Max absolute error versus the knot interpolation over a dense
+/// 10^4-point grid. Both sides linearly interpolate the same piecewise
+/// linear function, and every curve knot is a grid node, so the only
+/// divergence is floating-point rounding in the two interpolation
+/// formulas — parts in 10^12, not a model error.
+#[test]
+fn lut_tracks_knot_interpolation_on_dense_grid() {
+    for generation in ServerGeneration::all() {
+        let curve = generation.power_curve();
+        let lut = generation.power_lut();
+        let mut max_err = 0.0f64;
+        for i in 0..=DENSE_GRID {
+            let u = i as f64 / DENSE_GRID as f64;
+            let err = (lut.power_at_w(u) - curve.power_at(u).as_watts()).abs();
+            max_err = max_err.max(err);
+        }
+        assert!(
+            max_err < 1e-9,
+            "{generation:?} LUT deviates from knot interpolation by {max_err} W"
+        );
+    }
+}
+
+/// The LUT is monotone non-decreasing over the dense grid (its source
+/// curves are monotone, and linear interpolation preserves that).
+#[test]
+fn lut_is_monotone() {
+    for generation in ServerGeneration::all() {
+        let lut = generation.power_lut();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=DENSE_GRID {
+            let u = i as f64 / DENSE_GRID as f64;
+            let w = lut.power_at_w(u);
+            assert!(
+                w >= prev,
+                "{generation:?} LUT not monotone at u={u}: {w} < {prev}"
+            );
+            prev = w;
+        }
+    }
+}
+
+/// Inverting LUT power through the curve recovers the utilization: the
+/// round trip `curve.utilization_at(lut.power_at(u))` stays within
+/// tolerance of `u` across the full domain.
+#[test]
+fn utilization_round_trips_through_the_curve_inverse() {
+    for generation in ServerGeneration::all() {
+        let curve = generation.power_curve();
+        let lut = generation.power_lut();
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0;
+            let round = curve.utilization_at(Power::from_watts(lut.power_at_w(u)));
+            assert!(
+                (round - u).abs() < 1e-9,
+                "{generation:?} round trip drifted at u={u}: got {round}"
+            );
+        }
+    }
+}
+
+/// Out-of-range inputs clamp to the endpoints, bitwise.
+#[test]
+fn lut_clamps_to_domain() {
+    for generation in ServerGeneration::all() {
+        let lut = generation.power_lut();
+        assert_eq!(lut.power_at_w(-0.5), lut.power_at_w(0.0));
+        assert_eq!(lut.power_at_w(1.5), lut.power_at_w(1.0));
+        assert_eq!(lut.power_at_w(1.0), lut.power_at(1.0).as_watts());
+    }
+}
+
+/// The shared per-generation LUT is one allocation: repeated lookups
+/// hand back the same `Arc`.
+#[test]
+fn generation_lut_is_shared() {
+    for generation in ServerGeneration::all() {
+        let a = generation.power_lut();
+        let b = generation.power_lut();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.cells(), 1000);
+    }
+}
+
+/// A LUT built directly from a curve matches the shared one.
+#[test]
+fn from_curve_matches_shared_lut() {
+    for generation in ServerGeneration::all() {
+        let direct = PowerLut::from_curve(&generation.power_curve());
+        let shared = generation.power_lut();
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0;
+            assert_eq!(direct.power_at_w(u), shared.power_at_w(u));
+        }
+    }
+}

@@ -201,6 +201,40 @@ pub struct ServiceParams {
     pub traffic_sensitivity: f64,
 }
 
+/// Precomputed coefficients of the discretized Ornstein-Uhlenbeck
+/// update for one `(params, dt)` pair.
+///
+/// The per-step `exp` and `sqrt` depend only on the service parameters
+/// and the tick length, so hot loops stepping thousands of generators of
+/// the same service can compute them once per tick
+/// ([`OuCoeffs::for_params`]) and reuse them via
+/// [`ServiceWorkload::utilization_with`]. The expressions are identical
+/// to the inline ones in [`ServiceWorkload::utilization`], so the two
+/// paths are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OuCoeffs {
+    /// `exp(-theta * dt)`.
+    pub decay: f64,
+    /// `sigma * sqrt(1 - decay^2)` — the per-step innovation std-dev.
+    pub innovation: f64,
+}
+
+impl OuCoeffs {
+    /// Computes the coefficients for one parameter set and tick length.
+    pub fn for_params(params: &ServiceParams, dt: SimDuration) -> OuCoeffs {
+        let decay = (-params.theta * dt.as_secs_f64()).exp();
+        OuCoeffs {
+            decay,
+            innovation: params.sigma * (1.0 - decay * decay).sqrt(),
+        }
+    }
+
+    /// Coefficients for a service's calibrated parameters.
+    pub fn for_kind(kind: ServiceKind, dt: SimDuration) -> OuCoeffs {
+        OuCoeffs::for_params(&kind.params(), dt)
+    }
+}
+
 /// The utilization process for a single server running one service.
 ///
 /// A mean-reverting (Ornstein-Uhlenbeck) component models request-level
@@ -267,6 +301,29 @@ impl ServiceWorkload {
     /// Panics if `traffic_mult` is negative or not finite, or `dt` is
     /// zero.
     pub fn utilization(&mut self, now: SimTime, traffic_mult: f64, dt: SimDuration) -> f64 {
+        // Discretized OU step; sigma is the *stationary* std-dev, so the
+        // per-step innovation is sigma * sqrt(1 - exp(-2 theta dt)).
+        let ou = OuCoeffs::for_params(&self.params, dt);
+        self.utilization_with(now, traffic_mult, dt, ou)
+    }
+
+    /// [`ServiceWorkload::utilization`] with the OU coefficients supplied
+    /// by the caller, so batch steppers can hoist the per-tick `exp` /
+    /// `sqrt` out of their inner loop. `ou` must equal
+    /// [`OuCoeffs::for_params`] of this process's parameters and `dt` for
+    /// the result to match `utilization` bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic_mult` is negative or not finite, or `dt` is
+    /// zero.
+    pub fn utilization_with(
+        &mut self,
+        now: SimTime,
+        traffic_mult: f64,
+        dt: SimDuration,
+        ou: OuCoeffs,
+    ) -> f64 {
         assert!(
             traffic_mult.is_finite() && traffic_mult >= 0.0,
             "invalid traffic multiplier {traffic_mult}"
@@ -275,11 +332,7 @@ impl ServiceWorkload {
         let p = &self.params;
         let dt_s = dt.as_secs_f64();
 
-        // Discretized OU step; sigma is the *stationary* std-dev, so the
-        // per-step innovation is sigma * sqrt(1 - exp(-2 theta dt)).
-        let decay = (-p.theta * dt_s).exp();
-        let innovation = p.sigma * (1.0 - decay * decay).sqrt();
-        self.noise = self.noise * decay + self.rng.normal(0.0, innovation);
+        self.noise = self.noise * ou.decay + self.rng.normal(0.0, ou.innovation);
 
         // Burst lifecycle.
         if let Some((until, _)) = self.burst {

@@ -1,0 +1,79 @@
+//! Paper-scale smoke: a ~40k-server datacenter (the order of one of the
+//! paper's suites) stepped end to end, printing sustained ticks/sec.
+//!
+//! Run with `--quick` (CI) for a short timed window; the default runs a
+//! longer window for stable numbers. Exits nonzero if the simulation
+//! fails to sustain a minimum tick rate, so CI catches pathological
+//! regressions at scale, not just at the benchmark sizes.
+//!
+//! ```sh
+//! cargo run --release --example paper_scale -- --quick
+//! ```
+
+use std::time::Instant;
+
+use dcsim::SimDuration;
+use dynamo::{Datacenter, DatacenterBuilder, ParallelMode};
+use workloads::{ServiceKind, TrafficPattern};
+
+/// 4 MSBs x 4 SBs x 16 RPPs x 160 servers = 40,960 servers, sized so
+/// each device carries ~90% of its OCP rating (MSB: ~2.3 of 2.5 MW)
+/// rather than tripping its breaker.
+fn build(threads: usize) -> Datacenter {
+    DatacenterBuilder::new()
+        .msbs_per_suite(4)
+        .sbs_per_msb(4)
+        .rpps_per_sb(16)
+        .racks_per_rpp(4)
+        .servers_per_rack(40)
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::diurnal())
+        .seed(2016)
+        .worker_threads(threads)
+        .parallel_mode(ParallelMode::PooledAuto)
+        .phase_spread(SimDuration::from_secs(2))
+        .build()
+}
+
+fn measure(dc: &mut Datacenter, window_ms: u128) -> f64 {
+    for _ in 0..5 {
+        dc.step();
+    }
+    let start = Instant::now();
+    let mut ticks = 0u64;
+    loop {
+        for _ in 0..10 {
+            dc.step();
+        }
+        ticks += 10;
+        if start.elapsed().as_millis() >= window_ms {
+            break;
+        }
+    }
+    ticks as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window_ms = if quick { 1500 } else { 6000 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut dc = build(threads);
+    let servers = dc.fleet().len();
+    let ticks_per_sec = measure(&mut dc, window_ms);
+    let sim_per_wall = ticks_per_sec; // 1 s ticks: sim seconds per wall second
+    println!(
+        "paper-scale smoke: {servers} servers, {} worker threads",
+        dc.effective_worker_threads()
+    );
+    println!("  {ticks_per_sec:>8.1} ticks/s ({sim_per_wall:.0}x real time)");
+    let power = dc.fleet().stats().total_power;
+    println!("  fleet power {:.2} MW", power.as_watts() / 1e6);
+    // Floor: even a single-core CI runner comfortably exceeds this with
+    // the batched kernels; falling below it means something is badly
+    // wrong at scale (accidental O(n^2), per-tick allocation storm).
+    let floor = 25.0;
+    if !ticks_per_sec.is_finite() || ticks_per_sec <= floor {
+        eprintln!("FAIL: {ticks_per_sec:.1} ticks/s below the {floor:.0} ticks/s floor");
+        std::process::exit(1);
+    }
+}

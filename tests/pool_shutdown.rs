@@ -3,6 +3,11 @@
 //! binary (process) so the `/proc` thread census cannot race other
 //! tests that build pools concurrently.
 
+// The `/proc/self/task` census has no Miri equivalent (isolated
+// interpreter, no procfs); the dynpool Miri job covers the pool's
+// synchronization instead.
+#![cfg(not(miri))]
+
 use std::time::Duration;
 
 use dcsim::SimTime;
