@@ -67,6 +67,7 @@ pub struct DatacenterBuilder {
     tick: SimDuration,
     worker_threads: usize,
     parallel: ParallelMode,
+    demand_hold: u32,
     system: SystemConfig,
     telemetry: TelemetryConfig,
 }
@@ -87,6 +88,7 @@ impl Default for DatacenterBuilder {
             tick: SimDuration::from_secs(1),
             worker_threads: 1,
             parallel: ParallelMode::default(),
+            demand_hold: 1,
             system: SystemConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -260,6 +262,22 @@ impl DatacenterBuilder {
         self
     }
 
+    /// Demand redraw period in ticks (default 1 = redraw every tick,
+    /// bit-identical to the always-redraw model). Larger periods hold
+    /// each leaf's demand between leaf-phased redraws — an opt-in model
+    /// coarsening that lets fully settled leaves skip physics outright
+    /// (see [`crate::Fleet::set_demand_hold`]), the lever behind the
+    /// full-site steady-state throughput rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn demand_hold(mut self, ticks: u32) -> Self {
+        assert!(ticks >= 1, "demand hold must be >= 1 tick");
+        self.demand_hold = ticks;
+        self
+    }
+
     /// Disables capping: Dynamo monitors but never acts (the no-Dynamo
     /// baseline).
     pub fn capping_enabled(mut self, enabled: bool) -> Self {
@@ -375,6 +393,7 @@ impl DatacenterBuilder {
             fleet.set_static_util_cap(kind, Some(cap));
         }
         fleet.set_crash_rate(self.crash_rate_per_hour);
+        fleet.set_demand_hold(self.demand_hold);
 
         let service_of = move |sid: u32| crate::service_class_of(services[sid as usize]);
         let system = DynamoSystem::build(&topo, &service_of, self.system, &mut rng.split("system"));

@@ -95,6 +95,9 @@ pub struct DynamoSystem {
     /// with the fleet by the embedding [`crate::Datacenter`]. Without
     /// one the parallel path spawns scoped threads per dispatch.
     pool: Option<Arc<WorkerPool>>,
+    /// Reused scratch for the post-elision due list (see
+    /// [`LeafTier::filter_quiescent`]).
+    live_due: Vec<usize>,
 }
 
 impl DynamoSystem {
@@ -138,6 +141,7 @@ impl DynamoSystem {
             dispatcher,
             obs,
             pool: None,
+            live_due: Vec::new(),
         }
     }
 
@@ -243,6 +247,11 @@ impl DynamoSystem {
         for (i, leaf) in self.leaves.controllers.iter_mut().enumerate() {
             leaf.set_dry_run(i >= active);
         }
+        // Conservatively force a real cycle everywhere after a rollout
+        // change; dry-run flips are rare operator actions.
+        for q in &mut self.leaves.quiet {
+            *q = false;
+        }
         active
     }
 
@@ -260,6 +269,7 @@ impl DynamoSystem {
             .index_of
             .get(&device)
             .unwrap_or_else(|| panic!("no leaf controller protects {device}"));
+        self.leaves.quiet[i] = false;
         self.leaves.controllers[i].set_contractual_limit(limit);
     }
 
@@ -349,60 +359,83 @@ impl DynamoSystem {
         let mut events = Vec::new();
         self.dispatcher.collect_due(now);
         if !self.dispatcher.leaf_due().is_empty() {
-            if self.config.capping_enabled {
-                // The fleet's batch arrays own server physics between
-                // steps; push the due leaves' state into the scalar
-                // server models so the RPC cycles below observe fresh
-                // power readings.
-                fleet.sync_servers_for_control(self.dispatcher.leaf_due());
-            }
-            let threads = self
-                .config
-                .control_threads
-                .min(self.dispatcher.leaf_due().len());
-            if threads > 1 && self.config.capping_enabled && self.leaves.spans.is_some() {
-                if let Some(pool) = &self.pool {
-                    let pool = Arc::clone(pool);
-                    self.leaves.run_due_pooled(
-                        now,
-                        self.dispatcher.leaf_due(),
-                        threads,
-                        &pool,
-                        &mut self.failover,
-                        fleet,
-                        &mut events,
-                        &mut self.obs,
-                    );
+            let capping = self.config.capping_enabled;
+            // Quiescent-cycle elision: split the due list into leaves
+            // that must run and cycles that are provably no-op
+            // recomputations. The filter runs serially before the
+            // dispatch, so the split — and everything downstream — is
+            // identical at any worker-thread count.
+            let mut live = std::mem::take(&mut self.live_due);
+            let run_due: &[usize] = if capping {
+                self.leaves.filter_quiescent(
+                    self.dispatcher.leaf_due(),
+                    fleet,
+                    &self.failover,
+                    &mut self.obs,
+                    &mut live,
+                );
+                &live
+            } else {
+                self.dispatcher.leaf_due()
+            };
+            if !run_due.is_empty() {
+                if capping {
+                    // The fleet's batch arrays own server physics
+                    // between steps; push the running leaves' state
+                    // into the scalar server models so the RPC cycles
+                    // below observe fresh power readings.
+                    fleet.sync_servers_for_control(run_due);
+                }
+                let threads = self.config.control_threads.min(run_due.len());
+                if threads > 1 && capping && self.leaves.spans.is_some() {
+                    if let Some(pool) = &self.pool {
+                        let pool = Arc::clone(pool);
+                        self.leaves.run_due_pooled(
+                            now,
+                            run_due,
+                            threads,
+                            &pool,
+                            &mut self.failover,
+                            fleet,
+                            &mut events,
+                            &mut self.obs,
+                        );
+                    } else {
+                        self.leaves.run_due_scoped(
+                            now,
+                            run_due,
+                            threads,
+                            &mut self.failover,
+                            fleet,
+                            &mut events,
+                            &mut self.obs,
+                        );
+                    }
                 } else {
-                    self.leaves.run_due_scoped(
+                    self.leaves.run_due_serial(
                         now,
-                        self.dispatcher.leaf_due(),
-                        threads,
+                        run_due,
+                        capping,
                         &mut self.failover,
                         fleet,
                         &mut events,
                         &mut self.obs,
                     );
                 }
-            } else {
-                self.leaves.run_due_serial(
-                    now,
-                    self.dispatcher.leaf_due(),
-                    self.config.capping_enabled,
-                    &mut self.failover,
-                    fleet,
-                    &mut events,
-                    &mut self.obs,
-                );
+                if capping {
+                    // Pull the RAPL limits the controllers just
+                    // programmed back into the fleet's batch arrays,
+                    // then capture the fleet markers the cycles saw.
+                    fleet.absorb_caps(run_due);
+                    self.leaves.note_markers(run_due, fleet);
+                }
             }
-            if self.config.capping_enabled {
-                // Pull the RAPL limits the controllers just programmed
-                // back into the fleet's batch arrays.
-                fleet.absorb_caps(self.dispatcher.leaf_due());
-            }
+            self.live_due = live;
             // Fold the due leaves' shards into the registry in leaf
             // index order — the serial recording order — so the merged
-            // state is bit-identical at any thread count.
+            // state is bit-identical at any thread count. The full due
+            // list, not the filtered one: elided leaves counted into
+            // their shards above.
             self.obs.merge_leaves(self.dispatcher.leaf_due());
         }
         if !self.dispatcher.upper_due().is_empty() && self.config.capping_enabled {

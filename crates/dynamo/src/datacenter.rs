@@ -78,6 +78,89 @@ pub struct Datacenter {
     watched_scratch: Vec<(DeviceId, Power)>,
     /// Validator alerts already forwarded to observability.
     alerts_seen: usize,
+    /// Epoch-keyed cache of per-device subtree draws (see [`DrawCache`]).
+    draw_cache: DrawCache,
+}
+
+/// Epoch-keyed cache of per-device subtree power sums.
+///
+/// The breaker pass folds the subtree draw of *every* device *every*
+/// tick — `servers × tree-depth` additions that would dominate the
+/// full-site hot loop once active-set physics stops touching the
+/// settled majority. The fleet versions each leaf with a monotone
+/// epoch that is bumped whenever the leaf's drawn power may have
+/// changed bits; a device's cached sum therefore stays exact while the
+/// maximum epoch over its covering leaves equals the watermark
+/// recorded when the sum was folded. The cached value *is* the stored
+/// result of the same ascending fold over the same bits, so serving it
+/// is bit-identical to re-folding.
+///
+/// Bypassed entirely while the fleet's power cache is dirty
+/// (out-of-band mutation), and for devices whose subtree is not one
+/// contiguous id range.
+struct DrawCache {
+    /// Per-device covering leaf-index range into the fleet's leaf
+    /// spans (`None` = this device cannot be cached). Devices below
+    /// leaf level (racks) cover a sub-range of one leaf; any change
+    /// inside that leaf bumps its epoch, so the watermark still
+    /// invalidates conservatively.
+    leaf_range: Vec<Option<Range<usize>>>,
+    /// Whether the covering leaf range *exactly* tiles the device's
+    /// server range (true for every device at leaf level and above on
+    /// grid topologies). A refold for such a device sums the fleet's
+    /// per-leaf power partials — O(leaves) instead of O(servers). At
+    /// leaf level this is the very same ascending fold; above it the
+    /// fold associates per leaf instead of flat, which is equally
+    /// deterministic (the partials are maintained in a fixed order) but
+    /// not bit-identical to the flat scan, so the leaf-level validator
+    /// comparison is unaffected.
+    tiled: Vec<bool>,
+    /// Cached subtree draw in watts.
+    draw_w: Vec<f64>,
+    /// Max covering-leaf epoch at fold time (`u64::MAX` = never folded).
+    watermark: Vec<u64>,
+}
+
+/// Subtree power of device `i` through the epoch cache; falls back to
+/// the direct fold (and does not populate the cache) while the fleet's
+/// power cache is dirty or the device is uncacheable. A free function
+/// over split field borrows so callers can hold `&mut` topology state.
+fn cached_subtree_power(
+    cache: &mut DrawCache,
+    fleet: &Fleet,
+    subtree_range: &[Option<Range<usize>>],
+    subtree: &[Vec<u32>],
+    i: usize,
+) -> Power {
+    if !fleet.power_cache_dirty() {
+        if let Some(Some(lr)) = cache.leaf_range.get(i) {
+            let epochs = fleet.leaf_epochs();
+            if lr.end <= epochs.len() {
+                let mark = epochs[lr.clone()].iter().copied().max().unwrap_or(0);
+                if cache.watermark[i] == mark {
+                    return Power::from_watts(cache.draw_w[i]);
+                }
+                let p = match fleet.leaf_power_partials() {
+                    Some(parts) if cache.tiled[i] => {
+                        Power::from_watts(parts[lr.clone()].iter().sum())
+                    }
+                    _ => {
+                        let range = subtree_range[i]
+                            .clone()
+                            .expect("cacheable devices have contiguous subtrees");
+                        fleet.power_sum_range(range)
+                    }
+                };
+                cache.draw_w[i] = p.as_watts();
+                cache.watermark[i] = mark;
+                return p;
+            }
+        }
+    }
+    match &subtree_range[i] {
+        Some(range) => fleet.power_sum_range(range.clone()),
+        None => fleet.power_sum(&subtree[i]),
+    }
 }
 
 impl Datacenter {
@@ -91,7 +174,8 @@ impl Datacenter {
         validator: BreakerValidator,
     ) -> Self {
         let subtree: Vec<Vec<u32>> = topo.iter().map(|d| topo.servers_under(d.id)).collect();
-        let subtree_range = subtree.iter().map(|ids| contiguous_range(ids)).collect();
+        let subtree_range: Vec<Option<Range<usize>>> =
+            subtree.iter().map(|ids| contiguous_range(ids)).collect();
         let device_ids: Vec<DeviceId> = topo.iter().map(|d| d.id).collect();
         let breaker_status = vec![BreakerStatus::Nominal; topo.device_count()];
         let mut fleet = fleet;
@@ -100,6 +184,39 @@ impl Datacenter {
             // aggregate pulls are single lookups.
             fleet.set_leaf_spans(spans);
         }
+        let n_dev = topo.device_count();
+        let leaf_range = match system.leaf_spans() {
+            Some(spans) => subtree_range
+                .iter()
+                .map(|r: &Option<Range<usize>>| {
+                    r.as_ref().map(|r| {
+                        let l0 = spans.partition_point(|s| s.end <= r.start);
+                        let l1 = spans.partition_point(|s| s.start < r.end);
+                        l0..l1
+                    })
+                })
+                .collect(),
+            None => vec![None; n_dev],
+        };
+        let tiled = match system.leaf_spans() {
+            Some(spans) => leaf_range
+                .iter()
+                .zip(&subtree_range)
+                .map(|(lr, sr)| match (lr, sr) {
+                    (Some(lr), Some(sr)) if lr.start < lr.end => {
+                        spans[lr.start].start == sr.start && spans[lr.end - 1].end == sr.end
+                    }
+                    _ => false,
+                })
+                .collect(),
+            None => vec![false; n_dev],
+        };
+        let draw_cache = DrawCache {
+            leaf_range,
+            tiled,
+            draw_w: vec![0.0; n_dev],
+            watermark: vec![u64::MAX; n_dev],
+        };
         Datacenter {
             topo,
             fleet,
@@ -119,6 +236,7 @@ impl Datacenter {
             subtree_range,
             watched_scratch: Vec::new(),
             alerts_seen: 0,
+            draw_cache,
         }
     }
 
@@ -276,10 +394,19 @@ impl Datacenter {
             self.fleet.step(now, self.tick);
         }
 
-        // 2. Breaker thermal models over true subtree power.
+        // 2. Breaker thermal models over true subtree power. Draws go
+        // through the epoch cache: with active-set physics on, most
+        // leaves' power is bit-unchanged most ticks, so most devices
+        // serve their cached fold instead of re-summing the subtree.
         for i in 0..self.device_ids.len() {
             let id = self.device_ids[i];
-            let draw = self.subtree_power(i);
+            let draw = cached_subtree_power(
+                &mut self.draw_cache,
+                &self.fleet,
+                &self.subtree_range,
+                &self.subtree,
+                i,
+            );
             let status = self.topo.device_mut(id).breaker.step(draw, self.tick);
             if status != self.breaker_status[i] {
                 self.breaker_status[i] = status;
@@ -315,7 +442,13 @@ impl Datacenter {
             for dev in self.system.leaf_devices() {
                 let dev = *dev;
                 if let Some(aggregate) = self.system.leaf_aggregate(dev) {
-                    let true_power = self.subtree_power(dev.index());
+                    let true_power = cached_subtree_power(
+                        &mut self.draw_cache,
+                        &self.fleet,
+                        &self.subtree_range,
+                        &self.subtree,
+                        dev.index(),
+                    );
                     self.validator.observe(now, dev, true_power, aggregate);
                 }
             }
@@ -335,11 +468,16 @@ impl Datacenter {
         if self.telemetry.sample_due(now) {
             let mut watched = std::mem::take(&mut self.watched_scratch);
             watched.clear();
-            watched.extend(
-                self.watched
-                    .iter()
-                    .map(|&d| (d, self.subtree_power(d.index()))),
-            );
+            for &d in &self.watched {
+                let p = cached_subtree_power(
+                    &mut self.draw_cache,
+                    &self.fleet,
+                    &self.subtree_range,
+                    &self.subtree,
+                    d.index(),
+                );
+                watched.push((d, p));
+            }
             let stats = self.fleet.stats();
             let obs = self.system.observability_mut();
             if obs.is_enabled() {

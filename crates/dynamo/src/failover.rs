@@ -41,6 +41,11 @@ impl FailoverState {
         self.upper_failed[i] = true;
     }
 
+    /// Whether leaf `i` has a pending, unconsumed primary failure.
+    pub(crate) fn leaf_pending(&self, i: usize) -> bool {
+        self.leaf_failed[i]
+    }
+
     /// If leaf `i` has a pending failure, consumes it (the backup takes
     /// over), records the failover, and returns `true`: the caller
     /// skips this cycle.

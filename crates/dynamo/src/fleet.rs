@@ -178,6 +178,55 @@ pub struct Fleet {
     /// Without one, [`Fleet::step_parallel`] falls back to per-call
     /// scoped threads (the legacy dispatch, kept for comparison).
     pool: Option<Arc<WorkerPool>>,
+    /// Physics ticks completed so far; drives the leaf-phased demand
+    /// redraw schedule. Incremented exactly once per step.
+    tick_index: u64,
+    /// Demand redraw period in ticks. `1` (the default) redraws every
+    /// workload every tick — bit-identical to the always-redraw model.
+    /// Larger values hold each leaf's demand between leaf-phased
+    /// redraws, which is what lets a fully settled leaf skip physics.
+    /// Only effective once leaf spans are registered.
+    demand_hold: u32,
+    /// Per-leaf active-set flag: `true` iff the leaf's last physics pass
+    /// was a *fixed point* (changed no bit of `out_w`/`not_init`), so
+    /// repeating it with unchanged inputs is the exact floating-point
+    /// identity. Cleared at every limit / liveness / out-of-band
+    /// mutation site; a redraw steps the leaf regardless.
+    settled: Vec<bool>,
+    /// Per-leaf tick of the last demand redraw; held redraws scale the
+    /// workload step `dt` by the elapsed tick count.
+    last_draw_tick: Vec<u64>,
+    /// Per-leaf monotone power version: bumped whenever the leaf's
+    /// drawn power may have changed bits. Aggregation layers key cached
+    /// subtree sums on epoch watermarks over these.
+    leaf_epoch: Vec<u64>,
+    /// Per-leaf [`Fleet::leaf_epoch`] at the last control flush
+    /// (`u64::MAX` = never flushed), used to skip redundant
+    /// server-model flushes for leaves whose state cannot have moved.
+    flushed_epoch: Vec<u64>,
+    /// Per-leaf [`Fleet::last_draw_tick`] at the last control flush
+    /// (utilization changes only on redraw, which an epoch bump does
+    /// not always witness).
+    flushed_draw: Vec<u64>,
+    /// Per-leaf monotone *agent* version: bumped whenever something a
+    /// leaf controller's pull could observe changes outside the power
+    /// epochs — an agent process crashing or restarting, a server's
+    /// liveness flipping, or a full resync after out-of-band mutation.
+    /// Together with [`Fleet::leaf_epoch`] and
+    /// [`Fleet::last_draw_tick`] this is the control plane's staleness
+    /// witness for quiescent-cycle elision.
+    agent_epoch: Vec<u64>,
+    /// Maintained count of servers with a RAPL limit programmed,
+    /// authoritative while the power cache is clean. Caps change only
+    /// through controller RPC cycles — which [`Fleet::absorb_caps`]
+    /// brackets — or through [`Fleet::agent_mut`], which dirties the
+    /// cache; [`Fleet::resync_from_servers`] recounts on recovery. Keeps
+    /// [`Fleet::stats`] O(1) instead of scanning every agent.
+    capped_count: usize,
+    /// Maintained count of agents whose process is down, same clean
+    /// cache contract as [`Fleet::capped_count`]. Crash and watchdog
+    /// restart both route through [`Fleet::process_failures`].
+    down_count: usize,
 }
 
 impl Fleet {
@@ -233,6 +282,17 @@ impl Fleet {
             leaf_power_w: Vec::new(),
             partition: Partition::default(),
             pool: None,
+            tick_index: 0,
+            demand_hold: 1,
+            settled: Vec::new(),
+            last_draw_tick: Vec::new(),
+            leaf_epoch: Vec::new(),
+            flushed_epoch: Vec::new(),
+            flushed_draw: Vec::new(),
+            agent_epoch: Vec::new(),
+            // Fresh agents are all running with no limit programmed.
+            capped_count: 0,
+            down_count: 0,
         };
         fleet.rebuild_layout();
         fleet
@@ -295,8 +355,9 @@ impl Fleet {
     /// maintains per-leaf power partials and leaf-aligned worker
     /// partitions, and regroups the batch arrays leaf-locally by
     /// `(generation, service, turbo)`. Spans must ascend and tile
-    /// `0..len`.
-    pub(crate) fn set_leaf_spans(&mut self, spans: &[Range<usize>]) {
+    /// `0..len`. Also resets the per-leaf active-set state (everything
+    /// starts unsettled and unflushed).
+    pub fn set_leaf_spans(&mut self, spans: &[Range<usize>]) {
         debug_assert!(spans
             .iter()
             .zip(spans.iter().skip(1))
@@ -306,6 +367,103 @@ impl Fleet {
         self.leaf_power_w = vec![0.0; spans.len()];
         leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
         self.partition = Partition::default();
+        self.settled = vec![false; spans.len()];
+        // Pretend every leaf just redrew: a mid-run re-span must not
+        // integrate the whole pre-span history into the next redraw.
+        self.last_draw_tick = vec![self.tick_index; spans.len()];
+        self.leaf_epoch = vec![0; spans.len()];
+        self.flushed_epoch = vec![u64::MAX; spans.len()];
+        self.flushed_draw = vec![u64::MAX; spans.len()];
+        self.agent_epoch = vec![0; spans.len()];
+    }
+
+    /// Sets the demand redraw period in ticks.
+    ///
+    /// `1` (the default) redraws every workload every tick and is
+    /// bit-identical to the always-redraw model — active-set skipping
+    /// can never engage because every leaf is due every tick. Larger
+    /// periods are an opt-in model coarsening: each leaf holds its
+    /// demand between redraws (leaf-phased, so `1/hold` of the leaves
+    /// redraw per tick) and a redraw integrates the skipped interval by
+    /// scaling the workload step `dt` by the elapsed tick count.
+    /// Between redraws a fully settled leaf's physics pass is the exact
+    /// floating-point identity and is skipped outright.
+    ///
+    /// Only effective once leaf spans are registered; fleets without
+    /// spans always redraw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is zero.
+    pub fn set_demand_hold(&mut self, ticks: u32) {
+        assert!(ticks >= 1, "demand hold must be >= 1 tick, got {ticks}");
+        self.demand_hold = ticks;
+    }
+
+    /// Current demand redraw period (ticks).
+    pub fn demand_hold(&self) -> u32 {
+        self.demand_hold
+    }
+
+    /// Number of leaves currently settled (their next physics pass
+    /// would be the exact identity). Zero when leaf spans are unknown.
+    pub fn settled_leaf_count(&self) -> usize {
+        self.settled.iter().filter(|&&s| s).count()
+    }
+
+    /// Per-leaf monotone power epochs (see the field docs). Aggregation
+    /// caches key subtree sums on watermarks over these; meaningful
+    /// only while the power cache is clean.
+    pub(crate) fn leaf_epochs(&self) -> &[u64] {
+        &self.leaf_epoch
+    }
+
+    /// Whether cached power arrays are currently untrustworthy because
+    /// of out-of-band mutation (see [`Fleet::agent_mut`]).
+    pub(crate) fn power_cache_dirty(&self) -> bool {
+        self.power_dirty
+    }
+
+    /// Per-leaf monotone agent versions (see the field docs).
+    pub(crate) fn agent_epochs(&self) -> &[u64] {
+        &self.agent_epoch
+    }
+
+    /// Per-leaf tick index of the last demand redraw.
+    pub(crate) fn last_draw_ticks(&self) -> &[u64] {
+        &self.last_draw_tick
+    }
+
+    /// The maintained per-leaf power partials (watts), when the fleet
+    /// knows the control plane's leaf spans and the cache is clean.
+    /// `partials[l]` is the ascending flat fold over leaf `l`'s span.
+    pub(crate) fn leaf_power_partials(&self) -> Option<&[f64]> {
+        (!self.power_dirty && !self.leaf_power_w.is_empty()).then_some(&self.leaf_power_w[..])
+    }
+
+    /// Bumps the agent epoch of the leaf owning server `sid` (no-op
+    /// while spans are unknown: without spans the control plane never
+    /// elides, so there is nothing to witness).
+    fn bump_agent_epoch(&mut self, sid: usize) {
+        if self.leaf_spans.is_empty() {
+            return;
+        }
+        let leaf = self.leaf_spans.partition_point(|s| s.end <= sid);
+        if let Some(span) = self.leaf_spans.get(leaf) {
+            if span.contains(&sid) {
+                self.agent_epoch[leaf] += 1;
+            }
+        }
+    }
+
+    /// Test hook: forces every leaf back into the active set, making
+    /// the next step recompute everything — the skip-free reference the
+    /// active-set equivalence tests compare against.
+    #[cfg(test)]
+    fn clear_settled(&mut self) {
+        for s in &mut self.settled {
+            *s = false;
+        }
     }
 
     /// (Re)builds the batch layout: the leaf-local stable permutation,
@@ -379,6 +537,11 @@ impl Fleet {
         self.perm = perm;
         self.inv = inv;
         self.rebuild_runs();
+        // Regrouping permutes `limit_w`; re-derive the maintained
+        // tallies from the rebuilt state so mid-run span registration
+        // cannot skew them.
+        self.capped_count = self.limit_w.iter().filter(|l| l.is_finite()).count();
+        self.down_count = self.agents.iter().filter(|a| !a.is_running()).count();
     }
 
     /// Scans the position order into maximal equal-key runs with their
@@ -451,6 +614,11 @@ impl Fleet {
     /// run observe fresh power. With unknown leaf spans every server is
     /// flushed. A no-op while the cache is dirty (the servers are
     /// already the authority then).
+    ///
+    /// A leaf whose epoch and redraw tick both match its last flush is
+    /// skipped: `out_w`/`not_init` changes always bump the epoch, and
+    /// utilization changes only on redraw, so matching markers prove
+    /// the server models already hold this exact state.
     pub(crate) fn sync_servers_for_control(&mut self, due: &[usize]) {
         if self.power_dirty {
             return;
@@ -459,7 +627,14 @@ impl Fleet {
             self.flush_span_to_servers(0..self.agents.len());
         } else {
             for &leaf in due {
+                if self.flushed_epoch[leaf] == self.leaf_epoch[leaf]
+                    && self.flushed_draw[leaf] == self.last_draw_tick[leaf]
+                {
+                    continue;
+                }
                 self.flush_span_to_servers(self.leaf_spans[leaf].clone());
+                self.flushed_epoch[leaf] = self.leaf_epoch[leaf];
+                self.flushed_draw[leaf] = self.last_draw_tick[leaf];
             }
         }
     }
@@ -469,23 +644,55 @@ impl Fleet {
     /// [`Fleet::sync_servers_for_control`], run after the RPC cycles. A
     /// no-op while the cache is dirty (the next step resynchronizes
     /// everything from the servers anyway).
+    /// Any limit whose bit pattern actually changed unsettles its leaf
+    /// (the settle target moved, so the next pass is no longer known to
+    /// be the identity). The leaf epoch is *not* bumped here: a limit
+    /// change affects drawn power only at the next physics step, which
+    /// bumps the epoch itself if anything moves.
     pub(crate) fn absorb_caps(&mut self, due: &[usize]) {
         if self.power_dirty {
             return;
         }
-        let mut absorb = |ids: Range<usize>| {
-            for id in ids {
+        if self.leaf_spans.is_empty() {
+            for id in 0..self.agents.len() {
                 let pos = self.inv[id] as usize;
-                self.limit_w[pos] = self.agents[id]
+                let new = self.agents[id]
                     .current_cap()
                     .map_or(f64::INFINITY, |l| l.as_watts());
+                let old = self.limit_w[pos];
+                if new.is_finite() != old.is_finite() {
+                    if new.is_finite() {
+                        self.capped_count += 1;
+                    } else {
+                        self.capped_count -= 1;
+                    }
+                }
+                self.limit_w[pos] = new;
             }
-        };
-        if self.leaf_spans.is_empty() {
-            absorb(0..self.agents.len());
         } else {
             for &leaf in due {
-                absorb(self.leaf_spans[leaf].clone());
+                let mut changed = false;
+                for id in self.leaf_spans[leaf].clone() {
+                    let pos = self.inv[id] as usize;
+                    let new = self.agents[id]
+                        .current_cap()
+                        .map_or(f64::INFINITY, |l| l.as_watts());
+                    let old = self.limit_w[pos];
+                    if new.to_bits() != old.to_bits() {
+                        if new.is_finite() != old.is_finite() {
+                            if new.is_finite() {
+                                self.capped_count += 1;
+                            } else {
+                                self.capped_count -= 1;
+                            }
+                        }
+                        self.limit_w[pos] = new;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.settled[leaf] = false;
+                }
             }
         }
     }
@@ -505,6 +712,13 @@ impl Fleet {
 
     /// Rebuilds the batch arrays from the scalar server models after
     /// out-of-band mutation (the `power_dirty` recovery path).
+    ///
+    /// Unconditionally unsettles every leaf and bumps every epoch: the
+    /// embedder may have changed anything (turbo flips and other config
+    /// edits included), and a post-resync pass can be a fixed point
+    /// while drawn power still changed (e.g. a server killed through
+    /// [`Fleet::agent_mut`] freezes the kernel but zeroes its draw), so
+    /// the bump cannot be left to the step.
     fn resync_from_servers(&mut self) {
         for pos in 0..self.agents.len() {
             let server = self.agents[self.perm[pos] as usize].server();
@@ -521,6 +735,19 @@ impl Fleet {
                 .limit()
                 .map_or(f64::INFINITY, |l| l.as_watts());
         }
+        for s in &mut self.settled {
+            *s = false;
+        }
+        for e in &mut self.leaf_epoch {
+            *e += 1;
+        }
+        for e in &mut self.agent_epoch {
+            *e += 1;
+        }
+        // Out-of-band mutation may have programmed limits or toggled
+        // agent processes directly: recount the maintained tallies.
+        self.capped_count = self.limit_w.iter().filter(|l| l.is_finite()).count();
+        self.down_count = self.agents.iter().filter(|a| !a.is_running()).count();
     }
 
     /// Powers a server on or off (breaker blackout path), keeping the
@@ -529,6 +756,9 @@ impl Fleet {
     pub fn set_server_alive(&mut self, sid: u32, alive: bool) {
         let i = sid as usize;
         self.agents[i].server_mut().set_alive(alive);
+        // A pull to this server now reads differently regardless of
+        // whether the power cache is clean.
+        self.bump_agent_epoch(i);
         if self.power_dirty {
             // Live reads are in effect; the next step resynchronizes.
             return;
@@ -546,6 +776,10 @@ impl Fleet {
             if let Some(span) = self.leaf_spans.get(leaf) {
                 if span.contains(&i) {
                     self.leaf_power_w[leaf] = self.power_w[span.clone()].iter().sum();
+                    // The liveness mask is a kernel input and drawn
+                    // power changed right now: unsettle and version.
+                    self.settled[leaf] = false;
+                    self.leaf_epoch[leaf] += 1;
                 }
             }
         }
@@ -641,30 +875,56 @@ impl Fleet {
         if self.power_dirty {
             self.resync_from_servers();
         }
-        let mults = self.traffic_multipliers(now);
-        let ou = ou_coefficients(dt);
-        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
-        step_range(
-            0,
-            &self.runs,
-            &self.perm,
-            &mut self.generators,
-            &mut self.util,
-            &mut self.demand_w,
-            &self.limit_w,
-            &self.alive_m,
-            &mut self.not_init,
-            &mut self.out_w,
-            &mut self.power_w,
-            &mults,
-            &self.static_util_caps,
-            &ou,
-            alpha,
+        // Built inline (not via a &self helper) so `ctx` holds
+        // field-precise borrows of `runs`/`perm`, disjoint from the
+        // mutable state arrays below.
+        let ctx = StepCtx {
+            runs: &self.runs,
+            perm: &self.perm,
+            mults: self.traffic_multipliers(now),
+            caps: self.static_util_caps,
+            ou: ou_coefficients(dt),
+            alpha: kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs),
             now,
             dt,
-        );
-        leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
+            tick: self.tick_index,
+            hold: self.demand_hold as u64,
+        };
+        if self.leaf_spans.is_empty() {
+            step_range(
+                &ctx,
+                0,
+                &mut self.generators,
+                &mut self.util,
+                &mut self.demand_w,
+                &self.limit_w,
+                &self.alive_m,
+                &mut self.not_init,
+                &mut self.out_w,
+                &mut self.power_w,
+            );
+        } else {
+            step_leaves(
+                &ctx,
+                0,
+                0,
+                &self.leaf_spans,
+                &mut self.generators,
+                &mut self.util,
+                &mut self.demand_w,
+                &self.limit_w,
+                &self.alive_m,
+                &mut self.not_init,
+                &mut self.out_w,
+                &mut self.power_w,
+                &mut self.leaf_power_w,
+                &mut self.settled,
+                &mut self.last_draw_tick,
+                &mut self.leaf_epoch,
+            );
+        }
         self.power_dirty = false;
+        self.tick_index += 1;
         self.process_failures(now, dt);
     }
 
@@ -698,6 +958,7 @@ impl Fleet {
             None => self.step_scoped(now, dt, threads),
         }
         self.power_dirty = false;
+        self.tick_index += 1;
         self.process_failures(now, dt);
     }
 
@@ -706,10 +967,18 @@ impl Fleet {
     fn step_pooled(&mut self, now: SimTime, dt: SimDuration, threads: usize, pool: &WorkerPool) {
         let workers = threads.min(pool.workers());
         self.ensure_partition(workers);
-        let mults = self.traffic_multipliers(now);
-        let caps = self.static_util_caps;
-        let ou = ou_coefficients(dt);
-        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
+        let ctx = StepCtx {
+            runs: &self.runs,
+            perm: &self.perm,
+            mults: self.traffic_multipliers(now),
+            caps: self.static_util_caps,
+            ou: ou_coefficients(dt),
+            alpha: kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs),
+            now,
+            dt,
+            tick: self.tick_index,
+            hold: self.demand_hold as u64,
+        };
 
         /// One worker's disjoint view of the fleet arrays.
         struct StepJob<'a> {
@@ -719,17 +988,20 @@ impl Fleet {
             not_init: &'a mut [f64],
             out_w: &'a mut [f64],
             power_w: &'a mut [f64],
-            /// This worker's leaves: partial-sum outputs and the
-            /// matching global spans.
+            /// This worker's leaves: partial-sum outputs, active-set
+            /// state, and the matching global spans.
             leaf_power_w: &'a mut [f64],
+            settled: &'a mut [bool],
+            last_draw: &'a mut [u64],
+            leaf_epoch: &'a mut [u64],
             leaf_spans: &'a [Range<usize>],
             /// Server id / position of element 0 of the local slices
             /// (the two coincide on leaf-aligned partitions).
             base: usize,
+            /// Global index of the first leaf in `leaf_spans`.
+            leaf_base: usize,
         }
 
-        let runs = &self.runs;
-        let perm = &self.perm;
         let limit_w = &self.limit_w;
         let alive_m = &self.alive_m;
         let mut jobs: [Option<StepJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
@@ -742,6 +1014,9 @@ impl Fleet {
             let mut out_w = &mut self.out_w[..];
             let mut power_w = &mut self.power_w[..];
             let mut leaf_power_w = &mut self.leaf_power_w[..];
+            let mut settled = &mut self.settled[..];
+            let mut last_draw = &mut self.last_draw_tick[..];
+            let mut leaf_epoch = &mut self.leaf_epoch[..];
             let mut consumed = 0usize;
             let mut leaves_consumed = 0usize;
             for (job, (arange, lrange)) in jobs
@@ -763,8 +1038,15 @@ impl Fleet {
                 let (p, rest) = power_w.split_at_mut(take);
                 power_w = rest;
                 debug_assert_eq!(lrange.start, leaves_consumed);
-                let (lp, rest) = leaf_power_w.split_at_mut(lrange.end - lrange.start);
+                let ltake = lrange.end - lrange.start;
+                let (lp, rest) = leaf_power_w.split_at_mut(ltake);
                 leaf_power_w = rest;
+                let (st, rest) = settled.split_at_mut(ltake);
+                settled = rest;
+                let (ld, rest) = last_draw.split_at_mut(ltake);
+                last_draw = rest;
+                let (le, rest) = leaf_epoch.split_at_mut(ltake);
+                leaf_epoch = rest;
                 *job = Some(StepJob {
                     generators: g,
                     util: u,
@@ -773,37 +1055,55 @@ impl Fleet {
                     out_w: o,
                     power_w: p,
                     leaf_power_w: lp,
+                    settled: st,
+                    last_draw: ld,
+                    leaf_epoch: le,
                     leaf_spans: &self.leaf_spans[lrange.clone()],
                     base: consumed,
+                    leaf_base: lrange.start,
                 });
                 consumed = arange.end;
                 leaves_consumed = lrange.end;
             }
         }
+        let ctx = &ctx;
         pool.run_on(&mut jobs[..njobs], |_w, slot| {
             let job = slot.as_mut().expect("partition slot filled above");
             let lo = job.base;
             let n = job.generators.len();
-            step_range(
-                lo,
-                runs,
-                perm,
-                job.generators,
-                job.util,
-                job.demand_w,
-                &limit_w[lo..lo + n],
-                &alive_m[lo..lo + n],
-                job.not_init,
-                job.out_w,
-                job.power_w,
-                &mults,
-                &caps,
-                &ou,
-                alpha,
-                now,
-                dt,
-            );
-            leaf_partials(job.power_w, lo, job.leaf_spans, job.leaf_power_w);
+            if job.leaf_spans.is_empty() {
+                step_range(
+                    ctx,
+                    lo,
+                    job.generators,
+                    job.util,
+                    job.demand_w,
+                    &limit_w[lo..lo + n],
+                    &alive_m[lo..lo + n],
+                    job.not_init,
+                    job.out_w,
+                    job.power_w,
+                );
+            } else {
+                step_leaves(
+                    ctx,
+                    lo,
+                    job.leaf_base,
+                    job.leaf_spans,
+                    job.generators,
+                    job.util,
+                    job.demand_w,
+                    &limit_w[lo..lo + n],
+                    &alive_m[lo..lo + n],
+                    job.not_init,
+                    job.out_w,
+                    job.power_w,
+                    job.leaf_power_w,
+                    job.settled,
+                    job.last_draw,
+                    job.leaf_epoch,
+                );
+            }
         });
     }
 
@@ -812,10 +1112,18 @@ impl Fleet {
     /// fallback and the baseline the pool is benchmarked against.
     fn step_scoped(&mut self, now: SimTime, dt: SimDuration, threads: usize) {
         self.ensure_partition(threads);
-        let mults = self.traffic_multipliers(now);
-        let caps = self.static_util_caps;
-        let ou = ou_coefficients(dt);
-        let alpha = kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs);
+        let ctx = StepCtx {
+            runs: &self.runs,
+            perm: &self.perm,
+            mults: self.traffic_multipliers(now),
+            caps: self.static_util_caps,
+            ou: ou_coefficients(dt),
+            alpha: kernel::settle_alpha(dt.as_secs_f64(), self.tau_secs),
+            now,
+            dt,
+            tick: self.tick_index,
+            hold: self.demand_hold as u64,
+        };
         let parts: Vec<(Range<usize>, Range<usize>)> = self
             .partition
             .agents
@@ -823,8 +1131,6 @@ impl Fleet {
             .cloned()
             .zip(self.partition.leaves.iter().cloned())
             .collect();
-        let runs = &self.runs;
-        let perm = &self.perm;
         let limit_w = &self.limit_w;
         let alive_m = &self.alive_m;
         let leaf_spans = &self.leaf_spans;
@@ -835,6 +1141,10 @@ impl Fleet {
         let mut out_w = &mut self.out_w[..];
         let mut power_w = &mut self.power_w[..];
         let mut leaf_power_w = &mut self.leaf_power_w[..];
+        let mut settled = &mut self.settled[..];
+        let mut last_draw = &mut self.last_draw_tick[..];
+        let mut leaf_epoch = &mut self.leaf_epoch[..];
+        let ctx = &ctx;
         std::thread::scope(|scope| {
             for (arange, lrange) in parts {
                 let take = arange.end - arange.start;
@@ -850,32 +1160,53 @@ impl Fleet {
                 out_w = rest;
                 let (p, rest) = power_w.split_at_mut(take);
                 power_w = rest;
-                let (lp, rest) = leaf_power_w.split_at_mut(lrange.end - lrange.start);
+                let ltake = lrange.end - lrange.start;
+                let (lp, rest) = leaf_power_w.split_at_mut(ltake);
                 leaf_power_w = rest;
+                let (st, rest) = settled.split_at_mut(ltake);
+                settled = rest;
+                let (ld, rest) = last_draw.split_at_mut(ltake);
+                last_draw = rest;
+                let (le, rest) = leaf_epoch.split_at_mut(ltake);
+                leaf_epoch = rest;
+                let leaf_base = lrange.start;
                 let spans = &leaf_spans[lrange];
                 let lo = arange.start;
                 scope.spawn(move || {
                     let n = g.len();
-                    step_range(
-                        lo,
-                        runs,
-                        perm,
-                        g,
-                        u,
-                        d,
-                        &limit_w[lo..lo + n],
-                        &alive_m[lo..lo + n],
-                        ni,
-                        o,
-                        p,
-                        &mults,
-                        &caps,
-                        &ou,
-                        alpha,
-                        now,
-                        dt,
-                    );
-                    leaf_partials(p, lo, spans, lp);
+                    if spans.is_empty() {
+                        step_range(
+                            ctx,
+                            lo,
+                            g,
+                            u,
+                            d,
+                            &limit_w[lo..lo + n],
+                            &alive_m[lo..lo + n],
+                            ni,
+                            o,
+                            p,
+                        );
+                    } else {
+                        step_leaves(
+                            ctx,
+                            lo,
+                            leaf_base,
+                            spans,
+                            g,
+                            u,
+                            d,
+                            &limit_w[lo..lo + n],
+                            &alive_m[lo..lo + n],
+                            ni,
+                            o,
+                            p,
+                            lp,
+                            st,
+                            ld,
+                            le,
+                        );
+                    }
                 });
             }
         });
@@ -941,6 +1272,8 @@ impl Fleet {
             for i in 0..self.agents.len() {
                 if self.agents[i].is_running() && self.rng.chance(p) {
                     self.agents[i].crash();
+                    self.down_count += 1;
+                    self.bump_agent_epoch(i);
                     self.pending_restarts
                         .push((i as u32, now + self.watchdog_delay));
                 }
@@ -954,7 +1287,11 @@ impl Fleet {
             .collect();
         self.pending_restarts.retain(|&(_, t)| t > now);
         for s in due {
+            if !self.agents[s as usize].is_running() {
+                self.down_count -= 1;
+            }
             self.agents[s as usize].restart();
+            self.bump_agent_epoch(s as usize);
         }
     }
 
@@ -995,21 +1332,26 @@ impl Fleet {
         sum / sids.len() as f64
     }
 
-    /// Instantaneous fleet statistics.
+    /// Instantaneous fleet statistics. While the power cache is clean
+    /// this is O(1) in the cap/down tallies (maintained at their
+    /// mutation sites) plus one flat sum over the cached watts; the
+    /// dirty path falls back to live per-agent scans.
     pub fn stats(&self) -> FleetStats {
-        let total_power = if self.power_dirty {
-            self.agents.iter().map(|a| a.server().power()).sum()
-        } else {
-            Power::from_watts(self.power_w.iter().sum())
-        };
+        if self.power_dirty {
+            return FleetStats {
+                capped_servers: self
+                    .agents
+                    .iter()
+                    .filter(|a| a.current_cap().is_some())
+                    .count(),
+                agents_down: self.agents.iter().filter(|a| !a.is_running()).count(),
+                total_power: self.agents.iter().map(|a| a.server().power()).sum(),
+            };
+        }
         FleetStats {
-            capped_servers: self
-                .agents
-                .iter()
-                .filter(|a| a.current_cap().is_some())
-                .count(),
-            agents_down: self.agents.iter().filter(|a| !a.is_running()).count(),
-            total_power,
+            capped_servers: self.capped_count,
+            agents_down: self.down_count,
+            total_power: Power::from_watts(self.power_w.iter().sum()),
         }
     }
 
@@ -1069,21 +1411,108 @@ fn ou_coefficients(dt: SimDuration) -> [OuCoeffs; ServiceKind::COUNT] {
     out
 }
 
-/// Advances a contiguous position range of servers: a per-run demand
-/// pass (workload draw → static clamp → LUT power, with all run
-/// constants hoisted), one branchless [`kernel::step_batch`] physics
-/// pass over the whole range, and a scatter of drawn power back to
-/// id order. Shared verbatim by the serial, scoped and pooled paths so
-/// their arithmetic cannot drift apart.
+/// Per-tick constants of the physics step, shared by the serial, scoped
+/// and pooled paths so their arithmetic cannot drift apart.
+struct StepCtx<'a> {
+    /// Maximal equal-key position ranges with hoisted loop constants.
+    runs: &'a [Run],
+    /// Position → server id.
+    perm: &'a [u32],
+    /// Per-service traffic multipliers at `now`.
+    mults: [f64; ServiceKind::COUNT],
+    /// Per-service static utilization clamps.
+    caps: [Option<f64>; ServiceKind::COUNT],
+    /// Per-service OU coefficients for a single-tick step.
+    ou: [OuCoeffs; ServiceKind::COUNT],
+    /// Settle coefficient for a single-tick step.
+    alpha: f64,
+    now: SimTime,
+    dt: SimDuration,
+    /// Tick index of this step; with `hold`, drives the leaf-phased
+    /// redraw schedule (a pure function of `(tick, leaf index, hold)`,
+    /// so the schedule is identical at any worker count).
+    tick: u64,
+    /// Demand redraw period in ticks (1 = redraw every tick).
+    hold: u64,
+}
+
+/// Draws fresh demand for the local subrange `a..b`: per-run workload
+/// draw → static clamp into `util`, then the batched LUT evaluation and
+/// (per turbo run) the batched turbo premium — the vector passes feeding
+/// [`kernel::step_batch`], each bit-identical to its scalar form.
 ///
-/// All slice arguments except `runs` and `perm` are local views of the
-/// range `base..base + len`; leaf alignment guarantees `perm` maps the
-/// range onto itself, so the scatter stays within `power_w`.
+/// `elapsed` is the tick count since this span's last redraw; held
+/// redraws integrate the skipped interval by scaling the workload step
+/// to `dt * elapsed` (OU coefficients recomputed for the longer step).
+/// `elapsed == 1` reuses the hoisted per-tick coefficients and is
+/// bit-identical to the always-redraw demand pass.
+#[allow(clippy::too_many_arguments)]
+fn demand_pass(
+    ctx: &StepCtx,
+    base: usize,
+    a: usize,
+    b: usize,
+    generators: &mut [ServiceWorkload],
+    util: &mut [f64],
+    demand_w: &mut [f64],
+    elapsed: u64,
+) {
+    let dt_eff = ctx.dt * elapsed;
+    let (glo, ghi) = (base + a, base + b);
+    let first = ctx.runs.partition_point(|r| r.range.end <= glo);
+    for run in &ctx.runs[first..] {
+        if run.range.start >= ghi {
+            break;
+        }
+        let ra = run.range.start.max(glo) - base;
+        let rb = run.range.end.min(ghi) - base;
+        let k = run.svc as usize;
+        let mult = ctx.mults[k];
+        // `min(1.0)` is a bitwise no-op on the workload's `[0.02, 1.0]`
+        // output, so "no static cap" needs no branch in the loop.
+        let cap = ctx.caps[k].unwrap_or(1.0);
+        let oc = if elapsed == 1 {
+            ctx.ou[k]
+        } else {
+            OuCoeffs::for_kind(ServiceKind::all()[k], dt_eff)
+        };
+        for j in ra..rb {
+            util[j] = generators[j]
+                .utilization_with(ctx.now, mult, dt_eff, oc)
+                .min(cap);
+        }
+        run.lut.power_batch_w(&util[ra..rb], &mut demand_w[ra..rb]);
+        if run.turbo {
+            kernel::turbo_demand_batch(&mut demand_w[ra..rb], run.idle_w, run.turbo_pf);
+        }
+    }
+}
+
+/// Scatters drawn power (`out_w * alive`) for the local subrange `a..b`
+/// back to id order. Leaf alignment guarantees `perm` maps the range
+/// onto itself, so the scatter stays within the local `power_w` view.
+fn scatter_power(
+    perm: &[u32],
+    base: usize,
+    a: usize,
+    b: usize,
+    out_w: &[f64],
+    alive_m: &[f64],
+    power_w: &mut [f64],
+) {
+    for j in a..b {
+        power_w[perm[base + j] as usize - base] = out_w[j] * alive_m[j];
+    }
+}
+
+/// Advances a contiguous position range of servers with no leaf
+/// structure: one demand pass, one [`kernel::step_batch`] physics pass,
+/// one scatter. The legacy path for fleets without leaf spans (demand
+/// hold and active-set skipping require spans).
 #[allow(clippy::too_many_arguments)]
 fn step_range(
+    ctx: &StepCtx,
     base: usize,
-    runs: &[Run],
-    perm: &[u32],
     generators: &mut [ServiceWorkload],
     util: &mut [f64],
     demand_w: &mut [f64],
@@ -1092,46 +1521,76 @@ fn step_range(
     not_init: &mut [f64],
     out_w: &mut [f64],
     power_w: &mut [f64],
-    mults: &[f64; ServiceKind::COUNT],
-    static_caps: &[Option<f64>; ServiceKind::COUNT],
-    ou: &[OuCoeffs; ServiceKind::COUNT],
-    alpha: f64,
-    now: SimTime,
-    dt: SimDuration,
 ) {
     let n = generators.len();
-    let (lo, hi) = (base, base + n);
-    let first = runs.partition_point(|r| r.range.end <= lo);
-    for run in &runs[first..] {
-        if run.range.start >= hi {
-            break;
+    demand_pass(ctx, base, 0, n, generators, util, demand_w, 1);
+    kernel::step_batch(demand_w, limit_w, alive_m, not_init, out_w, ctx.alpha);
+    scatter_power(ctx.perm, base, 0, n, out_w, alive_m, power_w);
+}
+
+/// Advances a contiguous range of whole leaves, the active-set hot
+/// path. Per leaf:
+///
+/// 1. **Skip check** — a leaf that is settled (its last pass was a
+///    fixed point) and not due for a redraw is skipped outright: its
+///    next pass is provably the exact floating-point identity, so its
+///    arrays, drawn power, and partial already hold the step's result.
+/// 2. **Redraw** — when due under the leaf-phased hold schedule, fresh
+///    demand is drawn with the elapsed interval folded into `dt`.
+/// 3. **Physics** — [`kernel::step_batch_settled`] advances the leaf
+///    and reports whether the pass was a fixed point, which becomes the
+///    leaf's settled flag for the next tick.
+/// 4. **Publish** — drawn power is scattered to id order, the leaf
+///    partial re-folded (same ascending fold as always), and the leaf
+///    epoch bumped iff the pass changed state bits.
+///
+/// All slice arguments from `generators` on are local views of the
+/// worker's position range starting at `base`; `spans` hold global
+/// server-id ranges, `leaf_base` the global index of `spans[0]`.
+#[allow(clippy::too_many_arguments)]
+fn step_leaves(
+    ctx: &StepCtx,
+    base: usize,
+    leaf_base: usize,
+    spans: &[Range<usize>],
+    generators: &mut [ServiceWorkload],
+    util: &mut [f64],
+    demand_w: &mut [f64],
+    limit_w: &[f64],
+    alive_m: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    power_w: &mut [f64],
+    leaf_power_w: &mut [f64],
+    settled: &mut [bool],
+    last_draw: &mut [u64],
+    leaf_epoch: &mut [u64],
+) {
+    for (l, span) in spans.iter().enumerate() {
+        let due = ctx.hold <= 1 || ctx.tick % ctx.hold == (leaf_base + l) as u64 % ctx.hold;
+        if settled[l] && !due {
+            continue;
         }
-        let a = run.range.start.max(lo) - lo;
-        let b = run.range.end.min(hi) - lo;
-        let k = run.svc as usize;
-        let mult = mults[k];
-        // `min(1.0)` is a bitwise no-op on the workload's `[0.02, 1.0]`
-        // output, so "no static cap" needs no branch in the loop.
-        let cap = static_caps[k].unwrap_or(1.0);
-        let oc = ou[k];
-        if run.turbo {
-            for j in a..b {
-                let u = generators[j].utilization_with(now, mult, dt, oc).min(cap);
-                util[j] = u;
-                demand_w[j] =
-                    kernel::turbo_demand_w(run.lut.power_at_w(u), run.idle_w, run.turbo_pf);
-            }
-        } else {
-            for j in a..b {
-                let u = generators[j].utilization_with(now, mult, dt, oc).min(cap);
-                util[j] = u;
-                demand_w[j] = run.lut.power_at_w(u);
-            }
+        let (a, b) = (span.start - base, span.end - base);
+        if due {
+            let elapsed = (ctx.tick - last_draw[l]).max(1);
+            last_draw[l] = ctx.tick;
+            demand_pass(ctx, base, a, b, generators, util, demand_w, elapsed);
         }
-    }
-    kernel::step_batch(demand_w, limit_w, alive_m, not_init, out_w, alpha);
-    for j in 0..n {
-        power_w[perm[lo + j] as usize - lo] = out_w[j] * alive_m[j];
+        let fixed = kernel::step_batch_settled(
+            &demand_w[a..b],
+            &limit_w[a..b],
+            &alive_m[a..b],
+            &mut not_init[a..b],
+            &mut out_w[a..b],
+            ctx.alpha,
+        );
+        scatter_power(ctx.perm, base, a, b, out_w, alive_m, power_w);
+        leaf_power_w[l] = power_w[a..b].iter().sum();
+        settled[l] = fixed;
+        if !fixed {
+            leaf_epoch[l] += 1;
+        }
     }
 }
 
@@ -1438,6 +1897,226 @@ mod tests {
         assert_eq!(leaf0_after.as_watts(), fleet.power_sum(&ids).as_watts());
         fleet.set_server_alive(1, true);
         assert!(fleet.power_of(1).as_watts() > 0.0);
+    }
+
+    /// A 200-server, 4-leaf mixed fleet with a demand-hold period — the
+    /// configuration where active-set skipping can actually engage.
+    fn spanned_fleet(seed: u64, hold: u32) -> Fleet {
+        let mut fleet = mixed_fleet(seed);
+        let spans: Vec<Range<usize>> = (0..4).map(|l| l * 50..(l + 1) * 50).collect();
+        fleet.set_leaf_spans(&spans);
+        fleet.set_demand_hold(hold);
+        fleet
+    }
+
+    #[test]
+    fn active_set_skipping_is_bit_identical_to_full_compute() {
+        // `skipping` runs the real active-set path; `full` has its
+        // settled flags force-cleared before every tick, so every leaf
+        // recomputes every step. Identical bits across a run spanning
+        // every mutation site prove a skipped pass truly is the FP
+        // identity.
+        let mut skipping = spanned_fleet(90, 30);
+        let mut full = spanned_fleet(90, 30);
+        let mut t = SimTime::ZERO;
+        let mut max_settled = 0;
+        for step in 0..400u64 {
+            full.clear_settled();
+            if step == 120 {
+                for f in [&mut skipping, &mut full] {
+                    f.set_traffic(ServiceKind::Web, TrafficPattern::flat(2.0));
+                }
+            }
+            if step == 200 {
+                for f in [&mut skipping, &mut full] {
+                    f.set_server_alive(17, false);
+                }
+            }
+            if step == 260 {
+                for f in [&mut skipping, &mut full] {
+                    f.set_server_alive(17, true);
+                }
+            }
+            if step == 300 {
+                for f in [&mut skipping, &mut full] {
+                    f.agents_mut()[60]
+                        .server_mut()
+                        .rapl_mut()
+                        .set_limit(Power::from_watts(140.0));
+                    f.absorb_caps(&[1]);
+                }
+            }
+            skipping.step(t, SimDuration::from_secs(1));
+            full.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+            max_settled = max_settled.max(skipping.settled_leaf_count());
+            for i in 0..200 {
+                assert_eq!(
+                    skipping.power_of(i).as_watts().to_bits(),
+                    full.power_of(i).as_watts().to_bits(),
+                    "server {i} diverged under active-set skipping at step {step}"
+                );
+            }
+        }
+        for l in 0..4 {
+            assert_eq!(
+                skipping.leaf_power(l).unwrap().as_watts().to_bits(),
+                full.leaf_power(l).unwrap().as_watts().to_bits(),
+                "leaf {l} partial diverged under active-set skipping"
+            );
+        }
+        assert!(max_settled > 0, "skipping never engaged: vacuous test");
+    }
+
+    #[test]
+    fn demand_hold_is_bit_identical_across_thread_counts() {
+        let mut serial = spanned_fleet(91, 30);
+        let mut scoped2 = spanned_fleet(91, 30);
+        let mut pooled8 = spanned_fleet(91, 30);
+        let mut pooled64 = spanned_fleet(91, 30);
+        pooled8.attach_pool(Arc::new(WorkerPool::new(8)));
+        pooled64.attach_pool(Arc::new(WorkerPool::new(8)));
+        let mut t = SimTime::ZERO;
+        for _ in 0..150 {
+            serial.step(t, SimDuration::from_secs(1));
+            scoped2.step_parallel(t, SimDuration::from_secs(1), 2);
+            pooled8.step_parallel(t, SimDuration::from_secs(1), 8);
+            pooled64.step_parallel(t, SimDuration::from_secs(1), 64);
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            let s = serial.power_of(i).as_watts().to_bits();
+            assert_eq!(s, scoped2.power_of(i).as_watts().to_bits(), "server {i} @2");
+            assert_eq!(s, pooled8.power_of(i).as_watts().to_bits(), "server {i} @8");
+            assert_eq!(
+                s,
+                pooled64.power_of(i).as_watts().to_bits(),
+                "server {i} @64"
+            );
+        }
+    }
+
+    #[test]
+    fn settled_leaf_reenters_active_set_on_every_mutation_site() {
+        let mut fleet = spanned_fleet(92, 50);
+        let mut t = SimTime::ZERO;
+        let tick = |f: &mut Fleet, t: &mut SimTime| {
+            f.step(*t, SimDuration::from_secs(1));
+            *t += SimDuration::from_secs(1);
+        };
+        // Warm up past each leaf's first redraw (ticks 0..3) and well
+        // into the hold window: everything settles.
+        for _ in 0..40 {
+            tick(&mut fleet, &mut t);
+        }
+        assert_eq!(fleet.settled_leaf_count(), 4, "fleet failed to settle");
+
+        // Crash: immediate zero draw, leaf unsettled, epoch bumped.
+        let epoch0 = fleet.leaf_epoch[0];
+        fleet.set_server_alive(0, false);
+        assert_eq!(fleet.power_of(0), Power::ZERO);
+        assert!(!fleet.settled[0], "crash must unsettle its leaf");
+        assert_eq!(fleet.leaf_epoch[0], epoch0 + 1);
+        tick(&mut fleet, &mut t);
+
+        // Revive: draw returns to the retained actuator output.
+        fleet.set_server_alive(0, true);
+        assert!(!fleet.settled[0], "revive must unsettle its leaf");
+        assert!(fleet.power_of(0).as_watts() > 0.0);
+
+        // RAPL limit change via the controller absorb path: leaf 1
+        // unsettles and its power settles down toward the cap.
+        for _ in 0..10 {
+            tick(&mut fleet, &mut t);
+        }
+        let before_cap = fleet.leaf_power(1).unwrap();
+        for id in 50..100 {
+            fleet.agents_mut()[id]
+                .server_mut()
+                .rapl_mut()
+                .set_limit(Power::from_watts(130.0));
+        }
+        fleet.absorb_caps(&[1]);
+        assert!(!fleet.settled[1], "cap change must unsettle its leaf");
+        for _ in 0..15 {
+            tick(&mut fleet, &mut t);
+        }
+        assert!(
+            fleet.leaf_power(1).unwrap() < before_cap * 0.95,
+            "cap never bit: {} vs {}",
+            fleet.leaf_power(1).unwrap(),
+            before_cap
+        );
+
+        // Demand spike: a settled leaf reacts at its next due redraw.
+        // Leaf 1 is the exception that proves the model: its servers
+        // are capped at 130 W and the snap band parked them *exactly*
+        // on the cap, so a spike above the cap leaves the clamped
+        // target — and therefore the leaf's power bits — unchanged.
+        fleet.set_traffic(ServiceKind::Web, TrafficPattern::flat(3.0));
+        let before_spike: Vec<u64> = fleet.leaf_epoch.clone();
+        for _ in 0..55 {
+            tick(&mut fleet, &mut t);
+        }
+        for l in [0, 2, 3] {
+            assert!(
+                fleet.leaf_epoch[l] > before_spike[l],
+                "leaf {l} never reacted to the traffic spike"
+            );
+        }
+        assert_eq!(
+            fleet.leaf_epoch[1], before_spike[1],
+            "cap-clamped leaf must stay at its fixed point through the spike"
+        );
+        assert_eq!(
+            fleet.leaf_power(1).unwrap(),
+            Power::from_watts(130.0) * 50.0
+        );
+
+        // Out-of-band mutation (the path a turbo flip would take):
+        // agent_mut dirties the cache; the next step resyncs and bumps
+        // every epoch.
+        for _ in 0..60 {
+            tick(&mut fleet, &mut t);
+        }
+        let before_oob: Vec<u64> = fleet.leaf_epoch.clone();
+        fleet.agent_mut(150).server_mut().set_alive(false);
+        tick(&mut fleet, &mut t);
+        for (l, &before) in before_oob.iter().enumerate() {
+            assert!(
+                fleet.leaf_epoch[l] > before,
+                "leaf {l} epoch must bump after out-of-band mutation"
+            );
+        }
+        assert_eq!(fleet.power_of(150), Power::ZERO);
+    }
+
+    #[test]
+    fn hold_one_is_bit_identical_to_always_redraw() {
+        // The default hold of 1 must reproduce the pre-active-set model
+        // exactly; `clear_settled` turns the skip logic off wholesale.
+        let mut held = spanned_fleet(93, 1);
+        let mut reference = spanned_fleet(93, 1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..60 {
+            reference.clear_settled();
+            held.step(t, SimDuration::from_secs(1));
+            reference.step(t, SimDuration::from_secs(1));
+            t += SimDuration::from_secs(1);
+        }
+        for i in 0..200 {
+            assert_eq!(
+                held.power_of(i).as_watts().to_bits(),
+                reference.power_of(i).as_watts().to_bits(),
+                "server {i} diverged at hold=1"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "demand hold")]
+    fn zero_demand_hold_panics() {
+        small_fleet(1, ServiceKind::Web).set_demand_hold(0);
     }
 
     #[test]

@@ -54,6 +54,21 @@ pub(crate) struct LeafTier {
     /// Planned-peak quotas from topology metadata, by leaf index.
     pub(crate) quotas: Vec<Power>,
     pub(crate) index_of: HashMap<DeviceId, usize>,
+    /// Per-leaf quiescence flag: the leaf's last real cycle was a clean
+    /// Hold — no pull failures, no active caps, no failover takeover —
+    /// so, as long as the fleet-side markers below are unchanged and
+    /// the link is lossless, re-running the cycle would observe the
+    /// same fleet state and decide Hold again. Cleared by anything that
+    /// could change the next decision from outside the fleet: an upper
+    /// directive, an operator contract override, a rollout-phase flip,
+    /// a primary failover.
+    pub(crate) quiet: Vec<bool>,
+    /// Fleet markers captured after each leaf's last real cycle
+    /// (`u64::MAX` = never ran): power epoch, demand-redraw tick and
+    /// agent epoch. See [`LeafTier::filter_quiescent`].
+    seen_power_epoch: Vec<u64>,
+    seen_draw_tick: Vec<u64>,
+    seen_agent_epoch: Vec<u64>,
 }
 
 /// Everything one parallel worker needs to run one leaf's cycle.
@@ -64,6 +79,7 @@ struct LeafTask<'a> {
     aggregate: &'a mut Power,
     failed: &'a mut bool,
     buf: &'a mut Vec<ControllerEvent>,
+    quiet: &'a mut bool,
     agents: &'a mut [Agent],
     span_start: usize,
     shard: &'a mut Shard,
@@ -131,6 +147,74 @@ impl LeafTier {
             event_bufs: vec![Vec::new(); n],
             quotas,
             index_of,
+            quiet: vec![false; n],
+            seen_power_epoch: vec![u64::MAX; n],
+            seen_draw_tick: vec![u64::MAX; n],
+            seen_agent_epoch: vec![u64::MAX; n],
+        }
+    }
+
+    /// Splits `due` into the leaves that must run and the cycles that
+    /// can be elided, pushing the former into `out` (cleared first) in
+    /// the same ascending order and counting the latter into each
+    /// leaf's shard (merged later with the full due list, so the
+    /// registry stays bit-identical at any thread count).
+    ///
+    /// A leaf's cycle is elided only when it is *provably* a no-op
+    /// recomputation: the leaf decided a clean Hold last time
+    /// ([`LeafTier::quiet`]), its link cannot drop or time out, no
+    /// failover is pending, and every fleet-side marker — power epoch,
+    /// demand-redraw tick, agent epoch — still reads what the last real
+    /// cycle captured. The elided cycle's RPC and sensor-noise RNG
+    /// draws are *not* consumed, so elision (like the demand hold that
+    /// enables it — with `demand_hold == 1` the redraw tick changes
+    /// every tick and nothing ever elides) changes the trajectory
+    /// relative to a run without it, while remaining deterministic and
+    /// thread-count independent.
+    pub(crate) fn filter_quiescent(
+        &self,
+        due: &[usize],
+        fleet: &Fleet,
+        failover: &FailoverState,
+        obs: &mut Observability,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let power_epochs = fleet.leaf_epochs();
+        let draw_ticks = fleet.last_draw_ticks();
+        let agent_epochs = fleet.agent_epochs();
+        let markers_known = power_epochs.len() == self.len() && !fleet.power_cache_dirty();
+        let (shards, ids) = obs.shard_ctx();
+        for &i in due {
+            let elidable = markers_known
+                && self.quiet[i]
+                && !failover.leaf_pending(i)
+                && self.networks[i].profile().is_lossless()
+                && self.seen_power_epoch[i] == power_epochs[i]
+                && self.seen_draw_tick[i] == draw_ticks[i]
+                && self.seen_agent_epoch[i] == agent_epochs[i];
+            if elidable {
+                shards[i].inc(ids.leaf_cycles_elided);
+            } else {
+                out.push(i);
+            }
+        }
+    }
+
+    /// Captures the fleet markers for the leaves that just ran a real
+    /// cycle. Call after the dispatch (the control tick does not step
+    /// the fleet, so post-dispatch markers equal what the cycles saw).
+    pub(crate) fn note_markers(&mut self, ran: &[usize], fleet: &Fleet) {
+        let power_epochs = fleet.leaf_epochs();
+        let draw_ticks = fleet.last_draw_ticks();
+        let agent_epochs = fleet.agent_epochs();
+        if power_epochs.len() != self.len() || fleet.power_cache_dirty() {
+            return; // Markers unknown: `seen` stays stale, nothing elides.
+        }
+        for &i in ran {
+            self.seen_power_epoch[i] = power_epochs[i];
+            self.seen_draw_tick[i] = draw_ticks[i];
+            self.seen_agent_epoch[i] = agent_epochs[i];
         }
     }
 
@@ -158,6 +242,7 @@ impl LeafTier {
                 // Backup takes over: one cycle of downtime, then the
                 // redundant instance (sharing the same decision state
                 // via its own polling) continues.
+                self.quiet[i] = false;
                 let name = self.controllers[i].name_shared();
                 record_leaf_failover(&mut shards[i], ids, now, i as u32, Arc::clone(&name));
                 events.push(ControllerEvent {
@@ -178,7 +263,7 @@ impl LeafTier {
                     .unwrap_or_else(|| fleet.power_sum(&self.server_ids[i]));
                 continue;
             }
-            run_one_leaf_cycle(
+            let quiescent = run_one_leaf_cycle(
                 now,
                 self.devices[i],
                 &mut self.controllers[i],
@@ -191,6 +276,7 @@ impl LeafTier {
                 ids,
                 i as u32,
             );
+            self.quiet[i] = quiescent;
         }
     }
 
@@ -235,6 +321,7 @@ impl LeafTier {
             failed: &'a mut [bool],
             bufs: &'a mut [Vec<ControllerEvent>],
             shards: &'a mut [Shard],
+            quiet: &'a mut [bool],
             agents: &'a mut [Agent],
             /// Server id of `agents[0]`.
             agents_base: usize,
@@ -251,6 +338,7 @@ impl LeafTier {
             let mut failed = &mut failover.leaf_flags_mut()[..];
             let mut bufs = &mut self.event_bufs[..];
             let mut shards = all_shards;
+            let mut quiet = &mut self.quiet[..];
             let mut agents = fleet.agents_mut();
             let mut leaves_consumed = 0usize;
             let mut agents_consumed = 0usize;
@@ -272,6 +360,8 @@ impl LeafTier {
                 bufs = rest;
                 let (sh, rest) = shards.split_at_mut(skip).1.split_at_mut(take);
                 shards = rest;
+                let (q, rest) = quiet.split_at_mut(skip).1.split_at_mut(take);
+                quiet = rest;
                 leaves_consumed = hi;
 
                 let astart = spans[lo].start;
@@ -292,6 +382,7 @@ impl LeafTier {
                     failed: fl,
                     bufs: b,
                     shards: sh,
+                    quiet: q,
                     agents: a,
                     agents_base: astart,
                 });
@@ -305,6 +396,7 @@ impl LeafTier {
                     job.bufs[r].clear();
                     if job.failed[r] {
                         job.failed[r] = false;
+                        job.quiet[r] = false;
                         let name = job.controllers[r].name_shared();
                         record_leaf_failover(
                             &mut job.shards[r],
@@ -322,7 +414,7 @@ impl LeafTier {
                         continue;
                     }
                     let (aggregate, buf) = (&mut job.aggregates[r], &mut job.bufs[r]);
-                    run_one_leaf_cycle(
+                    job.quiet[r] = run_one_leaf_cycle(
                         now,
                         devices[i],
                         &mut job.controllers[r],
@@ -373,11 +465,15 @@ impl LeafTier {
             let failed = carve(failover.leaf_flags_mut(), due);
             let bufs = carve(&mut self.event_bufs, due);
             let shards = carve(all_shards, due);
+            let quiets = carve(&mut self.quiet, due);
             let agent_slices =
                 split_agent_spans(fleet.agents_mut(), due.iter().map(|&i| spans[i].clone()));
 
             let mut tasks: Vec<LeafTask> = Vec::with_capacity(due.len());
-            for (((((((&i, controller), network), aggregate), failed), buf), shard), agents) in due
+            for (
+                (((((((&i, controller), network), aggregate), failed), buf), shard), quiet),
+                agents,
+            ) in due
                 .iter()
                 .zip(controllers)
                 .zip(networks)
@@ -385,6 +481,7 @@ impl LeafTier {
                 .zip(failed)
                 .zip(bufs)
                 .zip(shards)
+                .zip(quiets)
                 .zip(agent_slices)
             {
                 tasks.push(LeafTask {
@@ -394,6 +491,7 @@ impl LeafTier {
                     aggregate,
                     failed,
                     buf,
+                    quiet,
                     agents,
                     span_start: spans[i].start,
                     shard,
@@ -409,6 +507,7 @@ impl LeafTier {
                             task.buf.clear();
                             if *task.failed {
                                 *task.failed = false;
+                                *task.quiet = false;
                                 let name = task.controller.name_shared();
                                 record_leaf_failover(
                                     task.shard,
@@ -425,7 +524,7 @@ impl LeafTier {
                                 });
                                 continue;
                             }
-                            run_one_leaf_cycle(
+                            *task.quiet = run_one_leaf_cycle(
                                 now,
                                 task.device,
                                 task.controller,
@@ -489,6 +588,11 @@ fn carve<'a, T>(mut slice: &'a mut [T], idxs: &[usize]) -> Vec<&'a mut T> {
 /// the server id of `agents[0]` — the serial path passes the whole
 /// fleet with `span_start == 0`, the parallel path a disjoint per-leaf
 /// slice. Shared by both so they cannot drift apart.
+///
+/// Returns whether the cycle was *quiescent* — a clean Hold with no
+/// pull failures and no caps left active — which is the controller-side
+/// half of the elision precondition (see
+/// [`LeafTier::filter_quiescent`]).
 #[allow(clippy::too_many_arguments)]
 fn run_one_leaf_cycle(
     now: SimTime,
@@ -502,7 +606,7 @@ fn run_one_leaf_cycle(
     shard: &mut Shard,
     ids: &ObsIds,
     track: u32,
-) {
+) -> bool {
     let caps_before = controller.active_cap_count();
     let dry_run = controller.config().dry_run;
     let mut pull_rtt = SimDuration::ZERO;
@@ -599,6 +703,9 @@ fn run_one_leaf_cycle(
             kind,
         });
     }
+    matches!(outcome.action, ControlAction::Hold)
+        && outcome.pull_failures == 0
+        && controller.active_cap_count() == 0
 }
 
 /// Computes per-leaf agent spans for the parallel control plane.

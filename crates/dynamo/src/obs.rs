@@ -33,6 +33,7 @@ pub(crate) struct ObsIds {
     pub(crate) rpc_rtt: HistogramId,
     // Leaf controllers.
     pub(crate) leaf_cycles: CounterId,
+    pub(crate) leaf_cycles_elided: CounterId,
     pub(crate) band_hold: CounterId,
     pub(crate) band_cap: CounterId,
     pub(crate) band_uncap: CounterId,
@@ -79,6 +80,10 @@ fn register(b: &mut RegistryBuilder) -> ObsIds {
             Buckets::log_linear(0.001, 2, 8),
         ),
         leaf_cycles: b.counter("dynamo_leaf_cycles_total", "Completed leaf control cycles"),
+        leaf_cycles_elided: b.counter(
+            "dynamo_leaf_cycles_elided_total",
+            "Leaf control cycles elided as provably quiescent",
+        ),
         band_hold: b.counter(
             "dynamo_leaf_band_hold_total",
             "Leaf cycles that landed in the hold band",

@@ -158,7 +158,12 @@ impl UpperTier {
                     ChildDirective::Unchanged => continue,
                 };
                 match self.children[i][k] {
-                    ChildRef::Leaf(j) => leaves.controllers[j].set_contractual_limit(limit),
+                    ChildRef::Leaf(j) => {
+                        // The leaf's effective limit moved from outside
+                        // the fleet: its next cycle must run for real.
+                        leaves.quiet[j] = false;
+                        leaves.controllers[j].set_contractual_limit(limit);
+                    }
                     ChildRef::Upper(j) => self.controllers[j].set_contractual_limit(limit),
                 }
             }

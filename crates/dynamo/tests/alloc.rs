@@ -187,6 +187,70 @@ fn steady_state_pooled_ticks_do_not_allocate() {
     );
 }
 
+/// Fleet with the active set engaged: leaf spans mirroring the two RPP
+/// leaves of the test topology (sids are assigned in DFS order, so the
+/// spans are `[0..32, 32..64]`), plus a demand-hold so leaves actually
+/// settle between redraws.
+fn build_active(obs: ObsConfig, hold: u32) -> (Fleet, DynamoSystem) {
+    let (mut fleet, system) = build_with(obs);
+    fleet.set_leaf_spans(&[0..32, 32..64]);
+    fleet.set_demand_hold(hold);
+    (fleet, system)
+}
+
+/// Active-set skipping must not buy its speed with heap traffic: the
+/// settled-leaf skip, the demand-hold redraw (including the off-grid
+/// OU coefficient recompute when `elapsed > 1`) and the control-flush
+/// epoch check are all allocation-free.
+#[test]
+fn steady_state_active_set_ticks_do_not_allocate() {
+    let _serial = serialize_test();
+    let (fleet, system) = build_active(ObsConfig::on(), 30);
+    assert_eq!(
+        measure_steady_state(fleet, system, 1),
+        0,
+        "active-set physics allocated in the steady-state leaf tick path"
+    );
+}
+
+/// Same guarantee on the pooled parallel path: the extra per-job
+/// settled/last-draw/epoch slices ride in the same stack-slot jobs.
+#[test]
+fn steady_state_active_set_pooled_ticks_do_not_allocate() {
+    let _serial = serialize_test();
+    let (mut fleet, mut system) = build_active(ObsConfig::on(), 30);
+    let pool = Arc::new(WorkerPool::new(4));
+    fleet.attach_pool(Arc::clone(&pool));
+    system.attach_pool(pool);
+    assert_eq!(
+        measure_steady_state(fleet, system, 4),
+        0,
+        "active-set pooled dispatch allocated in the steady-state leaf tick path"
+    );
+}
+
+/// The skip must actually engage under measurement conditions, or the
+/// two tests above prove nothing: after warmup, a held fleet spends
+/// most ticks with every leaf settled.
+#[test]
+fn active_set_engages_in_steady_state() {
+    let _serial = serialize_test();
+    let (mut fleet, mut system) = build_active(ObsConfig::default(), 30);
+    let dt = SimDuration::from_secs(3);
+    let mut now = SimTime::ZERO;
+    let mut max_settled = 0;
+    for _ in 0..40 {
+        fleet.step(now, dt);
+        system.tick(now, &mut fleet);
+        max_settled = max_settled.max(fleet.settled_leaf_count());
+        now += dt;
+    }
+    assert_eq!(
+        max_settled, 2,
+        "both leaves should settle between demand redraws"
+    );
+}
+
 /// The Hold-band guarantee must survive an active cap: a capped fleet
 /// in steady state (caps placed, nothing to change) is equally hot.
 #[test]

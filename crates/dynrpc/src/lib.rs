@@ -207,6 +207,14 @@ impl LinkProfile {
             mean_latency: SimDuration::from_millis(5),
         }
     }
+
+    /// True when no call over this link can fail: zero drop probability
+    /// and zero timeout probability. On such a link the outcome of an
+    /// RPC is fully determined by the agent's state — the precondition
+    /// for the control plane's quiescent-cycle elision.
+    pub fn is_lossless(&self) -> bool {
+        self.drop_prob == 0.0 && self.timeout_prob == 0.0
+    }
 }
 
 /// Running counters kept by a [`Network`].
@@ -242,14 +250,26 @@ impl NetworkStats {
 #[derive(Debug, Clone)]
 pub struct Network {
     profile: LinkProfile,
+    /// Exponential rate matching `profile.mean_latency`, precomputed at
+    /// profile-set time: `draw_rtt` runs once per RPC attempt and the
+    /// rate only changes when the profile does.
+    rtt_rate: f64,
     rng: SimRng,
     stats: NetworkStats,
+}
+
+/// The exponential rate parameter for a profile's mean latency. Kept
+/// as a named helper so the cached value and a from-scratch derivation
+/// are the same expression (bit-identical draws either way).
+fn rtt_rate_of(profile: &LinkProfile) -> f64 {
+    1.0 / profile.mean_latency.as_secs_f64().max(1e-6)
 }
 
 impl Network {
     /// Creates a transport with the given profile and RNG stream.
     pub fn new(profile: LinkProfile, rng: SimRng) -> Self {
         Network {
+            rtt_rate: rtt_rate_of(&profile),
             profile,
             rng,
             stats: NetworkStats::default(),
@@ -310,8 +330,7 @@ impl Network {
     /// non-dropped attempt, success or timeout — the stream-stability
     /// invariant the regression tests pin.
     fn draw_rtt(&mut self) -> SimDuration {
-        let mean = self.profile.mean_latency.as_secs_f64().max(1e-6);
-        SimDuration::from_secs_f64(2.0 * self.rng.exponential(1.0 / mean))
+        SimDuration::from_secs_f64(2.0 * self.rng.exponential(self.rtt_rate))
     }
 
     /// The accumulated call statistics.
@@ -327,6 +346,7 @@ impl Network {
     /// Replaces the link profile (degrading the network mid-run in
     /// fault-injection tests).
     pub fn set_profile(&mut self, profile: LinkProfile) {
+        self.rtt_rate = rtt_rate_of(&profile);
         self.profile = profile;
     }
 }

@@ -297,6 +297,28 @@ impl PowerLut {
         Power::from_watts(self.power_at_w(utilization))
     }
 
+    /// Evaluates the LUT elementwise over a slice:
+    /// `out[i] = power_at_w(util[i])`, in fixed-lane chunks with a
+    /// scalar tail (see [`crate::kernel::LANES`]). The per-element
+    /// arithmetic is exactly [`PowerLut::power_at_w`] — including the
+    /// top-knot early return, which is *not* equivalent to a clamped
+    /// interpolation in floating point — so the batched form is
+    /// bit-identical to the scalar calls.
+    pub fn power_batch_w(&self, util: &[f64], out: &mut [f64]) {
+        assert_eq!(util.len(), out.len());
+        const LANES: usize = 4;
+        let n = util.len();
+        let whole = n - n % LANES;
+        for base in (0..whole).step_by(LANES) {
+            for l in 0..LANES {
+                out[base + l] = self.power_at_w(util[base + l]);
+            }
+        }
+        for i in whole..n {
+            out[i] = self.power_at_w(util[i]);
+        }
+    }
+
     /// Number of uniform cells in the grid.
     pub fn cells(&self) -> usize {
         LUT_CELLS

@@ -31,11 +31,38 @@ pub fn settle_alpha(dt_secs: f64, tau_secs: f64) -> f64 {
     1.0 - (-dt_secs / tau_secs).exp()
 }
 
+/// Width of the snap band in watts: once the output is within this
+/// distance of its target, the settle step lands on the target exactly
+/// instead of decaying the remaining error geometrically.
+///
+/// 0.5 W is half the sensor firmware's 1 W reporting quantum (see
+/// [`crate::PowerSensor`]) — the largest offset that can never move a
+/// noiseless reading by a full step — and sits well inside the ~1%
+/// gaussian read noise (~2 W at a typical 200 W draw), so the snap is
+/// invisible to the control plane. But it matters computationally:
+/// without it the exponential
+/// tail creeps through dozens of sub-resolution (eventually ulp-sized)
+/// steps before the increment underflows, keeping a leaf "unsettled"
+/// (and its settle arithmetic live) for tens of ticks after the output
+/// is already indistinguishable from its target. With the snap,
+/// `output == target` bitwise within a few time constants, which is
+/// the exact fixed point the active-set tracking keys on. The snap
+/// lands *on the asymptote itself*, so trajectories differ from the
+/// un-snapped model only transiently, by less than the band, during
+/// the final approach.
+pub const SNAP_BAND_W: f64 = 0.5;
+
 /// One first-order settle of `output` toward `target` with coefficient
-/// `alpha` (the closed-form discretization `p += (target - p) * alpha`).
+/// `alpha` (the closed-form discretization `p += (target - p) * alpha`),
+/// snapping to `target` exactly once within [`SNAP_BAND_W`].
 #[inline]
 pub fn settle(output_w: f64, target_w: f64, alpha: f64) -> f64 {
-    output_w + (target_w - output_w) * alpha
+    let delta = target_w - output_w;
+    if delta.abs() <= SNAP_BAND_W {
+        target_w
+    } else {
+        output_w + delta * alpha
+    }
 }
 
 /// Demand power with the turbo premium applied to the dynamic component:
@@ -49,6 +76,31 @@ pub fn turbo_demand_w(base_w: f64, idle_w: f64, power_factor: f64) -> f64 {
     idle_w + (base_w - idle_w) * power_factor
 }
 
+/// Fixed lane width of the vector kernels: chunks of this many `f64`
+/// elements are processed per iteration (with a scalar tail), sized to
+/// one AVX2 register. The arithmetic is elementwise, so the chunking is
+/// purely a codegen hint — every element sees exactly the expressions
+/// of the scalar kernel, and the only cross-element fold is a bitwise
+/// OR of change masks, which is order-independent.
+pub const LANES: usize = 4;
+
+/// Applies the turbo premium elementwise over a demand slice:
+/// `d = idle + (d - idle) * power_factor` (see [`turbo_demand_w`]),
+/// in [`LANES`]-wide chunks with a scalar tail. Bit-identical to
+/// calling [`turbo_demand_w`] per element.
+#[inline]
+pub fn turbo_demand_batch(demand_w: &mut [f64], idle_w: f64, power_factor: f64) {
+    let mut chunks = demand_w.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        for d in chunk {
+            *d = turbo_demand_w(*d, idle_w, power_factor);
+        }
+    }
+    for d in chunks.into_remainder() {
+        *d = turbo_demand_w(*d, idle_w, power_factor);
+    }
+}
+
 /// Advances a batch of RAPL actuators by one step.
 ///
 /// For each index `i`:
@@ -56,12 +108,18 @@ pub fn turbo_demand_w(base_w: f64, idle_w: f64, power_factor: f64) -> f64 {
 /// ```text
 /// target = min(demand_w[i], limit_w[i])
 /// eff    = alive[i] * (alpha + not_init[i] * (1 - alpha))
-/// out_w[i] += (target - out_w[i]) * eff
+/// out_w[i] = if alive[i] != 0 && |target - out_w[i]| <= SNAP_BAND_W
+///            { target } else { out_w[i] + (target - out_w[i]) * eff }
 /// not_init[i] *= 1 - alive[i]
 /// ```
 ///
 /// Drawn power is *not* written here; it is `out_w[i] * alive[i]`, which
 /// callers compute while scattering results back to id order.
+///
+/// Dispatches to the [`LANES`]-wide vector kernel when the `simd`
+/// feature (on by default) is enabled, and to the plain scalar loop
+/// otherwise; the two are bit-identical (pinned by the kernel-parity
+/// tests), so the feature only changes codegen, never results.
 ///
 /// # Panics
 ///
@@ -75,17 +133,150 @@ pub fn step_batch(
     out_w: &mut [f64],
     alpha: f64,
 ) {
+    step_batch_settled(demand_w, limit_w, alive, not_init, out_w, alpha);
+}
+
+/// [`step_batch`] that additionally reports whether the pass was a
+/// *fixed point*: `true` iff no `out_w` or `not_init` element changed
+/// its bit pattern.
+///
+/// A fixed-point pass is the exact floating-point identity, and because
+/// the kernel is a pure function of `(demand, limit, alive, state)`,
+/// repeating it with unchanged inputs is the identity *forever* — the
+/// invariant the fleet's active-set tracking rests on. Detecting the
+/// fixed point by bit comparison (rather than an `out == target` test)
+/// also covers the rounding dead zone where `out` freezes a few ulps
+/// away from `target` because the increment underflows the ulp of
+/// `out`.
+#[inline]
+pub fn step_batch_settled(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
+    #[cfg(feature = "simd")]
+    {
+        step_batch_lanes(demand_w, limit_w, alive, not_init, out_w, alpha)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        step_batch_scalar(demand_w, limit_w, alive, not_init, out_w, alpha)
+    }
+}
+
+/// Scalar reference implementation of [`step_batch_settled`]: one plain
+/// loop, no chunking. Always compiled (regardless of the `simd`
+/// feature) so the parity tests can pin scalar ≡ vector bitwise.
+pub fn step_batch_scalar(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
     let n = demand_w.len();
     assert_eq!(limit_w.len(), n);
     assert_eq!(alive.len(), n);
     assert_eq!(not_init.len(), n);
     assert_eq!(out_w.len(), n);
+    let mut changed = 0u64;
     for i in 0..n {
-        let target = demand_w[i].min(limit_w[i]);
-        let eff = alive[i] * (alpha + not_init[i] * (1.0 - alpha));
-        out_w[i] += (target - out_w[i]) * eff;
-        not_init[i] *= 1.0 - alive[i];
+        changed |= step_element(
+            demand_w[i],
+            limit_w[i],
+            alive[i],
+            &mut not_init[i],
+            &mut out_w[i],
+            alpha,
+        );
     }
+    changed == 0
+}
+
+/// [`LANES`]-wide chunked implementation of [`step_batch_settled`] with
+/// a scalar tail. Always compiled (regardless of the `simd` feature)
+/// so the parity tests can pin vector ≡ scalar bitwise.
+///
+/// Elementwise arithmetic is identical to [`step_batch_scalar`]; the
+/// per-lane change masks are OR-folded, which is associative and
+/// commutative on bits, so lane order cannot affect the result — the
+/// fixed-fold-order argument for cross-host determinism.
+pub fn step_batch_lanes(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive: &[f64],
+    not_init: &mut [f64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
+    let n = demand_w.len();
+    assert_eq!(limit_w.len(), n);
+    assert_eq!(alive.len(), n);
+    assert_eq!(not_init.len(), n);
+    assert_eq!(out_w.len(), n);
+    let mut changed = [0u64; LANES];
+    let whole = n - n % LANES;
+    for base in (0..whole).step_by(LANES) {
+        // Indexed on purpose: the `base + l` shape is what the
+        // autovectorizer recognizes as a lane loop.
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..LANES {
+            let i = base + l;
+            changed[l] |= step_element(
+                demand_w[i],
+                limit_w[i],
+                alive[i],
+                &mut not_init[i],
+                &mut out_w[i],
+                alpha,
+            );
+        }
+    }
+    for i in whole..n {
+        changed[0] |= step_element(
+            demand_w[i],
+            limit_w[i],
+            alive[i],
+            &mut not_init[i],
+            &mut out_w[i],
+            alpha,
+        );
+    }
+    changed.iter().fold(0, |a, &c| a | c) == 0
+}
+
+/// One element of the batch step: the scalar arithmetic shared verbatim
+/// by both kernel implementations. Returns a nonzero mask iff the
+/// element's state (`out_w`, `not_init`) changed bit pattern.
+#[inline(always)]
+fn step_element(
+    demand_w: f64,
+    limit_w: f64,
+    alive: f64,
+    not_init: &mut f64,
+    out_w: &mut f64,
+    alpha: f64,
+) -> u64 {
+    let target = demand_w.min(limit_w);
+    let eff = alive * (alpha + *not_init * (1.0 - alpha));
+    let old_out = *out_w;
+    let delta = target - old_out;
+    // Same snap band as the scalar `settle` path; gated on `alive` so a
+    // dead server's frozen state never moves toward a target.
+    let new_out = if alive != 0.0 && delta.abs() <= SNAP_BAND_W {
+        target
+    } else {
+        old_out + delta * eff
+    };
+    let old_ni = *not_init;
+    let new_ni = old_ni * (1.0 - alive);
+    *out_w = new_out;
+    *not_init = new_ni;
+    (new_out.to_bits() ^ old_out.to_bits()) | (new_ni.to_bits() ^ old_ni.to_bits())
 }
 
 #[cfg(test)]
@@ -142,6 +333,51 @@ mod tests {
         step_batch(&demand, &limit, &alive, &mut not_init, &mut out, 0.8);
         assert_eq!(out, [0.0]);
         assert_eq!(not_init, [1.0]);
+    }
+
+    #[test]
+    fn snap_band_lands_on_target_then_reports_fixed_point() {
+        let alpha = settle_alpha(1.0, 5.0);
+        // Scalar path: within the band, the step is `output = target`
+        // exactly, and the step after that is the bitwise identity.
+        let out = settle(180.0005, 180.0, alpha);
+        assert_eq!(out.to_bits(), 180.0f64.to_bits());
+        assert_eq!(settle(out, 180.0, alpha).to_bits(), out.to_bits());
+        // Batch path agrees bitwise and flags the fixed point only on
+        // the pass where nothing moved.
+        let demand = [180.0];
+        let limit = [f64::INFINITY];
+        let alive = [1.0];
+        let mut not_init = [0.0];
+        let mut out_b = [180.0005];
+        assert!(!step_batch_settled(
+            &demand,
+            &limit,
+            &alive,
+            &mut not_init,
+            &mut out_b,
+            alpha
+        ));
+        assert_eq!(out_b[0].to_bits(), 180.0f64.to_bits());
+        assert!(step_batch_settled(
+            &demand,
+            &limit,
+            &alive,
+            &mut not_init,
+            &mut out_b,
+            alpha
+        ));
+    }
+
+    #[test]
+    fn snap_band_never_moves_a_dead_server() {
+        let demand = [150.0004]; // within SNAP_BAND_W of the frozen state
+        let limit = [f64::INFINITY];
+        let alive = [0.0];
+        let mut not_init = [0.0];
+        let mut out = [150.0];
+        step_batch(&demand, &limit, &alive, &mut not_init, &mut out, 0.8);
+        assert_eq!(out, [150.0]);
     }
 
     #[test]
