@@ -90,14 +90,21 @@ pub struct Datacenter {
 /// settled majority. The fleet versions each leaf with a monotone
 /// epoch that is bumped whenever the leaf's drawn power may have
 /// changed bits; a device's cached sum therefore stays exact while the
-/// maximum epoch over its covering leaves equals the watermark
-/// recorded when the sum was folded. The cached value *is* the stored
-/// result of the same ascending fold over the same bits, so serving it
-/// is bit-identical to re-folding.
+/// *sum* of the epochs over its covering leaves equals the watermark
+/// recorded when the sum was folded. The sum — not the max — is the
+/// key because leaf epochs advance independently: a lagging leaf can
+/// change without moving the covering max, but every bump raises the
+/// sum, so any covering-leaf change is witnessed. (Overflow would need
+/// 2⁶⁴ total bumps; unreachable.) The cached value *is* the stored
+/// result of the same fold over the same bits, so serving it is
+/// bit-identical to re-folding.
 ///
 /// Bypassed entirely while the fleet's power cache is dirty
-/// (out-of-band mutation), and for devices whose subtree is not one
-/// contiguous id range.
+/// (out-of-band mutation), while the fleet's span generation differs
+/// from the one this cache was built against (a mid-run
+/// [`Fleet::set_leaf_spans`] resets leaf epochs and invalidates the
+/// covering-range geometry wholesale), and for devices whose subtree
+/// is not one contiguous id range.
 struct DrawCache {
     /// Per-device covering leaf-index range into the fleet's leaf
     /// spans (`None` = this device cannot be cached). Devices below
@@ -112,13 +119,24 @@ struct DrawCache {
     /// leaf level this is the very same ascending fold; above it the
     /// fold associates per leaf instead of flat, which is equally
     /// deterministic (the partials are maintained in a fixed order) but
-    /// not bit-identical to the flat scan, so the leaf-level validator
-    /// comparison is unaffected.
+    /// not bit-identical to the pre-0.6 flat scan (an ulp-level,
+    /// documented behavior change — see CHANGELOG 0.6.0). The fallback
+    /// fold uses the same per-leaf association for tiled devices, so a
+    /// device's draw never flips association within a run; the
+    /// leaf-level validator comparison is unaffected either way.
     tiled: Vec<bool>,
     /// Cached subtree draw in watts.
     draw_w: Vec<f64>,
-    /// Max covering-leaf epoch at fold time (`u64::MAX` = never folded).
+    /// Sum of covering-leaf epochs at fold time (`u64::MAX` = never
+    /// folded; epochs start at 0 so no real sum collides with it
+    /// before the first fold).
     watermark: Vec<u64>,
+    /// [`Fleet::leaf_span_generation`] when this cache's geometry
+    /// (`leaf_range`, `tiled`) was derived. A mismatch disables the
+    /// cache: re-registered spans reset leaf epochs and re-index
+    /// leaves, so both the watermarks and the covering ranges are
+    /// meaningless against the new spans.
+    generation: u64,
 }
 
 /// Subtree power of device `i` through the epoch cache; falls back to
@@ -132,30 +150,67 @@ fn cached_subtree_power(
     subtree: &[Vec<u32>],
     i: usize,
 ) -> Power {
+    if fleet.leaf_span_generation() != cache.generation {
+        // Spans were re-registered after this cache's geometry was
+        // derived: covering ranges and watermarks are both stale.
+        return match &subtree_range[i] {
+            Some(range) => fleet.power_sum_range(range.clone()),
+            None => fleet.power_sum(&subtree[i]),
+        };
+    }
     if !fleet.power_cache_dirty() {
         if let Some(Some(lr)) = cache.leaf_range.get(i) {
             let epochs = fleet.leaf_epochs();
             if lr.end <= epochs.len() {
-                let mark = epochs[lr.clone()].iter().copied().max().unwrap_or(0);
+                // Keyed on the SUM of covering epochs: each epoch is
+                // monotone, so any leaf bump raises the sum even when
+                // it does not move the covering max (a lagging leaf
+                // catching up must still invalidate).
+                let mark = epochs[lr.clone()].iter().sum::<u64>();
                 if cache.watermark[i] == mark {
                     return Power::from_watts(cache.draw_w[i]);
                 }
-                let p = match fleet.leaf_power_partials() {
-                    Some(parts) if cache.tiled[i] => {
-                        Power::from_watts(parts[lr.clone()].iter().sum())
-                    }
-                    _ => {
-                        let range = subtree_range[i]
-                            .clone()
-                            .expect("cacheable devices have contiguous subtrees");
-                        fleet.power_sum_range(range)
-                    }
-                };
+                let p = fold_subtree(cache, fleet, subtree_range, subtree, i);
                 cache.draw_w[i] = p.as_watts();
                 cache.watermark[i] = mark;
                 return p;
             }
         }
+    }
+    fold_subtree(cache, fleet, subtree_range, subtree, i)
+}
+
+/// The uncached subtree fold for device `i`, with one fixed
+/// association per device: tiled devices (leaf level and above) fold
+/// per covering leaf and then sum the partials, everything else folds
+/// flat. The cached path stores exactly these results, and the fleet's
+/// maintained partials are the same per-leaf ascending folds, so a
+/// device's draw is bit-stable across cache hits, refolds, and
+/// dirty-window fallbacks within a run. Only meaningful while the
+/// cache's span generation matches the fleet's.
+fn fold_subtree(
+    cache: &DrawCache,
+    fleet: &Fleet,
+    subtree_range: &[Option<Range<usize>>],
+    subtree: &[Vec<u32>],
+    i: usize,
+) -> Power {
+    if cache.tiled[i] {
+        let lr = cache.leaf_range[i]
+            .clone()
+            .expect("tiled devices have covering leaves");
+        if let Some(parts) = fleet.leaf_power_partials() {
+            return Power::from_watts(parts[lr].iter().sum());
+        }
+        // Dirty window: the maintained partials are untrustworthy, so
+        // refold each covering leaf from live reads — same association.
+        let spans = fleet.leaf_spans();
+        return Power::from_watts(
+            spans[lr]
+                .iter()
+                .map(|s| fleet.power_sum_range(s.clone()).as_watts())
+                .sum(),
+        );
     }
     match &subtree_range[i] {
         Some(range) => fleet.power_sum_range(range.clone()),
@@ -216,6 +271,10 @@ impl Datacenter {
             tiled,
             draw_w: vec![0.0; n_dev],
             watermark: vec![u64::MAX; n_dev],
+            // Captured after the set_leaf_spans call above: any later
+            // re-registration bumps the fleet's generation and disables
+            // this cache rather than risking stale-watermark collisions.
+            generation: fleet.leaf_span_generation(),
         };
         Datacenter {
             topo,
@@ -548,5 +607,150 @@ impl std::fmt::Debug for Datacenter {
             .field("servers", &self.fleet.len())
             .field("devices", &self.topo.device_count())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatacenterBuilder, ServicePlan};
+    use workloads::ServiceKind;
+
+    /// 1 MSB / 2 SBs / 4 RPP leaves / 8 racks / 32 servers: every
+    /// device class the cache distinguishes (multi-leaf tiled, exactly
+    /// one leaf, sub-leaf rack).
+    fn small_dc(seed: u64) -> Datacenter {
+        DatacenterBuilder::new()
+            .sbs_per_msb(2)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .servers_per_rack(4)
+            .service_plan(ServicePlan::Mix(vec![
+                (ServiceKind::Web, 0.6),
+                (ServiceKind::Cache, 0.4),
+            ]))
+            .seed(seed)
+            .build()
+    }
+
+    /// Every device's served draw must equal a fresh fold of the same
+    /// association, bitwise, regardless of which leaves changed since
+    /// its watermark was recorded.
+    fn assert_cache_exact(dc: &mut Datacenter) {
+        for i in 0..dc.device_ids.len() {
+            let fresh = fold_subtree(&dc.draw_cache, &dc.fleet, &dc.subtree_range, &dc.subtree, i);
+            let served = cached_subtree_power(
+                &mut dc.draw_cache,
+                &dc.fleet,
+                &dc.subtree_range,
+                &dc.subtree,
+                i,
+            );
+            assert_eq!(
+                served.as_watts().to_bits(),
+                fresh.as_watts().to_bits(),
+                "device {i} served a stale cached draw"
+            );
+        }
+    }
+
+    #[test]
+    fn draw_cache_never_serves_stale_sums_across_mutations() {
+        let mut dc = small_dc(17);
+        for _ in 0..5 {
+            dc.step();
+        }
+        assert_cache_exact(&mut dc);
+
+        let spans: Vec<Range<usize>> = dc
+            .system
+            .leaf_spans()
+            .expect("grid topologies register leaf spans")
+            .to_vec();
+        let lag = spans[0].start as u32;
+        let lead = spans[1].start as u32;
+
+        // Run leaf 1's epoch ahead of leaf 0's (kill + revive restores
+        // the exact retained output, so only the epochs move), then
+        // fold everything so watermarks record asymmetric epochs.
+        for _ in 0..4 {
+            dc.fleet.set_server_alive(lead, false);
+            dc.fleet.set_server_alive(lead, true);
+        }
+        assert_cache_exact(&mut dc);
+
+        // The regression: a change in the *lagging* leaf bumps its
+        // epoch without moving the covering max, so a max-keyed
+        // watermark would keep serving the pre-kill sums for the SB,
+        // MSB and root above leaf 0. The sum key must refold.
+        assert!(
+            dc.fleet.power_of(lag).as_watts() > 0.0,
+            "kill must change the subtree draw for the test to bite"
+        );
+        dc.fleet.set_server_alive(lag, false);
+        assert_cache_exact(&mut dc);
+        dc.fleet.set_server_alive(lag, true);
+        assert_cache_exact(&mut dc);
+
+        // Out-of-band mutation (a RAPL cap programmed directly) dirties
+        // the fleet's power cache: draws must fall back to live folds
+        // until a step resynchronizes, and stay exact after it.
+        dc.fleet
+            .agent_mut(lag)
+            .server_mut()
+            .rapl_mut()
+            .set_limit(Power::from_watts(80.0));
+        assert!(dc.fleet.power_cache_dirty());
+        assert_cache_exact(&mut dc);
+        dc.step();
+        assert_cache_exact(&mut dc);
+
+        // Breaker-style churn: kills and restarts in rotating leaves,
+        // interleaved with full steps.
+        for k in 0..6 {
+            let sid = spans[k % spans.len()].start as u32;
+            dc.fleet.set_server_alive(sid, k % 2 == 1);
+            dc.step();
+            assert_cache_exact(&mut dc);
+        }
+    }
+
+    #[test]
+    fn respanning_mid_run_disables_the_draw_cache() {
+        let mut dc = small_dc(23);
+        for _ in 0..3 {
+            dc.step();
+        }
+        assert_cache_exact(&mut dc);
+
+        // Re-register the same spans out of band: leaf epochs restart
+        // at zero and could climb back into coincidence with a stale
+        // watermark. The generation mismatch must bypass the cache so
+        // every draw is a direct fold.
+        let spans: Vec<Range<usize>> = dc.system.leaf_spans().unwrap().to_vec();
+        dc.fleet.set_leaf_spans(&spans);
+        for _ in 0..10 {
+            dc.fleet.set_server_alive(0, false);
+            dc.fleet.set_server_alive(0, true);
+            for i in 0..dc.device_ids.len() {
+                let served = cached_subtree_power(
+                    &mut dc.draw_cache,
+                    &dc.fleet,
+                    &dc.subtree_range,
+                    &dc.subtree,
+                    i,
+                );
+                let direct = match &dc.subtree_range[i] {
+                    Some(r) => dc.fleet.power_sum_range(r.clone()),
+                    None => dc.fleet.power_sum(&dc.subtree[i]),
+                };
+                assert_eq!(
+                    served.as_watts().to_bits(),
+                    direct.as_watts().to_bits(),
+                    "device {i} served a stale draw after a mid-run re-span"
+                );
+            }
+            dc.step();
+        }
     }
 }

@@ -169,6 +169,12 @@ pub struct Fleet {
     /// The control plane's per-leaf server spans (ascending, tiling
     /// `0..n`), when known. Empty otherwise.
     leaf_spans: Vec<Range<usize>>,
+    /// Monotone count of [`Fleet::set_leaf_spans`] registrations.
+    /// Re-registering spans resets every per-leaf epoch to zero, so any
+    /// consumer keying cached aggregates on those epochs must also
+    /// compare this generation — a restarted epoch can coincidentally
+    /// reach a pre-re-span watermark.
+    span_generation: u64,
     /// Per-leaf power partial sums (watts), rebuilt by every step as
     /// the ascending flat fold over the leaf's span.
     leaf_power_w: Vec<f64>,
@@ -279,6 +285,7 @@ impl Fleet {
             power_w: vec![0.0; n],
             power_dirty: false,
             leaf_spans: Vec::new(),
+            span_generation: 0,
             leaf_power_w: Vec::new(),
             partition: Partition::default(),
             pool: None,
@@ -356,13 +363,17 @@ impl Fleet {
     /// partitions, and regroups the batch arrays leaf-locally by
     /// `(generation, service, turbo)`. Spans must ascend and tile
     /// `0..len`. Also resets the per-leaf active-set state (everything
-    /// starts unsettled and unflushed).
+    /// starts unsettled and unflushed) and bumps the span generation,
+    /// which invalidates any epoch-keyed aggregate cache built over the
+    /// previous spans (the restarted epochs could otherwise collide
+    /// with stale watermarks).
     pub fn set_leaf_spans(&mut self, spans: &[Range<usize>]) {
         debug_assert!(spans
             .iter()
             .zip(spans.iter().skip(1))
             .all(|(a, b)| a.end == b.start));
         self.leaf_spans = spans.to_vec();
+        self.span_generation += 1;
         self.rebuild_layout();
         self.leaf_power_w = vec![0.0; spans.len()];
         leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
@@ -416,6 +427,18 @@ impl Fleet {
     /// only while the power cache is clean.
     pub(crate) fn leaf_epochs(&self) -> &[u64] {
         &self.leaf_epoch
+    }
+
+    /// The registered per-leaf server spans (empty when unknown).
+    pub(crate) fn leaf_spans(&self) -> &[Range<usize>] {
+        &self.leaf_spans
+    }
+
+    /// Monotone count of span registrations; see the field docs. Any
+    /// cache keyed on [`Fleet::leaf_epochs`] watermarks is only valid
+    /// while this matches the generation it was built against.
+    pub(crate) fn leaf_span_generation(&self) -> u64 {
+        self.span_generation
     }
 
     /// Whether cached power arrays are currently untrustworthy because
@@ -1975,7 +1998,10 @@ mod tests {
         let mut pooled8 = spanned_fleet(91, 30);
         let mut pooled64 = spanned_fleet(91, 30);
         pooled8.attach_pool(Arc::new(WorkerPool::new(8)));
-        pooled64.attach_pool(Arc::new(WorkerPool::new(8)));
+        // A full-width pool: step_parallel clamps the dispatch to
+        // min(threads, pool.workers()), so anything smaller would make
+        // the @64 case repeat the @8 partition.
+        pooled64.attach_pool(Arc::new(WorkerPool::new(64)));
         let mut t = SimTime::ZERO;
         for _ in 0..150 {
             serial.step(t, SimDuration::from_secs(1));
