@@ -35,9 +35,11 @@
 mod queue;
 mod rng;
 mod schedule;
+pub mod snap;
 mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use schedule::{CycleSchedule, PeriodicSchedule};
+pub use snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use time::{SimDuration, SimTime};

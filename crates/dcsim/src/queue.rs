@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::SimTime;
 
 /// An entry in the queue: ordered by time, then by insertion sequence so
@@ -126,6 +127,63 @@ impl<E> EventQueue<E> {
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+impl<E: Snapshot> Snapshot for EventQueue<E> {
+    const KIND: &'static str = "dcsim.EventQueue";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now.as_millis());
+        w.put_u64(self.next_seq);
+        // Record the event codec so restoring under a changed event
+        // layout fails loudly instead of mis-decoding bodies.
+        w.put_str(E::KIND);
+        w.put_u32(E::VERSION);
+        // BinaryHeap iteration order is arbitrary; sort by (at, seq) so
+        // identical queue contents always encode to identical bytes.
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        w.put_u64(entries.len() as u64);
+        for e in entries {
+            w.put_u64(e.at.as_millis());
+            w.put_u64(e.seq);
+            e.event.encode_body(w);
+        }
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let now = SimTime::from_millis(r.get_u64()?);
+        let next_seq = r.get_u64()?;
+        let kind = r.get_str()?;
+        if kind != E::KIND {
+            return Err(SnapError::KindMismatch {
+                expected: E::KIND.to_string(),
+                found: kind,
+            });
+        }
+        let version = r.get_u32()?;
+        if version != E::VERSION {
+            return Err(SnapError::VersionMismatch {
+                kind,
+                found: version,
+                supported: E::VERSION,
+            });
+        }
+        let n = r.get_u64()? as usize;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::from_millis(r.get_u64()?);
+            let seq = r.get_u64()?;
+            let event = E::decode_body(r)?;
+            heap.push(Entry { at, seq, event });
+        }
+        Ok(EventQueue {
+            heap,
+            next_seq,
+            now,
+        })
     }
 }
 

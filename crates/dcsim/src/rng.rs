@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A deterministic xoshiro256++ pseudo-random number generator.
 ///
 /// Every source of randomness in the workspace derives from a single root
@@ -34,6 +36,29 @@ pub struct SimRng {
     state: [u64; 4],
     /// Cached second normal variate from the last Box-Muller draw.
     spare_normal: Option<f64>,
+}
+
+impl Snapshot for SimRng {
+    const KIND: &'static str = "dcsim.SimRng";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        for &s in &self.state {
+            w.put_u64(s);
+        }
+        w.put_opt_f64(self.spare_normal);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.get_u64()?;
+        }
+        Ok(SimRng {
+            state,
+            spare_normal: r.get_opt_f64()?,
+        })
+    }
 }
 
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;

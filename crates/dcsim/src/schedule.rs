@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::{SimDuration, SimRng, SimTime};
 
 /// Tracks a fixed-period task inside a time-stepped simulation.
@@ -83,6 +84,27 @@ impl PeriodicSchedule {
             self.next += self.period;
         }
         true
+    }
+}
+
+impl Snapshot for PeriodicSchedule {
+    const KIND: &'static str = "dcsim.PeriodicSchedule";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.period.as_millis());
+        w.put_u64(self.next.as_millis());
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let period = SimDuration::from_millis(r.get_u64()?);
+        if period.is_zero() {
+            return Err(SnapError::Corrupt("zero schedule period".into()));
+        }
+        Ok(PeriodicSchedule {
+            period,
+            next: SimTime::from_millis(r.get_u64()?),
+        })
     }
 }
 
@@ -192,6 +214,29 @@ impl CycleSchedule {
             self.next += self.period;
         }
         true
+    }
+}
+
+impl Snapshot for CycleSchedule {
+    const KIND: &'static str = "dcsim.CycleSchedule";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.period.as_millis());
+        w.put_u64(self.phase.as_millis());
+        w.put_u64(self.next.as_millis());
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let period = SimDuration::from_millis(r.get_u64()?);
+        if period.is_zero() {
+            return Err(SnapError::Corrupt("zero cycle period".into()));
+        }
+        Ok(CycleSchedule {
+            period,
+            phase: SimDuration::from_millis(r.get_u64()?),
+            next: SimTime::from_millis(r.get_u64()?),
+        })
     }
 }
 

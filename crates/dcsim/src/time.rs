@@ -10,6 +10,8 @@ use std::ops::{Add, AddAssign, Sub};
 
 use serde::{Deserialize, Serialize};
 
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A point in simulated time, measured in milliseconds from simulation
 /// start.
 ///
@@ -84,6 +86,19 @@ impl SimTime {
     /// The later of two time points.
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
+    }
+}
+
+impl Snapshot for SimTime {
+    const KIND: &'static str = "dcsim.SimTime";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SimTime(r.get_u64()?))
     }
 }
 
@@ -170,6 +185,19 @@ impl SimDuration {
     /// True if this duration is zero.
     pub const fn is_zero(self) -> bool {
         self.0 == 0
+    }
+}
+
+impl Snapshot for SimDuration {
+    const KIND: &'static str = "dcsim.SimDuration";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SimDuration(r.get_u64()?))
     }
 }
 

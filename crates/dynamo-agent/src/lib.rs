@@ -44,10 +44,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimRng;
 use dynrpc::{AgentEndpoint, PowerReading, Request, Response, WireBreakdown};
 use powerinfra::Power;
-use serverpower::Server;
+use serverpower::{Server, ServerState};
 
 /// The per-server Dynamo agent: owns the host model and services
 /// controller requests.
@@ -135,6 +136,75 @@ impl Agent {
     /// The power limit currently programmed on the host, if any.
     pub fn current_cap(&self) -> Option<Power> {
         self.server.rapl().limit()
+    }
+
+    /// Captures the agent's dynamic state (host scalars, RNG stream,
+    /// liveness, counters).
+    pub fn state(&self) -> AgentState {
+        AgentState {
+            server: self.server.state(),
+            rng: self.rng.clone(),
+            running: self.running,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Agent::state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::restore`] failures (id or generation
+    /// mismatch).
+    pub fn restore(&mut self, state: &AgentState) -> Result<(), SnapError> {
+        self.server.restore(&state.server)?;
+        self.rng = state.rng.clone();
+        self.running = state.running;
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
+/// The dynamic state of one [`Agent`]. Implements [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentState {
+    /// Host server scalar state.
+    pub server: ServerState,
+    /// Sensor-noise RNG stream.
+    pub rng: SimRng,
+    /// Whether the agent process is up.
+    pub running: bool,
+    /// Monitoring counters.
+    pub stats: AgentStats,
+}
+
+impl Snapshot for AgentState {
+    const KIND: &'static str = "dynamo_agent.AgentState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        self.server.encode_body(w);
+        self.rng.encode_body(w);
+        w.put_bool(self.running);
+        w.put_u64(self.stats.reads);
+        w.put_u64(self.stats.cap_ops);
+        w.put_u64(self.stats.rejected);
+        w.put_u64(self.stats.crashes);
+        w.put_u64(self.stats.restarts);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(AgentState {
+            server: ServerState::decode_body(r)?,
+            rng: SimRng::decode_body(r)?,
+            running: r.get_bool()?,
+            stats: AgentStats {
+                reads: r.get_u64()?,
+                cap_ops: r.get_u64()?,
+                rejected: r.get_u64()?,
+                crashes: r.get_u64()?,
+                restarts: r.get_u64()?,
+            },
+        })
     }
 }
 

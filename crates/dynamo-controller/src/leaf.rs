@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimTime};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -291,6 +292,51 @@ impl LeafController {
         self.last_distribution
     }
 
+    /// Captures the controller's dynamic state: Hold-band trackers
+    /// (`last_power`), capping-episode state (`active_caps`), the pushed
+    /// contract, alerts, cycle count, distribution stats and the
+    /// runtime-mutable dry-run flag. Static config and server handles
+    /// are rebuilt by the owner.
+    pub fn state(&self) -> LeafControllerState {
+        LeafControllerState {
+            last_power: self.last_power.clone(),
+            active_caps: self.active_caps.clone(),
+            contractual_limit: self.contractual_limit,
+            alerts: self.alerts.clone(),
+            cycles: self.cycles,
+            last_distribution: self.last_distribution,
+            dry_run: self.config.dry_run,
+        }
+    }
+
+    /// Restores state captured by [`LeafController::state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SnapError::Corrupt`] if the state was captured from
+    /// a controller with a different server count.
+    pub fn restore(&mut self, state: &LeafControllerState) -> Result<(), SnapError> {
+        let n = self.servers.len();
+        if state.last_power.len() != n || state.active_caps.len() != n {
+            return Err(SnapError::Corrupt(format!(
+                "leaf '{}' has {} servers; state was captured with {}/{}",
+                self.name,
+                n,
+                state.last_power.len(),
+                state.active_caps.len()
+            )));
+        }
+        self.last_power.clone_from(&state.last_power);
+        self.active_caps.clone_from(&state.active_caps);
+        self.active_cap_count = self.active_caps.iter().filter(|c| c.is_some()).count();
+        self.contractual_limit = state.contractual_limit;
+        self.alerts.clone_from(&state.alerts);
+        self.cycles = state.cycles;
+        self.last_distribution = state.last_distribution;
+        self.config.dry_run = state.dry_run;
+        Ok(())
+    }
+
     /// Runs one 3-second control cycle at time `now`:
     ///
     /// 1. Pull power from every downstream agent.
@@ -469,6 +515,93 @@ fn estimate_for(
         return Some(sum / peers as f64);
     }
     last_power[pos]
+}
+
+/// The dynamic state of one [`LeafController`]. Implements
+/// [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafControllerState {
+    /// Most recent per-server reading, position-indexed.
+    pub last_power: Vec<Option<Power>>,
+    /// Caps in force, position-indexed.
+    pub active_caps: Vec<Option<Power>>,
+    /// Contract pushed down by the parent.
+    pub contractual_limit: Option<Power>,
+    /// Alerts raised so far.
+    pub alerts: Vec<Alert>,
+    /// Completed cycle count.
+    pub cycles: u64,
+    /// Stats of the most recent cut distribution.
+    pub last_distribution: DistributionStats,
+    /// Runtime dry-run flag (staged rollouts mutate it mid-run).
+    pub dry_run: bool,
+}
+
+fn put_opt_power_slice(w: &mut SnapWriter, xs: &[Option<Power>]) {
+    w.put_u64(xs.len() as u64);
+    for x in xs {
+        w.put_opt_f64(x.map(Power::as_watts));
+    }
+}
+
+fn get_opt_power_vec(r: &mut SnapReader<'_>) -> Result<Vec<Option<Power>>, SnapError> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.get_opt_f64()?.map(Power::from_watts));
+    }
+    Ok(out)
+}
+
+fn put_alerts(w: &mut SnapWriter, alerts: &[Alert]) {
+    w.put_u64(alerts.len() as u64);
+    for a in alerts {
+        a.encode_body(w);
+    }
+}
+
+fn get_alerts(r: &mut SnapReader<'_>) -> Result<Vec<Alert>, SnapError> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(Alert::decode_body(r)?);
+    }
+    Ok(out)
+}
+
+impl Snapshot for LeafControllerState {
+    const KIND: &'static str = "dynamo_controller.LeafControllerState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        put_opt_power_slice(w, &self.last_power);
+        put_opt_power_slice(w, &self.active_caps);
+        w.put_opt_f64(self.contractual_limit.map(Power::as_watts));
+        put_alerts(w, &self.alerts);
+        w.put_u64(self.cycles);
+        w.put_u32(self.last_distribution.groups_touched);
+        w.put_u32(self.last_distribution.buckets_expanded);
+        w.put_u32(self.last_distribution.victims);
+        w.put_f64(self.last_distribution.leftover_watts);
+        w.put_bool(self.dry_run);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(LeafControllerState {
+            last_power: get_opt_power_vec(r)?,
+            active_caps: get_opt_power_vec(r)?,
+            contractual_limit: r.get_opt_f64()?.map(Power::from_watts),
+            alerts: get_alerts(r)?,
+            cycles: r.get_u64()?,
+            last_distribution: DistributionStats {
+                groups_touched: r.get_u32()?,
+                buckets_expanded: r.get_u32()?,
+                victims: r.get_u32()?,
+                leftover_watts: r.get_f64()?,
+            },
+            dry_run: r.get_bool()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -44,10 +44,11 @@ mod upper;
 pub use distribution::{
     distribute_power_cut, distribute_power_cut_with_stats, CutAssignment, DistributionStats,
 };
-pub use leaf::{CycleOutcome, LeafConfig, LeafController};
+pub use leaf::{CycleOutcome, LeafConfig, LeafController, LeafControllerState};
 pub use pi::{PiConfig, PiController, PiDecision};
 pub use threeband::{three_band_decision, BandDecision, ThreeBandConfig};
 pub use types::{Alert, CapCommand, ControlAction, ServerHandle, ServiceClass};
 pub use upper::{
-    ChildDirective, ChildReport, CoordinationPolicy, UpperConfig, UpperController, UpperOutcome,
+    ChildDirective, ChildReport, CoordinationPolicy, UpperConfig, UpperController,
+    UpperControllerState, UpperOutcome,
 };

@@ -1,5 +1,6 @@
 //! Shared controller-facing types.
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimTime;
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -93,6 +94,25 @@ pub struct Alert {
     pub controller: String,
     /// Human-readable cause.
     pub message: String,
+}
+
+impl Snapshot for Alert {
+    const KIND: &'static str = "dynamo_controller.Alert";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.at.as_millis());
+        w.put_str(&self.controller);
+        w.put_str(&self.message);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Alert {
+            at: SimTime::from_millis(r.get_u64()?),
+            controller: r.get_str()?,
+            message: r.get_str()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //!            [--minutes N] [--seed N] [--threads N] [--phase-spread SECS]
 //!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
 //!            [--metrics-out FILE] [--trace-out FILE] [--incident-dir DIR]
-//!            [--fail-leaf MIN]
+//!            [--report-out FILE] [--fail-leaf MIN]
+//!            [--checkpoint-every MIN] [--checkpoint-dir DIR]
+//!            [--resume FILE]
+//! dynamo-sim replay --incident FILE --from SNAPSHOT [--out DIR]
 //! ```
 //!
 //! Example — an oversubscribed web row that Dynamo must hold:
@@ -15,11 +18,21 @@
 //! ```text
 //! dynamo-sim --rpps 1 --racks 2 --servers 20 --rpp-kw 11 --traffic 1.7
 //! ```
+//!
+//! Checkpoints are versioned binary snapshots of every stateful layer
+//! (clock, RNG streams, fleet physics, controllers, telemetry, rings).
+//! A resumed run is bit-identical to the unbroken one: same report,
+//! same Prometheus exposition, at any thread count. `replay`
+//! re-executes an incident window deterministically from the nearest
+//! checkpoint and verifies the regenerated flight-recorder dump matches
+//! the original byte for byte.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimDuration;
-use dynamo::{DatacenterBuilder, ObsConfig, ParallelMode, RunReport};
+use dynamo::{Datacenter, DatacenterBuilder, DatacenterState, ObsConfig, ParallelMode, RunReport};
 use powerinfra::Power;
 use serverpower::ServerGeneration;
 use workloads::{ServiceKind, TrafficPattern};
@@ -46,7 +59,11 @@ struct Args {
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     incident_dir: Option<PathBuf>,
+    report_out: Option<PathBuf>,
     fail_leaf: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -72,8 +89,18 @@ impl Default for Args {
             metrics_out: None,
             trace_out: None,
             incident_dir: None,
+            report_out: None,
             fail_leaf: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
         }
+    }
+}
+
+impl Args {
+    fn observing(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.incident_dir.is_some()
     }
 }
 
@@ -122,7 +149,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(&mut it, flag)?)),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value(&mut it, flag)?)),
             "--incident-dir" => args.incident_dir = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--report-out" => args.report_out = Some(PathBuf::from(value(&mut it, flag)?)),
             "--fail-leaf" => args.fail_leaf = Some(num(value(&mut it, flag)?, flag)?),
+            "--checkpoint-every" => args.checkpoint_every = Some(num(value(&mut it, flag)?, flag)?),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--resume" => args.resume = Some(PathBuf::from(value(&mut it, flag)?)),
             "--no-capping" => args.capping = false,
             "--dry-run" => args.dry_run = true,
             "--turbo" => args.turbo = true,
@@ -147,6 +178,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             ));
         }
     }
+    if args.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be a positive number of minutes".to_string());
+    }
     Ok(args)
 }
 
@@ -168,24 +202,153 @@ fn usage() -> &'static str {
      \x20          --metrics-out FILE (Prometheus text exposition)\n\
      \x20          --trace-out FILE (chrome-tracing JSON of controller cycles)\n\
      \x20          --incident-dir DIR (flight-recorder incident dumps)\n\
+     \x20          --report-out FILE (final run report, for byte diffs)\n\
      faults:    --fail-leaf MIN (crash the first leaf controller's primary\n\
-     \x20          at the start of that minute; the backup takes over)"
+     \x20          at the start of that minute; the backup takes over)\n\
+     snapshots: --checkpoint-every MIN (write a versioned snapshot of every\n\
+     \x20          stateful layer at that cadence; resumed runs are\n\
+     \x20          bit-identical to unbroken ones)\n\
+     \x20          --checkpoint-dir DIR (default: checkpoints)\n\
+     \x20          --resume FILE (continue a checkpointed run; topology,\n\
+     \x20          workload and seed come from the snapshot — only run\n\
+     \x20          horizon, threads, cadence and output flags may change)\n\
+     replay:    dynamo-sim replay --incident FILE --from SNAPSHOT [--out DIR]\n\
+     \x20          re-execute an incident window from the nearest checkpoint\n\
+     \x20          and verify the regenerated dump is byte-identical"
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
-        Ok(a) => a,
-        Err(e) if e == "help" => {
-            println!("{}", usage());
-            return;
-        }
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            std::process::exit(2);
-        }
-    };
+// ---------------------------------------------------------------------------
+// Checkpoint file: an args envelope (so `--resume` can rebuild the exact
+// same datacenter) plus the full DatacenterState snapshot.
+// ---------------------------------------------------------------------------
 
+/// One checkpoint file. The envelope is the canonical `key=value`
+/// rendering of the original invocation's builder-relevant arguments;
+/// the state is every stateful layer of the simulation.
+struct Checkpoint {
+    envelope: String,
+    state: DatacenterState,
+}
+
+impl Snapshot for Checkpoint {
+    const KIND: &'static str = "dynamo-sim.Checkpoint";
+    // Bump when the envelope key set changes, so an old binary rejects
+    // a newer checkpoint instead of misreading it.
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_str(&self.envelope);
+        self.state.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Checkpoint {
+            envelope: r.get_str()?,
+            state: DatacenterState::decode_body(r)?,
+        })
+    }
+}
+
+/// Renders the arguments that determine the simulated universe (plus
+/// the run schedule) as deterministic `key=value` lines. Floats use
+/// Rust's shortest-round-trip formatting, so parsing is exact.
+fn envelope_of(args: &Args) -> String {
+    let mut s = String::new();
+    let mut kv = |k: &str, v: String| {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(&v);
+        s.push('\n');
+    };
+    kv("sbs", args.sbs.to_string());
+    kv("rpps", args.rpps.to_string());
+    kv("racks", args.racks.to_string());
+    kv("servers", args.servers.to_string());
+    if let Some(kw) = args.rpp_kw {
+        kv("rpp_kw", format!("{kw:?}"));
+    }
+    if let Some(kw) = args.sb_kw {
+        kv("sb_kw", format!("{kw:?}"));
+    }
+    kv("service", args.service.label().to_string());
+    kv("generation", args.generation.label().to_string());
+    kv("traffic", format!("{:?}", args.traffic));
+    kv("minutes", args.minutes.to_string());
+    kv("seed", args.seed.to_string());
+    kv("threads", args.threads.to_string());
+    kv("phase_spread", format!("{:?}", args.phase_spread));
+    kv("capping", args.capping.to_string());
+    kv("dry_run", args.dry_run.to_string());
+    kv("turbo", args.turbo.to_string());
+    kv("report_every", args.report_every.to_string());
+    if let Some(p) = &args.metrics_out {
+        kv("metrics_out", p.display().to_string());
+    }
+    if let Some(p) = &args.trace_out {
+        kv("trace_out", p.display().to_string());
+    }
+    if let Some(p) = &args.incident_dir {
+        kv("incident_dir", p.display().to_string());
+    }
+    if let Some(m) = args.fail_leaf {
+        kv("fail_leaf", m.to_string());
+    }
+    s
+}
+
+/// Parses an envelope back into [`Args`]. Unknown keys are an error —
+/// an envelope written by a newer binary must fail loudly, not be
+/// half-applied.
+fn args_from_envelope(envelope: &str) -> Result<Args, String> {
+    let mut args = Args::default();
+    for line in envelope.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("malformed envelope line '{line}'"))?;
+        fn num<T: std::str::FromStr>(v: &str, k: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("invalid envelope value '{v}' for {k}"))
+        }
+        match k {
+            "sbs" => args.sbs = num(v, k)?,
+            "rpps" => args.rpps = num(v, k)?,
+            "racks" => args.racks = num(v, k)?,
+            "servers" => args.servers = num(v, k)?,
+            "rpp_kw" => args.rpp_kw = Some(num(v, k)?),
+            "sb_kw" => args.sb_kw = Some(num(v, k)?),
+            "service" => args.service = parse_service(v)?,
+            "generation" => {
+                args.generation = ServerGeneration::from_label(v)
+                    .ok_or_else(|| format!("unknown generation '{v}' in envelope"))?;
+            }
+            "traffic" => args.traffic = num(v, k)?,
+            "minutes" => args.minutes = num(v, k)?,
+            "seed" => args.seed = num(v, k)?,
+            "threads" => args.threads = num(v, k)?,
+            "phase_spread" => args.phase_spread = num(v, k)?,
+            "capping" => args.capping = num(v, k)?,
+            "dry_run" => args.dry_run = num(v, k)?,
+            "turbo" => args.turbo = num(v, k)?,
+            "report_every" => args.report_every = num(v, k)?,
+            "metrics_out" => args.metrics_out = Some(PathBuf::from(v)),
+            "trace_out" => args.trace_out = Some(PathBuf::from(v)),
+            "incident_dir" => args.incident_dir = Some(PathBuf::from(v)),
+            "fail_leaf" => args.fail_leaf = Some(num(v, k)?),
+            other => {
+                return Err(format!(
+                    "unknown envelope key '{other}' — checkpoint written by a newer dynamo-sim?"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Builds the datacenter exactly as the original invocation did.
+fn build_datacenter(args: &Args) -> Datacenter {
     let mut builder = DatacenterBuilder::new()
         .sbs_per_msb(args.sbs)
         .rpps_per_sb(args.rpps)
@@ -211,27 +374,100 @@ fn main() {
     if args.turbo {
         builder = builder.turbo(args.service);
     }
-    let observing =
-        args.metrics_out.is_some() || args.trace_out.is_some() || args.incident_dir.is_some();
-    if observing {
+    if args.observing() {
         builder = builder.observability(ObsConfig {
             enabled: true,
             incident_dir: args.incident_dir.clone(),
             ..ObsConfig::default()
         });
     }
-    let mut dc = builder.build();
+    builder.build()
+}
 
-    println!(
-        "dynamo-sim: {} {} servers, capping={}, dry_run={}, {} min at seed {}\n",
-        dc.fleet().len(),
-        args.service.label(),
-        args.capping,
-        args.dry_run,
-        args.minutes,
-        args.seed
-    );
-    for m in 1..=args.minutes {
+fn write_checkpoint(dc: &mut Datacenter, args: &Args, minute: u64) -> Result<PathBuf, String> {
+    let dir = args
+        .checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("checkpoints"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let cp = Checkpoint {
+        envelope: envelope_of(args),
+        state: dc.state(),
+    };
+    let path = dir.join(format!("checkpoint-{minute:05}.snap"));
+    std::fs::write(&path, cp.to_snap_bytes()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn load_checkpoint(path: &PathBuf) -> Result<Checkpoint, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Checkpoint::from_snap_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Flags that define the simulated universe and therefore cannot be
+/// changed on `--resume` — the snapshot's envelope is authoritative.
+const FROZEN_ON_RESUME: &[&str] = &[
+    "--sbs",
+    "--rpps",
+    "--racks",
+    "--servers",
+    "--rpp-kw",
+    "--sb-kw",
+    "--service",
+    "--generation",
+    "--traffic",
+    "--seed",
+    "--phase-spread",
+    "--no-capping",
+    "--dry-run",
+    "--turbo",
+    "--fail-leaf",
+];
+
+/// Merges a resume invocation into the checkpoint's stored arguments:
+/// universe-defining flags are frozen, run-control and output flags may
+/// be overridden by the current command line.
+fn merge_resume_args(stored: Args, current: &Args, argv: &[String]) -> Result<Args, String> {
+    let explicit = |flag: &str| argv.iter().any(|a| a == flag);
+    for flag in FROZEN_ON_RESUME {
+        if explicit(flag) {
+            return Err(format!(
+                "{flag} cannot be changed on --resume; it is fixed by the checkpoint"
+            ));
+        }
+    }
+    let mut merged = stored;
+    if explicit("--minutes") {
+        merged.minutes = current.minutes;
+    }
+    if explicit("--report-every") {
+        merged.report_every = current.report_every;
+    }
+    if explicit("--threads") {
+        merged.threads = current.threads;
+    }
+    if explicit("--metrics-out") {
+        merged.metrics_out = current.metrics_out.clone();
+    }
+    if explicit("--trace-out") {
+        merged.trace_out = current.trace_out.clone();
+    }
+    if explicit("--incident-dir") {
+        merged.incident_dir = current.incident_dir.clone();
+    }
+    if explicit("--report-out") {
+        merged.report_out = current.report_out.clone();
+    }
+    merged.checkpoint_every = current.checkpoint_every;
+    merged.checkpoint_dir = current.checkpoint_dir.clone();
+    merged.resume = None;
+    Ok(merged)
+}
+
+/// Runs minutes `start_minute+1 ..= args.minutes`, injecting the
+/// scheduled fault, reporting, and checkpointing. Returns the exit code.
+fn run(dc: &mut Datacenter, args: &Args, start_minute: u64) -> i32 {
+    for m in (start_minute + 1)..=args.minutes {
         if args.fail_leaf == Some(m) {
             let victim = dc.system().leaf_devices()[0];
             dc.system_mut().fail_primary(victim);
@@ -248,24 +484,40 @@ fn main() {
                 dc.system().alerts().len()
             );
         }
+        if let Some(every) = args.checkpoint_every {
+            if m % every == 0 {
+                let started = Instant::now();
+                match write_checkpoint(dc, args, m) {
+                    Ok(path) => println!(
+                        "t={m:>4} min  checkpoint {} ({} ms)",
+                        path.display(),
+                        started.elapsed().as_millis()
+                    ),
+                    Err(e) => {
+                        eprintln!("error: could not write checkpoint: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
     }
-    if observing {
+    if args.observing() {
         if let Err(e) = dc.system_mut().observability_mut().flush_incidents() {
             eprintln!("error: could not write incident dumps: {e}");
-            std::process::exit(1);
+            return 1;
         }
         let obs = dc.system().observability();
         if let Some(path) = &args.metrics_out {
             if let Err(e) = std::fs::write(path, obs.prometheus_text()) {
                 eprintln!("error: could not write {}: {e}", path.display());
-                std::process::exit(1);
+                return 1;
             }
             println!("metrics:   {}", path.display());
         }
         if let Some(path) = &args.trace_out {
             if let Err(e) = std::fs::write(path, obs.chrome_trace()) {
                 eprintln!("error: could not write {}: {e}", path.display());
-                std::process::exit(1);
+                return 1;
             }
             println!("trace:     {}", path.display());
         }
@@ -273,10 +525,270 @@ fn main() {
             println!("incidents: {} in {}", obs.incidents(), dir.display());
         }
     }
-    println!("\n{}", RunReport::from_datacenter(&dc));
-    if !RunReport::from_datacenter(&dc).is_healthy() {
-        std::process::exit(1);
+    let report = RunReport::from_datacenter(dc);
+    if let Some(path) = &args.report_out {
+        if let Err(e) = std::fs::write(path, report.to_string()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            return 1;
+        }
+        println!("report:    {}", path.display());
     }
+    println!("\n{report}");
+    i32::from(!report.is_healthy())
+}
+
+// ---------------------------------------------------------------------------
+// replay: re-execute an incident window from the nearest checkpoint.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ReplayArgs {
+    incident: PathBuf,
+    from: PathBuf,
+    out: PathBuf,
+}
+
+fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
+    let mut incident = None;
+    let mut from = None;
+    let mut out = PathBuf::from("replay-incidents");
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--incident" => incident = Some(value(flag)?),
+            "--from" => from = Some(value(flag)?),
+            "--out" => out = value(flag)?,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown replay flag '{other}' (try --help)")),
+        }
+    }
+    Ok(ReplayArgs {
+        incident: incident.ok_or("replay needs --incident FILE")?,
+        from: from.ok_or("replay needs --from SNAPSHOT")?,
+        out,
+    })
+}
+
+/// Pulls a `"key":<u64>` field out of a flat incident JSON dump.
+fn json_u64_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Pulls a `"key":"<string>"` field out of a flat incident JSON dump.
+fn json_str_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = json.find(&needle)? + needle.len();
+    let end = json[start..].find('"')?;
+    Some(&json[start..start + end])
+}
+
+fn replay(argv: &[String]) -> i32 {
+    let rargs = match parse_replay_args(argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return 2;
+        }
+    };
+    let original = match std::fs::read_to_string(&rargs.incident) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", rargs.incident.display());
+            return 2;
+        }
+    };
+    let (Some(seq), Some(at_ms), Some(trigger)) = (
+        json_u64_field(&original, "incident"),
+        json_u64_field(&original, "at_ms"),
+        json_str_field(&original, "trigger"),
+    ) else {
+        eprintln!(
+            "error: {} does not look like an incident dump (missing incident/at_ms/trigger)",
+            rargs.incident.display()
+        );
+        return 2;
+    };
+    let cp = match load_checkpoint(&rargs.from) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut args = match args_from_envelope(&cp.envelope) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if args.incident_dir.is_none() {
+        eprintln!("error: the checkpointed run recorded no incidents (--incident-dir was not set)");
+        return 2;
+    }
+    // Redirect regenerated dumps so the originals are never touched.
+    args.incident_dir = Some(rargs.out.clone());
+
+    let mut dc = build_datacenter(&args);
+    if let Err(e) = dc.restore(&cp.state) {
+        eprintln!("error: restore from {}: {e}", rargs.from.display());
+        return 2;
+    }
+    if dc.now().as_millis() > at_ms {
+        eprintln!(
+            "error: snapshot is at t={} s, after the incident at t={} s; use an earlier checkpoint",
+            dc.now().as_secs(),
+            at_ms / 1000
+        );
+        return 2;
+    }
+    println!(
+        "replay: incident {seq} ({trigger}) at t={} s, from checkpoint at t={} s",
+        at_ms / 1000,
+        dc.now().as_secs()
+    );
+
+    let expected = rargs.out.join(format!("incident-{seq:04}-{trigger}.json"));
+    let horizon_ms = args.minutes * 60_000;
+    while dc.now().as_millis() < horizon_ms {
+        if let Some(m) = args.fail_leaf {
+            if dc.now().as_millis() == (m - 1) * 60_000 {
+                let victim = dc.system().leaf_devices()[0];
+                dc.system_mut().fail_primary(victim);
+            }
+        }
+        dc.step();
+        if let Err(e) = dc.system_mut().observability_mut().flush_incidents() {
+            eprintln!("error: could not write replayed incident dumps: {e}");
+            return 2;
+        }
+        if expected.exists() {
+            break;
+        }
+    }
+    let replayed = match std::fs::read_to_string(&expected) {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!(
+                "error: replay reached the run horizon without regenerating incident {seq}; \
+                 is {} the right checkpoint for this incident?",
+                rargs.from.display()
+            );
+            return 1;
+        }
+    };
+    if replayed == original {
+        println!(
+            "replay: {} reproduced byte-for-byte ({} bytes)",
+            expected.display(),
+            replayed.len()
+        );
+        0
+    } else {
+        eprintln!(
+            "error: replayed dump {} differs from {} ({} vs {} bytes)",
+            expected.display(),
+            rargs.incident.display(),
+            replayed.len(),
+            original.len()
+        );
+        1
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("replay") {
+        std::process::exit(replay(&argv[1..]));
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    let (args, mut dc, start_minute) = if let Some(path) = &args.resume {
+        let cp = match load_checkpoint(path) {
+            Ok(cp) => cp,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let stored = match args_from_envelope(&cp.envelope) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let merged = match merge_resume_args(stored, &args, &argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let started = Instant::now();
+        let mut dc = build_datacenter(&merged);
+        if let Err(e) = dc.restore(&cp.state) {
+            eprintln!("error: restore from {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        let start_minute = dc.now().as_millis() / 60_000;
+        if start_minute >= merged.minutes {
+            eprintln!(
+                "error: checkpoint is at minute {start_minute}, at or past the {} minute horizon; \
+                 extend with --minutes",
+                merged.minutes
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "dynamo-sim: resumed {} at t={} min ({} ms load+restore)\n",
+            path.display(),
+            start_minute,
+            started.elapsed().as_millis()
+        );
+        (merged, dc, start_minute)
+    } else {
+        let dc = build_datacenter(&args);
+        (args, dc, 0)
+    };
+
+    if start_minute == 0 {
+        println!(
+            "dynamo-sim: {} {} servers, capping={}, dry_run={}, {} min at seed {}\n",
+            dc.fleet().len(),
+            args.service.label(),
+            args.capping,
+            args.dry_run,
+            args.minutes,
+            args.seed
+        );
+    }
+    std::process::exit(run(&mut dc, &args, start_minute));
 }
 
 #[cfg(test)]
@@ -347,6 +859,9 @@ mod tests {
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
         assert!(usage().contains("--no-capping"));
         assert!(usage().contains("--phase-spread"));
+        assert!(usage().contains("--checkpoint-every"));
+        assert!(usage().contains("--resume"));
+        assert!(usage().contains("replay"));
     }
 
     #[test]
@@ -384,5 +899,125 @@ mod tests {
         assert!(parse(&["--phase-spread"]).is_err());
         assert!(parse(&["--phase-spread", "-2"]).is_err());
         assert!(parse(&["--phase-spread", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let a = parse(&[
+            "--checkpoint-every",
+            "5",
+            "--checkpoint-dir",
+            "cps",
+            "--report-out",
+            "report.txt",
+        ])
+        .unwrap();
+        assert_eq!(a.checkpoint_every, Some(5));
+        assert_eq!(a.checkpoint_dir, Some(PathBuf::from("cps")));
+        assert_eq!(a.report_out, Some(PathBuf::from("report.txt")));
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        let r = parse(&["--resume", "cps/checkpoint-00005.snap"]).unwrap();
+        assert_eq!(r.resume, Some(PathBuf::from("cps/checkpoint-00005.snap")));
+    }
+
+    #[test]
+    fn envelope_round_trips_every_field() {
+        let a = parse(&[
+            "--sbs",
+            "2",
+            "--rpps",
+            "3",
+            "--racks",
+            "4",
+            "--servers",
+            "10",
+            "--rpp-kw",
+            "12.5",
+            "--service",
+            "hadoop",
+            "--generation",
+            "westmere2011",
+            "--traffic",
+            "1.5",
+            "--minutes",
+            "30",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--phase-spread",
+            "2.25",
+            "--no-capping",
+            "--turbo",
+            "--metrics-out",
+            "m.prom",
+            "--incident-dir",
+            "incidents",
+            "--fail-leaf",
+            "3",
+        ])
+        .unwrap();
+        let back = args_from_envelope(&envelope_of(&a)).unwrap();
+        assert_eq!(envelope_of(&back), envelope_of(&a));
+        assert_eq!(back.rpp_kw, Some(12.5));
+        assert_eq!(back.phase_spread, 2.25);
+        assert_eq!(back.service, ServiceKind::Hadoop);
+        assert_eq!(back.fail_leaf, Some(3));
+        assert!(!back.capping && back.turbo);
+    }
+
+    #[test]
+    fn envelope_rejects_unknown_keys() {
+        let e = args_from_envelope("sbs=1\nflux_capacitor=88\n").unwrap_err();
+        assert!(e.contains("flux_capacitor"), "{e}");
+    }
+
+    #[test]
+    fn resume_freezes_universe_flags() {
+        let argv: Vec<String> = ["--resume", "x.snap", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let current = parse(&["--resume", "x.snap", "--seed", "7"]).unwrap();
+        let e = merge_resume_args(Args::default(), &current, &argv).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+
+        let argv: Vec<String> = ["--resume", "x.snap", "--minutes", "40", "--threads", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let current = parse(&["--resume", "x.snap", "--minutes", "40", "--threads", "8"]).unwrap();
+        let merged = merge_resume_args(Args::default(), &current, &argv).unwrap();
+        assert_eq!(merged.minutes, 40);
+        assert_eq!(merged.threads, 8);
+        assert_eq!(merged.seed, 0, "stored seed wins");
+        assert!(merged.resume.is_none());
+    }
+
+    #[test]
+    fn replay_args_parse() {
+        let argv: Vec<String> = [
+            "--incident",
+            "i/incident-0001-failover.json",
+            "--from",
+            "cps/checkpoint-00005.snap",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let r = parse_replay_args(&argv).unwrap();
+        assert_eq!(r.incident, PathBuf::from("i/incident-0001-failover.json"));
+        assert_eq!(r.out, PathBuf::from("replay-incidents"));
+        assert!(parse_replay_args(&["--incident".to_string()]).is_err());
+        assert!(parse_replay_args(&[]).is_err());
+    }
+
+    #[test]
+    fn incident_json_fields_parse() {
+        let json = "{\"incident\":7,\"trigger\":\"failover\",\"at_ms\":123000,\"records\":[]}";
+        assert_eq!(json_u64_field(json, "incident"), Some(7));
+        assert_eq!(json_u64_field(json, "at_ms"), Some(123000));
+        assert_eq!(json_str_field(json, "trigger"), Some("failover"));
+        assert_eq!(json_u64_field(json, "missing"), None);
     }
 }

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
 use dynamo_controller::{ServiceClass, ThreeBandConfig};
 use dynobs::ObsConfig;
@@ -12,9 +13,9 @@ use powerinfra::{DeviceId, Power, Topology};
 use crate::events::{ControllerEvent, CycleDispatcher, PhasePolicy};
 use crate::failover::FailoverState;
 use crate::fleet::Fleet;
-use crate::leaf_exec::LeafTier;
-use crate::obs::Observability;
-use crate::upper_exec::UpperTier;
+use crate::leaf_exec::{LeafTier, LeafTierState};
+use crate::obs::{Observability, ObservabilityState};
+use crate::upper_exec::{UpperTier, UpperTierState};
 use dynpool::WorkerPool;
 
 /// Deployment configuration for the control plane.
@@ -348,6 +349,34 @@ impl DynamoSystem {
         self.leaves.spans.is_some()
     }
 
+    /// Captures the control plane's full dynamic state for a snapshot:
+    /// both tiers, failover bookkeeping, per-controller cycle
+    /// schedules, and observability. Pending incident dumps must be
+    /// flushed first (see [`crate::Datacenter`]'s checkpoint path).
+    pub(crate) fn state(&self) -> SystemState {
+        let (leaf_schedules, upper_schedules) = self.dispatcher.schedules();
+        SystemState {
+            leaves: self.leaves.state(),
+            uppers: self.uppers.state(),
+            failover: self.failover.clone(),
+            leaf_schedules: leaf_schedules.to_vec(),
+            upper_schedules: upper_schedules.to_vec(),
+            obs: self.obs.state(),
+        }
+    }
+
+    /// Restores the control plane from a decoded snapshot taken against
+    /// an identically-configured system.
+    pub(crate) fn restore(&mut self, state: &SystemState) -> Result<(), SnapError> {
+        self.leaves.restore(&state.leaves)?;
+        self.uppers.restore(&state.uppers)?;
+        self.failover.restore(&state.failover)?;
+        self.dispatcher
+            .restore_schedules(state.leaf_schedules.clone(), state.upper_schedules.clone())?;
+        self.obs.restore(&state.obs)?;
+        Ok(())
+    }
+
     /// Runs any controller cycles due at `now`. Call once per simulation
     /// tick; each controller tracks its own cycle schedule on the
     /// dispatcher's event queue, so with a nonzero phase spread
@@ -449,5 +478,63 @@ impl DynamoSystem {
             );
         }
         events
+    }
+}
+
+/// The control plane's full dynamic state: both controller tiers,
+/// failover bookkeeping, every per-controller cycle schedule, and the
+/// observability subsystem. Everything else the system holds — config,
+/// topology-derived geometry, the worker pool, scratch buffers — is
+/// rebuilt from the run parameters on restore.
+pub(crate) struct SystemState {
+    pub(crate) leaves: LeafTierState,
+    pub(crate) uppers: UpperTierState,
+    pub(crate) failover: FailoverState,
+    pub(crate) leaf_schedules: Vec<CycleSchedule>,
+    pub(crate) upper_schedules: Vec<CycleSchedule>,
+    pub(crate) obs: ObservabilityState,
+}
+
+impl Snapshot for SystemState {
+    const KIND: &'static str = "dynamo.SystemState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        self.leaves.encode_body(w);
+        self.uppers.encode_body(w);
+        self.failover.encode_body(w);
+        w.put_u64(self.leaf_schedules.len() as u64);
+        for s in &self.leaf_schedules {
+            s.encode_body(w);
+        }
+        w.put_u64(self.upper_schedules.len() as u64);
+        for s in &self.upper_schedules {
+            s.encode_body(w);
+        }
+        self.obs.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let leaves = LeafTierState::decode_body(r)?;
+        let uppers = UpperTierState::decode_body(r)?;
+        let failover = FailoverState::decode_body(r)?;
+        let nl = r.get_u64()? as usize;
+        let mut leaf_schedules = Vec::with_capacity(nl.min(1 << 20));
+        for _ in 0..nl {
+            leaf_schedules.push(CycleSchedule::decode_body(r)?);
+        }
+        let nu = r.get_u64()? as usize;
+        let mut upper_schedules = Vec::with_capacity(nu.min(1 << 20));
+        for _ in 0..nu {
+            upper_schedules.push(CycleSchedule::decode_body(r)?);
+        }
+        Ok(SystemState {
+            leaves,
+            uppers,
+            failover,
+            leaf_schedules,
+            upper_schedules,
+            obs: ObservabilityState::decode_body(r)?,
+        })
     }
 }

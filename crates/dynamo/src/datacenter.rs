@@ -3,15 +3,16 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimTime};
 use dynpool::{WorkerPool, MAX_WORKERS};
-use powerinfra::{BreakerStatus, DeviceId, Power, Topology};
+use powerinfra::{Breaker, BreakerStatus, DeviceId, Power, Topology};
 use workloads::ServiceKind;
 
-use crate::control_plane::DynamoSystem;
-use crate::fleet::Fleet;
-use crate::telemetry::{BreakerEvent, Telemetry};
-use crate::validator::BreakerValidator;
+use crate::control_plane::{DynamoSystem, SystemState};
+use crate::fleet::{Fleet, FleetState};
+use crate::telemetry::{BreakerEvent, Telemetry, TelemetryState};
+use crate::validator::{BreakerValidator, ValidatorState};
 
 /// How the datacenter parallelizes its two hot fan-outs — fleet physics
 /// ([`Fleet::step_parallel`]) and same-instant leaf control dispatch.
@@ -575,6 +576,81 @@ impl Datacenter {
         &self.validator
     }
 
+    /// Captures the full dynamic state of the simulation as a
+    /// versioned snapshot value. Call between steps (a tick boundary):
+    /// the fleet's batch arrays must be authoritative and any pending
+    /// incident dumps are flushed to disk first so a resumed run cannot
+    /// drop or duplicate an incident file.
+    ///
+    /// Everything reconstructible from the builder configuration —
+    /// topology geometry, power LUTs, worker pools, subtree caches —
+    /// is *not* captured; [`Datacenter::restore`] expects a datacenter
+    /// freshly built with the identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pending incident dumps cannot be written to disk.
+    pub fn state(&mut self) -> DatacenterState {
+        self.system
+            .observability_mut()
+            .flush_incidents()
+            .expect("flush pending incident dumps before snapshotting");
+        DatacenterState {
+            now_ms: self.now.as_millis(),
+            fleet: self.fleet.state(),
+            system: self.system.state(),
+            telemetry: self.telemetry.state(),
+            breakers: self
+                .device_ids
+                .iter()
+                .map(|&id| self.topo.device(id).breaker.clone())
+                .collect(),
+            breaker_status: self.breaker_status.clone(),
+            validator: self.validator.state(),
+            alerts_seen: self.alerts_seen as u64,
+        }
+    }
+
+    /// Restores the simulation from a snapshot taken by
+    /// [`Datacenter::state`] against an identically-configured
+    /// datacenter. After a successful restore the run continues
+    /// bit-identically to the run that took the snapshot, at any worker
+    /// thread count and in any [`ParallelMode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails without touching wall-clock state if the snapshot
+    /// disagrees with this datacenter's shape (different topology,
+    /// server mix, controller count, or ring capacities).
+    pub fn restore(&mut self, state: &DatacenterState) -> Result<(), SnapError> {
+        if state.breakers.len() != self.device_ids.len()
+            || state.breaker_status.len() != self.device_ids.len()
+        {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot covers {} devices, rebuilt topology has {}",
+                state.breakers.len(),
+                self.device_ids.len()
+            )));
+        }
+        self.fleet.restore(&state.fleet)?;
+        self.system.restore(&state.system)?;
+        self.telemetry.restore(&state.telemetry)?;
+        for (i, &id) in self.device_ids.iter().enumerate() {
+            self.topo.device_mut(id).breaker = state.breakers[i].clone();
+        }
+        self.breaker_status.clone_from(&state.breaker_status);
+        self.validator.restore(&state.validator)?;
+        self.alerts_seen = state.alerts_seen as usize;
+        self.now = SimTime::from_millis(state.now_ms);
+        // The draw cache keys on leaf epochs that just changed under
+        // it: force a refold of every device at the next read.
+        for w in &mut self.draw_cache.watermark {
+            *w = u64::MAX;
+        }
+        self.draw_cache.generation = self.fleet.leaf_span_generation();
+        Ok(())
+    }
+
     /// Operator action after an outage: resets `device`'s breaker and
     /// powers its subtree back on.
     ///
@@ -587,6 +663,74 @@ impl Datacenter {
         for &s in &self.subtree[device.index()] {
             self.fleet.set_server_alive(s, true);
         }
+    }
+}
+
+/// The full dynamic state of a [`Datacenter`], produced by
+/// [`Datacenter::state`] and consumed by [`Datacenter::restore`].
+///
+/// The layers nest the way the simulation does: fleet physics, the
+/// control plane (both tiers, schedules, failover, observability),
+/// telemetry, per-device breaker thermal state, and the breaker
+/// validator. Serialize with [`Snapshot::to_snap_bytes`].
+pub struct DatacenterState {
+    /// Simulated time at the tick boundary the snapshot was taken.
+    pub now_ms: u64,
+    pub(crate) fleet: FleetState,
+    pub(crate) system: SystemState,
+    pub(crate) telemetry: TelemetryState,
+    pub(crate) breakers: Vec<Breaker>,
+    pub(crate) breaker_status: Vec<BreakerStatus>,
+    pub(crate) validator: ValidatorState,
+    pub(crate) alerts_seen: u64,
+}
+
+impl Snapshot for DatacenterState {
+    const KIND: &'static str = "dynamo.DatacenterState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now_ms);
+        self.fleet.encode_body(w);
+        self.system.encode_body(w);
+        self.telemetry.encode_body(w);
+        w.put_u64(self.breakers.len() as u64);
+        for b in &self.breakers {
+            b.encode_body(w);
+        }
+        w.put_u64(self.breaker_status.len() as u64);
+        for &s in &self.breaker_status {
+            w.put_u8(s.snap_code());
+        }
+        self.validator.encode_body(w);
+        w.put_u64(self.alerts_seen);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let now_ms = r.get_u64()?;
+        let fleet = FleetState::decode_body(r)?;
+        let system = SystemState::decode_body(r)?;
+        let telemetry = TelemetryState::decode_body(r)?;
+        let nb = r.get_u64()? as usize;
+        let mut breakers = Vec::with_capacity(nb.min(1 << 20));
+        for _ in 0..nb {
+            breakers.push(Breaker::decode_body(r)?);
+        }
+        let ns = r.get_u64()? as usize;
+        let mut breaker_status = Vec::with_capacity(ns.min(1 << 20));
+        for _ in 0..ns {
+            breaker_status.push(BreakerStatus::from_snap_code(r.get_u8()?)?);
+        }
+        Ok(DatacenterState {
+            now_ms,
+            fleet,
+            system,
+            telemetry,
+            breakers,
+            breaker_status,
+            validator: ValidatorState::decode_body(r)?,
+            alerts_seen: r.get_u64()?,
+        })
     }
 }
 

@@ -193,6 +193,45 @@ impl CycleDispatcher {
     pub(crate) fn leaf_cycle(&self, i: usize) -> &CycleSchedule {
         &self.leaf_cycles[i]
     }
+
+    /// The per-tier cycle schedules, for snapshotting. The event queue
+    /// itself is derived state: one armed entry per schedule at its
+    /// `next_at`, so the schedules alone reconstruct it.
+    pub(crate) fn schedules(&self) -> (&[CycleSchedule], &[CycleSchedule]) {
+        (&self.leaf_cycles, &self.upper_cycles)
+    }
+
+    /// Restores the per-tier schedules from a snapshot and re-arms the
+    /// event queue from them. Fresh queue sequence numbers are
+    /// behaviourally identical: [`CycleDispatcher::collect_due`] sorts
+    /// each tier's due list ascending, erasing pop order.
+    pub(crate) fn restore_schedules(
+        &mut self,
+        leaf: Vec<CycleSchedule>,
+        upper: Vec<CycleSchedule>,
+    ) -> Result<(), dcsim::SnapError> {
+        if leaf.len() != self.leaf_cycles.len() || upper.len() != self.upper_cycles.len() {
+            return Err(dcsim::SnapError::Corrupt(format!(
+                "dispatcher snapshot tier sizes ({}, {}) disagree with the rebuilt control \
+                 plane ({}, {})",
+                leaf.len(),
+                upper.len(),
+                self.leaf_cycles.len(),
+                self.upper_cycles.len()
+            )));
+        }
+        self.leaf_cycles = leaf;
+        self.upper_cycles = upper;
+        let mut queue = EventQueue::new();
+        for (i, s) in self.leaf_cycles.iter().enumerate() {
+            queue.schedule(s.next_at(), CycleId::Leaf(i));
+        }
+        for (i, s) in self.upper_cycles.iter().enumerate() {
+            queue.schedule(s.next_at(), CycleId::Upper(i));
+        }
+        self.queue = queue;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

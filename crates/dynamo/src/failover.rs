@@ -8,9 +8,14 @@
 //! controller, the running takeover count, and per-controller
 //! skipped-cycle tallies for reporting.
 
+use dcsim::snap::{
+    get_bool_vec, get_u64_vec, put_bool_slice, put_u64_slice, SnapError, SnapReader, SnapWriter,
+    Snapshot,
+};
+
 /// Pending primary failures and the cumulative failover count for both
 /// controller tiers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct FailoverState {
     leaf_failed: Vec<bool>,
     upper_failed: Vec<bool>,
@@ -94,6 +99,61 @@ impl FailoverState {
     /// Total failovers so far.
     pub(crate) fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Overwrites this state from a decoded snapshot, validating that
+    /// the tier sizes match the rebuilt control plane.
+    pub(crate) fn restore(&mut self, other: &FailoverState) -> Result<(), SnapError> {
+        if other.leaf_failed.len() != self.leaf_failed.len()
+            || other.upper_failed.len() != self.upper_failed.len()
+        {
+            return Err(SnapError::Corrupt(format!(
+                "failover snapshot tier sizes ({} leaves, {} uppers) disagree with the \
+                 rebuilt control plane ({} leaves, {} uppers)",
+                other.leaf_failed.len(),
+                other.upper_failed.len(),
+                self.leaf_failed.len(),
+                self.upper_failed.len()
+            )));
+        }
+        self.leaf_failed.clone_from(&other.leaf_failed);
+        self.upper_failed.clone_from(&other.upper_failed);
+        self.leaf_skipped.clone_from(&other.leaf_skipped);
+        self.upper_skipped.clone_from(&other.upper_skipped);
+        self.count = other.count;
+        Ok(())
+    }
+}
+
+impl Snapshot for FailoverState {
+    const KIND: &'static str = "dynamo.FailoverState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        put_bool_slice(w, &self.leaf_failed);
+        put_bool_slice(w, &self.upper_failed);
+        put_u64_slice(w, &self.leaf_skipped);
+        put_u64_slice(w, &self.upper_skipped);
+        w.put_u64(self.count);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let leaf_failed = get_bool_vec(r)?;
+        let upper_failed = get_bool_vec(r)?;
+        let leaf_skipped = get_u64_vec(r)?;
+        let upper_skipped = get_u64_vec(r)?;
+        if leaf_skipped.len() != leaf_failed.len() || upper_skipped.len() != upper_failed.len() {
+            return Err(SnapError::Corrupt(
+                "failover skipped tallies disagree with flag arrays".into(),
+            ));
+        }
+        Ok(FailoverState {
+            leaf_failed,
+            upper_failed,
+            leaf_skipped,
+            upper_skipped,
+            count: r.get_u64()?,
+        })
     }
 }
 

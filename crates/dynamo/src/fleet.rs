@@ -48,6 +48,10 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
+use dcsim::snap::{
+    get_bool_vec, get_f64_vec, get_u64_vec, put_bool_slice, put_f64_slice, put_u64_slice,
+    SnapError, SnapReader, SnapWriter, Snapshot,
+};
 use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
 use dynpool::{WorkerPool, MAX_WORKERS};
@@ -1384,6 +1388,274 @@ impl Fleet {
             .iter()
             .enumerate()
             .map(|(i, &k)| (i as u32, k))
+    }
+
+    /// Captures the fleet's dynamic state for a snapshot.
+    ///
+    /// Must be called at a tick boundary with a clean power cache: the
+    /// SoA arrays are the authority then, and the flush markers
+    /// describe exactly how coherent the scalar server models are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power cache is dirty (snapshot between
+    /// [`Fleet::agent_mut`] and the next step would lose the
+    /// out-of-band mutation).
+    pub fn state(&self) -> FleetState {
+        assert!(
+            !self.power_dirty,
+            "fleet snapshot requires a clean power cache (step once after agent_mut)"
+        );
+        FleetState {
+            agents: self.agents.iter().map(|a| a.state()).collect(),
+            generators: self.generators.iter().map(|g| g.state()).collect(),
+            pending_restarts: self.pending_restarts.clone(),
+            rng: self.rng.clone(),
+            perm: self.perm.clone(),
+            demand_w: self.demand_w.clone(),
+            limit_w: self.limit_w.clone(),
+            out_w: self.out_w.clone(),
+            not_init: self.not_init.clone(),
+            alive_m: self.alive_m.clone(),
+            util: self.util.clone(),
+            power_w: self.power_w.clone(),
+            leaf_power_w: self.leaf_power_w.clone(),
+            span_generation: self.span_generation,
+            tick_index: self.tick_index,
+            settled: self.settled.clone(),
+            last_draw_tick: self.last_draw_tick.clone(),
+            leaf_epoch: self.leaf_epoch.clone(),
+            flushed_epoch: self.flushed_epoch.clone(),
+            flushed_draw: self.flushed_draw.clone(),
+            agent_epoch: self.agent_epoch.clone(),
+            capped_count: self.capped_count as u64,
+            down_count: self.down_count as u64,
+        }
+    }
+
+    /// Restores dynamic state captured by [`Fleet::state`] into a fleet
+    /// rebuilt from the identical configuration (same server configs,
+    /// services, leaf spans and seed). The stored permutation must
+    /// equal the rebuilt one — a mismatch means the topology or server
+    /// mix drifted and the snapshot does not describe this fleet.
+    pub fn restore(&mut self, state: &FleetState) -> Result<(), SnapError> {
+        let n = self.agents.len();
+        if state.agents.len() != n
+            || state.generators.len() != n
+            || state.perm.len() != n
+            || state.demand_w.len() != n
+            || state.limit_w.len() != n
+            || state.out_w.len() != n
+            || state.not_init.len() != n
+            || state.alive_m.len() != n
+            || state.util.len() != n
+            || state.power_w.len() != n
+        {
+            return Err(SnapError::Corrupt(format!(
+                "fleet snapshot server count disagrees with rebuilt fleet of {n}"
+            )));
+        }
+        if state.perm != self.perm {
+            return Err(SnapError::Corrupt(
+                "fleet snapshot permutation differs from the rebuilt layout \
+                 (topology or server mix drifted since the snapshot)"
+                    .into(),
+            ));
+        }
+        let leaves = self.leaf_spans.len();
+        if state.settled.len() != leaves
+            || state.last_draw_tick.len() != leaves
+            || state.leaf_epoch.len() != leaves
+            || state.flushed_epoch.len() != leaves
+            || state.flushed_draw.len() != leaves
+            || state.agent_epoch.len() != leaves
+            || state.leaf_power_w.len() != self.leaf_power_w.len()
+        {
+            return Err(SnapError::Corrupt(format!(
+                "fleet snapshot leaf count disagrees with rebuilt fleet of {leaves} leaves"
+            )));
+        }
+        for (agent, s) in self.agents.iter_mut().zip(&state.agents) {
+            agent.restore(s)?;
+        }
+        for (gen, s) in self.generators.iter_mut().zip(&state.generators) {
+            gen.restore(s)?;
+        }
+        self.pending_restarts.clone_from(&state.pending_restarts);
+        self.rng = state.rng.clone();
+        self.demand_w.clone_from(&state.demand_w);
+        self.limit_w.clone_from(&state.limit_w);
+        self.out_w.clone_from(&state.out_w);
+        self.not_init.clone_from(&state.not_init);
+        self.alive_m.clone_from(&state.alive_m);
+        self.util.clone_from(&state.util);
+        self.power_w.clone_from(&state.power_w);
+        self.leaf_power_w.clone_from(&state.leaf_power_w);
+        self.span_generation = state.span_generation;
+        self.tick_index = state.tick_index;
+        self.settled.clone_from(&state.settled);
+        self.last_draw_tick.clone_from(&state.last_draw_tick);
+        self.leaf_epoch.clone_from(&state.leaf_epoch);
+        self.flushed_epoch.clone_from(&state.flushed_epoch);
+        self.flushed_draw.clone_from(&state.flushed_draw);
+        self.agent_epoch.clone_from(&state.agent_epoch);
+        self.capped_count = state.capped_count as usize;
+        self.down_count = state.down_count as usize;
+        self.power_dirty = false;
+        // The cached worker partition is layout-derived and left as is;
+        // the next parallel step revalidates it against the thread
+        // count.
+        Ok(())
+    }
+}
+
+/// Dynamic state of a [`Fleet`], snapshot-serializable. Everything
+/// derivable from configuration (the permutation layout, runs, worker
+/// partitions, traffic patterns, LUTs) is rebuilt, not stored; the
+/// permutation itself is stored only to *verify* the rebuilt layout
+/// matches.
+#[derive(Debug, Clone)]
+pub struct FleetState {
+    /// Per-agent state, server-id order.
+    pub agents: Vec<dynamo_agent::AgentState>,
+    /// Per-server workload processes, *position* order.
+    pub generators: Vec<workloads::WorkloadState>,
+    /// Crashed agents pending watchdog restart.
+    pub pending_restarts: Vec<(u32, SimTime)>,
+    /// Fleet-event RNG stream (crash draws).
+    pub rng: SimRng,
+    /// Position → id permutation at snapshot time (validation only).
+    pub perm: Vec<u32>,
+    /// Batch arrays, position order (see the [`Fleet`] field docs).
+    pub demand_w: Vec<f64>,
+    /// RAPL limits in watts, `+Inf` = uncapped.
+    pub limit_w: Vec<f64>,
+    /// Settled RAPL output watts.
+    pub out_w: Vec<f64>,
+    /// First-step flags (1.0 until first live step).
+    pub not_init: Vec<f64>,
+    /// Liveness mask.
+    pub alive_m: Vec<f64>,
+    /// Post-clamp demand utilization.
+    pub util: Vec<f64>,
+    /// True power draw, server-id order.
+    pub power_w: Vec<f64>,
+    /// Per-leaf power partials.
+    pub leaf_power_w: Vec<f64>,
+    /// Span registration generation.
+    pub span_generation: u64,
+    /// Physics ticks completed.
+    pub tick_index: u64,
+    /// Per-leaf active-set flags.
+    pub settled: Vec<bool>,
+    /// Per-leaf tick of last demand redraw.
+    pub last_draw_tick: Vec<u64>,
+    /// Per-leaf power epochs.
+    pub leaf_epoch: Vec<u64>,
+    /// Per-leaf epoch at last control flush (`u64::MAX` = never).
+    pub flushed_epoch: Vec<u64>,
+    /// Per-leaf redraw tick at last control flush.
+    pub flushed_draw: Vec<u64>,
+    /// Per-leaf agent epochs.
+    pub agent_epoch: Vec<u64>,
+    /// Maintained capped-server tally.
+    pub capped_count: u64,
+    /// Maintained down-agent tally.
+    pub down_count: u64,
+}
+
+impl Snapshot for FleetState {
+    const KIND: &'static str = "dynamo.FleetState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.agents.len() as u64);
+        for a in &self.agents {
+            a.encode_body(w);
+        }
+        w.put_u64(self.generators.len() as u64);
+        for g in &self.generators {
+            g.encode_body(w);
+        }
+        w.put_u64(self.pending_restarts.len() as u64);
+        for &(sid, at) in &self.pending_restarts {
+            w.put_u32(sid);
+            w.put_u64(at.as_millis());
+        }
+        self.rng.encode_body(w);
+        w.put_u64(self.perm.len() as u64);
+        for &p in &self.perm {
+            w.put_u32(p);
+        }
+        put_f64_slice(w, &self.demand_w);
+        put_f64_slice(w, &self.limit_w);
+        put_f64_slice(w, &self.out_w);
+        put_f64_slice(w, &self.not_init);
+        put_f64_slice(w, &self.alive_m);
+        put_f64_slice(w, &self.util);
+        put_f64_slice(w, &self.power_w);
+        put_f64_slice(w, &self.leaf_power_w);
+        w.put_u64(self.span_generation);
+        w.put_u64(self.tick_index);
+        put_bool_slice(w, &self.settled);
+        put_u64_slice(w, &self.last_draw_tick);
+        put_u64_slice(w, &self.leaf_epoch);
+        put_u64_slice(w, &self.flushed_epoch);
+        put_u64_slice(w, &self.flushed_draw);
+        put_u64_slice(w, &self.agent_epoch);
+        w.put_u64(self.capped_count);
+        w.put_u64(self.down_count);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n_agents = r.get_u64()? as usize;
+        let mut agents = Vec::with_capacity(n_agents.min(1 << 24));
+        for _ in 0..n_agents {
+            agents.push(dynamo_agent::AgentState::decode_body(r)?);
+        }
+        let n_gens = r.get_u64()? as usize;
+        let mut generators = Vec::with_capacity(n_gens.min(1 << 24));
+        for _ in 0..n_gens {
+            generators.push(workloads::WorkloadState::decode_body(r)?);
+        }
+        let n_pending = r.get_u64()? as usize;
+        let mut pending_restarts = Vec::with_capacity(n_pending.min(1 << 24));
+        for _ in 0..n_pending {
+            let sid = r.get_u32()?;
+            let at = SimTime::from_millis(r.get_u64()?);
+            pending_restarts.push((sid, at));
+        }
+        let rng = SimRng::decode_body(r)?;
+        let n_perm = r.get_u64()? as usize;
+        let mut perm = Vec::with_capacity(n_perm.min(1 << 24));
+        for _ in 0..n_perm {
+            perm.push(r.get_u32()?);
+        }
+        Ok(FleetState {
+            agents,
+            generators,
+            pending_restarts,
+            rng,
+            perm,
+            demand_w: get_f64_vec(r)?,
+            limit_w: get_f64_vec(r)?,
+            out_w: get_f64_vec(r)?,
+            not_init: get_f64_vec(r)?,
+            alive_m: get_f64_vec(r)?,
+            util: get_f64_vec(r)?,
+            power_w: get_f64_vec(r)?,
+            leaf_power_w: get_f64_vec(r)?,
+            span_generation: r.get_u64()?,
+            tick_index: r.get_u64()?,
+            settled: get_bool_vec(r)?,
+            last_draw_tick: get_u64_vec(r)?,
+            leaf_epoch: get_u64_vec(r)?,
+            flushed_epoch: get_u64_vec(r)?,
+            flushed_draw: get_u64_vec(r)?,
+            agent_epoch: get_u64_vec(r)?,
+            capped_count: r.get_u64()?,
+            down_count: r.get_u64()?,
+        })
     }
 }
 

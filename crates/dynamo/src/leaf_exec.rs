@@ -20,12 +20,18 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
+use dcsim::snap::{
+    get_bool_vec, get_f64_vec, get_u64_vec, put_bool_slice, put_f64_slice, put_u64_slice,
+    SnapError, SnapReader, SnapWriter, Snapshot,
+};
 use dcsim::{SimDuration, SimRng, SimTime};
 use dynamo_agent::Agent;
-use dynamo_controller::{ControlAction, LeafConfig, LeafController, ServerHandle, ServiceClass};
+use dynamo_controller::{
+    ControlAction, LeafConfig, LeafController, LeafControllerState, ServerHandle, ServiceClass,
+};
 use dynobs::{Band, Shard};
 use dynpool::{WorkerPool, MAX_WORKERS};
-use dynrpc::{Network, Request, RpcError};
+use dynrpc::{Network, NetworkState, Request, RpcError};
 use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 
 use crate::control_plane::SystemConfig;
@@ -546,6 +552,50 @@ impl LeafTier {
         self.merge_parallel_events(due, failover, events);
     }
 
+    /// Captures the tier's dynamic state for a snapshot. Everything
+    /// else — devices, quotas, spans, server ids — is topology-derived
+    /// and rebuilt from config on restore. Event buffers are drained by
+    /// every dispatch, so at a tick boundary they are empty and not
+    /// saved.
+    pub(crate) fn state(&self) -> LeafTierState {
+        LeafTierState {
+            controllers: self.controllers.iter().map(|c| c.state()).collect(),
+            networks: self.networks.iter().map(|n| n.state()).collect(),
+            last_aggregate_w: self.last_aggregate.iter().map(|p| p.as_watts()).collect(),
+            quiet: self.quiet.clone(),
+            seen_power_epoch: self.seen_power_epoch.clone(),
+            seen_draw_tick: self.seen_draw_tick.clone(),
+            seen_agent_epoch: self.seen_agent_epoch.clone(),
+        }
+    }
+
+    /// Restores the tier's dynamic state from a decoded snapshot taken
+    /// against an identically-configured control plane.
+    pub(crate) fn restore(&mut self, state: &LeafTierState) -> Result<(), SnapError> {
+        let n = self.len();
+        if state.controllers.len() != n {
+            return Err(SnapError::Corrupt(format!(
+                "leaf tier snapshot has {} controllers, rebuilt control plane has {}",
+                state.controllers.len(),
+                n
+            )));
+        }
+        for (c, s) in self.controllers.iter_mut().zip(&state.controllers) {
+            c.restore(s)?;
+        }
+        for (net, s) in self.networks.iter_mut().zip(&state.networks) {
+            net.restore(s);
+        }
+        for (p, &w) in self.last_aggregate.iter_mut().zip(&state.last_aggregate_w) {
+            *p = Power::from_watts(w);
+        }
+        self.quiet.clone_from(&state.quiet);
+        self.seen_power_epoch.clone_from(&state.seen_power_epoch);
+        self.seen_draw_tick.clone_from(&state.seen_draw_tick);
+        self.seen_agent_epoch.clone_from(&state.seen_agent_epoch);
+        Ok(())
+    }
+
     /// Deterministic merge after a parallel dispatch: drains per-leaf
     /// event buffers in leaf index order, exactly as the serial loop
     /// would have emitted. Failovers are recorded here because workers
@@ -564,6 +614,76 @@ impl LeafTier {
                 events.push(event);
             }
         }
+    }
+}
+
+/// The leaf tier's dynamic state: controller decision state, RPC RNG
+/// streams, last aggregates, and the quiescence markers that drive
+/// cycle elision. The markers must round-trip exactly or a resumed run
+/// would elide (or re-run) cycles the unbroken run did not.
+pub(crate) struct LeafTierState {
+    pub(crate) controllers: Vec<LeafControllerState>,
+    pub(crate) networks: Vec<NetworkState>,
+    pub(crate) last_aggregate_w: Vec<f64>,
+    pub(crate) quiet: Vec<bool>,
+    pub(crate) seen_power_epoch: Vec<u64>,
+    pub(crate) seen_draw_tick: Vec<u64>,
+    pub(crate) seen_agent_epoch: Vec<u64>,
+}
+
+impl Snapshot for LeafTierState {
+    const KIND: &'static str = "dynamo.LeafTierState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.controllers.len() as u64);
+        for c in &self.controllers {
+            c.encode_body(w);
+        }
+        w.put_u64(self.networks.len() as u64);
+        for n in &self.networks {
+            n.encode_body(w);
+        }
+        put_f64_slice(w, &self.last_aggregate_w);
+        put_bool_slice(w, &self.quiet);
+        put_u64_slice(w, &self.seen_power_epoch);
+        put_u64_slice(w, &self.seen_draw_tick);
+        put_u64_slice(w, &self.seen_agent_epoch);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let nc = r.get_u64()? as usize;
+        let mut controllers = Vec::with_capacity(nc.min(1 << 20));
+        for _ in 0..nc {
+            controllers.push(LeafControllerState::decode_body(r)?);
+        }
+        let nn = r.get_u64()? as usize;
+        let mut networks = Vec::with_capacity(nn.min(1 << 20));
+        for _ in 0..nn {
+            networks.push(NetworkState::decode_body(r)?);
+        }
+        let state = LeafTierState {
+            controllers,
+            networks,
+            last_aggregate_w: get_f64_vec(r)?,
+            quiet: get_bool_vec(r)?,
+            seen_power_epoch: get_u64_vec(r)?,
+            seen_draw_tick: get_u64_vec(r)?,
+            seen_agent_epoch: get_u64_vec(r)?,
+        };
+        let n = state.controllers.len();
+        if state.networks.len() != n
+            || state.last_aggregate_w.len() != n
+            || state.quiet.len() != n
+            || state.seen_power_epoch.len() != n
+            || state.seen_draw_tick.len() != n
+            || state.seen_agent_epoch.len() != n
+        {
+            return Err(SnapError::Corrupt(
+                "leaf tier snapshot arrays disagree on leaf count".into(),
+            ));
+        }
+        Ok(state)
     }
 }
 

@@ -54,15 +54,15 @@ mod validator;
 
 pub use builder::{DatacenterBuilder, ServicePlan};
 pub use control_plane::{DynamoSystem, SystemConfig};
-pub use datacenter::{Datacenter, ParallelMode};
+pub use datacenter::{Datacenter, DatacenterState, ParallelMode};
 pub use dynobs::ObsConfig;
 pub use dynpool::WorkerPool;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
-pub use fleet::{Fleet, FleetStats};
+pub use fleet::{Fleet, FleetState, FleetStats};
 pub use obs::Observability;
 pub use report::{LevelSummary, RunReport};
-pub use telemetry::{Telemetry, TelemetryConfig};
-pub use validator::{BreakerValidator, ValidationAlert};
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetryState};
+pub use validator::{BreakerValidator, ValidationAlert, ValidatorState};
 
 /// Maps a workload-simulator service to the controller-facing metadata
 /// triple (name, priority, SLA floor). This is the seam where production

@@ -15,11 +15,12 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimTime};
 use dynamo_controller::{ControlAction, CycleOutcome, LeafController};
 use dynobs::{
     Band, Buckets, CounterId, FlightKind, FlightRecord, FlightRecorder, GaugeId, HistogramId,
-    ObsConfig, Registry, RegistryBuilder, Shard, SpanKind, SpanRecord, TraceRing,
+    ObsConfig, Registry, RegistryBuilder, RegistryState, Shard, SpanKind, SpanRecord, TraceRing,
 };
 
 /// Frozen metric handles for every instrumentation point.
@@ -422,6 +423,63 @@ impl Observability {
             .set_gauge(self.ids.sim_time, now.as_secs_f64());
     }
 
+    /// Captures the observability state for a snapshot: registry
+    /// values, per-shard band words, both rings, and the incident
+    /// sequence counter. Shard metric deltas are zero at tick
+    /// boundaries (every dispatch merges them), so only the band word
+    /// survives per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if incident dumps are pending — callers flush to disk
+    /// before snapshotting so a resume cannot silently drop or
+    /// duplicate an incident file.
+    pub(crate) fn state(&self) -> ObservabilityState {
+        assert!(
+            self.pending.is_empty(),
+            "flush_incidents() before snapshotting observability"
+        );
+        ObservabilityState {
+            registry: self.registry.state(),
+            shard_bands: self.shards.iter().map(|s| s.state).collect(),
+            trace: self.trace.clone(),
+            flight: self.flight.clone(),
+            incident_seq: self.incident_seq,
+        }
+    }
+
+    /// Restores the observability state from a decoded snapshot taken
+    /// against an identically-configured control plane.
+    pub(crate) fn restore(&mut self, state: &ObservabilityState) -> Result<(), SnapError> {
+        if state.shard_bands.len() != self.shards.len() {
+            return Err(SnapError::Corrupt(format!(
+                "observability snapshot has {} leaf shards, rebuilt control plane has {}",
+                state.shard_bands.len(),
+                self.shards.len()
+            )));
+        }
+        if state.trace.capacity() != self.trace.capacity()
+            || state.flight.capacity() != self.flight.capacity()
+        {
+            return Err(SnapError::Corrupt(format!(
+                "observability snapshot ring capacities (trace {}, flight {}) disagree with \
+                 the rebuilt configuration (trace {}, flight {})",
+                state.trace.capacity(),
+                state.flight.capacity(),
+                self.trace.capacity(),
+                self.flight.capacity()
+            )));
+        }
+        self.registry.restore(&state.registry)?;
+        for (shard, &band) in self.shards.iter_mut().zip(&state.shard_bands) {
+            shard.state = band;
+        }
+        self.trace = state.trace.clone();
+        self.flight = state.flight.clone();
+        self.incident_seq = state.incident_seq;
+        Ok(())
+    }
+
     /// Fires one incident trigger: counts it and, when an incident
     /// directory is configured, queues a dump of the flight ring. With
     /// no directory this is a counter bump — no allocation.
@@ -433,6 +491,49 @@ impl Observability {
             let file = dir.join(format!("incident-{:04}-{trigger}.json", self.incident_seq));
             self.pending.push((file, json));
         }
+    }
+}
+
+/// The observability subsystem's dynamic state.
+pub(crate) struct ObservabilityState {
+    pub(crate) registry: RegistryState,
+    /// Per-shard decision-band words (the only shard state that
+    /// survives a merge).
+    pub(crate) shard_bands: Vec<u32>,
+    pub(crate) trace: TraceRing,
+    pub(crate) flight: FlightRecorder,
+    pub(crate) incident_seq: u64,
+}
+
+impl Snapshot for ObservabilityState {
+    const KIND: &'static str = "dynamo.ObservabilityState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        self.registry.encode_body(w);
+        w.put_u64(self.shard_bands.len() as u64);
+        for &band in &self.shard_bands {
+            w.put_u32(band);
+        }
+        self.trace.encode_body(w);
+        self.flight.encode_body(w);
+        w.put_u64(self.incident_seq);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let registry = RegistryState::decode_body(r)?;
+        let n = r.get_u64()? as usize;
+        let mut shard_bands = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            shard_bands.push(r.get_u32()?);
+        }
+        Ok(ObservabilityState {
+            registry,
+            shard_bands,
+            trace: TraceRing::decode_body(r)?,
+            flight: FlightRecorder::decode_body(r)?,
+            incident_seq: r.get_u64()?,
+        })
     }
 }
 

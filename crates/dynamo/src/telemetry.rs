@@ -2,12 +2,14 @@
 //! capping").
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use dcsim::snap::{get_f64_vec, put_f64_slice, SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{PeriodicSchedule, SimDuration, SimTime};
 use powerinfra::{BreakerStatus, DeviceId, DeviceLevel, Power};
 use powerstats::Trace;
 
-use crate::events::ControllerEvent;
+use crate::events::{ControllerEvent, ControllerEventKind};
 
 /// What the telemetry recorder samples.
 #[derive(Debug, Clone)]
@@ -165,6 +167,204 @@ impl Telemetry {
             .filter(|e| e.status == BreakerStatus::Tripped)
             .copied()
             .collect()
+    }
+
+    /// Captures the recorder's state for a snapshot: every trace, the
+    /// event stores, and the sampling schedule. Device traces are keyed
+    /// by raw device index in ascending order so the bytes are
+    /// deterministic regardless of hash-map iteration order.
+    pub fn state(&self) -> TelemetryState {
+        let mut traces: Vec<(u32, u64, Vec<f64>)> = self
+            .device_traces
+            .iter()
+            .map(|(dev, t)| {
+                (
+                    dev.index() as u32,
+                    t.start().as_millis(),
+                    t.values().to_vec(),
+                )
+            })
+            .collect();
+        traces.sort_unstable_by_key(|&(i, _, _)| i);
+        TelemetryState {
+            device_traces: traces,
+            capped_servers: (
+                self.capped_servers.start().as_millis(),
+                self.capped_servers.values().to_vec(),
+            ),
+            total_power: (
+                self.total_power.start().as_millis(),
+                self.total_power.values().to_vec(),
+            ),
+            controller_events: self.controller_events.clone(),
+            breaker_events: self.breaker_events.clone(),
+            schedule: self.schedule,
+        }
+    }
+
+    /// Restores the recorder from a decoded snapshot taken against the
+    /// same topology and telemetry configuration.
+    pub fn restore(&mut self, state: &TelemetryState) -> Result<(), SnapError> {
+        let interval = self.config.sample_interval;
+        self.device_traces.clear();
+        for (idx, start_ms, values) in &state.device_traces {
+            let trace =
+                Trace::new(interval, values.clone()).with_start(SimTime::from_millis(*start_ms));
+            self.device_traces
+                .insert(DeviceId::from_index(*idx as usize), trace);
+        }
+        self.capped_servers = Trace::new(interval, state.capped_servers.1.clone())
+            .with_start(SimTime::from_millis(state.capped_servers.0));
+        self.total_power = Trace::new(interval, state.total_power.1.clone())
+            .with_start(SimTime::from_millis(state.total_power.0));
+        self.controller_events.clone_from(&state.controller_events);
+        self.breaker_events.clone_from(&state.breaker_events);
+        self.schedule = state.schedule;
+        Ok(())
+    }
+}
+
+/// The telemetry recorder's dynamic state. Traces are stored as
+/// `(start millis, raw values)`; the sampling interval is part of the
+/// run configuration and re-applied on restore.
+pub struct TelemetryState {
+    /// `(device index, trace start, values)`, ascending by index.
+    pub device_traces: Vec<(u32, u64, Vec<f64>)>,
+    /// Capped-server count series as `(start millis, values)`.
+    pub capped_servers: (u64, Vec<f64>),
+    /// Fleet total power series as `(start millis, values)`.
+    pub total_power: (u64, Vec<f64>),
+    /// All controller events recorded so far.
+    pub controller_events: Vec<ControllerEvent>,
+    /// All breaker events recorded so far.
+    pub breaker_events: Vec<BreakerEvent>,
+    /// The sampling schedule (next due time).
+    pub schedule: PeriodicSchedule,
+}
+
+fn put_controller_event(w: &mut SnapWriter, e: &ControllerEvent) {
+    w.put_u64(e.at.as_millis());
+    w.put_u32(e.device.index() as u32);
+    w.put_str(&e.controller);
+    match &e.kind {
+        ControllerEventKind::LeafCapped { total_cut, servers } => {
+            w.put_u8(0);
+            w.put_f64(total_cut.as_watts());
+            w.put_u64(*servers as u64);
+        }
+        ControllerEventKind::LeafUncapped => w.put_u8(1),
+        ControllerEventKind::LeafInvalid { failures } => {
+            w.put_u8(2);
+            w.put_u64(*failures as u64);
+        }
+        ControllerEventKind::UpperCapped { contracts } => {
+            w.put_u8(3);
+            w.put_u64(*contracts as u64);
+        }
+        ControllerEventKind::UpperUncapped => w.put_u8(4),
+        ControllerEventKind::Failover => w.put_u8(5),
+    }
+}
+
+fn get_controller_event(r: &mut SnapReader<'_>) -> Result<ControllerEvent, SnapError> {
+    let at = SimTime::from_millis(r.get_u64()?);
+    let device = DeviceId::from_index(r.get_u32()? as usize);
+    let controller: Arc<str> = r.get_str()?.into();
+    let kind = match r.get_u8()? {
+        0 => ControllerEventKind::LeafCapped {
+            total_cut: Power::from_watts(r.get_f64()?),
+            servers: r.get_u64()? as usize,
+        },
+        1 => ControllerEventKind::LeafUncapped,
+        2 => ControllerEventKind::LeafInvalid {
+            failures: r.get_u64()? as usize,
+        },
+        3 => ControllerEventKind::UpperCapped {
+            contracts: r.get_u64()? as usize,
+        },
+        4 => ControllerEventKind::UpperUncapped,
+        5 => ControllerEventKind::Failover,
+        other => {
+            return Err(SnapError::Corrupt(format!(
+                "bad controller event kind tag {other}"
+            )))
+        }
+    };
+    Ok(ControllerEvent {
+        at,
+        device,
+        controller,
+        kind,
+    })
+}
+
+impl Snapshot for TelemetryState {
+    const KIND: &'static str = "dynamo.TelemetryState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.device_traces.len() as u64);
+        for (idx, start_ms, values) in &self.device_traces {
+            w.put_u32(*idx);
+            w.put_u64(*start_ms);
+            put_f64_slice(w, values);
+        }
+        w.put_u64(self.capped_servers.0);
+        put_f64_slice(w, &self.capped_servers.1);
+        w.put_u64(self.total_power.0);
+        put_f64_slice(w, &self.total_power.1);
+        w.put_u64(self.controller_events.len() as u64);
+        for e in &self.controller_events {
+            put_controller_event(w, e);
+        }
+        w.put_u64(self.breaker_events.len() as u64);
+        for e in &self.breaker_events {
+            w.put_u64(e.at.as_millis());
+            w.put_u32(e.device.index() as u32);
+            w.put_u8(e.status.snap_code());
+        }
+        self.schedule.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let nt = r.get_u64()? as usize;
+        let mut device_traces = Vec::with_capacity(nt.min(1 << 20));
+        let mut prev: Option<u32> = None;
+        for _ in 0..nt {
+            let idx = r.get_u32()?;
+            if prev.is_some_and(|p| p >= idx) {
+                return Err(SnapError::Corrupt(
+                    "telemetry device traces not strictly ascending by device index".into(),
+                ));
+            }
+            prev = Some(idx);
+            let start_ms = r.get_u64()?;
+            device_traces.push((idx, start_ms, get_f64_vec(r)?));
+        }
+        let capped_servers = (r.get_u64()?, get_f64_vec(r)?);
+        let total_power = (r.get_u64()?, get_f64_vec(r)?);
+        let ne = r.get_u64()? as usize;
+        let mut controller_events = Vec::with_capacity(ne.min(1 << 20));
+        for _ in 0..ne {
+            controller_events.push(get_controller_event(r)?);
+        }
+        let nb = r.get_u64()? as usize;
+        let mut breaker_events = Vec::with_capacity(nb.min(1 << 20));
+        for _ in 0..nb {
+            breaker_events.push(BreakerEvent {
+                at: SimTime::from_millis(r.get_u64()?),
+                device: DeviceId::from_index(r.get_u32()? as usize),
+                status: BreakerStatus::from_snap_code(r.get_u8()?)?,
+            });
+        }
+        Ok(TelemetryState {
+            device_traces,
+            capped_servers,
+            total_power,
+            controller_events,
+            breaker_events,
+            schedule: PeriodicSchedule::decode_body(r)?,
+        })
     }
 }
 

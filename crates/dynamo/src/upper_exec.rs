@@ -3,8 +3,11 @@
 
 use std::collections::HashMap;
 
+use dcsim::snap::{get_f64_vec, put_f64_slice, SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimTime;
-use dynamo_controller::{ChildDirective, ChildReport, UpperConfig, UpperController};
+use dynamo_controller::{
+    ChildDirective, ChildReport, UpperConfig, UpperController, UpperControllerState,
+};
 use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 
 use crate::control_plane::SystemConfig;
@@ -97,6 +100,36 @@ impl UpperTier {
     /// Number of upper controllers.
     pub(crate) fn len(&self) -> usize {
         self.controllers.len()
+    }
+
+    /// Captures the tier's dynamic state for a snapshot: controller
+    /// decision state plus the last child totals parents read. Devices,
+    /// children and quotas are topology-derived and rebuilt from
+    /// config; `report_scratch` is per-cycle scratch.
+    pub(crate) fn state(&self) -> UpperTierState {
+        UpperTierState {
+            controllers: self.controllers.iter().map(|c| c.state()).collect(),
+            last_total_w: self.last_total.iter().map(|p| p.as_watts()).collect(),
+        }
+    }
+
+    /// Restores the tier's dynamic state from a decoded snapshot taken
+    /// against an identically-configured control plane.
+    pub(crate) fn restore(&mut self, state: &UpperTierState) -> Result<(), SnapError> {
+        if state.controllers.len() != self.len() {
+            return Err(SnapError::Corrupt(format!(
+                "upper tier snapshot has {} controllers, rebuilt control plane has {}",
+                state.controllers.len(),
+                self.len()
+            )));
+        }
+        for (c, s) in self.controllers.iter_mut().zip(&state.controllers) {
+            c.restore(s)?;
+        }
+        for (p, &w) in self.last_total.iter_mut().zip(&state.last_total_w) {
+            *p = Power::from_watts(w);
+        }
+        Ok(())
     }
 
     /// Runs the due uppers in index order. The due list is ascending and
@@ -193,6 +226,43 @@ impl UpperTier {
                 });
             }
         }
+    }
+}
+
+/// The upper tier's dynamic state.
+pub(crate) struct UpperTierState {
+    pub(crate) controllers: Vec<UpperControllerState>,
+    pub(crate) last_total_w: Vec<f64>,
+}
+
+impl Snapshot for UpperTierState {
+    const KIND: &'static str = "dynamo.UpperTierState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.controllers.len() as u64);
+        for c in &self.controllers {
+            c.encode_body(w);
+        }
+        put_f64_slice(w, &self.last_total_w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let nc = r.get_u64()? as usize;
+        let mut controllers = Vec::with_capacity(nc.min(1 << 20));
+        for _ in 0..nc {
+            controllers.push(UpperControllerState::decode_body(r)?);
+        }
+        let last_total_w = get_f64_vec(r)?;
+        if last_total_w.len() != controllers.len() {
+            return Err(SnapError::Corrupt(
+                "upper tier snapshot arrays disagree on controller count".into(),
+            ));
+        }
+        Ok(UpperTierState {
+            controllers,
+            last_total_w,
+        })
     }
 }
 

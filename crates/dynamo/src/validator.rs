@@ -12,6 +12,7 @@
 //! alert when the two disagree persistently (broken sensors, stale
 //! metadata, mis-wired rows).
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{CycleSchedule, SimDuration, SimRng, SimTime};
 use powerinfra::{DeviceId, Power};
 
@@ -150,6 +151,109 @@ impl BreakerValidator {
     /// All alerts raised so far.
     pub fn alerts(&self) -> &[ValidationAlert] {
         &self.alerts
+    }
+
+    /// Captures the validator's dynamic state for a snapshot. The
+    /// tolerance knobs are run configuration and not saved; the RNG
+    /// stream must round-trip because every observation draws meter
+    /// noise before any skip check.
+    pub fn state(&self) -> ValidatorState {
+        ValidatorState {
+            states: self.states.clone(),
+            alerts: self.alerts.clone(),
+            schedule: self.schedule,
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Restores the validator from a decoded snapshot taken against the
+    /// same topology.
+    pub fn restore(&mut self, state: &ValidatorState) -> Result<(), SnapError> {
+        if state.states.len() != self.states.len() {
+            return Err(SnapError::Corrupt(format!(
+                "validator snapshot covers {} devices, rebuilt validator has {}",
+                state.states.len(),
+                self.states.len()
+            )));
+        }
+        self.states.clone_from(&state.states);
+        self.alerts.clone_from(&state.alerts);
+        self.schedule = state.schedule;
+        self.rng = state.rng.clone();
+        Ok(())
+    }
+}
+
+/// The breaker validator's dynamic state.
+pub struct ValidatorState {
+    states: Vec<Option<DeviceState>>,
+    alerts: Vec<ValidationAlert>,
+    schedule: CycleSchedule,
+    rng: SimRng,
+}
+
+impl Snapshot for ValidatorState {
+    const KIND: &'static str = "dynamo.ValidatorState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.states.len() as u64);
+        for state in &self.states {
+            match state {
+                None => w.put_u8(0),
+                Some(s) => {
+                    w.put_u8(1);
+                    w.put_f64(s.correction);
+                    w.put_u32(s.bad_streak);
+                    w.put_u64(s.samples);
+                }
+            }
+        }
+        w.put_u64(self.alerts.len() as u64);
+        for a in &self.alerts {
+            w.put_u64(a.at.as_millis());
+            w.put_u32(a.device.index() as u32);
+            w.put_f64(a.breaker.as_watts());
+            w.put_f64(a.aggregate.as_watts());
+        }
+        self.schedule.encode_body(w);
+        self.rng.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_u64()? as usize;
+        let mut states = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            states.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(DeviceState {
+                    correction: r.get_f64()?,
+                    bad_streak: r.get_u32()?,
+                    samples: r.get_u64()?,
+                }),
+                other => {
+                    return Err(SnapError::Corrupt(format!(
+                        "bad validator device-state tag {other}"
+                    )))
+                }
+            });
+        }
+        let na = r.get_u64()? as usize;
+        let mut alerts = Vec::with_capacity(na.min(1 << 20));
+        for _ in 0..na {
+            alerts.push(ValidationAlert {
+                at: SimTime::from_millis(r.get_u64()?),
+                device: DeviceId::from_index(r.get_u32()? as usize),
+                breaker: Power::from_watts(r.get_f64()?),
+                aggregate: Power::from_watts(r.get_f64()?),
+            });
+        }
+        Ok(ValidatorState {
+            states,
+            alerts,
+            schedule: CycleSchedule::decode_body(r)?,
+            rng: SimRng::decode_body(r)?,
+        })
     }
 }
 

@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 use crate::export::escape_json;
 
 /// A leaf controller's three-band decision state.
@@ -111,6 +113,78 @@ impl FlightKind {
         }
     }
 
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        match *self {
+            FlightKind::LeafCapped {
+                cut_watts,
+                servers,
+                episode_start,
+            } => {
+                w.put_u8(0);
+                w.put_f64(cut_watts);
+                w.put_u32(servers);
+                w.put_bool(episode_start);
+            }
+            FlightKind::LeafUncapped => w.put_u8(1),
+            FlightKind::LeafInvalid { failures } => {
+                w.put_u8(2);
+                w.put_u32(failures);
+            }
+            FlightKind::UpperCapped { contracts } => {
+                w.put_u8(3);
+                w.put_u32(contracts);
+            }
+            FlightKind::UpperUncapped => w.put_u8(4),
+            FlightKind::Failover => w.put_u8(5),
+            FlightKind::BandTransition { from, to } => {
+                w.put_u8(6);
+                w.put_u32(from.code());
+                w.put_u32(to.code());
+            }
+            FlightKind::ValidatorAlert => w.put_u8(7),
+            FlightKind::BreakerTrip => w.put_u8(8),
+        }
+    }
+
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => FlightKind::LeafCapped {
+                cut_watts: r.get_f64()?,
+                servers: r.get_u32()?,
+                episode_start: r.get_bool()?,
+            },
+            1 => FlightKind::LeafUncapped,
+            2 => FlightKind::LeafInvalid {
+                failures: r.get_u32()?,
+            },
+            3 => FlightKind::UpperCapped {
+                contracts: r.get_u32()?,
+            },
+            4 => FlightKind::UpperUncapped,
+            5 => FlightKind::Failover,
+            6 => {
+                let from = r.get_u32()?;
+                let to = r.get_u32()?;
+                if from > 3 || to > 3 {
+                    return Err(SnapError::Corrupt(format!(
+                        "unknown band code in transition {from}->{to}"
+                    )));
+                }
+                FlightKind::BandTransition {
+                    from: Band::from_code(from),
+                    to: Band::from_code(to),
+                }
+            }
+            7 => FlightKind::ValidatorAlert,
+            8 => FlightKind::BreakerTrip,
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown flight record kind {other}"
+                )))
+            }
+        })
+    }
+
     fn detail_json(&self) -> String {
         match self {
             FlightKind::LeafCapped {
@@ -194,6 +268,11 @@ impl FlightRecorder {
         self.buf.len()
     }
 
+    /// The recorder's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
@@ -230,6 +309,51 @@ impl FlightRecorder {
         }
         out.push_str("]}");
         out
+    }
+}
+
+impl Snapshot for FlightRecorder {
+    const KIND: &'static str = "dynobs.FlightRecorder";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cap as u64);
+        w.put_u64(self.next as u64);
+        w.put_u64(self.total);
+        w.put_u64(self.buf.len() as u64);
+        for rec in &self.buf {
+            w.put_u64(rec.at_ms);
+            w.put_u32(rec.track);
+            w.put_str(&rec.controller);
+            rec.kind.encode_snap(w);
+        }
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cap = r.get_u64()? as usize;
+        let next = r.get_u64()? as usize;
+        let total = r.get_u64()?;
+        let len = r.get_u64()? as usize;
+        if cap == 0 || len > cap || next >= cap.max(1) {
+            return Err(SnapError::Corrupt(format!(
+                "flight ring geometry invalid: cap {cap}, len {len}, next {next}"
+            )));
+        }
+        let mut buf = Vec::with_capacity(cap);
+        for _ in 0..len {
+            buf.push(FlightRecord {
+                at_ms: r.get_u64()?,
+                track: r.get_u32()?,
+                controller: r.get_str()?.into(),
+                kind: FlightKind::decode_snap(r)?,
+            });
+        }
+        Ok(FlightRecorder {
+            buf,
+            cap,
+            next,
+            total,
+        })
     }
 }
 

@@ -55,7 +55,7 @@ pub use export::{
 pub use flight::{Band, FlightKind, FlightRecord, FlightRecorder};
 pub use registry::{
     Buckets, CounterId, GaugeId, HistScope, HistogramId, HistogramView, Registry, RegistryBuilder,
-    Shard,
+    RegistryState, Shard,
 };
 pub use trace::{SpanKind, SpanRecord, TraceRing};
 

@@ -11,6 +11,11 @@
 
 use std::sync::Arc;
 
+use dcsim::snap::{
+    get_f64_vec, get_u64_vec, put_f64_slice, put_u64_slice, SnapError, SnapReader, SnapWriter,
+    Snapshot,
+};
+
 use crate::flight::FlightRecord;
 use crate::trace::SpanRecord;
 
@@ -433,6 +438,113 @@ impl Registry {
                 d.help.as_str(),
                 self.histogram(HistogramId(i as u32)),
             )
+        })
+    }
+
+    /// Captures the registry's metric *values* for a snapshot. The
+    /// layout (names, help, bucket bounds) is build-time configuration
+    /// and is not part of the state — a restored registry must be
+    /// rebuilt with the identical metric set first.
+    pub fn state(&self) -> RegistryState {
+        RegistryState {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hist_buckets: self.hist_buckets.clone(),
+            hist_sums: self.hist_sums.clone(),
+            hist_counts: self.hist_counts.clone(),
+        }
+    }
+
+    /// Restores metric values captured by [`Registry::state`] into a
+    /// registry rebuilt with the same layout. Fails with
+    /// [`SnapError::Corrupt`] if any array length disagrees with the
+    /// frozen layout.
+    pub fn restore(&mut self, state: &RegistryState) -> Result<(), SnapError> {
+        if state.counters.len() != self.counters.len()
+            || state.gauges.len() != self.gauges.len()
+            || state.hist_sums.len() != self.hist_sums.len()
+            || state.hist_counts.len() != self.hist_counts.len()
+            || state.hist_buckets.len() != self.hist_buckets.len()
+        {
+            return Err(SnapError::Corrupt(
+                "registry state does not match the frozen metric layout".into(),
+            ));
+        }
+        for (i, (have, want)) in state
+            .hist_buckets
+            .iter()
+            .zip(&self.hist_buckets)
+            .enumerate()
+        {
+            if have.len() != want.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "histogram {i} bucket count mismatch: snapshot {}, layout {}",
+                    have.len(),
+                    want.len()
+                )));
+            }
+        }
+        self.counters.clone_from(&state.counters);
+        self.gauges.clone_from(&state.gauges);
+        self.hist_buckets.clone_from(&state.hist_buckets);
+        self.hist_sums.clone_from(&state.hist_sums);
+        self.hist_counts.clone_from(&state.hist_counts);
+        Ok(())
+    }
+}
+
+/// The metric *values* of a [`Registry`] (not its layout),
+/// snapshot-serializable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryState {
+    /// Counter values in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values in registration order.
+    pub gauges: Vec<f64>,
+    /// Per-histogram bucket counts (last slot is `+Inf`).
+    pub hist_buckets: Vec<Vec<u64>>,
+    /// Per-histogram observation sums.
+    pub hist_sums: Vec<f64>,
+    /// Per-histogram observation counts.
+    pub hist_counts: Vec<u64>,
+}
+
+impl Snapshot for RegistryState {
+    const KIND: &'static str = "dynobs.RegistryState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        put_u64_slice(w, &self.counters);
+        put_f64_slice(w, &self.gauges);
+        w.put_u64(self.hist_buckets.len() as u64);
+        for buckets in &self.hist_buckets {
+            put_u64_slice(w, buckets);
+        }
+        put_f64_slice(w, &self.hist_sums);
+        put_u64_slice(w, &self.hist_counts);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let counters = get_u64_vec(r)?;
+        let gauges = get_f64_vec(r)?;
+        let n = r.get_u64()? as usize;
+        let mut hist_buckets = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            hist_buckets.push(get_u64_vec(r)?);
+        }
+        let hist_sums = get_f64_vec(r)?;
+        let hist_counts = get_u64_vec(r)?;
+        if hist_sums.len() != n || hist_counts.len() != n {
+            return Err(SnapError::Corrupt(
+                "histogram sum/count arrays disagree with bucket array count".into(),
+            ));
+        }
+        Ok(RegistryState {
+            counters,
+            gauges,
+            hist_buckets,
+            hist_sums,
+            hist_counts,
         })
     }
 }

@@ -4,6 +4,8 @@
 
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 use crate::export::escape_json;
 
 /// What a span measures.
@@ -24,6 +26,29 @@ pub enum SpanKind {
 }
 
 impl SpanKind {
+    fn code(self) -> u8 {
+        match self {
+            SpanKind::LeafCycle => 0,
+            SpanKind::RpcPull => 1,
+            SpanKind::Distribution => 2,
+            SpanKind::Actuation => 3,
+            SpanKind::UpperCycle => 4,
+            SpanKind::Failover => 5,
+        }
+    }
+
+    fn from_snap_code(code: u8) -> Result<Self, SnapError> {
+        Ok(match code {
+            0 => SpanKind::LeafCycle,
+            1 => SpanKind::RpcPull,
+            2 => SpanKind::Distribution,
+            3 => SpanKind::Actuation,
+            4 => SpanKind::UpperCycle,
+            5 => SpanKind::Failover,
+            other => return Err(SnapError::Corrupt(format!("unknown span kind {other}"))),
+        })
+    }
+
     /// Stable label used in trace exports.
     pub fn label(self) -> &'static str {
         match self {
@@ -90,6 +115,11 @@ impl TraceRing {
         self.buf.len()
     }
 
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// True if no spans were recorded.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
@@ -132,6 +162,54 @@ impl TraceRing {
         }
         out.push_str("]}");
         out
+    }
+}
+
+impl Snapshot for TraceRing {
+    const KIND: &'static str = "dynobs.TraceRing";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cap as u64);
+        w.put_u64(self.next as u64);
+        w.put_u64(self.total);
+        w.put_u64(self.buf.len() as u64);
+        for s in &self.buf {
+            w.put_u8(s.kind.code());
+            w.put_u32(s.track);
+            w.put_u64(s.start_us);
+            w.put_u64(s.dur_us);
+            w.put_str(&s.name);
+        }
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cap = r.get_u64()? as usize;
+        let next = r.get_u64()? as usize;
+        let total = r.get_u64()?;
+        let len = r.get_u64()? as usize;
+        if cap == 0 || len > cap || next >= cap.max(1) {
+            return Err(SnapError::Corrupt(format!(
+                "trace ring geometry invalid: cap {cap}, len {len}, next {next}"
+            )));
+        }
+        let mut buf = Vec::with_capacity(cap);
+        for _ in 0..len {
+            let kind = SpanKind::from_snap_code(r.get_u8()?)?;
+            buf.push(SpanRecord {
+                kind,
+                track: r.get_u32()?,
+                start_us: r.get_u64()?,
+                dur_us: r.get_u64()?,
+                name: r.get_str()?.into(),
+            });
+        }
+        Ok(TraceRing {
+            buf,
+            cap,
+            next,
+            total,
+        })
     }
 }
 

@@ -50,6 +50,7 @@
 
 pub mod codec;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimRng};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -348,6 +349,59 @@ impl Network {
     pub fn set_profile(&mut self, profile: LinkProfile) {
         self.rtt_rate = rtt_rate_of(&profile);
         self.profile = profile;
+    }
+
+    /// Captures the transport's dynamic state (RNG stream position and
+    /// call counters). The profile and its derived `rtt_rate` are
+    /// configuration, rebuilt by the owner.
+    pub fn state(&self) -> NetworkState {
+        NetworkState {
+            rng: self.rng.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Network::state`].
+    pub fn restore(&mut self, state: &NetworkState) {
+        self.rng = state.rng.clone();
+        self.stats = state.stats;
+    }
+}
+
+/// The dynamic state of one [`Network`]: the in-flight RNG stream and the
+/// latency/outcome counters. Implements [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkState {
+    /// RNG stream driving drop/timeout/latency draws.
+    pub rng: SimRng,
+    /// Accumulated call statistics.
+    pub stats: NetworkStats,
+}
+
+impl Snapshot for NetworkState {
+    const KIND: &'static str = "dynrpc.NetworkState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        self.rng.encode_body(w);
+        w.put_u64(self.stats.calls);
+        w.put_u64(self.stats.successes);
+        w.put_u64(self.stats.timeouts);
+        w.put_u64(self.stats.drops);
+        w.put_u64(self.stats.latency_sum.as_millis());
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(NetworkState {
+            rng: SimRng::decode_body(r)?,
+            stats: NetworkStats {
+                calls: r.get_u64()?,
+                successes: r.get_u64()?,
+                timeouts: r.get_u64()?,
+                drops: r.get_u64()?,
+                latency_sum: SimDuration::from_millis(r.get_u64()?),
+            },
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 //! integrated as a thermal accumulator so that arbitrary power waveforms —
 //! not just step overloads — trip correctly.
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -144,6 +145,27 @@ pub enum BreakerStatus {
     Tripped,
 }
 
+impl BreakerStatus {
+    /// The status's stable snapshot code.
+    pub fn snap_code(self) -> u8 {
+        match self {
+            BreakerStatus::Nominal => 0,
+            BreakerStatus::Overloaded => 1,
+            BreakerStatus::Tripped => 2,
+        }
+    }
+
+    /// Decodes a status from its stable snapshot code.
+    pub fn from_snap_code(code: u8) -> Result<Self, SnapError> {
+        match code {
+            0 => Ok(BreakerStatus::Nominal),
+            1 => Ok(BreakerStatus::Overloaded),
+            2 => Ok(BreakerStatus::Tripped),
+            other => Err(SnapError::Corrupt(format!("bad breaker status {other}"))),
+        }
+    }
+}
+
 /// A stateful circuit breaker: a [`TripCurve`] plus a thermal accumulator.
 ///
 /// Feed it the instantaneous draw each simulation tick via
@@ -262,6 +284,42 @@ impl Breaker {
     pub fn reset(&mut self) {
         self.heat = 0.0;
         self.status = BreakerStatus::Nominal;
+    }
+}
+
+impl Snapshot for Breaker {
+    const KIND: &'static str = "powerinfra.Breaker";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_f64(self.rating.as_watts());
+        w.put_f64(self.curve.k);
+        w.put_f64(self.curve.alpha);
+        w.put_f64(self.curve.min_trip_secs);
+        w.put_f64(self.curve.instant_ratio);
+        w.put_f64(self.heat);
+        w.put_u8(self.status.snap_code());
+        w.put_f64(self.cooling_tau_secs);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let rating = Power::from_watts(r.get_f64()?);
+        if rating.as_watts() <= 0.0 {
+            return Err(SnapError::Corrupt(format!("bad breaker rating {rating}")));
+        }
+        let curve = TripCurve {
+            k: r.get_f64()?,
+            alpha: r.get_f64()?,
+            min_trip_secs: r.get_f64()?,
+            instant_ratio: r.get_f64()?,
+        };
+        Ok(Breaker {
+            rating,
+            curve,
+            heat: r.get_f64()?,
+            status: BreakerStatus::from_snap_code(r.get_u8()?)?,
+            cooling_tau_secs: r.get_f64()?,
+        })
     }
 }
 

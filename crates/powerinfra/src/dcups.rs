@@ -7,6 +7,7 @@
 //! upstream interruption — the window an operator has during events
 //! like Figure 12's before servers actually go dark.
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +60,46 @@ pub struct Dcups {
 
 /// OCP ride-through rating.
 pub const RIDE_THROUGH: SimDuration = SimDuration::from_secs(90);
+
+impl Snapshot for Dcups {
+    const KIND: &'static str = "powerinfra.Dcups";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_f64(self.design_load.as_watts());
+        w.put_f64(self.capacity_j);
+        w.put_f64(self.charge_j);
+        w.put_f64(self.recharge_frac);
+        w.put_u8(match self.state {
+            DcupsState::Standby => 0,
+            DcupsState::Discharging => 1,
+            DcupsState::Depleted => 2,
+        });
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let design_load = Power::from_watts(r.get_f64()?);
+        if design_load.as_watts() <= 0.0 {
+            return Err(SnapError::Corrupt(format!(
+                "bad DCUPS design load {design_load}"
+            )));
+        }
+        Ok(Dcups {
+            design_load,
+            capacity_j: r.get_f64()?,
+            charge_j: r.get_f64()?,
+            recharge_frac: r.get_f64()?,
+            state: match r.get_u8()? {
+                0 => DcupsState::Standby,
+                1 => DcupsState::Discharging,
+                2 => DcupsState::Depleted,
+                other => {
+                    return Err(SnapError::Corrupt(format!("bad DCUPS state {other}")));
+                }
+            },
+        })
+    }
+}
 
 impl Dcups {
     /// Creates a fully-charged unit sized to carry `design_load` for the

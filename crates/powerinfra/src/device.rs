@@ -14,6 +14,14 @@ impl DeviceId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a handle from a raw arena index, e.g. when decoding a
+    /// snapshot taken against the same topology. The caller is
+    /// responsible for the index being in range for the topology it is
+    /// used with.
+    pub fn from_index(index: usize) -> DeviceId {
+        DeviceId(index as u32)
+    }
 }
 
 impl std::fmt::Display for DeviceId {

@@ -47,6 +47,17 @@ impl ServerGeneration {
         }
     }
 
+    /// The canonical short label, the inverse of
+    /// [`ServerGeneration::from_label`].
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerGeneration::Westmere2011 => "westmere2011",
+            ServerGeneration::SandyBridge2012 => "sandybridge2012",
+            ServerGeneration::IvyBridge2013 => "ivybridge2013",
+            ServerGeneration::Haswell2015 => "haswell2015",
+        }
+    }
+
     /// The measured power curve for this generation.
     pub fn power_curve(self) -> PowerCurve {
         // Anchor points read off Figure 1 (watts at CPU utilization).

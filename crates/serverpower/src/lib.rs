@@ -47,4 +47,4 @@ mod server;
 pub use curve::{PowerCurve, PowerLut, ServerGeneration};
 pub use rapl::Rapl;
 pub use sensor::{PowerEstimator, PowerSensor};
-pub use server::{capping_slowdown, PowerBreakdown, Server, ServerConfig, TurboBoost};
+pub use server::{capping_slowdown, PowerBreakdown, Server, ServerConfig, ServerState, TurboBoost};

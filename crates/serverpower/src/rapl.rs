@@ -7,6 +7,7 @@
 //! chosen so the output settles within ~2 s, which is the property the
 //! controller design depends on (it forces the pulling period above 2 s).
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimDuration;
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,38 @@ pub struct Rapl {
 impl Default for Rapl {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Snapshot for Rapl {
+    const KIND: &'static str = "serverpower.Rapl";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_opt_f64(self.limit.map(Power::as_watts));
+        w.put_f64(self.output.as_watts());
+        w.put_f64(self.tau_secs);
+        w.put_bool(self.initialized);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let limit = r.get_opt_f64()?.map(Power::from_watts);
+        if let Some(l) = limit {
+            if !(l.is_valid_draw() && l.as_watts() > 0.0) {
+                return Err(SnapError::Corrupt(format!("bad RAPL limit {l:?}")));
+            }
+        }
+        let output = Power::from_watts(r.get_f64()?);
+        let tau_secs = r.get_f64()?;
+        if !(tau_secs > 0.0 && tau_secs.is_finite()) {
+            return Err(SnapError::Corrupt(format!("bad RAPL tau {tau_secs}")));
+        }
+        Ok(Rapl {
+            limit,
+            output,
+            tau_secs,
+            initialized: r.get_bool()?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimRng};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -173,6 +174,49 @@ pub struct Server {
     alive: bool,
 }
 
+/// The dynamic state of one [`Server`], detached from the parts rebuilt
+/// from [`ServerConfig`] (power curve, LUT, sensor, estimator).
+///
+/// The generation index doubles as the LUT generation id: the snapshot
+/// refuses to restore onto a server whose configuration would pair the
+/// state with a different lookup table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerState {
+    /// Server id the state was captured from.
+    pub id: u32,
+    /// Generation (= LUT) index at capture time.
+    pub generation: usize,
+    /// Demanded CPU utilization.
+    pub demand_util: f64,
+    /// Liveness flag.
+    pub alive: bool,
+    /// RAPL actuator state.
+    pub rapl: Rapl,
+}
+
+impl Snapshot for ServerState {
+    const KIND: &'static str = "serverpower.ServerState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u32(self.id);
+        w.put_u64(self.generation as u64);
+        w.put_f64(self.demand_util);
+        w.put_bool(self.alive);
+        self.rapl.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ServerState {
+            id: r.get_u32()?,
+            generation: r.get_u64()? as usize,
+            demand_util: r.get_f64()?,
+            alive: r.get_bool()?,
+            rapl: Rapl::decode_body(r)?,
+        })
+    }
+}
+
 impl Server {
     /// Creates a server with the given id and configuration.
     pub fn new(id: u32, config: ServerConfig) -> Self {
@@ -225,6 +269,46 @@ impl Server {
         self.demand_util = demand_util.clamp(0.0, 1.0);
         self.rapl
             .force_output(Power::from_watts(output_w), initialized);
+    }
+
+    /// Captures the server's dynamic state for a snapshot. Everything
+    /// else (curve, LUT, sensor, estimator) is a pure function of the
+    /// [`ServerConfig`] and is rebuilt, not stored.
+    pub fn state(&self) -> ServerState {
+        ServerState {
+            id: self.id,
+            generation: self.config.generation.index(),
+            demand_util: self.demand_util,
+            alive: self.alive,
+            rapl: self.rapl.clone(),
+        }
+    }
+
+    /// Restores dynamic state captured by [`Server::state`].
+    ///
+    /// Fails with [`SnapError::Corrupt`] if the state was captured from
+    /// a different server id or a different hardware generation — the
+    /// rebuilt LUT would not match the stored settling state.
+    pub fn restore(&mut self, state: &ServerState) -> Result<(), SnapError> {
+        if state.id != self.id {
+            return Err(SnapError::Corrupt(format!(
+                "server state for id {} restored onto server {}",
+                state.id, self.id
+            )));
+        }
+        if state.generation != self.config.generation.index() {
+            return Err(SnapError::Corrupt(format!(
+                "server {} generation changed: snapshot has LUT generation {}, \
+                 config rebuilds generation {}",
+                self.id,
+                state.generation,
+                self.config.generation.index()
+            )));
+        }
+        self.demand_util = state.demand_util;
+        self.alive = state.alive;
+        self.rapl = state.rapl.clone();
+        Ok(())
     }
 
     /// Sets the workload's demanded CPU utilization (clamped to [0, 1]).

@@ -40,5 +40,5 @@ mod service;
 mod traffic;
 
 pub use perf::ClusterPerf;
-pub use service::{OuCoeffs, ServiceKind, ServiceParams, ServiceWorkload};
+pub use service::{OuCoeffs, ServiceKind, ServiceParams, ServiceWorkload, WorkloadState};
 pub use traffic::{TrafficEvent, TrafficPattern};

@@ -1,5 +1,6 @@
 //! Per-service utilization processes (Figure 6 of the paper).
 
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimRng, SimTime};
 use powerinfra::Power;
 use serde::{Deserialize, Serialize};
@@ -354,6 +355,108 @@ impl ServiceWorkload {
     /// True while a burst is in flight (exposed for tests/telemetry).
     pub fn in_burst(&self) -> bool {
         self.burst.is_some()
+    }
+
+    /// Captures the full process state (parameters included, so custom
+    /// `with_params` processes restore exactly).
+    pub fn state(&self) -> WorkloadState {
+        WorkloadState {
+            kind: self.kind.index(),
+            params: self.params,
+            noise: self.noise,
+            burst: self.burst,
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Restores state captured by [`ServiceWorkload::state`].
+    ///
+    /// Fails with [`SnapError::Corrupt`] if the state belongs to a
+    /// different service kind.
+    pub fn restore(&mut self, state: &WorkloadState) -> Result<(), SnapError> {
+        if state.kind != self.kind.index() {
+            return Err(SnapError::Corrupt(format!(
+                "workload state for service kind {} restored onto {}",
+                state.kind,
+                self.kind.index()
+            )));
+        }
+        self.params = state.params;
+        self.noise = state.noise;
+        self.burst = state.burst;
+        self.rng = state.rng.clone();
+        Ok(())
+    }
+}
+
+/// The dynamic state of one [`ServiceWorkload`]. Implements [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadState {
+    /// Service kind index ([`ServiceKind::index`]).
+    pub kind: usize,
+    /// Parameters in effect (may differ from the kind's defaults).
+    pub params: ServiceParams,
+    /// Mean-reverting noise state.
+    pub noise: f64,
+    /// Active burst, if any.
+    pub burst: Option<(SimTime, f64)>,
+    /// The process's RNG stream.
+    pub rng: SimRng,
+}
+
+impl Snapshot for WorkloadState {
+    const KIND: &'static str = "workloads.WorkloadState";
+    const VERSION: u32 = 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(self.kind as u64);
+        w.put_f64(self.params.base_util);
+        w.put_f64(self.params.sigma);
+        w.put_f64(self.params.theta);
+        w.put_f64(self.params.burst_rate);
+        w.put_f64(self.params.burst_min);
+        w.put_f64(self.params.burst_max);
+        w.put_f64(self.params.burst_dur_secs);
+        w.put_f64(self.params.traffic_sensitivity);
+        w.put_f64(self.noise);
+        match self.burst {
+            Some((until, add)) => {
+                w.put_bool(true);
+                w.put_u64(until.as_millis());
+                w.put_f64(add);
+            }
+            None => w.put_bool(false),
+        }
+        self.rng.encode_body(w);
+    }
+
+    fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let kind = r.get_u64()? as usize;
+        let params = ServiceParams {
+            base_util: r.get_f64()?,
+            sigma: r.get_f64()?,
+            theta: r.get_f64()?,
+            burst_rate: r.get_f64()?,
+            burst_min: r.get_f64()?,
+            burst_max: r.get_f64()?,
+            burst_dur_secs: r.get_f64()?,
+            traffic_sensitivity: r.get_f64()?,
+        };
+        let noise = r.get_f64()?;
+        let burst = if r.get_bool()? {
+            let until = SimTime::from_millis(r.get_u64()?);
+            let add = r.get_f64()?;
+            Some((until, add))
+        } else {
+            None
+        };
+        Ok(WorkloadState {
+            kind,
+            params,
+            noise,
+            burst,
+            rng: SimRng::decode_body(r)?,
+        })
     }
 }
 

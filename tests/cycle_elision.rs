@@ -170,6 +170,59 @@ fn lossy_links_never_elide() {
 }
 
 #[test]
+fn resume_elides_exactly_like_the_unbroken_run() {
+    // Snapshot deep in the steady state — most leaves settled, most
+    // controller cycles eliding — and resume into a freshly built
+    // datacenter. The restored run must elide *exactly* the cycles the
+    // unbroken run elides: a fleet rebuild that reset the active-set
+    // flags without restoring the controllers' seen-markers (or vice
+    // versa) would either recompute cycles the unbroken run skipped or,
+    // worse, skip cycles it ran.
+    use dcsim::snap::Snapshot;
+    use dynamo_repro::dynamo::DatacenterState;
+
+    let observe = |dc: &Datacenter| {
+        (
+            metric(dc, "dynamo_leaf_cycles_elided_total"),
+            metric(dc, "dynamo_leaf_cycles_total"),
+            dc.system().observability().prometheus_text(),
+        )
+    };
+
+    let mut unbroken = build_steady(2);
+    unbroken.run_until(SimTime::from_mins(8));
+    let expected = observe(&unbroken);
+    assert!(expected.0 > expected.1, "vacuity: elision never dominated");
+
+    let mut first = build_steady(2);
+    first.run_until(SimTime::from_mins(5));
+    let settled_at_snapshot = first.fleet().settled_leaf_count();
+    assert!(
+        settled_at_snapshot > 0,
+        "vacuity: no leaf settled at the snapshot point"
+    );
+    let bytes = first.state().to_snap_bytes();
+    drop(first);
+
+    let state = DatacenterState::from_snap_bytes(&bytes).unwrap();
+    let mut resumed = build_steady(2);
+    resumed.restore(&state).unwrap();
+    assert_eq!(
+        resumed.fleet().settled_leaf_count(),
+        settled_at_snapshot,
+        "restore must bring back the settled set exactly"
+    );
+    resumed.run_until(SimTime::from_mins(8));
+    let got = observe(&resumed);
+    assert_eq!(
+        expected.0, got.0,
+        "elided-cycle count diverged after resume"
+    );
+    assert_eq!(expected.1, got.1, "run-cycle count diverged after resume");
+    assert_eq!(expected.2, got.2, "metrics diverged after resume");
+}
+
+#[test]
 fn maintained_stats_match_live_scans_under_caps_and_crashes() {
     // Oversubscribed fleet with agent crashes: caps are programmed and
     // cleared continuously and the watchdog restarts agents, so the

@@ -1,0 +1,231 @@
+//! The snapshot contract, property-tested across every implementing
+//! type reachable from public APIs:
+//!
+//! 1. **Lossless round-trip** — `encode → decode → encode` is
+//!    byte-identical. (A decode that loses information would silently
+//!    corrupt resumed runs.)
+//! 2. **Version skew fails loudly** — a snapshot written at a bumped
+//!    version is rejected with a clear [`SnapError::VersionMismatch`]
+//!    instead of being misread into live state.
+//! 3. **Kind and framing violations** are detected, never misapplied.
+//!
+//! Composite states (controller tiers, observability, the whole
+//! datacenter) are exercised through a live run's `DatacenterState`,
+//! whose encoding nests every one of their bodies.
+
+use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+use dcsim::{CycleSchedule, PeriodicSchedule, SimDuration, SimRng, SimTime};
+use dynamo_repro::dynamo::{DatacenterBuilder, ObsConfig};
+use dynamo_repro::dynamo_agent::Agent;
+use dynamo_repro::dynrpc::{LinkProfile, Network};
+use dynamo_repro::powerinfra::{Breaker, Dcups, Power, TripCurve};
+use dynamo_repro::serverpower::{Rapl, Server, ServerConfig, ServerGeneration};
+use dynamo_repro::workloads::{ServiceKind, ServiceWorkload, TrafficPattern};
+
+/// The property: one full cycle through the binary format loses
+/// nothing, proven by re-encoding.
+fn roundtrip<T: Snapshot>(value: &T) -> T {
+    let bytes = value.to_snap_bytes();
+    let decoded = T::from_snap_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{} failed to decode its own encoding: {e}", T::KIND));
+    assert_eq!(
+        bytes,
+        decoded.to_snap_bytes(),
+        "{} encode -> decode -> encode is not byte-identical",
+        T::KIND
+    );
+    decoded
+}
+
+#[test]
+fn dcsim_types_roundtrip() {
+    roundtrip(&SimTime::from_millis(86_399_123));
+    roundtrip(&SimDuration::from_millis(2_750));
+
+    // An advanced RNG stream: position and underlying state both carry.
+    let mut rng = SimRng::seed_from(123);
+    for _ in 0..17 {
+        rng.next_u64();
+    }
+    rng.normal(0.0, 1.0);
+    let restored = roundtrip(&rng);
+    let mut a = rng.clone();
+    let mut b = restored;
+    for _ in 0..32 {
+        assert_eq!(a.next_u64(), b.next_u64(), "restored stream diverged");
+    }
+
+    let mut cycle = CycleSchedule::with_phase(SimDuration::from_secs(3), SimDuration::from_secs(1));
+    cycle.fire(SimTime::from_secs(4));
+    roundtrip(&cycle);
+
+    let mut periodic = PeriodicSchedule::new(SimDuration::from_secs(60));
+    periodic.fire(SimTime::from_secs(60));
+    roundtrip(&periodic);
+}
+
+#[test]
+fn powerinfra_types_roundtrip() {
+    // A breaker with accumulated thermal state, mid-way to a trip.
+    let mut breaker = Breaker::new(Power::from_kilowatts(10.0), TripCurve::rpp());
+    for _ in 0..30 {
+        breaker.step(Power::from_kilowatts(14.0), SimDuration::from_secs(1));
+    }
+    assert!(breaker.thermal_state() > 0.0, "vacuity: no heat built up");
+    roundtrip(&breaker);
+
+    // A DCUPS that has been discharging on battery.
+    let mut dcups = Dcups::new(Power::from_kilowatts(50.0));
+    for _ in 0..60 {
+        dcups.step(
+            false,
+            Power::from_kilowatts(40.0),
+            SimDuration::from_secs(1),
+        );
+    }
+    assert!(dcups.charge_fraction() < 1.0, "vacuity: battery still full");
+    roundtrip(&dcups);
+}
+
+#[test]
+fn serverpower_types_roundtrip() {
+    let mut rapl = Rapl::new();
+    rapl.set_limit(Power::from_watts(180.0));
+    rapl.step(Power::from_watts(240.0), SimDuration::from_secs(1));
+    roundtrip(&rapl);
+
+    let mut server = Server::new(7, ServerConfig::new(ServerGeneration::Haswell2015));
+    server.set_demand(0.65);
+    server.step(SimDuration::from_secs(1));
+    server.rapl_mut().set_limit(Power::from_watts(200.0));
+    server.step(SimDuration::from_secs(1));
+    roundtrip(&server.state());
+}
+
+#[test]
+fn agent_network_and_workload_roundtrip() {
+    let server = Server::new(3, ServerConfig::new(ServerGeneration::Westmere2011));
+    let mut agent = Agent::new(server, SimRng::seed_from(5));
+    agent.crash();
+    roundtrip(&agent.state());
+
+    let network = Network::new(LinkProfile::datacenter(), SimRng::seed_from(11));
+    roundtrip(&network.state());
+
+    let mut workload = ServiceWorkload::new(ServiceKind::Cache, SimRng::seed_from(31));
+    for t in 0..20 {
+        workload.utilization(SimTime::from_secs(t), 1.3, SimDuration::from_secs(1));
+    }
+    roundtrip(&workload.state());
+}
+
+/// A live datacenter's full state: nests FleetState, SystemState (leaf
+/// and upper controller tiers, failover flags, schedules,
+/// observability rings and registry), TelemetryState, breakers and the
+/// validator — the round-trip property therefore covers every
+/// composite `Snapshot` body in one pass.
+#[test]
+fn whole_datacenter_state_roundtrips() {
+    let mut dc = DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(8)
+        .rpp_rating(Power::from_kilowatts(4.2))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.4))
+        .agent_crash_rate(1.0)
+        .observability(ObsConfig::on())
+        .seed(13)
+        .build();
+    dc.run_for(SimDuration::from_mins(4));
+    let victim = dc.system().leaf_devices()[0];
+    dc.system_mut().fail_primary(victim);
+    dc.run_for(SimDuration::from_mins(1));
+
+    let state = roundtrip(&dc.state());
+    // And the decoded state is usable, not just re-encodable.
+    let mut fresh = DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(8)
+        .rpp_rating(Power::from_kilowatts(4.2))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.4))
+        .agent_crash_rate(1.0)
+        .observability(ObsConfig::on())
+        .seed(13)
+        .build();
+    fresh.restore(&state).expect("decoded state must restore");
+    assert_eq!(fresh.now(), SimTime::from_mins(5));
+}
+
+// ---------------------------------------------------------------------------
+// Version skew and framing violations.
+// ---------------------------------------------------------------------------
+
+/// Pretends to be a future revision of the RNG snapshot: same kind
+/// string, bumped version, arbitrary body.
+struct FutureRng;
+
+impl Snapshot for FutureRng {
+    const KIND: &'static str = <SimRng as Snapshot>::KIND;
+    const VERSION: u32 = <SimRng as Snapshot>::VERSION + 1;
+
+    fn encode_body(&self, w: &mut SnapWriter) {
+        w.put_u64(0xDEAD_BEEF);
+    }
+
+    fn decode_body(_: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FutureRng)
+    }
+}
+
+#[test]
+fn bumped_version_is_rejected_with_a_clear_error() {
+    let bytes = FutureRng.to_snap_bytes();
+    let err = SimRng::from_snap_bytes(&bytes).expect_err("future snapshot must not decode");
+    match &err {
+        SnapError::VersionMismatch {
+            kind,
+            found,
+            supported,
+        } => {
+            assert_eq!(*kind, <SimRng as Snapshot>::KIND.to_string());
+            assert_eq!(*found, <SimRng as Snapshot>::VERSION + 1);
+            assert_eq!(*supported, <SimRng as Snapshot>::VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version") && msg.contains(<SimRng as Snapshot>::KIND),
+        "error must name the kind and the version problem: {msg}"
+    );
+}
+
+#[test]
+fn wrong_kind_is_rejected() {
+    let bytes = SimTime::from_secs(1).to_snap_bytes();
+    let err = SimDuration::from_snap_bytes(&bytes).expect_err("kind mismatch must not decode");
+    assert!(
+        matches!(err, SnapError::KindMismatch { .. }),
+        "expected KindMismatch, got {err}"
+    );
+}
+
+#[test]
+fn truncated_and_padded_sections_are_rejected() {
+    let bytes = SimRng::seed_from(1).to_snap_bytes();
+    assert!(
+        SimRng::from_snap_bytes(&bytes[..bytes.len() - 3]).is_err(),
+        "truncated snapshot must not decode"
+    );
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0, 0, 0]);
+    assert!(
+        SimRng::from_snap_bytes(&padded).is_err(),
+        "trailing garbage must not decode"
+    );
+}
