@@ -416,6 +416,105 @@ fn bench_observability_overhead() -> ObsOverhead {
 /// regression instead of shipping a warning nobody reads.
 const OBS_BUDGET: f64 = 0.03;
 
+/// Grid layer overhead when the utility is quiet: with-grid vs.
+/// baseline ticks/sec.
+struct GridOverhead {
+    baseline: f64,
+    with_grid: f64,
+    /// Regression as a fraction of baseline (positive = slower with the
+    /// grid layer configured). Budget: ≤ 1%.
+    delta: f64,
+}
+
+/// Measures the tick-rate cost of an *idle* grid layer — the nominal
+/// scenario asks nothing, so every tick pays only the layer's fixed
+/// work: signal lookup, episode check, DCUPS availability scan and
+/// settlement accumulation. Same paired interleaved methodology as the
+/// observability bench; a site that never sees a curtailment must not
+/// pay more than 1% for having the layer deployed.
+fn bench_grid_overhead() -> GridOverhead {
+    let build = |grid: bool| {
+        let mut builder = DatacenterBuilder::new()
+            .sbs_per_msb(4)
+            .rpps_per_sb(4)
+            .racks_per_rpp(4)
+            .servers_per_rack(40)
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.2))
+            .seed(42)
+            .worker_threads(1);
+        if grid {
+            builder = builder.grid_scenario("nominal");
+        }
+        builder.build()
+    };
+    let mut baseline = 0.0f64;
+    let mut with_grid = 0.0f64;
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let mut base_dc = build(false);
+        let mut grid_dc = build(true);
+        for _ in 0..30 {
+            base_dc.step();
+            grid_dc.step();
+        }
+        let mut t_base = std::time::Duration::ZERO;
+        let mut t_grid = std::time::Duration::ZERO;
+        let mut ticks = 0u64;
+        let trial = Instant::now();
+        let mut grid_first = false;
+        while trial.elapsed().as_millis() < 2000 {
+            let burst = |dc: &mut Datacenter| {
+                let t0 = Instant::now();
+                for _ in 0..20 {
+                    dc.step();
+                }
+                t0.elapsed()
+            };
+            if grid_first {
+                t_grid += burst(&mut grid_dc);
+                t_base += burst(&mut base_dc);
+            } else {
+                t_base += burst(&mut base_dc);
+                t_grid += burst(&mut grid_dc);
+            }
+            grid_first = !grid_first;
+            ticks += 20;
+        }
+        let base = ticks as f64 / t_base.as_secs_f64();
+        let grid = ticks as f64 / t_grid.as_secs_f64();
+        baseline = baseline.max(base);
+        with_grid = with_grid.max(grid);
+        deltas.push((base - grid) / base);
+    }
+    deltas.sort_by(f64::total_cmp);
+    let delta = deltas[deltas.len() / 2];
+    println!("\ngrid idle overhead (16 RPPs, 2560 servers, nominal signal, serial lockstep):");
+    println!("  baseline     {baseline:>10.0} ticks/s");
+    println!("  with grid    {with_grid:>10.0} ticks/s");
+    println!(
+        "  delta        {:>9.2}% (median of interleaved trials, budget ≤ 1%)",
+        delta * 100.0
+    );
+    if delta > GRID_IDLE_BUDGET {
+        eprintln!(
+            "FAIL: idle grid overhead {:.2}% exceeds the {:.1}% budget",
+            delta * 100.0,
+            GRID_IDLE_BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+    GridOverhead {
+        baseline,
+        with_grid,
+        delta,
+    }
+}
+
+/// Hard budget on the tick-rate cost of a deployed-but-idle grid
+/// layer, enforced the same way as [`OBS_BUDGET`].
+const GRID_IDLE_BUDGET: f64 = 0.01;
+
 /// CI throughput floor for the full-site steady-state smoke (768 RPPs,
 /// 122,880 servers, demand hold 30, serial). Enforced by
 /// `examples/paper_scale.rs --full-site`; recorded here so the bench
@@ -439,7 +538,7 @@ const FULL_SITE_SMOKE_FLOOR: f64 = 150.0;
 /// legacy per-call scoped threads at a fixed (unclamped) 8 threads.
 /// The JSON records the host parallelism and each cell's effective
 /// thread count so every number is interpretable.
-fn bench_control_plane_matrix(obs: &ObsOverhead) {
+fn bench_control_plane_matrix(obs: &ObsOverhead, grid: &GridOverhead) {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -628,10 +727,16 @@ fn bench_control_plane_matrix(obs: &ObsOverhead) {
         "  \"full_site_smoke\": {{\"rpps\": 768, \"servers\": 122880, \"msbs\": 12, \"demand_hold\": 30, \"workload\": \"steady_state\", \"floor_ticks_per_sec\": {FULL_SITE_SMOKE_FLOOR:.1}, \"enforced_by\": \"examples/paper_scale.rs --full-site\"}},\n"
     ));
     json.push_str(&format!(
-        "  \"observability_overhead\": {{\"baseline_ticks_per_sec\": {:.1}, \"instrumented_ticks_per_sec\": {:.1}, \"delta_pct\": {:.2}, \"budget_pct\": 3.0}}\n}}\n",
+        "  \"observability_overhead\": {{\"baseline_ticks_per_sec\": {:.1}, \"instrumented_ticks_per_sec\": {:.1}, \"delta_pct\": {:.2}, \"budget_pct\": 3.0}},\n",
         obs.baseline,
         obs.instrumented,
         obs.delta * 100.0
+    ));
+    json.push_str(&format!(
+        "  \"grid_idle_overhead\": {{\"baseline_ticks_per_sec\": {:.1}, \"with_grid_ticks_per_sec\": {:.1}, \"delta_pct\": {:.2}, \"budget_pct\": 1.0, \"scenario\": \"nominal\"}}\n}}\n",
+        grid.baseline,
+        grid.with_grid,
+        grid.delta * 100.0
     ));
     let path = bench::workspace_path("BENCH_controlplane.json");
     match std::fs::write(&path, json) {
@@ -671,5 +776,6 @@ fn main() {
     bench_leaf_cycle();
     bench_upper_cycle();
     let obs = bench_observability_overhead();
-    bench_control_plane_matrix(&obs);
+    let grid = bench_grid_overhead();
+    bench_control_plane_matrix(&obs, &grid);
 }

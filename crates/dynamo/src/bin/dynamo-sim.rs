@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! dynamo-sim [--sbs N] [--rpps N] [--racks N] [--servers N]
-//!            [--rpp-kw KW] [--sb-kw KW] [--service NAME] [--traffic X]
+//!            [--rpp-kw KW] [--sb-kw KW] [--msb-kw KW] [--service NAME] [--traffic X]
 //!            [--minutes N] [--seed N] [--threads N] [--phase-spread SECS]
 //!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
 //!            [--metrics-out FILE] [--trace-out FILE] [--incident-dir DIR]
 //!            [--report-out FILE] [--fail-leaf MIN]
 //!            [--checkpoint-every MIN] [--checkpoint-dir DIR]
 //!            [--resume FILE]
+//!            [--grid-scenario NAME | --grid-signal-file FILE]
 //! dynamo-sim replay --incident FILE --from SNAPSHOT [--out DIR]
 //! ```
 //!
@@ -32,7 +33,10 @@ use std::time::Instant;
 
 use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::SimDuration;
-use dynamo::{Datacenter, DatacenterBuilder, DatacenterState, ObsConfig, ParallelMode, RunReport};
+use dynamo::{
+    Datacenter, DatacenterBuilder, DatacenterState, GridConfig, ObsConfig, ParallelMode, RunReport,
+};
+use dyngrid::GridScenario;
 use powerinfra::Power;
 use serverpower::ServerGeneration;
 use workloads::{ServiceKind, TrafficPattern};
@@ -45,6 +49,7 @@ struct Args {
     servers: usize,
     rpp_kw: Option<f64>,
     sb_kw: Option<f64>,
+    msb_kw: Option<f64>,
     service: ServiceKind,
     generation: ServerGeneration,
     traffic: f64,
@@ -64,6 +69,8 @@ struct Args {
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<PathBuf>,
     resume: Option<PathBuf>,
+    grid_scenario: Option<String>,
+    grid_signal_file: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -75,6 +82,7 @@ impl Default for Args {
             servers: 20,
             rpp_kw: None,
             sb_kw: None,
+            msb_kw: None,
             service: ServiceKind::Web,
             generation: ServerGeneration::Haswell2015,
             traffic: 1.2,
@@ -94,6 +102,8 @@ impl Default for Args {
             checkpoint_every: None,
             checkpoint_dir: None,
             resume: None,
+            grid_scenario: None,
+            grid_signal_file: None,
         }
     }
 }
@@ -134,6 +144,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--servers" => args.servers = num(value(&mut it, flag)?, flag)?,
             "--rpp-kw" => args.rpp_kw = Some(num(value(&mut it, flag)?, flag)?),
             "--sb-kw" => args.sb_kw = Some(num(value(&mut it, flag)?, flag)?),
+            "--msb-kw" => args.msb_kw = Some(num(value(&mut it, flag)?, flag)?),
             "--service" => args.service = parse_service(value(&mut it, flag)?)?,
             "--generation" => {
                 let v = value(&mut it, flag)?;
@@ -154,6 +165,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--checkpoint-every" => args.checkpoint_every = Some(num(value(&mut it, flag)?, flag)?),
             "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value(&mut it, flag)?)),
             "--resume" => args.resume = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--grid-scenario" => {
+                let v = value(&mut it, flag)?;
+                if GridScenario::preset(v).is_none() {
+                    return Err(format!(
+                        "unknown grid scenario '{v}'; one of: {}",
+                        GridScenario::preset_names().join(", ")
+                    ));
+                }
+                args.grid_scenario = Some(v.to_string());
+            }
+            "--grid-signal-file" => {
+                args.grid_signal_file = Some(PathBuf::from(value(&mut it, flag)?))
+            }
             "--no-capping" => args.capping = false,
             "--dry-run" => args.dry_run = true,
             "--turbo" => args.turbo = true,
@@ -181,6 +205,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.checkpoint_every == Some(0) {
         return Err("--checkpoint-every must be a positive number of minutes".to_string());
     }
+    if args.grid_scenario.is_some() && args.grid_signal_file.is_some() {
+        return Err("--grid-scenario and --grid-signal-file are mutually exclusive".to_string());
+    }
     Ok(args)
 }
 
@@ -188,7 +215,7 @@ fn usage() -> &'static str {
     "dynamo-sim: simulate a datacenter under the Dynamo power control plane\n\
      \n\
      topology:  --sbs N --rpps N --racks N --servers N (per rack)\n\
-     ratings:   --rpp-kw KW --sb-kw KW (defaults: OCP 190 kW / 1.25 MW)\n\
+     ratings:   --rpp-kw KW --sb-kw KW --msb-kw KW (defaults: OCP 190 kW / 1.25 MW / 2.5 MW)\n\
      workload:  --service web|cache|hadoop|database|newsfeed|f4storage\n\
      \x20          --generation westmere2011|sandybridge2012|ivybridge2013|haswell2015\n\
      \x20          --traffic X (multiplier, 1.0 = nominal) --turbo\n\
@@ -214,7 +241,12 @@ fn usage() -> &'static str {
      \x20          horizon, threads, cadence and output flags may change)\n\
      replay:    dynamo-sim replay --incident FILE --from SNAPSHOT [--out DIR]\n\
      \x20          re-execute an incident window from the nearest checkpoint\n\
-     \x20          and verify the regenerated dump is byte-identical"
+     \x20          and verify the regenerated dump is byte-identical\n\
+     grid:      --grid-scenario nominal|brownout|curtailment-window|\n\
+     \x20          frequency-excursion|price-spike (deploy the grid-interactive\n\
+     \x20          layer with a named utility-signal preset)\n\
+     \x20          --grid-signal-file FILE (custom schedule: lines of\n\
+     \x20          'start_s price_per_mwh frequency_hz curtail_frac|-')"
 }
 
 // ---------------------------------------------------------------------------
@@ -234,7 +266,9 @@ impl Snapshot for Checkpoint {
     const KIND: &'static str = "dynamo-sim.Checkpoint";
     // Bump when the envelope key set changes, so an old binary rejects
     // a newer checkpoint instead of misreading it.
-    const VERSION: u32 = 1;
+    // v2: grid_scenario/grid_signal_file envelope keys, grid layer in
+    // the datacenter state.
+    const VERSION: u32 = 2;
 
     fn encode_body(&self, w: &mut SnapWriter) {
         w.put_str(&self.envelope);
@@ -270,6 +304,9 @@ fn envelope_of(args: &Args) -> String {
     if let Some(kw) = args.sb_kw {
         kv("sb_kw", format!("{kw:?}"));
     }
+    if let Some(kw) = args.msb_kw {
+        kv("msb_kw", format!("{kw:?}"));
+    }
     kv("service", args.service.label().to_string());
     kv("generation", args.generation.label().to_string());
     kv("traffic", format!("{:?}", args.traffic));
@@ -292,6 +329,12 @@ fn envelope_of(args: &Args) -> String {
     }
     if let Some(m) = args.fail_leaf {
         kv("fail_leaf", m.to_string());
+    }
+    if let Some(name) = &args.grid_scenario {
+        kv("grid_scenario", name.clone());
+    }
+    if let Some(p) = &args.grid_signal_file {
+        kv("grid_signal_file", p.display().to_string());
     }
     s
 }
@@ -319,6 +362,7 @@ fn args_from_envelope(envelope: &str) -> Result<Args, String> {
             "servers" => args.servers = num(v, k)?,
             "rpp_kw" => args.rpp_kw = Some(num(v, k)?),
             "sb_kw" => args.sb_kw = Some(num(v, k)?),
+            "msb_kw" => args.msb_kw = Some(num(v, k)?),
             "service" => args.service = parse_service(v)?,
             "generation" => {
                 args.generation = ServerGeneration::from_label(v)
@@ -337,6 +381,8 @@ fn args_from_envelope(envelope: &str) -> Result<Args, String> {
             "trace_out" => args.trace_out = Some(PathBuf::from(v)),
             "incident_dir" => args.incident_dir = Some(PathBuf::from(v)),
             "fail_leaf" => args.fail_leaf = Some(num(v, k)?),
+            "grid_scenario" => args.grid_scenario = Some(v.to_string()),
+            "grid_signal_file" => args.grid_signal_file = Some(PathBuf::from(v)),
             other => {
                 return Err(format!(
                     "unknown envelope key '{other}' — checkpoint written by a newer dynamo-sim?"
@@ -347,8 +393,29 @@ fn args_from_envelope(envelope: &str) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Resolves the grid flags into a scenario: a named preset, or a
+/// custom schedule file parsed by [`GridScenario::parse`].
+fn grid_scenario_of(args: &Args) -> Result<Option<GridScenario>, String> {
+    if let Some(name) = &args.grid_scenario {
+        let scenario =
+            GridScenario::preset(name).ok_or_else(|| format!("unknown grid scenario '{name}'"))?;
+        return Ok(Some(scenario));
+    }
+    if let Some(path) = &args.grid_signal_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "custom".to_string());
+        let scenario =
+            GridScenario::parse(&name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        return Ok(Some(scenario));
+    }
+    Ok(None)
+}
+
 /// Builds the datacenter exactly as the original invocation did.
-fn build_datacenter(args: &Args) -> Datacenter {
+fn build_datacenter(args: &Args) -> Result<Datacenter, String> {
     let mut builder = DatacenterBuilder::new()
         .sbs_per_msb(args.sbs)
         .rpps_per_sb(args.rpps)
@@ -371,8 +438,14 @@ fn build_datacenter(args: &Args) -> Datacenter {
     if let Some(kw) = args.sb_kw {
         builder = builder.sb_rating(Power::from_kilowatts(kw));
     }
+    if let Some(kw) = args.msb_kw {
+        builder = builder.msb_rating(Power::from_kilowatts(kw));
+    }
     if args.turbo {
         builder = builder.turbo(args.service);
+    }
+    if let Some(scenario) = grid_scenario_of(args)? {
+        builder = builder.grid(GridConfig::for_scenario(scenario));
     }
     if args.observing() {
         builder = builder.observability(ObsConfig {
@@ -381,7 +454,7 @@ fn build_datacenter(args: &Args) -> Datacenter {
             ..ObsConfig::default()
         });
     }
-    builder.build()
+    Ok(builder.build())
 }
 
 fn write_checkpoint(dc: &mut Datacenter, args: &Args, minute: u64) -> Result<PathBuf, String> {
@@ -413,6 +486,7 @@ const FROZEN_ON_RESUME: &[&str] = &[
     "--servers",
     "--rpp-kw",
     "--sb-kw",
+    "--msb-kw",
     "--service",
     "--generation",
     "--traffic",
@@ -422,6 +496,8 @@ const FROZEN_ON_RESUME: &[&str] = &[
     "--dry-run",
     "--turbo",
     "--fail-leaf",
+    "--grid-scenario",
+    "--grid-signal-file",
 ];
 
 /// Merges a resume invocation into the checkpoint's stored arguments:
@@ -644,7 +720,13 @@ fn replay(argv: &[String]) -> i32 {
     // Redirect regenerated dumps so the originals are never touched.
     args.incident_dir = Some(rargs.out.clone());
 
-    let mut dc = build_datacenter(&args);
+    let mut dc = match build_datacenter(&args) {
+        Ok(dc) => dc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     if let Err(e) = dc.restore(&cp.state) {
         eprintln!("error: restore from {}: {e}", rargs.from.display());
         return 2;
@@ -751,7 +833,13 @@ fn main() {
             }
         };
         let started = Instant::now();
-        let mut dc = build_datacenter(&merged);
+        let mut dc = match build_datacenter(&merged) {
+            Ok(dc) => dc,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         if let Err(e) = dc.restore(&cp.state) {
             eprintln!("error: restore from {}: {e}", path.display());
             std::process::exit(2);
@@ -773,7 +861,13 @@ fn main() {
         );
         (merged, dc, start_minute)
     } else {
-        let dc = build_datacenter(&args);
+        let dc = match build_datacenter(&args) {
+            Ok(dc) => dc,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         (args, dc, 0)
     };
 
@@ -933,6 +1027,8 @@ mod tests {
             "10",
             "--rpp-kw",
             "12.5",
+            "--msb-kw",
+            "2600.0",
             "--service",
             "hadoop",
             "--generation",
@@ -960,6 +1056,7 @@ mod tests {
         let back = args_from_envelope(&envelope_of(&a)).unwrap();
         assert_eq!(envelope_of(&back), envelope_of(&a));
         assert_eq!(back.rpp_kw, Some(12.5));
+        assert_eq!(back.msb_kw, Some(2600.0));
         assert_eq!(back.phase_spread, 2.25);
         assert_eq!(back.service, ServiceKind::Hadoop);
         assert_eq!(back.fail_leaf, Some(3));
@@ -992,6 +1089,43 @@ mod tests {
         assert_eq!(merged.threads, 8);
         assert_eq!(merged.seed, 0, "stored seed wins");
         assert!(merged.resume.is_none());
+    }
+
+    #[test]
+    fn grid_flags_parse_and_validate() {
+        let a = parse(&["--grid-scenario", "curtailment-window"]).unwrap();
+        assert_eq!(a.grid_scenario.as_deref(), Some("curtailment-window"));
+        assert!(a.grid_signal_file.is_none());
+        let a = parse(&["--grid-signal-file", "sig.txt"]).unwrap();
+        assert_eq!(a.grid_signal_file, Some(PathBuf::from("sig.txt")));
+        assert!(parse(&["--grid-scenario", "blackout"]).is_err());
+        assert!(parse(&[
+            "--grid-scenario",
+            "brownout",
+            "--grid-signal-file",
+            "sig.txt"
+        ])
+        .is_err());
+        assert!(usage().contains("--grid-scenario"));
+        assert!(usage().contains("--grid-signal-file"));
+    }
+
+    #[test]
+    fn grid_flags_round_trip_the_envelope_and_freeze_on_resume() {
+        let a = parse(&["--grid-scenario", "brownout"]).unwrap();
+        let back = args_from_envelope(&envelope_of(&a)).unwrap();
+        assert_eq!(back.grid_scenario.as_deref(), Some("brownout"));
+        let a = parse(&["--grid-signal-file", "sig.txt"]).unwrap();
+        let back = args_from_envelope(&envelope_of(&a)).unwrap();
+        assert_eq!(back.grid_signal_file, Some(PathBuf::from("sig.txt")));
+
+        let argv: Vec<String> = ["--resume", "x.snap", "--grid-scenario", "brownout"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let current = parse(&["--resume", "x.snap", "--grid-scenario", "brownout"]).unwrap();
+        let e = merge_resume_args(Args::default(), &current, &argv).unwrap_err();
+        assert!(e.contains("--grid-scenario"), "{e}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use workloads::{ServiceKind, TrafficPattern};
 use crate::control_plane::{DynamoSystem, SystemConfig};
 use crate::datacenter::{Datacenter, ParallelMode};
 use crate::fleet::Fleet;
+use crate::grid::{GridConfig, GridLayer};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::validator::BreakerValidator;
 
@@ -70,6 +71,7 @@ pub struct DatacenterBuilder {
     demand_hold: u32,
     system: SystemConfig,
     telemetry: TelemetryConfig,
+    grid: Option<GridConfig>,
 }
 
 impl Default for DatacenterBuilder {
@@ -91,6 +93,7 @@ impl Default for DatacenterBuilder {
             demand_hold: 1,
             system: SystemConfig::default(),
             telemetry: TelemetryConfig::default(),
+            grid: None,
         }
     }
 }
@@ -356,6 +359,27 @@ impl DatacenterBuilder {
         self
     }
 
+    /// Deploys the grid-interactive layer: the utility-signal scenario,
+    /// a site economic controller pushing contractual limits onto the
+    /// MSB controllers on its own slow cycle, and per-leaf DCUPS banks
+    /// riding short curtailments. See [`crate::GridConfig`].
+    pub fn grid(mut self, config: GridConfig) -> Self {
+        self.grid = Some(config);
+        self
+    }
+
+    /// Shorthand: deploys the grid layer with a named preset scenario
+    /// from [`dyngrid::GridScenario::preset`] and default economics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown preset name.
+    pub fn grid_scenario(self, name: &str) -> Self {
+        let scenario = dyngrid::GridScenario::preset(name)
+            .unwrap_or_else(|| panic!("unknown grid scenario preset {name:?}"));
+        self.grid(GridConfig::for_scenario(scenario))
+    }
+
     /// Builds the datacenter.
     ///
     /// # Panics
@@ -407,8 +431,12 @@ impl DatacenterBuilder {
         let telemetry = Telemetry::new(self.telemetry);
         let validator = BreakerValidator::new(topo.device_count(), rng.split("breaker-validation"));
 
+        let grid = self.grid.map(|config| {
+            GridLayer::build(config, &topo, system.leaf_devices(), system.upper_devices())
+        });
+
         let mut dc = Datacenter::assemble(
-            topo, fleet, system, telemetry, watched, self.tick, validator,
+            topo, fleet, system, telemetry, watched, self.tick, validator, grid,
         );
         dc.set_parallel_mode(self.parallel);
         dc.set_worker_threads(self.worker_threads);

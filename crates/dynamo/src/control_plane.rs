@@ -274,6 +274,30 @@ impl DynamoSystem {
         self.leaves.controllers[i].set_contractual_limit(limit);
     }
 
+    /// Pushes (or clears) a contractual limit on the upper controller
+    /// protecting `device` (an SB or MSB). This is the §III-D actuation
+    /// surface a grid-facing layer drives: the controller obeys
+    /// `min(physical, contractual)` from its next cycle and propagates
+    /// tighter child contracts down the hierarchy itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no upper controller protects `device`.
+    pub fn set_upper_contract(&mut self, device: DeviceId, limit: Option<Power>) {
+        let &i = self
+            .uppers
+            .index_of
+            .get(&device)
+            .unwrap_or_else(|| panic!("no upper controller protects {device}"));
+        self.uppers.controllers[i].set_contractual_limit(limit);
+    }
+
+    /// The devices with upper controllers, SBs before MSBs in build
+    /// order.
+    pub fn upper_devices(&self) -> &[DeviceId] {
+        &self.uppers.devices
+    }
+
     /// Total failovers so far.
     pub fn failovers(&self) -> u64 {
         self.failover.count()

@@ -11,6 +11,7 @@ use workloads::ServiceKind;
 
 use crate::control_plane::{DynamoSystem, SystemState};
 use crate::fleet::{Fleet, FleetState};
+use crate::grid::{GridLayer, GridLayerState};
 use crate::telemetry::{BreakerEvent, Telemetry, TelemetryState};
 use crate::validator::{BreakerValidator, ValidatorState};
 
@@ -81,6 +82,9 @@ pub struct Datacenter {
     alerts_seen: usize,
     /// Epoch-keyed cache of per-device subtree draws (see [`DrawCache`]).
     draw_cache: DrawCache,
+    /// Grid-interactive layer (utility signals, economic contracts,
+    /// DCUPS buffering), when the builder configured one.
+    grid: Option<GridLayer>,
 }
 
 /// Epoch-keyed cache of per-device subtree power sums.
@@ -220,6 +224,7 @@ fn fold_subtree(
 }
 
 impl Datacenter {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         topo: Topology,
         fleet: Fleet,
@@ -228,6 +233,7 @@ impl Datacenter {
         watched: Vec<DeviceId>,
         tick: SimDuration,
         validator: BreakerValidator,
+        grid: Option<GridLayer>,
     ) -> Self {
         let subtree: Vec<Vec<u32>> = topo.iter().map(|d| topo.servers_under(d.id)).collect();
         let subtree_range: Vec<Option<Range<usize>>> =
@@ -297,6 +303,7 @@ impl Datacenter {
             watched_scratch: Vec::new(),
             alerts_seen: 0,
             draw_cache,
+            grid,
         }
     }
 
@@ -416,10 +423,42 @@ impl Datacenter {
         &self.telemetry
     }
 
+    /// The grid-interactive layer, when one was configured.
+    pub fn grid(&self) -> Option<&GridLayer> {
+        self.grid.as_ref()
+    }
+
     /// True power currently flowing through `device` (sum of subtree
     /// servers).
     pub fn device_power(&self, device: DeviceId) -> Power {
         self.subtree_power(device.index())
+    }
+
+    /// True when every device's epoch-cached draw matches a fresh fold
+    /// bit for bit. Serving a draw through the cache is allowed to
+    /// populate it, so this needs `&mut self`; it never changes what
+    /// any subsequent read returns.
+    pub fn draw_cache_is_exact(&mut self) -> bool {
+        for i in 0..self.subtree.len() {
+            let served = cached_subtree_power(
+                &mut self.draw_cache,
+                &self.fleet,
+                &self.subtree_range,
+                &self.subtree,
+                i,
+            );
+            let fresh = fold_subtree(
+                &self.draw_cache,
+                &self.fleet,
+                &self.subtree_range,
+                &self.subtree,
+                i,
+            );
+            if served.as_watts().to_bits() != fresh.as_watts().to_bits() {
+                return false;
+            }
+        }
+        true
     }
 
     /// Power through `device` attributable to one service (Figure 15's
@@ -489,6 +528,33 @@ impl Datacenter {
                     }
                 }
             }
+        }
+
+        // 2b. Grid-interactive layer: read the utility signal, run any
+        // economic cycle due (pushing contractual limits onto the MSB
+        // controllers the next stage will act on), and ride the DCUPS
+        // banks against the utility target. Site draw reuses the epoch
+        // cache populated by the breaker pass above, so this is a few
+        // cache hits per tick.
+        if let Some(grid) = self.grid.as_mut() {
+            let mut site_w = 0.0;
+            for &(d, _) in grid.msbs() {
+                site_w += cached_subtree_power(
+                    &mut self.draw_cache,
+                    &self.fleet,
+                    &self.subtree_range,
+                    &self.subtree,
+                    d.index(),
+                )
+                .as_watts();
+            }
+            grid.step(
+                now,
+                self.tick,
+                Power::from_watts(site_w),
+                self.fleet.leaf_power_partials(),
+                &mut self.system,
+            );
         }
 
         // 3. Controller cycles.
@@ -608,6 +674,7 @@ impl Datacenter {
             breaker_status: self.breaker_status.clone(),
             validator: self.validator.state(),
             alerts_seen: self.alerts_seen as u64,
+            grid: self.grid.as_ref().map(|g| g.state()),
         }
     }
 
@@ -632,6 +699,14 @@ impl Datacenter {
                 self.device_ids.len()
             )));
         }
+        match (&mut self.grid, &state.grid) {
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(SnapError::Corrupt(
+                    "snapshot and rebuilt datacenter disagree on grid layer presence".into(),
+                ))
+            }
+            _ => {}
+        }
         self.fleet.restore(&state.fleet)?;
         self.system.restore(&state.system)?;
         self.telemetry.restore(&state.telemetry)?;
@@ -640,6 +715,9 @@ impl Datacenter {
         }
         self.breaker_status.clone_from(&state.breaker_status);
         self.validator.restore(&state.validator)?;
+        if let (Some(grid), Some(gs)) = (&mut self.grid, &state.grid) {
+            grid.restore(gs)?;
+        }
         self.alerts_seen = state.alerts_seen as usize;
         self.now = SimTime::from_millis(state.now_ms);
         // The draw cache keys on leaf epochs that just changed under
@@ -683,11 +761,13 @@ pub struct DatacenterState {
     pub(crate) breaker_status: Vec<BreakerStatus>,
     pub(crate) validator: ValidatorState,
     pub(crate) alerts_seen: u64,
+    pub(crate) grid: Option<GridLayerState>,
 }
 
 impl Snapshot for DatacenterState {
     const KIND: &'static str = "dynamo.DatacenterState";
-    const VERSION: u32 = 1;
+    // v2: appends the optional grid-interactive layer state.
+    const VERSION: u32 = 2;
 
     fn encode_body(&self, w: &mut SnapWriter) {
         w.put_u64(self.now_ms);
@@ -704,6 +784,13 @@ impl Snapshot for DatacenterState {
         }
         self.validator.encode_body(w);
         w.put_u64(self.alerts_seen);
+        match &self.grid {
+            Some(g) => {
+                w.put_u8(1);
+                g.encode_body(w);
+            }
+            None => w.put_u8(0),
+        }
     }
 
     fn decode_body(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -721,6 +808,13 @@ impl Snapshot for DatacenterState {
         for _ in 0..ns {
             breaker_status.push(BreakerStatus::from_snap_code(r.get_u8()?)?);
         }
+        let validator = ValidatorState::decode_body(r)?;
+        let alerts_seen = r.get_u64()?;
+        let grid = match r.get_u8()? {
+            0 => None,
+            1 => Some(GridLayerState::decode_body(r)?),
+            other => return Err(SnapError::Corrupt(format!("bad grid-layer tag {other}"))),
+        };
         Ok(DatacenterState {
             now_ms,
             fleet,
@@ -728,8 +822,9 @@ impl Snapshot for DatacenterState {
             telemetry,
             breakers,
             breaker_status,
-            validator: ValidatorState::decode_body(r)?,
-            alerts_seen: r.get_u64()?,
+            validator,
+            alerts_seen,
+            grid,
         })
     }
 }

@@ -45,6 +45,7 @@ mod datacenter;
 mod events;
 mod failover;
 mod fleet;
+mod grid;
 mod leaf_exec;
 mod obs;
 mod report;
@@ -59,6 +60,7 @@ pub use dynobs::ObsConfig;
 pub use dynpool::WorkerPool;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
 pub use fleet::{Fleet, FleetState, FleetStats};
+pub use grid::{DcupsBankConfig, GridConfig, GridLayer, GridSummary};
 pub use obs::Observability;
 pub use report::{LevelSummary, RunReport};
 pub use telemetry::{Telemetry, TelemetryConfig, TelemetryState};

@@ -61,6 +61,19 @@ pub(crate) struct ObsIds {
     pub(crate) fleet_power: GaugeId,
     pub(crate) capped_now: GaugeId,
     pub(crate) sim_time: GaugeId,
+    // Grid layer and DCUPS banks (registry-direct, serial only).
+    pub(crate) grid_econ_cycles: CounterId,
+    pub(crate) grid_limit_changes: CounterId,
+    pub(crate) grid_curtailments: CounterId,
+    pub(crate) grid_curtailments_contained: CounterId,
+    pub(crate) grid_violation_seconds: CounterId,
+    pub(crate) dcups_discharge_seconds: CounterId,
+    pub(crate) grid_price: GaugeId,
+    pub(crate) grid_frequency: GaugeId,
+    pub(crate) grid_curtail_limit: GaugeId,
+    pub(crate) grid_utility_draw: GaugeId,
+    pub(crate) grid_site_contract: GaugeId,
+    pub(crate) dcups_charge: GaugeId,
 }
 
 fn register(b: &mut RegistryBuilder) -> ObsIds {
@@ -164,6 +177,51 @@ fn register(b: &mut RegistryBuilder) -> ObsIds {
         fleet_power: b.gauge("dynamo_fleet_power_watts", "Total fleet power draw"),
         capped_now: b.gauge("dynamo_capped_servers", "Servers currently capped"),
         sim_time: b.gauge("dynamo_sim_time_seconds", "Simulated time"),
+        grid_econ_cycles: b.counter(
+            "dynamo_grid_econ_cycles_total",
+            "Site economic-controller cycles run",
+        ),
+        grid_limit_changes: b.counter(
+            "dynamo_grid_limit_changes_total",
+            "Site contractual-limit changes pushed by the economic controller",
+        ),
+        grid_curtailments: b.counter(
+            "dynamo_grid_curtailments_total",
+            "Utility curtailment windows entered",
+        ),
+        grid_curtailments_contained: b.counter(
+            "dynamo_grid_curtailments_contained_total",
+            "Curtailment windows contained within the economic budget",
+        ),
+        grid_violation_seconds: b.counter(
+            "dynamo_grid_curtailment_violation_seconds_total",
+            "Seconds of utility draw above an active curtailment limit past the containment budget",
+        ),
+        dcups_discharge_seconds: b.counter(
+            "dynamo_dcups_discharge_seconds_total",
+            "Seconds with at least one DCUPS bank intentionally discharging",
+        ),
+        grid_price: b.gauge(
+            "dynamo_grid_price_per_mwh",
+            "Utility wholesale price signal",
+        ),
+        grid_frequency: b.gauge("dynamo_grid_frequency_hz", "Grid frequency signal"),
+        grid_curtail_limit: b.gauge(
+            "dynamo_grid_curtail_limit_watts",
+            "Active utility curtailment limit (0 when no window is active)",
+        ),
+        grid_utility_draw: b.gauge(
+            "dynamo_grid_utility_draw_watts",
+            "Power drawn from the utility: servers minus DCUPS discharge plus recharge",
+        ),
+        grid_site_contract: b.gauge(
+            "dynamo_grid_site_contract_watts",
+            "Site-wide contractual limit pushed by the economic controller (0 when cleared)",
+        ),
+        dcups_charge: b.gauge(
+            "dynamo_dcups_charge_fraction",
+            "Aggregate DCUPS bank charge as a fraction of capacity",
+        ),
     }
 }
 
@@ -412,6 +470,100 @@ impl Observability {
             });
         }
         self.incident("validator-alert", now.as_millis());
+    }
+
+    /// Updates the grid-layer gauges (datacenter context, every tick a
+    /// grid layer is active). Inactive limits are exported as 0 so the
+    /// exposition keeps a fixed shape.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn set_grid_gauges(
+        &mut self,
+        price_per_mwh: f64,
+        frequency_hz: f64,
+        curtail_limit_watts: f64,
+        utility_draw_watts: f64,
+        site_contract_watts: f64,
+        dcups_charge_fraction: f64,
+    ) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.set_gauge(self.ids.grid_price, price_per_mwh);
+        self.registry
+            .set_gauge(self.ids.grid_frequency, frequency_hz);
+        self.registry
+            .set_gauge(self.ids.grid_curtail_limit, curtail_limit_watts);
+        self.registry
+            .set_gauge(self.ids.grid_utility_draw, utility_draw_watts);
+        self.registry
+            .set_gauge(self.ids.grid_site_contract, site_contract_watts);
+        self.registry
+            .set_gauge(self.ids.dcups_charge, dcups_charge_fraction);
+    }
+
+    /// Records one economic-controller cycle (serial context).
+    pub(crate) fn record_grid_econ_cycle(&mut self, changed: bool) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.ids.grid_econ_cycles);
+        if changed {
+            self.registry.inc(self.ids.grid_limit_changes);
+        }
+    }
+
+    /// Records a curtailment window opening.
+    pub(crate) fn record_grid_curtailment_start(&mut self) {
+        if self.registry.is_enabled() {
+            self.registry.inc(self.ids.grid_curtailments);
+        }
+    }
+
+    /// Records a curtailment window closing, contained or not.
+    pub(crate) fn record_grid_curtailment_end(&mut self, contained: bool) {
+        if self.registry.is_enabled() && contained {
+            self.registry.inc(self.ids.grid_curtailments_contained);
+        }
+    }
+
+    /// Accumulates a tick of intentional DCUPS discharge.
+    pub(crate) fn record_dcups_discharge(&mut self, secs: u64) {
+        if self.registry.is_enabled() {
+            self.registry.add(self.ids.dcups_discharge_seconds, secs);
+        }
+    }
+
+    /// Accumulates a tick of utility draw above an active curtailment
+    /// limit past the containment budget.
+    pub(crate) fn record_grid_violation_tick(&mut self, secs: u64) {
+        if self.registry.is_enabled() {
+            self.registry.add(self.ids.grid_violation_seconds, secs);
+        }
+    }
+
+    /// Records the first budget-exceeding breach of a curtailment
+    /// window: a flight record plus the `curtailment-violation`
+    /// incident trigger (once per window, at the caller's discretion).
+    pub(crate) fn record_curtailment_violation(
+        &mut self,
+        now: SimTime,
+        name: &Arc<str>,
+        limit_watts: f64,
+        draw_watts: f64,
+    ) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.flight.push(FlightRecord {
+            at_ms: now.as_millis(),
+            track: 0,
+            controller: Arc::clone(name),
+            kind: FlightKind::CurtailmentViolation {
+                limit_watts,
+                draw_watts,
+            },
+        });
+        self.incident("curtailment-violation", now.as_millis());
     }
 
     /// Updates the fleet gauges (datacenter context, sampling cadence).

@@ -8,6 +8,7 @@ use powerinfra::DeviceLevel;
 
 use crate::datacenter::Datacenter;
 use crate::events::ControllerEventKind;
+use crate::grid::GridSummary;
 
 /// Aggregated statistics for one hierarchy level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,8 @@ pub struct RunReport {
     pub alerts: usize,
     /// Servers currently capped.
     pub currently_capped: usize,
+    /// Grid-interactive layer statistics, when one was configured.
+    pub grid: Option<GridSummary>,
 }
 
 impl RunReport {
@@ -109,13 +112,18 @@ impl RunReport {
             breaker_trips: dc.telemetry().breaker_trips().len(),
             alerts: dc.system().alerts().len() + dc.validator().alerts().len(),
             currently_capped: dc.fleet().stats().capped_servers,
+            grid: dc.grid().map(|g| g.summary()),
         }
     }
 
     /// True when the run ended with no outages and no open incidents —
-    /// the state Dynamo exists to maintain.
+    /// the state Dynamo exists to maintain. With a grid layer deployed
+    /// this includes honoring every curtailment (no violation seconds).
     pub fn is_healthy(&self) -> bool {
-        self.breaker_trips == 0 && self.invalid_aggregations == 0 && self.alerts == 0
+        self.breaker_trips == 0
+            && self.invalid_aggregations == 0
+            && self.alerts == 0
+            && self.grid.as_ref().is_none_or(|g| g.violation_secs == 0)
     }
 }
 
@@ -151,6 +159,36 @@ impl std::fmt::Display for RunReport {
         )?;
         for (name, skipped) in &self.leaf_skipped_cycles {
             writeln!(f, "  failover: {name} skipped {skipped} cycle(s)")?;
+        }
+        if let Some(g) = &self.grid {
+            writeln!(
+                f,
+                "grid [{}]: {} curtailments ({} contained), {} s violation, \
+                 {} limit pushes over {} econ cycles",
+                g.scenario,
+                g.curtailments,
+                g.contained,
+                g.violation_secs,
+                g.limit_changes,
+                g.econ_cycles
+            )?;
+            writeln!(
+                f,
+                "grid: utility draw {:.1} kW, contract {}, dcups {:.1}% charged \
+                 (low water {:.1}%), {} s discharging{}",
+                g.utility_draw.as_watts() / 1000.0,
+                match g.site_contract {
+                    Some(c) => format!("{:.1} kW", c.as_watts() / 1000.0),
+                    None => "none".to_string(),
+                },
+                g.charge_fraction * 100.0,
+                g.charge_low_water * 100.0,
+                g.discharge_secs,
+                match g.last_containment_secs {
+                    Some(s) => format!(", contained in {s} s"),
+                    None => String::new(),
+                }
+            )?;
         }
         writeln!(f, "healthy: {}", self.is_healthy())
     }

@@ -251,6 +251,46 @@ fn active_set_engages_in_steady_state() {
     );
 }
 
+/// The grid-interactive layer rides the same hot loop: with a quiet
+/// (nominal) utility signal the per-tick work — signal lookup, episode
+/// check, DCUPS availability scan over the reusable scratch buffer,
+/// settlement accumulation and gauge updates — must stay off the heap.
+/// Econ-cycle ticks (60 s) and upper-cycle ticks (9 s) are skipped for
+/// the same reason the leaf-only measurement skips them: those paths
+/// build directive lists by design.
+#[test]
+fn steady_state_grid_ticks_do_not_allocate() {
+    let _serial = serialize_test();
+    let mut dc = dynamo::DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, workloads::TrafficPattern::flat(1.0))
+        .observability(ObsConfig::on())
+        .grid_scenario("nominal")
+        .seed(11)
+        .build();
+    // Warm up past several leaf, upper and econ cycles.
+    dc.run_for(SimDuration::from_secs(130));
+    let mut measured = 0;
+    let mut total = 0u64;
+    while measured < 20 {
+        let t = dc.now().as_secs();
+        if t.is_multiple_of(9) || (t + 1).is_multiple_of(60) || t.is_multiple_of(60) {
+            dc.step();
+            continue;
+        }
+        total += count_allocs(|| dc.step());
+        measured += 1;
+    }
+    assert_eq!(
+        total, 0,
+        "grid layer allocated in the steady-state tick path"
+    );
+}
+
 /// The Hold-band guarantee must survive an active cap: a capped fleet
 /// in steady state (caps placed, nothing to change) is equally hot.
 #[test]

@@ -94,6 +94,14 @@ pub enum FlightKind {
     ValidatorAlert,
     /// A breaker tripped.
     BreakerTrip,
+    /// Site utility draw exceeded an active grid curtailment limit past
+    /// the economic controller's containment budget.
+    CurtailmentViolation {
+        /// The curtailed feed limit in force (watts).
+        limit_watts: f64,
+        /// The utility draw that breached it (watts).
+        draw_watts: f64,
+    },
 }
 
 impl FlightKind {
@@ -110,6 +118,7 @@ impl FlightKind {
             FlightKind::BandTransition { .. } => "band_transition",
             FlightKind::ValidatorAlert => "validator_alert",
             FlightKind::BreakerTrip => "breaker_trip",
+            FlightKind::CurtailmentViolation { .. } => "curtailment_violation",
         }
     }
 
@@ -143,6 +152,14 @@ impl FlightKind {
             }
             FlightKind::ValidatorAlert => w.put_u8(7),
             FlightKind::BreakerTrip => w.put_u8(8),
+            FlightKind::CurtailmentViolation {
+                limit_watts,
+                draw_watts,
+            } => {
+                w.put_u8(9);
+                w.put_f64(limit_watts);
+                w.put_f64(draw_watts);
+            }
         }
     }
 
@@ -177,6 +194,10 @@ impl FlightKind {
             }
             7 => FlightKind::ValidatorAlert,
             8 => FlightKind::BreakerTrip,
+            9 => FlightKind::CurtailmentViolation {
+                limit_watts: r.get_f64()?,
+                draw_watts: r.get_f64()?,
+            },
             other => {
                 return Err(SnapError::Corrupt(format!(
                     "unknown flight record kind {other}"
@@ -201,6 +222,10 @@ impl FlightKind {
                 from.label(),
                 to.label()
             ),
+            FlightKind::CurtailmentViolation {
+                limit_watts,
+                draw_watts,
+            } => format!("{{\"limit_watts\":{limit_watts},\"draw_watts\":{draw_watts}}}"),
             _ => "{}".to_string(),
         }
     }
@@ -387,6 +412,24 @@ mod tests {
         assert_eq!(fr.total_recorded(), 3);
         let ats: Vec<u64> = fr.records().map(|r| r.at_ms).collect();
         assert_eq!(ats, vec![2, 3]);
+    }
+
+    #[test]
+    fn curtailment_violation_round_trips_and_renders() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(rec(
+            5000,
+            FlightKind::CurtailmentViolation {
+                limit_watts: 24_000.0,
+                draw_watts: 25_500.0,
+            },
+        ));
+        let bytes = fr.to_snap_bytes();
+        let decoded = FlightRecorder::from_snap_bytes(&bytes).unwrap();
+        assert_eq!(decoded.records().next(), fr.records().next());
+        let json = fr.incident_json("curtailment-violation", 5000, 1);
+        assert!(json.contains("\"kind\":\"curtailment_violation\""));
+        assert!(json.contains("\"limit_watts\":24000"));
     }
 
     #[test]

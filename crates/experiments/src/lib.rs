@@ -34,6 +34,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig9;
+pub mod grid;
 pub mod implications;
 pub mod table1;
 

@@ -13,10 +13,10 @@
 
 use experiments::{
     ablation, coordination, diagrams, fig1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig3,
-    fig4, fig5, fig6, fig9, implications, table1, Scale,
+    fig4, fig5, fig6, fig9, grid, implications, table1, Scale,
 };
 
-const TARGETS: [&str; 20] = [
+const TARGETS: [&str; 21] = [
     "fig1",
     "fig2",
     "fig3",
@@ -37,6 +37,7 @@ const TARGETS: [&str; 20] = [
     "ablation",
     "implications",
     "coordination",
+    "grid",
 ];
 
 fn run_target(target: &str, scale: Scale) -> Result<(), String> {
@@ -62,6 +63,7 @@ fn run_target(target: &str, scale: Scale) -> Result<(), String> {
         "ablation" => println!("{}", ablation::run()),
         "implications" => println!("{}", implications::run(scale)),
         "coordination" => println!("{}", coordination::run()),
+        "grid" => println!("{}", grid::run(scale)),
         other => return Err(format!("unknown target '{other}'")),
     }
     Ok(())

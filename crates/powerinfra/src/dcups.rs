@@ -84,11 +84,19 @@ impl Snapshot for Dcups {
                 "bad DCUPS design load {design_load}"
             )));
         }
+        let capacity_j = r.get_f64()?;
+        let charge_j = r.get_f64()?;
+        let recharge_frac = r.get_f64()?;
+        if !(recharge_frac > 0.0 && recharge_frac <= 1.0) {
+            return Err(SnapError::Corrupt(format!(
+                "bad DCUPS recharge fraction {recharge_frac}"
+            )));
+        }
         Ok(Dcups {
             design_load,
-            capacity_j: r.get_f64()?,
-            charge_j: r.get_f64()?,
-            recharge_frac: r.get_f64()?,
+            capacity_j,
+            charge_j,
+            recharge_frac,
             state: match r.get_u8()? {
                 0 => DcupsState::Standby,
                 1 => DcupsState::Discharging,
@@ -109,13 +117,29 @@ impl Dcups {
     ///
     /// Panics if `design_load` is not strictly positive.
     pub fn new(design_load: Power) -> Self {
+        Self::with_recharge_frac(design_load, 0.1)
+    }
+
+    /// Creates a fully-charged unit with an explicit recharge rate,
+    /// expressed as a fraction of design load (the classic unit
+    /// recharges at a tenth of design load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design_load` is not strictly positive or
+    /// `recharge_frac` is outside `(0, 1]`.
+    pub fn with_recharge_frac(design_load: Power, recharge_frac: f64) -> Self {
         assert!(design_load.as_watts() > 0.0, "design load must be positive");
+        assert!(
+            recharge_frac > 0.0 && recharge_frac <= 1.0,
+            "recharge fraction {recharge_frac} outside (0, 1]"
+        );
         let capacity_j = design_load.as_watts() * RIDE_THROUGH.as_secs_f64();
         Dcups {
             design_load,
             capacity_j,
             charge_j: capacity_j,
-            recharge_frac: 0.1,
+            recharge_frac,
             state: DcupsState::Standby,
         }
     }
@@ -123,6 +147,36 @@ impl Dcups {
     /// The design load.
     pub fn design_load(&self) -> Power {
         self.design_load
+    }
+
+    /// The recharge rate as a fraction of design load.
+    pub fn recharge_frac(&self) -> f64 {
+        self.recharge_frac
+    }
+
+    /// Energy capacity in joules.
+    pub fn capacity_joules(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining charge in joules.
+    pub fn charge_joules(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// The charge-reserve floor (joules) that preserves the full
+    /// [`RIDE_THROUGH`] outage rating at `load`: a demand-response
+    /// controller discharging this unit on purpose must stop here, or
+    /// a real utility outage arriving mid-event would go dark early.
+    pub fn reserve_floor_joules(&self, load: Power) -> f64 {
+        (load.as_watts().max(0.0) * RIDE_THROUGH.as_secs_f64()).min(self.capacity_j)
+    }
+
+    /// Energy (joules) available for intentional discharge above the
+    /// reserve floor at `load`. Zero when the unit is at or below the
+    /// floor.
+    pub fn available_discharge_joules(&self, load: Power) -> f64 {
+        (self.charge_j - self.reserve_floor_joules(load)).max(0.0)
     }
 
     /// Remaining charge as a fraction of capacity.
@@ -155,7 +209,7 @@ impl Dcups {
     pub fn step(&mut self, utility_present: bool, load: Power, dt: SimDuration) -> DcupsState {
         assert!(load.is_valid_draw(), "invalid DCUPS load {load:?}");
         if utility_present {
-            // Recharge at a tenth of design load until full.
+            // Recharge at `recharge_frac` of design load until full.
             let recharge = self.design_load.as_watts() * self.recharge_frac * dt.as_secs_f64();
             self.charge_j = (self.charge_j + recharge).min(self.capacity_j);
             self.state = DcupsState::Standby;
@@ -274,5 +328,69 @@ mod tests {
     #[should_panic(expected = "design load must be positive")]
     fn zero_design_load_panics() {
         Dcups::new(Power::ZERO);
+    }
+
+    #[test]
+    fn recharge_frac_is_configurable() {
+        let design = Power::from_kilowatts(75.6);
+        let mut fast = Dcups::with_recharge_frac(design, 0.5);
+        assert_eq!(fast.recharge_frac(), 0.5);
+        for _ in 0..45 {
+            fast.step(false, design, SimDuration::from_secs(1));
+        }
+        // Half empty; at 50% of design load it refills in ~90 s.
+        let mut t = 0;
+        while fast.charge_fraction() < 1.0 {
+            fast.step(true, design, SimDuration::from_secs(1));
+            t += 1;
+            assert!(t < 200, "never recharged");
+        }
+        assert!((85..=95).contains(&t), "recharged in {t}s");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn out_of_range_recharge_frac_panics() {
+        Dcups::with_recharge_frac(Power::from_kilowatts(10.0), 1.5);
+    }
+
+    #[test]
+    fn reserve_floor_preserves_ride_through() {
+        let design = Power::from_kilowatts(10.0);
+        let mut ups = Dcups::with_recharge_frac(design, 0.2);
+        let load = design * 0.6;
+        // Fully charged: available = capacity - load * 90 s.
+        let avail = ups.available_discharge_joules(load);
+        assert!((avail - 0.4 * ups.capacity_joules()).abs() < 1e-6);
+        // Discharge down to exactly the floor: a subsequent outage at
+        // `load` still rides the full 90 s.
+        while ups.available_discharge_joules(load) > 0.0 {
+            let take =
+                Power::from_watts((ups.available_discharge_joules(load)).min(load.as_watts()));
+            ups.step(false, take, SimDuration::from_secs(1));
+        }
+        let runtime = ups.runtime_at(load).unwrap();
+        assert!(runtime >= RIDE_THROUGH, "{runtime:?} < 90s at the floor");
+        // The floor never exceeds capacity, whatever the load.
+        assert_eq!(
+            ups.reserve_floor_joules(design * 5.0),
+            ups.capacity_joules()
+        );
+        assert_eq!(ups.reserve_floor_joules(Power::ZERO), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_custom_recharge_frac_at_version_1() {
+        let mut ups = Dcups::with_recharge_frac(Power::from_kilowatts(20.0), 0.25);
+        ups.step(
+            false,
+            Power::from_kilowatts(12.0),
+            SimDuration::from_secs(30),
+        );
+        let bytes = ups.to_snap_bytes();
+        let decoded = Dcups::from_snap_bytes(&bytes).unwrap();
+        assert_eq!(decoded, ups);
+        assert_eq!(bytes, decoded.to_snap_bytes());
+        assert_eq!(Dcups::VERSION, 1, "byte layout unchanged: same version");
     }
 }

@@ -1,0 +1,88 @@
+//! Grid-interactive demand response: a utility curtailment window
+//! honored by the §III-D contractual-limit path, side by side with a
+//! datacenter that ignores the grid entirely.
+//!
+//! The same fleet runs twice through a 10-minute curtailment window
+//! (the utility drops the site's allowance to 80% of the interconnect
+//! capacity). The grid-aware run translates the signal into temporary
+//! contract pushes on the MSB controllers and rides the step with the
+//! DCUPS banks; the report shows the window contained with zero
+//! violation seconds and the performance cost paid for it.
+//!
+//! ```text
+//! cargo run --release --example grid_curtailment
+//! ```
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{Datacenter, DatacenterBuilder, RunReport, ServicePlan};
+use dynamo_repro::powerinfra::{DeviceLevel, Power};
+use dynamo_repro::workloads::ServiceKind;
+
+fn base() -> DatacenterBuilder {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(8)
+        // Realistic bank sizing: DCUPS capacity follows the leaf design
+        // load (90 s ride-through), so an oversized RPP rating would let
+        // the batteries absorb the whole window and hide the contract
+        // pushes this example is about.
+        .rpp_rating(Power::from_kilowatts(5.0))
+        .service_plan(ServicePlan::Mix(vec![
+            (ServiceKind::Web, 0.6),
+            (ServiceKind::Cache, 0.4),
+        ]))
+        .seed(77)
+}
+
+fn build(grid: bool, msb_rating: Power) -> Datacenter {
+    let b = base().msb_rating(msb_rating);
+    if grid {
+        b.grid_scenario("curtailment-window").build()
+    } else {
+        b.build()
+    }
+}
+
+fn main() {
+    // Size the interconnect so the 80% curtailment actually bites: pin
+    // the MSB rating 15% above the fleet's unconstrained draw.
+    let baseline = {
+        let mut probe = base().build();
+        probe.run_for(SimDuration::from_secs(60));
+        probe.fleet().stats().total_power
+    };
+    let msb_rating = baseline * 1.15;
+
+    for grid in [false, true] {
+        let label = if grid { "grid-aware" } else { "grid-blind" };
+        let mut dc = build(grid, msb_rating);
+        let msb = dc.topology().devices_at(DeviceLevel::Msb)[0];
+        println!("--- {label} ---");
+        for _ in 0..5 {
+            dc.run_for(SimDuration::from_mins(4));
+            let g = dc.grid().map(|g| g.summary());
+            println!(
+                "t={:>4} s  MSB={:>6.2} kW  utility={}  perf={:>5.1}%",
+                dc.now().as_secs(),
+                dc.device_power(msb).as_kilowatts(),
+                match &g {
+                    Some(s) => format!("{:>6.2} kW", s.utility_draw.as_kilowatts()),
+                    None => "   (unmetered)".to_string(),
+                },
+                dc.performance_under(msb) * 100.0,
+            );
+        }
+        println!("{}", RunReport::from_datacenter(&dc));
+    }
+    println!(
+        "The grid-aware run holds the economic period's mean utility draw\n\
+         under the curtailed allowance — contract pushes do the sustained\n\
+         work, batteries absorb the step and recharge after the clear —\n\
+         while the grid-blind run draws through the window as if the\n\
+         signal never arrived. The alerts in the grid-aware report are\n\
+         the flip side of compliance: a curtailment cut has no offenders\n\
+         to target, so the controllers cap compliant services and say so."
+    );
+}

@@ -30,6 +30,7 @@ pub use dcsim;
 pub use dynamo;
 pub use dynamo_agent;
 pub use dynamo_controller;
+pub use dyngrid;
 pub use dynobs;
 pub use dynrpc;
 pub use powerinfra;

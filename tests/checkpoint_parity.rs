@@ -88,6 +88,100 @@ fn run_with_faults(dc: &mut Datacenter, from: u64, to: u64) {
     assert_eq!(dc.now().as_secs(), to);
 }
 
+/// The grid-interactive variant: same fleet, MSB rating pinned low
+/// enough that the curtailment-window preset's 0.80 limit actually
+/// binds, batteries and economic controller live. The checkpoint at
+/// t=400 s lands mid-curtailment (window is 300..900 s), so the open
+/// episode, settlement accumulators, bank charge and pushed contract
+/// all cross the snapshot boundary.
+fn build_grid(threads: usize, mode: ParallelMode) -> Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .rpp_rating(Power::from_kilowatts(18.0))
+        .msb_rating(Power::from_kilowatts(36.0))
+        .service_plan(ServicePlan::Mix(vec![
+            (ServiceKind::Web, 0.5),
+            (ServiceKind::Cache, 0.3),
+            (ServiceKind::Hadoop, 0.2),
+        ]))
+        .traffic(ServiceKind::Web, TrafficPattern::diurnal())
+        .grid_scenario("curtailment-window")
+        .observability(ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        })
+        .worker_threads(threads)
+        .parallel_mode(mode)
+        .seed(47)
+        .build()
+}
+
+fn run_straight_grid(threads: usize, mode: ParallelMode) -> (String, String) {
+    let mut dc = build_grid(threads, mode);
+    run_with_faults(&mut dc, 0, 700);
+    observable(&dc)
+}
+
+fn run_resumed_grid(threads: usize, mode: ParallelMode) -> (String, String) {
+    let mut first = build_grid(threads, mode);
+    run_with_faults(&mut first, 0, 400);
+    assert!(
+        first.grid().expect("grid configured").curtailment_active(),
+        "checkpoint must land mid-curtailment for this test to bite"
+    );
+    let bytes = first.state().to_snap_bytes();
+    drop(first);
+
+    let state = DatacenterState::from_snap_bytes(&bytes).expect("snapshot must decode");
+    let mut resumed = build_grid(threads, mode);
+    resumed.restore(&state).expect("snapshot must restore");
+    assert!(resumed.grid().unwrap().curtailment_active());
+    run_with_faults(&mut resumed, 400, 700);
+    observable(&resumed)
+}
+
+#[test]
+fn grid_resume_mid_curtailment_is_bit_identical() {
+    let baseline = run_straight_grid(1, ParallelMode::Pooled);
+    assert!(
+        baseline.0.contains("grid [curtailment-window]"),
+        "report must carry the grid section:\n{}",
+        baseline.0
+    );
+    for (threads, mode) in [
+        (1, ParallelMode::Pooled),
+        (2, ParallelMode::Pooled),
+        (8, ParallelMode::Pooled),
+    ] {
+        let resumed = run_resumed_grid(threads, mode);
+        assert_eq!(
+            baseline.0, resumed.0,
+            "grid report diverged after resume at {threads} threads ({mode:?})"
+        );
+        assert_eq!(
+            baseline.1, resumed.1,
+            "grid metrics diverged after resume at {threads} threads ({mode:?})"
+        );
+    }
+}
+
+#[test]
+fn grid_restore_rejects_gridless_snapshot() {
+    let mut plain = build(1, ParallelMode::Pooled);
+    plain.run_for(SimDuration::from_secs(10));
+    let bytes = plain.state().to_snap_bytes();
+    let state = DatacenterState::from_snap_bytes(&bytes).unwrap();
+    let mut gridded = build_grid(1, ParallelMode::Pooled);
+    let err = gridded.restore(&state).unwrap_err();
+    assert!(
+        err.to_string().contains("grid"),
+        "mismatch error should name the grid layer, got: {err}"
+    );
+}
+
 #[test]
 fn resume_is_bit_identical_serial() {
     assert_eq!(

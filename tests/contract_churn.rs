@@ -1,0 +1,123 @@
+//! Contractual-limit churn (§III-D): limits applied, cleared and
+//! re-applied mid-run — the exact traffic the grid layer's economic
+//! controller generates — must leave the simulation bit-identical at
+//! any thread count, and the epoch-keyed draw cache must never serve a
+//! stale subtree sum across the capping transitions the churn causes.
+
+use dcsim::SimDuration;
+use dynamo_repro::dynamo::{Datacenter, DatacenterBuilder, ObsConfig, RunReport, ServicePlan};
+use dynamo_repro::powerinfra::Power;
+use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
+
+fn build(threads: usize) -> Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .rpp_rating(Power::from_kilowatts(18.0))
+        .service_plan(ServicePlan::Mix(vec![
+            (ServiceKind::Web, 0.6),
+            (ServiceKind::Cache, 0.4),
+        ]))
+        .traffic(ServiceKind::Web, TrafficPattern::diurnal())
+        .observability(ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        })
+        .worker_threads(threads)
+        .seed(53)
+        .build()
+}
+
+/// Drives 600 s of churn on both tiers: contracts sized off the
+/// *measured* draw at t=60 (bit-identical at every thread count, so
+/// every run pushes the same limits), applied at t=120, cleared at
+/// t=240, re-applied tighter at t=360. At each boundary and every
+/// 50 ticks the whole draw cache is audited against fresh folds.
+fn run_churned(threads: usize) -> (String, String) {
+    let mut dc = build(threads);
+    let leaf = dc.system().leaf_devices()[0];
+    let upper = *dc
+        .system()
+        .upper_devices()
+        .last()
+        .expect("upper tier present");
+    let mut leaf_limit = Power::ZERO;
+    let mut upper_limit = Power::ZERO;
+    for t in 0..600u64 {
+        match t {
+            60 => {
+                leaf_limit = dc.device_power(leaf) * 0.85;
+                upper_limit = dc.device_power(upper) * 0.9;
+            }
+            120 => {
+                dc.system_mut().set_leaf_contract(leaf, Some(leaf_limit));
+                dc.system_mut().set_upper_contract(upper, Some(upper_limit));
+            }
+            240 => {
+                dc.system_mut().set_leaf_contract(leaf, None);
+                dc.system_mut().set_upper_contract(upper, None);
+            }
+            360 => {
+                dc.system_mut()
+                    .set_leaf_contract(leaf, Some(leaf_limit * 0.95));
+                dc.system_mut()
+                    .set_upper_contract(upper, Some(upper_limit * 0.95));
+            }
+            _ => {}
+        }
+        dc.step();
+        if t % 50 == 0 || t == 120 || t == 240 || t == 360 {
+            assert!(
+                dc.draw_cache_is_exact(),
+                "draw cache served a stale sum at t={t} ({threads} threads)"
+            );
+        }
+    }
+    (
+        RunReport::from_datacenter(&dc).to_string(),
+        dc.system().observability().prometheus_text(),
+    )
+}
+
+#[test]
+fn contract_churn_caps_and_releases() {
+    let mut dc = build(1);
+    let leaf = dc.system().leaf_devices()[0];
+    dc.run_for(SimDuration::from_secs(60));
+    let limit = dc.device_power(leaf) * 0.85;
+    dc.system_mut().set_leaf_contract(leaf, Some(limit));
+    dc.run_for(SimDuration::from_secs(120));
+    let mid = RunReport::from_datacenter(&dc);
+    assert!(mid.leaf_cap_events > 0, "contract never capped: {mid}");
+    dc.system_mut().set_leaf_contract(leaf, None);
+    dc.run_for(SimDuration::from_secs(120));
+    let report = RunReport::from_datacenter(&dc);
+    assert!(
+        report.leaf_uncap_events > 0,
+        "clearing the contract never uncapped: {report}"
+    );
+    assert_eq!(report.breaker_trips, 0, "{report}");
+}
+
+#[test]
+fn contract_churn_is_bit_identical_across_threads() {
+    let baseline = run_churned(1);
+    assert!(
+        baseline.0.contains("capping:"),
+        "report should summarize the churn:\n{}",
+        baseline.0
+    );
+    for threads in [2, 8] {
+        let other = run_churned(threads);
+        assert_eq!(
+            baseline.0, other.0,
+            "report diverged under churn at {threads} threads"
+        );
+        assert_eq!(
+            baseline.1, other.1,
+            "metrics diverged under churn at {threads} threads"
+        );
+    }
+}

@@ -161,6 +161,43 @@ fn whole_datacenter_state_roundtrips() {
     assert_eq!(fresh.now(), SimTime::from_mins(5));
 }
 
+/// Same property with the grid-interactive layer live: the nested
+/// `GridLayerState` (economic controller schedule, battery banks, the
+/// open curtailment episode and settlement accumulators) must survive
+/// the byte cycle mid-curtailment.
+#[test]
+fn gridded_datacenter_state_roundtrips_mid_curtailment() {
+    let build = || {
+        DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .servers_per_rack(8)
+            .rpp_rating(Power::from_kilowatts(4.2))
+            .msb_rating(Power::from_kilowatts(8.4))
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.4))
+            .grid_scenario("curtailment-window")
+            .observability(ObsConfig::on())
+            .seed(17)
+            .build()
+    };
+    let mut dc = build();
+    dc.run_for(SimDuration::from_mins(7)); // window opens at 5 min
+    assert!(
+        dc.grid().expect("grid configured").curtailment_active(),
+        "vacuity: snapshot must land inside the curtailment window"
+    );
+
+    let state = roundtrip(&dc.state());
+    let mut fresh = build();
+    fresh
+        .restore(&state)
+        .expect("decoded grid state must restore");
+    assert_eq!(fresh.now(), SimTime::from_mins(7));
+    assert!(fresh.grid().unwrap().curtailment_active());
+}
+
 // ---------------------------------------------------------------------------
 // Version skew and framing violations.
 // ---------------------------------------------------------------------------
