@@ -7,7 +7,7 @@
 //!            [--minutes N] [--seed N] [--threads N] [--phase-spread SECS]
 //!            [--no-capping] [--dry-run] [--turbo] [--report-every N]
 //!            [--metrics-out FILE] [--trace-out FILE] [--incident-dir DIR]
-//!            [--report-out FILE] [--fail-leaf MIN]
+//!            [--report-out FILE] [--profile-ticks] [--fail-leaf MIN]
 //!            [--checkpoint-every MIN] [--checkpoint-dir DIR]
 //!            [--resume FILE]
 //!            [--grid-scenario NAME | --grid-signal-file FILE]
@@ -71,6 +71,7 @@ struct Args {
     resume: Option<PathBuf>,
     grid_scenario: Option<String>,
     grid_signal_file: Option<PathBuf>,
+    profile_ticks: bool,
 }
 
 impl Default for Args {
@@ -104,13 +105,19 @@ impl Default for Args {
             resume: None,
             grid_scenario: None,
             grid_signal_file: None,
+            profile_ticks: false,
         }
     }
 }
 
 impl Args {
     fn observing(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some() || self.incident_dir.is_some()
+        self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.incident_dir.is_some()
+            // The profiler observes into the registry's tick-phase
+            // histograms, so it needs recording on.
+            || self.profile_ticks
     }
 }
 
@@ -181,6 +188,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-capping" => args.capping = false,
             "--dry-run" => args.dry_run = true,
             "--turbo" => args.turbo = true,
+            "--profile-ticks" => args.profile_ticks = true,
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
@@ -230,6 +238,9 @@ fn usage() -> &'static str {
      \x20          --trace-out FILE (chrome-tracing JSON of controller cycles)\n\
      \x20          --incident-dir DIR (flight-recorder incident dumps)\n\
      \x20          --report-out FILE (final run report, for byte diffs)\n\
+     \x20          --profile-ticks (time each tick phase into the\n\
+     \x20          dynamo_tick_phase_seconds histograms and print an\n\
+     \x20          Amdahl attribution table after the run)\n\
      faults:    --fail-leaf MIN (crash the first leaf controller's primary\n\
      \x20          at the start of that minute; the backup takes over)\n\
      snapshots: --checkpoint-every MIN (write a versioned snapshot of every\n\
@@ -454,6 +465,7 @@ fn build_datacenter(args: &Args) -> Result<Datacenter, String> {
             ..ObsConfig::default()
         });
     }
+    builder = builder.profile_ticks(args.profile_ticks);
     Ok(builder.build())
 }
 
@@ -534,6 +546,9 @@ fn merge_resume_args(stored: Args, current: &Args, argv: &[String]) -> Result<Ar
     if explicit("--report-out") {
         merged.report_out = current.report_out.clone();
     }
+    if explicit("--profile-ticks") {
+        merged.profile_ticks = current.profile_ticks;
+    }
     merged.checkpoint_every = current.checkpoint_every;
     merged.checkpoint_dir = current.checkpoint_dir.clone();
     merged.resume = None;
@@ -601,6 +616,9 @@ fn run(dc: &mut Datacenter, args: &Args, start_minute: u64) -> i32 {
             println!("incidents: {} in {}", obs.incidents(), dir.display());
         }
     }
+    if args.profile_ticks {
+        print_tick_profile(dc);
+    }
     let report = RunReport::from_datacenter(dc);
     if let Some(path) = &args.report_out {
         if let Err(e) = std::fs::write(path, report.to_string()) {
@@ -611,6 +629,29 @@ fn run(dc: &mut Datacenter, args: &Args, start_minute: u64) -> i32 {
     }
     println!("\n{report}");
     i32::from(!report.is_healthy())
+}
+
+/// Prints the per-phase tick-time attribution recorded by
+/// `--profile-ticks`: where the wall clock of a worst-case tick goes,
+/// and therefore what Amdahl's law says further threads can buy.
+fn print_tick_profile(dc: &Datacenter) {
+    let rows = dc.system().observability().tick_phase_profile();
+    let total: f64 = rows.iter().map(|&(_, _, sum)| sum).sum();
+    println!("\ntick phase profile (wall time inside Datacenter::step):");
+    println!(
+        "  {:<16} {:>10} {:>12} {:>11} {:>7}",
+        "phase", "ticks", "total s", "mean \u{00b5}s", "share"
+    );
+    for (phase, count, sum) in rows {
+        let mean_us = if count > 0 {
+            sum / count as f64 * 1e6
+        } else {
+            0.0
+        };
+        let share = if total > 0.0 { sum / total * 100.0 } else { 0.0 };
+        println!("  {phase:<16} {count:>10} {sum:>12.4} {mean_us:>11.1} {share:>6.1}%");
+    }
+    println!("  {:<16} {:>10} {total:>12.4}", "total", "");
 }
 
 // ---------------------------------------------------------------------------
@@ -977,6 +1018,21 @@ mod tests {
         assert_eq!(a.fail_leaf, Some(3));
         assert!(usage().contains("--metrics-out"));
         assert!(usage().contains("--fail-leaf"));
+    }
+
+    #[test]
+    fn profile_ticks_flag_parses_and_stays_out_of_the_envelope() {
+        assert!(!parse(&[]).unwrap().profile_ticks);
+        let a = parse(&["--profile-ticks"]).unwrap();
+        assert!(a.profile_ticks);
+        // Profiling observes into the registry, so it must switch
+        // recording on by itself.
+        assert!(a.observing());
+        // It is a run-control/output flag: keeping it out of the
+        // checkpoint envelope means old binaries keep reading new
+        // checkpoints (the envelope rejects unknown keys).
+        assert!(!envelope_of(&a).contains("profile"));
+        assert!(usage().contains("--profile-ticks"));
     }
 
     #[test]

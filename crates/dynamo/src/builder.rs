@@ -68,6 +68,7 @@ pub struct DatacenterBuilder {
     tick: SimDuration,
     worker_threads: usize,
     parallel: ParallelMode,
+    profile: bool,
     demand_hold: u32,
     system: SystemConfig,
     telemetry: TelemetryConfig,
@@ -90,6 +91,7 @@ impl Default for DatacenterBuilder {
             tick: SimDuration::from_secs(1),
             worker_threads: 1,
             parallel: ParallelMode::default(),
+            profile: false,
             demand_hold: 1,
             system: SystemConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -262,6 +264,16 @@ impl DatacenterBuilder {
     /// [`ParallelMode::Scoped`] for the legacy per-call threads.
     pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
         self.parallel = mode;
+        self
+    }
+
+    /// Enables the per-phase tick profiler (default off): each
+    /// [`Datacenter::step`] records its phase wall times into the
+    /// `dynamo_tick_phase_seconds_*` histogram family. Wall clocks are
+    /// non-deterministic; leave this off when comparing output across
+    /// runs. See [`Datacenter::set_profile_ticks`].
+    pub fn profile_ticks(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
         self
     }
 
@@ -440,6 +452,7 @@ impl DatacenterBuilder {
         );
         dc.set_parallel_mode(self.parallel);
         dc.set_worker_threads(self.worker_threads);
+        dc.set_profile_ticks(self.profile);
         dc
     }
 }

@@ -6,12 +6,13 @@ use std::sync::Arc;
 use dcsim::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use dcsim::{SimDuration, SimTime};
 use dynpool::{WorkerPool, MAX_WORKERS};
-use powerinfra::{Breaker, BreakerStatus, DeviceId, Power, Topology};
+use powerinfra::{Breaker, BreakerStatus, DeviceId, DeviceLevel, Power, Topology};
 use workloads::ServiceKind;
 
 use crate::control_plane::{DynamoSystem, SystemState};
 use crate::fleet::{Fleet, FleetState};
 use crate::grid::{GridLayer, GridLayerState};
+use crate::obs::TickPhase;
 use crate::telemetry::{BreakerEvent, Telemetry, TelemetryState};
 use crate::validator::{BreakerValidator, ValidatorState};
 
@@ -85,6 +86,11 @@ pub struct Datacenter {
     /// Grid-interactive layer (utility signals, economic contracts,
     /// DCUPS buffering), when the builder configured one.
     grid: Option<GridLayer>,
+    /// Record per-phase tick wall time into the observability
+    /// registry's `dynamo_tick_phase_seconds_*` family. Off by
+    /// default: wall clocks are non-deterministic, so determinism
+    /// tests never enable it.
+    profile_ticks: bool,
 }
 
 /// Epoch-keyed cache of per-device subtree power sums.
@@ -142,6 +148,32 @@ struct DrawCache {
     /// leaves, so both the watermarks and the covering ranges are
     /// meaningless against the new spans.
     generation: u64,
+    /// Fixed fold order for the parallel breaker pass: device indices
+    /// laid out level-by-level bottom-up (racks, then RPPs, then SBs,
+    /// then MSBs), ascending within each level — the level-order SoA
+    /// view of the tree. Each device's fold reads only fleet arrays
+    /// (never another device's draw), so positions are independent and
+    /// [`Datacenter::precompute_draws_parallel`] chunks them across
+    /// workers; the order is fixed so chunk boundaries, and therefore
+    /// which worker computes what, never affect the result. Empty when
+    /// the topology has a device outside the four grid levels, which
+    /// disables the parallel pass rather than stepping a breaker
+    /// against a stale draw.
+    fold_order: Vec<u32>,
+    /// Per-fold-position refold cost estimate (covering leaves for
+    /// tiled devices, subtree servers otherwise) used to balance the
+    /// chunks.
+    weight: Vec<u64>,
+    /// Per-fold-position worker output: the draw in watts…
+    scratch_draw: Vec<f64>,
+    /// …and the covering-epoch watermark it is exact for (`u64::MAX`
+    /// for uncacheable devices).
+    scratch_mark: Vec<u64>,
+    /// Cached chunk ends (exclusive, into `fold_order`) so the
+    /// steady-state dispatch allocates nothing.
+    chunk_ends: Vec<usize>,
+    /// Worker count `chunk_ends` was balanced for (0 = never).
+    chunks_for: usize,
 }
 
 /// Subtree power of device `i` through the epoch cache; falls back to
@@ -175,14 +207,28 @@ fn cached_subtree_power(
                 if cache.watermark[i] == mark {
                     return Power::from_watts(cache.draw_w[i]);
                 }
-                let p = fold_subtree(cache, fleet, subtree_range, subtree, i);
+                let p = fold_subtree(
+                    &cache.tiled,
+                    &cache.leaf_range,
+                    fleet,
+                    subtree_range,
+                    subtree,
+                    i,
+                );
                 cache.draw_w[i] = p.as_watts();
                 cache.watermark[i] = mark;
                 return p;
             }
         }
     }
-    fold_subtree(cache, fleet, subtree_range, subtree, i)
+    fold_subtree(
+        &cache.tiled,
+        &cache.leaf_range,
+        fleet,
+        subtree_range,
+        subtree,
+        i,
+    )
 }
 
 /// The uncached subtree fold for device `i`, with one fixed
@@ -192,16 +238,19 @@ fn cached_subtree_power(
 /// maintained partials are the same per-leaf ascending folds, so a
 /// device's draw is bit-stable across cache hits, refolds, and
 /// dirty-window fallbacks within a run. Only meaningful while the
-/// cache's span generation matches the fleet's.
+/// cache's span generation matches the fleet's. Takes the cache's
+/// geometry as plain slices so the parallel precompute can call it
+/// from workers while the owner holds `&mut` scratch.
 fn fold_subtree(
-    cache: &DrawCache,
+    tiled: &[bool],
+    leaf_range: &[Option<Range<usize>>],
     fleet: &Fleet,
     subtree_range: &[Option<Range<usize>>],
     subtree: &[Vec<u32>],
     i: usize,
 ) -> Power {
-    if cache.tiled[i] {
-        let lr = cache.leaf_range[i]
+    if tiled[i] {
+        let lr = leaf_range[i]
             .clone()
             .expect("tiled devices have covering leaves");
         if let Some(parts) = fleet.leaf_power_partials() {
@@ -273,6 +322,34 @@ impl Datacenter {
                 .collect(),
             None => vec![false; n_dev],
         };
+        // Level-order fold layout for the parallel breaker pass:
+        // bottom-up so a chunk boundary can only ever split within a
+        // level, never interleave levels.
+        let mut fold_order: Vec<u32> = Vec::with_capacity(n_dev);
+        for level in [
+            DeviceLevel::Rack,
+            DeviceLevel::Rpp,
+            DeviceLevel::Sb,
+            DeviceLevel::Msb,
+        ] {
+            fold_order.extend(topo.devices_at(level).iter().map(|d| d.index() as u32));
+        }
+        if fold_order.len() != n_dev {
+            // A device outside the four grid levels: no level-order
+            // view, so the parallel pass stays disabled.
+            fold_order.clear();
+        }
+        let weight: Vec<u64> = fold_order
+            .iter()
+            .map(|&idx| {
+                let i = idx as usize;
+                match (&leaf_range[i], tiled[i]) {
+                    (Some(lr), true) => (lr.end - lr.start).max(1) as u64,
+                    _ => subtree[i].len().max(1) as u64,
+                }
+            })
+            .collect();
+        let n_fold = fold_order.len();
         let draw_cache = DrawCache {
             leaf_range,
             tiled,
@@ -282,6 +359,12 @@ impl Datacenter {
             // re-registration bumps the fleet's generation and disables
             // this cache rather than risking stale-watermark collisions.
             generation: fleet.leaf_span_generation(),
+            fold_order,
+            weight,
+            scratch_draw: vec![0.0; n_fold],
+            scratch_mark: vec![u64::MAX; n_fold],
+            chunk_ends: Vec::with_capacity(MAX_WORKERS),
+            chunks_for: 0,
         };
         Datacenter {
             topo,
@@ -304,7 +387,18 @@ impl Datacenter {
             alerts_seen: 0,
             draw_cache,
             grid,
+            profile_ticks: false,
         }
+    }
+
+    /// Enables or disables the per-phase tick profiler. Observations
+    /// land in the `dynamo_tick_phase_seconds_*` histogram family
+    /// (registered unconditionally; all-zero until enabled) and in
+    /// [`crate::Observability::tick_phase_profile`]. Wall-clock values
+    /// are inherently non-deterministic — leave this off (the default)
+    /// when comparing reports or Prometheus output across runs.
+    pub fn set_profile_ticks(&mut self, enabled: bool) {
+        self.profile_ticks = enabled;
     }
 
     /// Sets the number of worker threads used for fleet physics *and*
@@ -438,7 +532,13 @@ impl Datacenter {
     /// bit for bit. Serving a draw through the cache is allowed to
     /// populate it, so this needs `&mut self`; it never changes what
     /// any subsequent read returns.
+    ///
+    /// When a mid-run re-span has disabled the cache (generation
+    /// mismatch), serving falls back to flat folds — the audit then
+    /// compares against the same flat association, so the probe stays
+    /// meaningful in every cache regime.
     pub fn draw_cache_is_exact(&mut self) -> bool {
+        let bypassed = self.fleet.leaf_span_generation() != self.draw_cache.generation;
         for i in 0..self.subtree.len() {
             let served = cached_subtree_power(
                 &mut self.draw_cache,
@@ -447,13 +547,21 @@ impl Datacenter {
                 &self.subtree,
                 i,
             );
-            let fresh = fold_subtree(
-                &self.draw_cache,
-                &self.fleet,
-                &self.subtree_range,
-                &self.subtree,
-                i,
-            );
+            let fresh = if bypassed {
+                match &self.subtree_range[i] {
+                    Some(range) => self.fleet.power_sum_range(range.clone()),
+                    None => self.fleet.power_sum(&self.subtree[i]),
+                }
+            } else {
+                fold_subtree(
+                    &self.draw_cache.tiled,
+                    &self.draw_cache.leaf_range,
+                    &self.fleet,
+                    &self.subtree_range,
+                    &self.subtree,
+                    i,
+                )
+            };
             if served.as_watts().to_bits() != fresh.as_watts().to_bits() {
                 return false;
             }
@@ -481,9 +589,165 @@ impl Datacenter {
         self.fleet.mean_performance(&self.subtree[device.index()])
     }
 
+    /// Phase A of the parallel breaker pass: computes every device's
+    /// subtree draw into the cache's level-order scratch arrays across
+    /// the worker threads, then folds the results back into the cache
+    /// serially in fold order. Each position's value is exactly what
+    /// the serial pass would have produced for that device *before any
+    /// breaker stepped this tick* — same watermark check, same
+    /// per-device fold association — so the pass is bit-identical at
+    /// any worker count and in either dispatch mode.
+    ///
+    /// Returns `false` (leaving the cache untouched) when the pass
+    /// cannot run: serial width, a dirty fleet power cache, a stale
+    /// span generation, or no level-order layout. The caller then
+    /// steps breakers against live cached folds exactly as before.
+    fn precompute_draws_parallel(&mut self) -> bool {
+        let n = self.draw_cache.fold_order.len();
+        let njobs = self.effective_threads.min(MAX_WORKERS).min(n);
+        if njobs <= 1
+            || n != self.device_ids.len()
+            || self.fleet.power_cache_dirty()
+            || self.fleet.leaf_span_generation() != self.draw_cache.generation
+        {
+            return false;
+        }
+        let DrawCache {
+            leaf_range,
+            tiled,
+            draw_w,
+            watermark,
+            generation: _,
+            fold_order,
+            weight,
+            scratch_draw,
+            scratch_mark,
+            chunk_ends,
+            chunks_for,
+        } = &mut self.draw_cache;
+
+        if *chunks_for != njobs {
+            // Re-balance the chunk boundaries by refold cost. Only on a
+            // thread-count change; the steady state reuses them.
+            chunk_ends.clear();
+            let total: u64 = weight.iter().sum();
+            let mut acc = 0u64;
+            for (pos, &w) in weight.iter().enumerate() {
+                acc += w;
+                if chunk_ends.len() < njobs - 1
+                    && acc * njobs as u64 >= (chunk_ends.len() as u64 + 1) * total
+                {
+                    chunk_ends.push(pos + 1);
+                }
+            }
+            while chunk_ends.len() < njobs - 1 {
+                chunk_ends.push(n);
+            }
+            chunk_ends.push(n);
+            *chunks_for = njobs;
+        }
+
+        {
+            // Shared immutable context for the workers; `&Fleet` is
+            // `Sync` (owned data only), and the cache's draw/watermark
+            // arrays are read-only here — workers write scratch.
+            let fleet = &self.fleet;
+            let epochs = fleet.leaf_epochs();
+            let subtree_range = &self.subtree_range[..];
+            let subtree = &self.subtree[..];
+            let leaf_range = &leaf_range[..];
+            let tiled = &tiled[..];
+            let draw_w = &draw_w[..];
+            let watermark = &watermark[..];
+            let fold_order = &fold_order[..];
+
+            // What the serial pass would compute for device `i` at this
+            // instant: a cache hit when the covering-epoch sum still
+            // matches, the fixed-association refold otherwise.
+            let compute = |i: usize| -> (f64, u64) {
+                if let Some(lr) = &leaf_range[i] {
+                    if lr.end <= epochs.len() {
+                        let mark = epochs[lr.clone()].iter().sum::<u64>();
+                        if watermark[i] == mark {
+                            return (draw_w[i], mark);
+                        }
+                        let p = fold_subtree(tiled, leaf_range, fleet, subtree_range, subtree, i);
+                        return (p.as_watts(), mark);
+                    }
+                }
+                let p = fold_subtree(tiled, leaf_range, fleet, subtree_range, subtree, i);
+                (p.as_watts(), u64::MAX)
+            };
+
+            struct FoldJob<'a> {
+                order: &'a [u32],
+                draws: &'a mut [f64],
+                marks: &'a mut [u64],
+            }
+            let run_chunk = |job: &mut FoldJob<'_>| {
+                for (k, &idx) in job.order.iter().enumerate() {
+                    let (d, m) = compute(idx as usize);
+                    job.draws[k] = d;
+                    job.marks[k] = m;
+                }
+            };
+
+            // Carve the scratch arrays into per-chunk jobs (stack
+            // slots, no allocation).
+            let mut jobs: [Option<FoldJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
+            let mut order_rest = fold_order;
+            let mut draw_rest = &mut scratch_draw[..];
+            let mut mark_rest = &mut scratch_mark[..];
+            let mut start = 0;
+            for (j, &end) in chunk_ends.iter().enumerate() {
+                let take = end - start;
+                let (order, o_rest) = order_rest.split_at(take);
+                let (draws, d_rest) = draw_rest.split_at_mut(take);
+                let (marks, m_rest) = mark_rest.split_at_mut(take);
+                order_rest = o_rest;
+                draw_rest = d_rest;
+                mark_rest = m_rest;
+                jobs[j] = Some(FoldJob {
+                    order,
+                    draws,
+                    marks,
+                });
+                start = end;
+            }
+
+            match &self.pool {
+                Some(pool) => pool.run_on(&mut jobs[..njobs], |_w, slot| {
+                    let job = slot.as_mut().expect("fold chunk slot filled above");
+                    run_chunk(job);
+                }),
+                // Scoped mode: per-call scoped threads, same chunks.
+                None => std::thread::scope(|scope| {
+                    for slot in jobs[..njobs].iter_mut() {
+                        let job = slot.as_mut().expect("fold chunk slot filled above");
+                        scope.spawn(move || run_chunk(job));
+                    }
+                }),
+            }
+        }
+
+        // Serial copy-back in fold order: after this, the cache holds
+        // for every device exactly what the serial pass would have
+        // stored while stepping it.
+        for (pos, &idx) in fold_order.iter().enumerate() {
+            let i = idx as usize;
+            draw_w[i] = scratch_draw[pos];
+            if scratch_mark[pos] != u64::MAX {
+                watermark[i] = scratch_mark[pos];
+            }
+        }
+        true
+    }
+
     /// Advances the simulation by one tick.
     pub fn step(&mut self) {
         let now = self.now;
+        let mut lap = Lap::new(self.profile_ticks);
+        let mut phase_secs = [0.0f64; 6];
 
         // 1. Workloads and server physics.
         if self.effective_threads > 1 {
@@ -492,20 +756,32 @@ impl Datacenter {
         } else {
             self.fleet.step(now, self.tick);
         }
+        lap.mark(&mut phase_secs, TickPhase::FleetStep);
 
         // 2. Breaker thermal models over true subtree power. Draws go
         // through the epoch cache: with active-set physics on, most
         // leaves' power is bit-unchanged most ticks, so most devices
         // serve their cached fold instead of re-summing the subtree.
+        // With workers available, phase A precomputes every draw in
+        // parallel; breakers then step serially against the
+        // precomputed values, falling back to live folds from the
+        // first trip on so later devices observe the blackout exactly
+        // as the serial pass always has (the kill bumps the victims'
+        // leaf epochs, so a stale precomputed draw is never served).
+        let mut live_draws = !self.precompute_draws_parallel();
         for i in 0..self.device_ids.len() {
             let id = self.device_ids[i];
-            let draw = cached_subtree_power(
-                &mut self.draw_cache,
-                &self.fleet,
-                &self.subtree_range,
-                &self.subtree,
-                i,
-            );
+            let draw = if live_draws {
+                cached_subtree_power(
+                    &mut self.draw_cache,
+                    &self.fleet,
+                    &self.subtree_range,
+                    &self.subtree,
+                    i,
+                )
+            } else {
+                Power::from_watts(self.draw_cache.draw_w[i])
+            };
             let status = self.topo.device_mut(id).breaker.step(draw, self.tick);
             if status != self.breaker_status[i] {
                 self.breaker_status[i] = status;
@@ -526,9 +802,11 @@ impl Datacenter {
                     for &s in &self.subtree[i] {
                         self.fleet.set_server_alive(s, false);
                     }
+                    live_draws = true;
                 }
             }
         }
+        lap.mark(&mut phase_secs, TickPhase::BreakerFold);
 
         // 2b. Grid-interactive layer: read the utility signal, run any
         // economic cycle due (pushing contractual limits onto the MSB
@@ -556,10 +834,13 @@ impl Datacenter {
                 &mut self.system,
             );
         }
+        lap.mark(&mut phase_secs, TickPhase::Grid);
 
         // 3. Controller cycles.
         let events = self.system.tick(now, &mut self.fleet);
+        lap.mark(&mut phase_secs, TickPhase::LeafDispatch);
         self.telemetry.record_controller_events(events);
+        lap.mark(&mut phase_secs, TickPhase::TelemetryMerge);
 
         // 4. Breaker-reading cross-validation (1-minute cadence, §VI):
         // compare each leaf controller's aggregate against the coarse
@@ -589,6 +870,7 @@ impl Datacenter {
                 }
             }
         }
+        lap.mark(&mut phase_secs, TickPhase::Validator);
 
         // 5. Telemetry sampling.
         if self.telemetry.sample_due(now) {
@@ -612,6 +894,14 @@ impl Datacenter {
             self.telemetry
                 .record_sample(now, &watched, stats.capped_servers, stats.total_power);
             self.watched_scratch = watched;
+        }
+        lap.mark(&mut phase_secs, TickPhase::TelemetryMerge);
+
+        if lap.enabled() {
+            let obs = self.system.observability_mut();
+            for (k, &secs) in phase_secs.iter().enumerate() {
+                obs.observe_tick_phase(TICK_PHASE_ORDER[k], secs);
+            }
         }
 
         // Best-effort incident-dump shipping: a write failure leaves
@@ -829,6 +1119,47 @@ impl Snapshot for DatacenterState {
     }
 }
 
+/// All tick phases in accumulator-array order (`TickPhase as usize`),
+/// used to flush the per-tick sums into the registry.
+const TICK_PHASE_ORDER: [TickPhase; 6] = [
+    TickPhase::FleetStep,
+    TickPhase::BreakerFold,
+    TickPhase::Grid,
+    TickPhase::LeafDispatch,
+    TickPhase::Validator,
+    TickPhase::TelemetryMerge,
+];
+
+/// Phase stopwatch for the tick profiler: an inert no-op when
+/// profiling is off, so the hot loop pays one branch per phase
+/// boundary. `mark` accumulates rather than assigns, which lets the
+/// split telemetry work (event merge after dispatch, sampling at the
+/// end of the tick) land in one phase bucket with one observation per
+/// tick.
+struct Lap {
+    at: Option<std::time::Instant>,
+}
+
+impl Lap {
+    fn new(enabled: bool) -> Self {
+        Lap {
+            at: enabled.then(std::time::Instant::now),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.at.is_some()
+    }
+
+    fn mark(&mut self, acc: &mut [f64; 6], phase: TickPhase) {
+        if let Some(prev) = self.at {
+            let now = std::time::Instant::now();
+            acc[phase as usize] += (now - prev).as_secs_f64();
+            self.at = Some(now);
+        }
+    }
+}
+
 /// `Some(start..end)` when `ids` is the contiguous ascending run
 /// `start..end`, else `None`.
 fn contiguous_range(ids: &[u32]) -> Option<Range<usize>> {
@@ -877,7 +1208,14 @@ mod tests {
     /// its watermark was recorded.
     fn assert_cache_exact(dc: &mut Datacenter) {
         for i in 0..dc.device_ids.len() {
-            let fresh = fold_subtree(&dc.draw_cache, &dc.fleet, &dc.subtree_range, &dc.subtree, i);
+            let fresh = fold_subtree(
+                &dc.draw_cache.tiled,
+                &dc.draw_cache.leaf_range,
+                &dc.fleet,
+                &dc.subtree_range,
+                &dc.subtree,
+                i,
+            );
             let served = cached_subtree_power(
                 &mut dc.draw_cache,
                 &dc.fleet,

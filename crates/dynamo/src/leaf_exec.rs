@@ -31,6 +31,7 @@ use dynamo_controller::{
 };
 use dynobs::{Band, Shard};
 use dynpool::{WorkerPool, MAX_WORKERS};
+use dynrpc::codec::{self, TelemetryEvent, TelemetryEventKind};
 use dynrpc::{Network, NetworkState, Request, RpcError};
 use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 
@@ -57,6 +58,14 @@ pub(crate) struct LeafTier {
     /// Per-leaf event buffers, reused across parallel cycles (cleared,
     /// capacity kept) and merged in leaf index order after the join.
     event_bufs: Vec<Vec<ControllerEvent>>,
+    /// Per-leaf telemetry wire buffers: parallel workers encode their
+    /// leaf's cycle events as a [`dynrpc::codec`] telemetry batch and
+    /// decode them back inside the shard, so the codec work the
+    /// deployed system pays to ship telemetry rides the worker threads
+    /// instead of the owner. Reused (cleared, capacity kept).
+    wire_bufs: Vec<Vec<u8>>,
+    /// Per-leaf decode scratch for the wire round-trip.
+    wire_events: Vec<Vec<TelemetryEvent>>,
     /// Planned-peak quotas from topology metadata, by leaf index.
     pub(crate) quotas: Vec<Power>,
     pub(crate) index_of: HashMap<DeviceId, usize>,
@@ -85,6 +94,8 @@ struct LeafTask<'a> {
     aggregate: &'a mut Power,
     failed: &'a mut bool,
     buf: &'a mut Vec<ControllerEvent>,
+    wire: &'a mut Vec<u8>,
+    wire_ev: &'a mut Vec<TelemetryEvent>,
     quiet: &'a mut bool,
     agents: &'a mut [Agent],
     span_start: usize,
@@ -151,6 +162,8 @@ impl LeafTier {
             server_ids,
             spans,
             event_bufs: vec![Vec::new(); n],
+            wire_bufs: vec![Vec::new(); n],
+            wire_events: vec![Vec::new(); n],
             quotas,
             index_of,
             quiet: vec![false; n],
@@ -326,6 +339,8 @@ impl LeafTier {
             aggregates: &'a mut [Power],
             failed: &'a mut [bool],
             bufs: &'a mut [Vec<ControllerEvent>],
+            wire: &'a mut [Vec<u8>],
+            wire_ev: &'a mut [Vec<TelemetryEvent>],
             shards: &'a mut [Shard],
             quiet: &'a mut [bool],
             agents: &'a mut [Agent],
@@ -343,6 +358,8 @@ impl LeafTier {
             let mut aggregates = &mut self.last_aggregate[..];
             let mut failed = &mut failover.leaf_flags_mut()[..];
             let mut bufs = &mut self.event_bufs[..];
+            let mut wire = &mut self.wire_bufs[..];
+            let mut wire_ev = &mut self.wire_events[..];
             let mut shards = all_shards;
             let mut quiet = &mut self.quiet[..];
             let mut agents = fleet.agents_mut();
@@ -364,6 +381,10 @@ impl LeafTier {
                 failed = rest;
                 let (b, rest) = bufs.split_at_mut(skip).1.split_at_mut(take);
                 bufs = rest;
+                let (wi, rest) = wire.split_at_mut(skip).1.split_at_mut(take);
+                wire = rest;
+                let (we, rest) = wire_ev.split_at_mut(skip).1.split_at_mut(take);
+                wire_ev = rest;
                 let (sh, rest) = shards.split_at_mut(skip).1.split_at_mut(take);
                 shards = rest;
                 let (q, rest) = quiet.split_at_mut(skip).1.split_at_mut(take);
@@ -387,6 +408,8 @@ impl LeafTier {
                     aggregates: ag,
                     failed: fl,
                     bufs: b,
+                    wire: wi,
+                    wire_ev: we,
                     shards: sh,
                     quiet: q,
                     agents: a,
@@ -417,6 +440,12 @@ impl LeafTier {
                             controller: name,
                             kind: ControllerEventKind::Failover,
                         });
+                        wire_roundtrip_events(
+                            &job.controllers[r],
+                            &mut job.bufs[r],
+                            &mut job.wire[r],
+                            &mut job.wire_ev[r],
+                        );
                         continue;
                     }
                     let (aggregate, buf) = (&mut job.aggregates[r], &mut job.bufs[r]);
@@ -432,6 +461,12 @@ impl LeafTier {
                         &mut job.shards[r],
                         ids,
                         i as u32,
+                    );
+                    wire_roundtrip_events(
+                        &job.controllers[r],
+                        &mut job.bufs[r],
+                        &mut job.wire[r],
+                        &mut job.wire_ev[r],
                     );
                 }
             });
@@ -470,6 +505,8 @@ impl LeafTier {
             let aggregates = carve(&mut self.last_aggregate, due);
             let failed = carve(failover.leaf_flags_mut(), due);
             let bufs = carve(&mut self.event_bufs, due);
+            let wires = carve(&mut self.wire_bufs, due);
+            let wire_evs = carve(&mut self.wire_events, due);
             let shards = carve(all_shards, due);
             let quiets = carve(&mut self.quiet, due);
             let agent_slices =
@@ -477,7 +514,7 @@ impl LeafTier {
 
             let mut tasks: Vec<LeafTask> = Vec::with_capacity(due.len());
             for (
-                (((((((&i, controller), network), aggregate), failed), buf), shard), quiet),
+                (((((((((&i, controller), network), aggregate), failed), buf), wire), wire_ev), shard), quiet),
                 agents,
             ) in due
                 .iter()
@@ -486,6 +523,8 @@ impl LeafTier {
                 .zip(aggregates)
                 .zip(failed)
                 .zip(bufs)
+                .zip(wires)
+                .zip(wire_evs)
                 .zip(shards)
                 .zip(quiets)
                 .zip(agent_slices)
@@ -497,6 +536,8 @@ impl LeafTier {
                     aggregate,
                     failed,
                     buf,
+                    wire,
+                    wire_ev,
                     quiet,
                     agents,
                     span_start: spans[i].start,
@@ -528,6 +569,12 @@ impl LeafTier {
                                     controller: name,
                                     kind: ControllerEventKind::Failover,
                                 });
+                                wire_roundtrip_events(
+                                    task.controller,
+                                    task.buf,
+                                    task.wire,
+                                    task.wire_ev,
+                                );
                                 continue;
                             }
                             *task.quiet = run_one_leaf_cycle(
@@ -542,6 +589,12 @@ impl LeafTier {
                                 task.shard,
                                 ids,
                                 task.track,
+                            );
+                            wire_roundtrip_events(
+                                task.controller,
+                                task.buf,
+                                task.wire,
+                                task.wire_ev,
                             );
                         }
                     });
@@ -826,6 +879,91 @@ fn run_one_leaf_cycle(
     matches!(outcome.action, ControlAction::Hold)
         && outcome.pull_failures == 0
         && controller.active_cap_count() == 0
+}
+
+/// One controller event as a wire telemetry event. Lossless: the watt
+/// field crosses as the raw `f64` bit pattern and the counts are far
+/// below `u32::MAX`, so [`from_wire`] rebuilds an equal event.
+fn to_wire(ev: &ControllerEvent) -> TelemetryEvent {
+    TelemetryEvent {
+        at_ms: ev.at.as_millis(),
+        device: ev.device.index() as u32,
+        kind: match ev.kind {
+            ControllerEventKind::LeafCapped { total_cut, servers } => TelemetryEventKind::Capped {
+                cut_watts: total_cut.as_watts(),
+                servers: servers as u32,
+            },
+            ControllerEventKind::LeafUncapped => TelemetryEventKind::Uncapped,
+            ControllerEventKind::LeafInvalid { failures } => TelemetryEventKind::Invalid {
+                failures: failures as u32,
+            },
+            ControllerEventKind::UpperCapped { contracts } => TelemetryEventKind::UpperCapped {
+                contracts: contracts as u32,
+            },
+            ControllerEventKind::UpperUncapped => TelemetryEventKind::UpperUncapped,
+            ControllerEventKind::Failover => TelemetryEventKind::Failover,
+        },
+    }
+}
+
+/// Rebuilds a controller event from its wire form. Controller identity
+/// travels out of band — the batch is per-controller — so the caller
+/// passes the leaf's interned name and the rebuild allocates nothing.
+fn from_wire(ev: &TelemetryEvent, controller: &Arc<str>) -> ControllerEvent {
+    ControllerEvent {
+        at: SimTime::from_millis(ev.at_ms),
+        device: DeviceId::from_index(ev.device as usize),
+        controller: Arc::clone(controller),
+        kind: match ev.kind {
+            TelemetryEventKind::Capped { cut_watts, servers } => ControllerEventKind::LeafCapped {
+                total_cut: Power::from_watts(cut_watts),
+                servers: servers as usize,
+            },
+            TelemetryEventKind::Uncapped => ControllerEventKind::LeafUncapped,
+            TelemetryEventKind::Invalid { failures } => ControllerEventKind::LeafInvalid {
+                failures: failures as usize,
+            },
+            TelemetryEventKind::UpperCapped { contracts } => ControllerEventKind::UpperCapped {
+                contracts: contracts as usize,
+            },
+            TelemetryEventKind::UpperUncapped => ControllerEventKind::UpperUncapped,
+            TelemetryEventKind::Failover => ControllerEventKind::Failover,
+        },
+    }
+}
+
+/// Round-trips one leaf's freshly-buffered cycle events through the
+/// [`dynrpc::codec`] telemetry-batch wire format, inside the worker
+/// shard that produced them. The deployed system serializes telemetry
+/// off the controller host; doing the encode *and* the decode here
+/// keeps that cost off the owner thread (which previously would have
+/// been the only place to put it) and proves the format lossless on
+/// every event the simulation ever emits. Quiescent leaves emit no
+/// events and skip entirely, so the steady state stays allocation-free;
+/// churning leaves reuse the warm wire/scratch buffers.
+fn wire_roundtrip_events(
+    controller: &LeafController,
+    buf: &mut Vec<ControllerEvent>,
+    wire: &mut Vec<u8>,
+    scratch: &mut Vec<TelemetryEvent>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    wire.clear();
+    scratch.clear();
+    for ev in buf.iter() {
+        scratch.push(to_wire(ev));
+    }
+    codec::encode_telemetry_batch_into(wire, scratch);
+    scratch.clear();
+    codec::decode_telemetry_batch_into(&*wire, scratch)
+        .expect("self-encoded telemetry batch must decode");
+    let name = controller.name_shared();
+    buf.clear();
+    for ev in scratch.iter() {
+        buf.push(from_wire(ev, &name));
+    }
 }
 
 /// Computes per-leaf agent spans for the parallel control plane.

@@ -61,7 +61,7 @@ pub use dynpool::WorkerPool;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
 pub use fleet::{Fleet, FleetState, FleetStats};
 pub use grid::{DcupsBankConfig, GridConfig, GridLayer, GridSummary};
-pub use obs::Observability;
+pub use obs::{Observability, TickPhase, TICK_PHASES};
 pub use report::{LevelSummary, RunReport};
 pub use telemetry::{Telemetry, TelemetryConfig, TelemetryState};
 pub use validator::{BreakerValidator, ValidationAlert, ValidatorState};

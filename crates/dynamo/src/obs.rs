@@ -23,6 +23,32 @@ use dynobs::{
     ObsConfig, Registry, RegistryBuilder, RegistryState, Shard, SpanKind, SpanRecord, TraceRing,
 };
 
+/// Tick phases instrumented by the `--profile-ticks` profiler, in the
+/// order `Datacenter::step` runs them. Index positions are frozen:
+/// [`Observability::observe_tick_phase`] takes the index, and the
+/// exported metric family is `dynamo_tick_phase_seconds_<name>`.
+pub const TICK_PHASES: [&str; 6] = [
+    "fleet_step",
+    "breaker_fold",
+    "grid",
+    "leaf_dispatch",
+    "validator",
+    "telemetry_merge",
+];
+
+/// Index of each tick phase in [`TICK_PHASES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum TickPhase {
+    FleetStep = 0,
+    BreakerFold = 1,
+    Grid = 2,
+    LeafDispatch = 3,
+    Validator = 4,
+    TelemetryMerge = 5,
+}
+
 /// Frozen metric handles for every instrumentation point.
 #[allow(missing_docs)]
 pub(crate) struct ObsIds {
@@ -74,10 +100,35 @@ pub(crate) struct ObsIds {
     pub(crate) grid_utility_draw: GaugeId,
     pub(crate) grid_site_contract: GaugeId,
     pub(crate) dcups_charge: GaugeId,
+    // Tick-phase profiler (owner-side, recorded only under
+    // `--profile-ticks`; registered unconditionally so the exposition
+    // and snapshot layouts never depend on the flag).
+    pub(crate) tick_phase: [HistogramId; 6],
 }
 
 fn register(b: &mut RegistryBuilder) -> ObsIds {
+    // 1 µs to ~65 ms in doublings: spans a sub-microsecond no-op phase
+    // up to a full-site worst-case tick.
+    let tick_phase = TICK_PHASES.map(|phase| {
+        b.histogram(
+            &format!("dynamo_tick_phase_seconds_{phase}"),
+            match phase {
+                "fleet_step" => "Wall seconds per tick settling servers, workloads and agents",
+                "breaker_fold" => {
+                    "Wall seconds per tick aggregating subtree draws and stepping breakers"
+                }
+                "grid" => "Wall seconds per tick in the grid-interactive layer",
+                "leaf_dispatch" => {
+                    "Wall seconds per tick dispatching due controller cycles (both tiers)"
+                }
+                "validator" => "Wall seconds per tick in the breaker validator scan",
+                _ => "Wall seconds per tick merging telemetry events and samples",
+            },
+            Buckets::log_linear(1e-6, 1, 16),
+        )
+    });
     ObsIds {
+        tick_phase,
         rpc_calls: b.counter(
             "dynamo_rpc_calls_total",
             "RPC call attempts from leaf controllers to agents",
@@ -564,6 +615,29 @@ impl Observability {
             },
         });
         self.incident("curtailment-violation", now.as_millis());
+    }
+
+    /// Records one tick phase's wall-clock duration (datacenter
+    /// context, only under `--profile-ticks`). Wall clocks are
+    /// inherently non-deterministic, which is why the profiler is
+    /// opt-in and stays off in every determinism test.
+    pub(crate) fn observe_tick_phase(&mut self, phase: TickPhase, secs: f64) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.observe(self.ids.tick_phase[phase as usize], secs);
+    }
+
+    /// The profiler's accumulated `(phase, ticks observed, total
+    /// seconds)` rows, in [`TICK_PHASES`] order. All-zero unless the
+    /// run recorded phases.
+    pub fn tick_phase_profile(&self) -> [(&'static str, u64, f64); 6] {
+        let mut rows = [("", 0u64, 0.0f64); 6];
+        for (i, (&phase, &id)) in TICK_PHASES.iter().zip(&self.ids.tick_phase).enumerate() {
+            let h = self.registry.histogram(id);
+            rows[i] = (phase, h.count, h.sum);
+        }
+        rows
     }
 
     /// Updates the fleet gauges (datacenter context, sampling cadence).

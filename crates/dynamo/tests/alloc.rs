@@ -291,6 +291,51 @@ fn steady_state_grid_ticks_do_not_allocate() {
     );
 }
 
+/// The whole parallel tick at once: pooled 4-thread dispatch (real
+/// workers — `Pooled` does not clamp on small hosts), observability
+/// recording, the grid layer, the sharded telemetry scratch with its
+/// worker-side RPC codec round-trip (warm wire buffers), the parallel
+/// breaker precompute (fixed chunk plan, preallocated scratch) and the
+/// tick-phase profiler (preallocated histograms, `Instant` laps) must
+/// all stay off the heap in the steady state.
+#[test]
+fn steady_state_parallel_profiled_grid_ticks_do_not_allocate() {
+    let _serial = serialize_test();
+    let mut dc = dynamo::DatacenterBuilder::new()
+        .sbs_per_msb(1)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, workloads::TrafficPattern::flat(1.0))
+        .observability(ObsConfig::on())
+        .grid_scenario("nominal")
+        .worker_threads(4)
+        .parallel_mode(dynamo::ParallelMode::Pooled)
+        .profile_ticks(true)
+        .seed(11)
+        .build();
+    // Warm up past several leaf, upper and econ cycles so every
+    // scratch buffer — including the per-worker wire/event buffers and
+    // the fold chunk plan — reaches steady capacity.
+    dc.run_for(SimDuration::from_secs(130));
+    let mut measured = 0;
+    let mut total = 0u64;
+    while measured < 20 {
+        let t = dc.now().as_secs();
+        if t.is_multiple_of(9) || (t + 1).is_multiple_of(60) || t.is_multiple_of(60) {
+            dc.step();
+            continue;
+        }
+        total += count_allocs(|| dc.step());
+        measured += 1;
+    }
+    assert_eq!(
+        total, 0,
+        "parallel profiled tick allocated in the steady-state path"
+    );
+}
+
 /// The Hold-band guarantee must survive an active cap: a capped fleet
 /// in steady state (caps placed, nothing to change) is equally hot.
 #[test]

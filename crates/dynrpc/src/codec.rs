@@ -38,8 +38,62 @@ impl std::error::Error for CodecError {}
 const TAG_READ_POWER: u8 = 0x01;
 const TAG_SET_CAP: u8 = 0x02;
 const TAG_CLEAR_CAP: u8 = 0x03;
+const TAG_TELEMETRY_BATCH: u8 = 0x04;
 const TAG_POWER_REPLY: u8 = 0x81;
 const TAG_CAP_ACK: u8 = 0x82;
+
+// Telemetry event kind tags inside a batch.
+const EV_CAPPED: u8 = 0x01;
+const EV_UNCAPPED: u8 = 0x02;
+const EV_INVALID: u8 = 0x03;
+const EV_FAILOVER: u8 = 0x04;
+const EV_UPPER_CAPPED: u8 = 0x05;
+const EV_UPPER_UNCAPPED: u8 = 0x06;
+
+/// One controller telemetry event as it crosses the wire: the shared
+/// vocabulary between a controller shard (which encodes its cycle's
+/// events) and the telemetry owner (which decodes them at merge).
+/// Production Dynamo ships these as Thrift structs alongside the agent
+/// protocol; controller identity travels out of band (the batch is
+/// per-controller), so events carry only the instant, the protected
+/// device, and the action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryEvent {
+    /// Milliseconds of simulated time.
+    pub at_ms: u64,
+    /// Device index of the protected device.
+    pub device: u32,
+    /// What the controller did.
+    pub kind: TelemetryEventKind,
+}
+
+/// The action recorded in a [`TelemetryEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEventKind {
+    /// Caps issued: aggregate watts removed and servers touched.
+    Capped {
+        /// Power removed, in watts (bit-preserved across the wire).
+        cut_watts: f64,
+        /// Servers that received caps.
+        servers: u32,
+    },
+    /// Caps released.
+    Uncapped,
+    /// Aggregation declared invalid after `failures` failed pulls.
+    Invalid {
+        /// Pull failures that triggered it.
+        failures: u32,
+    },
+    /// Backup controller took over from a failed primary.
+    Failover,
+    /// An upper controller pushed `contracts` contractual limits.
+    UpperCapped {
+        /// Children that received contracts.
+        contracts: u32,
+    },
+    /// An upper controller cleared its contracts.
+    UpperUncapped,
+}
 
 // Flag bits for the power reply.
 const FLAG_FROM_SENSOR: u8 = 0b0000_0001;
@@ -71,9 +125,39 @@ impl<'a> Reader<'a> {
             head.try_into().expect("split_at(8) yields 8 bytes"),
         ))
     }
+
+    fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        if self.buf.len() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_le_bytes(
+            head.try_into().expect("split_at(4) yields 4 bytes"),
+        ))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, CodecError> {
+        if self.buf.len() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_le_bytes(
+            head.try_into().expect("split_at(8) yields 8 bytes"),
+        ))
+    }
 }
 
 fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -170,6 +254,90 @@ pub fn decode_response(buf: impl AsRef<[u8]>) -> Result<Response, CodecError> {
         }),
         other => Err(CodecError::UnknownTag(other)),
     }
+}
+
+/// Appends a telemetry batch frame to `buf` (which is *not* cleared:
+/// callers own the buffer lifecycle so a warm buffer can be reused
+/// across cycles without allocating). Layout: tag, u32 count, then per
+/// event a u64 timestamp, u32 device, kind tag and kind fields — all
+/// little-endian. The watt field is the raw `f64` bit pattern, so a
+/// decode reproduces the encoder's value exactly.
+pub fn encode_telemetry_batch_into(buf: &mut Vec<u8>, events: &[TelemetryEvent]) {
+    buf.push(TAG_TELEMETRY_BATCH);
+    put_u32_le(buf, events.len() as u32);
+    for ev in events {
+        put_u64_le(buf, ev.at_ms);
+        put_u32_le(buf, ev.device);
+        match ev.kind {
+            TelemetryEventKind::Capped { cut_watts, servers } => {
+                buf.push(EV_CAPPED);
+                put_f64_le(buf, cut_watts);
+                put_u32_le(buf, servers);
+            }
+            TelemetryEventKind::Uncapped => buf.push(EV_UNCAPPED),
+            TelemetryEventKind::Invalid { failures } => {
+                buf.push(EV_INVALID);
+                put_u32_le(buf, failures);
+            }
+            TelemetryEventKind::Failover => buf.push(EV_FAILOVER),
+            TelemetryEventKind::UpperCapped { contracts } => {
+                buf.push(EV_UPPER_CAPPED);
+                put_u32_le(buf, contracts);
+            }
+            TelemetryEventKind::UpperUncapped => buf.push(EV_UPPER_UNCAPPED),
+        }
+    }
+}
+
+/// Decodes a telemetry batch frame into `out`, appending in wire order.
+/// Like the encoder, `out` is caller-owned and not cleared, so a warm
+/// `Vec` with capacity left over from the previous cycle decodes
+/// without allocating.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation, a wrong frame tag, an unknown
+/// event kind, or a non-finite/negative watt field.
+pub fn decode_telemetry_batch_into(
+    buf: impl AsRef<[u8]>,
+    out: &mut Vec<TelemetryEvent>,
+) -> Result<(), CodecError> {
+    let mut r = Reader::new(buf.as_ref());
+    match r.get_u8()? {
+        TAG_TELEMETRY_BATCH => {}
+        other => return Err(CodecError::UnknownTag(other)),
+    }
+    let count = r.get_u32_le()?;
+    for _ in 0..count {
+        let at_ms = r.get_u64_le()?;
+        let device = r.get_u32_le()?;
+        let kind = match r.get_u8()? {
+            EV_CAPPED => {
+                let cut_watts = r.get_f64_le()?;
+                if !cut_watts.is_finite() || cut_watts < 0.0 {
+                    return Err(CodecError::InvalidPower);
+                }
+                let servers = r.get_u32_le()?;
+                TelemetryEventKind::Capped { cut_watts, servers }
+            }
+            EV_UNCAPPED => TelemetryEventKind::Uncapped,
+            EV_INVALID => TelemetryEventKind::Invalid {
+                failures: r.get_u32_le()?,
+            },
+            EV_FAILOVER => TelemetryEventKind::Failover,
+            EV_UPPER_CAPPED => TelemetryEventKind::UpperCapped {
+                contracts: r.get_u32_le()?,
+            },
+            EV_UPPER_UNCAPPED => TelemetryEventKind::UpperUncapped,
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        out.push(TelemetryEvent {
+            at_ms,
+            device,
+            kind,
+        });
+    }
+    Ok(())
 }
 
 fn get_power(r: &mut Reader<'_>) -> Result<Power, CodecError> {
@@ -290,6 +458,156 @@ mod tests {
             let _ = decode_request(&bytes[..]);
             let _ = decode_response(&bytes[..]);
         }
+    }
+
+    fn sample_batch() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent {
+                at_ms: 3_000,
+                device: 7,
+                kind: TelemetryEventKind::Capped {
+                    cut_watts: 812.375,
+                    servers: 19,
+                },
+            },
+            TelemetryEvent {
+                at_ms: 3_000,
+                device: 9,
+                kind: TelemetryEventKind::Invalid { failures: 4 },
+            },
+            TelemetryEvent {
+                at_ms: 6_000,
+                device: 7,
+                kind: TelemetryEventKind::Uncapped,
+            },
+            TelemetryEvent {
+                at_ms: 6_000,
+                device: 2,
+                kind: TelemetryEventKind::UpperCapped { contracts: 16 },
+            },
+            TelemetryEvent {
+                at_ms: 9_000,
+                device: 2,
+                kind: TelemetryEventKind::UpperUncapped,
+            },
+            TelemetryEvent {
+                at_ms: 9_000,
+                device: 11,
+                kind: TelemetryEventKind::Failover,
+            },
+        ]
+    }
+
+    #[test]
+    fn telemetry_batches_round_trip() {
+        let events = sample_batch();
+        let mut wire = Vec::new();
+        encode_telemetry_batch_into(&mut wire, &events);
+        let mut back = Vec::new();
+        decode_telemetry_batch_into(&wire, &mut back).unwrap();
+        assert_eq!(back, events);
+
+        // Empty batches are legal and tiny (tag + count).
+        let mut wire = Vec::new();
+        encode_telemetry_batch_into(&mut wire, &[]);
+        assert_eq!(wire.len(), 5);
+        let mut back = Vec::new();
+        decode_telemetry_batch_into(&wire, &mut back).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn telemetry_batch_preserves_f64_bits() {
+        // The cut field must survive bit-exactly, including values that
+        // a decimal round-trip would perturb.
+        let exotic = f64::from_bits(0x3FF0_0000_0000_0001); // 1.0 + 1 ulp
+        let events = [TelemetryEvent {
+            at_ms: 1,
+            device: 0,
+            kind: TelemetryEventKind::Capped {
+                cut_watts: exotic,
+                servers: 1,
+            },
+        }];
+        let mut wire = Vec::new();
+        encode_telemetry_batch_into(&mut wire, &events);
+        let mut back = Vec::new();
+        decode_telemetry_batch_into(&wire, &mut back).unwrap();
+        match back[0].kind {
+            TelemetryEventKind::Capped { cut_watts, .. } => {
+                assert_eq!(cut_watts.to_bits(), exotic.to_bits());
+            }
+            ref other => panic!("wrong kind decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_batch_reuses_warm_buffers() {
+        // Neither side clears the caller's buffer, so capacity carries
+        // across cycles: encode/decode into warmed buffers must not
+        // grow them.
+        let events = sample_batch();
+        let mut wire = Vec::new();
+        encode_telemetry_batch_into(&mut wire, &events);
+        let mut back = Vec::with_capacity(events.len());
+        decode_telemetry_batch_into(&wire, &mut back).unwrap();
+        let wire_cap = wire.capacity();
+        let back_cap = back.capacity();
+        for _ in 0..8 {
+            wire.clear();
+            back.clear();
+            encode_telemetry_batch_into(&mut wire, &events);
+            decode_telemetry_batch_into(&wire, &mut back).unwrap();
+        }
+        assert_eq!(wire.capacity(), wire_cap, "encode grew a warm buffer");
+        assert_eq!(back.capacity(), back_cap, "decode grew a warm buffer");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn truncated_telemetry_batch_errors() {
+        let mut full = Vec::new();
+        encode_telemetry_batch_into(&mut full, &sample_batch());
+        for cut in 0..full.len() {
+            let mut out = Vec::new();
+            let err = decode_telemetry_batch_into(&full[..cut], &mut out).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn telemetry_batch_rejects_bad_tags_and_powers() {
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_telemetry_batch_into(&[0x77][..], &mut out),
+            Err(CodecError::UnknownTag(0x77))
+        );
+
+        // Unknown event kind inside an otherwise valid frame.
+        let mut wire = Vec::new();
+        wire.push(TAG_TELEMETRY_BATCH);
+        put_u32_le(&mut wire, 1);
+        put_u64_le(&mut wire, 0);
+        put_u32_le(&mut wire, 0);
+        wire.push(0xEE);
+        assert_eq!(
+            decode_telemetry_batch_into(&wire, &mut out),
+            Err(CodecError::UnknownTag(0xEE))
+        );
+
+        // Non-finite cut watts.
+        let mut wire = Vec::new();
+        wire.push(TAG_TELEMETRY_BATCH);
+        put_u32_le(&mut wire, 1);
+        put_u64_le(&mut wire, 0);
+        put_u32_le(&mut wire, 0);
+        wire.push(EV_CAPPED);
+        put_f64_le(&mut wire, f64::INFINITY);
+        put_u32_le(&mut wire, 3);
+        assert_eq!(
+            decode_telemetry_batch_into(&wire, &mut out),
+            Err(CodecError::InvalidPower)
+        );
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! x 4 SBs x 16 RPPs x 160 servers = 122,880 servers, 768 leaf
 //! controllers — with a 30-tick demand hold so the active-set physics
 //! carry the steady state, and enforces its own (higher) throughput
-//! floor.
+//! floor. `--worst-case` runs the same full-site shape under the bench
+//! matrix's worst-case workload instead: over-subscribed flat 1.2x
+//! demand, per-tick redraws, lossy links — nothing settles, every
+//! controller cycle caps, so this floor guards the whole parallel tick
+//! (sharded telemetry, tree-fold breaker pass, leaf dispatch) under
+//! maximum load.
 //!
 //! Run with `--quick` (CI) for a short timed window; the default runs a
 //! longer window for stable numbers. Exits nonzero if the simulation
@@ -15,6 +20,7 @@
 //! ```sh
 //! cargo run --release --example paper_scale -- --quick
 //! cargo run --release --example paper_scale -- --full-site --quick
+//! cargo run --release --example paper_scale -- --worst-case --quick
 //! ```
 
 use std::time::Instant;
@@ -22,6 +28,23 @@ use std::time::Instant;
 use dcsim::SimDuration;
 use dynamo::{Datacenter, DatacenterBuilder, ParallelMode};
 use workloads::{ServiceKind, TrafficPattern};
+
+/// The three smoke flavours. All share the paper's suite shape below
+/// the MSB (4 SBs x 16 RPPs x 4 racks x 40 servers).
+#[derive(Clone, Copy, PartialEq)]
+enum Flavour {
+    /// 4 MSBs, diurnal traffic, per-tick redraws: ~40k servers at ~90%
+    /// of rating.
+    PaperScale,
+    /// 12 MSBs, steady-state workload (flat 0.7x, hold 30, lossless
+    /// links): the active-set and cycle-elision regime at 122,880
+    /// servers.
+    FullSite,
+    /// 12 MSBs, worst-case workload (flat 1.2x, hold 1, lossy links):
+    /// every leaf redraws and caps every tick — the full parallel tick
+    /// under maximum load.
+    WorstCase,
+}
 
 /// Default: 4 MSBs x 4 SBs x 16 RPPs x 160 servers = 40,960 servers,
 /// sized so each device carries ~90% of its OCP rating (MSB: ~2.3 of
@@ -31,10 +54,13 @@ use workloads::{ServiceKind, TrafficPattern};
 /// steady-state workload from the bench matrix (under-budget flat 0.7x
 /// demand held 30 ticks, lossless agent links), so this smoke
 /// exercises — and its floor enforces — the active-set skip and
-/// quiescent-cycle elision at full scale.
-fn build(threads: usize, full_site: bool) -> Datacenter {
+/// quiescent-cycle elision at full scale. `--worst-case`: the same
+/// full-site shape under the bench matrix's worst-case workload
+/// (over-subscribed flat 1.2x, per-tick redraws, default lossy links).
+fn build(threads: usize, flavour: Flavour) -> Datacenter {
+    let full_shape = flavour != Flavour::PaperScale;
     let mut b = DatacenterBuilder::new()
-        .msbs_per_suite(if full_site { 12 } else { 4 })
+        .msbs_per_suite(if full_shape { 12 } else { 4 })
         .sbs_per_msb(4)
         .rpps_per_sb(16)
         .racks_per_rpp(4)
@@ -44,14 +70,14 @@ fn build(threads: usize, full_site: bool) -> Datacenter {
         .worker_threads(threads)
         .parallel_mode(ParallelMode::PooledAuto)
         .phase_spread(SimDuration::from_secs(2))
-        .demand_hold(if full_site { 30 } else { 1 });
-    if full_site {
-        b = b
+        .demand_hold(if flavour == Flavour::FullSite { 30 } else { 1 });
+    b = match flavour {
+        Flavour::PaperScale => b.traffic(ServiceKind::Web, TrafficPattern::diurnal()),
+        Flavour::FullSite => b
             .traffic(ServiceKind::Web, TrafficPattern::flat(0.7))
-            .rpc_profile(dynrpc::LinkProfile::reliable());
-    } else {
-        b = b.traffic(ServiceKind::Web, TrafficPattern::diurnal());
-    }
+            .rpc_profile(dynrpc::LinkProfile::reliable()),
+        Flavour::WorstCase => b.traffic(ServiceKind::Web, TrafficPattern::flat(1.2)),
+    };
     b.build()
 }
 
@@ -75,17 +101,23 @@ fn measure(dc: &mut Datacenter, window_ms: u128) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let full_site = std::env::args().any(|a| a == "--full-site");
+    let flavour = if std::env::args().any(|a| a == "--worst-case") {
+        Flavour::WorstCase
+    } else if std::env::args().any(|a| a == "--full-site") {
+        Flavour::FullSite
+    } else {
+        Flavour::PaperScale
+    };
     let window_ms = if quick { 1500 } else { 6000 };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut dc = build(threads, full_site);
+    let mut dc = build(threads, flavour);
     let servers = dc.fleet().len();
     let ticks_per_sec = measure(&mut dc, window_ms);
     let sim_per_wall = ticks_per_sec; // 1 s ticks: sim seconds per wall second
-    let label = if full_site {
-        "full-site (30 MW)"
-    } else {
-        "paper-scale"
+    let label = match flavour {
+        Flavour::PaperScale => "paper-scale",
+        Flavour::FullSite => "full-site (30 MW)",
+        Flavour::WorstCase => "full-site worst-case (30 MW)",
     };
     println!(
         "{label} smoke: {servers} servers, {} leaves, {} worker threads, demand hold {}",
@@ -107,7 +139,15 @@ fn main() {
     // on the single-core bench host; 150 leaves 3x headroom for a
     // loaded CI runner while still catching the active set failing to
     // engage (which alone drops the rate under ~100).
-    let floor = if full_site { 150.0 } else { 25.0 };
+    // Worst-case: the same shape with nothing settling sustains
+    // ~77-88 ticks/s serial depending on the bench host's mood;
+    // 30 leaves ~2.5x headroom while still catching a pathological
+    // serial tick at full load.
+    let floor = match flavour {
+        Flavour::PaperScale => 25.0,
+        Flavour::FullSite => 150.0,
+        Flavour::WorstCase => 30.0,
+    };
     if !ticks_per_sec.is_finite() || ticks_per_sec <= floor {
         eprintln!("FAIL: {ticks_per_sec:.1} ticks/s below the {floor:.0} ticks/s floor");
         std::process::exit(1);

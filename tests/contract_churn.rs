@@ -5,7 +5,9 @@
 //! stale subtree sum across the capping transitions the churn causes.
 
 use dcsim::SimDuration;
-use dynamo_repro::dynamo::{Datacenter, DatacenterBuilder, ObsConfig, RunReport, ServicePlan};
+use dynamo_repro::dynamo::{
+    Datacenter, DatacenterBuilder, ObsConfig, ParallelMode, RunReport, ServicePlan,
+};
 use dynamo_repro::powerinfra::Power;
 use dynamo_repro::workloads::{ServiceKind, TrafficPattern};
 
@@ -109,7 +111,7 @@ fn contract_churn_is_bit_identical_across_threads() {
         "report should summarize the churn:\n{}",
         baseline.0
     );
-    for threads in [2, 8] {
+    for threads in [2, 8, 64] {
         let other = run_churned(threads);
         assert_eq!(
             baseline.0, other.0,
@@ -120,4 +122,117 @@ fn contract_churn_is_bit_identical_across_threads() {
             "metrics diverged under churn at {threads} threads"
         );
     }
+}
+
+/// An over-subscribed, monitor-only fleet on a weak RPP: with capping
+/// off the first leaf's breaker genuinely trips. The run then layers
+/// every remaining cache-churn source on top: out-of-band server
+/// kills and revivals, a breaker reset that powers the subtree back
+/// on, and a mid-run re-registration of the same leaf spans (which
+/// restarts leaf epochs and must disable the epoch-keyed cache rather
+/// than risk watermark collisions).
+fn build_faulty(threads: usize, mode: ParallelMode) -> Datacenter {
+    DatacenterBuilder::new()
+        .sbs_per_msb(2)
+        .rpps_per_sb(2)
+        .racks_per_rpp(2)
+        .servers_per_rack(16)
+        // ~10 kW of draw on a 7 kW rating is a ~140% overload — the
+        // inverse-time curve trips that in tens of seconds, where the
+        // paper's ~110% point would outlast the whole 240 s run.
+        .rpp_rating(Power::from_kilowatts(7.0))
+        .uniform_service(ServiceKind::Web)
+        .traffic(ServiceKind::Web, TrafficPattern::flat(1.6))
+        .capping_enabled(false)
+        .observability(ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        })
+        .worker_threads(threads)
+        .parallel_mode(mode)
+        .seed(77)
+        .build()
+}
+
+/// 240 s of trip/kill/revive/re-span churn with the draw cache audited
+/// against fresh folds at every boundary. Returns (report, metrics,
+/// breaker trips) so callers can both byte-compare runs and assert the
+/// trip actually happened.
+fn run_fault_churned(threads: usize, mode: ParallelMode) -> (String, String, usize) {
+    let mut dc = build_faulty(threads, mode);
+    let tripped = dc.system().leaf_devices()[0];
+    let span_len = dc.fleet().len() / dc.system().leaf_devices().len();
+    let spans: Vec<std::ops::Range<usize>> = (0..dc.system().leaf_devices().len())
+        .map(|i| i * span_len..(i + 1) * span_len)
+        .collect();
+    for t in 0..240u64 {
+        match t {
+            // Kill a handful of servers in the *last* leaf out of band
+            // (the first leaf is busy tripping its own breaker), then
+            // revive them: epoch bumps in both directions.
+            40 => {
+                for s in 0..6u32 {
+                    let sid = (dc.fleet().len() - 1) as u32 - s;
+                    dc.fleet_mut().set_server_alive(sid, false);
+                }
+            }
+            80 => {
+                for s in 0..6u32 {
+                    let sid = (dc.fleet().len() - 1) as u32 - s;
+                    dc.fleet_mut().set_server_alive(sid, true);
+                }
+            }
+            // Operator resets the tripped breaker: the whole subtree
+            // powers back on at once (and promptly trips again under
+            // the same load).
+            120 => dc.reset_breaker(tripped),
+            // Re-register the same spans: leaf epochs restart at zero,
+            // so the generation bump must disable the cache outright.
+            160 => dc.fleet_mut().set_leaf_spans(&spans),
+            _ => {}
+        }
+        dc.step();
+        if t % 20 == 0 || matches!(t, 40 | 80 | 120 | 160) {
+            assert!(
+                dc.draw_cache_is_exact(),
+                "draw cache served a stale sum at t={t} ({threads} threads)"
+            );
+        }
+    }
+    let trips = dc.telemetry().breaker_trips().len();
+    (
+        RunReport::from_datacenter(&dc).to_string(),
+        dc.system().observability().prometheus_text(),
+        trips,
+    )
+}
+
+#[test]
+fn fault_churn_is_bit_identical_across_threads_and_modes() {
+    let baseline = run_fault_churned(1, ParallelMode::Pooled);
+    assert!(
+        baseline.2 > 0,
+        "fault-churn scenario never tripped a breaker:\n{}",
+        baseline.0
+    );
+    for threads in [2, 8, 64] {
+        let other = run_fault_churned(threads, ParallelMode::Pooled);
+        assert_eq!(
+            baseline.0, other.0,
+            "report diverged under fault churn at {threads} pooled threads"
+        );
+        assert_eq!(
+            baseline.1, other.1,
+            "metrics diverged under fault churn at {threads} pooled threads"
+        );
+    }
+    let scoped = run_fault_churned(8, ParallelMode::Scoped);
+    assert_eq!(
+        baseline.0, scoped.0,
+        "report diverged between pooled and scoped dispatch"
+    );
+    assert_eq!(
+        baseline.1, scoped.1,
+        "metrics diverged between pooled and scoped dispatch"
+    );
 }

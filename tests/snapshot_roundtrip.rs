@@ -161,6 +161,60 @@ fn whole_datacenter_state_roundtrips() {
     assert_eq!(fresh.now(), SimTime::from_mins(5));
 }
 
+/// Same property under the parallel tick: a pooled 4-worker run (real
+/// workers — `Pooled` does not clamp to the host's cores) exercises
+/// the sharded telemetry scratch, the worker-side RPC codec round-trip
+/// and the parallel breaker precompute, none of which may leak derived
+/// state into the snapshot. The state must be byte-stable through the
+/// codec, restore into a *serial* twin, and continue bit-identically —
+/// proving the snapshot is thread-count-free.
+#[test]
+fn threaded_datacenter_state_roundtrips_into_serial_twin() {
+    use dynamo_repro::dynamo::{ParallelMode, RunReport};
+    let build = |threads: usize| {
+        DatacenterBuilder::new()
+            .sbs_per_msb(1)
+            .rpps_per_sb(2)
+            .racks_per_rpp(2)
+            .servers_per_rack(8)
+            .rpp_rating(Power::from_kilowatts(4.2))
+            .uniform_service(ServiceKind::Web)
+            .traffic(ServiceKind::Web, TrafficPattern::flat(1.4))
+            .observability(ObsConfig::on())
+            .worker_threads(threads)
+            .parallel_mode(ParallelMode::Pooled)
+            .seed(19)
+            .build()
+    };
+    let mut dc = build(4);
+    dc.run_for(SimDuration::from_mins(3));
+
+    let state = roundtrip(&dc.state());
+    let mut serial = build(1);
+    serial.restore(&state).expect("decoded state must restore");
+    assert_eq!(serial.now(), SimTime::from_mins(3));
+
+    // Continue both for two more minutes: the resumed serial run must
+    // match the unbroken threaded one byte for byte.
+    dc.run_for(SimDuration::from_mins(2));
+    serial.run_for(SimDuration::from_mins(2));
+    assert_eq!(
+        RunReport::from_datacenter(&dc).to_string(),
+        RunReport::from_datacenter(&serial).to_string(),
+        "resumed serial run diverged from the unbroken threaded run"
+    );
+    assert_eq!(
+        dc.system().observability().prometheus_text(),
+        serial.system().observability().prometheus_text(),
+        "metrics diverged between threaded and restored-serial runs"
+    );
+    assert_eq!(
+        dc.state().to_snap_bytes(),
+        serial.state().to_snap_bytes(),
+        "post-continuation snapshots are not byte-identical"
+    );
+}
+
 /// Same property with the grid-interactive layer live: the nested
 /// `GridLayerState` (economic controller schedule, battery banks, the
 /// open curtailment episode and settlement accumulators) must survive
