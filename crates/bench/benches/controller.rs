@@ -131,7 +131,7 @@ struct MatrixPoint {
     speedup_vs_pr5: Option<f64>,
     /// Throughput ratio against the same
     /// `(workload, rpps, threads, spread, hold)` cell of the
-    /// immediately preceding PR's run ([`PR8_BASELINE`]) — the
+    /// immediately preceding PR's run ([`PR9_BASELINE`]) — the
     /// marginal win of *this* PR, where `speedup_vs_pr5` is the
     /// cumulative win of the perf series.
     speedup_vs_prev: Option<f64>,
@@ -178,15 +178,14 @@ fn pr5_baseline(rpps: usize, threads: usize, spread_ms: u64) -> Option<f64> {
 
 /// The immediately preceding PR's full matrix, keyed by
 /// `(workload, rpps, threads, phase_spread_ms, demand_hold)` —
-/// measured by running the previous tip commit's bench on the same
-/// host, same day, so `speedup_vs_prev` isolates what *this* PR's
-/// changes bought (where `speedup_vs_pr5` accumulates the whole perf
-/// series). Unlike [`PR5_BASELINE`] it covers every cell, including
-/// steady-state and full-site rows. (The PR 8 JSON as committed was
-/// ~10% faster across the board than the same commit re-run today —
-/// host drift, same story as the PR 5 table — so these are the
-/// re-measured values, not the stored ones.)
-const PR8_BASELINE: &[(&str, usize, usize, u64, u32, f64)] = &[
+/// measured by building [`BASELINE_COMMIT`] (the PR 9 tip) in a
+/// worktree and running its bench on the same host, same day, so
+/// `speedup_vs_prev` isolates what *this* PR's changes bought (where
+/// `speedup_vs_pr5` accumulates the whole perf series). Unlike
+/// [`PR5_BASELINE`] it covers every cell, including steady-state and
+/// full-site rows. Re-measured, not copied from the stored JSON —
+/// host drift between bake days has historically been worth ~10%.
+const PR9_BASELINE: &[(&str, usize, usize, u64, u32, f64)] = &[
     ("worst_case", 1, 1, 0, 1, 101372.0),
     ("worst_case", 1, 8, 0, 1, 101965.0),
     ("worst_case", 1, 1, 3000, 1, 97925.0),
@@ -217,14 +216,14 @@ const PR8_BASELINE: &[(&str, usize, usize, u64, u32, f64)] = &[
     ("steady_state", 768, 8, 0, 30, 578.0),
 ];
 
-fn pr8_baseline(
+fn pr9_baseline(
     workload: &str,
     rpps: usize,
     threads: usize,
     spread_ms: u64,
     hold: u32,
 ) -> Option<f64> {
-    PR8_BASELINE
+    PR9_BASELINE
         .iter()
         .find(|&&(w, r, t, s, h, _)| {
             w == workload && r == rpps && t == threads && s == spread_ms && h == hold
@@ -589,6 +588,65 @@ fn bench_grid_overhead() -> GridOverhead {
 /// layer, enforced the same way as [`OBS_BUDGET`].
 const GRID_IDLE_BUDGET: f64 = 0.01;
 
+/// The commit whose re-measured bench is baked into
+/// [`PR9_BASELINE`] and whose layout produced
+/// [`ROOFLINE_BASELINE_FUSED_768`]: the PR 9 tip.
+const BASELINE_COMMIT: &str = "b3f5e71";
+
+/// Baked fused-roofline baseline for the worst-case 768-RPP shape
+/// (122,880 servers), in bytes per tick — the value
+/// [`dynamo::Fleet::bytes_per_tick`] reports for this PR's hot/cold
+/// layout. The gate fails the bench when the *current* fused roofline
+/// exceeds this by more than [`ROOFLINE_GATE_MAX_REGRESSION`]: the
+/// model is analytical (derived from live allocation lengths, no
+/// timing involved), so the gate is always armed — a single-core or
+/// noisy host cannot produce a false positive, only a real layout
+/// regression (an array added to the settle stride, a mask unpacked
+/// back to `f64`) can.
+const ROOFLINE_BASELINE_FUSED_768: u64 = 0;
+
+/// Allowed growth of the fused roofline before the gate fails: 5%.
+const ROOFLINE_GATE_MAX_REGRESSION: f64 = 0.05;
+
+/// The worst-case 768-RPP per-tick DRAM roofline, fused and unfused,
+/// with the always-armed regression gate applied. Building the
+/// 122,880-server site takes a few seconds and no stepping — the
+/// roofline reads allocation lengths, not wall time.
+fn roofline_768() -> dynamo::TickTraffic {
+    let dc = matrix_datacenter_hold(
+        12,
+        4,
+        16,
+        1,
+        ParallelMode::PooledAuto,
+        SimDuration::ZERO,
+        1,
+        Workload::WorstCase,
+    );
+    let t = dc.fleet().bytes_per_tick();
+    let ceiling = ROOFLINE_BASELINE_FUSED_768 as f64 * (1.0 + ROOFLINE_GATE_MAX_REGRESSION);
+    println!("\nbytes/tick roofline (768 RPPs, 122880 servers, worst case):");
+    println!("  fused      {:>12} bytes/tick", t.fused);
+    println!("  unfused    {:>12} bytes/tick", t.unfused);
+    println!(
+        "  ratio      {:>12.2}x   (baseline fused {} @ {BASELINE_COMMIT}, gate at +{:.0}%)",
+        t.unfused as f64 / t.fused as f64,
+        ROOFLINE_BASELINE_FUSED_768,
+        ROOFLINE_GATE_MAX_REGRESSION * 100.0
+    );
+    if (t.fused as f64) > ceiling {
+        eprintln!(
+            "FAIL: fused roofline {} bytes/tick exceeds the baked baseline {} by more than {:.0}% \
+             — the hot loop grew a memory pass or the hot set widened",
+            t.fused,
+            ROOFLINE_BASELINE_FUSED_768,
+            ROOFLINE_GATE_MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    t
+}
+
 /// CI throughput floor for the full-site steady-state smoke (768 RPPs,
 /// 122,880 servers, demand hold 30, serial). Enforced by
 /// `examples/paper_scale.rs --full-site`; recorded here so the bench
@@ -621,6 +679,7 @@ const WORST_CASE_GATE_FLOOR: f64 = 0.95;
 /// The JSON records the host parallelism and each cell's effective
 /// thread count so every number is interpretable.
 fn bench_control_plane_matrix(obs: &ObsOverhead, grid: &GridOverhead) {
+    let roofline = roofline_768();
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -700,7 +759,7 @@ fn bench_control_plane_matrix(obs: &ObsOverhead, grid: &GridOverhead) {
             let speedup_vs_pr5 =
                 pr5_baseline(rpps, threads, phase_spread_ms).map(|base| ticks_per_sec / base);
             let speedup_vs_prev =
-                pr8_baseline(workload.label(), rpps, threads, phase_spread_ms, hold)
+                pr9_baseline(workload.label(), rpps, threads, phase_spread_ms, hold)
                     .map(|base| ticks_per_sec / base);
             let vs = speedup_vs_pr5
                 .map(|s| format!("{s:>5.2}x vs pr5"))
@@ -876,6 +935,14 @@ fn bench_control_plane_matrix(obs: &ObsOverhead, grid: &GridOverhead) {
     json.push_str(&format!(
         "  \"staggered_vs_lockstep_64rpps_serial\": {stagger_ratio:.3},\n"
     ));
+    json.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
+    json.push_str(&format!(
+        "  \"bytes_per_tick\": {{\"rpps\": 768, \"servers\": 122880, \"workload\": \"worst_case\", \"fused\": {}, \"unfused\": {}, \"unfused_over_fused\": {:.3}, \"baseline_fused\": {ROOFLINE_BASELINE_FUSED_768}, \"baseline_commit\": \"{BASELINE_COMMIT}\", \"gate\": {{\"armed\": true, \"max_regression_pct\": {:.1}, \"enforced_by\": \"cargo bench -p bench --bench controller -- --roofline-gate\"}}}},\n",
+        roofline.fused,
+        roofline.unfused,
+        roofline.unfused as f64 / roofline.fused as f64,
+        ROOFLINE_GATE_MAX_REGRESSION * 100.0
+    ));
     json.push_str(&format!(
         "  \"full_site_smoke\": {{\"rpps\": 768, \"servers\": 122880, \"msbs\": 12, \"demand_hold\": 30, \"workload\": \"steady_state\", \"floor_ticks_per_sec\": {FULL_SITE_SMOKE_FLOOR:.1}, \"enforced_by\": \"examples/paper_scale.rs --full-site\"}},\n"
     ));
@@ -933,6 +1000,10 @@ fn scaling_smoke() {
 fn main() {
     if std::env::args().any(|a| a == "--scaling-smoke") {
         scaling_smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--roofline-gate") {
+        roofline_768();
         return;
     }
     bench_three_band();

@@ -69,6 +69,7 @@ pub struct DatacenterBuilder {
     worker_threads: usize,
     parallel: ParallelMode,
     profile: bool,
+    fuse: bool,
     demand_hold: u32,
     system: SystemConfig,
     telemetry: TelemetryConfig,
@@ -92,6 +93,7 @@ impl Default for DatacenterBuilder {
             worker_threads: 1,
             parallel: ParallelMode::default(),
             profile: false,
+            fuse: true,
             demand_hold: 1,
             system: SystemConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -277,6 +279,18 @@ impl DatacenterBuilder {
         self
     }
 
+    /// Enables or disables hot-loop fusion (default on): the
+    /// tile-at-a-time settle pass, the fused per-leaf control dispatch
+    /// and the memoized total-power fold. Both settings compute
+    /// bit-identical simulations — this is the `--no-fuse` escape
+    /// hatch for bisecting a perf regression to fusion vs. layout, and
+    /// like the profiler it is run-control only (excluded from the
+    /// checkpoint envelope). See [`Datacenter::set_fuse`].
+    pub fn fuse(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
     /// Demand redraw period in ticks (default 1 = redraw every tick,
     /// bit-identical to the always-redraw model). Larger periods hold
     /// each leaf's demand between leaf-phased redraws — an opt-in model
@@ -453,6 +467,7 @@ impl DatacenterBuilder {
         dc.set_parallel_mode(self.parallel);
         dc.set_worker_threads(self.worker_threads);
         dc.set_profile_ticks(self.profile);
+        dc.set_fuse(self.fuse);
         dc
     }
 }

@@ -432,7 +432,14 @@ impl DynamoSystem {
                 self.dispatcher.leaf_due()
             };
             if !run_due.is_empty() {
-                if capping {
+                // Fused dispatch: each leaf runs its server flush, RPC
+                // cycle and cap absorb back to back while its agents
+                // are hot, instead of three fleet-wide passes. Requires
+                // capping (the monitoring path never syncs), known
+                // spans and a clean power cache; otherwise the
+                // phase-at-a-time passes below bracket the cycles.
+                let fused = capping && fleet.control_fuse_ready() && self.leaves.spans.is_some();
+                if capping && !fused {
                     // The fleet's batch arrays own server physics
                     // between steps; push the running leaves' state
                     // into the scalar server models so the RPC cycles
@@ -447,6 +454,7 @@ impl DynamoSystem {
                             now,
                             run_due,
                             threads,
+                            fused,
                             &pool,
                             &mut self.failover,
                             fleet,
@@ -458,6 +466,7 @@ impl DynamoSystem {
                             now,
                             run_due,
                             threads,
+                            fused,
                             &mut self.failover,
                             fleet,
                             &mut events,
@@ -469,6 +478,7 @@ impl DynamoSystem {
                         now,
                         run_due,
                         capping,
+                        fused,
                         &mut self.failover,
                         fleet,
                         &mut events,
@@ -476,10 +486,22 @@ impl DynamoSystem {
                     );
                 }
                 if capping {
-                    // Pull the RAPL limits the controllers just
-                    // programmed back into the fleet's batch arrays,
-                    // then capture the fleet markers the cycles saw.
-                    fleet.absorb_caps(run_due);
+                    if fused {
+                        // The workers already flushed and absorbed per
+                        // leaf; apply the deferred shared-state effects
+                        // in due order.
+                        fleet.finish_fused_control(
+                            run_due,
+                            &self.leaves.absorb_changed,
+                            &self.leaves.absorb_delta,
+                        );
+                    } else {
+                        // Pull the RAPL limits the controllers just
+                        // programmed back into the fleet's batch
+                        // arrays.
+                        fleet.absorb_caps(run_due);
+                    }
+                    // Capture the fleet markers the cycles saw.
                     self.leaves.note_markers(run_due, fleet);
                 }
             }

@@ -91,7 +91,19 @@ pub struct Datacenter {
     /// default: wall clocks are non-deterministic, so determinism
     /// tests never enable it.
     profile_ticks: bool,
+    /// Telemetry samples recorded since the last forced full refresh
+    /// of the fleet's memoized total-power fold. Run-control state
+    /// like `profile_ticks` (the refresh recomputes a value the memo
+    /// already holds bit-identically, so a reset-on-resume counter
+    /// changes nothing observable) — deliberately not snapshotted.
+    samples_since_refresh: u32,
 }
+
+/// Telemetry samples between forced full recomputations of the
+/// memoized total-power fold: keyed to the sampling cadence (one
+/// refresh per minute of simulated time at the 3 s grid), so a drift
+/// bug could never ride the memo for more than a cadence period.
+const TELEMETRY_REFRESH_SAMPLES: u32 = 20;
 
 /// Epoch-keyed cache of per-device subtree power sums.
 ///
@@ -388,6 +400,7 @@ impl Datacenter {
             draw_cache,
             grid,
             profile_ticks: false,
+            samples_since_refresh: 0,
         }
     }
 
@@ -399,6 +412,16 @@ impl Datacenter {
     /// when comparing reports or Prometheus output across runs.
     pub fn set_profile_ticks(&mut self, enabled: bool) {
         self.profile_ticks = enabled;
+    }
+
+    /// Enables or disables hot-loop fusion: the tile-at-a-time settle
+    /// pass, the fused per-leaf control dispatch, and the memoized
+    /// total-power fold. On by default; the `--no-fuse` escape hatch
+    /// exists so a regression can be bisected to fusion vs. layout.
+    /// Run-control only — both settings compute bit-identical
+    /// simulations, so the flag stays out of the checkpoint envelope.
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fleet.set_fuse(on);
     }
 
     /// Sets the number of worker threads used for fleet physics *and*
@@ -747,7 +770,7 @@ impl Datacenter {
     pub fn step(&mut self) {
         let now = self.now;
         let mut lap = Lap::new(self.profile_ticks);
-        let mut phase_secs = [0.0f64; 6];
+        let mut phase_secs = [0.0f64; 7];
 
         // 1. Workloads and server physics.
         if self.effective_threads > 1 {
@@ -756,7 +779,18 @@ impl Datacenter {
         } else {
             self.fleet.step(now, self.tick);
         }
-        lap.mark(&mut phase_secs, TickPhase::FleetStep);
+        // Fused configurations attribute the settle pass to its own
+        // phase family so fused and unfused profiles are
+        // distinguishable; the `fleet_step` family keeps emitting
+        // (zero observations) either way.
+        lap.mark(
+            &mut phase_secs,
+            if self.fleet.fuse() {
+                TickPhase::FusedTile
+            } else {
+                TickPhase::FleetStep
+            },
+        );
 
         // 2. Breaker thermal models over true subtree power. Draws go
         // through the epoch cache: with active-set physics on, most
@@ -872,8 +906,18 @@ impl Datacenter {
         }
         lap.mark(&mut phase_secs, TickPhase::Validator);
 
-        // 5. Telemetry sampling.
+        // 5. Telemetry sampling. The fleet's total power comes from a
+        // quiescence-keyed memo when fusion is on; every
+        // `TELEMETRY_REFRESH_SAMPLES`-th sample forces a full
+        // recomputation (and, in debug builds, cross-checks the memo
+        // against the flat fold), so the merged sample stream can
+        // never ride a stale memo for more than a cadence period.
         if self.telemetry.sample_due(now) {
+            self.samples_since_refresh += 1;
+            if self.samples_since_refresh >= TELEMETRY_REFRESH_SAMPLES {
+                self.samples_since_refresh = 0;
+                self.fleet.refresh_total_power();
+            }
             let mut watched = std::mem::take(&mut self.watched_scratch);
             watched.clear();
             for &d in &self.watched {
@@ -1121,13 +1165,14 @@ impl Snapshot for DatacenterState {
 
 /// All tick phases in accumulator-array order (`TickPhase as usize`),
 /// used to flush the per-tick sums into the registry.
-const TICK_PHASE_ORDER: [TickPhase; 6] = [
+const TICK_PHASE_ORDER: [TickPhase; 7] = [
     TickPhase::FleetStep,
     TickPhase::BreakerFold,
     TickPhase::Grid,
     TickPhase::LeafDispatch,
     TickPhase::Validator,
     TickPhase::TelemetryMerge,
+    TickPhase::FusedTile,
 ];
 
 /// Phase stopwatch for the tick profiler: an inert no-op when
@@ -1151,7 +1196,7 @@ impl Lap {
         self.at.is_some()
     }
 
-    fn mark(&mut self, acc: &mut [f64; 6], phase: TickPhase) {
+    fn mark(&mut self, acc: &mut [f64; 7], phase: TickPhase) {
         if let Some(prev) = self.at {
             let now = std::time::Instant::now();
             acc[phase as usize] += (now - prev).as_secs_f64();

@@ -46,6 +46,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dcsim::snap::{
@@ -68,6 +69,32 @@ pub struct FleetStats {
     pub agents_down: usize,
     /// Total true power of all servers.
     pub total_power: Power,
+}
+
+/// Analytical main-memory roofline of one worst-case tick: the bytes
+/// the hot loop must move through DRAM when every leaf redraws, every
+/// controller cycles, and the tick samples telemetry, assuming the
+/// caches hold nothing across passes (every fleet-wide pass re-streams
+/// its arrays) but everything within one [`FUSE_TILE`] (a tile touched
+/// by consecutive fused stages stays resident).
+///
+/// Computed from the live allocation sizes, not constants, so a layout
+/// regression — an array added to the settle stride, a mask unpacked
+/// back to `f64` — moves the number even before it shows up in wall
+/// time. `crates/bench` records both flavours in
+/// `BENCH_controlplane.json` and gates the fused roofline against a
+/// baked baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickTraffic {
+    /// Bytes per worst-case tick with fusion on: one streaming pass
+    /// over the hot set — settle, absorb, telemetry partial and
+    /// per-leaf partial all ride the tile while it is resident — plus
+    /// the memoized total-power fold (O(leaves), counted exactly).
+    pub fused: u64,
+    /// Bytes per worst-case tick with fusion off: the same hot set
+    /// re-streamed by each phase-at-a-time pass — settle, control
+    /// sync, absorb, and the flat telemetry fold.
+    pub unfused: u64,
 }
 
 /// Precomputed per-worker partitions for [`Fleet::step_parallel`],
@@ -151,11 +178,23 @@ pub struct Fleet {
     limit_w: Vec<f64>,
     /// Batch state, position order: settled RAPL output watts.
     out_w: Vec<f64>,
-    /// Batch state, position order: 1.0 until the first live step
-    /// (forces the exact first-step snap), 0.0 afterwards.
-    not_init: Vec<f64>,
-    /// Batch state, position order: liveness mask (1.0 alive, 0.0 dead).
-    alive_m: Vec<f64>,
+    /// Bit-packed first-step mask, one bit per server (bit set = not
+    /// yet live-stepped, forcing the exact first-step snap). Packed in
+    /// per-leaf regions (see [`Fleet::mask_base`]) so leaf-aligned
+    /// worker partitions own disjoint words. The hot/cold split: what
+    /// used to be two `f64` arrays in the settle stride is now a
+    /// quarter byte per server.
+    not_init_bits: Vec<u64>,
+    /// Bit-packed liveness mask, one bit per server (bit set = alive),
+    /// same region layout as [`Fleet::not_init_bits`].
+    alive_bits: Vec<u64>,
+    /// Mask region directory: entry `l` is `(first word, first
+    /// position)` of leaf `l`'s mask words (one region covering
+    /// everything when spans are unknown), with a final sentinel of
+    /// `(total words, server count)`. Every region starts on a fresh
+    /// word, so a worker owning whole leaves owns whole words — the
+    /// parallel-carving invariant the packed masks rest on.
+    mask_base: Vec<(usize, usize)>,
     /// Post-clamp demand utilization at the last step, position order.
     util: Vec<f64>,
     /// Uniform RAPL time constant of the fleet's servers.
@@ -197,12 +236,19 @@ pub struct Fleet {
     /// redraws, which is what lets a fully settled leaf skip physics.
     /// Only effective once leaf spans are registered.
     demand_hold: u32,
-    /// Per-leaf active-set flag: `true` iff the leaf's last physics pass
-    /// was a *fixed point* (changed no bit of `out_w`/`not_init`), so
-    /// repeating it with unchanged inputs is the exact floating-point
-    /// identity. Cleared at every limit / liveness / out-of-band
-    /// mutation site; a redraw steps the leaf regardless.
-    settled: Vec<bool>,
+    /// Per-leaf active-set flags, bit-packed (bit `l % 64` of word
+    /// `l / 64`): set iff the leaf's last physics pass was a *fixed
+    /// point* (changed no bit of `out_w`/`not_init`), so repeating it
+    /// with unchanged inputs is the exact floating-point identity.
+    /// Cleared at every limit / liveness / out-of-band mutation site; a
+    /// redraw steps the leaf regardless.
+    settled_bits: Vec<u64>,
+    /// Unpacked mirror of [`Fleet::settled_bits`], one `bool` per leaf.
+    /// The step paths need per-worker `&mut` carving at leaf
+    /// granularity, which packed words cannot give without `unsafe`;
+    /// the bits are unpacked into this persistent scratch before a step
+    /// and repacked after. Authoritative only inside a step.
+    settled_scratch: Vec<bool>,
     /// Per-leaf tick of the last demand redraw; held redraws scale the
     /// workload step `dt` by the elapsed tick count.
     last_draw_tick: Vec<u64>,
@@ -237,7 +283,37 @@ pub struct Fleet {
     /// cache contract as [`Fleet::capped_count`]. Crash and watchdog
     /// restart both route through [`Fleet::process_failures`].
     down_count: usize,
+    /// Hot-loop fusion switch (tile-at-a-time stepping plus the
+    /// incremental total-power fold). On by default; run-control only —
+    /// results are bit-identical either way, so the flag is not part of
+    /// the checkpoint envelope.
+    fuse: bool,
+    /// Memoized flat fold over `power_w` (the [`Fleet::stats`] total)
+    /// as `f64` bits, valid while the generation/epoch-sum marks below
+    /// match the live watermark. Interior-mutable (relaxed atomics, not
+    /// `Cell`, so `Fleet` stays `Sync` for the scoped fan-outs) because
+    /// `stats` is a `&self` query; only the simulation thread writes.
+    total_power_bits: AtomicU64,
+    /// `span_generation` the cached total was folded at.
+    total_power_gen: AtomicU64,
+    /// `Σ leaf_epoch` the cached total was folded at. Leaf epochs are
+    /// monotone within a span generation and every `power_w` mutation
+    /// bumps one (or dirties the cache / bumps the generation), so sum
+    /// equality proves the fold's inputs are byte-identical — the same
+    /// watermark argument the breaker-tree draw cache rests on.
+    total_power_esum: AtomicU64,
+    /// Whether the memoized fold is populated at all (cleared on
+    /// restore, on fusion toggles, and by the periodic full refresh).
+    total_power_valid: AtomicBool,
 }
+
+/// Fused-step tile size in servers: each tile's demand draw, settle
+/// kernel, and power scatter run back-to-back while the tile's slices
+/// are cache-hot, instead of three leaf-wide array passes. A tile
+/// spans ~5 hot `f64` arrays × 8 B × 2048 ≈ 80 KiB — comfortably
+/// L2-resident — and must stay a multiple of 64 so every tile covers
+/// whole mask words (and of the kernel lane width, which divides 64).
+const FUSE_TILE: usize = 2048;
 
 impl Fleet {
     /// Assembles a fleet. `configs[i]` and `services[i]` describe server
@@ -280,8 +356,9 @@ impl Fleet {
             demand_w: Vec::new(),
             limit_w: Vec::new(),
             out_w: Vec::new(),
-            not_init: Vec::new(),
-            alive_m: Vec::new(),
+            not_init_bits: Vec::new(),
+            alive_bits: Vec::new(),
+            mask_base: Vec::new(),
             util: Vec::new(),
             tau_secs,
             // Pre-step, every server's RAPL output is zero, matching a
@@ -295,7 +372,8 @@ impl Fleet {
             pool: None,
             tick_index: 0,
             demand_hold: 1,
-            settled: Vec::new(),
+            settled_bits: Vec::new(),
+            settled_scratch: Vec::new(),
             last_draw_tick: Vec::new(),
             leaf_epoch: Vec::new(),
             flushed_epoch: Vec::new(),
@@ -304,6 +382,11 @@ impl Fleet {
             // Fresh agents are all running with no limit programmed.
             capped_count: 0,
             down_count: 0,
+            fuse: true,
+            total_power_bits: AtomicU64::new(0),
+            total_power_gen: AtomicU64::new(0),
+            total_power_esum: AtomicU64::new(0),
+            total_power_valid: AtomicBool::new(false),
         };
         fleet.rebuild_layout();
         fleet
@@ -382,7 +465,8 @@ impl Fleet {
         self.leaf_power_w = vec![0.0; spans.len()];
         leaf_partials(&self.power_w, 0, &self.leaf_spans, &mut self.leaf_power_w);
         self.partition = Partition::default();
-        self.settled = vec![false; spans.len()];
+        self.settled_bits = vec![0; spans.len().div_ceil(64)];
+        self.settled_scratch = vec![false; spans.len()];
         // Pretend every leaf just redrew: a mid-run re-span must not
         // integrate the whole pre-span history into the next redraw.
         self.last_draw_tick = vec![self.tick_index; spans.len()];
@@ -423,7 +507,87 @@ impl Fleet {
     /// Number of leaves currently settled (their next physics pass
     /// would be the exact identity). Zero when leaf spans are unknown.
     pub fn settled_leaf_count(&self) -> usize {
-        self.settled.iter().filter(|&&s| s).count()
+        self.settled_bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Enables or disables hot-loop fusion: tile-at-a-time stepping and
+    /// the incremental total-power fold. On by default. Run-control
+    /// only — results are bit-identical either way — so the flag stays
+    /// out of the checkpoint envelope; `off` is the bisection reference
+    /// that recomputes everything from scratch each tick.
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fuse = on;
+        self.total_power_valid.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether hot-loop fusion is enabled.
+    pub fn fuse(&self) -> bool {
+        self.fuse
+    }
+
+    /// Whether leaf `leaf` is settled (bit read of the packed flags).
+    fn is_settled(&self, leaf: usize) -> bool {
+        (self.settled_bits[leaf / 64] >> (leaf % 64)) & 1 == 1
+    }
+
+    /// Sets or clears leaf `leaf`'s settled flag.
+    fn set_settled(&mut self, leaf: usize, v: bool) {
+        let (w, b) = (leaf / 64, leaf % 64);
+        if v {
+            self.settled_bits[w] |= 1 << b;
+        } else {
+            self.settled_bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Unpacks the settled bits into the per-leaf `bool` scratch the
+    /// step paths carve per worker. Zero-alloc: the scratch is sized at
+    /// span registration.
+    fn unpack_settled(&mut self) {
+        for (l, s) in self.settled_scratch.iter_mut().enumerate() {
+            *s = (self.settled_bits[l / 64] >> (l % 64)) & 1 == 1;
+        }
+    }
+
+    /// Repacks the step's per-leaf settled results into the bits.
+    fn pack_settled(&mut self) {
+        self.settled_bits.fill(0);
+        for (l, &s) in self.settled_scratch.iter().enumerate() {
+            if s {
+                self.settled_bits[l / 64] |= 1 << (l % 64);
+            }
+        }
+    }
+
+    /// Whether server at position `pos` is alive (packed-mask read).
+    fn alive_at(&self, pos: usize) -> bool {
+        bit_at(&self.mask_base, &self.alive_bits, pos)
+    }
+
+    /// Whether server at position `pos` still awaits its first live
+    /// step (packed-mask read).
+    fn not_init_at(&self, pos: usize) -> bool {
+        bit_at(&self.mask_base, &self.not_init_bits, pos)
+    }
+
+    /// Sets or clears the liveness bit of position `pos`.
+    fn set_alive_at(&mut self, pos: usize, v: bool) {
+        let (w, b) = bit_addr(&self.mask_base, pos);
+        if v {
+            self.alive_bits[w] |= 1 << b;
+        } else {
+            self.alive_bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Sets or clears the first-step bit of position `pos`.
+    fn set_not_init_at(&mut self, pos: usize, v: bool) {
+        let (w, b) = bit_addr(&self.mask_base, pos);
+        if v {
+            self.not_init_bits[w] |= 1 << b;
+        } else {
+            self.not_init_bits[w] &= !(1 << b);
+        }
     }
 
     /// Per-leaf monotone power epochs (see the field docs). Aggregation
@@ -488,9 +652,7 @@ impl Fleet {
     /// active-set equivalence tests compare against.
     #[cfg(test)]
     fn clear_settled(&mut self) {
-        for s in &mut self.settled {
-            *s = false;
-        }
+        self.settled_bits.fill(0);
     }
 
     /// (Re)builds the batch layout: the leaf-local stable permutation,
@@ -529,8 +691,19 @@ impl Fleet {
                 demand_id[id] = self.demand_w[pos];
                 limit_id[id] = self.limit_w[pos];
                 out_id[id] = self.out_w[pos];
-                ni_id[id] = self.not_init[pos];
-                alive_id[id] = self.alive_m[pos];
+                // `mask_base` still describes the old packing here: the
+                // mask words are rebuilt only after the new permutation
+                // is in place, so this gather decodes the old layout.
+                ni_id[id] = if bit_at(&self.mask_base, &self.not_init_bits, pos) {
+                    1.0
+                } else {
+                    0.0
+                };
+                alive_id[id] = if bit_at(&self.mask_base, &self.alive_bits, pos) {
+                    1.0
+                } else {
+                    0.0
+                };
                 util_id[id] = self.util[pos];
             }
         }
@@ -558,17 +731,53 @@ impl Fleet {
         self.demand_w = perm.iter().map(|&id| demand_id[id as usize]).collect();
         self.limit_w = perm.iter().map(|&id| limit_id[id as usize]).collect();
         self.out_w = perm.iter().map(|&id| out_id[id as usize]).collect();
-        self.not_init = perm.iter().map(|&id| ni_id[id as usize]).collect();
-        self.alive_m = perm.iter().map(|&id| alive_id[id as usize]).collect();
         self.util = perm.iter().map(|&id| util_id[id as usize]).collect();
         self.perm = perm;
         self.inv = inv;
+        // Repack the bit masks under the new permutation and region
+        // directory (one word-aligned region per leaf).
+        self.rebuild_mask_layout();
+        for pos in 0..n {
+            let id = self.perm[pos] as usize;
+            if ni_id[id] != 0.0 {
+                self.set_not_init_at(pos, true);
+            }
+            if alive_id[id] != 0.0 {
+                self.set_alive_at(pos, true);
+            }
+        }
         self.rebuild_runs();
         // Regrouping permutes `limit_w`; re-derive the maintained
         // tallies from the rebuilt state so mid-run span registration
         // cannot skew them.
         self.capped_count = self.limit_w.iter().filter(|l| l.is_finite()).count();
         self.down_count = self.agents.iter().filter(|a| !a.is_running()).count();
+    }
+
+    /// Rebuilds the mask region directory and zeroes the bit words for
+    /// the current leaf spans: one region per leaf (one covering region
+    /// when spans are unknown), each starting on a fresh word, plus a
+    /// `(total words, server count)` sentinel. Word alignment per leaf
+    /// is what lets leaf-aligned worker partitions carve the packed
+    /// words with safe `split_at_mut`.
+    fn rebuild_mask_layout(&mut self) {
+        let n = self.agents.len();
+        self.mask_base.clear();
+        let mut w = 0usize;
+        if self.leaf_spans.is_empty() {
+            self.mask_base.push((0, 0));
+            w = n.div_ceil(64);
+        } else {
+            for span in &self.leaf_spans {
+                self.mask_base.push((w, span.start));
+                w += span.len().div_ceil(64);
+            }
+        }
+        self.mask_base.push((w, n));
+        self.alive_bits.clear();
+        self.alive_bits.resize(w, 0);
+        self.not_init_bits.clear();
+        self.not_init_bits.resize(w, 0);
     }
 
     /// Scans the position order into maximal equal-key runs with their
@@ -718,9 +927,69 @@ impl Fleet {
                     }
                 }
                 if changed {
-                    self.settled[leaf] = false;
+                    self.set_settled(leaf, false);
                 }
             }
+        }
+    }
+
+    /// True when the control plane may run its fused per-leaf
+    /// sync → cycle → absorb dispatch instead of the three
+    /// phase-at-a-time passes ([`Fleet::sync_servers_for_control`],
+    /// the RPC cycles, [`Fleet::absorb_caps`]): fusion is on, leaf
+    /// spans are known (the per-leaf flush and the limit carving need
+    /// them), and the power cache is clean (while dirty, sync and
+    /// absorb are deliberate no-ops the fused path does not replicate,
+    /// so the caller must fall back to the unfused passes).
+    pub(crate) fn control_fuse_ready(&self) -> bool {
+        self.fuse && !self.power_dirty && !self.leaf_spans.is_empty()
+    }
+
+    /// Splits the fleet into the parts a fused control dispatch needs:
+    /// the agent array and the RAPL limit array as carvable `&mut`
+    /// slices (the parallel paths partition both at the same leaf-span
+    /// boundaries — leaf-aligned spans make position ranges equal id
+    /// ranges), plus a read-only [`FuseShared`] view of everything
+    /// [`fuse_sync_leaf`] and [`fuse_absorb_leaf`] read. All distinct
+    /// fields, so the three borrows coexist.
+    pub(crate) fn fused_control_parts(&mut self) -> (&mut [Agent], &mut [f64], FuseShared<'_>) {
+        (
+            &mut self.agents,
+            &mut self.limit_w,
+            FuseShared {
+                perm: &self.perm,
+                inv: &self.inv,
+                util: &self.util,
+                out_w: &self.out_w,
+                not_init_bits: &self.not_init_bits,
+                mask_base: &self.mask_base,
+                leaf_spans: &self.leaf_spans,
+                leaf_epoch: &self.leaf_epoch,
+                last_draw: &self.last_draw_tick,
+                flushed_epoch: &self.flushed_epoch,
+                flushed_draw: &self.flushed_draw,
+            },
+        )
+    }
+
+    /// Applies the side effects a fused dispatch deferred past the
+    /// join: flush markers for every due leaf (each was flushed — or
+    /// proven fresh — by [`fuse_sync_leaf`] before its cycle),
+    /// unsettling for leaves whose limits changed, and the
+    /// capped-server tally folded in ascending due order — exactly the
+    /// mutations [`Fleet::sync_servers_for_control`] and
+    /// [`Fleet::absorb_caps`] would have made. Deferring is safe
+    /// because the control tick never moves epochs or redraw ticks, so
+    /// the markers recorded here equal what the per-leaf flush saw.
+    pub(crate) fn finish_fused_control(&mut self, due: &[usize], changed: &[bool], deltas: &[i64]) {
+        debug_assert!(!self.power_dirty, "fused dispatch ran on a dirty cache");
+        for &leaf in due {
+            self.flushed_epoch[leaf] = self.leaf_epoch[leaf];
+            self.flushed_draw[leaf] = self.last_draw_tick[leaf];
+            if changed[leaf] {
+                self.set_settled(leaf, false);
+            }
+            self.capped_count = (self.capped_count as i64 + deltas[leaf]) as usize;
         }
     }
 
@@ -730,7 +999,7 @@ impl Fleet {
     fn flush_span_to_servers(&mut self, span: Range<usize>) {
         for pos in span {
             let id = self.perm[pos] as usize;
-            let initialized = self.not_init[pos] == 0.0;
+            let initialized = !bit_at(&self.mask_base, &self.not_init_bits, pos);
             self.agents[id]
                 .server_mut()
                 .sync_physics(self.util[pos], self.out_w[pos], initialized);
@@ -748,23 +1017,25 @@ impl Fleet {
     /// the bump cannot be left to the step.
     fn resync_from_servers(&mut self) {
         for pos in 0..self.agents.len() {
-            let server = self.agents[self.perm[pos] as usize].server();
-            debug_assert_eq!(server.rapl().tau_secs(), self.tau_secs);
-            self.out_w[pos] = server.rapl().output().as_watts();
-            self.not_init[pos] = if server.rapl().is_initialized() {
-                0.0
-            } else {
-                1.0
+            let (out, initialized, alive, limit) = {
+                let server = self.agents[self.perm[pos] as usize].server();
+                debug_assert_eq!(server.rapl().tau_secs(), self.tau_secs);
+                (
+                    server.rapl().output().as_watts(),
+                    server.rapl().is_initialized(),
+                    server.is_alive(),
+                    server
+                        .rapl()
+                        .limit()
+                        .map_or(f64::INFINITY, |l| l.as_watts()),
+                )
             };
-            self.alive_m[pos] = if server.is_alive() { 1.0 } else { 0.0 };
-            self.limit_w[pos] = server
-                .rapl()
-                .limit()
-                .map_or(f64::INFINITY, |l| l.as_watts());
+            self.out_w[pos] = out;
+            self.set_not_init_at(pos, !initialized);
+            self.set_alive_at(pos, alive);
+            self.limit_w[pos] = limit;
         }
-        for s in &mut self.settled {
-            *s = false;
-        }
+        self.settled_bits.fill(0);
         for e in &mut self.leaf_epoch {
             *e += 1;
         }
@@ -791,9 +1062,9 @@ impl Fleet {
             return;
         }
         let pos = self.inv[i] as usize;
-        self.alive_m[pos] = if alive { 1.0 } else { 0.0 };
+        self.set_alive_at(pos, alive);
         // Keep the scalar model coherent for any direct observer.
-        let initialized = self.not_init[pos] == 0.0;
+        let initialized = !self.not_init_at(pos);
         self.agents[i]
             .server_mut()
             .sync_physics(self.util[pos], self.out_w[pos], initialized);
@@ -805,7 +1076,7 @@ impl Fleet {
                     self.leaf_power_w[leaf] = self.power_w[span.clone()].iter().sum();
                     // The liveness mask is a kernel input and drawn
                     // power changed right now: unsettle and version.
-                    self.settled[leaf] = false;
+                    self.set_settled(leaf, false);
                     self.leaf_epoch[leaf] += 1;
                 }
             }
@@ -888,7 +1159,7 @@ impl Fleet {
         if self.power_dirty {
             return server.achieved_utilization();
         }
-        if self.alive_m[self.inv[i] as usize] == 0.0 {
+        if !self.alive_at(self.inv[i] as usize) {
             return 0.0;
         }
         server.achieved_utilization_at(Power::from_watts(self.power_w[i]))
@@ -902,6 +1173,7 @@ impl Fleet {
         if self.power_dirty {
             self.resync_from_servers();
         }
+        self.unpack_settled();
         // Built inline (not via a &self helper) so `ctx` holds
         // field-precise borrows of `runs`/`perm`, disjoint from the
         // mutable state arrays below.
@@ -916,6 +1188,7 @@ impl Fleet {
             dt,
             tick: self.tick_index,
             hold: self.demand_hold as u64,
+            tile: if self.fuse { FUSE_TILE } else { usize::MAX },
         };
         if self.leaf_spans.is_empty() {
             step_range(
@@ -925,8 +1198,8 @@ impl Fleet {
                 &mut self.util,
                 &mut self.demand_w,
                 &self.limit_w,
-                &self.alive_m,
-                &mut self.not_init,
+                &self.alive_bits,
+                &mut self.not_init_bits,
                 &mut self.out_w,
                 &mut self.power_w,
             );
@@ -940,16 +1213,18 @@ impl Fleet {
                 &mut self.util,
                 &mut self.demand_w,
                 &self.limit_w,
-                &self.alive_m,
-                &mut self.not_init,
+                &self.alive_bits,
+                &mut self.not_init_bits,
+                &self.mask_base,
                 &mut self.out_w,
                 &mut self.power_w,
                 &mut self.leaf_power_w,
-                &mut self.settled,
+                &mut self.settled_scratch,
                 &mut self.last_draw_tick,
                 &mut self.leaf_epoch,
             );
         }
+        self.pack_settled();
         self.power_dirty = false;
         self.tick_index += 1;
         self.process_failures(now, dt);
@@ -994,6 +1269,7 @@ impl Fleet {
     fn step_pooled(&mut self, now: SimTime, dt: SimDuration, threads: usize, pool: &WorkerPool) {
         let workers = threads.min(pool.workers());
         self.ensure_partition(workers);
+        self.unpack_settled();
         let ctx = StepCtx {
             runs: &self.runs,
             perm: &self.perm,
@@ -1005,6 +1281,7 @@ impl Fleet {
             dt,
             tick: self.tick_index,
             hold: self.demand_hold as u64,
+            tile: if self.fuse { FUSE_TILE } else { usize::MAX },
         };
 
         /// One worker's disjoint view of the fleet arrays.
@@ -1012,7 +1289,15 @@ impl Fleet {
             generators: &'a mut [ServiceWorkload],
             util: &'a mut [f64],
             demand_w: &'a mut [f64],
-            not_init: &'a mut [f64],
+            /// This worker's packed mask words. Leaf-aligned partitions
+            /// own whole words (every leaf's region starts on a fresh
+            /// word; spanless chunks are rounded to word multiples).
+            not_init_bits: &'a mut [u64],
+            alive_bits: &'a [u64],
+            /// Global mask directory entries for this worker's leaves
+            /// (`lrange.len() + 1` entries, the last the next worker's
+            /// first region / the sentinel).
+            word_base: &'a [(usize, usize)],
             out_w: &'a mut [f64],
             power_w: &'a mut [f64],
             /// This worker's leaves: partial-sum outputs, active-set
@@ -1030,22 +1315,24 @@ impl Fleet {
         }
 
         let limit_w = &self.limit_w;
-        let alive_m = &self.alive_m;
+        let alive_bits_all = &self.alive_bits;
+        let mask_base = &self.mask_base;
         let mut jobs: [Option<StepJob>; MAX_WORKERS] = std::array::from_fn(|_| None);
         let njobs = self.partition.agents.len();
         {
             let mut generators = &mut self.generators[..];
             let mut util = &mut self.util[..];
             let mut demand_w = &mut self.demand_w[..];
-            let mut not_init = &mut self.not_init[..];
+            let mut not_init_bits = &mut self.not_init_bits[..];
             let mut out_w = &mut self.out_w[..];
             let mut power_w = &mut self.power_w[..];
             let mut leaf_power_w = &mut self.leaf_power_w[..];
-            let mut settled = &mut self.settled[..];
+            let mut settled = &mut self.settled_scratch[..];
             let mut last_draw = &mut self.last_draw_tick[..];
             let mut leaf_epoch = &mut self.leaf_epoch[..];
             let mut consumed = 0usize;
             let mut leaves_consumed = 0usize;
+            let mut words_consumed = 0usize;
             for (job, (arange, lrange)) in jobs
                 .iter_mut()
                 .zip(self.partition.agents.iter().zip(&self.partition.leaves))
@@ -1058,12 +1345,22 @@ impl Fleet {
                 util = rest;
                 let (d, rest) = demand_w.split_at_mut(take);
                 demand_w = rest;
-                let (ni, rest) = not_init.split_at_mut(take);
-                not_init = rest;
                 let (o, rest) = out_w.split_at_mut(take);
                 out_w = rest;
                 let (p, rest) = power_w.split_at_mut(take);
                 power_w = rest;
+                // This worker's mask word range: leaf regions when
+                // spans are known, position/64 otherwise (chunk starts
+                // are 64-multiples by construction).
+                let (wlo, whi) = if self.leaf_spans.is_empty() {
+                    (arange.start / 64, arange.end.div_ceil(64))
+                } else {
+                    (mask_base[lrange.start].0, mask_base[lrange.end].0)
+                };
+                debug_assert_eq!(wlo, words_consumed, "mask words must tile the fleet");
+                let (nib, rest) = not_init_bits.split_at_mut(whi - wlo);
+                not_init_bits = rest;
+                words_consumed = whi;
                 debug_assert_eq!(lrange.start, leaves_consumed);
                 let ltake = lrange.end - lrange.start;
                 let (lp, rest) = leaf_power_w.split_at_mut(ltake);
@@ -1078,7 +1375,9 @@ impl Fleet {
                     generators: g,
                     util: u,
                     demand_w: d,
-                    not_init: ni,
+                    not_init_bits: nib,
+                    alive_bits: &alive_bits_all[wlo..whi],
+                    word_base: &mask_base[lrange.start..lrange.end + 1],
                     out_w: o,
                     power_w: p,
                     leaf_power_w: lp,
@@ -1106,8 +1405,8 @@ impl Fleet {
                     job.util,
                     job.demand_w,
                     &limit_w[lo..lo + n],
-                    &alive_m[lo..lo + n],
-                    job.not_init,
+                    job.alive_bits,
+                    job.not_init_bits,
                     job.out_w,
                     job.power_w,
                 );
@@ -1121,8 +1420,9 @@ impl Fleet {
                     job.util,
                     job.demand_w,
                     &limit_w[lo..lo + n],
-                    &alive_m[lo..lo + n],
-                    job.not_init,
+                    job.alive_bits,
+                    job.not_init_bits,
+                    job.word_base,
                     job.out_w,
                     job.power_w,
                     job.leaf_power_w,
@@ -1132,6 +1432,7 @@ impl Fleet {
                 );
             }
         });
+        self.pack_settled();
     }
 
     /// No-pool parallel step: per-call scoped threads over the same
@@ -1139,6 +1440,7 @@ impl Fleet {
     /// fallback and the baseline the pool is benchmarked against.
     fn step_scoped(&mut self, now: SimTime, dt: SimDuration, threads: usize) {
         self.ensure_partition(threads);
+        self.unpack_settled();
         let ctx = StepCtx {
             runs: &self.runs,
             perm: &self.perm,
@@ -1150,6 +1452,7 @@ impl Fleet {
             dt,
             tick: self.tick_index,
             hold: self.demand_hold as u64,
+            tile: if self.fuse { FUSE_TILE } else { usize::MAX },
         };
         let parts: Vec<(Range<usize>, Range<usize>)> = self
             .partition
@@ -1159,18 +1462,20 @@ impl Fleet {
             .zip(self.partition.leaves.iter().cloned())
             .collect();
         let limit_w = &self.limit_w;
-        let alive_m = &self.alive_m;
+        let alive_bits_all = &self.alive_bits;
+        let mask_base = &self.mask_base;
         let leaf_spans = &self.leaf_spans;
         let mut generators = &mut self.generators[..];
         let mut util = &mut self.util[..];
         let mut demand_w = &mut self.demand_w[..];
-        let mut not_init = &mut self.not_init[..];
+        let mut not_init_bits = &mut self.not_init_bits[..];
         let mut out_w = &mut self.out_w[..];
         let mut power_w = &mut self.power_w[..];
         let mut leaf_power_w = &mut self.leaf_power_w[..];
-        let mut settled = &mut self.settled[..];
+        let mut settled = &mut self.settled_scratch[..];
         let mut last_draw = &mut self.last_draw_tick[..];
         let mut leaf_epoch = &mut self.leaf_epoch[..];
+        let mut words_consumed = 0usize;
         let ctx = &ctx;
         std::thread::scope(|scope| {
             for (arange, lrange) in parts {
@@ -1181,12 +1486,21 @@ impl Fleet {
                 util = rest;
                 let (d, rest) = demand_w.split_at_mut(take);
                 demand_w = rest;
-                let (ni, rest) = not_init.split_at_mut(take);
-                not_init = rest;
                 let (o, rest) = out_w.split_at_mut(take);
                 out_w = rest;
                 let (p, rest) = power_w.split_at_mut(take);
                 power_w = rest;
+                let (wlo, whi) = if leaf_spans.is_empty() {
+                    (arange.start / 64, arange.end.div_ceil(64))
+                } else {
+                    (mask_base[lrange.start].0, mask_base[lrange.end].0)
+                };
+                debug_assert_eq!(wlo, words_consumed, "mask words must tile the fleet");
+                let (nib, rest) = not_init_bits.split_at_mut(whi - wlo);
+                not_init_bits = rest;
+                words_consumed = whi;
+                let ab = &alive_bits_all[wlo..whi];
+                let wb = &mask_base[lrange.start..lrange.end + 1];
                 let ltake = lrange.end - lrange.start;
                 let (lp, rest) = leaf_power_w.split_at_mut(ltake);
                 leaf_power_w = rest;
@@ -1209,8 +1523,8 @@ impl Fleet {
                             u,
                             d,
                             &limit_w[lo..lo + n],
-                            &alive_m[lo..lo + n],
-                            ni,
+                            ab,
+                            nib,
                             o,
                             p,
                         );
@@ -1224,8 +1538,9 @@ impl Fleet {
                             u,
                             d,
                             &limit_w[lo..lo + n],
-                            &alive_m[lo..lo + n],
-                            ni,
+                            ab,
+                            nib,
+                            wb,
                             o,
                             p,
                             lp,
@@ -1237,6 +1552,7 @@ impl Fleet {
                 });
             }
         });
+        self.pack_settled();
     }
 
     /// Rebuilds the cached per-worker partition if the thread count
@@ -1252,7 +1568,11 @@ impl Fleet {
         let mut leaves = Vec::new();
         if self.leaf_spans.is_empty() {
             let n = self.agents.len();
-            let per = n.div_ceil(threads);
+            // Chunk starts must fall on 64-server boundaries so every
+            // worker owns whole packed-mask words. Which partition the
+            // step runs over is unobservable (per-server RNG streams,
+            // ascending folds), so the rounding cannot change results.
+            let per = n.div_ceil(threads).div_ceil(64) * 64;
             let mut start = 0;
             while start < n {
                 let end = (start + per).min(n);
@@ -1342,7 +1662,7 @@ impl Fleet {
             .map(|&s| {
                 let i = s as usize;
                 let pos = self.inv[i] as usize;
-                if self.alive_m[pos] == 0.0 {
+                if !self.alive_at(pos) {
                     return 0.0;
                 }
                 let run = &self.runs[self.runs.partition_point(|r| r.range.end <= pos)];
@@ -1378,7 +1698,95 @@ impl Fleet {
         FleetStats {
             capped_servers: self.capped_count,
             agents_down: self.down_count,
-            total_power: Power::from_watts(self.power_w.iter().sum()),
+            total_power: Power::from_watts(self.total_power_w()),
+        }
+    }
+
+    /// The flat ascending fold over `power_w` — the total every sample
+    /// reports. With fusion on, the fold is *incremental*: it is
+    /// memoized against the `(span generation, Σ leaf epoch)` watermark
+    /// and only recomputed when some leaf's drawn power actually moved
+    /// bits, so a quiescent fleet answers telemetry samples in O(leaves)
+    /// instead of O(servers). The cached value is the bit-exact fold it
+    /// replaced — every `power_w` mutation provably bumps a leaf epoch,
+    /// dirties the cache, or bumps the span generation — so the merged
+    /// sample stream is byte-identical to full re-sampling.
+    fn total_power_w(&self) -> f64 {
+        if !self.fuse || self.leaf_spans.is_empty() {
+            return self.power_w.iter().sum();
+        }
+        let esum: u64 = self.leaf_epoch.iter().sum();
+        if self.total_power_valid.load(Ordering::Acquire)
+            && self.total_power_gen.load(Ordering::Relaxed) == self.span_generation
+            && self.total_power_esum.load(Ordering::Relaxed) == esum
+        {
+            return f64::from_bits(self.total_power_bits.load(Ordering::Relaxed));
+        }
+        let sum: f64 = self.power_w.iter().sum();
+        self.total_power_valid.store(false, Ordering::Relaxed);
+        self.total_power_bits.store(sum.to_bits(), Ordering::Relaxed);
+        self.total_power_gen.store(self.span_generation, Ordering::Relaxed);
+        self.total_power_esum.store(esum, Ordering::Relaxed);
+        self.total_power_valid.store(true, Ordering::Release);
+        sum
+    }
+
+    /// Periodic full-refresh hook for the incremental telemetry fold:
+    /// drops the memoized total so the next sample recomputes it from
+    /// the flat array. Called by the datacenter on a fixed cadence of
+    /// telemetry samples; in debug builds it first cross-checks that
+    /// the memo had not drifted from the array.
+    pub(crate) fn refresh_total_power(&self) {
+        let esum: u64 = self.leaf_epoch.iter().sum();
+        if self.total_power_valid.load(Ordering::Acquire)
+            && !self.power_dirty
+            && self.total_power_gen.load(Ordering::Relaxed) == self.span_generation
+            && self.total_power_esum.load(Ordering::Relaxed) == esum
+        {
+            debug_assert_eq!(
+                self.total_power_bits.load(Ordering::Relaxed),
+                self.power_w.iter().sum::<f64>().to_bits(),
+                "incremental total-power fold drifted from the flat array"
+            );
+        }
+        self.total_power_valid.store(false, Ordering::Relaxed);
+    }
+
+    /// The worst-case per-tick DRAM roofline, fused and unfused — see
+    /// [`TickTraffic`]. Every term is derived from the live allocation
+    /// lengths of the arrays the corresponding pass actually streams.
+    pub fn bytes_per_tick(&self) -> TickTraffic {
+        const F64: u64 = 8;
+        const U32: u64 = 4;
+        let n = self.agents.len() as u64;
+        let leaves = self.leaf_spans.len().max(1) as u64;
+        let mask_bytes =
+            (self.not_init_bits.len() + self.alive_bits.len() + self.settled_bits.len()) as u64 * 8;
+        // The settle stride: demand/limit gathered, out/util read and
+        // rewritten, the packed masks tested, and the result scattered
+        // into id-ordered `power_w` through `perm`.
+        let settle = (self.demand_w.len() + self.limit_w.len()) as u64 * F64
+            + (self.out_w.len() + self.util.len()) as u64 * 2 * F64
+            + self.perm.len() as u64 * U32
+            + self.power_w.len() as u64 * F64
+            + mask_bytes;
+        // Per-leaf partial sums, written once per step either way.
+        let partials = self.leaf_power_w.len() as u64 * F64;
+        // Unfused-only re-streams: the control-tick sync pass gathers
+        // `util`/`out_w` through `perm` into the agent models, absorb
+        // re-reads `limit_w`, and every telemetry sample folds the
+        // whole of `power_w` flat.
+        let control_sync = (self.util.len() + self.out_w.len()) as u64 * F64
+            + self.perm.len() as u64 * U32
+            + n * F64; // agent-model writeback, one hot f64 per server
+        let absorb = self.limit_w.len() as u64 * F64;
+        let telemetry_fold = self.power_w.len() as u64 * F64;
+        // Fused: one pass over the hot set (sync/absorb ride the
+        // leaf's resident span, telemetry partials ride the tile) plus
+        // the memoized fold's O(leaves) epoch walk.
+        TickTraffic {
+            fused: settle + partials + leaves * F64,
+            unfused: settle + partials + control_sync + absorb + telemetry_fold,
         }
     }
 
@@ -1406,6 +1814,7 @@ impl Fleet {
             !self.power_dirty,
             "fleet snapshot requires a clean power cache (step once after agent_mut)"
         );
+        let n = self.agents.len();
         FleetState {
             agents: self.agents.iter().map(|a| a.state()).collect(),
             generators: self.generators.iter().map(|g| g.state()).collect(),
@@ -1415,14 +1824,24 @@ impl Fleet {
             demand_w: self.demand_w.clone(),
             limit_w: self.limit_w.clone(),
             out_w: self.out_w.clone(),
-            not_init: self.not_init.clone(),
-            alive_m: self.alive_m.clone(),
+            // Materialize the packed masks back to the f64/bool vectors
+            // the VERSION 1 codec carries: the on-disk envelope is
+            // byte-identical to the pre-packing layout, so old
+            // snapshots restore and new ones replay on old readers.
+            not_init: (0..n)
+                .map(|pos| if self.not_init_at(pos) { 1.0 } else { 0.0 })
+                .collect(),
+            alive_m: (0..n)
+                .map(|pos| if self.alive_at(pos) { 1.0 } else { 0.0 })
+                .collect(),
             util: self.util.clone(),
             power_w: self.power_w.clone(),
             leaf_power_w: self.leaf_power_w.clone(),
             span_generation: self.span_generation,
             tick_index: self.tick_index,
-            settled: self.settled.clone(),
+            settled: (0..self.leaf_spans.len())
+                .map(|l| self.is_settled(l))
+                .collect(),
             last_draw_tick: self.last_draw_tick.clone(),
             leaf_epoch: self.leaf_epoch.clone(),
             flushed_epoch: self.flushed_epoch.clone(),
@@ -1486,14 +1905,22 @@ impl Fleet {
         self.demand_w.clone_from(&state.demand_w);
         self.limit_w.clone_from(&state.limit_w);
         self.out_w.clone_from(&state.out_w);
-        self.not_init.clone_from(&state.not_init);
-        self.alive_m.clone_from(&state.alive_m);
+        // Repack the codec's f64 masks into the bit words (the rebuilt
+        // region directory already matches: spans and permutation were
+        // validated identical above). Every bit is written, so no stale
+        // state survives; tail bits stay zero.
+        for pos in 0..n {
+            self.set_not_init_at(pos, state.not_init[pos] != 0.0);
+            self.set_alive_at(pos, state.alive_m[pos] != 0.0);
+        }
         self.util.clone_from(&state.util);
         self.power_w.clone_from(&state.power_w);
         self.leaf_power_w.clone_from(&state.leaf_power_w);
         self.span_generation = state.span_generation;
         self.tick_index = state.tick_index;
-        self.settled.clone_from(&state.settled);
+        for (l, &s) in state.settled.iter().enumerate() {
+            self.set_settled(l, s);
+        }
         self.last_draw_tick.clone_from(&state.last_draw_tick);
         self.leaf_epoch.clone_from(&state.leaf_epoch);
         self.flushed_epoch.clone_from(&state.flushed_epoch);
@@ -1502,6 +1929,7 @@ impl Fleet {
         self.capped_count = state.capped_count as usize;
         self.down_count = state.down_count as usize;
         self.power_dirty = false;
+        self.total_power_valid.store(false, Ordering::Relaxed);
         // The cached worker partition is layout-derived and left as is;
         // the next parallel step revalidates it against the thread
         // count.
@@ -1659,6 +2087,23 @@ impl Snapshot for FleetState {
     }
 }
 
+/// Resolves position `pos` to its `(word, bit)` address under a mask
+/// region directory (see [`Fleet::mask_base`]): binary search for the
+/// owning region, then offset from its first word.
+#[inline]
+fn bit_addr(mask_base: &[(usize, usize)], pos: usize) -> (usize, u32) {
+    let r = mask_base.partition_point(|&(_, p0)| p0 <= pos) - 1;
+    let (w0, p0) = mask_base[r];
+    (w0 + (pos - p0) / 64, ((pos - p0) % 64) as u32)
+}
+
+/// Reads one packed mask bit at position `pos`.
+#[inline]
+fn bit_at(mask_base: &[(usize, usize)], bits: &[u64], pos: usize) -> bool {
+    let (w, b) = bit_addr(mask_base, pos);
+    (bits[w] >> b) & 1 == 1
+}
+
 /// The batching key: servers with equal keys share every hoisted
 /// constant of the demand loop. Stable-sorting a leaf span by this key
 /// groups its servers into maximal runs.
@@ -1678,19 +2123,86 @@ fn run_key(server: &Server, service: ServiceKind) -> (u8, u8, u8, u64, u64) {
 /// non-overlapping (agents between spans are skipped); each returned
 /// slice starts at its span's `start` server id.
 pub(crate) fn split_agent_spans(
-    mut agents: &mut [Agent],
+    agents: &mut [Agent],
     spans: impl Iterator<Item = std::ops::Range<usize>>,
 ) -> Vec<&mut [Agent]> {
-    let mut out = Vec::new();
-    let mut consumed = 0;
-    for span in spans {
-        let (_, rest) = agents.split_at_mut(span.start - consumed);
-        let (mine, rest) = rest.split_at_mut(span.end - span.start);
-        out.push(mine);
-        consumed = span.end;
-        agents = rest;
+    dynpool::split_spans(agents, spans)
+}
+
+/// Read-only view of the fleet state the fused control dispatch needs,
+/// shareable across workers (`Copy`, all shared borrows). Handed out by
+/// [`Fleet::fused_control_parts`] alongside the carvable agent and
+/// limit arrays.
+#[derive(Clone, Copy)]
+pub(crate) struct FuseShared<'a> {
+    perm: &'a [u32],
+    inv: &'a [u32],
+    util: &'a [f64],
+    out_w: &'a [f64],
+    not_init_bits: &'a [u64],
+    mask_base: &'a [(usize, usize)],
+    leaf_spans: &'a [Range<usize>],
+    leaf_epoch: &'a [u64],
+    last_draw: &'a [u64],
+    flushed_epoch: &'a [u64],
+    flushed_draw: &'a [u64],
+}
+
+/// Fused per-leaf server flush: [`Fleet::sync_servers_for_control`]'s
+/// body for one leaf, run against a worker's private agent slice
+/// immediately before the leaf's RPC cycle (while the leaf's agents
+/// are about to be hot anyway — the whole point of the fusion). A leaf
+/// whose flush markers match is skipped exactly as the unfused pass
+/// would; the markers themselves are updated after the join by
+/// [`Fleet::finish_fused_control`], which is equivalent because each
+/// due leaf is flushed at most once per control tick.
+pub(crate) fn fuse_sync_leaf(sh: &FuseShared<'_>, leaf: usize, agents: &mut [Agent], agents_base: usize) {
+    if sh.flushed_epoch[leaf] == sh.leaf_epoch[leaf] && sh.flushed_draw[leaf] == sh.last_draw[leaf]
+    {
+        return;
     }
-    out
+    for pos in sh.leaf_spans[leaf].clone() {
+        let id = sh.perm[pos] as usize;
+        let initialized = !bit_at(sh.mask_base, sh.not_init_bits, pos);
+        agents[id - agents_base]
+            .server_mut()
+            .sync_physics(sh.util[pos], sh.out_w[pos], initialized);
+    }
+}
+
+/// Fused per-leaf cap absorb: [`Fleet::absorb_caps`]'s body for one
+/// leaf, run right after the leaf's RPC cycle against the worker's
+/// private `limit_w` slice (carved at the same span boundaries as the
+/// agents, so `limit_base == agents_base`). Returns whether any limit
+/// bit changed (→ the leaf unsettles) and the signed capped-server
+/// delta; both are recorded per leaf and applied serially after the
+/// join by [`Fleet::finish_fused_control`], keeping the shared tallies
+/// off the worker threads.
+pub(crate) fn fuse_absorb_leaf(
+    sh: &FuseShared<'_>,
+    leaf: usize,
+    agents: &[Agent],
+    agents_base: usize,
+    limit_w: &mut [f64],
+    limit_base: usize,
+) -> (bool, i64) {
+    let mut changed = false;
+    let mut delta = 0i64;
+    for id in sh.leaf_spans[leaf].clone() {
+        let pos = sh.inv[id] as usize;
+        let new = agents[id - agents_base]
+            .current_cap()
+            .map_or(f64::INFINITY, |l| l.as_watts());
+        let old = limit_w[pos - limit_base];
+        if new.to_bits() != old.to_bits() {
+            if new.is_finite() != old.is_finite() {
+                delta += if new.is_finite() { 1 } else { -1 };
+            }
+            limit_w[pos - limit_base] = new;
+            changed = true;
+        }
+    }
+    (changed, delta)
 }
 
 /// Per-service OU coefficients for this tick length, hoisting the
@@ -1729,6 +2241,11 @@ struct StepCtx<'a> {
     tick: u64,
     /// Demand redraw period in ticks (1 = redraw every tick).
     hold: u64,
+    /// Fused-step tile size in servers ([`FUSE_TILE`] with fusion on,
+    /// `usize::MAX` — whole-span passes — with fusion off). Always a
+    /// multiple of 64; tiling is unobservable because every pass is
+    /// elementwise and the per-leaf folds run after all tiles.
+    tile: usize,
 }
 
 /// Draws fresh demand for the local subrange `a..b`: per-run workload
@@ -1784,26 +2301,35 @@ fn demand_pass(
 }
 
 /// Scatters drawn power (`out_w * alive`) for the local subrange `a..b`
-/// back to id order. Leaf alignment guarantees `perm` maps the range
-/// onto itself, so the scatter stays within the local `power_w` view.
+/// back to id order, reading liveness from the packed words.
+/// `alive_words[0]` must hold element `a`'s bit at bit 0 (tile starts
+/// are word-aligned). `(bit as f64)` is exactly `0.0`/`1.0`, the same
+/// multiplicand the f64 mask carried — bit-identical. Leaf alignment
+/// guarantees `perm` maps the range onto itself, so the scatter stays
+/// within the local `power_w` view.
 fn scatter_power(
     perm: &[u32],
     base: usize,
     a: usize,
     b: usize,
+    alive_words: &[u64],
     out_w: &[f64],
-    alive_m: &[f64],
     power_w: &mut [f64],
 ) {
     for j in a..b {
-        power_w[perm[base + j] as usize - base] = out_w[j] * alive_m[j];
+        let k = j - a;
+        let alive = ((alive_words[k / 64] >> (k % 64)) & 1) as f64;
+        power_w[perm[base + j] as usize - base] = out_w[j] * alive;
     }
 }
 
 /// Advances a contiguous position range of servers with no leaf
-/// structure: one demand pass, one [`kernel::step_batch`] physics pass,
-/// one scatter. The legacy path for fleets without leaf spans (demand
-/// hold and active-set skipping require spans).
+/// structure, tile-at-a-time: per [`StepCtx::tile`]-sized tile, one
+/// demand pass, one packed-mask settle pass, one scatter — the tile's
+/// slices stay cache-hot across all three instead of each pass
+/// re-streaming the whole range from DRAM. The path for fleets without
+/// leaf spans (demand hold and active-set skipping require spans);
+/// `base` must be a multiple of 64 so local words align with positions.
 #[allow(clippy::too_many_arguments)]
 fn step_range(
     ctx: &StepCtx,
@@ -1812,15 +2338,28 @@ fn step_range(
     util: &mut [f64],
     demand_w: &mut [f64],
     limit_w: &[f64],
-    alive_m: &[f64],
-    not_init: &mut [f64],
+    alive_bits: &[u64],
+    not_init_bits: &mut [u64],
     out_w: &mut [f64],
     power_w: &mut [f64],
 ) {
     let n = generators.len();
-    demand_pass(ctx, base, 0, n, generators, util, demand_w, 1);
-    kernel::step_batch(demand_w, limit_w, alive_m, not_init, out_w, ctx.alpha);
-    scatter_power(ctx.perm, base, 0, n, out_w, alive_m, power_w);
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = t0.saturating_add(ctx.tile).min(n);
+        demand_pass(ctx, base, t0, t1, generators, util, demand_w, 1);
+        let (wa, wb) = (t0 / 64, t1.div_ceil(64));
+        kernel::step_batch_settled_bits(
+            &demand_w[t0..t1],
+            &limit_w[t0..t1],
+            &alive_bits[wa..wb],
+            &mut not_init_bits[wa..wb],
+            &mut out_w[t0..t1],
+            ctx.alpha,
+        );
+        scatter_power(ctx.perm, base, t0, t1, &alive_bits[wa..wb], out_w, power_w);
+        t0 = t1;
+    }
 }
 
 /// Advances a contiguous range of whole leaves, the active-set hot
@@ -1830,18 +2369,27 @@ fn step_range(
 ///    fixed point) and not due for a redraw is skipped outright: its
 ///    next pass is provably the exact floating-point identity, so its
 ///    arrays, drawn power, and partial already hold the step's result.
-/// 2. **Redraw** — when due under the leaf-phased hold schedule, fresh
-///    demand is drawn with the elapsed interval folded into `dt`.
-/// 3. **Physics** — [`kernel::step_batch_settled`] advances the leaf
-///    and reports whether the pass was a fixed point, which becomes the
-///    leaf's settled flag for the next tick.
-/// 4. **Publish** — drawn power is scattered to id order, the leaf
-///    partial re-folded (same ascending fold as always), and the leaf
-///    epoch bumped iff the pass changed state bits.
+/// 2. **Tiles** — the leaf is walked in [`StepCtx::tile`]-sized,
+///    word-aligned tiles; per tile the demand redraw (when due under
+///    the leaf-phased hold schedule, with the elapsed interval folded
+///    into `dt`), the packed-mask settle kernel, and the power scatter
+///    run back-to-back while the tile is cache-hot. Tiling is
+///    unobservable: every pass is elementwise, so the bits match the
+///    whole-leaf passes exactly.
+/// 3. **Publish** — after all tiles, the leaf partial is re-folded in
+///    id order over the whole span (same ascending fold as always —
+///    fusing it into the permuted scatter would change association),
+///    the leaf's settled flag becomes the AND of its tiles' fixed-point
+///    reports, and the leaf epoch is bumped iff any tile changed state
+///    bits.
 ///
 /// All slice arguments from `generators` on are local views of the
-/// worker's position range starting at `base`; `spans` hold global
-/// server-id ranges, `leaf_base` the global index of `spans[0]`.
+/// worker's position range starting at `base`, except the mask words:
+/// `alive_bits`/`not_init_bits` are the worker's word range and
+/// `word_base` the matching global directory entries
+/// (`spans.len() + 1` of them), from which each leaf's local word
+/// offset is derived. `spans` hold global server-id ranges, `leaf_base`
+/// the global index of `spans[0]`.
 #[allow(clippy::too_many_arguments)]
 fn step_leaves(
     ctx: &StepCtx,
@@ -1852,8 +2400,9 @@ fn step_leaves(
     util: &mut [f64],
     demand_w: &mut [f64],
     limit_w: &[f64],
-    alive_m: &[f64],
-    not_init: &mut [f64],
+    alive_bits: &[u64],
+    not_init_bits: &mut [u64],
+    word_base: &[(usize, usize)],
     out_w: &mut [f64],
     power_w: &mut [f64],
     leaf_power_w: &mut [f64],
@@ -1861,26 +2410,40 @@ fn step_leaves(
     last_draw: &mut [u64],
     leaf_epoch: &mut [u64],
 ) {
+    let w_org = word_base[0].0;
     for (l, span) in spans.iter().enumerate() {
         let due = ctx.hold <= 1 || ctx.tick % ctx.hold == (leaf_base + l) as u64 % ctx.hold;
         if settled[l] && !due {
             continue;
         }
         let (a, b) = (span.start - base, span.end - base);
-        if due {
-            let elapsed = (ctx.tick - last_draw[l]).max(1);
+        let elapsed = if due {
+            let e = (ctx.tick - last_draw[l]).max(1);
             last_draw[l] = ctx.tick;
-            demand_pass(ctx, base, a, b, generators, util, demand_w, elapsed);
+            e
+        } else {
+            0
+        };
+        let lw = word_base[l].0 - w_org;
+        let mut fixed = true;
+        let mut t0 = a;
+        while t0 < b {
+            let t1 = t0.saturating_add(ctx.tile).min(b);
+            if due {
+                demand_pass(ctx, base, t0, t1, generators, util, demand_w, elapsed);
+            }
+            let (wa, wb) = (lw + (t0 - a) / 64, lw + (t1 - a).div_ceil(64));
+            fixed &= kernel::step_batch_settled_bits(
+                &demand_w[t0..t1],
+                &limit_w[t0..t1],
+                &alive_bits[wa..wb],
+                &mut not_init_bits[wa..wb],
+                &mut out_w[t0..t1],
+                ctx.alpha,
+            );
+            scatter_power(ctx.perm, base, t0, t1, &alive_bits[wa..wb], out_w, power_w);
+            t0 = t1;
         }
-        let fixed = kernel::step_batch_settled(
-            &demand_w[a..b],
-            &limit_w[a..b],
-            &alive_m[a..b],
-            &mut not_init[a..b],
-            &mut out_w[a..b],
-            ctx.alpha,
-        );
-        scatter_power(ctx.perm, base, a, b, out_w, alive_m, power_w);
         leaf_power_w[l] = power_w[a..b].iter().sum();
         settled[l] = fixed;
         if !fixed {
@@ -2313,13 +2876,13 @@ mod tests {
         let epoch0 = fleet.leaf_epoch[0];
         fleet.set_server_alive(0, false);
         assert_eq!(fleet.power_of(0), Power::ZERO);
-        assert!(!fleet.settled[0], "crash must unsettle its leaf");
+        assert!(!fleet.is_settled(0), "crash must unsettle its leaf");
         assert_eq!(fleet.leaf_epoch[0], epoch0 + 1);
         tick(&mut fleet, &mut t);
 
         // Revive: draw returns to the retained actuator output.
         fleet.set_server_alive(0, true);
-        assert!(!fleet.settled[0], "revive must unsettle its leaf");
+        assert!(!fleet.is_settled(0), "revive must unsettle its leaf");
         assert!(fleet.power_of(0).as_watts() > 0.0);
 
         // RAPL limit change via the controller absorb path: leaf 1
@@ -2335,7 +2898,7 @@ mod tests {
                 .set_limit(Power::from_watts(130.0));
         }
         fleet.absorb_caps(&[1]);
-        assert!(!fleet.settled[1], "cap change must unsettle its leaf");
+        assert!(!fleet.is_settled(1), "cap change must unsettle its leaf");
         for _ in 0..15 {
             tick(&mut fleet, &mut t);
         }

@@ -38,7 +38,7 @@ use powerinfra::{DeviceId, DeviceLevel, Power, Topology};
 use crate::control_plane::SystemConfig;
 use crate::events::{ControllerEvent, ControllerEventKind};
 use crate::failover::FailoverState;
-use crate::fleet::{split_agent_spans, Fleet};
+use crate::fleet::{fuse_absorb_leaf, fuse_sync_leaf, split_agent_spans, Fleet};
 use crate::obs::{band_of, record_leaf_cycle, record_leaf_failover, ObsIds, Observability};
 
 /// The leaf tier as parallel arrays, so cycles can split borrows.
@@ -84,6 +84,13 @@ pub(crate) struct LeafTier {
     seen_power_epoch: Vec<u64>,
     seen_draw_tick: Vec<u64>,
     seen_agent_epoch: Vec<u64>,
+    /// Per-leaf outputs of the fused dispatch's absorb step — whether
+    /// any limit bit changed, and the signed capped-count delta —
+    /// recorded by the workers and applied serially after the join by
+    /// [`Fleet::finish_fused_control`]. Meaningful only for the leaves
+    /// of the last fused dispatch's due set.
+    pub(crate) absorb_changed: Vec<bool>,
+    pub(crate) absorb_delta: Vec<i64>,
 }
 
 /// Everything one parallel worker needs to run one leaf's cycle.
@@ -101,6 +108,12 @@ struct LeafTask<'a> {
     span_start: usize,
     shard: &'a mut Shard,
     track: u32,
+    /// RAPL limit slice covering the same span as `agents`, written by
+    /// the fused absorb. Unused when unfused.
+    limit: &'a mut [f64],
+    /// Fused absorb outputs for this leaf.
+    absorb_changed: &'a mut bool,
+    absorb_delta: &'a mut i64,
 }
 
 impl LeafTier {
@@ -170,6 +183,8 @@ impl LeafTier {
             seen_power_epoch: vec![u64::MAX; n],
             seen_draw_tick: vec![u64::MAX; n],
             seen_agent_epoch: vec![u64::MAX; n],
+            absorb_changed: vec![false; n],
+            absorb_delta: vec![0; n],
         }
     }
 
@@ -244,18 +259,63 @@ impl LeafTier {
 
     /// Runs the due leaves in index order on the calling thread. This is
     /// the allocation-free steady-state path (`control_threads == 1`).
+    ///
+    /// With `fused` set (capping must be enabled, spans known, cache
+    /// clean — [`Fleet::control_fuse_ready`]) each leaf runs
+    /// sync → cycle → absorb back to back while its agents are hot,
+    /// instead of riding three fleet-wide passes. Legal because a
+    /// leaf's flush reads only fleet arrays no cycle writes, and its
+    /// absorb touches only its own span — so per-leaf interleaving
+    /// computes bit-identical state to the phase-at-a-time order.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_due_serial(
         &mut self,
         now: SimTime,
         due: &[usize],
         capping_enabled: bool,
+        fused: bool,
         failover: &mut FailoverState,
         fleet: &mut Fleet,
         events: &mut Vec<ControllerEvent>,
         obs: &mut Observability,
     ) {
         let (shards, ids) = obs.shard_ctx();
+        if fused {
+            debug_assert!(capping_enabled, "fused dispatch implies capping");
+            let (agents, limit_w, sh) = fleet.fused_control_parts();
+            for &i in due {
+                fuse_sync_leaf(&sh, i, agents, 0);
+                if failover.take_leaf(i) {
+                    self.quiet[i] = false;
+                    let name = self.controllers[i].name_shared();
+                    record_leaf_failover(&mut shards[i], ids, now, i as u32, Arc::clone(&name));
+                    events.push(ControllerEvent {
+                        at: now,
+                        device: self.devices[i],
+                        controller: name,
+                        kind: ControllerEventKind::Failover,
+                    });
+                } else {
+                    self.quiet[i] = run_one_leaf_cycle(
+                        now,
+                        self.devices[i],
+                        &mut self.controllers[i],
+                        &mut self.networks[i],
+                        agents,
+                        0,
+                        &mut self.last_aggregate[i],
+                        events,
+                        &mut shards[i],
+                        ids,
+                        i as u32,
+                    );
+                }
+                let (ch, d) = fuse_absorb_leaf(&sh, i, agents, 0, limit_w, 0);
+                self.absorb_changed[i] = ch;
+                self.absorb_delta[i] = d;
+            }
+            return;
+        }
         for &i in due {
             if failover.take_leaf(i) {
                 // Backup takes over: one cycle of downtime, then the
@@ -313,6 +373,7 @@ impl LeafTier {
         now: SimTime,
         due: &[usize],
         threads: usize,
+        fused: bool,
         pool: &WorkerPool,
         failover: &mut FailoverState,
         fleet: &mut Fleet,
@@ -344,8 +405,15 @@ impl LeafTier {
             shards: &'a mut [Shard],
             quiet: &'a mut [bool],
             agents: &'a mut [Agent],
-            /// Server id of `agents[0]`.
+            /// Server id of `agents[0]` (and, the spans being
+            /// leaf-aligned, the position of `limit_w[0]`).
             agents_base: usize,
+            /// RAPL limit slice covering the same span as `agents`,
+            /// written by the fused absorb. Unused when unfused.
+            limit_w: &'a mut [f64],
+            /// Fused absorb outputs, sliced like `quiet`.
+            absorb_changed: &'a mut [bool],
+            absorb_delta: &'a mut [i64],
         }
 
         {
@@ -362,7 +430,9 @@ impl LeafTier {
             let mut wire_ev = &mut self.wire_events[..];
             let mut shards = all_shards;
             let mut quiet = &mut self.quiet[..];
-            let mut agents = fleet.agents_mut();
+            let mut absorb_changed = &mut self.absorb_changed[..];
+            let mut absorb_delta = &mut self.absorb_delta[..];
+            let (mut agents, mut limits, fsh) = fleet.fused_control_parts();
             let mut leaves_consumed = 0usize;
             let mut agents_consumed = 0usize;
             let mut njobs = 0usize;
@@ -389,6 +459,10 @@ impl LeafTier {
                 shards = rest;
                 let (q, rest) = quiet.split_at_mut(skip).1.split_at_mut(take);
                 quiet = rest;
+                let (ac, rest) = absorb_changed.split_at_mut(skip).1.split_at_mut(take);
+                absorb_changed = rest;
+                let (ad, rest) = absorb_delta.split_at_mut(skip).1.split_at_mut(take);
+                absorb_delta = rest;
                 leaves_consumed = hi;
 
                 let astart = spans[lo].start;
@@ -398,6 +472,11 @@ impl LeafTier {
                     .1
                     .split_at_mut(aend - astart);
                 agents = rest;
+                let (lw, rest) = limits
+                    .split_at_mut(astart - agents_consumed)
+                    .1
+                    .split_at_mut(aend - astart);
+                limits = rest;
                 agents_consumed = aend;
 
                 *job = Some(LeafJob {
@@ -414,6 +493,9 @@ impl LeafTier {
                     quiet: q,
                     agents: a,
                     agents_base: astart,
+                    limit_w: lw,
+                    absorb_changed: ac,
+                    absorb_delta: ad,
                 });
                 njobs += 1;
             }
@@ -423,6 +505,9 @@ impl LeafTier {
                 for &i in job.due {
                     let r = i - job.base;
                     job.bufs[r].clear();
+                    if fused {
+                        fuse_sync_leaf(&fsh, i, job.agents, job.agents_base);
+                    }
                     if job.failed[r] {
                         job.failed[r] = false;
                         job.quiet[r] = false;
@@ -446,28 +531,40 @@ impl LeafTier {
                             &mut job.wire[r],
                             &mut job.wire_ev[r],
                         );
-                        continue;
+                    } else {
+                        let (aggregate, buf) = (&mut job.aggregates[r], &mut job.bufs[r]);
+                        job.quiet[r] = run_one_leaf_cycle(
+                            now,
+                            devices[i],
+                            &mut job.controllers[r],
+                            &mut job.networks[r],
+                            job.agents,
+                            job.agents_base,
+                            aggregate,
+                            buf,
+                            &mut job.shards[r],
+                            ids,
+                            i as u32,
+                        );
+                        wire_roundtrip_events(
+                            &job.controllers[r],
+                            &mut job.bufs[r],
+                            &mut job.wire[r],
+                            &mut job.wire_ev[r],
+                        );
                     }
-                    let (aggregate, buf) = (&mut job.aggregates[r], &mut job.bufs[r]);
-                    job.quiet[r] = run_one_leaf_cycle(
-                        now,
-                        devices[i],
-                        &mut job.controllers[r],
-                        &mut job.networks[r],
-                        job.agents,
-                        job.agents_base,
-                        aggregate,
-                        buf,
-                        &mut job.shards[r],
-                        ids,
-                        i as u32,
-                    );
-                    wire_roundtrip_events(
-                        &job.controllers[r],
-                        &mut job.bufs[r],
-                        &mut job.wire[r],
-                        &mut job.wire_ev[r],
-                    );
+                    if fused {
+                        let (ch, d) = fuse_absorb_leaf(
+                            &fsh,
+                            i,
+                            job.agents,
+                            job.agents_base,
+                            job.limit_w,
+                            job.agents_base,
+                        );
+                        job.absorb_changed[r] = ch;
+                        job.absorb_delta[r] = d;
+                    }
                 }
             });
         }
@@ -488,6 +585,7 @@ impl LeafTier {
         now: SimTime,
         due: &[usize],
         threads: usize,
+        fused: bool,
         failover: &mut FailoverState,
         fleet: &mut Fleet,
         events: &mut Vec<ControllerEvent>,
@@ -509,13 +607,26 @@ impl LeafTier {
             let wire_evs = carve(&mut self.wire_events, due);
             let shards = carve(all_shards, due);
             let quiets = carve(&mut self.quiet, due);
-            let agent_slices =
-                split_agent_spans(fleet.agents_mut(), due.iter().map(|&i| spans[i].clone()));
+            let absorb_chs = carve(&mut self.absorb_changed, due);
+            let absorb_ds = carve(&mut self.absorb_delta, due);
+            let (agents_all, limits_all, fsh) = fleet.fused_control_parts();
+            let agent_slices = split_agent_spans(agents_all, due.iter().map(|&i| spans[i].clone()));
+            let limit_slices =
+                dynpool::split_spans(limits_all, due.iter().map(|&i| spans[i].clone()));
 
             let mut tasks: Vec<LeafTask> = Vec::with_capacity(due.len());
             for (
-                (((((((((&i, controller), network), aggregate), failed), buf), wire), wire_ev), shard), quiet),
-                agents,
+                (
+                    (
+                        (
+                            (((((((((&i, controller), network), aggregate), failed), buf), wire), wire_ev), shard), quiet),
+                            agents,
+                        ),
+                        limit,
+                    ),
+                    absorb_changed,
+                ),
+                absorb_delta,
             ) in due
                 .iter()
                 .zip(controllers)
@@ -528,6 +639,9 @@ impl LeafTier {
                 .zip(shards)
                 .zip(quiets)
                 .zip(agent_slices)
+                .zip(limit_slices)
+                .zip(absorb_chs)
+                .zip(absorb_ds)
             {
                 tasks.push(LeafTask {
                     device: devices[i],
@@ -543,6 +657,9 @@ impl LeafTier {
                     span_start: spans[i].start,
                     shard,
                     track: i as u32,
+                    limit,
+                    absorb_changed,
+                    absorb_delta,
                 });
             }
 
@@ -552,6 +669,14 @@ impl LeafTier {
                     scope.spawn(move || {
                         for task in chunk {
                             task.buf.clear();
+                            if fused {
+                                fuse_sync_leaf(
+                                    &fsh,
+                                    task.track as usize,
+                                    task.agents,
+                                    task.span_start,
+                                );
+                            }
                             if *task.failed {
                                 *task.failed = false;
                                 *task.quiet = false;
@@ -575,27 +700,39 @@ impl LeafTier {
                                     task.wire,
                                     task.wire_ev,
                                 );
-                                continue;
+                            } else {
+                                *task.quiet = run_one_leaf_cycle(
+                                    now,
+                                    task.device,
+                                    task.controller,
+                                    task.network,
+                                    task.agents,
+                                    task.span_start,
+                                    task.aggregate,
+                                    task.buf,
+                                    task.shard,
+                                    ids,
+                                    task.track,
+                                );
+                                wire_roundtrip_events(
+                                    task.controller,
+                                    task.buf,
+                                    task.wire,
+                                    task.wire_ev,
+                                );
                             }
-                            *task.quiet = run_one_leaf_cycle(
-                                now,
-                                task.device,
-                                task.controller,
-                                task.network,
-                                task.agents,
-                                task.span_start,
-                                task.aggregate,
-                                task.buf,
-                                task.shard,
-                                ids,
-                                task.track,
-                            );
-                            wire_roundtrip_events(
-                                task.controller,
-                                task.buf,
-                                task.wire,
-                                task.wire_ev,
-                            );
+                            if fused {
+                                let (ch, d) = fuse_absorb_leaf(
+                                    &fsh,
+                                    task.track as usize,
+                                    task.agents,
+                                    task.span_start,
+                                    task.limit,
+                                    task.span_start,
+                                );
+                                *task.absorb_changed = ch;
+                                *task.absorb_delta = d;
+                            }
                         }
                     });
                 }

@@ -59,7 +59,7 @@ pub use datacenter::{Datacenter, DatacenterState, ParallelMode};
 pub use dynobs::ObsConfig;
 pub use dynpool::WorkerPool;
 pub use events::{ControllerEvent, ControllerEventKind, PhasePolicy};
-pub use fleet::{Fleet, FleetState, FleetStats};
+pub use fleet::{Fleet, FleetState, FleetStats, TickTraffic};
 pub use grid::{DcupsBankConfig, GridConfig, GridLayer, GridSummary};
 pub use obs::{Observability, TickPhase, TICK_PHASES};
 pub use report::{LevelSummary, RunReport};

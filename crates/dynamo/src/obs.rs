@@ -27,13 +27,14 @@ use dynobs::{
 /// order `Datacenter::step` runs them. Index positions are frozen:
 /// [`Observability::observe_tick_phase`] takes the index, and the
 /// exported metric family is `dynamo_tick_phase_seconds_<name>`.
-pub const TICK_PHASES: [&str; 6] = [
+pub const TICK_PHASES: [&str; 7] = [
     "fleet_step",
     "breaker_fold",
     "grid",
     "leaf_dispatch",
     "validator",
     "telemetry_merge",
+    "fused_tile",
 ];
 
 /// Index of each tick phase in [`TICK_PHASES`].
@@ -47,6 +48,12 @@ pub enum TickPhase {
     LeafDispatch = 3,
     Validator = 4,
     TelemetryMerge = 5,
+    /// The fused tile-at-a-time settle pass. When fusion is on, phase
+    /// 1 wall time lands here instead of `fleet_step`, so the two
+    /// regimes are distinguishable in the exported histograms; the
+    /// other six families keep emitting (zero-observation `fleet_step`
+    /// included) for unfused configurations and promlint.
+    FusedTile = 6,
 }
 
 /// Frozen metric handles for every instrumentation point.
@@ -103,7 +110,7 @@ pub(crate) struct ObsIds {
     // Tick-phase profiler (owner-side, recorded only under
     // `--profile-ticks`; registered unconditionally so the exposition
     // and snapshot layouts never depend on the flag).
-    pub(crate) tick_phase: [HistogramId; 6],
+    pub(crate) tick_phase: [HistogramId; 7],
 }
 
 fn register(b: &mut RegistryBuilder) -> ObsIds {
@@ -122,6 +129,9 @@ fn register(b: &mut RegistryBuilder) -> ObsIds {
                     "Wall seconds per tick dispatching due controller cycles (both tiers)"
                 }
                 "validator" => "Wall seconds per tick in the breaker validator scan",
+                "fused_tile" => {
+                    "Wall seconds per tick in the fused tile-at-a-time settle pass"
+                }
                 _ => "Wall seconds per tick merging telemetry events and samples",
             },
             Buckets::log_linear(1e-6, 1, 16),
@@ -631,8 +641,8 @@ impl Observability {
     /// The profiler's accumulated `(phase, ticks observed, total
     /// seconds)` rows, in [`TICK_PHASES`] order. All-zero unless the
     /// run recorded phases.
-    pub fn tick_phase_profile(&self) -> [(&'static str, u64, f64); 6] {
-        let mut rows = [("", 0u64, 0.0f64); 6];
+    pub fn tick_phase_profile(&self) -> [(&'static str, u64, f64); 7] {
+        let mut rows = [("", 0u64, 0.0f64); 7];
         for (i, (&phase, &id)) in TICK_PHASES.iter().zip(&self.ids.tick_phase).enumerate() {
             let h = self.registry.histogram(id);
             rows[i] = (phase, h.count, h.sum);

@@ -249,6 +249,151 @@ pub fn step_batch_lanes(
     changed.iter().fold(0, |a, &c| a | c) == 0
 }
 
+/// [`step_batch_settled`] over *bit-packed* masks: `alive` and
+/// `not_init` arrive as one bit per server (bit `i % 64` of word
+/// `i / 64`, bit set ⇔ mask value `1.0`) instead of one `f64` each,
+/// cutting the mask traffic of the settle stride from 16 bytes per
+/// server to a quarter byte.
+///
+/// Bit-identity with the `f64`-mask kernel is by construction, not by
+/// rounding luck: each element's mask bits are materialized to exactly
+/// `0.0`/`1.0` and fed through the same [`step_element`] arithmetic, so
+/// every intermediate is the identical `f64` expression. The `not_init`
+/// write-back `ni *= 1 - alive` is computed word-wide as
+/// `ni_word & !alive_word`, which is the same function on {0, 1}-valued
+/// masks (the products are exact).
+///
+/// Tail bits of the last word (positions past `demand_w.len()`) must be
+/// zero in both mask words; they are preserved as written.
+///
+/// # Panics
+///
+/// Panics if the `f64` slices disagree in length or a mask slice has
+/// fewer than `ceil(n / 64)` words.
+#[inline]
+pub fn step_batch_settled_bits(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive_bits: &[u64],
+    not_init_bits: &mut [u64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
+    #[cfg(feature = "simd")]
+    {
+        step_batch_lanes_bits(demand_w, limit_w, alive_bits, not_init_bits, out_w, alpha)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        step_batch_scalar_bits(demand_w, limit_w, alive_bits, not_init_bits, out_w, alpha)
+    }
+}
+
+/// Scalar reference implementation of [`step_batch_settled_bits`].
+/// Always compiled so the parity tests can pin packed ≡ `f64`-mask
+/// bitwise regardless of the `simd` feature.
+pub fn step_batch_scalar_bits(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive_bits: &[u64],
+    not_init_bits: &mut [u64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
+    let n = demand_w.len();
+    assert_eq!(limit_w.len(), n);
+    assert_eq!(out_w.len(), n);
+    let words = n.div_ceil(64);
+    assert!(alive_bits.len() >= words);
+    assert!(not_init_bits.len() >= words);
+    let mut changed = 0u64;
+    for w in 0..words {
+        let a_word = alive_bits[w];
+        let ni_word = not_init_bits[w];
+        let lo = w * 64;
+        let hi = (lo + 64).min(n);
+        for i in lo..hi {
+            let b = i - lo;
+            let alive = ((a_word >> b) & 1) as f64;
+            let mut ni = ((ni_word >> b) & 1) as f64;
+            changed |= step_element(
+                demand_w[i],
+                limit_w[i],
+                alive,
+                &mut ni,
+                &mut out_w[i],
+                alpha,
+            );
+        }
+        not_init_bits[w] = ni_word & !a_word;
+    }
+    changed == 0
+}
+
+/// [`LANES`]-wide chunked implementation of
+/// [`step_batch_settled_bits`] with a scalar tail, mirroring
+/// [`step_batch_lanes`]. A word's 64 elements split evenly into
+/// [`LANES`]-wide chunks, so only the final partial word takes the
+/// scalar remainder path. Always compiled for the parity tests.
+pub fn step_batch_lanes_bits(
+    demand_w: &[f64],
+    limit_w: &[f64],
+    alive_bits: &[u64],
+    not_init_bits: &mut [u64],
+    out_w: &mut [f64],
+    alpha: f64,
+) -> bool {
+    let n = demand_w.len();
+    assert_eq!(limit_w.len(), n);
+    assert_eq!(out_w.len(), n);
+    let words = n.div_ceil(64);
+    assert!(alive_bits.len() >= words);
+    assert!(not_init_bits.len() >= words);
+    let mut changed = [0u64; LANES];
+    for w in 0..words {
+        let a_word = alive_bits[w];
+        let ni_word = not_init_bits[w];
+        let lo = w * 64;
+        let hi = (lo + 64).min(n);
+        let span = hi - lo;
+        let whole = span - span % LANES;
+        for base in (0..whole).step_by(LANES) {
+            // Indexed on purpose: the `base + l` shape is what the
+            // autovectorizer recognizes as a lane loop.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..LANES {
+                let b = base + l;
+                let i = lo + b;
+                let alive = ((a_word >> b) & 1) as f64;
+                let mut ni = ((ni_word >> b) & 1) as f64;
+                changed[l] |= step_element(
+                    demand_w[i],
+                    limit_w[i],
+                    alive,
+                    &mut ni,
+                    &mut out_w[i],
+                    alpha,
+                );
+            }
+        }
+        for b in whole..span {
+            let i = lo + b;
+            let alive = ((a_word >> b) & 1) as f64;
+            let mut ni = ((ni_word >> b) & 1) as f64;
+            changed[0] |= step_element(
+                demand_w[i],
+                limit_w[i],
+                alive,
+                &mut ni,
+                &mut out_w[i],
+                alpha,
+            );
+        }
+        not_init_bits[w] = ni_word & !a_word;
+    }
+    changed.iter().fold(0, |a, &c| a | c) == 0
+}
+
 /// One element of the batch step: the scalar arithmetic shared verbatim
 /// by both kernel implementations. Returns a nonzero mask iff the
 /// element's state (`out_w`, `not_init`) changed bit pattern.
@@ -384,5 +529,124 @@ mod tests {
     fn turbo_demand_matches_direct_expression() {
         let w = turbo_demand_w(200.0, 95.0, 1.20);
         assert_eq!(w, 95.0 + (200.0 - 95.0) * 1.20);
+    }
+
+    fn pack_bits(mask: &[f64]) -> Vec<u64> {
+        let mut words = vec![0u64; mask.len().div_ceil(64)];
+        for (i, &m) in mask.iter().enumerate() {
+            if m != 0.0 {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    /// A deterministic awkward-length batch mixing dead, uninitialized,
+    /// capped, in-band and far-from-target servers.
+    fn churn_batch(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut demand = Vec::with_capacity(n);
+        let mut limit = Vec::with_capacity(n);
+        let mut alive = Vec::with_capacity(n);
+        let mut not_init = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            demand.push(120.0 + (i % 97) as f64 * 1.375);
+            limit.push(if i % 5 == 0 {
+                140.0 + (i % 13) as f64
+            } else {
+                f64::INFINITY
+            });
+            let dead = i % 11 == 3;
+            alive.push(if dead { 0.0 } else { 1.0 });
+            let fresh = i % 17 == 8;
+            not_init.push(if fresh { 1.0 } else { 0.0 });
+            out.push(if fresh { 0.0 } else { 90.0 + (i % 31) as f64 * 3.25 });
+        }
+        (demand, limit, alive, not_init, out)
+    }
+
+    #[test]
+    fn packed_mask_kernel_matches_f64_mask_kernel_bitwise() {
+        let alpha = settle_alpha(1.0, 0.6);
+        // 203 exercises a partial final word and a non-LANES tail.
+        for n in [1, 4, 63, 64, 65, 128, 203] {
+            let (demand, limit, alive, mut ni_f, mut out_f) = churn_batch(n);
+            let alive_bits = pack_bits(&alive);
+            let mut ni_bits = pack_bits(&ni_f);
+            let mut out_b = out_f.clone();
+            for _ in 0..40 {
+                let fixed_f =
+                    step_batch_settled(&demand, &limit, &alive, &mut ni_f, &mut out_f, alpha);
+                let fixed_b = step_batch_settled_bits(
+                    &demand,
+                    &limit,
+                    &alive_bits,
+                    &mut ni_bits,
+                    &mut out_b,
+                    alpha,
+                );
+                assert_eq!(fixed_f, fixed_b);
+                for i in 0..n {
+                    assert_eq!(out_f[i].to_bits(), out_b[i].to_bits(), "out[{i}] n={n}");
+                }
+                assert_eq!(pack_bits(&ni_f), ni_bits, "not_init words n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scalar_and_lanes_agree_bitwise() {
+        let alpha = settle_alpha(1.0, 5.0);
+        for n in [7, 64, 130] {
+            let (demand, limit, alive, ni_f, out) = churn_batch(n);
+            let alive_bits = pack_bits(&alive);
+            let mut ni_s = pack_bits(&ni_f);
+            let mut ni_l = ni_s.clone();
+            let mut out_s = out.clone();
+            let mut out_l = out;
+            for _ in 0..25 {
+                let fs = step_batch_scalar_bits(
+                    &demand,
+                    &limit,
+                    &alive_bits,
+                    &mut ni_s,
+                    &mut out_s,
+                    alpha,
+                );
+                let fl = step_batch_lanes_bits(
+                    &demand,
+                    &limit,
+                    &alive_bits,
+                    &mut ni_l,
+                    &mut out_l,
+                    alpha,
+                );
+                assert_eq!(fs, fl);
+                assert_eq!(ni_s, ni_l);
+                for i in 0..n {
+                    assert_eq!(out_s[i].to_bits(), out_l[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_preserves_tail_bits_and_reports_fixed_point() {
+        let alpha = settle_alpha(1.0, 5.0);
+        let demand = [180.0; 3];
+        let limit = [f64::INFINITY; 3];
+        let alive_bits = [0b111u64];
+        let mut ni_bits = [0b000u64];
+        let mut out = [180.0, 180.0, 180.0];
+        assert!(step_batch_settled_bits(
+            &demand,
+            &limit,
+            &alive_bits,
+            &mut ni_bits,
+            &mut out,
+            alpha
+        ));
+        assert_eq!(ni_bits, [0]);
+        assert_eq!(out, [180.0; 3]);
     }
 }
